@@ -1,0 +1,29 @@
+"""Shared helpers for the benchmark harness.
+
+Every table/figure benchmark both *times* its workload (pytest-benchmark)
+and *regenerates the paper's rows/series*, writing them to
+``benchmarks/out/<experiment>.txt`` so the artifacts survive the run and
+can be diffed against EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+def write_report(name: str, text: str) -> Path:
+    """Persist one experiment's regenerated rows/series."""
+    OUT_DIR.mkdir(exist_ok=True)
+    path = OUT_DIR / f"{name}.txt"
+    path.write_text(text)
+    return path
+
+
+@pytest.fixture(scope="session")
+def report_writer():
+    """Fixture handing benches the report writer."""
+    return write_report

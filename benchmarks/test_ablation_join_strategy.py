@@ -1,0 +1,49 @@
+"""Ablation — join strategies: shuffle (cogroup) vs broadcast-hash.
+
+The pipeline course's scalable-algorithm-design lesson in one number:
+joining a large fact table against a small dimension table costs two
+full shuffles with the generic join, and *zero* shuffle records with a
+broadcast join. Results are identical; the engine counters prove the
+plans differ.
+"""
+
+from repro.spark import SparkContext
+from repro.util.timing import time_call
+
+FACTS = 20_000
+DIM_KEYS = 50
+
+
+def test_join_strategy_ablation(benchmark, report_writer):
+    sc = SparkContext(num_workers=4)
+    facts = sc.parallelize([(i % DIM_KEYS, i) for i in range(FACTS)], 8)
+    dim = sc.parallelize([(k, f"dim{k}") for k in range(DIM_KEYS)], 2)
+
+    benchmark(lambda: facts.broadcast_join(dim).count())
+
+    sc.reset_metrics()
+    shuffle_sec, shuffle_count = time_call(lambda: facts.join(dim).count(), repeats=2)
+    shuffle_records = sc.metrics.shuffle_records
+
+    sc.reset_metrics()
+    broadcast_sec, broadcast_count = time_call(
+        lambda: facts.broadcast_join(dim).count(), repeats=2
+    )
+    broadcast_records = sc.metrics.shuffle_records
+
+    assert shuffle_count == broadcast_count == FACTS
+    assert broadcast_records == 0
+    assert shuffle_records >= FACTS  # both sides cross the wire
+
+    lines = [
+        "Ablation: join strategy on a fact/dimension join",
+        f"facts={FACTS:,} dimension_keys={DIM_KEYS}",
+        "",
+        f"{'strategy':>16} {'seconds':>9} {'shuffle records':>16}",
+        f"{'shuffle join':>16} {shuffle_sec:>9.3f} {shuffle_records:>16,}",
+        f"{'broadcast join':>16} {broadcast_sec:>9.3f} {broadcast_records:>16,}",
+        "",
+        "shape: identical results; the broadcast plan ships nothing —",
+        "the join-strategy selection lesson of the pipeline course",
+    ]
+    report_writer("ablation_join_strategy", "\n".join(lines) + "\n")

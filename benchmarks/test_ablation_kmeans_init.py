@@ -1,0 +1,60 @@
+"""Ablation — centroid seeding: random points vs k-means++.
+
+The assignment's starter chooses centroids randomly; k-means++ is the
+natural "further optimization". The quality difference (final inertia,
+iterations to converge, bad-local-optimum rate over restarts) is the
+series reported.
+"""
+
+import numpy as np
+
+from repro.kmeans import kmeans_sequential
+from repro.kmeans.initialization import init_kmeans_plus_plus, init_random_points
+from repro.knn.data import make_blobs
+
+K = 5
+RESTARTS = 12
+
+
+def test_init_quality_ablation(benchmark, report_writer):
+    points, _ = make_blobs(1200, 2, K, seed=31, separation=8.0, spread=0.8)
+
+    benchmark(
+        lambda: kmeans_sequential(
+            points, K, initial_centroids=init_kmeans_plus_plus(points, K, seed=0)
+        )
+    )
+
+    rows = []
+    stats = {}
+    for name, init_fn in [("random", init_random_points), ("kmeans++", init_kmeans_plus_plus)]:
+        inertias = []
+        iterations = []
+        for seed in range(RESTARTS):
+            init = init_fn(points, K, seed=seed)
+            result = kmeans_sequential(points, K, initial_centroids=init)
+            inertias.append(result.inertia)
+            iterations.append(result.iterations)
+        inertias = np.array(inertias)
+        best = inertias.min()
+        stats[name] = (inertias, np.mean(iterations))
+        rows.append(
+            f"{name:>10}: best inertia {best:10.1f}  mean {inertias.mean():10.1f}  "
+            f"worst {inertias.max():10.1f}  mean iterations {np.mean(iterations):5.2f}"
+        )
+
+    rand_inertias, _ = stats["random"]
+    pp_inertias, _ = stats["kmeans++"]
+    # ++ is at least as good on average and has a no-worse worst case.
+    assert pp_inertias.mean() <= rand_inertias.mean() * 1.01
+    assert pp_inertias.max() <= rand_inertias.max() * 1.01
+
+    lines = [
+        "Ablation: centroid seeding quality over 12 restarts",
+        f"n={len(points)} K={K}",
+        *rows,
+        "",
+        "shape: k-means++ seeding avoids the worst local optima random",
+        "seeding falls into (the bad restarts with split/merged blobs)",
+    ]
+    report_writer("ablation_kmeans_init", "\n".join(lines) + "\n")

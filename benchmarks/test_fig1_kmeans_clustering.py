@@ -1,0 +1,63 @@
+"""Figure 1 — K-means point assignment on a 2-D dataset with K = 3.
+
+The paper's Figure 1 illustrates Euclidean-distance clustering of a 2-D
+point cloud into three clusters. This bench regenerates it: three
+Gaussian blobs, K = 3, and verifies the figure's defining property —
+every point is assigned to its *nearest* centroid — plus times the
+clustering loop.
+"""
+
+import numpy as np
+
+from repro.kmeans import kmeans_sequential
+from repro.knn.data import make_blobs
+
+
+def _ascii_scatter(points: np.ndarray, assignments: np.ndarray, size: int = 24) -> str:
+    """Character-cell rendering of the clustered cloud (the 'figure')."""
+    lo = points.min(axis=0)
+    hi = points.max(axis=0)
+    span = np.where(hi - lo > 0, hi - lo, 1.0)
+    grid = [["." for _ in range(size)] for _ in range(size)]
+    glyphs = "ox+*"
+    for p, a in zip(points, assignments):
+        col = min(int((p[0] - lo[0]) / span[0] * (size - 1)), size - 1)
+        row = min(int((p[1] - lo[1]) / span[1] * (size - 1)), size - 1)
+        grid[size - 1 - row][col] = glyphs[a % len(glyphs)]
+    return "\n".join("".join(row) for row in grid)
+
+
+def test_fig1_kmeans_2d_three_clusters(benchmark, report_writer):
+    points, true_labels = make_blobs(900, 2, 3, seed=42, separation=7.0, spread=0.9)
+
+    # k-means++ seeding avoids the split-blob local optimum that plain
+    # random seeding can land in (the assignment's "further optimization").
+    from repro.kmeans import init_kmeans_plus_plus
+
+    init = init_kmeans_plus_plus(points, 3, seed=5)
+    result = benchmark(lambda: kmeans_sequential(points, 3, initial_centroids=init))
+
+    # Defining property of the figure: nearest-centroid assignment.
+    d2 = ((points[:, None, :] - result.centroids[None, :, :]) ** 2).sum(axis=2)
+    np.testing.assert_array_equal(result.assignments, np.argmin(d2, axis=1))
+
+    # The three visual clusters are recovered (bijective majority map).
+    mapping = {}
+    for c in range(3):
+        members = true_labels[result.assignments == c]
+        assert members.size > 0
+        mapping[c] = np.bincount(members).argmax()
+    assert sorted(mapping.values()) == [0, 1, 2]
+
+    lines = [
+        "Figure 1 reproduction: K-means, 2-D points, K=3",
+        f"points={len(points)} iterations={result.iterations} "
+        f"stop={result.stop_reason} inertia={result.inertia:.2f}",
+        "centroids:",
+    ]
+    for c, centroid in enumerate(result.centroids):
+        count = int((result.assignments == c).sum())
+        lines.append(f"  cluster {c}: center=({centroid[0]:+.3f}, {centroid[1]:+.3f}) members={count}")
+    lines.append("")
+    lines.append(_ascii_scatter(points, result.assignments))
+    report_writer("fig1_kmeans", "\n".join(lines) + "\n")

@@ -1,0 +1,66 @@
+"""E-heat — §6: forall (part 1) vs coforall + halo exchange (part 2).
+
+The assignment's performance story: the forall solver re-creates its
+task team every time step and reads across locale boundaries
+implicitly; the coforall solver spawns its tasks once and exchanges two
+halo values per boundary per step. We verify both against the serial
+reference and report task spawns, communication events, and wall-clock.
+"""
+
+import numpy as np
+
+from repro.chapel import set_num_locales
+from repro.heat import sine_initial_condition, solve_coforall, solve_forall, solve_serial
+from repro.util.timing import time_call
+
+N = 40_000
+STEPS = 60
+ALPHA = 0.25
+LOCALES = [1, 2, 4]
+
+
+def test_heat_forall_vs_coforall(benchmark, report_writer):
+    u0 = sine_initial_condition(N)
+    serial_sec, (serial_u, _) = time_call(lambda: solve_serial(u0, ALPHA, STEPS), repeats=2)
+
+    locs4 = set_num_locales(4)
+    benchmark(lambda: solve_coforall(u0, ALPHA, STEPS, locs4))
+
+    lines = [
+        "E-heat: 1-D heat equation, forall vs coforall",
+        f"n={N} steps={STEPS} alpha={ALPHA}",
+        "",
+        f"{'solver':>10} {'locales':>8} {'seconds':>9} {'task spawns':>12} "
+        f"{'remote gets':>12} {'remote puts':>12} {'exact':>6}",
+        f"{'serial':>10} {1:>8} {serial_sec:>9.3f} {0:>12} {0:>12} {0:>12} {'-':>6}",
+    ]
+    for num_locales in LOCALES:
+        locs = set_num_locales(num_locales)
+        fa_sec, (fa_u, fa_stats) = time_call(
+            lambda: solve_forall(u0, ALPHA, STEPS, locs), repeats=2
+        )
+        np.testing.assert_array_equal(fa_u, serial_u)
+        lines.append(
+            f"{'forall':>10} {num_locales:>8} {fa_sec:>9.3f} {fa_stats.task_spawns:>12} "
+            f"{fa_stats.remote_gets:>12} {fa_stats.remote_puts:>12} {'yes':>6}"
+        )
+        locs = set_num_locales(num_locales)
+        co_sec, (co_u, co_stats) = time_call(
+            lambda: solve_coforall(u0, ALPHA, STEPS, locs), repeats=2
+        )
+        np.testing.assert_array_equal(co_u, serial_u)
+        lines.append(
+            f"{'coforall':>10} {num_locales:>8} {co_sec:>9.3f} {co_stats.task_spawns:>12} "
+            f"{co_stats.remote_gets:>12} {co_stats.remote_puts:>12} {'yes':>6}"
+        )
+        # Part 2's defining advantages, as counters:
+        assert co_stats.task_spawns == num_locales             # spawned once
+        assert fa_stats.task_spawns == num_locales * STEPS     # spawned per step
+        if num_locales > 1:
+            boundaries = num_locales - 1
+            assert fa_stats.remote_gets == 2 * boundaries * STEPS
+            assert co_stats.remote_puts == 2 * boundaries * STEPS
+    lines.append("")
+    lines.append("shape: forall spawns tasks every step; coforall spawns once and")
+    lines.append("replaces implicit boundary reads with explicit halo puts")
+    report_writer("heat_solvers", "\n".join(lines) + "\n")

@@ -1,0 +1,79 @@
+"""E-knn-seq — the sequential kNN cost claims of §2.
+
+The paper: a 40-dimensional instance with 5,000 database points and
+5,000 queries "takes about 5 seconds sequentially", and heap-based
+selection turns Θ(n log n) into Θ(n log k). We time a scaled instance
+(and extrapolate to the paper's size), and measure the heap-vs-sort
+selection gap directly.
+"""
+
+import numpy as np
+
+from repro.knn import knn_predict_vectorized, make_blobs, top_k_by_sort, top_k_smallest
+
+D = 40
+K = 8
+SCALE_N = 1000  # timed instance; cost extrapolates as (n*q)
+
+
+def test_knn_sequential_cost(benchmark, report_writer):
+    db, labels = make_blobs(SCALE_N, D, 5, seed=0)
+    queries, _ = make_blobs(SCALE_N, D, 5, seed=1)
+
+    result = benchmark(lambda: knn_predict_vectorized(db, labels, queries, K))
+    assert result.shape == (SCALE_N,)
+
+    seconds = benchmark.stats.stats.mean
+    # Θ(n·q·d) ⇒ the paper's 5000×5000 instance costs ~(5000/SCALE_N)² more.
+    extrapolated = seconds * (5000 / SCALE_N) ** 2
+
+    # Bracket the paper's number with the loop-style engine too: the C++
+    # starter code is per-element loops, which our heap engine mirrors.
+    from repro.knn import knn_predict_heap
+    from repro.util.timing import time_call
+
+    loop_n = 200
+    loop_sec, _ = time_call(
+        lambda: knn_predict_heap(db[:loop_n], labels[:loop_n], queries[:loop_n], K),
+        repeats=1,
+    )
+    loop_extrapolated = loop_sec * (5000 / loop_n) ** 2
+
+    lines = [
+        "E-knn-seq: sequential kNN cost",
+        f"instance: n=q={SCALE_N}, d={D}, k={K}",
+        f"vectorized engine: {seconds:.3f}s measured, {extrapolated:.2f}s extrapolated to n=q=5000",
+        f"loop/heap engine:  {loop_sec:.3f}s at n=q={loop_n}, "
+        f"{loop_extrapolated:.0f}s extrapolated to n=q=5000",
+        "paper: 'about 5 seconds sequentially' for n=q=5000, d=40 (compiled C++",
+        "loops) — bracketed between our vectorized numpy (faster) and",
+        "interpreted Python loops (slower), as expected",
+    ]
+    # The claim's shape: the compiled-loop figure sits inside the bracket.
+    assert extrapolated < 5.0 < loop_extrapolated
+    report_writer("knn_sequential_cost", "\n".join(lines) + "\n")
+
+
+def test_knn_heap_vs_sort_selection(benchmark, report_writer):
+    """The Θ(n log k) vs Θ(n log n) ablation (DESIGN.md decision 2)."""
+    rng = np.random.default_rng(0)
+    n, k = 200_000, 8
+    keys = rng.random(n).tolist()
+
+    heap_result = benchmark(lambda: top_k_smallest(keys, None, k))
+    sort_result = top_k_by_sort(keys, None, k)
+    assert [d for d, _ in heap_result] == [d for d, _ in sort_result]
+
+    from repro.util.timing import time_call
+
+    heap_s, _ = time_call(lambda: top_k_smallest(keys, None, k), repeats=3)
+    sort_s, _ = time_call(lambda: top_k_by_sort(keys, None, k), repeats=3)
+    lines = [
+        "E-knn-seq ablation: heap Θ(n log k) vs sort Θ(n log n) top-k selection",
+        f"n={n} k={k}",
+        f"heap: {heap_s:.4f}s   sort: {sort_s:.4f}s   speedup: {sort_s / heap_s:.2f}x",
+        "shape check: heap wins (paper cites CLRS for the same argument)",
+    ]
+    # The heap should win on large n / small k.
+    assert heap_s < sort_s
+    report_writer("knn_heap_vs_sort", "\n".join(lines) + "\n")

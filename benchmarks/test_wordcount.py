@@ -1,0 +1,29 @@
+"""E-wordcount — the MapReduce warm-up problem at several rank counts."""
+
+from repro.knn import run_wordcount
+from repro.util.timing import time_call
+
+LINES = [
+    f"line {i} the quick brown fox jumps over the lazy dog number {i % 10}"
+    for i in range(2000)
+]
+
+
+def test_wordcount_ranks(benchmark, report_writer):
+    counts = benchmark(lambda: run_wordcount(4, LINES, local_combine=True))
+    assert counts["the"] == 2 * len(LINES)
+
+    rows = ["E-wordcount: Word Counting on MapReduce-MPI", f"lines={len(LINES)}", ""]
+    rows.append(f"{'ranks':>6} {'combine':>8} {'seconds':>9}")
+    baseline = None
+    for ranks in (1, 4):
+        for combine in (False, True):
+            sec, got = time_call(
+                lambda r=ranks, c=combine: run_wordcount(r, LINES, local_combine=c),
+                repeats=2,
+            )
+            assert got == counts
+            if baseline is None:
+                baseline = sec
+            rows.append(f"{ranks:>6} {str(combine):>8} {sec:>9.3f}")
+    report_writer("wordcount", "\n".join(rows) + "\n")

@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Choosing K and choosing a programming model (paper §3, extended).
+
+Two practical questions around the K-means assignment:
+
+1. *What K?* — elbow curve, silhouette scores, and the automatic
+   suggestion, on a cloud whose true cluster count is hidden from the
+   algorithms;
+2. *Which parallelization?* — the race-repair ladder (critical → atomic
+   → reduction), MPI, and the device-style kernels, all timed on the
+   same input and verified to agree exactly.
+
+Usage::
+
+    python examples/kmeans_model_selection.py
+"""
+
+import numpy as np
+
+from repro.kmeans import (
+    elbow_curve,
+    kmeans_device,
+    kmeans_openmp,
+    kmeans_sequential,
+    run_kmeans_mpi,
+    silhouette_score,
+    suggest_k,
+)
+from repro.kmeans.initialization import init_random_points
+from repro.knn.data import make_blobs
+from repro.util.timing import time_call
+
+TRUE_K = 4
+
+
+def main() -> None:
+    points, _ = make_blobs(1500, 2, TRUE_K, seed=12, separation=9.0, spread=0.9)
+    print(f"point cloud: {len(points)} points (true cluster count hidden: ?)\n")
+
+    # ---- 1. choose K ---------------------------------------------------
+    curve = elbow_curve(points, list(range(1, 9)), seed=0)
+    max_inertia = curve[0][1]
+    print("elbow curve (inertia vs K):")
+    for k, inertia in curve:
+        bar = "#" * int(inertia / max_inertia * 50)
+        print(f"  K={k}: {inertia:10.1f} {bar}")
+    pick = suggest_k(points, k_max=8, seed=0)
+    print(f"suggested K = {pick} (true K = {TRUE_K})")
+
+    print("\nsilhouette check around the suggestion:")
+    for k in (pick - 1, pick, pick + 1):
+        if k < 2:
+            continue
+        result = kmeans_sequential(points, k, seed=0)
+        print(f"  K={k}: silhouette = {silhouette_score(points, result.assignments):.3f}")
+
+    # ---- 2. choose a programming model ----------------------------------
+    init = init_random_points(points, pick, seed=3)
+    reference = kmeans_sequential(points, pick, initial_centroids=init)
+    contenders = {
+        "sequential": lambda: kmeans_sequential(points, pick, initial_centroids=init),
+        "openmp-critical": lambda: kmeans_openmp(
+            points, pick, num_threads=4, variant="critical", initial_centroids=init
+        ),
+        "openmp-atomic": lambda: kmeans_openmp(
+            points, pick, num_threads=4, variant="atomic", initial_centroids=init
+        ),
+        "openmp-reduction": lambda: kmeans_openmp(
+            points, pick, num_threads=4, variant="reduction", initial_centroids=init
+        ),
+        "mpi (4 ranks)": lambda: run_kmeans_mpi(4, points, pick, initial_centroids=init),
+        "device": lambda: kmeans_device(points, pick, initial_centroids=init),
+    }
+    print(f"\nprogramming-model ladder (K={pick}, {reference.iterations} iterations each):")
+    for name, task in contenders.items():
+        seconds, result = time_call(task, repeats=2)
+        same = np.array_equal(result.assignments, reference.assignments)
+        print(f"  {name:<18} {seconds:7.3f}s  identical={same}")
+        assert same
+
+
+if __name__ == "__main__":
+    main()

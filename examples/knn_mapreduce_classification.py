@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""kNN classification as the full application (paper §2, all variants).
+
+Covers the assignment plus both adaptations the paper suggests:
+
+1. the "early programming course" variant — parse the database and
+   queries from CSV files, classify, write predictions back to CSV;
+2. the MapReduce-MPI parallelization with the local-reduction
+   communication optimization;
+3. the Data-Structures variant — the k-d tree with box lower-bound
+   pruning, with its node-visit savings printed.
+
+Usage::
+
+    python examples/knn_mapreduce_classification.py
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.knn import (
+    KDTree,
+    KNNClassifier,
+    make_leaf_like,
+    run_knn_mapreduce,
+    train_test_split,
+)
+from repro.util.tabular import read_points_csv, write_points_csv
+
+
+def main() -> None:
+    # ---- the whole application, CSV to CSV --------------------------------
+    pts, labels = make_leaf_like(1200, num_species=12, seed=4)
+    tr_x, tr_y, te_x, te_y = train_test_split(pts, labels, seed=4)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        db_csv = Path(tmp) / "database.csv"
+        q_csv = Path(tmp) / "queries.csv"
+        out_csv = Path(tmp) / "predictions.csv"
+        write_points_csv(db_csv, tr_x, tr_y)
+        write_points_csv(q_csv, te_x)
+        print(f"wrote database ({db_csv.stat().st_size} bytes) and queries to CSV")
+
+        database, db_labels = read_points_csv(db_csv, labelled=True)
+        queries, _ = read_points_csv(q_csv, labelled=False)
+        clf = KNNClassifier(k=5).fit(database, db_labels)
+        predictions = clf.predict(queries)
+        write_points_csv(out_csv, queries, predictions)
+        print(f"classified {len(queries)} leaf samples "
+              f"(accuracy vs held-out truth: {np.mean(predictions == te_y):.3f})")
+
+    # ---- MapReduce-MPI parallelization ------------------------------------
+    print("\nMapReduce-MPI (4 ranks):")
+    for combine in (False, True):
+        preds, shipped = run_knn_mapreduce(4, tr_x, tr_y, te_x, k=5, local_combine=combine)
+        assert np.array_equal(preds, predictions)
+        tag = "with local reduction" if combine else "without local reduction"
+        print(f"  {tag:<24} pairs shuffled: {shipped:>8}")
+    print("  -> the optimization the paper highlights: same answer, far less traffic")
+
+    # ---- the Data-Structures variant: k-d tree pruning ---------------------
+    tree = KDTree.build(tr_x, tr_y)
+    tree_preds = tree.predict(te_x[:50], 5)
+    assert np.array_equal(tree_preds, predictions[:50])
+    tree.query(te_x[0], 5)
+    print(f"\nk-d tree: {tree.num_points} points indexed; one query visited "
+          f"{tree.last_nodes_visited} tree nodes (box lower-bound pruning)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Traffic jams, randomness, and reproducibility (paper §5, Figure 3).
+
+Simulates the Nagel–Schreckenberg model at the paper's exact parameters,
+renders a space-time diagram in the terminal, shows that jams vanish
+when the random slowdown is disabled, and demonstrates the central
+lesson: fast-forwarded shared-sequence RNG gives bitwise-identical
+results for any thread count, while naive per-thread seeding does not.
+
+Usage::
+
+    python examples/traffic_jam_simulation.py
+"""
+
+import numpy as np
+
+from repro.traffic import (
+    TrafficParams,
+    count_stopped,
+    detect_jams,
+    simulate_parallel,
+    simulate_serial,
+    space_time_diagram,
+)
+from repro.traffic.analysis import flow_rate, fundamental_diagram, jam_drift
+
+
+def render(spacetime: np.ndarray, steps: int = 40, cells: int = 100) -> str:
+    rows = []
+    for row in spacetime[-steps:, :cells]:
+        rows.append("".join("#" if v == 0 else ("." if v > 0 else " ") for v in row))
+    return "\n".join(rows)
+
+
+def main() -> None:
+    params = TrafficParams()  # 200 cars, road 1000, p=0.13, v_max=5
+    print(f"Nagel-Schreckenberg: {params.num_cars} cars / {params.road_length} cells, "
+          f"p={params.p_slow}, v_max={params.v_max}")
+
+    final, trajectory = simulate_serial(params, 300, record=True)
+    spacetime = space_time_diagram(trajectory)
+    print("\nspace-time diagram (last 40 steps, first 100 cells; '#'=stopped, '.'=moving):\n")
+    print(render(spacetime))
+    print(f"\nstopped cars now: {count_stopped(final)}   "
+          f"jams: {len(detect_jams(final))}   "
+          f"jam drift: {jam_drift(spacetime):+.2f} cells/step (negative = upstream)")
+    print(f"flow: {flow_rate(trajectory[100:]):.3f} cars/cell/step")
+
+    # Without randomness the jams disappear.
+    calm, calm_traj = simulate_serial(TrafficParams(p_slow=0.0), 300, record=True)
+    print(f"\nwith p=0 (no randomness): stopped cars = {count_stopped(calm)}, "
+          f"jams = {len(detect_jams(calm))} — 'without randomness, these do not occur'")
+
+    # Reproducibility: same physics for every thread count.
+    print("\nreproducibility check (the assignment's requirement):")
+    for threads in (1, 2, 4, 8):
+        parallel, _ = simulate_parallel(params, 300, num_threads=threads)
+        same = np.array_equal(parallel.positions, final.positions)
+        print(f"  {threads} thread(s): identical to serial = {same}")
+        assert same
+
+    # The fundamental diagram: flow peaks at a critical density.
+    print("\nfundamental diagram (density vs flow):")
+    series = fundamental_diagram(400, [0.05, 0.1, 0.15, 0.2, 0.3, 0.5, 0.7], num_steps=150)
+    peak = max(series, key=lambda df: df[1])
+    for density, flow in series:
+        bar = "*" * int(flow * 80)
+        marker = "  <- peak" if (density, flow) == peak else ""
+        print(f"  rho={density:4.2f}  q={flow:5.3f} {bar}{marker}")
+
+    # Variation: distributed memory (MPI), same reproducibility contract.
+    from repro.traffic import simulate_mpi
+
+    mpi_state = simulate_mpi(params, 300, num_ranks=4)
+    assert np.array_equal(mpi_state.positions, final.positions)
+    print("\nMPI variation (4 ranks): bitwise-identical to serial = True")
+
+    # Variation: self-describing trajectory files (the NetCDF stand-in).
+    import tempfile
+    from pathlib import Path
+
+    from repro.traffic import read_trajectory, write_trajectory
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "figure3.trj"
+        write_trajectory(path, trajectory)
+        stored_params, stored = read_trajectory(path)
+        assert stored_params == params
+        assert np.array_equal(stored[-1].positions, final.positions)
+        print(f"self-describing trajectory file: {path.stat().st_size:,} bytes, "
+              f"{len(stored)} states, schema travels with the data")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,33 @@
+"""repro — a reproduction of "Peachy Parallel Assignments (EduHPC 2023)".
+
+The paper presents six competitively-selected parallel-computing
+assignments. This library implements all six *and* every substrate they
+run on, in pure Python + numpy, so the complete teaching stack works
+offline on a laptop:
+
+Substrates
+    :mod:`repro.mpi` (SPMD message passing), :mod:`repro.openmp`
+    (thread teams / atomics / reductions), :mod:`repro.mapreduce`
+    (MapReduce-MPI engine), :mod:`repro.spark` (lazy RDDs + shuffles),
+    :mod:`repro.chapel` (locales / Block distributions / forall),
+    :mod:`repro.rng` (fast-forwardable and counter-based PRNGs),
+    :mod:`repro.util` (partitioning, timing, CSV).
+
+Assignments
+    :mod:`repro.knn` (§2), :mod:`repro.kmeans` (§3),
+    :mod:`repro.pipeline` (§4), :mod:`repro.traffic` (§5),
+    :mod:`repro.heat` (§6), :mod:`repro.hpo` (§7).
+
+Catalog & harness
+    :mod:`repro.core` — assignment metadata and the scaling-study
+    runner.
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+__version__ = "1.0.0"
+
+from repro.core.assignment import ASSIGNMENTS, get_assignment, list_assignments
+
+__all__ = ["__version__", "ASSIGNMENTS", "get_assignment", "list_assignments"]

@@ -1,0 +1,166 @@
+"""Command-line interface: browse the catalog, run verified demos.
+
+Usage::
+
+    python -m repro list                 # the six assignments
+    python -m repro info traffic         # one assignment's full card
+    python -m repro demo kmeans          # run a miniature verified demo
+    python -m repro demo all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from repro.core.assignment import ASSIGNMENTS, get_assignment, list_assignments
+
+__all__ = ["main"]
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    print(f"{'key':<10} {'§':>2}  title")
+    for a in list_assignments():
+        print(f"{a.key:<10} {a.section:>2}  {a.title}")
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    try:
+        a = get_assignment(args.key)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    print(f"{a.title}  (paper section {a.section})")
+    print(f"course context: {a.course_context}")
+    print(f"programming models: {', '.join(a.programming_models)}")
+    print("concepts:")
+    for concept in a.concepts:
+        print(f"  - {concept}")
+    print(f"modules: {', '.join(a.modules)}")
+    print(f"benchmarks: {', '.join(a.benchmarks)}")
+    return 0
+
+
+def _demo_knn() -> None:
+    import numpy as np
+
+    from repro.knn import KNNClassifier, make_banknote_like, run_knn_mapreduce, train_test_split
+
+    pts, labels = make_banknote_like(400, seed=0)
+    tr_x, tr_y, te_x, te_y = train_test_split(pts, labels, seed=0)
+    preds, shipped = run_knn_mapreduce(4, tr_x, tr_y, te_x, k=5)
+    serial = KNNClassifier(k=5).fit(tr_x, tr_y).predict(te_x)
+    assert np.array_equal(preds, serial)
+    print(f"kNN over MapReduce (4 ranks): accuracy {np.mean(preds == te_y):.3f}, "
+          f"{shipped} pairs shuffled — identical to serial")
+
+
+def _demo_kmeans() -> None:
+    import numpy as np
+
+    from repro.kmeans import kmeans_openmp, kmeans_sequential
+    from repro.kmeans.initialization import init_random_points
+    from repro.knn.data import make_blobs
+
+    points, _ = make_blobs(600, 2, 3, seed=1, separation=8.0)
+    init = init_random_points(points, 3, seed=2)
+    seq = kmeans_sequential(points, 3, initial_centroids=init)
+    omp = kmeans_openmp(points, 3, num_threads=4, initial_centroids=init)
+    assert np.array_equal(seq.assignments, omp.assignments)
+    print(f"K-means: {seq.iterations} iterations, inertia {seq.inertia:.1f} — "
+          "OpenMP(4 threads) identical to sequential")
+
+
+def _demo_pipeline() -> None:
+    from repro.pipeline import TABLE1_EXPECTED, aggregate_survey, raw_survey_items
+    from repro.pipeline.survey import raw_student_records
+    from repro.spark import SparkContext
+
+    table = aggregate_survey(SparkContext(4), raw_survey_items(), raw_student_records())
+    assert table == TABLE1_EXPECTED
+    print("pipeline: Spark aggregation reproduces Table 1 exactly "
+          f"({len(table)} winter terms)")
+
+
+def _demo_traffic() -> None:
+    import numpy as np
+
+    from repro.traffic import TrafficParams, simulate_parallel, simulate_serial
+
+    params = TrafficParams(road_length=300, num_cars=60, seed=13)
+    serial, _ = simulate_serial(params, 100)
+    parallel, _ = simulate_parallel(params, 100, num_threads=4)
+    assert np.array_equal(parallel.positions, serial.positions)
+    print("traffic: 100 steps, 4 threads — bitwise-identical to serial "
+          f"({int((serial.velocities == 0).sum())} cars in jams)")
+
+
+def _demo_heat() -> None:
+    import numpy as np
+
+    from repro.chapel import set_num_locales
+    from repro.heat import sine_initial_condition, solve_coforall, solve_serial
+
+    locs = set_num_locales(3)
+    u0 = sine_initial_condition(200)
+    serial, _ = solve_serial(u0, 0.25, 50)
+    dist, stats = solve_coforall(u0, 0.25, 50, locs)
+    assert np.array_equal(serial, dist)
+    print(f"heat: coforall on 3 locales identical to serial "
+          f"({stats.task_spawns} task spawns, {stats.remote_puts} halo puts)")
+
+
+def _demo_hpo() -> None:
+    from repro.hpo import hyperparameter_grid, make_digit_dataset, run_distributed_hpo
+
+    x, y = make_digit_dataset(400, noise=0.1, seed=0)
+    grid = hyperparameter_grid(hidden_options=[(16,)], lr_options=[0.1],
+                               epochs_options=[8], seeds=[0, 1, 2])
+    ensemble, outcomes = run_distributed_hpo(2, grid, x[:300], y[:300], x[300:], y[300:], top_m=2)
+    print(f"hpo: 3 tasks over 2 ranks, best val accuracy {outcomes[0].val_accuracy:.3f}, "
+          f"ensemble of {len(ensemble)}")
+
+
+_DEMOS: dict[str, Callable[[], None]] = {
+    "knn": _demo_knn,
+    "kmeans": _demo_kmeans,
+    "pipeline": _demo_pipeline,
+    "traffic": _demo_traffic,
+    "heat": _demo_heat,
+    "hpo": _demo_hpo,
+}
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    keys = list(_DEMOS) if args.key == "all" else [args.key]
+    for key in keys:
+        if key not in _DEMOS:
+            print(f"unknown demo {key!r}; available: {', '.join(_DEMOS)} or 'all'",
+                  file=sys.stderr)
+            return 2
+        _DEMOS[key]()
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI dispatcher (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Peachy Parallel Assignments (EduHPC 2023) reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list the six assignments").set_defaults(fn=_cmd_list)
+    info = sub.add_parser("info", help="show one assignment's details")
+    info.add_argument("key", choices=sorted(ASSIGNMENTS))
+    info.set_defaults(fn=_cmd_info)
+    demo = sub.add_parser("demo", help="run a miniature verified demo")
+    demo.add_argument("key", help="assignment key or 'all'")
+    demo.set_defaults(fn=_cmd_demo)
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,52 @@
+"""Chapel-style parallel constructs: locales, distributions, forall/coforall.
+
+The 1-D heat equation assignment (paper §6) is written in Chapel and
+teaches two contrasting styles:
+
+1. *implicit* data parallelism — a ``forall`` loop over a
+   ``Block``-distributed domain, where the language places data and
+   schedules tasks;
+2. *explicit* task parallelism — ``coforall`` spawning one persistent
+   task per locale, with manual halo exchange and barriers.
+
+This package reproduces those constructs in Python:
+
+- :class:`Locale` / :func:`locales` / :func:`here` / :func:`on` — the
+  machine model: a fixed set of locales, a per-task "current locale",
+  and the on-statement that moves execution;
+- :class:`BlockDomain` (via :meth:`BlockDist.create_domain`) — a 1-D
+  index set block-distributed over locales;
+- :class:`BlockArray` — an array over a block domain that counts remote
+  reads/writes, making communication *visible* (the pedagogical point
+  of part 2 of the assignment);
+- :func:`forall` — data-parallel loop: over a plain range it splits
+  across a task pool; over a block domain it runs one task per locale,
+  each on its own locale;
+- :func:`coforall` — one task per iteration, joining at the end;
+- :func:`foreach` — order-independent loop without task creation;
+- :class:`TaskBarrier` — reusable barrier for coforall task teams.
+"""
+
+from repro.chapel.arrays import BlockArray
+from repro.chapel.barrier import TaskBarrier
+from repro.chapel.domains import BlockDist, BlockDomain, Domain
+from repro.chapel.locales import Locale, here, locales, on, set_num_locales
+from repro.chapel.parallel import coforall, forall, foreach
+from repro.chapel.reductions import forall_reduce
+
+__all__ = [
+    "Locale",
+    "locales",
+    "here",
+    "on",
+    "set_num_locales",
+    "Domain",
+    "BlockDist",
+    "BlockDomain",
+    "BlockArray",
+    "forall",
+    "coforall",
+    "foreach",
+    "forall_reduce",
+    "TaskBarrier",
+]

@@ -1,0 +1,122 @@
+"""Block-distributed arrays with visible communication.
+
+A :class:`BlockArray` is declared over a :class:`BlockDomain`. Storage
+is one numpy array (the process *is* the whole machine), but every
+element access compares the current ``here()`` locale with the owner of
+the touched index and counts remote gets/puts on the owning locale.
+That gives part 1 of the heat assignment its lesson — the innocent
+``forall`` stencil quietly reads across locale boundaries — and lets
+part 2 demonstrate that explicit halo copies reduce fine-grained
+remote traffic to two bulk transfers per step.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.chapel.domains import BlockDomain
+from repro.chapel.locales import here
+
+__all__ = ["BlockArray"]
+
+
+class BlockArray:
+    """A 1-D array over a block-distributed domain.
+
+    Element access (``a[i]`` / ``a[i] = v``) uses *global* indices from
+    the domain and counts remote traffic. Bulk views
+    (:meth:`local_view`) expose a locale's own chunk as a numpy slice
+    for vectorized, communication-free compute — the idiom both solvers
+    use for their inner loops.
+    """
+
+    def __init__(self, domain: BlockDomain, dtype=float, fill: float = 0.0) -> None:
+        self.domain = domain
+        self._data = np.full(domain.size, fill, dtype=dtype)
+
+    @classmethod
+    def from_function(cls, domain: BlockDomain, fn: Callable[[int], float], dtype=float) -> "BlockArray":
+        """Initialize ``a[i] = fn(i)`` for every domain index (no comm counted)."""
+        arr = cls(domain, dtype=dtype)
+        arr._data[:] = [fn(i) for i in domain.indices()]
+        return arr
+
+    # -- element access (communication-counted) -------------------------
+    def _offset(self, i: int) -> int:
+        if i not in self.domain:
+            raise IndexError(f"index {i} outside domain [{self.domain.low}, {self.domain.high})")
+        return i - self.domain.low
+
+    def __getitem__(self, i: int) -> float:
+        owner = self.domain.owner(i)
+        if owner is not here():
+            owner.count_get()
+        return self._data[self._offset(i)]
+
+    def __setitem__(self, i: int, value: float) -> None:
+        owner = self.domain.owner(i)
+        if owner is not here():
+            owner.count_put()
+        self._data[self._offset(i)] = value
+
+    # -- bulk access -----------------------------------------------------
+    def local_view(self, locale_index: int) -> np.ndarray:
+        """This locale's chunk as a mutable numpy view (no comm counted —
+        by construction it is local to the ``locale_index``-th target)."""
+        sub = self.domain.local_subdomain(locale_index)
+        lo = sub.low - self.domain.low
+        return self._data[lo : lo + sub.size]
+
+    def get_slice(self, low: int, high: int) -> np.ndarray:
+        """Copy of global indices ``[low, high)``, counting remote elements."""
+        me = here()
+        for locale_index in range(self.domain.num_locales):
+            sub = self.domain.local_subdomain(locale_index)
+            overlap = min(high, sub.high) - max(low, sub.low)
+            if overlap > 0 and self.domain.target_locales[locale_index] is not me:
+                self.domain.target_locales[locale_index].count_get(overlap)
+        lo = self._offset(low)
+        return self._data[lo : lo + (high - low)].copy()
+
+    def set_slice(self, low: int, values: np.ndarray) -> None:
+        """Write ``values`` at global indices starting at ``low``, counting
+        remote elements."""
+        high = low + len(values)
+        me = here()
+        for locale_index in range(self.domain.num_locales):
+            sub = self.domain.local_subdomain(locale_index)
+            overlap = min(high, sub.high) - max(low, sub.low)
+            if overlap > 0 and self.domain.target_locales[locale_index] is not me:
+                self.domain.target_locales[locale_index].count_put(overlap)
+        lo = self._offset(low)
+        self._data[lo : lo + len(values)] = values
+
+    # -- whole-array helpers (no comm counted; driver-side use) ----------
+    def to_numpy(self) -> np.ndarray:
+        """Copy of the full array (for verification / plotting)."""
+        return self._data.copy()
+
+    def fill_from(self, values: np.ndarray) -> None:
+        """Overwrite the full array (driver-side initialization)."""
+        if len(values) != self.domain.size:
+            raise ValueError(f"expected {self.domain.size} values, got {len(values)}")
+        self._data[:] = values
+
+    def swap_with(self, other: "BlockArray") -> None:
+        """Exchange storage with another array over the same domain —
+        the assignment's step 4.1 ``u <=> un`` swap, O(1)."""
+        if other.domain is not self.domain and (
+            other.domain.low != self.domain.low or other.domain.high != self.domain.high
+        ):
+            raise ValueError("can only swap arrays over the same domain")
+        self._data, other._data = other._data, self._data
+
+    @property
+    def size(self) -> int:
+        """Number of elements."""
+        return self.domain.size
+
+    def __repr__(self) -> str:
+        return f"BlockArray(domain=[{self.domain.low},{self.domain.high}), locales={self.domain.num_locales})"

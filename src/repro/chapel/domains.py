@@ -1,0 +1,115 @@
+"""Domains: index sets, optionally distributed over locales.
+
+Chapel separates *index sets* (domains) from *arrays* declared over
+them. The assignment uses a 1-D domain ``{0..<n}`` and its ``Block``
+distribution; ``expand``/``interior`` give the interior sub-domain
+(everything but the boundary points) that the stencil updates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.chapel.locales import Locale, locales
+from repro.util.partition import block_bounds, owner_of
+from repro.util.validation import require_nonnegative_int
+
+__all__ = ["Domain", "BlockDomain", "BlockDist"]
+
+
+@dataclass(frozen=True)
+class Domain:
+    """A contiguous 1-D index set ``[low, high)``."""
+
+    low: int
+    high: int
+
+    def __post_init__(self) -> None:
+        if self.high < self.low:
+            raise ValueError(f"empty-inverted domain [{self.low}, {self.high})")
+
+    @property
+    def size(self) -> int:
+        """Number of indices."""
+        return self.high - self.low
+
+    def indices(self) -> range:
+        """The indices as a range."""
+        return range(self.low, self.high)
+
+    def interior(self, margin: int = 1) -> "Domain":
+        """The domain shrunk by ``margin`` on both ends (Chapel's ``expand(-m)``).
+
+        This is the Ω̂ ⊂ Ω of the assignment: the stencil's update set,
+        excluding the Dirichlet boundary points.
+        """
+        require_nonnegative_int("margin", margin)
+        if self.size < 2 * margin:
+            raise ValueError(f"domain of size {self.size} has no interior with margin {margin}")
+        return Domain(self.low + margin, self.high - margin)
+
+    def __contains__(self, i: int) -> bool:
+        return self.low <= i < self.high
+
+    def __iter__(self):
+        return iter(self.indices())
+
+
+class BlockDomain(Domain):
+    """A domain block-distributed over a set of locales."""
+
+    def __init__(self, low: int, high: int, target_locales: list[Locale]) -> None:
+        super().__init__(low, high)
+        if not target_locales:
+            raise ValueError("need at least one target locale")
+        object.__setattr__(self, "target_locales", target_locales)
+
+    @property
+    def num_locales(self) -> int:
+        """How many locales hold blocks of this domain."""
+        return len(self.target_locales)
+
+    def local_subdomain(self, locale_index: int) -> Domain:
+        """The contiguous chunk owned by the ``locale_index``-th target locale."""
+        lo, hi = block_bounds(self.size, self.num_locales, locale_index)
+        return Domain(self.low + lo, self.low + hi)
+
+    def owner_index(self, i: int) -> int:
+        """Index (into target_locales) of the locale owning global index ``i``."""
+        if i not in self:
+            raise IndexError(f"index {i} outside domain [{self.low}, {self.high})")
+        return owner_of(self.size, self.num_locales, i - self.low)
+
+    def owner(self, i: int) -> Locale:
+        """The locale owning global index ``i``."""
+        return self.target_locales[self.owner_index(i)]
+
+    def interior(self, margin: int = 1) -> "BlockDomain":
+        """Interior sub-domain, still distributed over the same locales.
+
+        Note the owner map of the interior follows the *parent* layout in
+        Chapel; for simplicity ours re-blocks the smaller index set,
+        which the solvers never rely on (they iterate per-locale chunks
+        of the parent).
+        """
+        shrunk = super().interior(margin)
+        return BlockDomain(shrunk.low, shrunk.high, self.target_locales)
+
+
+class BlockDist:
+    """Factory for block-distributed domains (Chapel's ``Block.createDomain``)."""
+
+    @staticmethod
+    def create_domain(
+        n_or_range: int | range, target_locales: list[Locale] | None = None
+    ) -> BlockDomain:
+        """A :class:`BlockDomain` over ``{0..<n}`` (or the given range),
+        distributed over ``target_locales`` (default: all locales)."""
+        if isinstance(n_or_range, range):
+            if n_or_range.step != 1:
+                raise ValueError("only unit-stride domains are supported")
+            low, high = n_or_range.start, n_or_range.stop
+        else:
+            require_nonnegative_int("n", n_or_range)
+            low, high = 0, n_or_range
+        return BlockDomain(low, high, target_locales or locales())

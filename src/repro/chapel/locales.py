@@ -1,0 +1,116 @@
+"""The locale model: where code runs and where memory lives.
+
+Chapel programs see a global ``Locales`` array and a ``here`` constant
+naming the locale the current task runs on; an ``on``-statement moves
+execution (and new allocations) to another locale. We model locales as
+bookkeeping objects — all memory is physically shared in-process, but
+every :class:`repro.chapel.BlockArray` access checks ``here`` against
+the owning locale and counts the remote ones, so programs *pay* (in
+counters) exactly where a real multi-node run would pay in latency.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = ["Locale", "locales", "here", "on", "set_num_locales"]
+
+
+@dataclass
+class Locale:
+    """One compute node: an id plus remote-access counters."""
+
+    id: int
+    #: Remote reads served *from* this locale's memory.
+    remote_gets: int = 0
+    #: Remote writes landing *in* this locale's memory.
+    remote_puts: int = 0
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False, compare=False)
+
+    def count_get(self, n: int = 1) -> None:
+        """Record ``n`` remote reads of this locale's memory."""
+        with self._lock:
+            self.remote_gets += n
+
+    def count_put(self, n: int = 1) -> None:
+        """Record ``n`` remote writes into this locale's memory."""
+        with self._lock:
+            self.remote_puts += n
+
+    def reset_counters(self) -> None:
+        """Zero the communication counters."""
+        with self._lock:
+            self.remote_gets = 0
+            self.remote_puts = 0
+
+
+class _LocaleWorld:
+    """Process-global locale set (reconfigurable for tests/benchmarks)."""
+
+    def __init__(self) -> None:
+        self._locales = [Locale(0)]
+        self._here = threading.local()
+
+    def set_num_locales(self, n: int) -> list[Locale]:
+        if n < 1:
+            raise ValueError(f"need at least 1 locale, got {n}")
+        self._locales = [Locale(i) for i in range(n)]
+        return self._locales
+
+    @property
+    def locales(self) -> list[Locale]:
+        return self._locales
+
+    @property
+    def here(self) -> Locale:
+        current = getattr(self._here, "value", None)
+        if current is None or current.id >= len(self._locales) or self._locales[current.id] is not current:
+            return self._locales[0]
+        return current
+
+    @contextlib.contextmanager
+    def on(self, locale: Locale) -> Iterator[Locale]:
+        previous = getattr(self._here, "value", None)
+        self._here.value = locale
+        try:
+            yield locale
+        finally:
+            self._here.value = previous
+
+
+_WORLD = _LocaleWorld()
+
+
+def set_num_locales(n: int) -> list[Locale]:
+    """Reconfigure the simulated machine to ``n`` locales.
+
+    Returns the new ``Locales`` list. Arrays created before the call
+    keep their old locale objects, so reconfigure before building
+    distributed data (as a real launcher would).
+    """
+    return _WORLD.set_num_locales(n)
+
+
+def locales() -> list[Locale]:
+    """The global ``Locales`` array."""
+    return _WORLD.locales
+
+
+def here() -> Locale:
+    """The locale the current task is executing on."""
+    return _WORLD.here
+
+
+def on(locale: Locale):
+    """Context manager: run the body on ``locale`` (the on-statement).
+
+    >>> set_num_locales(2)[1] is locales()[1]
+    True
+    >>> with on(locales()[1]):
+    ...     here().id
+    1
+    """
+    return _WORLD.on(locale)

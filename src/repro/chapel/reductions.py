@@ -1,0 +1,87 @@
+"""Reduce intents for forall loops — Chapel's ``with (+ reduce x)``.
+
+A distributed ``forall`` frequently ends in a reduction (the heat
+solver's energy norm, a residual check). Chapel spells it
+``forall i in D with (+ reduce acc)``; here it is
+:func:`forall_reduce`, which evaluates a per-index term and folds
+per-locale partials in locale order — deterministic, like every other
+reduction in this library.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.chapel.domains import BlockDomain, Domain
+from repro.chapel.locales import on
+from repro.chapel.parallel import _run_tasks
+
+__all__ = ["forall_reduce"]
+
+
+def forall_reduce(
+    space: Domain | range | int,
+    term: Callable[[int], Any],
+    op: Callable[[Any, Any], Any],
+    *,
+    identity: Any = None,
+    num_tasks: int | None = None,
+) -> Any:
+    """Fold ``term(i)`` over an index space with ``op``.
+
+    Over a :class:`BlockDomain`, one task per locale computes its chunk's
+    partial *on that locale*; partials merge in locale order. Over a
+    plain range, the space splits into ``num_tasks`` blocks.
+
+    ``identity`` seeds the fold when provided; otherwise the first
+    partial starts it (so ``op`` need not have a neutral element).
+    """
+    if isinstance(space, BlockDomain):
+        def locale_partial(locale_index: int) -> Callable[[], Any]:
+            def run() -> Any:
+                sub = space.local_subdomain(locale_index)
+                with on(space.target_locales[locale_index]):
+                    acc = None
+                    for i in sub.indices():
+                        value = term(i)
+                        acc = value if acc is None else op(acc, value)
+                    return acc
+            return run
+
+        partials = _run_tasks([locale_partial(li) for li in range(space.num_locales)])
+    else:
+        from repro.util.partition import block_bounds
+
+        if isinstance(space, Domain):
+            indices: range = space.indices()
+        elif isinstance(space, int):
+            indices = range(space)
+        else:
+            indices = space
+        tasks = num_tasks or 4
+        n = len(indices)
+
+        def block_partial(t: int) -> Callable[[], Any]:
+            def run() -> Any:
+                lo, hi = block_bounds(n, tasks, t)
+                acc = None
+                for k in range(lo, hi):
+                    value = term(indices[k])
+                    acc = value if acc is None else op(acc, value)
+                return acc
+            return run
+
+        partials = _run_tasks([block_partial(t) for t in range(min(tasks, max(n, 1)))])
+
+    acc = identity
+    for part in partials:
+        if part is None:
+            continue
+        acc = part if acc is None else op(acc, part)
+    if acc is None:
+        if identity is None:
+            raise ValueError("reduction over an empty space needs an identity")
+        return identity
+    return acc

@@ -1,0 +1,31 @@
+"""The Peachy Parallel Assignments catalog and evaluation harness.
+
+The paper's "primary contribution" is the curated set of six
+assignments plus the criteria they were selected under. This package
+makes that catalog a first-class object:
+
+- :mod:`repro.core.assignment` — machine-readable metadata for each
+  assignment (section, title, PDC concepts, programming models, course
+  context, and the modules of this library that implement it), plus the
+  selection criteria (tested / adoptable / cool);
+- :mod:`repro.core.speedup` — the scaling-study runner the assignments
+  ask students to perform ("obtain speedup", "compare performance").
+"""
+
+from repro.core.assignment import (
+    ASSIGNMENTS,
+    Assignment,
+    SelectionCriteria,
+    get_assignment,
+    list_assignments,
+)
+from repro.core.speedup import run_scaling_study
+
+__all__ = [
+    "Assignment",
+    "SelectionCriteria",
+    "ASSIGNMENTS",
+    "get_assignment",
+    "list_assignments",
+    "run_scaling_study",
+]

@@ -1,0 +1,160 @@
+"""Machine-readable catalog of the six EduHPC 2023 Peachy assignments.
+
+Peachy Parallel Assignments are selected for being *Tested* (used with
+real students), *Adoptable* (complete enough for other instructors), and
+*Cool and Inspirational*. Each entry records the paper section, the PDC
+concepts exercised, the programming models involved, the original course
+context, and — specific to this reproduction — which subpackages
+implement it and which benchmarks regenerate its evidence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["SelectionCriteria", "Assignment", "ASSIGNMENTS", "get_assignment", "list_assignments"]
+
+
+@dataclass(frozen=True)
+class SelectionCriteria:
+    """The three Peachy selection criteria, as recorded facts."""
+
+    tested_with_students: bool
+    adoptable: bool
+    cool_and_inspirational: bool
+
+    @property
+    def is_peachy(self) -> bool:
+        """All three criteria hold (a requirement for selection)."""
+        return self.tested_with_students and self.adoptable and self.cool_and_inspirational
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """One catalog entry."""
+
+    key: str
+    section: int
+    title: str
+    concepts: tuple[str, ...]
+    programming_models: tuple[str, ...]
+    course_context: str
+    modules: tuple[str, ...]
+    benchmarks: tuple[str, ...]
+    criteria: SelectionCriteria = field(
+        default_factory=lambda: SelectionCriteria(True, True, True)
+    )
+
+
+ASSIGNMENTS: dict[str, Assignment] = {
+    a.key: a
+    for a in [
+        Assignment(
+            key="knn",
+            section=2,
+            title="k-Nearest Neighbor classification with MapReduce-MPI",
+            concepts=(
+                "MapReduce",
+                "parallel IO",
+                "load balancing through hashing",
+                "local reductions / communication cost",
+                "heap-based top-k selection",
+            ),
+            programming_models=("MapReduce-MPI", "MPI"),
+            course_context="UNC Charlotte ITCS 3145/5145 (undergrad + MS parallel computing)",
+            modules=("repro.knn", "repro.mapreduce", "repro.mpi"),
+            benchmarks=("test_knn_scaling", "test_knn_mapreduce", "test_wordcount"),
+        ),
+        Assignment(
+            key="kmeans",
+            section=3,
+            title="K-means clustering in OpenMP, MPI, and CUDA/OpenCL",
+            concepts=(
+                "race conditions",
+                "critical sections",
+                "atomic operations",
+                "reductions",
+                "collective communication",
+                "load balance and cache effects",
+            ),
+            programming_models=("OpenMP", "MPI", "CUDA/OpenCL"),
+            course_context="University of Valladolid, 3rd-year Computer Engineering elective",
+            modules=("repro.kmeans", "repro.openmp", "repro.mpi"),
+            benchmarks=("test_fig1_kmeans_clustering", "test_kmeans_models"),
+        ),
+        Assignment(
+            key="pipeline",
+            section=4,
+            title="Program your favorite data science pipeline",
+            concepts=(
+                "data parallelism",
+                "distributed file systems",
+                "job scheduling and resource management",
+                "data analysis workflow design",
+            ),
+            programming_models=("Spark", "MapReduce/Hadoop"),
+            course_context="FSU Jena, Computational & Data Science MSc, 3-week team project",
+            modules=("repro.pipeline", "repro.spark"),
+            benchmarks=("test_fig2_nyc_pipeline", "test_tab1_survey"),
+        ),
+        Assignment(
+            key="traffic",
+            section=5,
+            title="Parallelizing the Nagel-Schreckenberg traffic model reproducibly",
+            concepts=(
+                "pseudo-random number generation in parallel",
+                "reproducibility",
+                "fast-forwarding generator state",
+                "shared-memory parallelization",
+            ),
+            programming_models=("OpenMP",),
+            course_context="University of Toronto PHY1610 Scientific Computing for Physicists",
+            modules=("repro.traffic", "repro.rng", "repro.openmp"),
+            benchmarks=("test_fig3_traffic_spacetime", "test_traffic_reproducible"),
+        ),
+        Assignment(
+            key="heat",
+            section=6,
+            title="1D heat equation in Chapel: forall vs coforall",
+            concepts=(
+                "distributed domains and Block distribution",
+                "implicit vs explicit communication",
+                "task creation overhead",
+                "halo exchange and barriers",
+            ),
+            programming_models=("Chapel",),
+            course_context="HPE/Chapel outreach; students with Python/Matlab background",
+            modules=("repro.heat", "repro.chapel"),
+            benchmarks=("test_heat_solvers",),
+        ),
+        Assignment(
+            key="hpo",
+            section=7,
+            title="Hyper-parameter optimization with deep-ensemble uncertainty",
+            concepts=(
+                "distributing independent tasks when nodes do not divide tasks",
+                "ensemble aggregation",
+                "uncertainty estimation",
+            ),
+            programming_models=("MPI4Py",),
+            course_context="CalPoly undergraduate Distributed Computing (no ML prerequisite)",
+            modules=("repro.hpo", "repro.mpi"),
+            benchmarks=("test_fig4_uncertainty", "test_hpo_distribution"),
+        ),
+    ]
+}
+
+
+def get_assignment(key: str) -> Assignment:
+    """Catalog lookup; raises KeyError with the available keys on miss."""
+    try:
+        return ASSIGNMENTS[key]
+    except KeyError:
+        raise KeyError(
+            f"unknown assignment {key!r}; available: {sorted(ASSIGNMENTS)}"
+        ) from None
+
+
+def list_assignments() -> list[Assignment]:
+    """All assignments, ordered by paper section."""
+    return sorted(ASSIGNMENTS.values(), key=lambda a: a.section)

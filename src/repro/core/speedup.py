@@ -1,0 +1,49 @@
+"""Scaling-study runner for the "obtain speedup" deliverables.
+
+Each parallel assignment asks students to measure wall-clock time as a
+function of worker count and report speedup/efficiency.
+:func:`run_scaling_study` standardizes that: a factory mapping a worker
+count to a no-argument callable, measured best-of-``repeats`` at every
+requested count, returned as a :class:`repro.util.ScalingStudy`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+from repro.util.timing import ScalingStudy, time_call
+
+__all__ = ["run_scaling_study"]
+
+
+def run_scaling_study(
+    name: str,
+    worker_counts: Sequence[int],
+    make_task: Callable[[int], Callable[[], Any]],
+    *,
+    repeats: int = 3,
+    verify: Callable[[Any, Any], bool] | None = None,
+) -> ScalingStudy:
+    """Time ``make_task(w)()`` for every ``w`` in ``worker_counts``.
+
+    ``verify(baseline_result, result)``, if given, is called for every
+    non-baseline worker count and must return True — catching the
+    classic student bug of a parallel version that is fast because it is
+    wrong. Raises ``AssertionError`` on mismatch.
+    """
+    if not worker_counts:
+        raise ValueError("worker_counts must be non-empty")
+    study = ScalingStudy(name)
+    baseline_result: Any = None
+    first = True
+    for workers in worker_counts:
+        seconds, result = time_call(make_task(workers), repeats=repeats)
+        study.record(workers, seconds)
+        if first:
+            baseline_result = result
+            first = False
+        elif verify is not None and not verify(baseline_result, result):
+            raise AssertionError(
+                f"{name}: result at {workers} workers differs from baseline"
+            )
+    return study

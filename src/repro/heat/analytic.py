@@ -1,0 +1,52 @@
+"""Exact solutions for verifying the discrete solvers.
+
+The explicit stencil is linear, so its eigenmodes are known in closed
+form: on n points with zero boundaries, the mode sin(kπ·j/(n−1)) decays
+by the factor
+
+    λ_k = 1 − 4 α sin²(k π / (2 (n − 1)))
+
+per step. A solver that is *exactly* the discrete scheme must match
+λ_k^t · sin(kπ j/(n−1)) to rounding error — a much sharper check than
+comparing against the continuous PDE solution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.validation import require_nonnegative_int, require_positive_int
+
+__all__ = ["sine_initial_condition", "discrete_sine_solution", "steady_state", "decay_factor"]
+
+
+def sine_initial_condition(n: int, mode: int = 1) -> np.ndarray:
+    """sin(mode·π·x) sampled on n points of [0, 1]; zero at both ends."""
+    require_positive_int("n", n)
+    require_positive_int("mode", mode)
+    x = np.linspace(0.0, 1.0, n)
+    u = np.sin(mode * np.pi * x)
+    u[0] = 0.0
+    u[-1] = 0.0
+    return u
+
+
+def decay_factor(n: int, alpha: float, mode: int = 1) -> float:
+    """Per-step amplitude factor λ of the given eigenmode."""
+    require_positive_int("n", n)
+    return 1.0 - 4.0 * alpha * np.sin(mode * np.pi / (2 * (n - 1))) ** 2
+
+
+def discrete_sine_solution(n: int, alpha: float, num_steps: int, mode: int = 1) -> np.ndarray:
+    """The exact state of the discrete scheme after ``num_steps`` steps
+    from :func:`sine_initial_condition`."""
+    require_nonnegative_int("num_steps", num_steps)
+    lam = decay_factor(n, alpha, mode)
+    return lam**num_steps * sine_initial_condition(n, mode)
+
+
+def steady_state(n: int, left: float, right: float) -> np.ndarray:
+    """The long-time limit with Dirichlet values ``left``/``right``: the
+    linear profile between them."""
+    require_positive_int("n", n)
+    return np.linspace(left, right, n)

@@ -1,0 +1,80 @@
+"""Grid-convergence studies for the heat solvers.
+
+A standard scientific-computing verification (and a natural extension
+exercise for the §6 assignment): solve the same physical problem on
+finer and finer grids and confirm the error against the continuous
+solution shrinks at the scheme's theoretical order — O(Δx²) in space
+for the centered stencil, at fixed diffusion number α.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.heat.serial import check_alpha, solve_serial
+from repro.util.validation import require_positive_int
+
+__all__ = ["continuous_sine_solution", "convergence_study", "observed_order"]
+
+
+def continuous_sine_solution(n: int, alpha: float, num_steps: int, mode: int = 1) -> np.ndarray:
+    """The continuous PDE's solution sampled on the grid.
+
+    With compound coefficient α = D·Δt/Δx² fixed, ``num_steps`` steps on
+    an ``n``-point grid correspond to physical time
+    T = num_steps·α·Δx² (in units where D = 1), and
+    u(x, T) = sin(mπx)·exp(−(mπ)²·T).
+    """
+    require_positive_int("n", n)
+    alpha = check_alpha(alpha)
+    dx = 1.0 / (n - 1)
+    physical_time = num_steps * alpha * dx * dx
+    x = np.linspace(0.0, 1.0, n)
+    return np.sin(mode * np.pi * x) * np.exp(-((mode * np.pi) ** 2) * physical_time)
+
+
+def convergence_study(
+    grid_sizes: list[int],
+    alpha: float = 0.25,
+    *,
+    physical_time: float = 0.05,
+    mode: int = 1,
+) -> list[tuple[int, float]]:
+    """(n, max-error vs continuous solution) at a fixed physical time.
+
+    Each grid chooses its step count so all runs reach the same
+    physical time: steps = T / (α·Δx²) — so refining the grid also
+    refines the time step, and the leading error is the O(Δx²) spatial
+    term.
+    """
+    if not grid_sizes:
+        raise ValueError("grid_sizes must be non-empty")
+    alpha = check_alpha(alpha)
+    out = []
+    for n in sorted(set(grid_sizes)):
+        require_positive_int("n", n)
+        if n < 4:
+            raise ValueError("grids need at least 4 points")
+        dx = 1.0 / (n - 1)
+        steps = max(1, int(round(physical_time / (alpha * dx * dx))))
+        x = np.linspace(0.0, 1.0, n)
+        u0 = np.sin(mode * np.pi * x)
+        u0[0] = u0[-1] = 0.0
+        numeric, _ = solve_serial(u0, alpha, steps)
+        exact = continuous_sine_solution(n, alpha, steps, mode)
+        out.append((n, float(np.abs(numeric - exact).max())))
+    return out
+
+
+def observed_order(study: list[tuple[int, float]]) -> float:
+    """Least-squares slope of log(error) vs log(Δx) — the observed order.
+
+    ≈2 for this scheme (the centered second difference), the number the
+    verification exercise asks students to produce.
+    """
+    if len(study) < 2:
+        raise ValueError("need at least two grid sizes")
+    log_dx = np.log([1.0 / (n - 1) for n, _ in study])
+    log_err = np.log([max(err, 1e-300) for _, err in study])
+    slope, _ = np.polyfit(log_dx, log_err, 1)
+    return float(slope)

@@ -1,0 +1,87 @@
+"""Part 1: the distributed ``forall`` solver over a Block domain.
+
+The student converts ``Example1.chpl`` by declaring the arrays over a
+``Block``-distributed domain; the per-step ``forall`` then runs each
+locale's chunk on its locale. The upside is brevity; the downsides the
+assignment wants noticed are
+
+- a fresh task team is created and destroyed **every time step**
+  (counted in ``stats.task_spawns``), and
+- the stencil reads the neighbours of chunk-edge points from *other*
+  locales implicitly (counted in ``stats.remote_gets``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.chapel import BlockArray, BlockDist, coforall, here, on
+from repro.chapel.locales import Locale
+from repro.heat.serial import HeatStats, check_alpha
+from repro.util.validation import require_nonnegative_int
+
+__all__ = ["solve_forall"]
+
+
+def solve_forall(
+    u0: np.ndarray,
+    alpha: float,
+    num_steps: int,
+    target_locales: list[Locale],
+    *,
+    elementwise: bool = False,
+) -> tuple[np.ndarray, HeatStats]:
+    """Distributed forall solver; bitwise-equal to :func:`solve_serial`.
+
+    ``elementwise=True`` runs the literal per-index loop (every boundary
+    read individually counted — instructive, slow); the default pulls
+    each locale's chunk plus one halo cell per side with a bulk
+    ``get_slice`` and computes vectorized, the way a tuned Chapel
+    program leans on bulk array operations.
+    """
+    alpha = check_alpha(alpha)
+    require_nonnegative_int("num_steps", num_steps)
+    u0 = np.asarray(u0, dtype=float)
+    if u0.ndim != 1 or u0.size < 3:
+        raise ValueError("u0 must be 1-D with at least 3 points")
+    for loc in target_locales:
+        loc.reset_counters()
+
+    n = u0.size
+    dom = BlockDist.create_domain(n, target_locales)
+    u = BlockArray(dom)
+    un = BlockArray(dom)
+    u.fill_from(u0)
+    un.fill_from(u0)
+    stats = HeatStats()
+
+    def step_chunk(locale_index: int) -> None:
+        # The task the forall runs for one locale: update the
+        # interior points of this locale's chunk.
+        with on(dom.target_locales[locale_index]):
+            sub = dom.local_subdomain(locale_index)
+            lo = max(sub.low, 1)
+            hi = min(sub.high, n - 1)
+            if lo >= hi:
+                return
+            if elementwise:
+                for i in range(lo, hi):
+                    un[i] = u[i] + alpha * (u[i - 1] - 2.0 * u[i] + u[i + 1])
+            else:
+                window = u.get_slice(lo - 1, hi + 1)  # halo reads counted
+                out = un.local_view(locale_index)
+                base = sub.low
+                out[lo - base : hi - base] = window[1:-1] + alpha * (
+                    window[:-2] - 2.0 * window[1:-1] + window[2:]
+                )
+
+    for _ in range(num_steps):
+        u.swap_with(un)                       # 4.1 swap (O(1))
+        # forall over the distributed domain: one task per locale,
+        # created now and joined at the end of the statement.
+        coforall(range(dom.num_locales), step_chunk)
+        stats.task_spawns += dom.num_locales
+
+    stats.remote_gets = sum(loc.remote_gets for loc in target_locales)
+    stats.remote_puts = sum(loc.remote_puts for loc in target_locales)
+    return un.to_numpy(), stats

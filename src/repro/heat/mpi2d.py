@@ -1,0 +1,165 @@
+"""2-D heat equation over an MPI Cartesian grid — the distribution exercise.
+
+The Chapel assignment is deliberately 1-D; its natural follow-on (and
+the reason :class:`repro.mpi.CartComm` exists) is the 2-D version:
+partition the plate over a 2-D process grid, exchange four halo edges
+per step, and verify bitwise agreement with the serial stencil.
+
+Five-point explicit scheme with Dirichlet boundaries::
+
+    u' = u + alpha * (u[N] + u[S] + u[E] + u[W] - 4 u)
+
+stable for alpha ≤ 0.25.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mpi import Communicator, run_spmd
+from repro.mpi.topology import CartComm, dims_create
+from repro.util.partition import block_bounds
+from repro.util.validation import require_nonnegative_int
+
+__all__ = ["solve_serial_2d", "solve_mpi_2d", "run_mpi_2d"]
+
+
+def _check_alpha_2d(alpha: float) -> float:
+    if not 0.0 < alpha <= 0.25:
+        raise ValueError(
+            f"alpha must be in (0, 0.25] for a stable 2-D explicit scheme, got {alpha}"
+        )
+    return float(alpha)
+
+
+def solve_serial_2d(u0: np.ndarray, alpha: float, num_steps: int) -> np.ndarray:
+    """Serial reference: evolve a 2-D field with fixed boundaries."""
+    alpha = _check_alpha_2d(alpha)
+    require_nonnegative_int("num_steps", num_steps)
+    u = np.asarray(u0, dtype=float).copy()
+    if u.ndim != 2 or min(u.shape) < 3:
+        raise ValueError("u0 must be 2-D with at least 3 points per axis")
+    un = u.copy()
+    for _ in range(num_steps):
+        u, un = un, u
+        un[1:-1, 1:-1] = u[1:-1, 1:-1] + alpha * (
+            u[:-2, 1:-1] + u[2:, 1:-1] + u[1:-1, :-2] + u[1:-1, 2:] - 4.0 * u[1:-1, 1:-1]
+        )
+    return un
+
+
+def solve_mpi_2d(
+    comm: Communicator, u0: np.ndarray, alpha: float, num_steps: int
+) -> np.ndarray:
+    """SPMD rank body: 2-D block decomposition with 4-way halo exchange.
+
+    ``u0`` is the full field, identical on every rank (the SPMD shared-
+    input convention). Returns this rank's final block; the launcher
+    reassembles. Bitwise-equal to :func:`solve_serial_2d`.
+    """
+    alpha = _check_alpha_2d(alpha)
+    require_nonnegative_int("num_steps", num_steps)
+    u0 = np.asarray(u0, dtype=float)
+    rows, cols = u0.shape
+
+    pr, pc = dims_create(comm.size, 2)
+    cart = CartComm(comm, dims=[pr, pc], periods=[False, False])
+    my_r, my_c = cart.coords
+    rlo, rhi = block_bounds(rows, pr, my_r)
+    clo, chi = block_bounds(cols, pc, my_c)
+
+    # Local block with a one-cell halo ring.
+    local = np.zeros((rhi - rlo + 2, chi - clo + 2))
+    local[1:-1, 1:-1] = u0[rlo:rhi, clo:chi]
+    # Seed halos from the initial field (interior neighbours will refresh
+    # them each step; physical-boundary halos stay unused).
+    if rlo > 0:
+        local[0, 1:-1] = u0[rlo - 1, clo:chi]
+    if rhi < rows:
+        local[-1, 1:-1] = u0[rhi, clo:chi]
+    if clo > 0:
+        local[1:-1, 0] = u0[rlo:rhi, clo - 1]
+    if chi < cols:
+        local[1:-1, -1] = u0[rlo:rhi, chi]
+    local_n = local.copy()
+
+    # Explicit neighbour ranks (None at the plate edge).
+    def neighbour(dr: int, dc: int) -> int | None:
+        r, c = my_r + dr, my_c + dc
+        if 0 <= r < pr and 0 <= c < pc:
+            return cart.rank_of([r, c])
+        return None
+
+    up = neighbour(-1, 0)
+    down = neighbour(1, 0)
+    left = neighbour(0, -1)
+    right = neighbour(0, 1)
+
+    for _ in range(num_steps):
+        local, local_n = local_n, local
+        # Interior update, clipped to the global interior (Dirichlet edges fixed).
+        glo_r = max(rlo, 1)
+        ghi_r = min(rhi, rows - 1)
+        glo_c = max(clo, 1)
+        ghi_c = min(chi, cols - 1)
+        if glo_r < ghi_r and glo_c < ghi_c:
+            a = glo_r - rlo + 1
+            b = ghi_r - rlo + 1
+            c = glo_c - clo + 1
+            d = ghi_c - clo + 1
+            local_n[a:b, c:d] = local[a:b, c:d] + alpha * (
+                local[a - 1 : b - 1, c:d]
+                + local[a + 1 : b + 1, c:d]
+                + local[a:b, c - 1 : d - 1]
+                + local[a:b, c + 1 : d + 1]
+                - 4.0 * local[a:b, c:d]
+            )
+        # Dirichlet cells inside this block keep their values.
+        if rlo == 0:
+            local_n[1, 1:-1] = local[1, 1:-1]
+        if rhi == rows:
+            local_n[-2, 1:-1] = local[-2, 1:-1]
+        if clo == 0:
+            local_n[1:-1, 1] = local[1:-1, 1]
+        if chi == cols:
+            local_n[1:-1, -2] = local[1:-1, -2]
+
+        # Four-way halo exchange. Sends are buffered, so posting all
+        # sends before any receive is deadlock-free. Tag = direction the
+        # payload travels: my top row goes UP (tag 10), and I fill my
+        # bottom halo with the tag-10 row arriving from DOWN, etc.
+        if up is not None:
+            comm.send(local_n[1, 1:-1].copy(), dest=up, tag=10)
+        if down is not None:
+            comm.send(local_n[-2, 1:-1].copy(), dest=down, tag=11)
+        if left is not None:
+            comm.send(local_n[1:-1, 1].copy(), dest=left, tag=12)
+        if right is not None:
+            comm.send(local_n[1:-1, -2].copy(), dest=right, tag=13)
+        if down is not None:
+            local_n[-1, 1:-1] = comm.recv(source=down, tag=10)
+        if up is not None:
+            local_n[0, 1:-1] = comm.recv(source=up, tag=11)
+        if right is not None:
+            local_n[1:-1, -1] = comm.recv(source=right, tag=12)
+        if left is not None:
+            local_n[1:-1, 0] = comm.recv(source=left, tag=13)
+
+    return local_n[1:-1, 1:-1].copy()
+
+
+def run_mpi_2d(
+    num_ranks: int, u0: np.ndarray, alpha: float, num_steps: int
+) -> np.ndarray:
+    """Launcher: distributed 2-D solve, reassembled to the full field."""
+    u0 = np.asarray(u0, dtype=float)
+    rows, cols = u0.shape
+    blocks = run_spmd(num_ranks, solve_mpi_2d, u0, alpha, num_steps)
+    pr, pc = dims_create(num_ranks, 2)
+    out = np.empty_like(u0)
+    for rank, block in enumerate(blocks):
+        my_r, my_c = divmod(rank, pc)
+        rlo, rhi = block_bounds(rows, pr, my_r)
+        clo, chi = block_bounds(cols, pc, my_c)
+        out[rlo:rhi, clo:chi] = block
+    return out

@@ -1,0 +1,64 @@
+"""Serial reference solver (Example1.chpl before any distribution).
+
+The algorithm exactly as the assignment states it:
+
+1. Ω = the n discrete points; Ω̂ = Ω without the two boundary points;
+2. array ``u`` over Ω with initial conditions;
+3. temporary copy ``un``;
+4. per step: swap u ↔ un, then compute un over Ω̂ from u.
+
+Stability of the explicit scheme requires α ≤ 0.5 (α here is the
+compound coefficient α·Δt/Δx²); the solvers validate that so students
+hit a clear error instead of a blow-up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.util.validation import require_nonnegative_int
+
+__all__ = ["HeatStats", "solve_serial", "check_alpha"]
+
+
+@dataclass
+class HeatStats:
+    """Execution accounting the heat benchmarks compare across solvers."""
+
+    #: Total tasks spawned over the whole run (forall re-spawns per step).
+    task_spawns: int = 0
+    #: Remote element reads (implicit, fine-grained communication).
+    remote_gets: int = 0
+    #: Remote element writes.
+    remote_puts: int = 0
+    #: Barrier waits executed per task (explicit synchronization).
+    barrier_waits: int = 0
+    extra: dict = field(default_factory=dict)
+
+
+def check_alpha(alpha: float) -> float:
+    """Validate the compound diffusion coefficient for explicit stability."""
+    if not 0.0 < alpha <= 0.5:
+        raise ValueError(
+            f"alpha must be in (0, 0.5] for a stable explicit scheme, got {alpha}"
+        )
+    return float(alpha)
+
+
+def solve_serial(u0: np.ndarray, alpha: float, num_steps: int) -> tuple[np.ndarray, HeatStats]:
+    """Evolve ``u0`` for ``num_steps`` with fixed (Dirichlet) boundaries.
+
+    Returns (final_u, stats). ``u0`` is not mutated.
+    """
+    alpha = check_alpha(alpha)
+    require_nonnegative_int("num_steps", num_steps)
+    u = np.asarray(u0, dtype=float).copy()
+    if u.ndim != 1 or u.size < 3:
+        raise ValueError("u0 must be 1-D with at least 3 points")
+    un = u.copy()
+    for _ in range(num_steps):
+        u, un = un, u                                   # 4.1 swap
+        un[1:-1] = u[1:-1] + alpha * (u[:-2] - 2.0 * u[1:-1] + u[2:])  # 4.2 stencil
+    return un, HeatStats(task_spawns=0)

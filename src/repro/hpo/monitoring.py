@@ -1,0 +1,91 @@
+"""Periodic accuracy monitoring — the other half of the §7 variation.
+
+"Interesting variations … include adding the ability to check the
+accuracy of the model at regular intervals." :class:`AccuracyMonitor`
+plugs into :meth:`MLP.fit`'s ``monitor`` hook, records a learning curve,
+and can stop training early when validation accuracy stalls — the
+mechanism the elimination tournament builds on, here exposed for a
+single model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.hpo.nn.network import MLP
+from repro.util.validation import require_positive_int
+
+__all__ = ["AccuracyMonitor", "StopTraining", "learning_curve"]
+
+
+class StopTraining(Exception):
+    """Raised by a monitor to end training early (caught by the helpers)."""
+
+
+@dataclass
+class AccuracyMonitor:
+    """Evaluates held-out accuracy every ``interval`` epochs.
+
+    With ``patience`` set, raises :class:`StopTraining` once the best
+    validation accuracy has not improved for that many *checks* — early
+    stopping, the classic "reassign the resources" precursor.
+    """
+
+    val_x: np.ndarray
+    val_y: np.ndarray
+    interval: int = 1
+    patience: int | None = None
+    history: list[tuple[int, float]] = field(default_factory=list)
+    best_accuracy: float = -1.0
+    best_epoch: int = -1
+    _checks_since_best: int = 0
+
+    def __post_init__(self) -> None:
+        require_positive_int("interval", self.interval)
+        if self.patience is not None:
+            require_positive_int("patience", self.patience)
+
+    def __call__(self, epoch: int, model: MLP) -> None:
+        """The fit() hook: record (and possibly stop) at interval epochs."""
+        if (epoch + 1) % self.interval:
+            return
+        accuracy = model.accuracy(self.val_x, self.val_y)
+        self.history.append((epoch, accuracy))
+        if accuracy > self.best_accuracy:
+            self.best_accuracy = accuracy
+            self.best_epoch = epoch
+            self._checks_since_best = 0
+        else:
+            self._checks_since_best += 1
+            if self.patience is not None and self._checks_since_best >= self.patience:
+                raise StopTraining(
+                    f"no improvement for {self.patience} checks "
+                    f"(best {self.best_accuracy:.3f} at epoch {self.best_epoch})"
+                )
+
+
+def learning_curve(
+    model: MLP,
+    train_x: np.ndarray,
+    train_y: np.ndarray,
+    val_x: np.ndarray,
+    val_y: np.ndarray,
+    *,
+    epochs: int,
+    interval: int = 1,
+    patience: int | None = None,
+    **fit_kwargs,
+) -> list[tuple[int, float]]:
+    """Train with periodic validation; returns the (epoch, accuracy) curve.
+
+    Early stopping (``patience``) is absorbed here — the model keeps the
+    weights it had when training stopped.
+    """
+    monitor = AccuracyMonitor(val_x, val_y, interval=interval, patience=patience)
+    try:
+        model.fit(train_x, train_y, epochs=epochs, monitor=monitor, **fit_kwargs)
+    except StopTraining:
+        pass
+    return monitor.history

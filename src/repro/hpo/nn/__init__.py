@@ -1,0 +1,28 @@
+"""A small, deterministic, pure-numpy neural-network library.
+
+Exactly what the assignment's provided starter code is: "a simple Fully
+Connected Neural Network that classifies the MNIST handwritten digits"
+(paper §7) — dense layers, ReLU/tanh activations, softmax cross-entropy,
+mini-batch SGD (with momentum) or Adam. Everything is seeded, so a model
+trained with the same hyper-parameters and seed is bit-identical no
+matter which node trained it — the property that makes the distributed
+ensemble verifiable.
+"""
+
+from repro.hpo.nn.activations import ACTIVATIONS, Activation
+from repro.hpo.nn.layers import Dense
+from repro.hpo.nn.losses import softmax, softmax_cross_entropy
+from repro.hpo.nn.network import MLP
+from repro.hpo.nn.optimizers import SGD, Adam, Optimizer
+
+__all__ = [
+    "Activation",
+    "ACTIVATIONS",
+    "Dense",
+    "softmax",
+    "softmax_cross_entropy",
+    "SGD",
+    "Adam",
+    "Optimizer",
+    "MLP",
+]

@@ -1,0 +1,71 @@
+"""Elementwise activations with their derivatives."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["Activation", "ACTIVATIONS"]
+
+
+@dataclass(frozen=True)
+class Activation:
+    """A differentiable elementwise nonlinearity.
+
+    ``backward`` receives the *forward output* (not the input) — every
+    activation here has a derivative expressible in its output, which
+    saves caching the pre-activation.
+    """
+
+    name: str
+    forward: Callable[[np.ndarray], np.ndarray]
+    backward: Callable[[np.ndarray], np.ndarray]  # d(out)/d(in) given out
+
+
+def _relu(x: np.ndarray) -> np.ndarray:
+    return np.maximum(x, 0.0)
+
+
+def _relu_grad(out: np.ndarray) -> np.ndarray:
+    return (out > 0.0).astype(out.dtype)
+
+
+def _tanh(x: np.ndarray) -> np.ndarray:
+    return np.tanh(x)
+
+
+def _tanh_grad(out: np.ndarray) -> np.ndarray:
+    return 1.0 - out * out
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    # Split by sign for numerical stability on large |x|.
+    out = np.empty_like(x)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    ex = np.exp(x[~pos])
+    out[~pos] = ex / (1.0 + ex)
+    return out
+
+
+def _sigmoid_grad(out: np.ndarray) -> np.ndarray:
+    return out * (1.0 - out)
+
+
+def _identity(x: np.ndarray) -> np.ndarray:
+    return x
+
+
+def _identity_grad(out: np.ndarray) -> np.ndarray:
+    return np.ones_like(out)
+
+
+#: Registry of available activations by name.
+ACTIVATIONS: dict[str, Activation] = {
+    "relu": Activation("relu", _relu, _relu_grad),
+    "tanh": Activation("tanh", _tanh, _tanh_grad),
+    "sigmoid": Activation("sigmoid", _sigmoid, _sigmoid_grad),
+    "identity": Activation("identity", _identity, _identity_grad),
+}

@@ -1,0 +1,61 @@
+"""Dense (fully-connected) layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hpo.nn.activations import ACTIVATIONS, Activation
+
+__all__ = ["Dense"]
+
+
+class Dense:
+    """``y = act(x @ W + b)`` with cached activations for backprop.
+
+    Weights use He initialization scaled for the fan-in, drawn from the
+    provided generator so construction order fully determines the
+    parameters.
+    """
+
+    def __init__(
+        self, in_features: int, out_features: int, activation: str, rng: np.random.Generator
+    ) -> None:
+        if in_features < 1 or out_features < 1:
+            raise ValueError("layer dimensions must be >= 1")
+        if activation not in ACTIVATIONS:
+            raise ValueError(
+                f"unknown activation {activation!r}; available: {sorted(ACTIVATIONS)}"
+            )
+        self.activation: Activation = ACTIVATIONS[activation]
+        scale = np.sqrt(2.0 / in_features)
+        self.W = rng.normal(0.0, scale, size=(in_features, out_features))
+        self.b = np.zeros(out_features)
+        self.dW = np.zeros_like(self.W)
+        self.db = np.zeros_like(self.b)
+        self._x: np.ndarray | None = None
+        self._out: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, *, train: bool = False) -> np.ndarray:
+        """Layer output; caches inputs when ``train`` for the backward pass."""
+        out = self.activation.forward(x @ self.W + self.b)
+        if train:
+            self._x = x
+            self._out = out
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Given dL/d(out), stores dL/dW and dL/db, returns dL/d(x)."""
+        if self._x is None or self._out is None:
+            raise RuntimeError("backward() requires a prior forward(train=True)")
+        grad_pre = grad_out * self.activation.backward(self._out)
+        self.dW = self._x.T @ grad_pre
+        self.db = grad_pre.sum(axis=0)
+        return grad_pre @ self.W.T
+
+    def parameters(self) -> list[np.ndarray]:
+        """Mutable parameter arrays, in a fixed order."""
+        return [self.W, self.b]
+
+    def gradients(self) -> list[np.ndarray]:
+        """Gradients matching :meth:`parameters` order."""
+        return [self.dW, self.db]

@@ -1,0 +1,48 @@
+"""Softmax and the fused softmax cross-entropy loss."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["softmax", "softmax_cross_entropy", "one_hot"]
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Row-wise stable softmax: probabilities summing to 1 per row."""
+    logits = np.asarray(logits, dtype=float)
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    e = np.exp(shifted)
+    return e / e.sum(axis=-1, keepdims=True)
+
+
+def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """(n, num_classes) indicator matrix for integer labels."""
+    labels = np.asarray(labels)
+    if labels.min() < 0 or labels.max() >= num_classes:
+        raise ValueError(f"labels must be in [0, {num_classes}), got range "
+                         f"[{labels.min()}, {labels.max()}]")
+    out = np.zeros((labels.shape[0], num_classes))
+    out[np.arange(labels.shape[0]), labels] = 1.0
+    return out
+
+
+def softmax_cross_entropy(
+    logits: np.ndarray, labels: np.ndarray
+) -> tuple[float, np.ndarray]:
+    """Mean cross-entropy of softmax(logits) vs integer labels, and the
+    gradient w.r.t. the logits.
+
+    Fusing the two keeps the gradient the famously simple
+    ``(probs − onehot) / n`` and avoids the log-of-small-number hazard.
+    """
+    logits = np.asarray(logits, dtype=float)
+    labels = np.asarray(labels)
+    n, c = logits.shape
+    if labels.shape != (n,):
+        raise ValueError(f"labels must be shape ({n},), got {labels.shape}")
+    probs = softmax(logits)
+    picked = probs[np.arange(n), labels]
+    loss = float(-np.log(np.maximum(picked, 1e-300)).mean())
+    grad = probs.copy()
+    grad[np.arange(n), labels] -= 1.0
+    return loss, grad / n

@@ -1,0 +1,129 @@
+"""The fully-connected classifier (the assignment's starter model)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hpo.nn.layers import Dense
+from repro.hpo.nn.losses import softmax, softmax_cross_entropy
+from repro.hpo.nn.optimizers import SGD, Optimizer
+
+__all__ = ["MLP"]
+
+
+class MLP:
+    """Multi-layer perceptron for classification.
+
+    ``layer_sizes`` includes input and output sizes, e.g. ``(64, 32, 10)``
+    for 8×8 digits → one hidden layer of 32 → 10 classes. Hidden layers
+    use ``activation``; the output layer is linear (softmax lives in the
+    loss).
+
+    Given the same sizes, seed, data, and optimizer settings, training is
+    fully deterministic — the distributed driver relies on that.
+    """
+
+    def __init__(
+        self, layer_sizes: tuple[int, ...], activation: str = "relu", seed: int = 0
+    ) -> None:
+        if len(layer_sizes) < 2:
+            raise ValueError("need at least input and output sizes")
+        self.layer_sizes = tuple(int(s) for s in layer_sizes)
+        self.seed = seed
+        rng = np.random.default_rng(seed)
+        self.layers: list[Dense] = []
+        for i in range(len(layer_sizes) - 1):
+            act = activation if i < len(layer_sizes) - 2 else "identity"
+            self.layers.append(Dense(layer_sizes[i], layer_sizes[i + 1], act, rng))
+        self.loss_history: list[float] = []
+
+    # ------------------------------------------------------------------
+    def logits(self, x: np.ndarray, *, train: bool = False) -> np.ndarray:
+        """Raw class scores."""
+        x = np.asarray(x, dtype=float)
+        if x.ndim != 2 or x.shape[1] != self.layer_sizes[0]:
+            raise ValueError(
+                f"inputs must be (n, {self.layer_sizes[0]}), got {x.shape}"
+            )
+        for layer in self.layers:
+            x = layer.forward(x, train=train)
+        return x
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        """Softmax class probabilities per row."""
+        return softmax(self.logits(x))
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Most probable class per row."""
+        return np.argmax(self.logits(x), axis=1)
+
+    def accuracy(self, x: np.ndarray, y: np.ndarray) -> float:
+        """Fraction of rows classified correctly."""
+        return float(np.mean(self.predict(x) == np.asarray(y)))
+
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        *,
+        epochs: int = 10,
+        batch_size: int = 32,
+        optimizer: Optimizer | None = None,
+        shuffle_seed: int | None = None,
+        monitor=None,
+    ) -> "MLP":
+        """Mini-batch training with softmax cross-entropy.
+
+        Shuffling uses ``shuffle_seed`` (default: the model's seed) so
+        runs are repeatable. Appends per-epoch mean loss to
+        ``loss_history``. ``monitor(epoch_index, model)``, if given, is
+        called after every epoch — the hook behind the §7 variation of
+        "checking the accuracy of the model at regular intervals".
+        Returns self.
+        """
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y)
+        if epochs < 1 or batch_size < 1:
+            raise ValueError("epochs and batch_size must be >= 1")
+        if y.shape != (x.shape[0],):
+            raise ValueError("y must be one label per row of x")
+        opt = optimizer or SGD(lr=0.1, momentum=0.9)
+        shuffle_rng = np.random.default_rng(
+            self.seed if shuffle_seed is None else shuffle_seed
+        )
+        n = x.shape[0]
+        for epoch in range(epochs):
+            order = shuffle_rng.permutation(n)
+            epoch_loss = 0.0
+            batches = 0
+            for lo in range(0, n, batch_size):
+                idx = order[lo : lo + batch_size]
+                logits = self.logits(x[idx], train=True)
+                loss, grad = softmax_cross_entropy(logits, y[idx])
+                for layer in reversed(self.layers):
+                    grad = layer.backward(grad)
+                params = [p for layer in self.layers for p in layer.parameters()]
+                grads = [g for layer in self.layers for g in layer.gradients()]
+                opt.step(params, grads)
+                epoch_loss += loss
+                batches += 1
+            self.loss_history.append(epoch_loss / max(batches, 1))
+            if monitor is not None:
+                monitor(epoch, self)
+        return self
+
+    # ------------------------------------------------------------------
+    def get_weights(self) -> list[np.ndarray]:
+        """Copies of all parameter arrays (for shipping across ranks)."""
+        return [p.copy() for layer in self.layers for p in layer.parameters()]
+
+    def set_weights(self, weights: list[np.ndarray]) -> None:
+        """Load parameters produced by :meth:`get_weights`."""
+        params = [p for layer in self.layers for p in layer.parameters()]
+        if len(weights) != len(params):
+            raise ValueError(f"expected {len(params)} arrays, got {len(weights)}")
+        for p, w in zip(params, weights):
+            if p.shape != w.shape:
+                raise ValueError(f"shape mismatch: {p.shape} vs {w.shape}")
+            p[...] = w

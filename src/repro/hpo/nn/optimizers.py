@@ -1,0 +1,71 @@
+"""Parameter-update rules: SGD with momentum, and Adam."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Optimizer", "SGD", "Adam"]
+
+
+class Optimizer:
+    """Base: subclasses update parameter arrays in place from gradients."""
+
+    def step(self, params: list[np.ndarray], grads: list[np.ndarray]) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with classical momentum."""
+
+    def __init__(self, lr: float = 0.1, momentum: float = 0.0) -> None:
+        if lr <= 0:
+            raise ValueError(f"lr must be > 0, got {lr}")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.lr = lr
+        self.momentum = momentum
+        self._velocity: dict[int, np.ndarray] = {}
+
+    def step(self, params: list[np.ndarray], grads: list[np.ndarray]) -> None:
+        """In-place update; velocity slots keyed by parameter identity."""
+        for p, g in zip(params, grads):
+            if self.momentum:
+                v = self._velocity.setdefault(id(p), np.zeros_like(p))
+                v *= self.momentum
+                v -= self.lr * g
+                p += v
+            else:
+                p -= self.lr * g
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba) with bias correction."""
+
+    def __init__(
+        self, lr: float = 1e-3, beta1: float = 0.9, beta2: float = 0.999, eps: float = 1e-8
+    ) -> None:
+        if lr <= 0:
+            raise ValueError(f"lr must be > 0, got {lr}")
+        if not (0 <= beta1 < 1 and 0 <= beta2 < 1):
+            raise ValueError("betas must be in [0, 1)")
+        self.lr = lr
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self._m: dict[int, np.ndarray] = {}
+        self._v: dict[int, np.ndarray] = {}
+        self._t = 0
+
+    def step(self, params: list[np.ndarray], grads: list[np.ndarray]) -> None:
+        """In-place Adam update with per-parameter first/second moments."""
+        self._t += 1
+        b1t = 1.0 - self.beta1**self._t
+        b2t = 1.0 - self.beta2**self._t
+        for p, g in zip(params, grads):
+            m = self._m.setdefault(id(p), np.zeros_like(p))
+            v = self._v.setdefault(id(p), np.zeros_like(p))
+            m *= self.beta1
+            m += (1.0 - self.beta1) * g
+            v *= self.beta2
+            v += (1.0 - self.beta2) * g * g
+            p -= self.lr * (m / b1t) / (np.sqrt(v / b2t) + self.eps)

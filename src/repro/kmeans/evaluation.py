@@ -1,0 +1,113 @@
+"""Cluster-quality evaluation: elbow curves and silhouette scores.
+
+The assignment introduces K-means "with practical applications"; the
+natural student question — *how do I pick K?* — gets the two standard
+answers here:
+
+- :func:`elbow_curve` — inertia as a function of K (look for the bend);
+- :func:`silhouette_score` — mean silhouette coefficient, maximized at
+  the natural cluster count;
+- :func:`suggest_k` — the largest relative inertia drop-off heuristic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kmeans.initialization import init_kmeans_plus_plus
+from repro.kmeans.sequential import kmeans_sequential
+from repro.kmeans.termination import TerminationCriteria
+from repro.util.validation import require_positive_int
+
+__all__ = ["elbow_curve", "silhouette_score", "suggest_k"]
+
+
+def elbow_curve(
+    points: np.ndarray,
+    k_values: list[int],
+    *,
+    seed: int = 0,
+    restarts: int = 5,
+    criteria: TerminationCriteria | None = None,
+) -> list[tuple[int, float]]:
+    """(K, best-of-``restarts`` inertia) pairs, k-means++ seeded.
+
+    Lloyd's algorithm only finds local optima, so each K runs
+    ``restarts`` times from different seeds and keeps the lowest
+    inertia — without this the curve is not reliably monotone and the
+    elbow can vanish into an unlucky restart.
+    """
+    if not k_values:
+        raise ValueError("k_values must be non-empty")
+    require_positive_int("restarts", restarts)
+    points = np.asarray(points, dtype=float)
+    out = []
+    for k in sorted(set(k_values)):
+        require_positive_int("k", k)
+        best = np.inf
+        for r in range(restarts):
+            init = init_kmeans_plus_plus(points, k, seed=seed + r)
+            result = kmeans_sequential(
+                points, k, criteria=criteria, initial_centroids=init
+            )
+            best = min(best, result.inertia)
+        out.append((k, float(best)))
+    return out
+
+
+def silhouette_score(points: np.ndarray, assignments: np.ndarray) -> float:
+    """Mean silhouette coefficient over all points.
+
+    For point i with intra-cluster mean distance a(i) and smallest
+    other-cluster mean distance b(i):  s(i) = (b − a) / max(a, b).
+    Points in singleton clusters contribute 0 (the sklearn convention).
+    O(n²) distances — fine for assignment-scale data.
+    """
+    points = np.asarray(points, dtype=float)
+    assignments = np.asarray(assignments)
+    n = points.shape[0]
+    if assignments.shape != (n,):
+        raise ValueError("assignments must be one per point")
+    labels = np.unique(assignments)
+    if len(labels) < 2:
+        raise ValueError("silhouette needs at least 2 clusters")
+    d2 = (
+        np.einsum("ij,ij->i", points, points)[:, None]
+        - 2.0 * points @ points.T
+        + np.einsum("ij,ij->i", points, points)[None, :]
+    )
+    dist = np.sqrt(np.maximum(d2, 0.0))
+    scores = np.zeros(n)
+    members = {lab: np.flatnonzero(assignments == lab) for lab in labels}
+    for i in range(n):
+        own = members[assignments[i]]
+        if len(own) <= 1:
+            continue  # singleton: s(i) = 0
+        a = dist[i, own].sum() / (len(own) - 1)  # exclude self (distance 0)
+        b = min(
+            dist[i, members[lab]].mean() for lab in labels if lab != assignments[i]
+        )
+        scores[i] = (b - a) / max(a, b) if max(a, b) > 0 else 0.0
+    return float(scores.mean())
+
+
+def suggest_k(points: np.ndarray, k_max: int = 10, *, seed: int = 0) -> int:
+    """The K after which the inertia improvement collapses.
+
+    Scores each K in ``2..k_max`` by the ratio of successive inertia
+    drops (the 'elbow strength'); returns the K with the sharpest bend.
+    """
+    require_positive_int("k_max", k_max)
+    if k_max < 3:
+        return min(k_max, 2)
+    curve = elbow_curve(points, list(range(1, k_max + 1)), seed=seed)
+    inertias = [inertia for _, inertia in curve]
+    best_k, best_strength = 2, -np.inf
+    for idx in range(1, len(inertias) - 1):
+        drop_before = inertias[idx - 1] - inertias[idx]
+        drop_after = max(inertias[idx] - inertias[idx + 1], 1e-12)
+        strength = drop_before / drop_after
+        if strength > best_strength:
+            best_strength = strength
+            best_k = curve[idx][0]
+    return best_k

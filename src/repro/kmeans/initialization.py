@@ -1,0 +1,73 @@
+"""Centroid initialization.
+
+The starter code chooses initial centroid positions "randomly"
+(paper §3) — implemented deterministically here from a seed via the
+counter-based generator, so every programming-model variant starts from
+the *identical* centroids and their results can be compared exactly.
+k-means++ is included as the quality-minded extension advanced students
+reach for.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.rng.counter import CounterRNG
+from repro.util.validation import require_positive_int
+
+__all__ = ["init_random_points", "init_kmeans_plus_plus"]
+
+
+def init_random_points(points: np.ndarray, k: int, seed: int = 0) -> np.ndarray:
+    """K distinct data points chosen uniformly (deterministic in ``seed``).
+
+    Sampling without replacement by rejection over the counter RNG —
+    O(k) expected draws, independent of any global random state.
+    """
+    points = np.asarray(points, dtype=float)
+    n = points.shape[0]
+    require_positive_int("k", k)
+    if k > n:
+        raise ValueError(f"cannot pick k={k} centroids from {n} points")
+    rng = CounterRNG(seed=seed, stream=0x6B6D)  # 'km'
+    chosen: list[int] = []
+    taken = set()
+    draw = 0
+    while len(chosen) < k:
+        idx = int(rng.uniform(draw) * n)
+        draw += 1
+        idx = min(idx, n - 1)
+        if idx not in taken:
+            taken.add(idx)
+            chosen.append(idx)
+    return points[chosen].copy()
+
+
+def init_kmeans_plus_plus(points: np.ndarray, k: int, seed: int = 0) -> np.ndarray:
+    """k-means++ seeding: next centroid drawn ∝ squared distance to nearest.
+
+    Better-spread starting centroids that typically converge in fewer
+    iterations — a natural "further optimization" for the assignment.
+    """
+    points = np.asarray(points, dtype=float)
+    n = points.shape[0]
+    require_positive_int("k", k)
+    if k > n:
+        raise ValueError(f"cannot pick k={k} centroids from {n} points")
+    rng = CounterRNG(seed=seed, stream=0x6B70)  # 'kp'
+    first = min(int(rng.uniform(0) * n), n - 1)
+    centroids = [points[first]]
+    d2 = np.einsum("ij,ij->i", points - centroids[0], points - centroids[0])
+    for step in range(1, k):
+        total = d2.sum()
+        if total <= 0:
+            # All remaining points coincide with a centroid; pick any.
+            centroids.append(points[min(int(rng.uniform(step) * n), n - 1)])
+            continue
+        target = rng.uniform(step) * total
+        idx = int(np.searchsorted(np.cumsum(d2), target))
+        idx = min(idx, n - 1)
+        centroids.append(points[idx])
+        new_d2 = np.einsum("ij,ij->i", points - points[idx], points - points[idx])
+        d2 = np.minimum(d2, new_d2)
+    return np.array(centroids)

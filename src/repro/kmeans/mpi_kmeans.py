@@ -1,0 +1,138 @@
+"""MPI-model K-means: distributed points, collective reductions.
+
+The assignment's distributed-memory step (paper §3): "the data
+structures should be distributed. The initial data and results can be
+communicated with collective communication operations. Students who
+reach the fourth step in OpenMP … find MPI easier since a distributed
+reduction is needed in any case."
+
+Phase structure per iteration:
+
+1. root broadcasts the current centroids (``bcast``);
+2. each rank assigns its own block of points (scattered once, up
+   front) and accumulates local sums / counts / change count;
+3. one ``allreduce`` folds the partials — in rank order, so the result
+   is deterministic and equal to the OpenMP reduction variant's.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kmeans.initialization import init_random_points
+from repro.kmeans.sequential import KMeansResult, compute_inertia
+from repro.kmeans.termination import TerminationCriteria
+from repro.mpi import SUM, Communicator, run_spmd
+from repro.util.partition import block_bounds
+from repro.util.validation import require_positive_int
+
+__all__ = ["kmeans_mpi", "run_kmeans_mpi"]
+
+
+def kmeans_mpi(
+    comm: Communicator,
+    points: np.ndarray | None,
+    k: int,
+    *,
+    seed: int = 0,
+    criteria: TerminationCriteria | None = None,
+    initial_centroids: np.ndarray | None = None,
+) -> KMeansResult | None:
+    """SPMD K-means: call from every rank; ``points`` needed on root only.
+
+    Returns the full :class:`KMeansResult` on rank 0, None elsewhere.
+    """
+    require_positive_int("k", k)
+    criteria = criteria or TerminationCriteria()
+    rank, size = comm.rank, comm.size
+
+    # --- one-time distribution of the input (collective scatter) -------
+    if rank == 0:
+        points = np.asarray(points, dtype=float)
+        if points.ndim != 2 or points.shape[0] == 0:
+            raise ValueError("points must be a non-empty 2-D array on root")
+        n, d = points.shape
+        chunks = [
+            points[slice(*block_bounds(n, size, r))] for r in range(size)
+        ]
+        if initial_centroids is not None:
+            centroids = np.asarray(initial_centroids, dtype=float).copy()
+            if centroids.shape != (k, d):
+                raise ValueError(f"initial_centroids must be {(k, d)}, got {centroids.shape}")
+        else:
+            centroids = init_random_points(points, k, seed)
+    else:
+        chunks = None
+        centroids = None
+
+    my_points = comm.scatter(chunks, root=0)
+    centroids = comm.bcast(centroids, root=0)
+    k_dims = centroids.shape[1]
+
+    my_assignments = np.full(my_points.shape[0], -1, dtype=np.int64)
+    changes_history: list[int] = []
+    shift_history: list[float] = []
+    iteration = 0
+    reason = "max_iterations"
+
+    while True:
+        iteration += 1
+        # Phase 1: local assignment.
+        if my_points.shape[0]:
+            d2 = (
+                np.einsum("ij,ij->i", my_points, my_points)[:, None]
+                - 2.0 * my_points @ centroids.T
+                + np.einsum("ij,ij->i", centroids, centroids)[None, :]
+            )
+            new_local = np.argmin(d2, axis=1)
+            local_changes = int(np.count_nonzero(new_local != my_assignments))
+            my_assignments = new_local
+        else:
+            local_changes = 0
+
+        # Phase 2: local partial sums, then ONE distributed reduction.
+        local_sums = np.zeros((k, k_dims))
+        local_counts = np.zeros(k, dtype=np.int64)
+        if my_points.shape[0]:
+            np.add.at(local_sums, my_assignments, my_points)
+            np.add.at(local_counts, my_assignments, 1)
+        sums, counts, changes = comm.allreduce(
+            (local_sums, local_counts, local_changes),
+            op=lambda a, b: (a[0] + b[0], a[1] + b[1], a[2] + b[2]),
+        )
+
+        new_centroids = centroids.copy()
+        nonempty = counts > 0
+        new_centroids[nonempty] = sums[nonempty] / counts[nonempty, None]
+        max_shift = float(np.sqrt(((new_centroids - centroids) ** 2).sum(axis=1)).max())
+        centroids = new_centroids
+        changes_history.append(changes)
+        shift_history.append(max_shift)
+        stop = criteria.reason_to_stop(iteration, changes, max_shift)
+        if stop is not None:
+            reason = stop
+            break
+
+    # --- gather results back to root (collective gather) ---------------
+    gathered = comm.gather(my_assignments, root=0)
+    if rank != 0:
+        return None
+    assignments = np.concatenate(gathered)
+    return KMeansResult(
+        centroids=centroids,
+        assignments=assignments,
+        iterations=iteration,
+        stop_reason=reason,
+        inertia=compute_inertia(points, centroids, assignments),
+        changes_history=changes_history,
+        shift_history=shift_history,
+    )
+
+
+def run_kmeans_mpi(num_ranks: int, points: np.ndarray, k: int, **kwargs) -> KMeansResult:
+    """Launcher: run :func:`kmeans_mpi` on ``num_ranks`` ranks, return root's result."""
+
+    def program(comm: Communicator) -> KMeansResult | None:
+        return kmeans_mpi(comm, points if comm.rank == 0 else None, k, **kwargs)
+
+    return run_spmd(num_ranks, program)[0]

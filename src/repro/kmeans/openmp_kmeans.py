@@ -1,0 +1,154 @@
+"""OpenMP-model K-means: the four-stage race-repair ladder.
+
+The assignment's parallelization strategy (paper §3): (1) detect the
+race conditions — the cluster-change counter and the per-cluster
+sums/counts; (2) guard them with **critical** regions; (3) replace with
+**atomic** operations; (4) restructure as **reductions**. Each rung is a
+selectable ``variant`` so correctness and cost can be compared:
+
+- ``"critical"`` — one named critical section serializes every update
+  (correct, maximally contended);
+- ``"atomic"`` — per-cluster atomic cells (correct, finer-grained);
+- ``"reduction"`` — per-thread private sums merged once, in thread
+  order (correct, contention-free, and deterministic).
+
+All variants share phase-1 vectorized assignment over static thread
+blocks, so they produce identical assignments; centroid coordinates may
+differ across variants by float-addition order only.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kmeans.initialization import init_random_points
+from repro.kmeans.sequential import KMeansResult, compute_inertia
+from repro.kmeans.termination import TerminationCriteria
+from repro.openmp import Atomic, parallel_region
+from repro.util.partition import block_bounds
+from repro.util.validation import require_positive_int
+
+__all__ = ["kmeans_openmp", "VARIANTS"]
+
+VARIANTS = ("critical", "atomic", "reduction")
+
+
+def kmeans_openmp(
+    points: np.ndarray,
+    k: int,
+    *,
+    num_threads: int = 4,
+    variant: str = "reduction",
+    seed: int = 0,
+    criteria: TerminationCriteria | None = None,
+    initial_centroids: np.ndarray | None = None,
+) -> KMeansResult:
+    """Shared-memory K-means with the chosen race-repair variant."""
+    points = np.asarray(points, dtype=float)
+    if points.ndim != 2 or points.shape[0] == 0:
+        raise ValueError("points must be a non-empty 2-D array")
+    require_positive_int("k", k)
+    require_positive_int("num_threads", num_threads)
+    if variant not in VARIANTS:
+        raise ValueError(f"variant must be one of {VARIANTS}, got {variant!r}")
+    criteria = criteria or TerminationCriteria()
+
+    n, d = points.shape
+    if initial_centroids is not None:
+        centroids = np.asarray(initial_centroids, dtype=float).copy()
+        if centroids.shape != (k, d):
+            raise ValueError(f"initial_centroids must be {(k, d)}, got {centroids.shape}")
+    else:
+        centroids = init_random_points(points, k, seed)
+
+    assignments = np.full(n, -1, dtype=np.int64)
+    changes_history: list[int] = []
+    shift_history: list[float] = []
+    iteration = 0
+    reason = "max_iterations"
+
+    while True:
+        iteration += 1
+        changes_cell = Atomic(0)
+        sums = np.zeros((k, d))
+        counts = np.zeros(k, dtype=np.int64)
+        cluster_cells = [Atomic(0) for _ in range(k)] if variant == "atomic" else None
+        thread_sums = (
+            [np.zeros((k, d)) for _ in range(num_threads)] if variant == "reduction" else None
+        )
+        thread_counts = (
+            [np.zeros(k, dtype=np.int64) for _ in range(num_threads)]
+            if variant == "reduction"
+            else None
+        )
+
+        def body(ctx) -> None:
+            lo, hi = block_bounds(n, ctx.num_threads, ctx.thread_id)
+            block = points[lo:hi]
+            if block.shape[0] == 0:
+                return
+            # Phase 1: vectorized assignment of this thread's block. The
+            # per-point writes are disjoint; the shared *counter* is the race.
+            d2 = (
+                np.einsum("ij,ij->i", block, block)[:, None]
+                - 2.0 * block @ centroids.T
+                + np.einsum("ij,ij->i", centroids, centroids)[None, :]
+            )
+            new_local = np.argmin(d2, axis=1)
+            local_changes = int(np.count_nonzero(new_local != assignments[lo:hi]))
+            assignments[lo:hi] = new_local
+
+            if variant == "critical":
+                with ctx.critical("changes"):
+                    changes_cell.store(changes_cell.value + local_changes)
+            else:
+                changes_cell.add(local_changes)  # atomic & reduction variants
+
+            # Phase 2: per-cluster sums/counts — the update race.
+            if variant == "critical":
+                # Stage 2: one big critical region serializes all updates.
+                with ctx.critical("centroid-update"):
+                    np.add.at(sums, new_local, block)
+                    np.add.at(counts, new_local, 1)
+            elif variant == "atomic":
+                # Stage 3: per-cluster cells — finer-grained exclusion.
+                for c in range(k):
+                    members = block[new_local == c]
+                    if members.shape[0]:
+                        with cluster_cells[c]._lock:  # noqa: SLF001 - cell-scoped section
+                            sums[c] += members.sum(axis=0)
+                            counts[c] += members.shape[0]
+            else:
+                # Stage 4: thread-private accumulators, merged after the join.
+                np.add.at(thread_sums[ctx.thread_id], new_local, block)
+                np.add.at(thread_counts[ctx.thread_id], new_local, 1)
+
+        parallel_region(num_threads, body)
+
+        if variant == "reduction":
+            for t in range(num_threads):  # deterministic thread-order merge
+                sums += thread_sums[t]
+                counts += thread_counts[t]
+
+        new_centroids = centroids.copy()
+        nonempty = counts > 0
+        new_centroids[nonempty] = sums[nonempty] / counts[nonempty, None]
+        max_shift = float(np.sqrt(((new_centroids - centroids) ** 2).sum(axis=1)).max())
+        centroids = new_centroids
+        changes = changes_cell.value
+        changes_history.append(changes)
+        shift_history.append(max_shift)
+        stop = criteria.reason_to_stop(iteration, changes, max_shift)
+        if stop is not None:
+            reason = stop
+            break
+
+    return KMeansResult(
+        centroids=centroids,
+        assignments=assignments,
+        iterations=iteration,
+        stop_reason=reason,
+        inertia=compute_inertia(points, centroids, assignments),
+        changes_history=changes_history,
+        shift_history=shift_history,
+    )

@@ -1,0 +1,142 @@
+"""The sequential K-means starter program.
+
+Mirrors the structure of the Valladolid handout (paper §3): static
+arrays, a two-phase main loop —
+
+  phase 1: re-assign each point to its closest centroid, counting
+           cluster changes (the write/update race once parallelized);
+  phase 2: recompute each centroid as the mean of its points, i.e.
+           per-cluster coordinate sums and member counts (the second
+           race, plus the load-balance discussion);
+
+— and a three-threshold termination check. Helper functions
+:func:`assign_points` and :func:`update_centroids` are shared by the
+parallel variants so every model computes the same mathematics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.kmeans.initialization import init_random_points
+from repro.kmeans.termination import TerminationCriteria
+from repro.util.validation import require_positive_int
+
+__all__ = ["KMeansResult", "assign_points", "update_centroids", "kmeans_sequential"]
+
+
+@dataclass
+class KMeansResult:
+    """Everything the assignment asks students to report."""
+
+    centroids: np.ndarray
+    assignments: np.ndarray
+    iterations: int
+    stop_reason: str
+    inertia: float
+    changes_history: list[int] = field(default_factory=list)
+    shift_history: list[float] = field(default_factory=list)
+
+
+def assign_points(
+    points: np.ndarray, centroids: np.ndarray, assignments: np.ndarray
+) -> tuple[np.ndarray, int]:
+    """Phase 1 on a (sub)array: new assignments and the change count.
+
+    Vectorized distance argmin; ties go to the lowest cluster index
+    (numpy argmin convention), matching a naive ``<`` scan in C.
+    """
+    d2 = (
+        np.einsum("ij,ij->i", points, points)[:, None]
+        - 2.0 * points @ centroids.T
+        + np.einsum("ij,ij->i", centroids, centroids)[None, :]
+    )
+    new_assignments = np.argmin(d2, axis=1)
+    changes = int(np.count_nonzero(new_assignments != assignments))
+    return new_assignments, changes
+
+
+def update_centroids(
+    points: np.ndarray,
+    assignments: np.ndarray,
+    k: int,
+    old_centroids: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Phase 2: per-cluster sums/counts and the resulting means.
+
+    Returns (new_centroids, sums, counts). Empty clusters keep their old
+    centroid (the conventional fix; the starter code's behaviour).
+    """
+    d = points.shape[1]
+    sums = np.zeros((k, d))
+    counts = np.zeros(k, dtype=np.int64)
+    np.add.at(sums, assignments, points)
+    np.add.at(counts, assignments, 1)
+    new_centroids = old_centroids.copy()
+    nonempty = counts > 0
+    new_centroids[nonempty] = sums[nonempty] / counts[nonempty, None]
+    return new_centroids, sums, counts
+
+
+def compute_inertia(points: np.ndarray, centroids: np.ndarray, assignments: np.ndarray) -> float:
+    """Sum of squared distances of points to their assigned centroid."""
+    diffs = points - centroids[assignments]
+    return float(np.einsum("ij,ij->", diffs, diffs))
+
+
+def kmeans_sequential(
+    points: np.ndarray,
+    k: int,
+    *,
+    seed: int = 0,
+    criteria: TerminationCriteria | None = None,
+    initial_centroids: np.ndarray | None = None,
+) -> KMeansResult:
+    """The reference clustering loop.
+
+    ``initial_centroids`` overrides the random seeding — the hook all
+    parallel variants use to start from identical state.
+    """
+    points = np.asarray(points, dtype=float)
+    if points.ndim != 2 or points.shape[0] == 0:
+        raise ValueError("points must be a non-empty 2-D array")
+    require_positive_int("k", k)
+    criteria = criteria or TerminationCriteria()
+    if initial_centroids is not None:
+        centroids = np.asarray(initial_centroids, dtype=float).copy()
+        if centroids.shape != (k, points.shape[1]):
+            raise ValueError(
+                f"initial_centroids must be {(k, points.shape[1])}, got {centroids.shape}"
+            )
+    else:
+        centroids = init_random_points(points, k, seed)
+
+    assignments = np.full(points.shape[0], -1, dtype=np.int64)
+    changes_history: list[int] = []
+    shift_history: list[float] = []
+    iteration = 0
+    reason = "max_iterations"
+    while True:
+        iteration += 1
+        assignments, changes = assign_points(points, centroids, assignments)
+        new_centroids, _, _ = update_centroids(points, assignments, k, centroids)
+        max_shift = float(np.sqrt(((new_centroids - centroids) ** 2).sum(axis=1)).max())
+        centroids = new_centroids
+        changes_history.append(changes)
+        shift_history.append(max_shift)
+        stop = criteria.reason_to_stop(iteration, changes, max_shift)
+        if stop is not None:
+            reason = stop
+            break
+
+    return KMeansResult(
+        centroids=centroids,
+        assignments=assignments,
+        iterations=iteration,
+        stop_reason=reason,
+        inertia=compute_inertia(points, centroids, assignments),
+        changes_history=changes_history,
+        shift_history=shift_history,
+    )

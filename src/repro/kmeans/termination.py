@@ -1,0 +1,49 @@
+"""Stopping rules for the clustering loop.
+
+The Valladolid starter program "ends if thresholds on the number of
+iterations, number of cluster changes, or centroid displacement are
+reached" (paper §3). All three are represented so every parallel variant
+stops at exactly the same iteration as the sequential reference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["TerminationCriteria"]
+
+
+@dataclass(frozen=True)
+class TerminationCriteria:
+    """The three thresholds; any one being hit stops the loop.
+
+    - ``max_iterations``: hard cap on clustering iterations;
+    - ``min_changes``: stop when the number of points that switched
+      cluster this iteration is *at or below* this;
+    - ``max_centroid_shift``: stop when the largest centroid movement
+      (Euclidean) is at or below this.
+    """
+
+    max_iterations: int = 100
+    min_changes: int = 0
+    max_centroid_shift: float = 1e-8
+
+    def __post_init__(self) -> None:
+        if self.max_iterations < 1:
+            raise ValueError(f"max_iterations must be >= 1, got {self.max_iterations}")
+        if self.min_changes < 0:
+            raise ValueError(f"min_changes must be >= 0, got {self.min_changes}")
+        if self.max_centroid_shift < 0:
+            raise ValueError(
+                f"max_centroid_shift must be >= 0, got {self.max_centroid_shift}"
+            )
+
+    def reason_to_stop(self, iteration: int, changes: int, max_shift: float) -> str | None:
+        """The stop reason after an iteration, or None to keep going."""
+        if changes <= self.min_changes:
+            return "changes"
+        if max_shift <= self.max_centroid_shift:
+            return "centroid_shift"
+        if iteration >= self.max_iterations:
+            return "max_iterations"
+        return None

@@ -1,0 +1,60 @@
+"""k-Nearest-Neighbor classification — Peachy assignment §2.
+
+The assignment: classify ``q`` query points against a database of ``n``
+pre-classified ``d``-dimensional points, first sequentially, then with
+MapReduce-MPI for speedup. The full adaptation space from the paper is
+implemented:
+
+- :mod:`repro.knn.heap` — bounded max-heap top-k selection, giving the
+  Θ(q·n·(d + log k)) sequential algorithm (vs Θ(n log n) by sorting);
+- :mod:`repro.knn.brute` — the sequential classifier, in both a
+  loop/heap form (the starter code students receive) and a vectorized
+  numpy form (the performance baseline);
+- :mod:`repro.knn.mapreduce_knn` — the MapReduce-MPI parallelization:
+  map tasks parse database chunks and emit (query, (distance, class))
+  pairs; reduction extracts nearest classes — with the paper's
+  local-reduction communication optimization as a toggle;
+- :mod:`repro.knn.kdtree` / :mod:`repro.knn.quadtree` — the
+  Data-Structures variant: space-partitioning trees that prune boxes by
+  a distance lower bound;
+- :mod:`repro.knn.data` — synthetic stand-ins for the datahub.io
+  classification datasets (banknote-style, leaf-style, Gaussian blobs);
+- :mod:`repro.knn.wordcount` — the Word Counting warm-up problem.
+"""
+
+from repro.knn.application import classification_report, confusion_matrix, format_report
+from repro.knn.brute import KNNClassifier, knn_predict_heap, knn_predict_vectorized, majority_vote
+from repro.knn.data import make_banknote_like, make_blobs, make_leaf_like, train_test_split
+from repro.knn.heap import BoundedMaxHeap, top_k_by_sort, top_k_smallest
+from repro.knn.kdtree import KDTree
+from repro.knn.mapreduce_knn import knn_mapreduce, run_knn_mapreduce
+from repro.knn.parallel_variants import knn_device, knn_mpi, knn_openmp, run_knn_mpi
+from repro.knn.quadtree import QuadTree
+from repro.knn.wordcount import run_wordcount, wordcount
+
+__all__ = [
+    "BoundedMaxHeap",
+    "top_k_smallest",
+    "top_k_by_sort",
+    "KNNClassifier",
+    "knn_predict_heap",
+    "knn_predict_vectorized",
+    "majority_vote",
+    "knn_mapreduce",
+    "run_knn_mapreduce",
+    "knn_openmp",
+    "knn_mpi",
+    "run_knn_mpi",
+    "knn_device",
+    "KDTree",
+    "QuadTree",
+    "make_blobs",
+    "make_banknote_like",
+    "make_leaf_like",
+    "train_test_split",
+    "wordcount",
+    "run_wordcount",
+    "confusion_matrix",
+    "classification_report",
+    "format_report",
+]

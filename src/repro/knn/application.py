@@ -1,0 +1,85 @@
+"""Classifier evaluation: confusion matrices and reports.
+
+The adaptation where students "see a full application" (paper §2) needs
+more than an accuracy number: which classes confuse which, per-class
+precision/recall — the outputs a real classification deliverable
+reports. Pure-numpy implementations, shared by the examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["confusion_matrix", "ClassReport", "classification_report", "format_report"]
+
+
+def confusion_matrix(
+    true_labels: np.ndarray, predicted: np.ndarray, num_classes: int | None = None
+) -> np.ndarray:
+    """``M[i, j]`` = count of class-``i`` samples predicted as class ``j``."""
+    true_labels = np.asarray(true_labels, dtype=np.int64)
+    predicted = np.asarray(predicted, dtype=np.int64)
+    if true_labels.shape != predicted.shape:
+        raise ValueError("true and predicted labels must have equal length")
+    if true_labels.size and (true_labels.min() < 0 or predicted.min() < 0):
+        raise ValueError("labels must be non-negative")
+    k = num_classes or (int(max(true_labels.max(initial=0), predicted.max(initial=0))) + 1)
+    matrix = np.zeros((k, k), dtype=np.int64)
+    np.add.at(matrix, (true_labels, predicted), 1)
+    return matrix
+
+
+@dataclass(frozen=True)
+class ClassReport:
+    """Per-class precision / recall / F1 and support."""
+
+    label: int
+    precision: float
+    recall: float
+    f1: float
+    support: int
+
+
+def classification_report(
+    true_labels: np.ndarray, predicted: np.ndarray, num_classes: int | None = None
+) -> list[ClassReport]:
+    """Per-class metrics derived from the confusion matrix.
+
+    Undefined ratios (no predictions / no support) report 0.0, the
+    usual convention.
+    """
+    matrix = confusion_matrix(true_labels, predicted, num_classes)
+    reports = []
+    for c in range(matrix.shape[0]):
+        tp = matrix[c, c]
+        predicted_c = matrix[:, c].sum()
+        actual_c = matrix[c, :].sum()
+        precision = tp / predicted_c if predicted_c else 0.0
+        recall = tp / actual_c if actual_c else 0.0
+        f1 = 2 * precision * recall / (precision + recall) if precision + recall else 0.0
+        reports.append(
+            ClassReport(
+                label=c,
+                precision=float(precision),
+                recall=float(recall),
+                f1=float(f1),
+                support=int(actual_c),
+            )
+        )
+    return reports
+
+
+def format_report(reports: list[ClassReport]) -> str:
+    """The familiar fixed-width metrics table."""
+    lines = [f"{'class':>6} {'precision':>10} {'recall':>8} {'f1':>6} {'support':>8}"]
+    for r in reports:
+        lines.append(
+            f"{r.label:>6} {r.precision:>10.3f} {r.recall:>8.3f} {r.f1:>6.3f} {r.support:>8}"
+        )
+    total = sum(r.support for r in reports)
+    if total:
+        weighted_f1 = sum(r.f1 * r.support for r in reports) / total
+        lines.append(f"{'':>6} {'weighted f1':>10} {weighted_f1:>8.3f} {'':>6} {total:>8}")
+    return "\n".join(lines)

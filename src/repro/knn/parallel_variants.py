@@ -1,0 +1,143 @@
+"""kNN in other programming models — the §2 adaptation suggestions.
+
+"The assignment could be adapted to shared memory programming models
+like OpenMP, other distributed memory programming models like MPI, or
+accelerator programming models like CUDA" (paper §2). Three adaptations:
+
+- :func:`knn_openmp` — queries worksharing-split over a thread team
+  (each thread classifies a contiguous block with the vectorized
+  engine; static or dynamic schedule);
+- :func:`knn_mpi` — plain MPI (no MapReduce): queries scattered, each
+  rank classifies its block against the replicated database, results
+  gathered;
+- :func:`knn_device` — CUDA-style: a grid of fixed-size query blocks;
+  each block computes its distance tile with one fused kernel
+  (coalesced reads of the database) and selects with ``argpartition``.
+
+All three must agree exactly with :func:`repro.knn.knn_predict_vectorized`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.knn.brute import knn_predict_vectorized
+from repro.mpi import Communicator, run_spmd
+from repro.openmp import parallel_region
+from repro.util.partition import block_bounds
+from repro.util.validation import require_positive_int
+
+__all__ = ["knn_openmp", "knn_mpi", "run_knn_mpi", "knn_device"]
+
+
+def knn_openmp(
+    database: np.ndarray,
+    labels: np.ndarray,
+    queries: np.ndarray,
+    k: int,
+    *,
+    num_threads: int = 4,
+    schedule: str = "static",
+    chunk: int = 32,
+) -> np.ndarray:
+    """Shared-memory kNN: the query loop is the parallel loop.
+
+    The database is shared read-only (the OpenMP default for enclosing
+    scope); each thread writes only its own slice of the output — no
+    races, which is why this is the gentle first adaptation.
+    """
+    queries = np.asarray(queries, dtype=float)
+    out = np.empty(queries.shape[0], dtype=np.int64)
+
+    def body(ctx) -> None:
+        if schedule == "static":
+            lo, hi = ctx.static_bounds(queries.shape[0])
+            if lo < hi:
+                out[lo:hi] = knn_predict_vectorized(database, labels, queries[lo:hi], k)
+        else:
+            # Dynamic: grab chunks of queries as threads free up.
+            for start in ctx.for_range(
+                (queries.shape[0] + chunk - 1) // chunk, schedule=schedule
+            ):
+                lo = start * chunk
+                hi = min(lo + chunk, queries.shape[0])
+                out[lo:hi] = knn_predict_vectorized(database, labels, queries[lo:hi], k)
+
+    parallel_region(num_threads, body)
+    return out
+
+
+def knn_mpi(
+    comm: Communicator,
+    database: np.ndarray,
+    labels: np.ndarray,
+    queries: np.ndarray | None,
+    k: int,
+) -> np.ndarray | None:
+    """Plain-MPI kNN: database replicated, queries scattered, results gathered.
+
+    ``queries`` is needed on the root only. Root returns the full
+    prediction vector; other ranks return None.
+    """
+    if comm.rank == 0:
+        if queries is None:
+            raise ValueError("root must supply the query set")
+        queries = np.asarray(queries, dtype=float)
+        chunks = [
+            queries[slice(*block_bounds(queries.shape[0], comm.size, r))]
+            for r in range(comm.size)
+        ]
+    else:
+        chunks = None
+    my_queries = comm.scatter(chunks, root=0)
+    my_preds = (
+        knn_predict_vectorized(database, labels, my_queries, k)
+        if my_queries.shape[0]
+        else np.empty(0, dtype=np.int64)
+    )
+    gathered = comm.gather(my_preds, root=0)
+    if comm.rank != 0:
+        return None
+    return np.concatenate(gathered)
+
+
+def run_knn_mpi(
+    num_ranks: int,
+    database: np.ndarray,
+    labels: np.ndarray,
+    queries: np.ndarray,
+    k: int,
+) -> np.ndarray:
+    """Launcher for :func:`knn_mpi`."""
+
+    def program(comm: Communicator):
+        return knn_mpi(comm, database, labels, queries if comm.rank == 0 else None, k)
+
+    return run_spmd(num_ranks, program)[0]
+
+
+def knn_device(
+    database: np.ndarray,
+    labels: np.ndarray,
+    queries: np.ndarray,
+    k: int,
+    *,
+    block_size: int = 128,
+) -> np.ndarray:
+    """CUDA-structured kNN: one distance tile per query block.
+
+    Equivalent to the vectorized engine with an explicit grid/block
+    decomposition; kept separate so the grid structure (and its
+    invariance under ``block_size``) is testable.
+    """
+    require_positive_int("block_size", block_size)
+    queries = np.asarray(queries, dtype=float)
+    out = np.empty(queries.shape[0], dtype=np.int64)
+    num_blocks = (queries.shape[0] + block_size - 1) // block_size
+    for b in range(num_blocks):
+        lo = b * block_size
+        hi = min(lo + block_size, queries.shape[0])
+        out[lo:hi] = knn_predict_vectorized(
+            database, labels, queries[lo:hi], k, block=block_size
+        )
+    return out

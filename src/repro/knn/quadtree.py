@@ -1,0 +1,136 @@
+"""Region quadtree for 2-D spatial search — the paper's named example.
+
+The Data-Structures variant explicitly mentions quad-trees (citing
+Shaffer). A region quadtree recursively splits a square into four
+quadrants; nearest-neighbor search prunes quadrants whose box lower
+bound exceeds the current k-th best, the same bound as the k-d tree but
+with the classic fixed 4-way spatial decomposition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.knn.brute import majority_vote
+from repro.knn.heap import BoundedMaxHeap
+from repro.util.validation import require_positive_int
+
+__all__ = ["QuadTree"]
+
+_LEAF_CAPACITY = 8
+
+
+@dataclass
+class _QNode:
+    cx: float
+    cy: float
+    half: float
+    indices: list[int] = field(default_factory=list)
+    children: "list[_QNode] | None" = None  # NW, NE, SW, SE
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.children is None
+
+
+class QuadTree:
+    """Point quadtree over 2-D classified points."""
+
+    def __init__(self, points: np.ndarray, labels: np.ndarray, leaf_capacity: int = _LEAF_CAPACITY) -> None:
+        points = np.asarray(points, dtype=float)
+        labels = np.asarray(labels)
+        if points.ndim != 2 or points.shape[1] != 2:
+            raise ValueError("QuadTree requires 2-D points (n × 2)")
+        if points.shape[0] == 0:
+            raise ValueError("QuadTree requires at least one point")
+        if labels.shape != (points.shape[0],):
+            raise ValueError("labels must be one per point")
+        require_positive_int("leaf_capacity", leaf_capacity)
+        self._points = points
+        self._labels = labels
+        self._leaf_capacity = leaf_capacity
+        lo = points.min(axis=0)
+        hi = points.max(axis=0)
+        center = (lo + hi) / 2.0
+        half = float(max((hi - lo).max() / 2.0, 1e-12))
+        self._root = _QNode(float(center[0]), float(center[1]), half)
+        self.last_nodes_visited = 0
+        for i in range(points.shape[0]):
+            self._insert(self._root, i, depth=0)
+
+    def _insert(self, node: _QNode, index: int, depth: int) -> None:
+        if node.is_leaf:
+            node.indices.append(index)
+            # Depth cap guards against many coincident points.
+            if len(node.indices) > self._leaf_capacity and depth < 32:
+                self._subdivide(node)
+                members, node.indices = node.indices, []
+                for m in members:
+                    self._insert(self._child_for(node, m), m, depth + 1)
+            return
+        self._insert(self._child_for(node, index), index, depth + 1)
+
+    def _subdivide(self, node: _QNode) -> None:
+        h = node.half / 2.0
+        node.children = [
+            _QNode(node.cx - h, node.cy + h, h),  # NW
+            _QNode(node.cx + h, node.cy + h, h),  # NE
+            _QNode(node.cx - h, node.cy - h, h),  # SW
+            _QNode(node.cx + h, node.cy - h, h),  # SE
+        ]
+
+    def _child_for(self, node: _QNode, index: int) -> _QNode:
+        assert node.children is not None
+        x, y = self._points[index]
+        east = x > node.cx
+        north = y > node.cy
+        return node.children[(0 if north else 2) + (1 if east else 0)]
+
+    @staticmethod
+    def _box_min_dist2(node: _QNode, q: np.ndarray) -> float:
+        dx = max(abs(q[0] - node.cx) - node.half, 0.0)
+        dy = max(abs(q[1] - node.cy) - node.half, 0.0)
+        return dx * dx + dy * dy
+
+    def query(self, q: np.ndarray, k: int) -> list[tuple[float, int]]:
+        """The k nearest (squared-distance, point-index) pairs, ascending."""
+        require_positive_int("k", k)
+        q = np.asarray(q, dtype=float)
+        heap = BoundedMaxHeap(min(k, self._points.shape[0]))
+        visited = 0
+
+        def descend(node: _QNode) -> None:
+            nonlocal visited
+            visited += 1
+            if self._box_min_dist2(node, q) >= heap.worst_key:
+                return
+            if node.is_leaf:
+                for idx in node.indices:
+                    diff = self._points[idx] - q
+                    heap.offer(float(diff @ diff), idx)
+                return
+            assert node.children is not None
+            # Nearest quadrant first to tighten the bound early.
+            order = sorted(node.children, key=lambda c: self._box_min_dist2(c, q))
+            for child in order:
+                descend(child)
+
+        descend(self._root)
+        self.last_nodes_visited = visited
+        return heap.sorted_items()
+
+    def predict(self, queries: np.ndarray, k: int) -> np.ndarray:
+        """Majority-vote classification per 2-D query point."""
+        queries = np.asarray(queries, dtype=float)
+        if queries.ndim != 2 or queries.shape[1] != 2:
+            raise ValueError("queries must be n × 2")
+        out = np.empty(queries.shape[0], dtype=np.int64)
+        for i in range(queries.shape[0]):
+            nearest = self.query(queries[i], k)
+            out[i] = majority_vote(
+                self._labels[[idx for _, idx in nearest]],
+                np.array([d for d, _ in nearest]),
+            )
+        return out

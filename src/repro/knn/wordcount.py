@@ -1,0 +1,79 @@
+"""Word Counting — the MapReduce warm-up shipped with the kNN assignment.
+
+"These [materials] include a classic problem, Word Counting, to
+familiarize the students with programming using MapReduce MPI"
+(paper §2). The implementation is the canonical two-phase pipeline:
+map emits (word, 1), collate groups by word, reduce sums.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.mapreduce import KeyValue, MapReduce
+from repro.mpi import Communicator, run_spmd
+
+__all__ = ["tokenize", "wordcount", "wordcount_files", "run_wordcount", "run_wordcount_files"]
+
+_WORD_RE = re.compile(r"[A-Za-z0-9']+")
+
+
+def tokenize(line: str) -> list[str]:
+    """Lowercased word tokens of one text line."""
+    return [w.lower() for w in _WORD_RE.findall(line)]
+
+
+def wordcount(
+    comm: Communicator, lines: list[str], *, local_combine: bool = False
+) -> dict[str, int]:
+    """SPMD word count over ``lines`` (identical on all ranks).
+
+    Every rank returns the complete counts. ``local_combine`` applies
+    the per-rank pre-sum before the shuffle — the same optimization the
+    kNN step teaches, introduced here on the warm-up problem.
+    """
+    mr = MapReduce(comm)
+
+    def emit_words(line: str, kv: KeyValue) -> None:
+        for word in tokenize(line):
+            kv.add(word, 1)
+
+    mr.map_items(lines, emit_words)
+    if local_combine:
+        mr.local_combine(lambda word, ones, kv: kv.add(word, sum(ones)))
+    mr.collate()
+    mr.reduce(lambda word, counts, kv: kv.add(word, sum(counts)))
+    return dict(mr.gather_all())
+
+
+def wordcount_files(
+    comm: Communicator, paths: list, *, local_combine: bool = True
+) -> dict[str, int]:
+    """SPMD word count over *files*: each rank reads and maps its share.
+
+    The parallel-IO form of the warm-up — the file list is shared but
+    each file's bytes are read by exactly one rank.
+    """
+    mr = MapReduce(comm)
+
+    def emit_words(_path: str, text: str, kv: KeyValue) -> None:
+        for line in text.splitlines():
+            for word in tokenize(line):
+                kv.add(word, 1)
+
+    mr.map_files(paths, emit_words)
+    if local_combine:
+        mr.local_combine(lambda word, ones, kv: kv.add(word, sum(ones)))
+    mr.collate()
+    mr.reduce(lambda word, counts, kv: kv.add(word, sum(counts)))
+    return dict(mr.gather_all())
+
+
+def run_wordcount(num_ranks: int, lines: list[str], **kwargs) -> dict[str, int]:
+    """Launcher: word-count ``lines`` on ``num_ranks`` SPMD ranks."""
+    return run_spmd(num_ranks, wordcount, lines, **kwargs)[0]
+
+
+def run_wordcount_files(num_ranks: int, paths: list, **kwargs) -> dict[str, int]:
+    """Launcher: word-count files on ``num_ranks`` SPMD ranks (parallel IO)."""
+    return run_spmd(num_ranks, wordcount_files, paths, **kwargs)[0]

@@ -1,0 +1,29 @@
+"""A MapReduce engine over MPI, modeled on the MapReduce-MPI library.
+
+The kNN assignment (paper §2) is taught with Plimpton & Devine's
+MapReduce-MPI: a C++ library where every process owns a ``MapReduce``
+object holding distributed key/value data, and the program alternates
+
+    map → (aggregate / collate) → reduce → gather
+
+phases, with the shuffle implemented as message passing over MPI. This
+package reproduces that architecture on :mod:`repro.mpi`:
+
+- :class:`KeyValue` — a rank-local store of (key, value) pairs.
+- :class:`KeyMultiValue` — the post-collate store: key → list of values.
+- :class:`MapReduce` — the phase driver: ``map_tasks``/``map_items``,
+  ``aggregate`` (hash shuffle), ``convert``, ``collate``, ``reduce``,
+  ``local_combine`` (the per-rank pre-reduction the paper highlights as
+  the communication-cost optimization), ``gather``, ``sort_by_key``.
+
+Hashing is deterministic (independent of ``PYTHONHASHSEED``) so the
+key → rank placement, and therefore the whole computation, is exactly
+reproducible — see :func:`repro.mapreduce.hashing.stable_hash`.
+"""
+
+from repro.mapreduce.engine import MapReduce
+from repro.mapreduce.hashing import stable_hash
+from repro.mapreduce.keymultivalue import KeyMultiValue
+from repro.mapreduce.keyvalue import KeyValue
+
+__all__ = ["MapReduce", "KeyValue", "KeyMultiValue", "stable_hash"]

@@ -1,0 +1,269 @@
+"""The MapReduce phase driver, MR-MPI style.
+
+Usage mirrors the C++ library the kNN assignment is built on: every
+rank of an SPMD program constructs a :class:`MapReduce` over its
+communicator and the ranks move through the phases together::
+
+    def program(comm):
+        mr = MapReduce(comm)
+        mr.map_tasks(num_files, read_and_emit)     # parallel map / IO
+        mr.collate()                               # shuffle + group
+        mr.reduce(pick_nearest)                    # per-key reduction
+        return mr.gather()                         # results at root
+
+All phase methods are collective (every rank must call them in the same
+order). Pair counts returned by ``map``/``reduce`` are global sums, like
+MR-MPI's return values.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+from repro.mapreduce.hashing import partition_for
+from repro.mapreduce.keymultivalue import KeyMultiValue
+from repro.mapreduce.keyvalue import KeyValue
+from repro.mpi import SUM, Communicator
+from repro.util.partition import block_bounds
+
+__all__ = ["MapReduce"]
+
+#: Signature of a map callback: (task_id, kv_out) -> None.
+MapFn = Callable[[int, KeyValue], None]
+#: Signature of an item-map callback: (item, kv_out) -> None.
+ItemMapFn = Callable[[Any, KeyValue], None]
+#: Signature of a reduce callback: (key, values, kv_out) -> None.
+ReduceFn = Callable[[Any, list[Any], KeyValue], None]
+
+
+class MapReduce:
+    """Distributed key/value dataset plus the operations that transform it."""
+
+    def __init__(self, comm: Communicator) -> None:
+        self.comm = comm
+        self.kv = KeyValue()
+        self.kmv: KeyMultiValue | None = None
+        #: Number of pairs this rank shipped to other ranks in the last
+        #: aggregate() — the communication-volume statistic the local-
+        #: combine ablation measures.
+        self.last_shuffle_sent = 0
+
+    # ------------------------------------------------------------------
+    # map phase
+    # ------------------------------------------------------------------
+    def map_tasks(self, num_tasks: int, map_fn: MapFn, *, append: bool = False) -> int:
+        """Call ``map_fn(task_id, kv)`` for tasks assigned cyclically to ranks.
+
+        This is MR-MPI's ``map(nmap, func)``: ``num_tasks`` logical map
+        tasks (e.g. one per input file chunk) spread across ranks. With
+        ``append=False`` (the default, as in MR-MPI) existing pairs are
+        discarded first. Returns the *global* number of pairs emitted.
+        """
+        if num_tasks < 0:
+            raise ValueError(f"num_tasks must be >= 0, got {num_tasks}")
+        if not append:
+            self.kv = KeyValue()
+        self.kmv = None
+        for task in range(self.comm.rank, num_tasks, self.comm.size):
+            map_fn(task, self.kv)
+        return self.comm.allreduce(len(self.kv), SUM)
+
+    def map_files(
+        self,
+        paths: Sequence[Any],
+        map_fn: Callable[[str, str, KeyValue], None],
+        *,
+        append: bool = False,
+    ) -> int:
+        """Parallel-IO map: each rank *reads* and maps its share of files.
+
+        "It also demonstrates parallel IO since multiple MPI ranks
+        perform IO in MapReduce MPI" (paper §2): the file list is global
+        knowledge, but each file's bytes are read only by the one rank
+        that owns it (cyclic assignment). ``map_fn(path, text, kv)``
+        receives the file's content. Returns the global emitted-pair
+        count.
+        """
+        from pathlib import Path
+
+        if not append:
+            self.kv = KeyValue()
+        self.kmv = None
+        for i in range(self.comm.rank, len(paths), self.comm.size):
+            path = Path(paths[i])
+            map_fn(str(path), path.read_text(), self.kv)
+        return self.comm.allreduce(len(self.kv), SUM)
+
+    def map_items(self, items: Sequence[Any], map_fn: ItemMapFn, *, append: bool = False) -> int:
+        """Call ``map_fn(item, kv)`` on this rank's block of a global sequence.
+
+        ``items`` must be identical on every rank (the usual SPMD idiom:
+        all ranks hold the same input description, each processes its
+        slice). Returns the global number of pairs emitted.
+        """
+        if not append:
+            self.kv = KeyValue()
+        self.kmv = None
+        lo, hi = block_bounds(len(items), self.comm.size, self.comm.rank)
+        for item in items[lo:hi]:
+            map_fn(item, self.kv)
+        return self.comm.allreduce(len(self.kv), SUM)
+
+    # ------------------------------------------------------------------
+    # shuffle phase
+    # ------------------------------------------------------------------
+    def aggregate(self, partitioner: Callable[[Any], int] | None = None) -> int:
+        """Redistribute pairs so each key lands on its owning rank.
+
+        The owning rank is ``partitioner(key)`` if given, else the
+        deterministic hash placement. Implemented with one ``alltoall``
+        — the parallel-IO-plus-communication step the assignment uses to
+        illustrate "load balancing through hashing" (paper §2). Returns
+        the global number of pairs shipped between ranks.
+        """
+        size = self.comm.size
+        outboxes: list[list[tuple[Any, Any]]] = [[] for _ in range(size)]
+        for key, value in self.kv:
+            dest = partitioner(key) % size if partitioner else partition_for(key, size)
+            outboxes[dest].append((key, value))
+        self.last_shuffle_sent = sum(
+            len(box) for r, box in enumerate(outboxes) if r != self.comm.rank
+        )
+        inboxes = self.comm.alltoall(outboxes)
+        merged = KeyValue()
+        for box in inboxes:
+            merged.extend(box)
+        self.kv = merged
+        self.kmv = None
+        return self.comm.allreduce(self.last_shuffle_sent, SUM)
+
+    def convert(self) -> int:
+        """Group this rank's pairs by key into a KeyMultiValue (no communication).
+
+        Returns the global number of unique keys.
+        """
+        self.kmv = KeyMultiValue.from_pairs(self.kv)
+        return self.comm.allreduce(len(self.kmv), SUM)
+
+    def collate(self, partitioner: Callable[[Any], int] | None = None) -> int:
+        """``aggregate`` + ``convert``: the canonical shuffle-and-group step.
+
+        Returns the global number of unique keys (MR-MPI's convention).
+        """
+        self.aggregate(partitioner)
+        return self.convert()
+
+    # ------------------------------------------------------------------
+    # reduce phase
+    # ------------------------------------------------------------------
+    def reduce(self, reduce_fn: ReduceFn) -> int:
+        """Call ``reduce_fn(key, values, kv_out)`` per grouped key.
+
+        Requires a prior ``convert``/``collate``. The emitted pairs
+        replace the dataset. Returns the global number of emitted pairs.
+        """
+        if self.kmv is None:
+            raise RuntimeError("reduce() requires collate() or convert() first")
+        out = KeyValue()
+        for key, values in self.kmv.items():
+            reduce_fn(key, values, out)
+        self.kv = out
+        self.kmv = None
+        return self.comm.allreduce(len(out), SUM)
+
+    def local_combine(self, reduce_fn: ReduceFn) -> int:
+        """Pre-reduce *locally* before any shuffle — the paper's optimization.
+
+        "Adding local reductions at each rank … noticeably improves the
+        communication cost" (paper §2): combining same-key pairs on the
+        rank that produced them shrinks what ``aggregate`` must ship.
+        No communication happens here; returns the local pair count.
+        """
+        grouped = KeyMultiValue.from_pairs(self.kv)
+        out = KeyValue()
+        for key, values in grouped.items():
+            reduce_fn(key, values, out)
+        self.kv = out
+        self.kmv = None
+        return len(out)
+
+    # ------------------------------------------------------------------
+    # output phase
+    # ------------------------------------------------------------------
+    def gather(self, root: int = 0) -> list[tuple[Any, Any]] | None:
+        """All pairs to ``root`` (concatenated in rank order); None elsewhere."""
+        chunks = self.comm.gather(self.kv.pairs(), root=root)
+        if chunks is None:
+            return None
+        return [pair for chunk in chunks for pair in chunk]
+
+    def gather_all(self) -> list[tuple[Any, Any]]:
+        """All pairs on every rank (rank-order concatenation)."""
+        chunks = self.comm.allgather(self.kv.pairs())
+        return [pair for chunk in chunks for pair in chunk]
+
+    def sort_by_key(self) -> None:
+        """Sort this rank's pairs by key (keys must be mutually comparable)."""
+        self.kv = KeyValue(sorted(self.kv.pairs(), key=lambda p: p[0]))
+        self.kmv = None
+
+    def sort_by_value(self) -> None:
+        """Sort this rank's pairs by value (MR-MPI's sort_values)."""
+        self.kv = KeyValue(sorted(self.kv.pairs(), key=lambda p: p[1]))
+        self.kmv = None
+
+    def add(self, other: "MapReduce") -> int:
+        """Append another MapReduce object's local pairs (MR-MPI's add).
+
+        Both objects must live on the same communicator. Returns the
+        global pair count of the merged dataset.
+        """
+        if other.comm is not self.comm:
+            raise ValueError("can only add MapReduce objects on the same communicator")
+        self.kv.extend(other.kv.pairs())
+        self.kmv = None
+        return self.comm.allreduce(len(self.kv), SUM)
+
+    def map_kv(self, map_fn: Callable[[Any, Any, KeyValue], None]) -> int:
+        """Re-map existing pairs: ``map_fn(key, value, kv_out)`` per pair.
+
+        MR-MPI's ``map(mr, func)`` form — the way pipelines chain one
+        MapReduce stage's output into the next stage's map. Local only;
+        returns the global emitted-pair count.
+        """
+        out = KeyValue()
+        for key, value in self.kv:
+            map_fn(key, value, out)
+        self.kv = out
+        self.kmv = None
+        return self.comm.allreduce(len(out), SUM)
+
+    def scrunch(self, root: int = 0) -> int:
+        """Gather all pairs onto one rank and convert (MR-MPI's scrunch).
+
+        Useful for a final small reduction that must see everything —
+        e.g. a global top-k. Returns the number of unique keys on root
+        (0 elsewhere).
+        """
+        everyone = self.comm.gather(self.kv.pairs(), root=root)
+        if self.comm.rank == root:
+            merged = KeyValue()
+            for chunk in everyone:
+                merged.extend(chunk)
+            self.kv = merged
+            self.kmv = KeyMultiValue.from_pairs(merged)
+            count = len(self.kmv)
+        else:
+            self.kv = KeyValue()
+            self.kmv = KeyMultiValue()
+            count = 0
+        return count
+
+    @property
+    def num_pairs_local(self) -> int:
+        """Pairs held by this rank."""
+        return len(self.kv)
+
+    def num_pairs_global(self) -> int:
+        """Total pairs across ranks (collective)."""
+        return self.comm.allreduce(len(self.kv), SUM)

@@ -1,0 +1,52 @@
+"""Rank-local key/value storage — MR-MPI's ``KeyValue`` object.
+
+A thin, ordered container: map functions ``add`` pairs into it, the
+shuffle redistributes whole pair lists, and ``convert`` groups it into a
+:class:`repro.mapreduce.KeyMultiValue`. Order of insertion is preserved,
+which (together with deterministic hashing and rank-ordered exchanges)
+makes the entire MapReduce pipeline reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator
+
+__all__ = ["KeyValue"]
+
+
+class KeyValue:
+    """An append-only ordered collection of (key, value) pairs."""
+
+    __slots__ = ("_pairs",)
+
+    def __init__(self, pairs: Iterable[tuple[Any, Any]] | None = None) -> None:
+        self._pairs: list[tuple[Any, Any]] = list(pairs) if pairs is not None else []
+
+    def add(self, key: Any, value: Any) -> None:
+        """Append one pair (what map and reduce callbacks call)."""
+        self._pairs.append((key, value))
+
+    def extend(self, pairs: Iterable[tuple[Any, Any]]) -> None:
+        """Append many pairs."""
+        self._pairs.extend(pairs)
+
+    def pairs(self) -> list[tuple[Any, Any]]:
+        """The pair list itself (callers must not mutate)."""
+        return self._pairs
+
+    def clear(self) -> None:
+        """Drop all pairs."""
+        self._pairs.clear()
+
+    def keys(self) -> list[Any]:
+        """Keys in insertion order."""
+        return [k for k, _ in self._pairs]
+
+    def __len__(self) -> int:
+        return len(self._pairs)
+
+    def __iter__(self) -> Iterator[tuple[Any, Any]]:
+        return iter(self._pairs)
+
+    def __repr__(self) -> str:
+        return f"KeyValue({len(self._pairs)} pairs)"

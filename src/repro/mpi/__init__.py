@@ -1,0 +1,57 @@
+"""An in-process SPMD message-passing runtime with MPI semantics.
+
+Every distributed assignment in the paper targets MPI (kNN over
+MapReduce-MPI, §2; k-means, §3; the traffic and heat variations, §5–6;
+MPI4Py task distribution, §7). No MPI launcher exists in this offline
+environment, so this package provides the substitute described in
+DESIGN.md: each rank runs as a thread inside one Python process, and a
+:class:`Communicator` offers the familiar API surface —
+
+- point-to-point: ``send`` / ``recv`` / ``sendrecv`` / ``isend`` /
+  ``irecv`` / ``probe`` / ``iprobe`` with tag and source matching
+  (``ANY_SOURCE`` / ``ANY_TAG`` wildcards),
+- collectives: ``barrier``, ``bcast``, ``scatter``, ``gather``,
+  ``allgather``, ``alltoall``, ``reduce``, ``allreduce``, ``scan``,
+  ``exscan``,
+- communicator management: ``split`` (color/key sub-communicators) and
+  ``dup``.
+
+Semantics follow mpi4py's lowercase (pickle-based) methods: every
+payload is serialized on send and deserialized on receive, so ranks
+never share mutable state through a message — the same value semantics
+a real distributed run would have, which surfaces aliasing bugs that a
+naive queue-of-references simulator would hide.
+
+Entry point: :func:`run_spmd` launches ``fn(comm, *args)`` on every rank
+and returns the per-rank results.
+"""
+
+from repro.mpi.comm import ANY_SOURCE, ANY_TAG, Communicator, Request, Status
+from repro.mpi.errors import DeadlockError, RankFailedError, SpmdAbort
+from repro.mpi.ops import BAND, BOR, LAND, LOR, MAX, MIN, PROD, SUM
+from repro.mpi.rma import Window
+from repro.mpi.runtime import run_spmd
+from repro.mpi.topology import CartComm, dims_create
+
+__all__ = [
+    "run_spmd",
+    "Communicator",
+    "Request",
+    "Status",
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "SUM",
+    "PROD",
+    "MAX",
+    "MIN",
+    "LAND",
+    "LOR",
+    "BAND",
+    "BOR",
+    "SpmdAbort",
+    "RankFailedError",
+    "DeadlockError",
+    "Window",
+    "CartComm",
+    "dims_create",
+]

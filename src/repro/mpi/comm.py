@@ -1,0 +1,462 @@
+"""Communicators: point-to-point messaging and collective operations.
+
+The implementation mirrors mpi4py's lowercase API (pickle-based object
+messaging). Every collective is built on the point-to-point layer using
+reserved negative tags, so the whole stack exercises one well-tested
+matching engine.
+
+Ordering guarantees match MPI: messages between one (sender, receiver,
+communicator) pair are non-overtaking for a given tag pattern, and all
+reductions fold in rank order so floating-point results are
+deterministic.
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, Sequence
+
+from repro.mpi.errors import DeadlockError, SpmdAbort
+from repro.mpi.ops import SUM, Op
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.mpi.runtime import World
+
+__all__ = ["ANY_SOURCE", "ANY_TAG", "Status", "Request", "Communicator"]
+
+#: Wildcard accepted by ``recv``/``probe`` to match any sending rank.
+ANY_SOURCE = -1
+#: Wildcard accepted by ``recv``/``probe`` to match any tag.
+ANY_TAG = -1
+
+# Reserved (negative) tags for the collective protocols. User tags must
+# be >= 0, so these can never collide with application traffic.
+_TAG_BCAST = -2
+_TAG_SCATTER = -3
+_TAG_GATHER = -4
+_TAG_ALLTOALL = -5
+_TAG_SCAN = -6
+_TAG_BARRIER_IN = -7
+_TAG_BARRIER_OUT = -8
+_TAG_SPLIT_UP = -9
+_TAG_SPLIT_DOWN = -10
+_TAG_REDUCE = -11
+
+
+@dataclass(frozen=True)
+class Status:
+    """Receive metadata: the matched message's source rank and tag."""
+
+    source: int
+    tag: int
+
+
+@dataclass(frozen=True)
+class _Envelope:
+    """A message in flight. ``src_world`` is the sender's world rank."""
+
+    comm_id: int
+    src_world: int
+    tag: int
+    payload: bytes
+
+
+class _Mailbox:
+    """Per-rank message store with condition-variable based matching."""
+
+    def __init__(self, world: "World") -> None:
+        self._world = world
+        self._cond = threading.Condition()
+        self._messages: list[_Envelope] = []
+
+    def put(self, env: _Envelope) -> None:
+        with self._cond:
+            self._messages.append(env)
+            self._cond.notify_all()
+
+    def wake_all(self) -> None:
+        """Wake blocked receivers (used when the world aborts)."""
+        with self._cond:
+            self._cond.notify_all()
+
+    def _find(self, comm_id: int, src_world: int | None, tag: int) -> int | None:
+        for i, env in enumerate(self._messages):
+            if env.comm_id != comm_id:
+                continue
+            if src_world is not None and env.src_world != src_world:
+                continue
+            if tag != ANY_TAG and env.tag != tag:
+                continue
+            return i
+        return None
+
+    def try_match(
+        self, comm_id: int, src_world: int | None, tag: int, *, remove: bool
+    ) -> _Envelope | None:
+        with self._cond:
+            i = self._find(comm_id, src_world, tag)
+            if i is None:
+                return None
+            return self._messages.pop(i) if remove else self._messages[i]
+
+    def match(
+        self, comm_id: int, src_world: int | None, tag: int, *, remove: bool
+    ) -> _Envelope:
+        """Block until a matching message arrives (or abort / deadlock)."""
+        deadline = time.monotonic() + self._world.timeout
+        with self._cond:
+            while True:
+                if self._world.aborted:
+                    raise SpmdAbort("world aborted while waiting for a message")
+                i = self._find(comm_id, src_world, tag)
+                if i is not None:
+                    return self._messages.pop(i) if remove else self._messages[i]
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise DeadlockError(
+                        f"recv(comm={comm_id}, src_world={src_world}, tag={tag}) "
+                        f"timed out after {self._world.timeout:.1f}s — likely deadlock"
+                    )
+                self._cond.wait(timeout=min(remaining, 0.1))
+
+
+class Request:
+    """Handle for a non-blocking operation (``isend`` / ``irecv``).
+
+    ``isend`` requests are buffered sends: the payload was already
+    serialized and enqueued, so they complete immediately. ``irecv``
+    requests perform their matching when :meth:`test` or :meth:`wait`
+    is called.
+    """
+
+    def __init__(self, complete_fn: Callable[[bool], tuple[bool, Any]]) -> None:
+        self._complete_fn = complete_fn
+        self._done = False
+        self._value: Any = None
+
+    def test(self) -> tuple[bool, Any]:
+        """Non-blocking completion check: (done, value-or-None)."""
+        if not self._done:
+            self._done, self._value = self._complete_fn(False)
+        return self._done, self._value
+
+    def wait(self) -> Any:
+        """Block until complete; return the received object (None for sends)."""
+        if not self._done:
+            self._done, self._value = self._complete_fn(True)
+            assert self._done
+        return self._value
+
+
+class Communicator:
+    """A group of ranks that can message each other.
+
+    Constructed by :func:`repro.mpi.run_spmd` (the world communicator)
+    or by :meth:`split` / :meth:`dup`. ``rank``/``size`` are relative to
+    this communicator; message routing translates to world ranks
+    internally.
+    """
+
+    def __init__(self, world: "World", comm_id: int, world_ranks: Sequence[int], rank: int) -> None:
+        self._world = world
+        self._id = comm_id
+        self._world_ranks = list(world_ranks)
+        self._rank = rank
+        self._from_world = {w: r for r, w in enumerate(self._world_ranks)}
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def rank(self) -> int:
+        """This process's rank within the communicator."""
+        return self._rank
+
+    @property
+    def size(self) -> int:
+        """Number of ranks in the communicator."""
+        return len(self._world_ranks)
+
+    @property
+    def world_rank(self) -> int:
+        """This process's rank in the world communicator."""
+        return self._world_ranks[self._rank]
+
+    def __repr__(self) -> str:
+        return f"Communicator(id={self._id}, rank={self._rank}, size={self.size})"
+
+    def _check_peer(self, name: str, peer: int) -> int:
+        if not 0 <= peer < self.size:
+            raise ValueError(f"{name} {peer} out of range for communicator of size {self.size}")
+        return self._world_ranks[peer]
+
+    @staticmethod
+    def _check_tag(tag: int) -> None:
+        if tag < 0:
+            raise ValueError(f"user tags must be >= 0, got {tag}")
+
+    # ------------------------------------------------------------------
+    # point-to-point
+    # ------------------------------------------------------------------
+    def _post(self, obj: Any, dest_world: int, tag: int) -> None:
+        payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+        self._world.stats.record(len(payload))
+        env = _Envelope(self._id, self.world_rank, tag, payload)
+        self._world.mailbox(dest_world).put(env)
+
+    def _source_world(self, source: int) -> int | None:
+        if source == ANY_SOURCE:
+            return None
+        return self._check_peer("source", source)
+
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        """Send a picklable object to ``dest`` (buffered, returns immediately)."""
+        self._check_tag(tag)
+        self._post(obj, self._check_peer("dest", dest), tag)
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Any:
+        """Block until a matching message arrives; return its payload."""
+        obj, _ = self.recv_with_status(source, tag)
+        return obj
+
+    def recv_with_status(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> tuple[Any, Status]:
+        """Like :meth:`recv` but also return the matched :class:`Status`."""
+        env = self._world.mailbox(self.world_rank).match(
+            self._id, self._source_world(source), tag, remove=True
+        )
+        status = Status(self._from_world[env.src_world], env.tag)
+        return pickle.loads(env.payload), status
+
+    def sendrecv(
+        self, sendobj: Any, dest: int, source: int = ANY_SOURCE, sendtag: int = 0, recvtag: int = ANY_TAG
+    ) -> Any:
+        """Combined send+receive that cannot deadlock against its partner."""
+        self.send(sendobj, dest, sendtag)
+        return self.recv(source, recvtag)
+
+    def isend(self, obj: Any, dest: int, tag: int = 0) -> Request:
+        """Non-blocking send; the returned request is already complete."""
+        self.send(obj, dest, tag)
+        return Request(lambda _block: (True, None))
+
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Request:
+        """Non-blocking receive; completion happens in ``test``/``wait``."""
+        src_world = self._source_world(source)
+        mailbox = self._world.mailbox(self.world_rank)
+
+        def complete(block: bool) -> tuple[bool, Any]:
+            if block:
+                env = mailbox.match(self._id, src_world, tag, remove=True)
+            else:
+                env = mailbox.try_match(self._id, src_world, tag, remove=True)
+                if env is None:
+                    return False, None
+            return True, pickle.loads(env.payload)
+
+        return Request(complete)
+
+    def probe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Status:
+        """Block until a matching message is available; do not consume it."""
+        env = self._world.mailbox(self.world_rank).match(
+            self._id, self._source_world(source), tag, remove=False
+        )
+        return Status(self._from_world[env.src_world], env.tag)
+
+    def iprobe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Status | None:
+        """Non-blocking probe: matching message's status, or None."""
+        env = self._world.mailbox(self.world_rank).try_match(
+            self._id, self._source_world(source), tag, remove=False
+        )
+        if env is None:
+            return None
+        return Status(self._from_world[env.src_world], env.tag)
+
+    # ------------------------------------------------------------------
+    # collectives
+    # ------------------------------------------------------------------
+    def barrier(self) -> None:
+        """Block until every rank of the communicator has entered."""
+        root = 0
+        if self._rank == root:
+            for r in range(self.size):
+                if r != root:
+                    self._recv_sys(r, _TAG_BARRIER_IN)
+            for r in range(self.size):
+                if r != root:
+                    self._post(None, self._world_ranks[r], _TAG_BARRIER_OUT)
+        else:
+            self._post(None, self._world_ranks[root], _TAG_BARRIER_IN)
+            self._recv_sys(root, _TAG_BARRIER_OUT)
+
+    def _recv_sys(self, source: int, tag: int) -> Any:
+        env = self._world.mailbox(self.world_rank).match(
+            self._id, self._world_ranks[source], tag, remove=True
+        )
+        return pickle.loads(env.payload)
+
+    def _check_root(self, root: int) -> None:
+        if not 0 <= root < self.size:
+            raise ValueError(f"root {root} out of range for communicator of size {self.size}")
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        """Broadcast ``obj`` from ``root``; every rank returns its own copy."""
+        self._check_root(root)
+        if self._rank == root:
+            for r in range(self.size):
+                if r != root:
+                    self._post(obj, self._world_ranks[r], _TAG_BCAST)
+            # Root round-trips through pickle too, for uniform value semantics.
+            return pickle.loads(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
+        return self._recv_sys(root, _TAG_BCAST)
+
+    def scatter(self, objs: Sequence[Any] | None, root: int = 0) -> Any:
+        """Rank ``i`` returns ``objs[i]`` from the root's sequence.
+
+        Uneven payload sizes are allowed (this doubles as Scatterv).
+        """
+        self._check_root(root)
+        if self._rank == root:
+            if objs is None or len(objs) != self.size:
+                got = "None" if objs is None else str(len(objs))
+                raise ValueError(f"root must pass exactly {self.size} items to scatter, got {got}")
+            for r in range(self.size):
+                if r != root:
+                    self._post(objs[r], self._world_ranks[r], _TAG_SCATTER)
+            return pickle.loads(pickle.dumps(objs[root], protocol=pickle.HIGHEST_PROTOCOL))
+        return self._recv_sys(root, _TAG_SCATTER)
+
+    def gather(self, obj: Any, root: int = 0) -> list[Any] | None:
+        """Root returns ``[rank0_obj, rank1_obj, …]``; other ranks return None."""
+        self._check_root(root)
+        if self._rank == root:
+            out: list[Any] = [None] * self.size
+            out[root] = pickle.loads(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
+            for r in range(self.size):
+                if r != root:
+                    out[r] = self._recv_sys(r, _TAG_GATHER)
+            return out
+        self._post(obj, self._world_ranks[root], _TAG_GATHER)
+        return None
+
+    def allgather(self, obj: Any) -> list[Any]:
+        """Every rank returns the full gathered list."""
+        gathered = self.gather(obj, root=0)
+        return self.bcast(gathered, root=0)
+
+    def alltoall(self, objs: Sequence[Any]) -> list[Any]:
+        """Personalized exchange: rank ``i`` sends ``objs[j]`` to rank ``j``.
+
+        Returns the list of items received, indexed by source rank.
+        """
+        if len(objs) != self.size:
+            raise ValueError(f"alltoall needs exactly {self.size} items, got {len(objs)}")
+        for r in range(self.size):
+            if r != self._rank:
+                self._post(objs[r], self._world_ranks[r], _TAG_ALLTOALL)
+        out: list[Any] = [None] * self.size
+        out[self._rank] = pickle.loads(
+            pickle.dumps(objs[self._rank], protocol=pickle.HIGHEST_PROTOCOL)
+        )
+        for r in range(self.size):
+            if r != self._rank:
+                out[r] = self._recv_sys(r, _TAG_ALLTOALL)
+        return out
+
+    def reduce(self, obj: Any, op: Op = SUM, root: int = 0) -> Any:
+        """Fold all ranks' values with ``op`` in rank order; result at root only."""
+        self._check_root(root)
+        if self._rank == root:
+            parts: list[Any] = [None] * self.size
+            parts[root] = pickle.loads(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
+            for r in range(self.size):
+                if r != root:
+                    parts[r] = self._recv_sys(r, _TAG_REDUCE)
+            acc = parts[0]
+            for part in parts[1:]:
+                acc = op(acc, part)
+            return acc
+        self._post(obj, self._world_ranks[root], _TAG_REDUCE)
+        return None
+
+    def allreduce(self, obj: Any, op: Op = SUM) -> Any:
+        """Reduce then broadcast: every rank returns the folded value."""
+        return self.bcast(self.reduce(obj, op, root=0), root=0)
+
+    def scan(self, obj: Any, op: Op = SUM) -> Any:
+        """Inclusive prefix reduction: rank ``r`` gets fold of ranks ``0..r``."""
+        own = pickle.loads(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
+        if self._rank == 0:
+            acc = own
+        else:
+            prefix = self._recv_sys(self._rank - 1, _TAG_SCAN)
+            acc = op(prefix, own)
+        if self._rank + 1 < self.size:
+            self._post(acc, self._world_ranks[self._rank + 1], _TAG_SCAN)
+        return acc
+
+    def exscan(self, obj: Any, op: Op = SUM) -> Any:
+        """Exclusive prefix reduction: rank ``r`` gets fold of ranks ``0..r-1``.
+
+        Rank 0 returns ``None`` (MPI leaves it undefined).
+        """
+        own = pickle.loads(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
+        prefix = None
+        if self._rank > 0:
+            prefix = self._recv_sys(self._rank - 1, _TAG_SCAN)
+        if self._rank + 1 < self.size:
+            inclusive = own if prefix is None else op(prefix, own)
+            self._post(inclusive, self._world_ranks[self._rank + 1], _TAG_SCAN)
+        return prefix
+
+    # ------------------------------------------------------------------
+    # communicator management
+    # ------------------------------------------------------------------
+    def split(self, color: int | None, key: int = 0) -> "Communicator | None":
+        """Partition the communicator by ``color``; order ranks by ``(key, rank)``.
+
+        Ranks passing ``color=None`` (MPI_UNDEFINED) receive ``None``.
+        Collective: every rank of this communicator must call it.
+        """
+        # Rank 0 coordinates: gathers (color, key), forms groups, assigns
+        # fresh communicator ids from the world counter, and scatters each
+        # rank's (comm_id, members, new_rank) descriptor back.
+        if self._rank == 0:
+            entries = [(color, key, 0)]
+            for r in range(1, self.size):
+                c, k = self._recv_sys(r, _TAG_SPLIT_UP)
+                entries.append((c, k, r))
+            groups: dict[int, list[tuple[int, int]]] = {}
+            for c, k, r in entries:
+                if c is not None:
+                    groups.setdefault(c, []).append((k, r))
+            descriptors: list[tuple[int, list[int], int] | None] = [None] * self.size
+            for c in sorted(groups):
+                members = sorted(groups[c])
+                comm_id = self._world.allocate_comm_id()
+                world_ranks = [self._world_ranks[r] for _, r in members]
+                for new_rank, (_, parent_rank) in enumerate(members):
+                    descriptors[parent_rank] = (comm_id, world_ranks, new_rank)
+            for r in range(1, self.size):
+                self._post(descriptors[r], self._world_ranks[r], _TAG_SPLIT_DOWN)
+            mine = descriptors[0]
+        else:
+            self._post((color, key), self._world_ranks[0], _TAG_SPLIT_UP)
+            mine = self._recv_sys(0, _TAG_SPLIT_DOWN)
+        if mine is None:
+            return None
+        comm_id, world_ranks, new_rank = mine
+        return Communicator(self._world, comm_id, world_ranks, new_rank)
+
+    def dup(self) -> "Communicator":
+        """Duplicate the communicator (same group, isolated message space)."""
+        dup = self.split(color=0, key=self._rank)
+        assert dup is not None
+        return dup
+
+    def abort(self) -> None:
+        """Tear down the whole world (MPI_Abort): all ranks raise SpmdAbort."""
+        self._world.abort()
+        raise SpmdAbort(f"rank {self.world_rank} called abort()")

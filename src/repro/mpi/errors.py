@@ -1,0 +1,40 @@
+"""Error types raised by the SPMD runtime."""
+
+from __future__ import annotations
+
+__all__ = ["SpmdAbort", "RankFailedError", "DeadlockError"]
+
+
+class SpmdAbort(BaseException):
+    """Raised inside surviving ranks when another rank has failed.
+
+    Derived from ``BaseException`` so user-level ``except Exception``
+    blocks inside rank functions do not accidentally swallow the abort
+    and leave the world half-dead — the same reason real MPI kills the
+    whole job on any rank's fatal error.
+    """
+
+
+class RankFailedError(RuntimeError):
+    """Raised by :func:`repro.mpi.run_spmd` when one or more ranks raised.
+
+    ``failures`` maps rank -> the exception that rank raised. The first
+    failure (by rank order) is chained as ``__cause__`` so its traceback
+    is visible.
+    """
+
+    def __init__(self, failures: dict[int, BaseException]) -> None:
+        self.failures = dict(failures)
+        detail = "; ".join(
+            f"rank {rank}: {type(exc).__name__}: {exc}" for rank, exc in sorted(self.failures.items())
+        )
+        super().__init__(f"{len(self.failures)} rank(s) failed: {detail}")
+
+
+class DeadlockError(RuntimeError):
+    """A blocking operation exceeded the world's configured timeout.
+
+    Real MPI would simply hang; the simulator turns the hang into a
+    diagnosable error, which the assignments use to demonstrate deadlock
+    (e.g. two ranks both blocking in ``recv`` before anyone sends).
+    """

@@ -1,0 +1,72 @@
+"""Built-in reduction operators for :meth:`Communicator.reduce` and friends.
+
+Each op is a binary callable combining two payloads. They work on
+scalars and elementwise on numpy arrays (because the underlying Python
+operators broadcast), matching the behaviour of the MPI predefined ops
+the k-means assignment's "distributed reduction" step relies on
+(paper §3).
+
+Reductions in this runtime are always folded **in rank order**
+(``((r0 ⊕ r1) ⊕ r2) ⊕ …``), so results are deterministic run-to-run even
+for non-associative floating-point addition — a stronger guarantee than
+real MPI makes, and convenient for the reproducibility-focused tests.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+import numpy as np
+
+__all__ = ["SUM", "PROD", "MAX", "MIN", "LAND", "LOR", "BAND", "BOR", "Op"]
+
+#: Type alias for reduction operators.
+Op = Callable[[Any, Any], Any]
+
+
+def SUM(a: Any, b: Any) -> Any:
+    """Elementwise / scalar addition."""
+    return a + b
+
+
+def PROD(a: Any, b: Any) -> Any:
+    """Elementwise / scalar product."""
+    return a * b
+
+
+def MAX(a: Any, b: Any) -> Any:
+    """Elementwise maximum for arrays, ``max`` for scalars."""
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return np.maximum(a, b)
+    return max(a, b)
+
+
+def MIN(a: Any, b: Any) -> Any:
+    """Elementwise minimum for arrays, ``min`` for scalars."""
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return np.minimum(a, b)
+    return min(a, b)
+
+
+def LAND(a: Any, b: Any) -> Any:
+    """Logical and."""
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return np.logical_and(a, b)
+    return bool(a) and bool(b)
+
+
+def LOR(a: Any, b: Any) -> Any:
+    """Logical or."""
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return np.logical_or(a, b)
+    return bool(a) or bool(b)
+
+
+def BAND(a: Any, b: Any) -> Any:
+    """Bitwise and."""
+    return a & b
+
+
+def BOR(a: Any, b: Any) -> Any:
+    """Bitwise or."""
+    return a | b

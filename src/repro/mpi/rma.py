@@ -1,0 +1,173 @@
+"""One-sided communication (RMA): MPI windows.
+
+The mpi4py curriculum the assignments draw on ends with one-sided
+communication — ``Win.Allocate`` / ``Put`` / ``Get`` / ``Accumulate``
+with lock/unlock or fence synchronization. :class:`Window` reproduces
+that model: every rank exposes a numpy buffer; any rank may read, write,
+or accumulate into any other rank's buffer without the target calling
+receive.
+
+Synchronization follows MPI's rules, enforced rather than assumed:
+
+- *passive target*: ``with win.locked(target): win.put(...)`` — the
+  per-target lock serializes epochs;
+- *active target*: ``win.fence()`` — a barrier separating epochs.
+
+Accesses outside any epoch raise, which converts the classic silent
+RMA race into an immediate error.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.mpi.comm import Communicator
+from repro.mpi.ops import SUM
+from repro.util.validation import require_nonnegative_int, require_positive_int
+
+__all__ = ["Window"]
+
+
+class _WindowState:
+    """Shared (world-level) state of one window: buffers and locks."""
+
+    def __init__(self, size: int) -> None:
+        self.buffers: list[np.ndarray | None] = [None] * size
+        self.locks = [threading.RLock() for _ in range(size)]
+
+
+class Window:
+    """A collectively-created set of remotely-accessible buffers."""
+
+    def __init__(self, comm: Communicator, local_size: int, dtype=float) -> None:
+        """Collective constructor: every rank of ``comm`` must call it.
+
+        ``local_size`` may differ per rank (0 = expose nothing, like
+        ``win_size = 0`` on non-root ranks in the mpi4py tutorial).
+        """
+        require_nonnegative_int("local_size", local_size)
+        self.comm = comm
+        self._local = np.zeros(local_size, dtype=dtype)
+        # Rank 0 builds the shared state object; since ranks are threads,
+        # bcast of a *registry key* plus world-level storage shares it
+        # without pickling (pickling would copy the buffers).
+        world = comm._world  # noqa: SLF001 - substrate-internal wiring
+        if comm.rank == 0:
+            state = _WindowState(comm.size)
+            key = world.register_shared(state)
+        else:
+            key = None
+        key = comm.bcast(key, root=0)
+        self._state: _WindowState = world.shared(key)
+        self._state.buffers[comm.rank] = self._local
+        self._epoch_targets: set[int] | None = None
+        comm.barrier()  # window is usable only once everyone attached
+
+    # ------------------------------------------------------------------
+    # synchronization
+    # ------------------------------------------------------------------
+    def fence(self) -> None:
+        """Active-target epoch boundary: a barrier opening global access.
+
+        Between two fences every rank may access every target (MPI's
+        fence epochs); the implementation grabs no locks — accumulates
+        still serialize internally per target.
+        """
+        self.comm.barrier()
+        self._epoch_targets = set(range(self.comm.size))
+
+    def locked(self, target: int):
+        """Passive-target epoch: ``with win.locked(t): …`` (MPI lock/unlock)."""
+        if not 0 <= target < self.comm.size:
+            raise ValueError(f"target {target} out of range")
+        window = self
+
+        class _Epoch:
+            def __enter__(self) -> "Window":
+                window._state.locks[target].acquire()
+                if window._epoch_targets is None:
+                    window._epoch_targets = set()
+                window._epoch_targets.add(target)
+                return window
+
+            def __exit__(self, *exc: Any) -> None:
+                window._epoch_targets.discard(target)
+                if not window._epoch_targets:
+                    window._epoch_targets = None
+                window._state.locks[target].release()
+
+        return _Epoch()
+
+    def _check_epoch(self, target: int) -> None:
+        if self._epoch_targets is None or target not in self._epoch_targets:
+            raise RuntimeError(
+                f"RMA access to rank {target} outside any epoch — "
+                "wrap it in win.locked(target) or call win.fence() first"
+            )
+
+    def _target_buffer(self, target: int) -> np.ndarray:
+        if not 0 <= target < self.comm.size:
+            raise ValueError(f"target {target} out of range")
+        buf = self._state.buffers[target]
+        if buf is None or buf.size == 0:
+            raise ValueError(f"rank {target} exposes no window memory")
+        return buf
+
+    # ------------------------------------------------------------------
+    # access
+    # ------------------------------------------------------------------
+    @property
+    def local(self) -> np.ndarray:
+        """This rank's exposed buffer (direct, always-legal local access)."""
+        return self._local
+
+    def put(self, values: np.ndarray, target: int, offset: int = 0) -> None:
+        """Write ``values`` into the target's buffer at ``offset``."""
+        self._check_epoch(target)
+        values = np.asarray(values)
+        buf = self._target_buffer(target)
+        if offset < 0 or offset + values.size > buf.size:
+            raise IndexError(
+                f"put of {values.size} at offset {offset} exceeds window of {buf.size}"
+            )
+        buf[offset : offset + values.size] = values
+
+    def get(self, target: int, offset: int = 0, count: int | None = None) -> np.ndarray:
+        """Copy ``count`` elements from the target's buffer at ``offset``."""
+        self._check_epoch(target)
+        buf = self._target_buffer(target)
+        count = buf.size - offset if count is None else count
+        require_nonnegative_int("count", count)
+        if offset < 0 or offset + count > buf.size:
+            raise IndexError(
+                f"get of {count} at offset {offset} exceeds window of {buf.size}"
+            )
+        return buf[offset : offset + count].copy()
+
+    def accumulate(
+        self,
+        values: np.ndarray,
+        target: int,
+        offset: int = 0,
+        op: Callable[[Any, Any], Any] = SUM,
+    ) -> None:
+        """Atomically fold ``values`` into the target (MPI_Accumulate).
+
+        Unlike put/get, accumulate is atomically serialized per
+        target even inside fence epochs, matching MPI's guarantee that
+        concurrent accumulates with the same op are well-defined.
+        """
+        values = np.asarray(values)
+        self._check_epoch(target)
+        buf = self._target_buffer(target)
+        if offset < 0 or offset + values.size > buf.size:
+            raise IndexError(
+                f"accumulate of {values.size} at offset {offset} exceeds window of {buf.size}"
+            )
+        with self._state.locks[target]:
+            buf[offset : offset + values.size] = op(
+                buf[offset : offset + values.size], values
+            )

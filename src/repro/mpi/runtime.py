@@ -1,0 +1,184 @@
+"""The SPMD world: rank threads, mailboxes, and the launcher.
+
+:func:`run_spmd` is the moral equivalent of ``mpiexec -n <size>``: it
+starts one thread per rank, hands each a :class:`Communicator`, runs the
+user's rank function, and collects per-rank results. If any rank raises,
+the world aborts (waking ranks blocked in ``recv``/collectives) and a
+:class:`RankFailedError` reports every failure.
+
+Python threads as ranks is a faithful *semantic* model — value-copying
+messages, real concurrency hazards, real blocking — and a partially
+faithful *performance* model: numpy kernels release the GIL so chunked
+array compute genuinely overlaps, while pure-Python loops serialize.
+DESIGN.md's ablation benchmark quantifies exactly that boundary.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable
+
+from repro.mpi.comm import Communicator, _Mailbox
+from repro.mpi.errors import RankFailedError, SpmdAbort
+from repro.util.validation import require_positive_int
+
+__all__ = ["World", "run_spmd"]
+
+_WORLD_COMM_ID = 0
+
+
+class MessageStats:
+    """Communication counters for one SPMD run (all ranks combined).
+
+    Like the shuffle-pair counts in MapReduce/Spark and the remote-access
+    counters in the Chapel arrays, these make the runtime's traffic
+    observable: ``messages`` posts and their pickled ``payload_bytes``.
+    Thread-safe via a single lock (contention is irrelevant at teaching
+    scale).
+    """
+
+    def __init__(self) -> None:
+        self.messages = 0
+        self.payload_bytes = 0
+        self._lock = threading.Lock()
+
+    def record(self, nbytes: int) -> None:
+        """Count one posted message of ``nbytes`` pickled payload."""
+        with self._lock:
+            self.messages += 1
+            self.payload_bytes += nbytes
+
+    def snapshot(self) -> dict[str, int]:
+        """A plain-dict copy (for reports)."""
+        with self._lock:
+            return {"messages": self.messages, "payload_bytes": self.payload_bytes}
+
+
+class World:
+    """Shared state for one SPMD execution: mailboxes, abort flag, comm ids."""
+
+    def __init__(self, size: int, timeout: float) -> None:
+        require_positive_int("size", size)
+        if timeout <= 0:
+            raise ValueError(f"timeout must be > 0, got {timeout}")
+        self.size = size
+        self.timeout = timeout
+        self.stats = MessageStats()
+        self._mailboxes = [_Mailbox(self) for _ in range(size)]
+        self._abort = threading.Event()
+        self._comm_id_lock = threading.Lock()
+        self._next_comm_id = _WORLD_COMM_ID + 1
+        self._shared: dict[int, object] = {}
+        self._shared_lock = threading.Lock()
+        self._next_shared_key = 0
+
+    @property
+    def aborted(self) -> bool:
+        """True once any rank has failed or called abort()."""
+        return self._abort.is_set()
+
+    def abort(self) -> None:
+        """Mark the world dead and wake every blocked receiver."""
+        self._abort.set()
+        for box in self._mailboxes:
+            box.wake_all()
+
+    def mailbox(self, world_rank: int) -> _Mailbox:
+        """The receive queue of a world rank."""
+        return self._mailboxes[world_rank]
+
+    def register_shared(self, obj: object) -> int:
+        """Store an object shared by reference across ranks; returns its key.
+
+        Messages are pickled (value semantics), so substrate features
+        that genuinely need shared state — RMA window buffers — register
+        it here and ship only the key.
+        """
+        with self._shared_lock:
+            key = self._next_shared_key
+            self._next_shared_key += 1
+            self._shared[key] = obj
+            return key
+
+    def shared(self, key: int) -> object:
+        """Look up an object registered with :meth:`register_shared`."""
+        with self._shared_lock:
+            return self._shared[key]
+
+    def allocate_comm_id(self) -> int:
+        """Fresh communicator id (used by split/dup)."""
+        with self._comm_id_lock:
+            cid = self._next_comm_id
+            self._next_comm_id += 1
+            return cid
+
+    def world_communicator(self, rank: int) -> Communicator:
+        """The COMM_WORLD view for one rank."""
+        return Communicator(self, _WORLD_COMM_ID, list(range(self.size)), rank)
+
+
+def run_spmd(
+    size: int,
+    fn: Callable[..., Any],
+    *args: Any,
+    timeout: float = 60.0,
+    return_stats: bool = False,
+    **kwargs: Any,
+) -> list[Any] | tuple[list[Any], dict[str, int]]:
+    """Run ``fn(comm, *args, **kwargs)`` on ``size`` ranks; return per-rank results.
+
+    Parameters
+    ----------
+    size:
+        Number of ranks (threads) to launch.
+    fn:
+        The rank program. Its first argument is this rank's
+        :class:`Communicator`; remaining arguments are shared verbatim
+        (so treat them as read-only, exactly like pre-loaded input files
+        in a real MPI job).
+    timeout:
+        Seconds any single blocking operation may wait before the runtime
+        declares deadlock.
+    return_stats:
+        When True, return ``(results, stats)`` where stats reports the
+        run's total message count and pickled payload bytes — the
+        communication-volume view the course's performance discussions
+        need.
+
+    Raises
+    ------
+    RankFailedError
+        If any rank raised; carries the per-rank exceptions.
+    """
+    world = World(size, timeout)
+    results: list[Any] = [None] * size
+    failures: dict[int, BaseException] = {}
+    failure_lock = threading.Lock()
+
+    def rank_main(rank: int) -> None:
+        comm = world.world_communicator(rank)
+        try:
+            results[rank] = fn(comm, *args, **kwargs)
+        except SpmdAbort:
+            # Another rank failed first; this rank just unwinds quietly.
+            pass
+        except BaseException as exc:  # noqa: BLE001 - report any rank failure
+            with failure_lock:
+                failures[rank] = exc
+            world.abort()
+
+    threads = [
+        threading.Thread(target=rank_main, args=(r,), name=f"spmd-rank-{r}", daemon=True)
+        for r in range(size)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    if failures:
+        first_rank = min(failures)
+        raise RankFailedError(failures) from failures[first_rank]
+    if return_stats:
+        return results, world.stats.snapshot()
+    return results

@@ -1,0 +1,142 @@
+"""Cartesian process topologies (MPI_Cart_create and friends).
+
+Stencil codes — the heat equation's MPI adaptation, the traffic model's
+ring — name their neighbours through a Cartesian view of the rank
+space. :class:`CartComm` provides the standard operations: rank ↔
+coordinate conversion, ``shift`` (source/destination for a displacement
+along a dimension, honouring periodicity), and neighbour ``sendrecv``
+sugar for halo exchanges.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Sequence
+
+from repro.mpi.comm import Communicator
+from repro.util.validation import require_positive_int
+
+__all__ = ["CartComm", "dims_create"]
+
+
+def dims_create(nnodes: int, ndims: int) -> list[int]:
+    """Balanced dimension sizes whose product is ``nnodes`` (MPI_Dims_create).
+
+    Greedy: repeatedly assign the largest remaining prime factor to the
+    currently smallest dimension, then sort descending — close to MPI's
+    behaviour and adequate for teaching-scale grids.
+    """
+    require_positive_int("nnodes", nnodes)
+    require_positive_int("ndims", ndims)
+    dims = [1] * ndims
+    remaining = nnodes
+    factor = 2
+    factors: list[int] = []
+    while factor * factor <= remaining:
+        while remaining % factor == 0:
+            factors.append(factor)
+            remaining //= factor
+        factor += 1
+    if remaining > 1:
+        factors.append(remaining)
+    for f in sorted(factors, reverse=True):
+        dims[dims.index(min(dims))] *= f
+    return sorted(dims, reverse=True)
+
+
+class CartComm:
+    """A communicator with an attached Cartesian coordinate system.
+
+    Ranks are laid out row-major over ``dims`` (the MPI convention).
+    Construction is collective in spirit but stateless in practice —
+    every rank just computes the same arithmetic.
+    """
+
+    def __init__(self, comm: Communicator, dims: Sequence[int], periods: Sequence[bool]) -> None:
+        dims = [require_positive_int("dim", d) for d in dims]
+        if len(periods) != len(dims):
+            raise ValueError("periods must match dims in length")
+        if math.prod(dims) != comm.size:
+            raise ValueError(
+                f"dims {dims} cover {math.prod(dims)} ranks but communicator has {comm.size}"
+            )
+        self.comm = comm
+        self.dims = list(dims)
+        self.periods = [bool(p) for p in periods]
+
+    # ------------------------------------------------------------------
+    @property
+    def rank(self) -> int:
+        """This process's rank."""
+        return self.comm.rank
+
+    @property
+    def ndims(self) -> int:
+        """Number of grid dimensions."""
+        return len(self.dims)
+
+    def coords_of(self, rank: int) -> tuple[int, ...]:
+        """Grid coordinates of a rank (row-major)."""
+        if not 0 <= rank < self.comm.size:
+            raise ValueError(f"rank {rank} out of range")
+        coords = []
+        for extent in reversed(self.dims):
+            coords.append(rank % extent)
+            rank //= extent
+        return tuple(reversed(coords))
+
+    def rank_of(self, coords: Sequence[int]) -> int:
+        """Rank at the given grid coordinates (wrapping periodic dims)."""
+        if len(coords) != self.ndims:
+            raise ValueError(f"need {self.ndims} coordinates, got {len(coords)}")
+        rank = 0
+        for c, extent, periodic in zip(coords, self.dims, self.periods):
+            if periodic:
+                c %= extent
+            elif not 0 <= c < extent:
+                raise ValueError(f"coordinate {c} outside non-periodic extent {extent}")
+            rank = rank * extent + c
+        return rank
+
+    @property
+    def coords(self) -> tuple[int, ...]:
+        """This rank's grid coordinates."""
+        return self.coords_of(self.rank)
+
+    # ------------------------------------------------------------------
+    def shift(self, dimension: int, displacement: int) -> tuple[int | None, int | None]:
+        """(source, destination) ranks for a shift along ``dimension``.
+
+        Matches ``MPI_Cart_shift``: ``destination`` is where this rank's
+        data goes for a positive displacement; ``source`` is who sends to
+        this rank. Off-grid neighbours of non-periodic dimensions are
+        ``None`` (MPI_PROC_NULL).
+        """
+        if not 0 <= dimension < self.ndims:
+            raise ValueError(f"dimension {dimension} out of range")
+        here = list(self.coords)
+
+        def neighbour(offset: int) -> int | None:
+            target = here.copy()
+            target[dimension] += offset
+            extent = self.dims[dimension]
+            if self.periods[dimension]:
+                target[dimension] %= extent
+            elif not 0 <= target[dimension] < extent:
+                return None
+            return self.rank_of(target)
+
+        return neighbour(-displacement), neighbour(displacement)
+
+    def neighbor_sendrecv(
+        self, sendobj: Any, dimension: int, displacement: int, tag: int = 0
+    ) -> Any:
+        """Halo-exchange sugar: send toward +displacement, receive from
+        the opposite side. Returns the received object, or None at a
+        non-periodic boundary with no source."""
+        source, dest = self.shift(dimension, displacement)
+        if dest is not None:
+            self.comm.send(sendobj, dest, tag)
+        if source is not None:
+            return self.comm.recv(source, tag)
+        return None

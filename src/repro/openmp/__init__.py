@@ -1,0 +1,50 @@
+"""An OpenMP-flavoured shared-memory substrate built on Python threads.
+
+The k-means assignment (paper §3) teaches a four-stage parallelization
+ladder — *detect race conditions → guard with critical sections →
+replace with atomics → restructure as reductions* — and the traffic
+assignment (paper §5) needs ``parallel``, ``for`` and ``threadprivate``
+semantics. This package provides those constructs:
+
+- :func:`parallel_region` / :class:`TeamContext` — fork a thread team;
+  inside the region each thread has ``thread_id``/``num_threads``,
+  ``barrier()``, named ``critical()`` sections, ``single()`` and
+  ``master()`` blocks (the ``omp parallel`` pragma).
+- :func:`parallel_for` / :meth:`TeamContext.for_range` — worksharing
+  loops with ``static``, ``dynamic`` and ``guided`` schedules (the
+  ``omp for`` pragma with its ``schedule`` clause).
+- :class:`Atomic` — a lock-protected scalar cell with ``add``/``max``/…
+  (the ``omp atomic`` pragma).
+- :func:`parallel_reduce` / :class:`ReductionVar` — per-thread private
+  accumulators merged once at the end (the ``reduction`` clause).
+- :class:`ThreadPrivate` — per-thread persistent storage (the
+  ``threadprivate`` pragma), used for per-thread RNG clones.
+
+Performance note (also in DESIGN.md): Python threads share the GIL, so
+pure-Python loop bodies do not speed up — but numpy kernels release the
+GIL and genuinely overlap. The benchmark suite exploits exactly that,
+mirroring how the real assignments chunk work into compiled kernels.
+"""
+
+from repro.openmp.loops import chunked_for, parallel_for
+from repro.openmp.reduction import ReductionVar, parallel_reduce
+from repro.openmp.region import TeamContext, parallel_region
+from repro.openmp.sections import OrderedRegion, parallel_sections
+from repro.openmp.sync import Atomic
+from repro.openmp.tasks import TaskGroup, task_parallel
+from repro.openmp.threadprivate import ThreadPrivate
+
+__all__ = [
+    "parallel_region",
+    "TeamContext",
+    "parallel_for",
+    "chunked_for",
+    "Atomic",
+    "parallel_reduce",
+    "ReductionVar",
+    "ThreadPrivate",
+    "parallel_sections",
+    "OrderedRegion",
+    "TaskGroup",
+    "task_parallel",
+]

@@ -1,0 +1,65 @@
+"""Standalone worksharing loops — ``omp parallel for`` in one call.
+
+:func:`parallel_for` fuses region creation and loop scheduling for the
+common case where the entire parallel section is a single loop, which is
+how the k-means assignment's first parallel version looks before any
+race-condition repair.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.openmp.region import TeamContext, parallel_region
+
+__all__ = ["parallel_for"]
+
+
+def parallel_for(
+    n: int,
+    num_threads: int,
+    body: Callable[..., None],
+    *args: Any,
+    schedule: str = "static",
+    chunk: int | None = None,
+    pass_ctx: bool = False,
+) -> None:
+    """Execute ``body(i, *args)`` for every ``i in range(n)`` across a team.
+
+    ``schedule``/``chunk`` follow :meth:`TeamContext.for_range`. With
+    ``pass_ctx=True`` the body is called as ``body(ctx, i, *args)`` so it
+    can use critical sections or atomics — i.e. the loop body is where
+    students insert their race-condition fixes.
+    """
+
+    def worker(ctx: TeamContext) -> None:
+        for i in ctx.for_range(n, schedule=schedule, chunk=chunk):
+            if pass_ctx:
+                body(ctx, i, *args)
+            else:
+                body(i, *args)
+
+    parallel_region(num_threads, worker)
+
+
+def chunked_for(
+    n: int,
+    num_threads: int,
+    body: Callable[[int, int], None],
+) -> None:
+    """Execute ``body(lo, hi)`` once per thread on its static block.
+
+    The vectorization-friendly variant: instead of calling a Python
+    function per index (GIL-bound), each thread gets its whole block to
+    process with one numpy kernel — the pattern the performance guides
+    recommend and the benchmarks use.
+    """
+
+    def worker(ctx: TeamContext) -> None:
+        lo, hi = ctx.static_bounds(n)
+        body(lo, hi)
+
+    parallel_region(num_threads, worker)
+
+
+__all__.append("chunked_for")

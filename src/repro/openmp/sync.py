@@ -1,0 +1,80 @@
+"""Atomic cells — the ``omp atomic`` pragma, rung three of the k-means ladder.
+
+CPython's GIL makes single bytecode operations atomic in practice, but
+compound read-modify-write (``x += 1``) is not: the interpreter can
+switch threads between the read and the write. :class:`Atomic` makes
+the race explicit and fixes it with a per-cell lock, exactly the
+progression (racy update → guarded update) the assignment teaches.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable
+
+__all__ = ["Atomic"]
+
+
+class Atomic:
+    """A lock-protected scalar supporting atomic read-modify-write.
+
+    >>> cell = Atomic(0)
+    >>> cell.add(5)
+    5
+    >>> cell.value
+    5
+    """
+
+    __slots__ = ("_value", "_lock")
+
+    def __init__(self, value: Any = 0) -> None:
+        self._value = value
+        self._lock = threading.Lock()
+
+    @property
+    def value(self) -> Any:
+        """Current value (plain read)."""
+        with self._lock:
+            return self._value
+
+    def store(self, value: Any) -> None:
+        """Atomic overwrite."""
+        with self._lock:
+            self._value = value
+
+    def add(self, delta: Any) -> Any:
+        """Atomic ``+=``; returns the new value."""
+        with self._lock:
+            self._value = self._value + delta
+            return self._value
+
+    def max(self, other: Any) -> Any:
+        """Atomic ``x = max(x, other)``; returns the new value."""
+        with self._lock:
+            if other > self._value:
+                self._value = other
+            return self._value
+
+    def min(self, other: Any) -> Any:
+        """Atomic ``x = min(x, other)``; returns the new value."""
+        with self._lock:
+            if other < self._value:
+                self._value = other
+            return self._value
+
+    def update(self, fn: Callable[[Any], Any]) -> Any:
+        """Atomic ``x = fn(x)`` for arbitrary pure ``fn``; returns the new value."""
+        with self._lock:
+            self._value = fn(self._value)
+            return self._value
+
+    def compare_exchange(self, expected: Any, desired: Any) -> bool:
+        """Set to ``desired`` iff currently ``expected``; True on success."""
+        with self._lock:
+            if self._value == expected:
+                self._value = desired
+                return True
+            return False
+
+    def __repr__(self) -> str:
+        return f"Atomic({self.value!r})"

@@ -1,0 +1,152 @@
+"""The OpenMP task model: ``task``, ``taskwait``, ``taskloop``.
+
+Irregular parallelism — recursive decompositions, work whose size is
+discovered while running — is expressed with *tasks* rather than loop
+worksharing. :class:`TaskGroup` provides the teaching subset:
+
+- :meth:`TaskGroup.submit` — ``#pragma omp task``: enqueue a deferred
+  unit; any team thread may execute it (including nested submissions
+  from inside a task, the recursion case);
+- :meth:`TaskGroup.taskwait` — block until every submitted task (and
+  their descendants) has finished; returns results in submission order;
+- :func:`task_parallel` — run a generator function on a team where
+  thread 0 produces tasks and all threads (including 0) drain them.
+
+Built on a shared deque with a completion counter; work stealing is
+implicit because every thread pops from the same queue.
+"""
+
+from __future__ import annotations
+
+import collections
+import threading
+from typing import Any, Callable
+
+from repro.openmp.region import parallel_region
+from repro.util.validation import require_positive_int
+
+__all__ = ["TaskGroup", "task_parallel"]
+
+
+class TaskGroup:
+    """A pool of deferred tasks drained by helper threads.
+
+    Create it, submit work (from anywhere, including inside running
+    tasks), and ``taskwait()``. Worker threads are spawned lazily at
+    first submit and shut down when the group is used as a context
+    manager or :meth:`shutdown` is called.
+    """
+
+    def __init__(self, num_threads: int = 4) -> None:
+        require_positive_int("num_threads", num_threads)
+        self.num_threads = num_threads
+        self._queue: collections.deque[tuple[int, Callable[[], Any]]] = collections.deque()
+        self._results: dict[int, Any] = {}
+        self._errors: list[BaseException] = []
+        self._cond = threading.Condition()
+        self._next_id = 0
+        self._outstanding = 0
+        self._shutdown = False
+        self._workers: list[threading.Thread] = []
+
+    # ------------------------------------------------------------------
+    def _ensure_workers(self) -> None:
+        if self._workers:
+            return
+        for i in range(self.num_threads):
+            t = threading.Thread(target=self._worker, name=f"omp-task-{i}", daemon=True)
+            t.start()
+            self._workers.append(t)
+
+    def _worker(self) -> None:
+        while True:
+            with self._cond:
+                while not self._queue and not self._shutdown:
+                    self._cond.wait(timeout=0.1)
+                if self._shutdown and not self._queue:
+                    return
+                if not self._queue:
+                    continue
+                task_id, fn = self._queue.popleft()
+            try:
+                result = fn()
+                with self._cond:
+                    self._results[task_id] = result
+            except BaseException as exc:  # noqa: BLE001 - surfaced at taskwait
+                with self._cond:
+                    self._errors.append(exc)
+            finally:
+                with self._cond:
+                    self._outstanding -= 1
+                    self._cond.notify_all()
+
+    # ------------------------------------------------------------------
+    def submit(self, fn: Callable[[], Any]) -> int:
+        """Enqueue a task; returns its id (its index in taskwait order)."""
+        with self._cond:
+            if self._shutdown:
+                raise RuntimeError("TaskGroup has been shut down")
+            task_id = self._next_id
+            self._next_id += 1
+            self._outstanding += 1
+            self._queue.append((task_id, fn))
+            self._cond.notify()
+        self._ensure_workers()
+        return task_id
+
+    def taskwait(self, timeout: float = 60.0) -> list[Any]:
+        """Block until all submitted tasks finished; results in submit order.
+
+        Raises the first task error, if any (clearing it, so the group
+        stays usable).
+        """
+        import time
+
+        deadline = time.monotonic() + timeout
+        with self._cond:
+            while self._outstanding > 0:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise TimeoutError(f"tasks still outstanding after {timeout}s")
+                self._cond.wait(timeout=min(remaining, 0.1))
+            if self._errors:
+                error = self._errors[0]
+                self._errors.clear()
+                raise error
+            ordered = [self._results[i] for i in sorted(self._results)]
+            self._results.clear()
+            self._next_id = 0
+            return ordered
+
+    def shutdown(self) -> None:
+        """Stop the worker threads (after draining the queue)."""
+        with self._cond:
+            self._shutdown = True
+            self._cond.notify_all()
+        for t in self._workers:
+            t.join()
+        self._workers.clear()
+
+    def __enter__(self) -> "TaskGroup":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.shutdown()
+
+
+def task_parallel(
+    num_threads: int,
+    producer: Callable[[Callable[[Callable[[], Any]], int]], None],
+) -> list[Any]:
+    """The single-producer pattern: master submits, the team drains.
+
+    ``producer(submit)`` runs once (conceptually inside
+    ``#pragma omp single``) and may call ``submit(fn)`` any number of
+    times; results return in submission order.
+
+    >>> task_parallel(3, lambda submit: [submit(lambda i=i: i * i) for i in range(4)] and None)
+    [0, 1, 4, 9]
+    """
+    with TaskGroup(num_threads) as group:
+        producer(group.submit)
+        return group.taskwait()

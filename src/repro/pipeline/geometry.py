@@ -1,0 +1,86 @@
+"""Planar geometry for the spatial-join stage of the NYC pipeline.
+
+The Figure 2 pipeline "identifies the spatial positions of all arrests"
+— i.e. assigns each arrest point to the Neighborhood Tabulation Area
+polygon containing it. Point-in-polygon is the classic even–odd ray
+cast, with a bounding-box pre-check so the join scans cheaply.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = ["BoundingBox", "Polygon"]
+
+
+@dataclass(frozen=True)
+class BoundingBox:
+    """Axis-aligned rectangle (min/max corner)."""
+
+    min_x: float
+    min_y: float
+    max_x: float
+    max_y: float
+
+    def contains(self, x: float, y: float) -> bool:
+        """Closed-box membership."""
+        return self.min_x <= x <= self.max_x and self.min_y <= y <= self.max_y
+
+
+class Polygon:
+    """A simple (non-self-intersecting) polygon given by its vertex ring."""
+
+    def __init__(self, vertices: Sequence[tuple[float, float]]) -> None:
+        if len(vertices) < 3:
+            raise ValueError(f"a polygon needs >= 3 vertices, got {len(vertices)}")
+        self.vertices = [(float(x), float(y)) for x, y in vertices]
+        xs = [x for x, _ in self.vertices]
+        ys = [y for _, y in self.vertices]
+        self.bbox = BoundingBox(min(xs), min(ys), max(xs), max(ys))
+
+    @classmethod
+    def rectangle(cls, min_x: float, min_y: float, max_x: float, max_y: float) -> "Polygon":
+        """Axis-aligned rectangle polygon (CCW ring)."""
+        if max_x <= min_x or max_y <= min_y:
+            raise ValueError("rectangle must have positive extent")
+        return cls([(min_x, min_y), (max_x, min_y), (max_x, max_y), (min_x, max_y)])
+
+    def contains(self, x: float, y: float) -> bool:
+        """Even–odd ray-cast membership (boundary points count as inside
+        on the lower/left edges, so tiles partition the plane cleanly)."""
+        if not self.bbox.contains(x, y):
+            return False
+        inside = False
+        verts = self.vertices
+        j = len(verts) - 1
+        for i in range(len(verts)):
+            xi, yi = verts[i]
+            xj, yj = verts[j]
+            if (yi > y) != (yj > y):
+                x_cross = (xj - xi) * (y - yi) / (yj - yi) + xi
+                if x < x_cross:
+                    inside = not inside
+            j = i
+        return inside
+
+    def area(self) -> float:
+        """Shoelace area (absolute value)."""
+        verts = self.vertices
+        twice = 0.0
+        j = len(verts) - 1
+        for i in range(len(verts)):
+            twice += verts[j][0] * verts[i][1] - verts[i][0] * verts[j][1]
+            j = i
+        return abs(twice) / 2.0
+
+    def centroid(self) -> tuple[float, float]:
+        """Vertex-average centroid (adequate for convex tiles)."""
+        n = len(self.vertices)
+        return (
+            sum(x for x, _ in self.vertices) / n,
+            sum(y for _, y in self.vertices) / n,
+        )
+
+    def __repr__(self) -> str:
+        return f"Polygon({len(self.vertices)} vertices)"

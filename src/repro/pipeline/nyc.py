@@ -1,0 +1,275 @@
+"""The Figure 2 exemplar: arrests per 100 000 residents per NTA.
+
+The student project the paper showcases combines four NYC Open Data
+datasets — arrests (historic + current year), NTA boundaries, and NTA
+population — into a pipeline that "identifies the spatial positions of
+all arrests, accumulates the number of arrests in each neighborhood,
+and plots a heat map".
+
+Offline substitution (per DESIGN.md): synthetic generators produce the
+same relational shape — a grid of NTA polygons with populations, and
+arrest events with coordinates, year, and offense category, including a
+controlled fraction of dirty rows for the cleaning stage to catch.
+
+:func:`arrests_per_100k` is the pipeline itself, written on
+:mod:`repro.spark` exactly as the course teaches it: parallelize →
+filter (clean) → spatial join via a broadcast boundary table →
+reduceByKey → join with population → normalize.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.pipeline.geometry import Polygon
+from repro.spark import SparkContext
+from repro.util.validation import require_positive_int
+
+__all__ = [
+    "NTA",
+    "Arrest",
+    "generate_ntas",
+    "generate_arrests",
+    "locate_nta",
+    "arrests_per_100k",
+    "heat_map_matrix",
+]
+
+_BOROUGHS = ["Bronx", "Brooklyn", "Manhattan", "Queens", "Staten Island"]
+_OFFENSES = ["assault", "larceny", "burglary", "fraud", "mischief", "robbery"]
+
+
+@dataclass(frozen=True)
+class NTA:
+    """One Neighborhood Tabulation Area: boundary + census population."""
+
+    code: str
+    name: str
+    borough: str
+    polygon: Polygon
+    population: int
+
+
+@dataclass(frozen=True)
+class Arrest:
+    """One arrest record (the two arrest datasets share this schema)."""
+
+    x: float
+    y: float
+    year: int
+    offense: str
+    valid: bool = True  # generator marks rows with corrupted coordinates
+
+
+def generate_ntas(rows: int, cols: int, seed: int = 0) -> list[NTA]:
+    """A ``rows × cols`` grid of rectangular NTAs over the unit square.
+
+    Populations are log-uniform between 10k and 150k — roughly the
+    spread of real NTA populations.
+    """
+    require_positive_int("rows", rows)
+    require_positive_int("cols", cols)
+    rng = np.random.default_rng(seed)
+    ntas: list[NTA] = []
+    for r in range(rows):
+        for c in range(cols):
+            code = f"NTA{r:02d}{c:02d}"
+            poly = Polygon.rectangle(c / cols, r / rows, (c + 1) / cols, (r + 1) / rows)
+            population = int(np.exp(rng.uniform(np.log(10_000), np.log(150_000))))
+            ntas.append(
+                NTA(
+                    code=code,
+                    name=f"Neighborhood {r}-{c}",
+                    borough=_BOROUGHS[(r * cols + c) % len(_BOROUGHS)],
+                    polygon=poly,
+                    population=population,
+                )
+            )
+    return ntas
+
+
+def generate_arrests(
+    n: int,
+    ntas: list[NTA],
+    year: int,
+    seed: int = 0,
+    *,
+    dirty_fraction: float = 0.02,
+) -> list[Arrest]:
+    """``n`` arrest events for one year.
+
+    Each NTA's arrest intensity is population times a per-NTA crime
+    factor, so rates per 100k genuinely differ across neighborhoods.
+    ``dirty_fraction`` of rows get out-of-range coordinates, which the
+    cleaning stage must drop.
+    """
+    require_positive_int("n", n)
+    if not ntas:
+        raise ValueError("need at least one NTA")
+    if not 0.0 <= dirty_fraction < 1.0:
+        raise ValueError("dirty_fraction must be in [0, 1)")
+    rng = np.random.default_rng(seed + year)
+    crime_factor = rng.uniform(0.3, 3.0, size=len(ntas))
+    weights = np.array([nta.population for nta in ntas]) * crime_factor
+    weights = weights / weights.sum()
+    choices = rng.choice(len(ntas), size=n, p=weights)
+    arrests: list[Arrest] = []
+    for i, nta_idx in enumerate(choices):
+        box = ntas[nta_idx].polygon.bbox
+        x = rng.uniform(box.min_x, box.max_x)
+        y = rng.uniform(box.min_y, box.max_y)
+        dirty = rng.random() < dirty_fraction
+        if dirty:
+            x, y = -999.0, -999.0
+        arrests.append(
+            Arrest(
+                x=x,
+                y=y,
+                year=year,
+                offense=_OFFENSES[int(rng.integers(len(_OFFENSES)))],
+                valid=not dirty,
+            )
+        )
+    return arrests
+
+
+def locate_nta(x: float, y: float, ntas: list[NTA]) -> str | None:
+    """Code of the NTA containing (x, y), or None if outside all of them."""
+    for nta in ntas:
+        if nta.polygon.contains(x, y):
+            return nta.code
+    return None
+
+
+def arrests_per_100k(
+    sc: SparkContext,
+    arrest_datasets: list[list[Arrest]],
+    ntas: list[NTA],
+    *,
+    year_filter: int | None = None,
+) -> tuple[dict[str, float], dict[str, int]]:
+    """The Figure 2 pipeline on mini-Spark.
+
+    ``arrest_datasets`` is the list of raw datasets (e.g. historic +
+    current-year arrests). Returns (rates, diagnostics) where ``rates``
+    maps NTA code → arrests per 100 000 residents and ``diagnostics``
+    reports rows dropped by cleaning and rows outside every NTA.
+    """
+    if not ntas:
+        raise ValueError("need at least one NTA")
+    dropped = sc.accumulator(0)
+    unlocated = sc.accumulator(0)
+    boundaries = sc.broadcast(ntas)
+
+    # Aggregation: union the raw datasets into one RDD.
+    rdd = sc.parallelize(arrest_datasets[0])
+    for extra in arrest_datasets[1:]:
+        rdd = rdd.union(sc.parallelize(extra))
+    if year_filter is not None:
+        rdd = rdd.filter(lambda a: a.year == year_filter)
+
+    # Cleaning: drop corrupt coordinates, counting what we discard.
+    def is_clean(arrest: Arrest) -> bool:
+        if arrest.valid and 0.0 <= arrest.x <= 1.0 and 0.0 <= arrest.y <= 1.0:
+            return True
+        dropped.add(1)
+        return False
+
+    clean = rdd.filter(is_clean)
+
+    # Analysis: spatial join against the broadcast boundaries, then count.
+    def to_nta(arrest: Arrest):
+        code = locate_nta(arrest.x, arrest.y, boundaries.value)
+        if code is None:
+            unlocated.add(1)
+            return []
+        return [(code, 1)]
+
+    counts = clean.flat_map(to_nta).reduce_by_key(lambda a, b: a + b)
+
+    # Analysis: join with the population table and normalize per 100k.
+    population = sc.parallelize([(nta.code, nta.population) for nta in ntas])
+    rates = (
+        counts.join(population)
+        .map_values(lambda cp: 100_000.0 * cp[0] / cp[1])
+        .collect_as_map()
+    )
+    # NTAs with zero arrests still appear (rate 0), as a real report would show.
+    for nta in ntas:
+        rates.setdefault(nta.code, 0.0)
+    return rates, {"dropped": dropped.value, "unlocated": unlocated.value}
+
+
+def arrests_dataframe(sc: SparkContext, arrests: list[Arrest], ntas: list[NTA]):
+    """The cleaned, located arrest table as a :class:`~repro.spark.DataFrame`.
+
+    Columns: ``nta``, ``borough``, ``year``, ``offense``. Rows with
+    corrupt coordinates or falling outside every NTA are dropped — the
+    same cleaning contract as :func:`arrests_per_100k`, but expressed in
+    the DataFrame dialect most student teams actually submit in.
+    """
+    from repro.spark.dataframe import DataFrame
+
+    boundaries = sc.broadcast(ntas)
+    borough_of = {nta.code: nta.borough for nta in ntas}
+
+    def to_row(arrest: Arrest):
+        if not (arrest.valid and 0.0 <= arrest.x <= 1.0 and 0.0 <= arrest.y <= 1.0):
+            return []
+        code = locate_nta(arrest.x, arrest.y, boundaries.value)
+        if code is None:
+            return []
+        return [
+            {
+                "nta": code,
+                "borough": borough_of[code],
+                "year": arrest.year,
+                "offense": arrest.offense,
+            }
+        ]
+
+    rows_rdd = sc.parallelize(arrests).flat_map(to_row)
+    return DataFrame(rows_rdd, ["nta", "borough", "year", "offense"])
+
+
+def rates_via_dataframe(
+    sc: SparkContext, arrests: list[Arrest], ntas: list[NTA]
+) -> dict[str, float]:
+    """Figure 2's rates computed through the DataFrame API.
+
+    ``arrests_dataframe → group_by("nta").count → join(population) →
+    with_column(rate)`` — must agree exactly with the RDD pipeline
+    (asserted in tests).
+    """
+    from repro.spark.dataframe import DataFrame
+
+    counts = arrests_dataframe(sc, arrests, ntas).group_by("nta").count()
+    population = DataFrame.from_rows(
+        sc, [{"nta": n.code, "population": n.population} for n in ntas]
+    )
+    rates = (
+        counts.join(population, on="nta")
+        .with_column("rate", lambda r: 100_000.0 * r["count"] / r["population"])
+        .select("nta", "rate")
+    )
+    out = {row["nta"]: row["rate"] for row in rates.collect()}
+    for nta in ntas:
+        out.setdefault(nta.code, 0.0)
+    return out
+
+
+def heat_map_matrix(rates: dict[str, float], rows: int, cols: int) -> np.ndarray:
+    """Visualization: the rates arranged on the NTA grid.
+
+    The matrix is what Figure 2's choropleth colors — entry (r, c) is
+    the rate of ``NTA{r}{c}``.
+    """
+    require_positive_int("rows", rows)
+    require_positive_int("cols", cols)
+    matrix = np.zeros((rows, cols))
+    for r in range(rows):
+        for c in range(cols):
+            matrix[r, c] = rates.get(f"NTA{r:02d}{c:02d}", 0.0)
+    return matrix

@@ -1,0 +1,139 @@
+"""The workflow framework and the assignment's grading rubric.
+
+Students must "go through multiple steps of a typical data analysis
+workflow (data aggregation, cleaning, analysis, communication of
+findings using visualization)" over "at least two real-world datasets"
+answering "at least three different data analysis problems". Those
+rules are encoded executable:
+
+- :class:`Stage` — one named, typed workflow step (a function);
+- :class:`Pipeline` — an ordered stage list with run reports;
+- :class:`ProjectSpec` + :func:`validate_project` — the rubric check an
+  instructor (or a student, pre-submission) runs against a project.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+__all__ = ["StageKind", "Stage", "StageReport", "Pipeline", "ProjectSpec", "validate_project"]
+
+
+class StageKind(enum.Enum):
+    """The workflow steps the assignment's rubric names."""
+
+    AGGREGATION = "aggregation"
+    CLEANING = "cleaning"
+    ANALYSIS = "analysis"
+    VISUALIZATION = "visualization"
+
+
+@dataclass(frozen=True)
+class Stage:
+    """One step: ``fn`` maps the previous stage's output to this one's."""
+
+    name: str
+    kind: StageKind
+    fn: Callable[[Any], Any]
+
+
+@dataclass
+class StageReport:
+    """What happened when a stage ran."""
+
+    name: str
+    kind: StageKind
+    seconds: float
+    output_summary: str
+
+
+class Pipeline:
+    """An ordered, typed sequence of stages with execution reporting."""
+
+    def __init__(self, name: str, stages: Sequence[Stage] | None = None) -> None:
+        if not name:
+            raise ValueError("pipeline needs a name")
+        self.name = name
+        self.stages: list[Stage] = list(stages) if stages else []
+        self.reports: list[StageReport] = []
+
+    def add_stage(self, name: str, kind: StageKind, fn: Callable[[Any], Any]) -> "Pipeline":
+        """Append a stage; returns self for chaining."""
+        self.stages.append(Stage(name, kind, fn))
+        return self
+
+    def run(self, data: Any) -> Any:
+        """Run all stages in order; stores per-stage reports."""
+        if not self.stages:
+            raise ValueError(f"pipeline {self.name!r} has no stages")
+        self.reports = []
+        for stage in self.stages:
+            start = time.perf_counter()
+            data = stage.fn(data)
+            elapsed = time.perf_counter() - start
+            summary = _summarize(data)
+            self.reports.append(StageReport(stage.name, stage.kind, elapsed, summary))
+        return data
+
+    def kinds_used(self) -> set[StageKind]:
+        """The distinct workflow-step kinds present."""
+        return {s.kind for s in self.stages}
+
+
+def _summarize(data: Any) -> str:
+    try:
+        return f"{type(data).__name__}({len(data)})"
+    except TypeError:
+        return type(data).__name__
+
+
+@dataclass
+class ProjectSpec:
+    """A team's project: datasets used, analysis problems (pipelines), report."""
+
+    title: str
+    dataset_names: list[str]
+    problems: list[Pipeline]
+    report_text: str = ""
+    presented_in_class: bool = False
+    code_submitted: bool = False
+
+    required_kinds: tuple[StageKind, ...] = field(
+        default=(
+            StageKind.AGGREGATION,
+            StageKind.CLEANING,
+            StageKind.ANALYSIS,
+            StageKind.VISUALIZATION,
+        )
+    )
+
+
+def validate_project(spec: ProjectSpec) -> list[str]:
+    """The assignment rubric; returns violations (empty = admissible).
+
+    Checks the six prerequisites from the paper: (i) ≥2 datasets,
+    (ii) ≥3 analysis problems, (iii) implemented (pipelines non-empty),
+    (iv) multiple workflow steps covered, (v) presented in class,
+    (vi) code + report submitted.
+    """
+    violations: list[str] = []
+    if len(set(spec.dataset_names)) < 2:
+        violations.append("needs at least two distinct real-world datasets (prerequisite i)")
+    if len(spec.problems) < 3:
+        violations.append("needs at least three data analysis problems (prerequisite ii)")
+    if any(not p.stages for p in spec.problems):
+        violations.append("every analysis problem needs an implemented pipeline (prerequisite iii)")
+    covered = set().union(*(p.kinds_used() for p in spec.problems)) if spec.problems else set()
+    missing = [k.value for k in spec.required_kinds if k not in covered]
+    if missing:
+        violations.append(
+            f"workflow steps not covered anywhere: {', '.join(missing)} (prerequisite iv)"
+        )
+    if not spec.presented_in_class:
+        violations.append("findings must be presented in class (prerequisite v)")
+    if not spec.code_submitted or not spec.report_text.strip():
+        violations.append("code and a final project report must be submitted (prerequisite vi)")
+    return violations

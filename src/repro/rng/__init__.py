@@ -1,0 +1,49 @@
+"""Reproducible pseudo-random number generation for parallel codes.
+
+The Nagel–Schreckenberg traffic assignment (paper §5) hinges on one
+scientific-computing lesson: a stochastic simulation parallelized with
+one PRNG per thread produces *different* results for different thread
+counts, so reproducibility "requires using a shared sequence of random
+numbers" and a generator that can quickly *fast-forward* to an arbitrary
+position in that sequence. The C++ standard random library lacks such a
+jump operation, so the assignment's starter code implements one for a
+linear congruential generator — and so do we:
+
+- :mod:`repro.rng.lcg` — linear congruential generators with an
+  O(log n) ``jump`` built from affine-map composition by squaring.
+- :mod:`repro.rng.streams` — the three classic strategies for carving a
+  shared sequence among workers: block-splitting, leapfrogging, and
+  per-step offset jumps.
+- :mod:`repro.rng.counter` — a counter-based (stateless) generator, the
+  modern alternative where draw *i* is a pure function of ``(seed, i)``.
+- :mod:`repro.rng.distributions` — uniform/Bernoulli/integer draws on
+  top of any raw generator.
+"""
+
+from repro.rng.counter import CounterRNG
+from repro.rng.distributions import bernoulli, uniform, uniform_int
+from repro.rng.lcg import (
+    KNUTH_LCG,
+    MINSTD,
+    MINSTD0,
+    AffineMap,
+    LcgParams,
+    LinearCongruential,
+)
+from repro.rng.streams import BlockSplitter, LeapfrogStream, SharedSequence
+
+__all__ = [
+    "AffineMap",
+    "LcgParams",
+    "LinearCongruential",
+    "MINSTD",
+    "MINSTD0",
+    "KNUTH_LCG",
+    "CounterRNG",
+    "SharedSequence",
+    "BlockSplitter",
+    "LeapfrogStream",
+    "uniform",
+    "uniform_int",
+    "bernoulli",
+]

@@ -1,0 +1,77 @@
+"""Counter-based (stateless) random number generation.
+
+Where an LCG must be *fast-forwarded* to reach draw ``i``, a
+counter-based generator computes draw ``i`` directly as a pure function
+``mix(seed, i)`` — the design behind Philox/Threefry and the modern
+answer to reproducible parallel randomness: every worker can evaluate
+any element of the shared sequence with no coordination at all.
+
+The mixing function used here is SplitMix64 (Steele, Lea & Flood's
+``java.util.SplittableRandom`` finalizer), a well-tested 64-bit bijection.
+It is implemented both scalar (:meth:`CounterRNG.raw`) and vectorized
+over numpy ``uint64`` arrays (:meth:`CounterRNG.raw_block`), so bulk
+draws cost one fused array pass instead of a Python loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["CounterRNG"]
+
+_MASK64 = (1 << 64) - 1
+_GOLDEN = 0x9E3779B97F4A7C15
+_MIX1 = 0xBF58476D1CE4E5B9
+_MIX2 = 0x94D049BB133111EB
+
+
+def _splitmix64(x: int) -> int:
+    """Scalar SplitMix64 finalizer over a 64-bit integer."""
+    x = (x + _GOLDEN) & _MASK64
+    x = ((x ^ (x >> 30)) * _MIX1) & _MASK64
+    x = ((x ^ (x >> 27)) * _MIX2) & _MASK64
+    return x ^ (x >> 31)
+
+
+class CounterRNG:
+    """Stateless generator: draw ``i`` of stream ``(seed, stream)`` on demand.
+
+    >>> r = CounterRNG(seed=7)
+    >>> r.raw(10) == CounterRNG(seed=7).raw(10)
+    True
+    >>> r.raw(10) != r.raw(11)
+    True
+    """
+
+    __slots__ = ("seed", "stream", "_base")
+
+    def __init__(self, seed: int, stream: int = 0) -> None:
+        self.seed = int(seed)
+        self.stream = int(stream)
+        # Pre-mix seed and stream so nearby (seed, stream) pairs decorrelate.
+        self._base = _splitmix64((_splitmix64(self.seed & _MASK64) ^ self.stream) & _MASK64)
+
+    def raw(self, index: int) -> int:
+        """The 64-bit output at position ``index`` of this stream."""
+        if index < 0:
+            raise ValueError(f"index must be >= 0, got {index}")
+        return _splitmix64((self._base + index) & _MASK64)
+
+    def uniform(self, index: int) -> float:
+        """Uniform float in [0, 1) at position ``index``."""
+        return self.raw(index) / 2.0**64
+
+    def raw_block(self, start: int, count: int) -> np.ndarray:
+        """Vectorized outputs for positions ``start .. start+count`` as uint64."""
+        if start < 0 or count < 0:
+            raise ValueError("start and count must be >= 0")
+        with np.errstate(over="ignore"):
+            x = (np.uint64(self._base) + np.arange(start, start + count, dtype=np.uint64))
+            x = x + np.uint64(_GOLDEN)
+            x = (x ^ (x >> np.uint64(30))) * np.uint64(_MIX1)
+            x = (x ^ (x >> np.uint64(27))) * np.uint64(_MIX2)
+            return x ^ (x >> np.uint64(31))
+
+    def uniform_block(self, start: int, count: int) -> np.ndarray:
+        """Vectorized uniforms in [0, 1) for positions ``start .. start+count``."""
+        return self.raw_block(start, count) / 2.0**64

@@ -1,0 +1,56 @@
+"""Simple distributions over any raw uniform source.
+
+These helpers convert the uniform [0, 1) floats produced by
+:class:`repro.rng.LinearCongruential` / :class:`repro.rng.CounterRNG`
+into the draws the assignments need: Bernoulli trials for the traffic
+model's random slowdowns (paper §5), bounded integers for initial car
+placement and k-means centroid selection (paper §3).
+
+All functions are pure: they consume explicit uniform values rather than
+hidden generator state, which keeps the reproducibility contract of the
+calling code visible at the call site.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.validation import require_probability
+
+__all__ = ["uniform", "uniform_int", "bernoulli"]
+
+
+def uniform(u: float | np.ndarray, lo: float, hi: float) -> float | np.ndarray:
+    """Map uniform [0,1) draws to uniform [lo, hi) draws."""
+    if hi < lo:
+        raise ValueError(f"hi ({hi}) must be >= lo ({lo})")
+    return lo + (hi - lo) * u
+
+
+def uniform_int(u: float | np.ndarray, lo: int, hi: int) -> int | np.ndarray:
+    """Map uniform [0,1) draws to integers in ``[lo, hi)``.
+
+    Uses truncation of the scaled draw — adequate for simulation use
+    where the range is tiny relative to the generator's resolution.
+    """
+    if hi <= lo:
+        raise ValueError(f"hi ({hi}) must be > lo ({lo})")
+    scaled = np.floor(lo + (hi - lo) * np.asarray(u, dtype=float)).astype(np.int64)
+    # Guard the (measure-zero in theory, possible in float) u == 1.0 edge.
+    scaled = np.minimum(scaled, hi - 1)
+    if np.ndim(u) == 0:
+        return int(scaled)
+    return scaled
+
+
+def bernoulli(u: float | np.ndarray, p: float) -> bool | np.ndarray:
+    """True with probability ``p``: the traffic model's random-slowdown coin.
+
+    Defined as ``u < p`` so that ``p == 0`` never fires and ``p == 1``
+    always fires, matching the conventional inverse-CDF construction.
+    """
+    require_probability("p", p)
+    result = np.asarray(u, dtype=float) < p
+    if np.ndim(u) == 0:
+        return bool(result)
+    return result

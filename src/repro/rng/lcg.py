@@ -1,0 +1,167 @@
+"""Linear congruential generators with logarithmic-time fast-forward.
+
+An LCG advances its state by the affine map ``x -> (a*x + c) mod m``.
+Composing the map with itself ``n`` times is again an affine map
+``x -> (A*x + C) mod m`` with::
+
+    A = a^n mod m
+    C = c * (a^(n-1) + ... + a + 1) mod m
+
+Rather than evaluating the geometric sum directly (which requires a
+modular inverse of ``a - 1`` that need not exist), we compose affine
+maps by binary exponentiation — ``O(log n)`` multiplications, exact for
+any modulus. This is the "moving ahead" algorithm the traffic assignment
+implements for one of the C++ linear congruential engines (paper §5).
+
+Predefined parameter sets:
+
+- :data:`MINSTD0` — ``std::minstd_rand0`` (Lewis–Goodman–Miller, a=16807).
+- :data:`MINSTD`  — ``std::minstd_rand`` (Park–Miller revised, a=48271).
+- :data:`KNUTH_LCG` — Knuth's 64-bit MMIX generator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.validation import require_nonnegative_int
+
+__all__ = ["AffineMap", "LcgParams", "LinearCongruential", "MINSTD0", "MINSTD", "KNUTH_LCG"]
+
+
+@dataclass(frozen=True)
+class AffineMap:
+    """The map ``x -> (mul * x + add) mod modulus`` over Z_modulus."""
+
+    mul: int
+    add: int
+    modulus: int
+
+    def __call__(self, x: int) -> int:
+        return (self.mul * x + self.add) % self.modulus
+
+    def compose(self, other: "AffineMap") -> "AffineMap":
+        """Return ``self ∘ other`` (apply ``other`` first, then ``self``)."""
+        if self.modulus != other.modulus:
+            raise ValueError("cannot compose affine maps over different moduli")
+        m = self.modulus
+        return AffineMap((self.mul * other.mul) % m, (self.mul * other.add + self.add) % m, m)
+
+    def power(self, n: int) -> "AffineMap":
+        """Return the n-fold self-composition, computed in O(log n) steps."""
+        require_nonnegative_int("n", n)
+        result = AffineMap(1, 0, self.modulus)  # identity
+        base = self
+        while n:
+            if n & 1:
+                result = result.compose(base)
+            base = base.compose(base)
+            n >>= 1
+        return result
+
+
+@dataclass(frozen=True)
+class LcgParams:
+    """Multiplier/increment/modulus triple defining an LCG family."""
+
+    a: int
+    c: int
+    m: int
+    name: str = "lcg"
+
+    def __post_init__(self) -> None:
+        if self.m < 2:
+            raise ValueError(f"modulus must be >= 2, got {self.m}")
+        if not 0 < self.a < self.m:
+            raise ValueError(f"multiplier must be in (0, m), got {self.a}")
+        if not 0 <= self.c < self.m:
+            raise ValueError(f"increment must be in [0, m), got {self.c}")
+
+    @property
+    def step_map(self) -> AffineMap:
+        """The single-step state-update map."""
+        return AffineMap(self.a, self.c, self.m)
+
+
+#: ``std::minstd_rand0``: multiplicative Lehmer generator, period 2^31 - 2.
+MINSTD0 = LcgParams(a=16807, c=0, m=2**31 - 1, name="minstd_rand0")
+
+#: ``std::minstd_rand``: the revised Park–Miller multiplier.
+MINSTD = LcgParams(a=48271, c=0, m=2**31 - 1, name="minstd_rand")
+
+#: Knuth's MMIX 64-bit mixed LCG (full period 2^64).
+KNUTH_LCG = LcgParams(
+    a=6364136223846793005, c=1442695040888963407, m=2**64, name="knuth_mmix"
+)
+
+
+class LinearCongruential:
+    """A stateful LCG stream with O(log n) :meth:`jump`.
+
+    For multiplicative generators (``c == 0``, prime modulus) a zero
+    state would be absorbing, so — matching the C++ engines — a seed of
+    ``0`` is replaced by ``1``.
+
+    >>> g = LinearCongruential(MINSTD, seed=42)
+    >>> first = [g.next_raw() for _ in range(5)]
+    >>> h = LinearCongruential(MINSTD, seed=42)
+    >>> h.jump(3)
+    >>> h.next_raw() == first[3]
+    True
+    """
+
+    __slots__ = ("params", "_state", "_position")
+
+    def __init__(self, params: LcgParams, seed: int) -> None:
+        self.params = params
+        state = seed % params.m
+        if params.c == 0 and state == 0:
+            state = 1
+        self._state = state
+        self._position = 0
+
+    @property
+    def state(self) -> int:
+        """Current internal state (the *next* raw draw is derived from it)."""
+        return self._state
+
+    @property
+    def position(self) -> int:
+        """Number of raw draws (plus jumped steps) consumed so far."""
+        return self._position
+
+    def clone(self) -> "LinearCongruential":
+        """Independent copy at the same stream position."""
+        dup = LinearCongruential.__new__(LinearCongruential)
+        dup.params = self.params
+        dup._state = self._state
+        dup._position = self._position
+        return dup
+
+    def next_raw(self) -> int:
+        """Advance one step and return the new state as the raw output."""
+        self._state = (self.params.a * self._state + self.params.c) % self.params.m
+        self._position += 1
+        return self._state
+
+    def next_uniform(self) -> float:
+        """Uniform float in [0, 1): raw output scaled by the modulus."""
+        return self.next_raw() / self.params.m
+
+    def jump(self, n: int) -> None:
+        """Fast-forward the stream by ``n`` steps in O(log n) time.
+
+        Equivalent to calling :meth:`next_raw` ``n`` times and discarding
+        the results. This is the operation that makes reproducible
+        parallel simulation affordable (paper §5).
+        """
+        require_nonnegative_int("n", n)
+        advance = self.params.step_map.power(n)
+        self._state = advance(self._state)
+        self._position += n
+
+    def jumped(self, n: int) -> "LinearCongruential":
+        """Return a clone fast-forwarded by ``n`` steps; ``self`` is unchanged."""
+        dup = self.clone()
+        dup.jump(n)
+        return dup

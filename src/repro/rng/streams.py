@@ -1,0 +1,121 @@
+"""Strategies for sharing one random sequence among parallel workers.
+
+Reproducibility in the traffic assignment (paper §5) demands that the
+parallel code consume *exactly the same* shared random sequence as the
+serial code, regardless of thread count. Three classic carvings of a
+shared sequence are provided:
+
+- :class:`SharedSequence` — random access into one global sequence:
+  ``draws(start, count)`` fast-forwards a clone of the generator, the
+  pattern the assignment's starter code teaches. Each simulation step
+  consumes a contiguous batch of draws; each worker takes the slice of
+  the batch matching the cars it owns.
+- :class:`BlockSplitter` — convenience wrapper computing those per-worker
+  slices with the same block layout as :func:`repro.util.block_bounds`.
+- :class:`LeapfrogStream` — worker ``t`` of ``p`` consumes draws
+  ``t, t+p, t+2p, …``; the other traditional decomposition.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.rng.lcg import LcgParams, LinearCongruential
+from repro.util.partition import block_bounds
+from repro.util.validation import require_nonnegative_int, require_positive_int
+
+__all__ = ["SharedSequence", "BlockSplitter", "LeapfrogStream"]
+
+
+class SharedSequence:
+    """Random access into the output sequence of a single seeded LCG.
+
+    Draw ``i`` is defined as the generator's output after ``i + 1`` state
+    updates from the seed — i.e. exactly what the ``i``-th call of
+    ``next_uniform()`` on a fresh serial generator would return. All
+    accessors are pure with respect to the sequence: two calls with the
+    same arguments return the same values, so any number of workers can
+    read disjoint (or even overlapping) windows concurrently.
+    """
+
+    def __init__(self, params: LcgParams, seed: int) -> None:
+        self.params = params
+        self.seed = seed
+        self._origin = LinearCongruential(params, seed)
+
+    def generator_at(self, start: int) -> LinearCongruential:
+        """A generator positioned so its next output is draw ``start``."""
+        require_nonnegative_int("start", start)
+        return self._origin.jumped(start)
+
+    def draws(self, start: int, count: int) -> np.ndarray:
+        """Uniform draws ``start .. start+count`` of the shared sequence."""
+        require_nonnegative_int("start", start)
+        require_nonnegative_int("count", count)
+        gen = self.generator_at(start)
+        out = np.empty(count, dtype=float)
+        for i in range(count):
+            out[i] = gen.next_uniform()
+        return out
+
+    def serial_draws(self, count: int) -> np.ndarray:
+        """The first ``count`` draws — what a serial code would consume."""
+        return self.draws(0, count)
+
+
+class BlockSplitter:
+    """Per-step, per-worker windows into a :class:`SharedSequence`.
+
+    A simulation step ``s`` that needs ``batch`` draws (one per car, say)
+    occupies sequence positions ``[s*batch, (s+1)*batch)``. Worker ``w``
+    of ``workers`` owning the ``w``-th block of the batch reads exactly
+    the draws the serial code would have used for those cars — which is
+    the whole reproducibility argument.
+    """
+
+    def __init__(self, sequence: SharedSequence, batch: int, workers: int) -> None:
+        require_nonnegative_int("batch", batch)
+        require_positive_int("workers", workers)
+        self.sequence = sequence
+        self.batch = batch
+        self.workers = workers
+
+    def worker_draws(self, step: int, worker: int) -> np.ndarray:
+        """Draws for ``worker``'s block of step ``step``'s batch."""
+        require_nonnegative_int("step", step)
+        lo, hi = block_bounds(self.batch, self.workers, worker)
+        return self.sequence.draws(step * self.batch + lo, hi - lo)
+
+    def step_draws(self, step: int) -> np.ndarray:
+        """All draws of step ``step`` (what the serial code consumes)."""
+        return self.sequence.draws(step * self.batch, self.batch)
+
+
+class LeapfrogStream:
+    """Worker ``t`` of ``p`` consuming every ``p``-th draw of a shared sequence.
+
+    Equivalent to the cyclic partition of the draw index space. Each call
+    to :meth:`next_uniform` returns draw ``t``, then ``t + p``, then
+    ``t + 2p``, … of the underlying sequence, using one O(log p) jump per
+    draw.
+    """
+
+    def __init__(self, params: LcgParams, seed: int, worker: int, workers: int) -> None:
+        require_positive_int("workers", workers)
+        if not 0 <= worker < workers:
+            raise ValueError(f"worker {worker} out of range for {workers} workers")
+        self.worker = worker
+        self.workers = workers
+        self._gen = LinearCongruential(params, seed)
+        self._next_index = worker  # next global draw index to emit
+
+    def next_raw(self) -> int:
+        """Raw output at the next leapfrogged position."""
+        target_updates = self._next_index + 1  # draw i needs i+1 state updates
+        self._gen.jump(target_updates - self._gen.position - 1)
+        self._next_index += self.workers
+        return self._gen.next_raw()
+
+    def next_uniform(self) -> float:
+        """Uniform draw at the next leapfrogged position."""
+        return self.next_raw() / self._gen.params.m

@@ -1,0 +1,52 @@
+"""A miniature Spark: lazy RDDs, shuffles, and a stage-aware scheduler.
+
+The data-science-pipeline assignment (paper §4) has students build
+multi-step analysis workflows in Spark on a Hadoop cluster. Offline,
+this package supplies the equivalent engine:
+
+- :class:`SparkContext` — entry point: ``parallelize`` data into
+  partitioned :class:`RDD`\\ s, create ``broadcast`` variables and
+  ``accumulator``\\ s, and execute jobs on a thread pool.
+- :class:`RDD` — the lazy, immutable, partitioned collection with the
+  classic transformation/action split: ``map``/``filter``/``flatMap``/
+  ``reduceByKey``/``join``/``groupByKey``/``sortBy``/… build a lineage
+  DAG; ``collect``/``count``/``reduce``/… trigger execution.
+- :mod:`repro.spark.dag` — lineage introspection: which transformations
+  are narrow vs wide, and how the job splits into shuffle-bounded
+  stages (the concept the course's MapReduce-algorithm-design lectures
+  revolve around).
+- Hash and range partitioners, map-side combining, and a cache layer
+  (``persist``), so the performance *lessons* — shuffles are expensive,
+  combiners shrink them, caching pays off for reused intermediates —
+  are all observable in the simulator's counters.
+
+Determinism: partitioning uses :func:`repro.mapreduce.stable_hash`, and
+all merges happen in partition order, so every pipeline result is exactly
+reproducible run to run.
+"""
+
+from repro.spark.accumulators import Accumulator
+from repro.spark.broadcast import Broadcast
+from repro.spark.context import SparkContext
+from repro.spark.dag import execution_stages, lineage
+from repro.spark.dataframe import DataFrame, GroupedData
+from repro.spark.partitioner import HashPartitioner, RangePartitioner
+from repro.spark.rdd import RDD
+from repro.spark.stats import StatCounter, histogram, stats, take_sample
+
+__all__ = [
+    "SparkContext",
+    "RDD",
+    "Broadcast",
+    "Accumulator",
+    "HashPartitioner",
+    "RangePartitioner",
+    "lineage",
+    "execution_stages",
+    "StatCounter",
+    "stats",
+    "histogram",
+    "take_sample",
+    "DataFrame",
+    "GroupedData",
+]

@@ -1,0 +1,39 @@
+"""Broadcast variables: read-only data shared with every task.
+
+In real Spark a broadcast ships one copy of a lookup table to each
+executor instead of once per task. In the thread-pool simulator all
+tasks share memory anyway, so the class's job is to enforce the
+*contract*: the value is read-only (a pickled snapshot is handed out),
+and access after ``unpersist`` fails loudly — the two mistakes the
+pipeline assignment's students actually make.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Any, Generic, TypeVar
+
+T = TypeVar("T")
+
+__all__ = ["Broadcast"]
+
+
+class Broadcast(Generic[T]):
+    """A snapshot of a driver-side value, readable by any task."""
+
+    def __init__(self, value: T) -> None:
+        self._payload: bytes | None = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        self._cached: T | None = pickle.loads(self._payload)
+
+    @property
+    def value(self) -> T:
+        """The broadcast value (a snapshot of what the driver passed in)."""
+        if self._payload is None:
+            raise RuntimeError("broadcast variable was unpersisted")
+        assert self._cached is not None or True
+        return self._cached  # type: ignore[return-value]
+
+    def unpersist(self) -> None:
+        """Release the value; later reads raise."""
+        self._payload = None
+        self._cached = None

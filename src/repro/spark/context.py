@@ -1,0 +1,129 @@
+"""The driver-side entry point: job execution, data ingest, shared vars.
+
+A :class:`SparkContext` plays driver *and* cluster: ``run_job`` executes
+one task per partition on a thread pool (a fresh pool per job, so nested
+jobs — shuffles materializing inside tasks — can never starve). The
+:class:`JobMetrics` counters make the engine's communication behaviour
+observable, which is what the pipeline assignment grades students on
+discussing.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.spark.accumulators import Accumulator
+from repro.spark.broadcast import Broadcast
+from repro.spark.rdd import RDD, ParallelCollectionRDD
+from repro.util.partition import block_partition
+from repro.util.validation import require_positive_int
+
+__all__ = ["SparkContext", "JobMetrics"]
+
+
+@dataclass
+class JobMetrics:
+    """Observable engine counters (reset with :meth:`SparkContext.reset_metrics`)."""
+
+    jobs: int = 0
+    tasks: int = 0
+    shuffles: int = 0
+    shuffle_records: int = 0
+    partitions_cached: int = 0
+    extra: dict[str, int] = field(default_factory=dict)
+
+
+class SparkContext:
+    """Factory for RDDs plus the scheduler that runs their jobs."""
+
+    def __init__(self, num_workers: int = 4, default_partitions: int | None = None) -> None:
+        self.num_workers = require_positive_int("num_workers", num_workers)
+        self.default_partitions = default_partitions or num_workers
+        require_positive_int("default_partitions", self.default_partitions)
+        self.metrics = JobMetrics()
+        self._rdd_counter = 0
+        self._stopped = False
+
+    # ------------------------------------------------------------------
+    # ingest
+    # ------------------------------------------------------------------
+    def parallelize(self, data: Iterable[Any], num_partitions: int | None = None) -> RDD:
+        """Slice driver data into a partitioned RDD."""
+        self._check_alive()
+        items = list(data)
+        nparts = num_partitions or self.default_partitions
+        require_positive_int("num_partitions", nparts)
+        slices = [list(items[r.start : r.stop]) for r in block_partition(len(items), nparts)]
+        return ParallelCollectionRDD(self, slices)
+
+    def text_file(self, path: str | Path, num_partitions: int | None = None) -> RDD:
+        """One element per line of a text file (the HDFS-ingest stand-in)."""
+        lines = Path(path).read_text().splitlines()
+        return self.parallelize(lines, num_partitions)
+
+    def empty_rdd(self) -> RDD:
+        """An RDD with a single empty partition."""
+        return ParallelCollectionRDD(self, [[]])
+
+    # ------------------------------------------------------------------
+    # shared variables
+    # ------------------------------------------------------------------
+    def broadcast(self, value: Any) -> Broadcast:
+        """Snapshot ``value`` for read-only task access."""
+        self._check_alive()
+        return Broadcast(value)
+
+    def accumulator(self, initial: Any = 0, op: Callable[[Any, Any], Any] | None = None) -> Accumulator:
+        """Create a task-writable, driver-readable fold cell."""
+        self._check_alive()
+        return Accumulator(initial, op)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run_job(self, rdd: RDD, task_fn: Callable[[int, list[Any]], Any]) -> list[Any]:
+        """Run ``task_fn(partition_index, partition_data)`` over all partitions.
+
+        Results are returned in partition order. A fresh thread pool per
+        job keeps nested jobs deadlock-free and mirrors Spark's
+        job-level scheduling.
+        """
+        self._check_alive()
+        self.metrics.jobs += 1
+        self.metrics.tasks += rdd.num_partitions
+        if rdd.num_partitions == 1:
+            return [task_fn(0, rdd.partition(0))]
+        with ThreadPoolExecutor(max_workers=self.num_workers) as pool:
+            futures = [
+                pool.submit(lambda i=i: task_fn(i, rdd.partition(i)))
+                for i in range(rdd.num_partitions)
+            ]
+            return [f.result() for f in futures]
+
+    # ------------------------------------------------------------------
+    # lifecycle / bookkeeping
+    # ------------------------------------------------------------------
+    def reset_metrics(self) -> None:
+        """Zero the engine counters (between benchmark phases)."""
+        self.metrics = JobMetrics()
+
+    def stop(self) -> None:
+        """Refuse further work (catching use-after-stop bugs in pipelines)."""
+        self._stopped = True
+
+    def _check_alive(self) -> None:
+        if self._stopped:
+            raise RuntimeError("SparkContext has been stopped")
+
+    def _next_rdd_id(self) -> int:
+        self._rdd_counter += 1
+        return self._rdd_counter
+
+    def __enter__(self) -> "SparkContext":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.stop()

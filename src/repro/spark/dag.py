@@ -1,0 +1,94 @@
+"""Lineage and stage introspection — the teaching lens on RDD plans.
+
+The course behind the pipeline assignment is about *designing* scalable
+MapReduce/Spark algorithms, so students must see where their lineage
+graphs introduce shuffles. :func:`lineage` walks the DAG;
+:func:`execution_stages` groups it into shuffle-bounded stages the way
+Spark's scheduler would, letting tests assert e.g. "this pipeline is two
+stages, not four".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.spark.rdd import RDD, NarrowDependency, ShuffleDependency
+
+__all__ = ["lineage", "execution_stages", "shuffle_depth", "Stage"]
+
+
+def lineage(rdd: RDD) -> list[RDD]:
+    """All ancestor RDDs (including ``rdd``), deduplicated, leaves first."""
+    seen: dict[int, RDD] = {}
+
+    def visit(node: RDD) -> None:
+        if node.id in seen:
+            return
+        for dep in node.deps:
+            visit(dep.parent)
+        seen[node.id] = node
+
+    visit(rdd)
+    return list(seen.values())
+
+
+@dataclass
+class Stage:
+    """A maximal shuffle-free pipeline of RDDs, scheduled as one unit."""
+
+    rdds: list[RDD]
+
+    @property
+    def names(self) -> list[str]:
+        """Class names of member RDDs, leaf-most first."""
+        return [type(r).__name__ for r in self.rdds]
+
+
+def shuffle_depth(rdd: RDD) -> int:
+    """Number of shuffles on the deepest path from any leaf to ``rdd``."""
+    memo: dict[int, int] = {}
+
+    def depth(node: RDD) -> int:
+        if node.id in memo:
+            return memo[node.id]
+        d = 0
+        for dep in node.deps:
+            if isinstance(dep, ShuffleDependency):
+                d = max(d, depth(dep.parent) + 1)
+            elif isinstance(dep, NarrowDependency):
+                d = max(d, depth(dep.parent))
+        memo[node.id] = d
+        return d
+
+    return depth(rdd)
+
+
+def execution_stages(rdd: RDD) -> list[Stage]:
+    """Group the lineage of ``rdd`` into shuffle-bounded stages.
+
+    RDDs at the same *shuffle depth* (number of shuffles between them
+    and the leaves) execute in the same stage, so for any plan
+    ``len(execution_stages(r)) == shuffle_depth(r) + 1`` — the count the
+    course uses to reason about a pipeline's communication rounds.
+    Stages are returned leaf-most first.
+    """
+    nodes = lineage(rdd)
+    memo: dict[int, int] = {}
+
+    def depth(node: RDD) -> int:
+        if node.id in memo:
+            return memo[node.id]
+        d = 0
+        for dep in node.deps:
+            if isinstance(dep, ShuffleDependency):
+                d = max(d, depth(dep.parent) + 1)
+            elif isinstance(dep, NarrowDependency):
+                d = max(d, depth(dep.parent))
+        memo[node.id] = d
+        return d
+
+    max_depth = max(depth(n) for n in nodes)
+    stages = [Stage(rdds=[]) for _ in range(max_depth + 1)]
+    for node in nodes:
+        stages[depth(node)].rdds.append(node)
+    return stages

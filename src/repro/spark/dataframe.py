@@ -1,0 +1,381 @@
+"""A miniature DataFrame API over RDDs.
+
+The pipeline course's student projects (paper §4) mostly speak Spark's
+DataFrame dialect — ``select`` / ``where`` / ``groupBy().agg()`` /
+``join`` / ``orderBy`` — rather than raw RDDs. This layer provides that
+dialect, compiled onto the same RDD engine, so the lineage/stage
+introspection and shuffle counters keep working underneath.
+
+Rows are plain dicts; a :class:`DataFrame` carries an explicit column
+schema and validates it at construction, which catches the
+misspelled-column class of bugs at the API boundary instead of deep in
+a shuffle.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Any, Callable, Sequence
+
+from repro.spark.rdd import RDD
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.spark.context import SparkContext
+
+__all__ = ["DataFrame", "GroupedData", "AGGREGATIONS"]
+
+
+def _agg_sum(values: list) -> Any:
+    return sum(values)
+
+
+def _agg_count(values: list) -> int:
+    return len(values)
+
+
+def _agg_mean(values: list) -> float:
+    return sum(values) / len(values)
+
+
+def _agg_min(values: list) -> Any:
+    return min(values)
+
+
+def _agg_max(values: list) -> Any:
+    return max(values)
+
+
+def _agg_stdev(values: list) -> float:
+    mean = sum(values) / len(values)
+    return math.sqrt(sum((v - mean) ** 2 for v in values) / len(values))
+
+
+def _agg_collect(values: list) -> list:
+    return list(values)
+
+
+#: Aggregation functions accepted by :meth:`GroupedData.agg`.
+AGGREGATIONS: dict[str, Callable[[list], Any]] = {
+    "sum": _agg_sum,
+    "count": _agg_count,
+    "mean": _agg_mean,
+    "avg": _agg_mean,
+    "min": _agg_min,
+    "max": _agg_max,
+    "stdev": _agg_stdev,
+    "collect": _agg_collect,
+}
+
+
+class DataFrame:
+    """A schema-checked collection of dict rows on the RDD engine."""
+
+    def __init__(self, rdd: RDD, columns: Sequence[str]) -> None:
+        if not columns:
+            raise ValueError("a DataFrame needs at least one column")
+        if len(set(columns)) != len(columns):
+            raise ValueError(f"duplicate column names in {list(columns)}")
+        self._rdd = rdd
+        self.columns = list(columns)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_rows(
+        cls,
+        ctx: "SparkContext",
+        rows: Sequence[dict],
+        columns: Sequence[str] | None = None,
+        num_partitions: int | None = None,
+    ) -> "DataFrame":
+        """Build from dict rows; the schema defaults to the first row's keys.
+
+        Every row must supply exactly the schema's columns.
+        """
+        rows = list(rows)
+        if columns is None:
+            if not rows:
+                raise ValueError("cannot infer a schema from zero rows")
+            columns = list(rows[0].keys())
+        colset = set(columns)
+        for i, row in enumerate(rows):
+            if set(row.keys()) != colset:
+                raise ValueError(
+                    f"row {i} has columns {sorted(row)} but schema is {sorted(colset)}"
+                )
+        return cls(ctx.parallelize(rows, num_partitions), columns)
+
+    def _check_columns(self, names: Sequence[str]) -> None:
+        missing = [n for n in names if n not in self.columns]
+        if missing:
+            raise KeyError(f"unknown column(s) {missing}; schema is {self.columns}")
+
+    # ------------------------------------------------------------------
+    # transformations
+    # ------------------------------------------------------------------
+    def select(self, *names: str) -> "DataFrame":
+        """Keep only the named columns (in the given order)."""
+        self._check_columns(names)
+        cols = list(names)
+        return DataFrame(self._rdd.map(lambda row: {c: row[c] for c in cols}), cols)
+
+    def with_column(self, name: str, fn: Callable[[dict], Any]) -> "DataFrame":
+        """Add (or replace) a column computed from each row."""
+        columns = self.columns + ([name] if name not in self.columns else [])
+        return DataFrame(self._rdd.map(lambda row: {**row, name: fn(row)}), columns)
+
+    def drop(self, *names: str) -> "DataFrame":
+        """Remove the named columns."""
+        self._check_columns(names)
+        keep = [c for c in self.columns if c not in names]
+        if not keep:
+            raise ValueError("cannot drop every column")
+        return DataFrame(self._rdd.map(lambda row: {c: row[c] for c in keep}), keep)
+
+    def where(self, pred: Callable[[dict], bool]) -> "DataFrame":
+        """Keep rows where ``pred(row)`` is true (a.k.a. ``filter``)."""
+        return DataFrame(self._rdd.filter(pred), self.columns)
+
+    filter = where
+
+    def rename(self, mapping: dict[str, str]) -> "DataFrame":
+        """Rename columns per ``{old: new}``."""
+        self._check_columns(list(mapping))
+        new_columns = [mapping.get(c, c) for c in self.columns]
+        return DataFrame(
+            self._rdd.map(lambda row: {mapping.get(k, k): v for k, v in row.items()}),
+            new_columns,
+        )
+
+    def distinct(self) -> "DataFrame":
+        """Unique rows (one shuffle)."""
+        cols = self.columns
+        keyed = self._rdd.map(lambda row: (tuple(row[c] for c in cols), None))
+        unique = keyed.reduce_by_key(lambda a, _b: a).keys()
+        return DataFrame(
+            unique.map(lambda values: dict(zip(cols, values))), cols
+        )
+
+    def union(self, other: "DataFrame") -> "DataFrame":
+        """Concatenate two DataFrames with identical schemas."""
+        if other.columns != self.columns:
+            raise ValueError(
+                f"union needs identical schemas: {self.columns} vs {other.columns}"
+            )
+        return DataFrame(self._rdd.union(other._rdd), self.columns)
+
+    def order_by(self, column: str, ascending: bool = True) -> "DataFrame":
+        """Globally sort rows by one column."""
+        self._check_columns([column])
+        return DataFrame(
+            self._rdd.sort_by(lambda row: row[column], ascending=ascending),
+            self.columns,
+        )
+
+    def limit(self, n: int) -> "DataFrame":
+        """The first ``n`` rows (by partition order)."""
+        if n < 0:
+            raise ValueError(f"n must be >= 0, got {n}")
+        taken = self._rdd.take(n)
+        return DataFrame(self._rdd.ctx.parallelize(taken, 1), self.columns)
+
+    def join(
+        self,
+        other: "DataFrame",
+        on: str | Sequence[str],
+        how: str = "inner",
+        *,
+        strategy: str = "shuffle",
+    ) -> "DataFrame":
+        """Equi-join on shared key column(s); ``how`` in inner/left/right/full.
+
+        Non-key columns must not collide (rename first), like Spark
+        before aliasing. ``strategy="broadcast"`` (inner joins only)
+        collects the *right* side into a broadcast lookup table instead
+        of shuffling both sides — the plan hint for small dimension
+        tables.
+        """
+        keys = [on] if isinstance(on, str) else list(on)
+        self._check_columns(keys)
+        other._check_columns(keys)
+        left_vals = [c for c in self.columns if c not in keys]
+        right_vals = [c for c in other.columns if c not in keys]
+        clash = set(left_vals) & set(right_vals)
+        if clash:
+            raise ValueError(f"non-key columns collide: {sorted(clash)} — rename first")
+        if how not in ("inner", "left", "right", "full"):
+            raise ValueError(f"unknown join type {how!r}")
+        if strategy not in ("shuffle", "broadcast"):
+            raise ValueError(f"unknown join strategy {strategy!r}")
+        if strategy == "broadcast" and how != "inner":
+            raise ValueError("broadcast strategy supports inner joins only")
+
+        def keyed(rdd: RDD, val_cols: list[str]) -> RDD:
+            return rdd.map(
+                lambda row: (tuple(row[k] for k in keys), {c: row[c] for c in val_cols})
+            )
+
+        left = keyed(self._rdd, left_vals)
+        right = keyed(other._rdd, right_vals)
+        if strategy == "broadcast":
+            joined = left.broadcast_join(right)
+        else:
+            joined = {
+                "inner": left.join(right),
+                "left": left.left_outer_join(right),
+                "right": left.right_outer_join(right),
+                "full": left.full_outer_join(right),
+            }[how]
+
+        def assemble(kv):
+            key, (lv, rv) = kv
+            row = dict(zip(keys, key))
+            row.update(lv if lv is not None else {c: None for c in left_vals})
+            row.update(rv if rv is not None else {c: None for c in right_vals})
+            return row
+
+        return DataFrame(joined.map(assemble), keys + left_vals + right_vals)
+
+    def group_by(self, *names: str) -> "GroupedData":
+        """Start a grouped aggregation (``groupBy`` in Spark)."""
+        self._check_columns(names)
+        if not names:
+            raise ValueError("group_by needs at least one column")
+        return GroupedData(self, list(names))
+
+    # ------------------------------------------------------------------
+    # actions
+    # ------------------------------------------------------------------
+    def collect(self) -> list[dict]:
+        """All rows."""
+        return self._rdd.collect()
+
+    def count(self) -> int:
+        """Number of rows."""
+        return self._rdd.count()
+
+    def first(self) -> dict:
+        """First row."""
+        return self._rdd.first()
+
+    def to_rdd(self) -> RDD:
+        """The underlying RDD of dict rows."""
+        return self._rdd
+
+    def column_values(self, name: str) -> list[Any]:
+        """One column as a list (convenience for plotting/stats)."""
+        self._check_columns([name])
+        return self._rdd.map(lambda row: row[name]).collect()
+
+    def describe(self, *names: str) -> "DataFrame":
+        """Summary statistics (count/mean/stdev/min/max) of numeric columns.
+
+        With no names, all columns are attempted; non-numeric ones are
+        skipped. One row per described column.
+        """
+        from repro.spark.stats import stats
+
+        targets = list(names) if names else self.columns
+        self._check_columns(targets)
+        rows = []
+        for col in targets:
+            values = self._rdd.map(lambda r, c=col: r[c]).filter(
+                lambda v: isinstance(v, (int, float)) and not isinstance(v, bool)
+            )
+            summary = stats(values)
+            if summary.count == 0:
+                if names:  # explicitly requested: report the problem
+                    raise ValueError(f"column {col!r} has no numeric values")
+                continue
+            rows.append(
+                {
+                    "column": col,
+                    "count": summary.count,
+                    "mean": summary.mean,
+                    "stdev": summary.stdev,
+                    "min": summary.min_value,
+                    "max": summary.max_value,
+                }
+            )
+        if not rows:
+            raise ValueError("no numeric columns to describe")
+        return DataFrame(
+            self._rdd.ctx.parallelize(rows, 1),
+            ["column", "count", "mean", "stdev", "min", "max"],
+        )
+
+    def show(self, n: int = 10) -> str:
+        """A rendered text table of the first ``n`` rows."""
+        rows = self._rdd.take(n)
+        widths = {c: len(c) for c in self.columns}
+        rendered = [
+            {c: repr(row[c]) if isinstance(row[c], str) else str(row[c]) for c in self.columns}
+            for row in rows
+        ]
+        for row in rendered:
+            for c in self.columns:
+                widths[c] = max(widths[c], len(row[c]))
+        header = " | ".join(c.ljust(widths[c]) for c in self.columns)
+        rule = "-+-".join("-" * widths[c] for c in self.columns)
+        body = [
+            " | ".join(row[c].ljust(widths[c]) for c in self.columns) for row in rendered
+        ]
+        return "\n".join([header, rule, *body])
+
+    def __repr__(self) -> str:
+        return f"DataFrame(columns={self.columns})"
+
+
+class GroupedData:
+    """Intermediate of :meth:`DataFrame.group_by`; finish with :meth:`agg`."""
+
+    def __init__(self, df: DataFrame, keys: list[str]) -> None:
+        self._df = df
+        self._keys = keys
+
+    def agg(self, spec: dict[str, str | tuple[str, str]]) -> DataFrame:
+        """Aggregate grouped rows.
+
+        ``spec`` maps *output column* → aggregation. Each aggregation is
+        either ``(input_column, fn_name)`` or the shorthand string
+        ``"fn_name"`` applied to the output-column name (Spark's
+        ``agg({"col": "sum"})`` convention). ``fn_name`` must be one of
+        ``AGGREGATIONS``.
+        """
+        if not spec:
+            raise ValueError("agg needs at least one aggregation")
+        plan: list[tuple[str, str, Callable[[list], Any]]] = []
+        for out_col, how in spec.items():
+            if isinstance(how, str):
+                in_col, fn_name = out_col, how
+            else:
+                in_col, fn_name = how
+            if fn_name not in AGGREGATIONS:
+                raise ValueError(
+                    f"unknown aggregation {fn_name!r}; available: {sorted(AGGREGATIONS)}"
+                )
+            if fn_name != "count":  # count tolerates any column
+                self._df._check_columns([in_col])
+            plan.append((out_col, in_col, AGGREGATIONS[fn_name]))
+
+        keys = self._keys
+        pairs = self._df.to_rdd().map(
+            lambda row: (tuple(row[k] for k in keys), row)
+        )
+        grouped = pairs.group_by_key()
+
+        def finish(kv):
+            key, rows = kv
+            out = dict(zip(keys, key))
+            for out_col, in_col, fn in plan:
+                values = [row.get(in_col) for row in rows]
+                out[out_col] = fn(values)
+            return out
+
+        out_columns = keys + [out_col for out_col, _, _ in plan]
+        return DataFrame(grouped.map(finish), out_columns)
+
+    def count(self) -> DataFrame:
+        """Shorthand: group sizes in a ``count`` column."""
+        return self.agg({"count": (self._keys[0], "count")})

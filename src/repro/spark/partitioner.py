@@ -1,0 +1,75 @@
+"""Partitioners: how keys map to reduce-side partitions.
+
+The pipeline assignment's wide transformations (``reduceByKey``,
+``join``, ``sortByKey``) all route records by key. Two classic policies:
+
+- :class:`HashPartitioner` — deterministic hash placement (the default),
+- :class:`RangePartitioner` — order-preserving placement by sampled key
+  boundaries, which is what makes ``sortByKey`` produce globally sorted
+  output from per-partition sorts.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Sequence
+
+from repro.mapreduce.hashing import stable_hash
+from repro.util.validation import require_positive_int
+
+__all__ = ["HashPartitioner", "RangePartitioner"]
+
+
+class HashPartitioner:
+    """Key → ``stable_hash(key) % num_partitions``."""
+
+    def __init__(self, num_partitions: int) -> None:
+        self.num_partitions = require_positive_int("num_partitions", num_partitions)
+
+    def partition(self, key: Any) -> int:
+        """Owning partition of ``key``."""
+        return stable_hash(key) % self.num_partitions
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, HashPartitioner) and other.num_partitions == self.num_partitions
+
+    def __hash__(self) -> int:
+        return hash(("hash", self.num_partitions))
+
+
+class RangePartitioner:
+    """Key → the range bucket it falls into, per sorted ``bounds``.
+
+    ``bounds`` are the ``num_partitions - 1`` split points: keys ``<=
+    bounds[0]`` go to partition 0, etc. Build from data with
+    :meth:`from_keys`.
+    """
+
+    def __init__(self, bounds: Sequence[Any], *, ascending: bool = True) -> None:
+        self.bounds = list(bounds)
+        self.ascending = ascending
+        self.num_partitions = len(self.bounds) + 1
+
+    @classmethod
+    def from_keys(
+        cls, keys: Sequence[Any], num_partitions: int, *, ascending: bool = True
+    ) -> "RangePartitioner":
+        """Choose balanced split points from the observed key population."""
+        require_positive_int("num_partitions", num_partitions)
+        distinct = sorted(set(keys))
+        if num_partitions == 1 or len(distinct) <= 1:
+            return cls([], ascending=ascending)
+        bounds = []
+        for i in range(1, num_partitions):
+            idx = i * len(distinct) // num_partitions
+            bound = distinct[min(idx, len(distinct) - 1)]
+            if not bounds or bound > bounds[-1]:
+                bounds.append(bound)
+        return cls(bounds, ascending=ascending)
+
+    def partition(self, key: Any) -> int:
+        """Owning partition; reversed when ``ascending=False``."""
+        bucket = bisect.bisect_left(self.bounds, key)
+        if not self.ascending:
+            bucket = len(self.bounds) - bucket
+        return bucket

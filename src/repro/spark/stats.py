@@ -1,0 +1,132 @@
+"""Numeric actions for RDDs: summary statistics, histograms, sampling.
+
+The pipeline assignment's analysis stages lean on exactly these: a
+``stats()`` pass over a cleaned column, a ``histogram`` for the
+visualization step, and ``take_sample`` for eyeballing records. All are
+implemented as single-job aggregations (no collect-then-compute), which
+is the scalability habit the course drills.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.rng.counter import CounterRNG
+from repro.spark.rdd import RDD
+from repro.util.validation import require_positive_int
+
+__all__ = ["StatCounter", "stats", "histogram", "take_sample"]
+
+
+@dataclass
+class StatCounter:
+    """Streaming summary: count / mean / variance / extrema.
+
+    Merged with Chan et al.'s parallel variance update, so partition
+    partials combine exactly (used as the comb side of ``aggregate``).
+    """
+
+    count: int = 0
+    mean: float = 0.0
+    m2: float = 0.0
+    min_value: float = math.inf
+    max_value: float = -math.inf
+
+    def push(self, x: float) -> "StatCounter":
+        """Fold one value in (Welford update)."""
+        x = float(x)
+        self.count += 1
+        delta = x - self.mean
+        self.mean += delta / self.count
+        self.m2 += delta * (x - self.mean)
+        self.min_value = min(self.min_value, x)
+        self.max_value = max(self.max_value, x)
+        return self
+
+    def merge(self, other: "StatCounter") -> "StatCounter":
+        """Combine two partials exactly."""
+        if other.count == 0:
+            return self
+        if self.count == 0:
+            self.count = other.count
+            self.mean = other.mean
+            self.m2 = other.m2
+            self.min_value = other.min_value
+            self.max_value = other.max_value
+            return self
+        total = self.count + other.count
+        delta = other.mean - self.mean
+        self.m2 += other.m2 + delta * delta * self.count * other.count / total
+        self.mean += delta * other.count / total
+        self.count = total
+        self.min_value = min(self.min_value, other.min_value)
+        self.max_value = max(self.max_value, other.max_value)
+        return self
+
+    @property
+    def variance(self) -> float:
+        """Population variance (0 for fewer than 2 values)."""
+        return self.m2 / self.count if self.count > 1 else 0.0
+
+    @property
+    def stdev(self) -> float:
+        """Population standard deviation."""
+        return math.sqrt(self.variance)
+
+
+def stats(rdd: RDD) -> StatCounter:
+    """One-pass summary statistics of a numeric RDD."""
+    return rdd.aggregate(
+        StatCounter(),
+        lambda acc, x: acc.push(x),
+        lambda a, b: a.merge(b),
+    )
+
+
+def histogram(rdd: RDD, bins: int, *, lo: float | None = None, hi: float | None = None) -> tuple[np.ndarray, np.ndarray]:
+    """(bin_edges, counts) over a numeric RDD.
+
+    Bounds default to the data's min/max (one extra stats pass); the
+    counting pass itself is a single aggregate with per-partition numpy
+    bincounts. The top edge is inclusive, like numpy's histogram.
+    """
+    require_positive_int("bins", bins)
+    if lo is None or hi is None:
+        summary = stats(rdd)
+        if summary.count == 0:
+            raise ValueError("cannot histogram an empty RDD")
+        lo = summary.min_value if lo is None else lo
+        hi = summary.max_value if hi is None else hi
+    if hi < lo:
+        raise ValueError(f"hi ({hi}) must be >= lo ({lo})")
+    if hi == lo:
+        hi = lo + 1.0
+    edges = np.linspace(lo, hi, bins + 1)
+    width = (hi - lo) / bins
+
+    def seq(acc: np.ndarray, x: float) -> np.ndarray:
+        if lo <= x <= hi:
+            idx = min(int((x - lo) / width), bins - 1)
+            acc[idx] += 1
+        return acc
+
+    counts = rdd.aggregate(np.zeros(bins, dtype=np.int64), seq, lambda a, b: a + b)
+    return edges, counts
+
+
+def take_sample(rdd: RDD, n: int, seed: int = 0) -> list:
+    """``n`` elements sampled without replacement, deterministically.
+
+    Uses a counter-RNG keyed sort of element indices — O(total) work but
+    exact and reproducible, fine at pipeline scale.
+    """
+    require_positive_int("n", n)
+    indexed = rdd.zip_with_index().collect()
+    if not indexed:
+        return []
+    rng = CounterRNG(seed=seed, stream=0x7361)  # 'sa'
+    keyed = sorted(indexed, key=lambda xi: rng.raw(xi[1]))
+    return [x for x, _ in keyed[:n]]

@@ -1,0 +1,123 @@
+"""Parameters and state for the Nagel–Schreckenberg model.
+
+Figure 3 of the paper uses 200 cars on a road of length 1000 with
+slowdown probability p = 0.13 and maximum velocity 5; those are the
+defaults here.
+
+State is agent-based: two vectors of length N (positions and
+velocities), ordered so that car ``(i+1) % N`` is always the car ahead
+of car ``i`` — single-lane traffic admits no overtaking, so the circular
+ordering is invariant and neighbor lookups are just index arithmetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.rng.counter import CounterRNG
+from repro.rng.lcg import MINSTD, LcgParams
+from repro.util.validation import require_nonnegative_int, require_positive_int, require_probability
+
+__all__ = ["TrafficParams", "TrafficState"]
+
+
+@dataclass(frozen=True)
+class TrafficParams:
+    """Model parameters (defaults = the paper's Figure 3 configuration)."""
+
+    road_length: int = 1000
+    num_cars: int = 200
+    p_slow: float = 0.13
+    v_max: int = 5
+    seed: int = 13
+    #: LCG family supplying the shared random sequence.
+    rng_params: LcgParams = MINSTD
+
+    def __post_init__(self) -> None:
+        require_positive_int("road_length", self.road_length)
+        require_nonnegative_int("num_cars", self.num_cars)
+        require_probability("p_slow", self.p_slow)
+        require_nonnegative_int("v_max", self.v_max)
+        if self.num_cars > self.road_length:
+            raise ValueError(
+                f"cannot place {self.num_cars} cars on a road of length {self.road_length}"
+            )
+
+    @property
+    def density(self) -> float:
+        """Cars per cell."""
+        return self.num_cars / self.road_length
+
+
+@dataclass
+class TrafficState:
+    """Positions and velocities of the N cars at one time step."""
+
+    params: TrafficParams
+    positions: np.ndarray
+    velocities: np.ndarray
+    step_index: int = 0
+
+    @classmethod
+    def initial(cls, params: TrafficParams, *, placement: str = "even") -> "TrafficState":
+        """Starting state with all cars stopped.
+
+        ``placement="even"`` spaces cars uniformly (the deterministic
+        default); ``"random"`` samples distinct cells with a counter RNG
+        keyed off ``params.seed`` — separate from the step-draw sequence
+        so the per-step accounting (step s uses draws [s·N, (s+1)·N))
+        stays exact.
+        """
+        n, length = params.num_cars, params.road_length
+        if placement == "even":
+            positions = (np.arange(n, dtype=np.int64) * length) // max(n, 1)
+        elif placement == "random":
+            rng = CounterRNG(seed=params.seed, stream=0x706C)  # 'pl'
+            chosen: list[int] = []
+            taken: set[int] = set()
+            draw = 0
+            while len(chosen) < n:
+                cell = min(int(rng.uniform(draw) * length), length - 1)
+                draw += 1
+                if cell not in taken:
+                    taken.add(cell)
+                    chosen.append(cell)
+            positions = np.array(sorted(chosen), dtype=np.int64)
+        else:
+            raise ValueError(f"unknown placement {placement!r}")
+        return cls(
+            params=params,
+            positions=positions,
+            velocities=np.zeros(n, dtype=np.int64),
+            step_index=0,
+        )
+
+    def occupancy(self) -> np.ndarray:
+        """Road view: velocity at each occupied cell, -1 where empty."""
+        road = np.full(self.params.road_length, -1, dtype=np.int64)
+        road[self.positions] = self.velocities
+        return road
+
+    def gaps(self) -> np.ndarray:
+        """Headway of each car: empty cells between it and the car ahead."""
+        length = self.params.road_length
+        ahead = np.roll(self.positions, -1)
+        return (ahead - self.positions - 1) % length
+
+    def validate_invariants(self) -> None:
+        """Assert no collisions and consistent shapes (test helper)."""
+        assert len(np.unique(self.positions)) == len(self.positions), "two cars in one cell"
+        assert self.velocities.min() >= 0
+        assert self.velocities.max() <= self.params.v_max or self.params.num_cars == 0
+        assert np.all((0 <= self.positions) & (self.positions < self.params.road_length))
+
+    def copy(self) -> "TrafficState":
+        """Deep copy (for recording trajectories)."""
+        return TrafficState(
+            params=self.params,
+            positions=self.positions.copy(),
+            velocities=self.velocities.copy(),
+            step_index=self.step_index,
+        )

@@ -1,0 +1,144 @@
+"""Open boundary conditions — the §5 "change boundary conditions" variation.
+
+The baseline model is a ring (periodic boundary). The classic open
+variant models a road *segment*: cars are injected at the left end with
+probability ``p_in`` per step (when cell 0 is free) and removed when
+they drive past the right end with probability ``p_out`` (otherwise the
+last car is held, creating a bottleneck). This reproduces the boundary-
+induced phase transitions of the open NaSch/ASEP family: low ``p_out``
+queues traffic back from the exit regardless of inflow.
+
+Randomness bookkeeping extends the closed-road contract: each step
+consumes exactly ``road_length + 2`` shared-sequence draws — one per
+*cell slot* (so car draws are position-indexed, stable under entry/exit)
+plus one inflow and one outflow coin. Parallel variants of this model
+can therefore use the same fast-forward reproducibility argument; the
+serial implementation here is the reference they would be tested
+against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.rng.streams import SharedSequence
+from repro.traffic.model import TrafficParams
+from repro.util.validation import require_nonnegative_int, require_probability
+
+__all__ = ["OpenRoadParams", "OpenRoadState", "simulate_open_road"]
+
+
+@dataclass(frozen=True)
+class OpenRoadParams:
+    """Open-segment parameters: the ring's, plus boundary rates."""
+
+    road_length: int = 200
+    p_slow: float = 0.13
+    v_max: int = 5
+    p_in: float = 0.5
+    p_out: float = 0.8
+    seed: int = 13
+
+    def __post_init__(self) -> None:
+        base = TrafficParams(
+            road_length=self.road_length,
+            num_cars=0,
+            p_slow=self.p_slow,
+            v_max=self.v_max,
+            seed=self.seed,
+        )
+        del base
+        require_probability("p_in", self.p_in)
+        require_probability("p_out", self.p_out)
+
+
+@dataclass
+class OpenRoadState:
+    """Cars currently on the segment, ordered by increasing position."""
+
+    params: OpenRoadParams
+    positions: np.ndarray
+    velocities: np.ndarray
+    step_index: int = 0
+    entered_total: int = 0
+    exited_total: int = 0
+
+    def validate_invariants(self) -> None:
+        """No collisions, ordered positions, bounded velocities."""
+        assert np.all(np.diff(self.positions) > 0), "cars out of order / colliding"
+        assert np.all((self.positions >= 0) & (self.positions < self.params.road_length))
+        assert np.all((self.velocities >= 0) & (self.velocities <= self.params.v_max))
+
+    @property
+    def num_cars(self) -> int:
+        """Cars currently on the segment."""
+        return len(self.positions)
+
+
+def simulate_open_road(
+    params: OpenRoadParams, num_steps: int, *, record: bool = False
+) -> tuple[OpenRoadState, list[OpenRoadState]]:
+    """Evolve an initially-empty open segment for ``num_steps``.
+
+    Returns (final_state, trajectory-if-recorded).
+    """
+    require_nonnegative_int("num_steps", num_steps)
+    length, v_max, p = params.road_length, params.v_max, params.p_slow
+    sequence = SharedSequence(TrafficParams().rng_params, params.seed)
+    draws_per_step = length + 2
+
+    positions = np.empty(0, dtype=np.int64)
+    velocities = np.empty(0, dtype=np.int64)
+    entered = exited = 0
+    trajectory: list[OpenRoadState] = []
+
+    def snapshot(step: int) -> OpenRoadState:
+        return OpenRoadState(
+            params, positions.copy(), velocities.copy(), step, entered, exited
+        )
+
+    if record:
+        trajectory.append(snapshot(0))
+
+    for step in range(num_steps):
+        base = step * draws_per_step
+        # Per-cell-slot draws keep car coins stable under entry/exit.
+        cell_draws = sequence.draws(base, length)
+        in_coin, out_coin = sequence.draws(base + length, 2)
+
+        n = len(positions)
+        if n:
+            # Gap to the car ahead; the right-most car sees open road.
+            gaps = np.empty(n, dtype=np.int64)
+            gaps[:-1] = positions[1:] - positions[:-1] - 1
+            gaps[-1] = length  # unobstructed toward the exit
+            v = np.minimum(velocities + 1, v_max)
+            v = np.minimum(v, gaps)
+            slow = cell_draws[positions] < p
+            v = np.where(slow, np.maximum(v - 1, 0), v)
+            new_positions = positions + v
+
+            # Outflow: a car crossing the right end leaves with p_out;
+            # otherwise it parks on the last cell (the bottleneck).
+            if new_positions[-1] >= length:
+                if out_coin < params.p_out:
+                    new_positions = new_positions[:-1]
+                    v = v[:-1]
+                    exited += 1
+                else:
+                    new_positions[-1] = length - 1
+                    v[-1] = 0
+            positions, velocities = new_positions, v
+
+        # Inflow: with p_in, a stopped car appears on cell 0 if free.
+        if in_coin < params.p_in and (len(positions) == 0 or positions[0] > 0):
+            positions = np.concatenate([[np.int64(0)], positions])
+            velocities = np.concatenate([[np.int64(0)], velocities])
+            entered += 1
+
+        if record:
+            trajectory.append(snapshot(step + 1))
+
+    return snapshot(num_steps), trajectory

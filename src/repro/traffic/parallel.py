@@ -1,0 +1,97 @@
+"""Shared-memory parallel Nagel–Schreckenberg with exact reproducibility.
+
+The assignment's deliverable (paper §5): an OpenMP version whose output
+is *identical to the serial code for any number of threads*. The naive
+parallelization — one independently-seeded PRNG per thread — fails that
+requirement; the correct one makes every thread read its cars' draws
+from the single shared sequence by fast-forwarding.
+
+Structure (mirroring the ``parallel`` / ``for`` / ``threadprivate``
+directives students use):
+
+- one persistent thread team for the whole run (task-reuse, as in the
+  heat assignment's part 2);
+- each thread owns a contiguous block of cars (static schedule);
+- each thread holds a *threadprivate* generator clone, fast-forwarded
+  once to its first draw and then advanced by ``N - block`` positions
+  per step (one O(log n) jump), so fast-forward cost is amortized;
+- two barriers per step separate read-compute from publish (all cars
+  update from the previous step's global arrays).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.openmp import parallel_region
+from repro.rng.streams import SharedSequence
+from repro.traffic.model import TrafficParams, TrafficState
+from repro.util.partition import block_bounds
+from repro.util.validation import require_nonnegative_int, require_positive_int
+
+__all__ = ["simulate_parallel"]
+
+
+def simulate_parallel(
+    params: TrafficParams,
+    num_steps: int,
+    num_threads: int,
+    *,
+    placement: str = "even",
+    record: bool = False,
+) -> tuple[TrafficState, list[TrafficState]]:
+    """Parallel simulation, bitwise-equal to :func:`simulate_serial`.
+
+    Returns (final_state, trajectory) like the serial API.
+    """
+    require_nonnegative_int("num_steps", num_steps)
+    require_positive_int("num_threads", num_threads)
+    n, length, v_max, p = params.num_cars, params.road_length, params.v_max, params.p_slow
+    sequence = SharedSequence(params.rng_params, params.seed)
+
+    state = TrafficState.initial(params, placement=placement)
+    positions = state.positions.copy()
+    velocities = state.velocities.copy()
+    new_positions = np.empty_like(positions)
+    new_velocities = np.empty_like(velocities)
+    trajectory: list[TrafficState] = [state.copy()] if record else []
+
+    if n == 0 or num_steps == 0:
+        final = TrafficState(params, positions, velocities, num_steps)
+        return final, trajectory
+
+    def worker(ctx) -> None:
+        nonlocal positions, velocities, new_positions, new_velocities
+        lo, hi = block_bounds(n, ctx.num_threads, ctx.thread_id)
+        block = hi - lo
+        # threadprivate generator: positioned at this thread's draws of step 0.
+        gen = sequence.generator_at(lo) if block else None
+
+        for step in range(num_steps):
+            if block:
+                draws = np.array([gen.next_uniform() for _ in range(block)])
+                # Neighbor reads may cross the block boundary; positions
+                # is the *previous* step's array, frozen until the barrier.
+                ahead = positions[(np.arange(lo, hi) + 1) % n]
+                gaps = (ahead - positions[lo:hi] - 1) % length
+                v = np.minimum(velocities[lo:hi] + 1, v_max)
+                v = np.minimum(v, gaps)
+                v = np.where(draws < p, np.maximum(v - 1, 0), v)
+                new_positions[lo:hi] = (positions[lo:hi] + v) % length
+                new_velocities[lo:hi] = v
+                # Jump over the other threads' draws of this step: one
+                # O(log n) fast-forward instead of n - block serial steps.
+                gen.jump(n - block)
+            ctx.barrier()  # all blocks published
+            if ctx.master():
+                positions, new_positions = new_positions, positions
+                velocities, new_velocities = new_velocities, velocities
+                if record:
+                    trajectory.append(
+                        TrafficState(params, positions.copy(), velocities.copy(), step + 1)
+                    )
+            ctx.barrier()  # swap visible to everyone before next step
+
+    parallel_region(num_threads, worker)
+    final = TrafficState(params, positions.copy(), velocities.copy(), num_steps)
+    return final, trajectory

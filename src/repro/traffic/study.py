@@ -1,0 +1,99 @@
+"""Embarrassingly-parallel parameter studies — another §5 variation.
+
+"Students could … run a series of parameter study cases and take
+advantage of embarrassingly parallel jobs" (paper §5). A parameter
+study is a list of independent simulations; this module distributes
+them over SPMD ranks with the same round-robin task map the HPO
+assignment teaches, and collects per-case summary statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.mpi import Communicator, run_spmd
+from repro.traffic.analysis import average_velocity, count_stopped, flow_rate
+from repro.traffic.model import TrafficParams
+from repro.traffic.serial import simulate_serial
+
+__all__ = ["CaseResult", "run_parameter_study", "density_sweep_cases"]
+
+
+@dataclass(frozen=True)
+class CaseResult:
+    """Summary statistics of one simulated case."""
+
+    params: TrafficParams
+    mean_velocity: float
+    flow: float
+    stopped_final: int
+
+    @property
+    def density(self) -> float:
+        """Cars per cell for this case."""
+        return self.params.density
+
+
+def _simulate_case(params: TrafficParams, num_steps: int, warmup: int) -> CaseResult:
+    _, trajectory = simulate_serial(params, warmup + num_steps, record=True)
+    measured = trajectory[warmup + 1 :]
+    mean_v = float(np.mean([average_velocity(s) for s in measured])) if measured else 0.0
+    return CaseResult(
+        params=params,
+        mean_velocity=mean_v,
+        flow=flow_rate(measured) if measured else 0.0,
+        stopped_final=count_stopped(trajectory[-1]),
+    )
+
+
+def run_parameter_study(
+    cases: list[TrafficParams],
+    num_steps: int,
+    *,
+    num_workers: int = 4,
+    warmup: int = 50,
+) -> list[CaseResult]:
+    """Simulate every case, distributing cases round-robin over SPMD ranks.
+
+    Results come back in case order regardless of which rank ran what —
+    the embarrassingly-parallel pattern with deterministic assembly.
+    """
+    if not cases:
+        return []
+    num_workers = min(num_workers, len(cases))
+
+    def program(comm: Communicator) -> list[tuple[int, CaseResult]]:
+        mine = []
+        for case_id in range(comm.rank, len(cases), comm.size):
+            mine.append((case_id, _simulate_case(cases[case_id], num_steps, warmup)))
+        gathered = comm.allgather(mine)
+        merged = {cid: result for rank_list in gathered for cid, result in rank_list}
+        return [merged[c] for c in range(len(cases))]
+
+    return run_spmd(num_workers, program)[0]
+
+
+def density_sweep_cases(
+    road_length: int,
+    densities: list[float],
+    *,
+    p_slow: float = 0.13,
+    v_max: int = 5,
+    seed: int = 13,
+) -> list[TrafficParams]:
+    """The canonical study: one case per target density."""
+    cases = []
+    for rho in densities:
+        num_cars = max(0, min(road_length, int(round(rho * road_length))))
+        cases.append(
+            TrafficParams(
+                road_length=road_length,
+                num_cars=num_cars,
+                p_slow=p_slow,
+                v_max=v_max,
+                seed=seed,
+            )
+        )
+    return cases

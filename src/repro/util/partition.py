@@ -1,0 +1,117 @@
+"""Index-space partitioning helpers.
+
+Every distributed assignment in the paper needs to split an index range
+``0..n`` over ``p`` workers:
+
+- the k-means MPI version distributes the point array (paper §3),
+- the heat-equation solver block-distributes the 1-D domain (paper §6),
+- the HPO assignment distributes ``T`` independent training tasks over
+  ``N`` nodes *"when the number of nodes is not evenly divisible by the
+  number of tasks"* (paper §7).
+
+The block layout used here matches Chapel's ``Block`` distribution and
+MPI's conventional contiguous decomposition: the first ``n % p`` workers
+receive one extra element, so sizes differ by at most one.
+"""
+
+from __future__ import annotations
+
+from repro.util.validation import require_nonnegative_int, require_positive_int
+
+__all__ = [
+    "block_bounds",
+    "block_size",
+    "block_partition",
+    "cyclic_partition",
+    "owner_of",
+    "distribute_tasks",
+]
+
+
+def block_bounds(n: int, parts: int, index: int) -> tuple[int, int]:
+    """Half-open bounds ``[lo, hi)`` of block ``index`` of ``0..n`` split ``parts`` ways.
+
+    The first ``n % parts`` blocks are one element larger, so
+    ``hi - lo`` is either ``n // parts`` or ``n // parts + 1`` and the
+    blocks tile ``range(n)`` exactly.
+
+    >>> [block_bounds(10, 3, i) for i in range(3)]
+    [(0, 4), (4, 7), (7, 10)]
+    """
+    require_nonnegative_int("n", n)
+    require_positive_int("parts", parts)
+    if not 0 <= index < parts:
+        raise IndexError(f"block index {index} out of range for {parts} parts")
+    base, extra = divmod(n, parts)
+    lo = index * base + min(index, extra)
+    hi = lo + base + (1 if index < extra else 0)
+    return lo, hi
+
+
+def block_size(n: int, parts: int, index: int) -> int:
+    """Number of elements in block ``index`` (see :func:`block_bounds`)."""
+    lo, hi = block_bounds(n, parts, index)
+    return hi - lo
+
+
+def block_partition(n: int, parts: int) -> list[range]:
+    """All ``parts`` contiguous blocks of ``range(n)`` as a list of ranges.
+
+    >>> block_partition(7, 3)
+    [range(0, 3), range(3, 5), range(5, 7)]
+    """
+    return [range(*block_bounds(n, parts, i)) for i in range(parts)]
+
+
+def cyclic_partition(n: int, parts: int) -> list[range]:
+    """Round-robin (cyclic) partition of ``range(n)`` into ``parts`` strided ranges.
+
+    Element ``i`` is owned by worker ``i % parts`` — the layout used by
+    leapfrogged random-number streams (paper §5) and by MPI examples that
+    stride over a global index space.
+
+    >>> [list(r) for r in cyclic_partition(7, 3)]
+    [[0, 3, 6], [1, 4], [2, 5]]
+    """
+    require_nonnegative_int("n", n)
+    require_positive_int("parts", parts)
+    return [range(i, n, parts) for i in range(parts)]
+
+
+def owner_of(n: int, parts: int, element: int) -> int:
+    """Owner of ``element`` under the block layout of :func:`block_partition`.
+
+    Inverse of :func:`block_bounds`: ``lo <= element < hi`` for the
+    returned block. Computed in O(1).
+    """
+    require_nonnegative_int("n", n)
+    require_positive_int("parts", parts)
+    if not 0 <= element < n:
+        raise IndexError(f"element {element} out of range for n={n}")
+    base, extra = divmod(n, parts)
+    # The first `extra` blocks have size base+1 and cover [0, extra*(base+1)).
+    boundary = extra * (base + 1)
+    if element < boundary:
+        return element // (base + 1)
+    if base == 0:
+        # n < parts: all elements live in the first `extra` oversized blocks.
+        raise AssertionError("unreachable: element beyond boundary with base 0")
+    return extra + (element - boundary) // base
+
+
+def distribute_tasks(num_tasks: int, num_nodes: int) -> list[list[int]]:
+    """Assign ``num_tasks`` independent task ids to ``num_nodes`` workers.
+
+    This is the PDC concept the HPO assignment teaches (paper §7):
+    distributing independent ensemble-training tasks over nodes when the
+    counts do not divide evenly. The assignment is round-robin, which
+    guarantees per-node loads differ by at most one task and that node
+    ``r`` receives tasks ``r, r + N, r + 2N, …`` — the natural pattern
+    for an MPI rank loop ``for t in range(rank, T, size)``.
+
+    >>> distribute_tasks(10, 4)
+    [[0, 4, 8], [1, 5, 9], [2, 6], [3, 7]]
+    """
+    require_nonnegative_int("num_tasks", num_tasks)
+    require_positive_int("num_nodes", num_nodes)
+    return [list(r) for r in cyclic_partition(num_tasks, num_nodes)]

@@ -1,0 +1,75 @@
+"""Profiling helpers — "no optimization without measuring".
+
+The scientific-Python optimization workflow the courses teach starts
+with a profile, not a guess. :func:`profile_call` wraps ``cProfile``
+around one call and returns both the result and a structured list of
+the hottest functions, so examples and notebooks can *show* where the
+time goes before discussing how to move it.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.util.validation import require_positive_int
+
+__all__ = ["HotSpot", "ProfileReport", "profile_call"]
+
+
+@dataclass(frozen=True)
+class HotSpot:
+    """One row of the profile: a function and its costs."""
+
+    location: str       # "file:line(function)"
+    calls: int
+    total_time: float   # time inside the function itself
+    cumulative: float   # including callees
+
+
+@dataclass
+class ProfileReport:
+    """Result + the profile that produced it."""
+
+    result: Any
+    hotspots: list[HotSpot]
+    text: str
+
+    @property
+    def hottest(self) -> HotSpot:
+        """The function with the largest self-time."""
+        if not self.hotspots:
+            raise ValueError("empty profile")
+        return self.hotspots[0]
+
+
+def profile_call(fn: Callable[..., Any], *args: Any, top: int = 10, **kwargs: Any) -> ProfileReport:
+    """Run ``fn(*args, **kwargs)`` under cProfile.
+
+    Returns a :class:`ProfileReport` with the call's result, the ``top``
+    functions by self-time, and the classic pstats text table.
+    """
+    require_positive_int("top", top)
+    profiler = cProfile.Profile()
+    result = profiler.runcall(fn, *args, **kwargs)
+    stream = io.StringIO()
+    stats = pstats.Stats(profiler, stream=stream)
+    stats.sort_stats("tottime").print_stats(top)
+
+    hotspots: list[HotSpot] = []
+    for func, (cc, nc, tt, ct, _callers) in sorted(
+        stats.stats.items(), key=lambda kv: -kv[1][2]
+    )[:top]:
+        filename, line, name = func
+        hotspots.append(
+            HotSpot(
+                location=f"{filename}:{line}({name})",
+                calls=nc,
+                total_time=tt,
+                cumulative=ct,
+            )
+        )
+    return ProfileReport(result=result, hotspots=hotspots, text=stream.getvalue())

@@ -1,0 +1,94 @@
+"""Minimal CSV handling for labelled point data.
+
+The kNN assignment's "early programming course" variant asks students to
+"write the whole application: parsing the database and queries from a
+CSV file" (paper §2). This module provides that file format: one row per
+point, ``d`` feature columns followed by an optional label column.
+
+Only the tiny subset of CSV needed here is implemented (no quoting —
+the data is purely numeric plus simple label tokens), which keeps the
+parser trivially auditable for classroom use.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+import numpy as np
+
+__all__ = [
+    "write_points_csv",
+    "read_points_csv",
+    "points_to_csv_text",
+    "points_from_csv_text",
+]
+
+
+def points_to_csv_text(points: np.ndarray, labels: np.ndarray | None = None) -> str:
+    """Serialize an (n, d) float array (and optional (n,) int labels) to CSV text."""
+    points = np.asarray(points, dtype=float)
+    if points.ndim != 2:
+        raise ValueError(f"points must be 2-D, got shape {points.shape}")
+    if labels is not None:
+        labels = np.asarray(labels)
+        if labels.shape != (points.shape[0],):
+            raise ValueError(
+                f"labels shape {labels.shape} does not match {points.shape[0]} points"
+            )
+    out = io.StringIO()
+    for i, row in enumerate(points):
+        cols = [repr(float(v)) for v in row]
+        if labels is not None:
+            cols.append(str(int(labels[i])))
+        out.write(",".join(cols))
+        out.write("\n")
+    return out.getvalue()
+
+
+def points_from_csv_text(
+    text: str, *, labelled: bool
+) -> tuple[np.ndarray, np.ndarray | None]:
+    """Parse CSV text back into (points, labels-or-None).
+
+    With ``labelled=True`` the final column of every row is an integer
+    class label; otherwise all columns are features.
+    """
+    rows: list[list[float]] = []
+    labels: list[int] = []
+    width: int | None = None
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        cols = line.split(",")
+        if width is None:
+            width = len(cols)
+        elif len(cols) != width:
+            raise ValueError(f"line {lineno}: expected {width} columns, got {len(cols)}")
+        if labelled:
+            if len(cols) < 2:
+                raise ValueError(f"line {lineno}: labelled rows need >= 2 columns")
+            labels.append(int(cols[-1]))
+            cols = cols[:-1]
+        rows.append([float(c) for c in cols])
+    if not rows:
+        dim = 0 if width is None else (width - 1 if labelled else width)
+        empty = np.empty((0, max(dim, 0)), dtype=float)
+        return empty, (np.empty(0, dtype=np.int64) if labelled else None)
+    points = np.asarray(rows, dtype=float)
+    return points, (np.asarray(labels, dtype=np.int64) if labelled else None)
+
+
+def write_points_csv(
+    path: str | Path, points: np.ndarray, labels: np.ndarray | None = None
+) -> None:
+    """Write points (and optional labels) to a CSV file."""
+    Path(path).write_text(points_to_csv_text(points, labels))
+
+
+def read_points_csv(
+    path: str | Path, *, labelled: bool
+) -> tuple[np.ndarray, np.ndarray | None]:
+    """Read a CSV file written by :func:`write_points_csv`."""
+    return points_from_csv_text(Path(path).read_text(), labelled=labelled)

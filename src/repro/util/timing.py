@@ -1,0 +1,108 @@
+"""Wall-clock timing and scaling-study bookkeeping.
+
+Per the optimization workflow in the course material this reproduction
+follows ("no optimization without measuring"), every performance claim
+in the benchmark harness is backed by a measured wall-clock time. The
+:class:`ScalingStudy` record mirrors what the assignments ask students
+to produce: times per worker count, plus derived speedup and efficiency
+columns.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+__all__ = ["Timer", "time_call", "ScalingStudy"]
+
+
+class Timer:
+    """Context-manager stopwatch measuring wall-clock seconds.
+
+    >>> with Timer() as t:
+    ...     _ = sum(range(1000))
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._start: float | None = None
+        self.elapsed: float = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        assert self._start is not None
+        self.elapsed = time.perf_counter() - self._start
+
+
+def time_call(fn: Callable[..., Any], *args: Any, repeats: int = 1, **kwargs: Any) -> tuple[float, Any]:
+    """Run ``fn`` ``repeats`` times; return (best wall-clock seconds, last result).
+
+    Taking the best of several repeats filters scheduler noise, the same
+    reason ``timeit`` reports a minimum.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    best = float("inf")
+    result: Any = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn(*args, **kwargs)
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+@dataclass
+class ScalingStudy:
+    """Accumulates (workers, seconds) measurements for a strong-scaling study.
+
+    Speedup is computed against the 1-worker time when present, else
+    against the smallest measured worker count.
+    """
+
+    name: str
+    measurements: dict[int, float] = field(default_factory=dict)
+
+    def record(self, workers: int, seconds: float) -> None:
+        """Store the time for a worker count (keeps the minimum of repeats)."""
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if seconds < 0:
+            raise ValueError(f"seconds must be >= 0, got {seconds}")
+        prev = self.measurements.get(workers)
+        self.measurements[workers] = seconds if prev is None else min(prev, seconds)
+
+    @property
+    def baseline_workers(self) -> int:
+        """Worker count used as the speedup baseline."""
+        if not self.measurements:
+            raise ValueError("no measurements recorded")
+        return 1 if 1 in self.measurements else min(self.measurements)
+
+    def speedup(self, workers: int) -> float:
+        """Baseline time divided by the time at ``workers``."""
+        base = self.measurements[self.baseline_workers]
+        t = self.measurements[workers]
+        return float("inf") if t == 0 else base / t
+
+    def efficiency(self, workers: int) -> float:
+        """Speedup divided by the worker-count ratio to baseline."""
+        return self.speedup(workers) / (workers / self.baseline_workers)
+
+    def rows(self) -> list[tuple[int, float, float, float]]:
+        """Sorted (workers, seconds, speedup, efficiency) rows."""
+        return [
+            (w, self.measurements[w], self.speedup(w), self.efficiency(w))
+            for w in sorted(self.measurements)
+        ]
+
+    def format_table(self) -> str:
+        """Human-readable scaling table, as the assignments ask students to report."""
+        lines = [f"{self.name}", f"{'workers':>8} {'seconds':>10} {'speedup':>8} {'eff':>6}"]
+        for w, secs, sp, eff in self.rows():
+            lines.append(f"{w:>8d} {secs:>10.4f} {sp:>8.2f} {eff:>6.2f}")
+        return "\n".join(lines)

@@ -1,0 +1,63 @@
+"""Argument-validation helpers shared by the public APIs.
+
+All raise ``ValueError``/``TypeError`` with consistent, parameter-named
+messages so user errors surface at the API boundary rather than deep in
+a worker thread (where tracebacks are much harder to read).
+"""
+
+from __future__ import annotations
+
+import numbers
+
+__all__ = [
+    "require_positive_int",
+    "require_nonnegative_int",
+    "require_probability",
+    "require_in_range",
+]
+
+
+def require_positive_int(name: str, value: object) -> int:
+    """Return ``value`` if it is an integer >= 1, else raise."""
+    if isinstance(value, bool) or not isinstance(value, numbers.Integral):
+        raise TypeError(f"{name} must be an int, got {type(value).__name__}")
+    value = int(value)
+    if value < 1:
+        raise ValueError(f"{name} must be >= 1, got {value}")
+    return value
+
+
+def require_nonnegative_int(name: str, value: object) -> int:
+    """Return ``value`` if it is an integer >= 0, else raise."""
+    if isinstance(value, bool) or not isinstance(value, numbers.Integral):
+        raise TypeError(f"{name} must be an int, got {type(value).__name__}")
+    value = int(value)
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value}")
+    return value
+
+
+def require_probability(name: str, value: object) -> float:
+    """Return ``value`` if it is a real number in [0, 1], else raise."""
+    if not isinstance(value, numbers.Real):
+        raise TypeError(f"{name} must be a number, got {type(value).__name__}")
+    value = float(value)
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value}")
+    return value
+
+
+def require_in_range(
+    name: str, value: object, lo: float, hi: float, *, inclusive: bool = True
+) -> float:
+    """Return ``value`` if it lies in ``[lo, hi]`` (or ``(lo, hi)``), else raise."""
+    if not isinstance(value, numbers.Real):
+        raise TypeError(f"{name} must be a number, got {type(value).__name__}")
+    value = float(value)
+    ok = lo <= value <= hi if inclusive else lo < value < hi
+    if not ok:
+        brackets = "[]" if inclusive else "()"
+        raise ValueError(
+            f"{name} must be in {brackets[0]}{lo}, {hi}{brackets[1]}, got {value}"
+        )
+    return value

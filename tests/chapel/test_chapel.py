@@ -1,0 +1,254 @@
+"""Tests for the Chapel-style locale/domain/array/loop constructs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chapel import (
+    BlockArray,
+    BlockDist,
+    Domain,
+    TaskBarrier,
+    coforall,
+    forall,
+    foreach,
+    here,
+    locales,
+    on,
+    set_num_locales,
+)
+
+
+@pytest.fixture(autouse=True)
+def reset_locales():
+    set_num_locales(1)
+    yield
+    set_num_locales(1)
+
+
+class TestLocales:
+    def test_default_single_locale(self):
+        assert len(locales()) == 1
+        assert here() is locales()[0]
+
+    def test_set_num_locales(self):
+        locs = set_num_locales(4)
+        assert [l.id for l in locs] == [0, 1, 2, 3]
+
+    def test_on_statement_moves_here(self):
+        locs = set_num_locales(3)
+        with on(locs[2]):
+            assert here().id == 2
+            with on(locs[1]):
+                assert here().id == 1
+            assert here().id == 2
+        assert here().id == 0
+
+    def test_invalid_locale_count(self):
+        with pytest.raises(ValueError):
+            set_num_locales(0)
+
+    def test_here_is_per_thread(self):
+        locs = set_num_locales(2)
+        seen = {}
+
+        def body(loc):
+            with on(loc):
+                seen[loc.id] = here().id
+
+        coforall(locs, body)
+        assert seen == {0: 0, 1: 1}
+
+
+class TestDomains:
+    def test_domain_basics(self):
+        d = Domain(0, 10)
+        assert d.size == 10
+        assert list(d)[:3] == [0, 1, 2]
+        assert 9 in d and 10 not in d
+
+    def test_interior_strips_boundaries(self):
+        d = Domain(0, 10)
+        inner = d.interior()
+        assert (inner.low, inner.high) == (1, 9)
+
+    def test_inverted_domain_rejected(self):
+        with pytest.raises(ValueError):
+            Domain(5, 3)
+
+    def test_block_domain_tiles_indices(self):
+        locs = set_num_locales(3)
+        dom = BlockDist.create_domain(10, locs)
+        subs = [dom.local_subdomain(i) for i in range(3)]
+        assert [(s.low, s.high) for s in subs] == [(0, 4), (4, 7), (7, 10)]
+
+    def test_owner_matches_subdomain(self):
+        locs = set_num_locales(4)
+        dom = BlockDist.create_domain(21, locs)
+        for i in dom.indices():
+            owner_idx = dom.owner_index(i)
+            assert i in dom.local_subdomain(owner_idx)
+            assert dom.owner(i) is locs[owner_idx]
+
+    def test_create_domain_from_range(self):
+        dom = BlockDist.create_domain(range(5, 15))
+        assert (dom.low, dom.high) == (5, 15)
+
+    def test_strided_range_rejected(self):
+        with pytest.raises(ValueError):
+            BlockDist.create_domain(range(0, 10, 2))
+
+    @given(st.integers(1, 500), st.integers(1, 8))
+    @settings(max_examples=25)
+    def test_property_owner_consistent(self, n, num_locs):
+        locs = set_num_locales(num_locs)
+        dom = BlockDist.create_domain(n, locs)
+        counts = [dom.local_subdomain(i).size for i in range(num_locs)]
+        assert sum(counts) == n
+        assert max(counts) - min(counts) <= 1
+
+
+class TestBlockArray:
+    def test_from_function_and_indexing(self):
+        set_num_locales(2)
+        dom = BlockDist.create_domain(6)
+        a = BlockArray.from_function(dom, lambda i: i * i)
+        assert [a[i] for i in range(6)] == [0, 1, 4, 9, 16, 25]
+
+    def test_remote_access_counted(self):
+        locs = set_num_locales(2)
+        dom = BlockDist.create_domain(10, locs)
+        a = BlockArray(dom)
+        with on(locs[0]):
+            a[9] = 1.0        # owned by locale 1 -> remote put
+            _ = a[0]          # local -> free
+            _ = a[9]          # remote get
+        assert locs[1].remote_puts == 1
+        assert locs[1].remote_gets == 1
+        assert locs[0].remote_gets == 0
+
+    def test_slice_counts_per_element_overlap(self):
+        locs = set_num_locales(2)
+        dom = BlockDist.create_domain(10, locs)
+        a = BlockArray(dom)
+        with on(locs[0]):
+            _ = a.get_slice(3, 8)  # 2 local (3,4) + 3 remote (5,6,7)
+        assert locs[1].remote_gets == 3
+        assert locs[0].remote_gets == 0
+
+    def test_local_view_is_mutable_window(self):
+        locs = set_num_locales(2)
+        dom = BlockDist.create_domain(8, locs)
+        a = BlockArray(dom)
+        a.local_view(1)[:] = 7.0
+        np.testing.assert_array_equal(a.to_numpy(), [0, 0, 0, 0, 7, 7, 7, 7])
+
+    def test_swap_is_constant_time_exchange(self):
+        set_num_locales(1)
+        dom = BlockDist.create_domain(4)
+        a = BlockArray(dom, fill=1.0)
+        b = BlockArray(dom, fill=2.0)
+        a.swap_with(b)
+        assert a.to_numpy()[0] == 2.0 and b.to_numpy()[0] == 1.0
+
+    def test_out_of_domain_access(self):
+        dom = BlockDist.create_domain(4)
+        a = BlockArray(dom)
+        with pytest.raises(IndexError):
+            _ = a[4]
+
+    def test_fill_from_validates_length(self):
+        a = BlockArray(BlockDist.create_domain(4))
+        with pytest.raises(ValueError):
+            a.fill_from(np.zeros(3))
+
+
+class TestLoops:
+    def test_forall_over_int_covers_space(self):
+        out = np.zeros(100)
+        forall(100, lambda i: out.__setitem__(i, 1.0), num_tasks=4)
+        assert out.sum() == 100
+
+    def test_forall_over_block_domain_runs_on_owner(self):
+        locs = set_num_locales(3)
+        dom = BlockDist.create_domain(9, locs)
+        where = [None] * 9
+        forall(dom, lambda i: where.__setitem__(i, here().id))
+        assert where == [0, 0, 0, 1, 1, 1, 2, 2, 2]
+
+    def test_forall_error_propagates(self):
+        def body(i):
+            if i == 3:
+                raise RuntimeError("iteration failed")
+
+        with pytest.raises(RuntimeError, match="iteration failed"):
+            forall(10, body)
+
+    def test_coforall_one_task_per_item(self):
+        import threading
+
+        names = coforall(range(5), lambda i: threading.current_thread().name)
+        assert len(set(names)) == 5  # genuinely distinct tasks
+
+    def test_coforall_returns_results_in_order(self):
+        assert coforall([3, 1, 2], lambda x: x * 10) == [30, 10, 20]
+
+    def test_foreach_serial_in_order(self):
+        seen = []
+        foreach(range(5), seen.append)
+        assert seen == [0, 1, 2, 3, 4]
+
+    def test_forall_empty_space(self):
+        forall(0, lambda i: (_ for _ in ()).throw(AssertionError))
+
+
+class TestTaskBarrier:
+    def test_barrier_synchronizes_team(self):
+        b = TaskBarrier(4)
+        log = []
+        import threading
+
+        lock = threading.Lock()
+
+        def task(tid):
+            with lock:
+                log.append("pre")
+            b.wait()
+            with lock:
+                log.append("post")
+
+        coforall(range(4), task)
+        assert log[:4] == ["pre"] * 4 and log[4:] == ["post"] * 4
+
+    def test_barrier_reusable_across_steps(self):
+        b = TaskBarrier(3)
+        counter = {"v": 0}
+        import threading
+
+        lock = threading.Lock()
+
+        def task(tid):
+            for _ in range(10):
+                with lock:
+                    counter["v"] += 1
+                b.wait()
+
+        coforall(range(3), task)
+        assert counter["v"] == 30
+
+    def test_abort_breaks_waiters(self):
+        b = TaskBarrier(2)
+
+        def task(tid):
+            if tid == 0:
+                b.abort()
+            else:
+                b.wait()
+
+        with pytest.raises(RuntimeError, match="barrier broken"):
+            coforall(range(2), task)
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            TaskBarrier(0)

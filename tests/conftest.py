@@ -1,0 +1,16 @@
+"""Suite-wide test configuration.
+
+Hypothesis runs derandomized so the whole reproduction — including its
+property tests — is deterministic run to run, the same standard the
+library holds its simulators to. (Developers hunting for new
+counterexamples can opt back in with ``--hypothesis-seed=random``.)
+"""
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "repro",
+    derandomize=True,
+    suppress_health_check=[HealthCheck.differing_executors],
+)
+settings.load_profile("repro")

@@ -1,0 +1,46 @@
+"""Keep docs/API.md fresh and the public API documented."""
+
+import importlib
+import inspect
+import pkgutil
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro
+
+ROOT = Path(__file__).parent.parent.parent
+sys.path.insert(0, str(ROOT / "tools"))
+
+from gen_api_index import build_index  # noqa: E402
+
+
+class TestApiIndex:
+    def test_checked_in_index_is_current(self):
+        checked_in = (ROOT / "docs" / "API.md").read_text()
+        assert checked_in == build_index(), (
+            "docs/API.md is stale — regenerate with `python tools/gen_api_index.py`"
+        )
+
+    def test_every_export_is_documented(self):
+        undocumented = []
+        for m in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+            module = importlib.import_module(m.name)
+            for symbol in getattr(module, "__all__", []):
+                obj = getattr(module, symbol, None)
+                if obj is None or not (inspect.isclass(obj) or callable(obj)):
+                    continue
+                if type(obj).__module__ == "typing":
+                    continue  # type aliases (e.g. repro.mpi.ops.Op)
+                if not inspect.getdoc(obj):
+                    undocumented.append(f"{m.name}.{symbol}")
+        assert undocumented == []
+
+    def test_every_module_has_a_docstring(self):
+        bare = []
+        for m in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+            module = importlib.import_module(m.name)
+            if not (module.__doc__ or "").strip():
+                bare.append(m.name)
+        assert bare == []

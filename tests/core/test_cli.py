@@ -1,0 +1,42 @@
+"""Tests for the python -m repro CLI."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestList:
+    def test_lists_all_six(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for key in ("knn", "kmeans", "pipeline", "traffic", "heat", "hpo"):
+            assert key in out
+
+
+class TestInfo:
+    def test_info_shows_card(self, capsys):
+        assert main(["info", "traffic"]) == 0
+        out = capsys.readouterr().out
+        assert "Nagel-Schreckenberg" in out
+        assert "repro.rng" in out
+        assert "OpenMP" in out
+
+    def test_unknown_key_rejected_by_argparse(self):
+        with pytest.raises(SystemExit):
+            main(["info", "quantum"])
+
+
+class TestDemo:
+    @pytest.mark.parametrize("key", ["kmeans", "traffic", "heat", "pipeline"])
+    def test_fast_demos_run_and_verify(self, key, capsys):
+        assert main(["demo", key]) == 0
+        assert "identical" in capsys.readouterr().out or key == "pipeline"
+
+    def test_unknown_demo(self, capsys):
+        assert main(["demo", "quantum"]) == 2
+        assert "unknown demo" in capsys.readouterr().err
+
+    def test_demo_all_smoke(self, capsys):
+        assert main(["demo", "all"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("\n") >= 6

@@ -1,0 +1,67 @@
+"""Tests for the assignment catalog and scaling-study runner."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ASSIGNMENTS,
+    get_assignment,
+    list_assignments,
+    run_scaling_study,
+)
+
+
+class TestCatalog:
+    def test_six_assignments(self):
+        assert len(ASSIGNMENTS) == 6
+
+    def test_sections_two_through_seven(self):
+        assert [a.section for a in list_assignments()] == [2, 3, 4, 5, 6, 7]
+
+    def test_all_meet_selection_criteria(self):
+        assert all(a.criteria.is_peachy for a in ASSIGNMENTS.values())
+
+    def test_lookup(self):
+        assert get_assignment("traffic").section == 5
+        with pytest.raises(KeyError, match="available"):
+            get_assignment("quantum")
+
+    def test_modules_importable(self):
+        import importlib
+
+        for a in ASSIGNMENTS.values():
+            for module in a.modules:
+                importlib.import_module(module)
+
+    def test_every_assignment_has_concepts_and_benchmarks(self):
+        for a in ASSIGNMENTS.values():
+            assert a.concepts and a.benchmarks and a.programming_models
+
+
+class TestScalingStudy:
+    def test_records_all_worker_counts(self):
+        study = run_scaling_study(
+            "noop", [1, 2, 4], lambda w: (lambda: w), repeats=1
+        )
+        assert sorted(study.measurements) == [1, 2, 4]
+
+    def test_verify_catches_wrong_parallel_result(self):
+        def make_task(w):
+            return lambda: 100 if w == 1 else 99  # parallel result differs
+
+        with pytest.raises(AssertionError, match="differs from baseline"):
+            run_scaling_study(
+                "buggy", [1, 2], make_task, repeats=1,
+                verify=lambda base, got: base == got,
+            )
+
+    def test_verify_accepts_matching_results(self):
+        study = run_scaling_study(
+            "ok", [1, 2], lambda w: (lambda: np.arange(5).sum()), repeats=1,
+            verify=lambda base, got: base == got,
+        )
+        assert study.speedup(1) == pytest.approx(1.0)
+
+    def test_empty_worker_counts_rejected(self):
+        with pytest.raises(ValueError):
+            run_scaling_study("x", [], lambda w: (lambda: None))

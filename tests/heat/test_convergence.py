@@ -1,0 +1,48 @@
+"""Tests for the grid-convergence verification study."""
+
+import numpy as np
+import pytest
+
+from repro.heat.convergence import (
+    continuous_sine_solution,
+    convergence_study,
+    observed_order,
+)
+
+
+class TestContinuousSolution:
+    def test_boundary_zero_and_decay(self):
+        u = continuous_sine_solution(50, 0.25, 100)
+        assert u[0] == pytest.approx(0.0, abs=1e-12)
+        assert u[-1] == pytest.approx(0.0, abs=1e-12)
+        assert np.abs(u).max() < 1.0  # decayed below the initial amplitude
+
+    def test_zero_steps_is_initial_condition(self):
+        u = continuous_sine_solution(30, 0.25, 0)
+        x = np.linspace(0, 1, 30)
+        np.testing.assert_allclose(u, np.sin(np.pi * x), atol=1e-12)
+
+
+class TestConvergence:
+    def test_error_shrinks_with_refinement(self):
+        study = convergence_study([17, 33, 65, 129], alpha=0.25)
+        errors = [err for _, err in study]
+        assert all(a > b for a, b in zip(errors, errors[1:]))
+
+    def test_observed_order_near_two(self):
+        study = convergence_study([17, 33, 65, 129, 257], alpha=0.25)
+        order = observed_order(study)
+        assert 1.7 < order < 2.3
+
+    def test_higher_mode_converges_too(self):
+        study = convergence_study([33, 65, 129], alpha=0.25, mode=2)
+        errors = [err for _, err in study]
+        assert errors[-1] < errors[0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            convergence_study([])
+        with pytest.raises(ValueError):
+            convergence_study([2])
+        with pytest.raises(ValueError):
+            observed_order([(17, 0.1)])

@@ -1,0 +1,172 @@
+"""Tests for the heat solvers: serial reference, forall, coforall."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chapel import set_num_locales
+from repro.heat import (
+    discrete_sine_solution,
+    sine_initial_condition,
+    solve_coforall,
+    solve_forall,
+    solve_serial,
+    steady_state,
+)
+from repro.heat.analytic import decay_factor
+
+
+@pytest.fixture(autouse=True)
+def reset_locales():
+    set_num_locales(1)
+    yield
+    set_num_locales(1)
+
+
+class TestSerial:
+    def test_matches_discrete_eigenmode_decay(self):
+        n, alpha, steps = 64, 0.25, 50
+        u0 = sine_initial_condition(n)
+        got, _ = solve_serial(u0, alpha, steps)
+        np.testing.assert_allclose(got, discrete_sine_solution(n, alpha, steps), atol=1e-12)
+
+    def test_higher_modes_decay_faster(self):
+        n, alpha = 64, 0.25
+        assert decay_factor(n, alpha, mode=4) < decay_factor(n, alpha, mode=1)
+
+    def test_converges_to_linear_steady_state(self):
+        n = 32
+        u0 = np.zeros(n)
+        u0[0], u0[-1] = 1.0, 3.0
+        got, _ = solve_serial(u0, 0.5, 5000)
+        np.testing.assert_allclose(got, steady_state(n, 1.0, 3.0), atol=1e-8)
+
+    def test_boundaries_fixed(self):
+        u0 = np.array([5.0, 0.0, 0.0, 0.0, -2.0])
+        got, _ = solve_serial(u0, 0.3, 100)
+        assert got[0] == 5.0 and got[-1] == -2.0
+
+    def test_max_principle(self):
+        # Values never exceed the initial/boundary extrema.
+        rng = np.random.default_rng(0)
+        u0 = rng.uniform(-1, 1, 50)
+        got, _ = solve_serial(u0, 0.5, 200)
+        assert got.max() <= u0.max() + 1e-12
+        assert got.min() >= u0.min() - 1e-12
+
+    def test_zero_steps_identity(self):
+        u0 = np.array([1.0, 2.0, 3.0])
+        got, _ = solve_serial(u0, 0.25, 0)
+        np.testing.assert_array_equal(got, u0)
+
+    def test_input_not_mutated(self):
+        u0 = sine_initial_condition(10)
+        before = u0.copy()
+        solve_serial(u0, 0.25, 10)
+        np.testing.assert_array_equal(u0, before)
+
+    def test_unstable_alpha_rejected(self):
+        with pytest.raises(ValueError, match="alpha"):
+            solve_serial(np.zeros(10), 0.6, 1)
+        with pytest.raises(ValueError, match="alpha"):
+            solve_serial(np.zeros(10), 0.0, 1)
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(ValueError):
+            solve_serial(np.zeros(2), 0.25, 1)
+
+    @given(st.integers(0, 5000))
+    @settings(max_examples=10, deadline=None)
+    def test_property_energy_decays(self, seed):
+        rng = np.random.default_rng(seed)
+        u0 = rng.uniform(-1, 1, 40)
+        u0[0] = u0[-1] = 0.0
+        half, _ = solve_serial(u0, 0.4, 25)
+        full, _ = solve_serial(u0, 0.4, 50)
+        assert np.abs(full).sum() <= np.abs(half).sum() + 1e-9
+
+
+class TestForall:
+    @pytest.mark.parametrize("num_locales", [1, 2, 3, 4])
+    def test_bitwise_equal_to_serial(self, num_locales):
+        locs = set_num_locales(num_locales)
+        u0 = sine_initial_condition(64)
+        serial, _ = solve_serial(u0, 0.25, 40)
+        dist, _ = solve_forall(u0, 0.25, 40, locs)
+        np.testing.assert_array_equal(dist, serial)
+
+    def test_elementwise_mode_equal_too(self):
+        locs = set_num_locales(3)
+        u0 = sine_initial_condition(30)
+        serial, _ = solve_serial(u0, 0.25, 10)
+        dist, _ = solve_forall(u0, 0.25, 10, locs, elementwise=True)
+        np.testing.assert_allclose(dist, serial, atol=1e-15)
+
+    def test_task_spawns_grow_with_steps(self):
+        locs = set_num_locales(2)
+        u0 = sine_initial_condition(32)
+        _, stats10 = solve_forall(u0, 0.25, 10, locs)
+        _, stats20 = solve_forall(u0, 0.25, 20, locs)
+        assert stats10.task_spawns == 20
+        assert stats20.task_spawns == 40
+
+    def test_remote_gets_scale_with_boundaries(self):
+        locs = set_num_locales(4)
+        u0 = sine_initial_condition(64)
+        _, stats = solve_forall(u0, 0.25, 10, locs)
+        # Each of the 3 interior block boundaries costs 2 remote reads per step.
+        assert stats.remote_gets == 10 * 2 * 3
+
+    def test_single_locale_no_comm(self):
+        locs = set_num_locales(1)
+        u0 = sine_initial_condition(32)
+        _, stats = solve_forall(u0, 0.25, 10, locs)
+        assert stats.remote_gets == 0 and stats.remote_puts == 0
+
+
+class TestCoforall:
+    @pytest.mark.parametrize("num_locales", [1, 2, 3, 4, 7])
+    def test_bitwise_equal_to_serial(self, num_locales):
+        locs = set_num_locales(num_locales)
+        u0 = sine_initial_condition(65)
+        serial, _ = solve_serial(u0, 0.25, 40)
+        dist, _ = solve_coforall(u0, 0.25, 40, locs)
+        np.testing.assert_array_equal(dist, serial)
+
+    def test_spawns_tasks_once(self):
+        locs = set_num_locales(4)
+        u0 = sine_initial_condition(64)
+        _, stats = solve_coforall(u0, 0.25, 50, locs)
+        assert stats.task_spawns == 4  # independent of step count
+        assert stats.barrier_waits == 100
+
+    def test_halo_puts_counted(self):
+        locs = set_num_locales(3)
+        u0 = sine_initial_condition(60)
+        _, stats = solve_coforall(u0, 0.25, 10, locs)
+        # tasks 0 and 2 publish one edge, task 1 publishes two: 4 puts/step.
+        assert stats.remote_puts == 40
+
+    def test_zero_steps(self):
+        locs = set_num_locales(2)
+        u0 = sine_initial_condition(16)
+        got, _ = solve_coforall(u0, 0.25, 0, locs)
+        np.testing.assert_array_equal(got, u0)
+
+    def test_blocks_of_size_one(self):
+        locs = set_num_locales(5)
+        u0 = sine_initial_condition(5)
+        serial, _ = solve_serial(u0, 0.25, 20)
+        dist, _ = solve_coforall(u0, 0.25, 20, locs)
+        np.testing.assert_array_equal(dist, serial)
+
+    def test_nonzero_boundaries_preserved(self):
+        locs = set_num_locales(3)
+        u0 = np.zeros(30)
+        u0[0], u0[-1] = 2.0, -1.0
+        got, _ = solve_coforall(u0, 0.5, 4000, locs)
+        serial, _ = solve_serial(u0, 0.5, 4000)
+        assert got[0] == 2.0 and got[-1] == -1.0
+        np.testing.assert_array_equal(got, serial)
+        np.testing.assert_allclose(got, steady_state(30, 2.0, -1.0), atol=1e-6)

@@ -1,0 +1,73 @@
+"""Tests for the 2-D MPI heat solver over the Cartesian topology."""
+
+import numpy as np
+import pytest
+
+from repro.heat.mpi2d import run_mpi_2d, solve_serial_2d
+
+
+def plate(rows: int, cols: int, seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    u = rng.uniform(-1, 1, (rows, cols))
+    return u
+
+
+class TestSerial2D:
+    def test_boundaries_fixed(self):
+        u0 = plate(10, 12)
+        got = solve_serial_2d(u0, 0.2, 50)
+        np.testing.assert_array_equal(got[0, :], u0[0, :])
+        np.testing.assert_array_equal(got[-1, :], u0[-1, :])
+        np.testing.assert_array_equal(got[:, 0], u0[:, 0])
+        np.testing.assert_array_equal(got[:, -1], u0[:, -1])
+
+    def test_max_principle(self):
+        u0 = plate(16, 16, seed=1)
+        got = solve_serial_2d(u0, 0.25, 200)
+        assert got.max() <= u0.max() + 1e-12
+        assert got.min() >= u0.min() - 1e-12
+
+    def test_separable_eigenmode_decay(self):
+        # sin(pi x) sin(pi y) decays by a known per-step factor.
+        n = 33
+        x = np.linspace(0, 1, n)
+        u0 = np.outer(np.sin(np.pi * x), np.sin(np.pi * x))
+        u0[0, :] = u0[-1, :] = u0[:, 0] = u0[:, -1] = 0.0
+        alpha = 0.2
+        lam = 1.0 - 8.0 * alpha * np.sin(np.pi / (2 * (n - 1))) ** 2
+        got = solve_serial_2d(u0, alpha, 40)
+        np.testing.assert_allclose(got, lam**40 * u0, atol=1e-10)
+
+    def test_unstable_alpha_rejected(self):
+        with pytest.raises(ValueError, match="alpha"):
+            solve_serial_2d(plate(5, 5), 0.3, 1)
+
+    def test_too_small_grid_rejected(self):
+        with pytest.raises(ValueError):
+            solve_serial_2d(np.zeros((2, 5)), 0.2, 1)
+
+
+class TestMpi2D:
+    @pytest.mark.parametrize("ranks", [1, 2, 3, 4, 6])
+    def test_bitwise_equal_to_serial(self, ranks):
+        u0 = plate(19, 23, seed=2)
+        serial = solve_serial_2d(u0, 0.2, 30)
+        dist = run_mpi_2d(ranks, u0, 0.2, 30)
+        np.testing.assert_array_equal(dist, serial)
+
+    def test_nonsquare_grids(self):
+        u0 = plate(8, 40, seed=3)
+        serial = solve_serial_2d(u0, 0.25, 20)
+        dist = run_mpi_2d(4, u0, 0.25, 20)
+        np.testing.assert_array_equal(dist, serial)
+
+    def test_prime_rank_count(self):
+        # dims_create(5, 2) = [5, 1]: a degenerate strip decomposition.
+        u0 = plate(15, 15, seed=4)
+        serial = solve_serial_2d(u0, 0.2, 15)
+        dist = run_mpi_2d(5, u0, 0.2, 15)
+        np.testing.assert_array_equal(dist, serial)
+
+    def test_zero_steps(self):
+        u0 = plate(6, 6)
+        np.testing.assert_array_equal(run_mpi_2d(2, u0, 0.2, 0), u0)

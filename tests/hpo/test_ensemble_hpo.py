@@ -1,0 +1,216 @@
+"""Tests for digits, ensembles, the HPO search, scheduling, and the
+distributed driver."""
+
+import numpy as np
+import pytest
+
+from repro.hpo import (
+    DeepEnsemble,
+    HyperParams,
+    MLP,
+    greedy_lpt_schedule,
+    hyperparameter_grid,
+    make_ambiguous_digit,
+    make_digit_dataset,
+    render_digit,
+    run_distributed_hpo,
+    run_hpo_serial,
+    simulate_schedule,
+)
+from repro.hpo.scheduler import round_robin_schedule
+from repro.hpo.search import ensemble_of_top, train_one
+
+
+@pytest.fixture(scope="module")
+def digit_data():
+    x, y = make_digit_dataset(600, noise=0.1, seed=0)
+    return x[:400], y[:400], x[400:], y[400:]
+
+
+@pytest.fixture(scope="module")
+def small_grid():
+    return hyperparameter_grid(
+        hidden_options=[(16,), (24,)],
+        lr_options=[0.1],
+        epochs_options=[6],
+        seeds=[0, 1, 2],
+    )
+
+
+@pytest.fixture(scope="module")
+def serial_outcomes(digit_data, small_grid):
+    return run_hpo_serial(small_grid, *digit_data)
+
+
+class TestDigits:
+    def test_shapes_and_range(self):
+        x, y = make_digit_dataset(50, seed=1)
+        assert x.shape == (50, 64)
+        assert np.all((x >= 0) & (x <= 1))
+        assert set(np.unique(y)) <= set(range(10))
+
+    def test_deterministic(self):
+        a, _ = make_digit_dataset(20, seed=5)
+        b, _ = make_digit_dataset(20, seed=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_class_balanced(self):
+        _, y = make_digit_dataset(100, seed=0)
+        assert np.bincount(y, minlength=10).tolist() == [10] * 10
+
+    def test_ambiguous_blend_validates(self):
+        with pytest.raises(ValueError):
+            make_ambiguous_digit(4, 19)
+        with pytest.raises(ValueError):
+            make_ambiguous_digit(4, 9, alpha=1.5)
+
+    def test_render(self):
+        img = make_ambiguous_digit(4, 9, seed=0)
+        text = render_digit(img)
+        assert len(text.splitlines()) == 8
+        with pytest.raises(ValueError):
+            render_digit(np.zeros(10))
+
+    def test_classes_distinguishable(self, digit_data):
+        train_x, train_y, val_x, val_y = digit_data
+        model = MLP((64, 32, 10), seed=0).fit(train_x, train_y, epochs=10)
+        assert model.accuracy(val_x, val_y) > 0.9
+
+
+class TestEnsemble:
+    @pytest.fixture(scope="class")
+    def trained_ensemble(self, digit_data):
+        train_x, train_y, *_ = digit_data
+        models = [
+            MLP((64, 24, 10), seed=s).fit(train_x, train_y, epochs=15)
+            for s in range(4)
+        ]
+        return DeepEnsemble(models)
+
+    def test_probability_simplex(self, digit_data, trained_ensemble):
+        ens = trained_ensemble
+        _, _, val_x, _ = digit_data
+        probs = ens.predict_proba(val_x[:10])
+        np.testing.assert_allclose(probs.sum(axis=1), np.ones(10), atol=1e-9)
+
+    def test_ensemble_at_least_decent(self, digit_data, trained_ensemble):
+        train_x, train_y, val_x, val_y = digit_data
+        ens = trained_ensemble
+        assert ens.accuracy(val_x, val_y) > 0.85
+
+    def test_figure4_ambiguous_has_higher_uncertainty(self, digit_data, trained_ensemble):
+        ens = trained_ensemble
+        clean, _ = make_digit_dataset(20, noise=0.05, seed=9)
+        ambiguous = np.stack(
+            [make_ambiguous_digit(4, 9, 0.5, seed=s) for s in range(20)]
+        )
+        clean_entropy = ens.predictive_entropy(clean).mean()
+        amb_entropy = ens.predictive_entropy(ambiguous).mean()
+        assert amb_entropy > 1.5 * clean_entropy
+        assert ens.class_probability_std(ambiguous).mean() > 2 * ens.class_probability_std(clean).mean()
+
+    def test_predict_with_uncertainty_shape(self, digit_data, trained_ensemble):
+        ens = trained_ensemble
+        out = ens.predict_with_uncertainty(make_ambiguous_digit(4, 9, seed=0))
+        assert len(out) == 1
+        label, sigma = out[0]
+        assert 0 <= label <= 9 and sigma >= 0.0
+
+    def test_single_model_zero_std(self, digit_data):
+        train_x, train_y, val_x, _ = digit_data
+        ens = DeepEnsemble([MLP((64, 16, 10), seed=0).fit(train_x, train_y, epochs=3)])
+        np.testing.assert_allclose(ens.class_probability_std(val_x[:5]), 0.0)
+
+    def test_empty_ensemble_rejected(self):
+        with pytest.raises(ValueError):
+            DeepEnsemble([])
+
+    def test_mismatched_members_rejected(self):
+        with pytest.raises(ValueError):
+            DeepEnsemble([MLP((4, 2), seed=0), MLP((5, 2), seed=0)])
+
+
+class TestSearch:
+    def test_grid_size(self, small_grid):
+        assert len(small_grid) == 2 * 1 * 1 * 3
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ValueError):
+            hyperparameter_grid(hidden_options=[], lr_options=[])
+
+    def test_outcomes_sorted_best_first(self, serial_outcomes):
+        accs = [o.val_accuracy for o in serial_outcomes]
+        assert accs == sorted(accs, reverse=True)
+
+    def test_train_one_deterministic(self, digit_data, small_grid):
+        a = train_one(small_grid[0], *digit_data)
+        b = train_one(small_grid[0], *digit_data)
+        for wa, wb in zip(a.model.get_weights(), b.model.get_weights()):
+            np.testing.assert_array_equal(wa, wb)
+
+    def test_ensemble_of_top(self, serial_outcomes):
+        ens = ensemble_of_top(serial_outcomes, 3)
+        assert len(ens) == 3
+        with pytest.raises(ValueError):
+            ensemble_of_top(serial_outcomes, 0)
+
+    def test_describe_tag(self):
+        tag = HyperParams(hidden_sizes=(32, 16), learning_rate=0.05, epochs=4, seed=2).describe()
+        assert tag == "h32x16-lr0.05-e4-s2"
+
+
+class TestScheduling:
+    def test_round_robin_balanced_counts(self):
+        report = round_robin_schedule([1.0] * 10, 4)
+        assert sorted(len(n) for n in report.assignment) == [2, 2, 3, 3]
+        assert report.makespan == 3.0
+        assert report.imbalance == pytest.approx(3.0 / 2.5)
+
+    def test_lpt_beats_round_robin_on_skewed_costs(self):
+        costs = [8.0, 1.0, 1.0, 1.0, 7.0, 1.0, 1.0, 1.0]
+        rr = round_robin_schedule(costs, 2)
+        lpt = greedy_lpt_schedule(costs, 2)
+        assert lpt.makespan < rr.makespan
+        # Integer costs summing to 21: the best achievable makespan is 11.
+        assert lpt.makespan == 11.0
+
+    def test_simulate_schedule_validates(self):
+        with pytest.raises(ValueError, match="assigned twice"):
+            simulate_schedule([1.0, 2.0], [[0, 0], [1]])
+        with pytest.raises(ValueError, match="out of range"):
+            simulate_schedule([1.0], [[0, 1]])
+        with pytest.raises(ValueError, match="every task"):
+            simulate_schedule([1.0, 2.0], [[0], []])
+
+    def test_empty_tasks(self):
+        report = round_robin_schedule([], 3)
+        assert report.makespan == 0.0
+        assert report.imbalance == 1.0
+
+
+class TestDistributed:
+    @pytest.mark.parametrize("ranks", [1, 3, 4])
+    def test_distributed_matches_serial(self, digit_data, small_grid, serial_outcomes, ranks):
+        # 6 tasks over 4 ranks: the uneven case the assignment teaches.
+        ensemble, outcomes = run_distributed_hpo(ranks, small_grid, *digit_data, top_m=3)
+        assert len(ensemble) == 3
+        assert [o.params for o in outcomes] == [o.params for o in serial_outcomes]
+        assert [o.val_accuracy for o in outcomes] == [
+            o.val_accuracy for o in serial_outcomes
+        ]
+        # The winning models are bit-identical to serial training.
+        for da, sa in zip(outcomes[0].model.get_weights(), serial_outcomes[0].model.get_weights()):
+            np.testing.assert_array_equal(da, sa)
+
+    def test_more_ranks_than_tasks(self, digit_data):
+        grid = hyperparameter_grid(
+            hidden_options=[(8,)], lr_options=[0.1], epochs_options=[2], seeds=[0, 1]
+        )
+        ensemble, outcomes = run_distributed_hpo(5, grid, *digit_data, top_m=1)
+        assert len(outcomes) == 2
+
+    def test_empty_grid_rejected(self, digit_data):
+        from repro.mpi import RankFailedError
+
+        with pytest.raises(RankFailedError, match="empty"):
+            run_distributed_hpo(2, [], *digit_data)

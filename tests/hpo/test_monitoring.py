@@ -1,0 +1,68 @@
+"""Tests for periodic accuracy monitoring and early stopping."""
+
+import numpy as np
+import pytest
+
+from repro.hpo import MLP, make_digit_dataset
+from repro.hpo.monitoring import AccuracyMonitor, StopTraining, learning_curve
+
+
+@pytest.fixture(scope="module")
+def data():
+    x, y = make_digit_dataset(400, noise=0.1, seed=0)
+    return x[:300], y[:300], x[300:], y[300:]
+
+
+class TestAccuracyMonitor:
+    def test_records_at_interval(self, data):
+        train_x, train_y, val_x, val_y = data
+        monitor = AccuracyMonitor(val_x, val_y, interval=3)
+        MLP((64, 16, 10), seed=0).fit(train_x, train_y, epochs=9, monitor=monitor)
+        assert [e for e, _ in monitor.history] == [2, 5, 8]
+
+    def test_accuracy_improves_over_training(self, data):
+        train_x, train_y, val_x, val_y = data
+        monitor = AccuracyMonitor(val_x, val_y, interval=1)
+        MLP((64, 24, 10), seed=0).fit(train_x, train_y, epochs=12, monitor=monitor)
+        first = monitor.history[0][1]
+        assert monitor.best_accuracy > first
+        assert monitor.best_epoch >= 0
+
+    def test_early_stopping_raises(self, data):
+        train_x, train_y, val_x, val_y = data
+        monitor = AccuracyMonitor(val_x, val_y, interval=1, patience=2)
+        with pytest.raises(StopTraining, match="no improvement"):
+            # Train far past convergence so accuracy plateaus.
+            MLP((64, 24, 10), seed=0).fit(train_x, train_y, epochs=200, monitor=monitor)
+        assert len(monitor.history) < 200
+
+    def test_validation(self, data):
+        _, _, val_x, val_y = data
+        with pytest.raises(ValueError):
+            AccuracyMonitor(val_x, val_y, interval=0)
+        with pytest.raises(ValueError):
+            AccuracyMonitor(val_x, val_y, patience=0)
+
+
+class TestLearningCurve:
+    def test_curve_shape_and_early_stop_absorbed(self, data):
+        train_x, train_y, val_x, val_y = data
+        model = MLP((64, 24, 10), seed=1)
+        curve = learning_curve(
+            model, train_x, train_y, val_x, val_y,
+            epochs=200, interval=2, patience=3,
+        )
+        assert curve  # stopped early but returned the history
+        epochs = [e for e, _ in curve]
+        assert epochs == sorted(epochs)
+        assert all(0.0 <= a <= 1.0 for _, a in curve)
+        # Model is trained (usable) after the helper returns.
+        assert model.accuracy(val_x, val_y) > 0.5
+
+    def test_no_patience_runs_all_epochs(self, data):
+        train_x, train_y, val_x, val_y = data
+        curve = learning_curve(
+            MLP((64, 8, 10), seed=2), train_x, train_y, val_x, val_y,
+            epochs=5, interval=1,
+        )
+        assert len(curve) == 5

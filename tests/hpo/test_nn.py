@@ -1,0 +1,200 @@
+"""Tests for the pure-numpy neural-network substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.hpo.nn import MLP, SGD, Adam, Dense, softmax, softmax_cross_entropy
+from repro.hpo.nn.activations import ACTIVATIONS
+from repro.hpo.nn.losses import one_hot
+
+
+class TestActivations:
+    @pytest.mark.parametrize("name", ["relu", "tanh", "sigmoid", "identity"])
+    def test_gradient_matches_finite_difference(self, name):
+        act = ACTIVATIONS[name]
+        x = np.linspace(-2.0, 2.0, 41) + 0.013  # avoid relu kink at 0
+        out = act.forward(x)
+        analytic = act.backward(out)
+        eps = 1e-6
+        numeric = (act.forward(x + eps) - act.forward(x - eps)) / (2 * eps)
+        np.testing.assert_allclose(analytic, numeric, atol=1e-5)
+
+    def test_sigmoid_stable_at_extremes(self):
+        out = ACTIVATIONS["sigmoid"].forward(np.array([-1000.0, 1000.0]))
+        np.testing.assert_allclose(out, [0.0, 1.0], atol=1e-12)
+
+
+class TestLosses:
+    def test_softmax_rows_sum_to_one(self):
+        probs = softmax(np.random.default_rng(0).normal(size=(5, 7)))
+        np.testing.assert_allclose(probs.sum(axis=1), np.ones(5))
+        assert np.all(probs >= 0)
+
+    def test_softmax_shift_invariant(self):
+        logits = np.array([[1.0, 2.0, 3.0]])
+        np.testing.assert_allclose(softmax(logits), softmax(logits + 100.0))
+
+    def test_softmax_stable_for_large_logits(self):
+        probs = softmax(np.array([[1e4, 0.0]]))
+        assert np.isfinite(probs).all()
+
+    def test_cross_entropy_perfect_prediction_near_zero(self):
+        logits = np.array([[100.0, 0.0, 0.0]])
+        loss, _ = softmax_cross_entropy(logits, np.array([0]))
+        assert loss < 1e-6
+
+    def test_cross_entropy_gradient_finite_difference(self):
+        rng = np.random.default_rng(1)
+        logits = rng.normal(size=(4, 5))
+        labels = np.array([0, 2, 4, 1])
+        _, grad = softmax_cross_entropy(logits, labels)
+        eps = 1e-6
+        for i in range(4):
+            for j in range(5):
+                bumped = logits.copy()
+                bumped[i, j] += eps
+                up, _ = softmax_cross_entropy(bumped, labels)
+                bumped[i, j] -= 2 * eps
+                down, _ = softmax_cross_entropy(bumped, labels)
+                np.testing.assert_allclose(grad[i, j], (up - down) / (2 * eps), atol=1e-4)
+
+    def test_one_hot(self):
+        oh = one_hot(np.array([0, 2]), 3)
+        np.testing.assert_array_equal(oh, [[1, 0, 0], [0, 0, 1]])
+        with pytest.raises(ValueError):
+            one_hot(np.array([3]), 3)
+
+    def test_label_shape_validated(self):
+        with pytest.raises(ValueError):
+            softmax_cross_entropy(np.zeros((2, 3)), np.array([0]))
+
+
+class TestDense:
+    def test_backward_gradient_check(self):
+        rng = np.random.default_rng(2)
+        layer = Dense(4, 3, "tanh", rng)
+        x = rng.normal(size=(5, 4))
+        out = layer.forward(x, train=True)
+        upstream = rng.normal(size=out.shape)
+        layer.backward(upstream)
+        eps = 1e-6
+        # check dW numerically at a few entries
+        for (i, j) in [(0, 0), (2, 1), (3, 2)]:
+            layer.W[i, j] += eps
+            up = (layer.forward(x) * upstream).sum()
+            layer.W[i, j] -= 2 * eps
+            down = (layer.forward(x) * upstream).sum()
+            layer.W[i, j] += eps
+            np.testing.assert_allclose(layer.dW[i, j], (up - down) / (2 * eps), atol=1e-4)
+
+    def test_backward_without_forward_raises(self):
+        layer = Dense(2, 2, "relu", np.random.default_rng(0))
+        with pytest.raises(RuntimeError):
+            layer.backward(np.zeros((1, 2)))
+
+    def test_unknown_activation(self):
+        with pytest.raises(ValueError, match="unknown activation"):
+            Dense(2, 2, "swish", np.random.default_rng(0))
+
+
+class TestOptimizers:
+    def test_sgd_descends_quadratic(self):
+        p = np.array([5.0])
+        opt = SGD(lr=0.1)
+        for _ in range(100):
+            opt.step([p], [2 * p])  # d/dp p^2
+        assert abs(p[0]) < 1e-3
+
+    def test_sgd_momentum_accelerates(self):
+        def run(momentum):
+            p = np.array([5.0])
+            opt = SGD(lr=0.01, momentum=momentum)
+            traj = []
+            for _ in range(50):
+                opt.step([p], [2 * p])
+                traj.append(abs(p[0]))
+            return traj[-1]
+
+        assert run(0.9) < run(0.0)
+
+    def test_adam_descends(self):
+        p = np.array([3.0, -4.0])
+        opt = Adam(lr=0.1)
+        for _ in range(300):
+            opt.step([p], [2 * p])
+        np.testing.assert_allclose(p, [0.0, 0.0], atol=1e-2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SGD(lr=0.0)
+        with pytest.raises(ValueError):
+            SGD(lr=0.1, momentum=1.0)
+        with pytest.raises(ValueError):
+            Adam(lr=-1.0)
+
+
+class TestMLP:
+    def test_deterministic_construction_and_training(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(64, 8))
+        y = (x[:, 0] > 0).astype(np.int64)
+        a = MLP((8, 16, 2), seed=3).fit(x, y, epochs=3)
+        b = MLP((8, 16, 2), seed=3).fit(x, y, epochs=3)
+        for wa, wb in zip(a.get_weights(), b.get_weights()):
+            np.testing.assert_array_equal(wa, wb)
+
+    def test_learns_linearly_separable(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(300, 4))
+        y = (x @ np.array([1.0, -2.0, 0.5, 0.0]) > 0).astype(np.int64)
+        model = MLP((4, 16, 2), seed=0).fit(x, y, epochs=30)
+        assert model.accuracy(x, y) > 0.95
+
+    def test_loss_decreases(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(200, 6))
+        y = (x[:, 0] + x[:, 1] > 0).astype(np.int64)
+        model = MLP((6, 12, 2), seed=0).fit(x, y, epochs=15)
+        assert model.loss_history[-1] < model.loss_history[0]
+
+    def test_predict_proba_simplex(self):
+        model = MLP((5, 8, 3), seed=0)
+        probs = model.predict_proba(np.random.default_rng(0).normal(size=(10, 5)))
+        np.testing.assert_allclose(probs.sum(axis=1), np.ones(10))
+
+    def test_weights_roundtrip(self):
+        a = MLP((4, 6, 2), seed=1)
+        b = MLP((4, 6, 2), seed=2)
+        b.set_weights(a.get_weights())
+        x = np.random.default_rng(0).normal(size=(3, 4))
+        np.testing.assert_array_equal(a.logits(x), b.logits(x))
+
+    def test_set_weights_validates(self):
+        a = MLP((4, 6, 2), seed=1)
+        with pytest.raises(ValueError):
+            a.set_weights(a.get_weights()[:-1])
+        with pytest.raises(ValueError):
+            b = MLP((4, 7, 2), seed=1)
+            a.set_weights(b.get_weights())
+
+    def test_input_shape_validated(self):
+        model = MLP((4, 2), seed=0)
+        with pytest.raises(ValueError):
+            model.logits(np.zeros((3, 5)))
+
+    def test_too_few_layers(self):
+        with pytest.raises(ValueError):
+            MLP((4,))
+
+    @given(
+        hnp.arrays(np.float64, (8, 3), elements=st.floats(-5, 5, allow_nan=False))
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_property_probabilities_valid(self, x):
+        model = MLP((3, 5, 4), seed=0)
+        probs = model.predict_proba(x)
+        assert np.all(probs >= 0) and np.all(probs <= 1)
+        np.testing.assert_allclose(probs.sum(axis=1), np.ones(8), atol=1e-9)

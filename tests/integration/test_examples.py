@@ -1,0 +1,34 @@
+"""Smoke tests: every shipped example must run cleanly end to end.
+
+Each example self-verifies (asserts on its own results), so a clean
+exit is a meaningful check, not just an import test.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent.parent / "examples"
+ALL_EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+class TestExamples:
+    def test_all_examples_are_covered(self):
+        # If an example is added, it gets smoke-tested automatically.
+        assert len(ALL_EXAMPLES) >= 8
+
+    @pytest.mark.parametrize("script", ALL_EXAMPLES)
+    def test_example_runs_clean(self, script):
+        result = subprocess.run(
+            [sys.executable, str(EXAMPLES_DIR / script)],
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert result.returncode == 0, (
+            f"{script} failed:\n--- stdout ---\n{result.stdout[-2000:]}"
+            f"\n--- stderr ---\n{result.stderr[-2000:]}"
+        )
+        assert result.stdout.strip(), f"{script} produced no output"

@@ -1,0 +1,167 @@
+"""Failure-injection tests: errors must surface loudly, never corrupt state.
+
+Each test wounds one layer of the stack and checks the failure is
+contained and reported — the behaviour students rely on when their own
+code is the thing that is broken.
+"""
+
+import numpy as np
+import pytest
+
+from repro.mpi import DeadlockError, RankFailedError, run_spmd
+from repro.openmp import parallel_region
+from repro.spark import SparkContext
+
+
+class TestSparkFailures:
+    def test_task_exception_propagates_from_worker_thread(self):
+        sc = SparkContext(num_workers=4)
+
+        def poison(x):
+            if x == 37:
+                raise RuntimeError("poisoned record 37")
+            return x
+
+        rdd = sc.parallelize(range(100)).map(poison)
+        with pytest.raises(RuntimeError, match="poisoned record 37"):
+            rdd.collect()
+
+    def test_failure_inside_shuffle_map_side(self):
+        sc = SparkContext(num_workers=2)
+
+        def bad_pair(x):
+            if x == 5:
+                raise ValueError("cannot key record 5")
+            return (x % 2, x)
+
+        rdd = sc.parallelize(range(10)).map(bad_pair).reduce_by_key(lambda a, b: a + b)
+        with pytest.raises(ValueError, match="cannot key record 5"):
+            rdd.collect()
+
+    def test_failed_job_leaves_context_usable(self):
+        sc = SparkContext(num_workers=2)
+        with pytest.raises(ZeroDivisionError):
+            sc.parallelize([1]).map(lambda x: 1 / 0).collect()
+        # The next, healthy job must still run.
+        assert sc.parallelize([1, 2, 3]).sum() == 6
+
+    def test_cached_rdd_not_poisoned_by_failed_compute(self):
+        sc = SparkContext(num_workers=2)
+        attempts = {"n": 0}
+
+        def flaky(x):
+            attempts["n"] += 1
+            if attempts["n"] == 1:
+                raise RuntimeError("first attempt dies")
+            return x
+
+        rdd = sc.parallelize([1], num_partitions=1).map(flaky).persist()
+        with pytest.raises(RuntimeError):
+            rdd.collect()
+        # Retry succeeds and caches the good value, not the failure.
+        assert rdd.collect() == [1]
+        assert rdd.collect() == [1]
+
+
+class TestMpiFailures:
+    def test_collective_with_dead_partner_reports_original_error(self):
+        def program(comm):
+            if comm.rank == 0:
+                raise KeyError("rank 0 corrupted its input")
+            comm.allreduce(1)
+
+        with pytest.raises(RankFailedError) as excinfo:
+            run_spmd(3, program, timeout=20.0)
+        assert 0 in excinfo.value.failures
+        assert isinstance(excinfo.value.failures[0], KeyError)
+
+    def test_mutual_recv_deadlock_is_diagnosed_not_hung(self):
+        def program(comm):
+            # Classic student bug: everyone receives before anyone sends.
+            peer = (comm.rank + 1) % comm.size
+            data = comm.recv(source=peer)
+            comm.send(comm.rank, dest=peer)
+            return data
+
+        with pytest.raises(RankFailedError) as excinfo:
+            run_spmd(2, program, timeout=0.4)
+        assert any(isinstance(e, DeadlockError) for e in excinfo.value.failures.values())
+
+    def test_unpicklable_payload_fails_at_send(self):
+        def program(comm):
+            if comm.rank == 0:
+                comm.send(lambda x: x, dest=1)  # lambdas cannot pickle
+            else:
+                comm.recv(source=0)
+
+        with pytest.raises(RankFailedError) as excinfo:
+            run_spmd(2, program, timeout=10.0)
+        assert 0 in excinfo.value.failures
+
+    def test_partial_collective_does_not_poison_next_run(self):
+        def bad(comm):
+            if comm.rank == 1:
+                raise RuntimeError("boom")
+            comm.barrier()
+
+        with pytest.raises(RankFailedError):
+            run_spmd(2, bad, timeout=10.0)
+        # A fresh world is completely independent.
+        assert run_spmd(2, lambda comm: comm.allreduce(1)) == [2, 2]
+
+
+class TestOpenmpFailures:
+    def test_worker_exception_released_barrier_waiters(self):
+        def body(ctx):
+            if ctx.thread_id == 2:
+                raise ValueError("thread 2 exploded")
+            ctx.barrier()
+            return "unreachable for thread 2"
+
+        with pytest.raises(ValueError, match="thread 2 exploded"):
+            parallel_region(4, body)
+
+    def test_exception_in_dynamic_loop(self):
+        def body(ctx):
+            for i in ctx.for_range(100, schedule="dynamic"):
+                if i == 50:
+                    raise RuntimeError("iteration 50 failed")
+
+        with pytest.raises(RuntimeError, match="iteration 50 failed"):
+            parallel_region(3, body)
+
+    def test_critical_lock_released_after_exception(self):
+        # A thread dying inside a critical section must not leave the
+        # lock held for the next region using the same name.
+        def dying(ctx):
+            with ctx.critical("shared"):
+                raise RuntimeError("died holding the lock")
+
+        with pytest.raises(RuntimeError):
+            parallel_region(1, dying)
+
+        counter = {"n": 0}
+
+        def healthy(ctx):
+            with ctx.critical("shared"):
+                counter["n"] += 1
+
+        parallel_region(4, healthy)
+        assert counter["n"] == 4
+
+
+class TestNumericGuards:
+    def test_kmeans_rejects_nan_free_but_weird_inputs_gracefully(self):
+        from repro.kmeans import kmeans_sequential
+
+        # Coincident points with several clusters: must terminate, not loop.
+        result = kmeans_sequential(np.zeros((20, 3)), 4)
+        assert result.iterations <= 100
+
+    def test_heat_rejects_unstable_alpha_before_any_work(self):
+        from repro.chapel import set_num_locales
+        from repro.heat import solve_coforall
+
+        locs = set_num_locales(2)
+        with pytest.raises(ValueError, match="alpha"):
+            solve_coforall(np.zeros(10), 0.75, 5, locs)

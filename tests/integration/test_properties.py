@@ -1,0 +1,214 @@
+"""Cross-substrate property-based tests.
+
+Randomized inputs through full stacks, checking the invariants each
+assignment's correctness argument rests on.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.knn import knn_predict_heap, knn_predict_vectorized
+from repro.kmeans import kmeans_openmp, kmeans_sequential
+from repro.kmeans.initialization import init_random_points
+from repro.mapreduce import MapReduce
+from repro.mpi import SUM, run_spmd
+from repro.spark import SparkContext
+from repro.traffic import TrafficParams, simulate_parallel, simulate_serial
+
+
+class TestMpiProperties:
+    @given(
+        st.lists(st.integers(-10**6, 10**6), min_size=1, max_size=5),
+        st.integers(0, 3),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_scan_prefixes_match_python(self, values, extra):
+        size = len(values)
+
+        def program(comm):
+            return comm.scan(values[comm.rank], SUM)
+
+        results = run_spmd(size, program)
+        expect = np.cumsum(values).tolist()
+        assert results == expect
+
+    @given(st.lists(st.text(max_size=8), min_size=1, max_size=4))
+    @settings(max_examples=15, deadline=None)
+    def test_alltoall_is_transpose(self, tokens):
+        size = len(tokens)
+
+        def program(comm):
+            out = [f"{tokens[comm.rank]}->{dest}" for dest in range(size)]
+            return comm.alltoall(out)
+
+        results = run_spmd(size, program)
+        for dest in range(size):
+            assert results[dest] == [f"{tokens[src]}->{dest}" for src in range(size)]
+
+    @given(st.integers(2, 6), st.integers(0, 100))
+    @settings(max_examples=10, deadline=None)
+    def test_split_partitions_ranks_exactly(self, size, salt):
+        def program(comm):
+            color = (comm.rank + salt) % 2
+            sub = comm.split(color=color, key=comm.rank)
+            return (color, sub.size, sub.rank)
+
+        results = run_spmd(size, program)
+        by_color = {}
+        for color, sub_size, sub_rank in results:
+            by_color.setdefault(color, []).append((sub_size, sub_rank))
+        for color, members in by_color.items():
+            sizes = {s for s, _ in members}
+            assert sizes == {len(members)}
+            assert sorted(r for _, r in members) == list(range(len(members)))
+
+
+class TestMapReduceProperties:
+    @given(st.lists(st.text(alphabet="abc ", min_size=1, max_size=20), max_size=15),
+           st.integers(1, 4))
+    @settings(max_examples=15, deadline=None)
+    def test_wordcount_matches_counter(self, lines, ranks):
+        from collections import Counter
+
+        expect = Counter(w for line in lines for w in line.split())
+
+        def program(comm):
+            mr = MapReduce(comm)
+            mr.map_items(lines, lambda line, kv: [kv.add(w, 1) for w in line.split()])
+            mr.collate()
+            mr.reduce(lambda w, ones, kv: kv.add(w, sum(ones)))
+            return dict(mr.gather_all())
+
+        assert run_spmd(ranks, program)[0] == dict(expect)
+
+
+class TestSparkProperties:
+    @given(
+        st.lists(st.tuples(st.integers(0, 9), st.integers(-1000, 1000)), max_size=60),
+        st.integers(1, 6),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_reduce_by_key_matches_dict_fold(self, pairs, nparts):
+        expect: dict[int, int] = {}
+        for k, v in pairs:
+            expect[k] = expect.get(k, 0) + v
+        sc = SparkContext(num_workers=2)
+        got = (
+            sc.parallelize(pairs, num_partitions=nparts)
+            .reduce_by_key(lambda a, b: a + b)
+            .collect_as_map()
+        )
+        assert got == expect
+
+    @given(st.lists(st.integers(-50, 50), max_size=40), st.integers(1, 5))
+    @settings(max_examples=20, deadline=None)
+    def test_distinct_matches_set(self, data, nparts):
+        sc = SparkContext(num_workers=2)
+        got = sc.parallelize(data, num_partitions=nparts).distinct().collect()
+        assert sorted(got) == sorted(set(data))
+        assert len(got) == len(set(data))
+
+
+class TestKnnProperties:
+    @given(st.integers(0, 10_000), st.integers(1, 7))
+    @settings(max_examples=10, deadline=None)
+    def test_heap_and_vectorized_engines_agree(self, seed, k):
+        rng = np.random.default_rng(seed)
+        db = rng.normal(size=(60, 3))
+        labels = rng.integers(0, 3, size=60)
+        queries = rng.normal(size=(10, 3))
+        a = knn_predict_heap(db, labels, queries, k)
+        b = knn_predict_vectorized(db, labels, queries, k)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestKmeansProperties:
+    @given(st.integers(0, 10_000), st.integers(2, 5), st.integers(1, 4))
+    @settings(max_examples=8, deadline=None)
+    def test_openmp_matches_sequential_on_random_clouds(self, seed, k, threads):
+        rng = np.random.default_rng(seed)
+        points = rng.normal(size=(120, 2)) * 3.0
+        init = init_random_points(points, k, seed=seed)
+        seq = kmeans_sequential(points, k, initial_centroids=init)
+        omp = kmeans_openmp(
+            points, k, num_threads=threads, variant="reduction", initial_centroids=init
+        )
+        np.testing.assert_array_equal(seq.assignments, omp.assignments)
+        assert seq.iterations == omp.iterations
+
+
+class TestTrafficProperties:
+    @given(st.integers(0, 10_000), st.integers(1, 5))
+    @settings(max_examples=8, deadline=None)
+    def test_parallel_serial_equality_random_configs(self, seed, threads):
+        rng = np.random.default_rng(seed)
+        length = int(rng.integers(20, 80))
+        cars = int(rng.integers(1, length // 2 + 1))
+        params = TrafficParams(
+            road_length=length,
+            num_cars=cars,
+            p_slow=float(rng.uniform(0, 1)),
+            v_max=int(rng.integers(1, 6)),
+            seed=seed,
+        )
+        serial, _ = simulate_serial(params, 25)
+        parallel, _ = simulate_parallel(params, 25, num_threads=threads)
+        np.testing.assert_array_equal(parallel.positions, serial.positions)
+        np.testing.assert_array_equal(parallel.velocities, serial.velocities)
+
+
+class TestDataFrameProperties:
+    @given(
+        st.lists(
+            st.tuples(st.sampled_from("abc"), st.integers(-100, 100)),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_group_agg_matches_manual_fold(self, pairs):
+        from repro.spark.dataframe import DataFrame
+
+        sc = SparkContext(num_workers=2)
+        rows = [{"k": k, "v": v} for k, v in pairs]
+        df = DataFrame.from_rows(sc, rows, columns=["k", "v"])
+        got = {
+            r["k"]: (r["total"], r["n"])
+            for r in df.group_by("k").agg({"total": ("v", "sum"), "n": ("v", "count")}).collect()
+        }
+        expect: dict = {}
+        for k, v in pairs:
+            t, n = expect.get(k, (0, 0))
+            expect[k] = (t + v, n + 1)
+        assert got == expect
+
+    @given(st.lists(st.integers(-1000, 1000), min_size=1, max_size=50))
+    @settings(max_examples=20, deadline=None)
+    def test_order_by_matches_sorted(self, values):
+        from repro.spark.dataframe import DataFrame
+
+        sc = SparkContext(num_workers=2)
+        df = DataFrame.from_rows(sc, [{"v": v} for v in values], columns=["v"])
+        got = [r["v"] for r in df.order_by("v").collect()]
+        assert got == sorted(values)
+
+    @given(
+        st.lists(st.tuples(st.integers(0, 5), st.integers(0, 50)), max_size=25),
+        st.lists(st.tuples(st.integers(0, 5), st.text(max_size=4)), max_size=25),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_inner_join_matches_nested_loop(self, left, right):
+        from repro.spark.dataframe import DataFrame
+
+        sc = SparkContext(num_workers=2)
+        ldf = DataFrame.from_rows(sc, [{"k": k, "lv": v} for k, v in left], columns=["k", "lv"])
+        rdf = DataFrame.from_rows(sc, [{"k": k, "rv": v} for k, v in right], columns=["k", "rv"])
+        got = sorted(
+            (r["k"], r["lv"], r["rv"]) for r in ldf.join(rdf, on="k").collect()
+        )
+        expect = sorted(
+            (lk, lv, rv) for lk, lv in left for rk, rv in right if lk == rk
+        )
+        assert got == expect

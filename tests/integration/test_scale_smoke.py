@@ -1,0 +1,82 @@
+"""Medium-scale smoke tests: the stacks at sizes past the unit-test range.
+
+Each stays under a few seconds but uses inputs an order of magnitude
+beyond the unit tests, catching quadratic blowups, recursion limits,
+and queue-contention pathologies that toy sizes never would.
+"""
+
+import numpy as np
+import pytest
+
+from repro.knn import KDTree, knn_predict_vectorized, make_blobs
+from repro.kmeans import kmeans_sequential
+from repro.mpi import SUM, run_spmd
+from repro.spark import SparkContext
+from repro.traffic import TrafficParams, simulate_parallel, simulate_serial
+
+
+class TestScaleSmoke:
+    def test_knn_paper_sized_instance(self):
+        # The paper's timing instance at full size (n=q=5000, d=40).
+        db, labels = make_blobs(5000, 40, 5, seed=0)
+        queries, _ = make_blobs(5000, 40, 5, seed=1)
+        preds = knn_predict_vectorized(db, labels, queries, 8)
+        assert preds.shape == (5000,)
+        assert set(np.unique(preds)) <= set(range(5))
+
+    def test_kdtree_scales_to_fifty_thousand_points(self):
+        db, labels = make_blobs(50_000, 3, 4, seed=2)
+        tree = KDTree.build(db, labels)
+        nearest = tree.query(db[123], 5)
+        assert nearest[0][0] == 0.0  # the point itself
+        # Pruning must keep the visit count sublinear.
+        assert tree.last_nodes_visited < 2_000
+
+    def test_kmeans_hundred_thousand_points(self):
+        points, _ = make_blobs(100_000, 4, 8, seed=3)
+        result = kmeans_sequential(points, 8, seed=3)
+        assert result.iterations >= 1
+        assert result.assignments.shape == (100_000,)
+
+    def test_traffic_full_figure3_length(self):
+        # The paper's configuration, full 1000-step horizon, with the
+        # reproducibility contract intact.
+        params = TrafficParams()
+        serial, _ = simulate_serial(params, 1000)
+        parallel, _ = simulate_parallel(params, 1000, num_threads=4)
+        np.testing.assert_array_equal(parallel.positions, serial.positions)
+
+    def test_spark_wide_job(self):
+        sc = SparkContext(num_workers=4)
+        counts = (
+            sc.parallelize(range(200_000), 16)
+            .map(lambda x: (x % 1000, 1))
+            .reduce_by_key(lambda a, b: a + b)
+            .collect_as_map()
+        )
+        assert len(counts) == 1000
+        assert all(v == 200 for v in counts.values())
+
+    def test_mpi_sixteen_ranks_collectives(self):
+        def program(comm):
+            total = comm.allreduce(comm.rank, SUM)
+            gathered = comm.allgather(comm.rank)
+            comm.barrier()
+            return (total, len(gathered))
+
+        results = run_spmd(16, program)
+        assert all(r == (120, 16) for r in results)
+
+    def test_mpi_many_small_messages(self):
+        def program(comm):
+            peer = comm.rank ^ 1
+            for i in range(500):
+                if comm.rank % 2 == 0:
+                    comm.send(i, dest=peer, tag=i % 7)
+                    assert comm.recv(source=peer, tag=i % 7) == i
+                else:
+                    assert comm.recv(source=peer, tag=i % 7) == i
+                    comm.send(i, dest=peer, tag=i % 7)
+            return True
+
+        assert all(run_spmd(4, program))

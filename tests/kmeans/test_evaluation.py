@@ -1,0 +1,83 @@
+"""Tests for cluster-quality evaluation (elbow, silhouette, suggest_k)."""
+
+import numpy as np
+import pytest
+
+from repro.kmeans.evaluation import elbow_curve, silhouette_score, suggest_k
+from repro.kmeans import kmeans_sequential
+from repro.knn.data import make_blobs
+
+
+@pytest.fixture(scope="module")
+def three_blobs():
+    return make_blobs(300, 2, 3, seed=8, separation=10.0, spread=0.7)
+
+
+class TestElbowCurve:
+    def test_inertia_decreases_with_k(self, three_blobs):
+        points, _ = three_blobs
+        curve = elbow_curve(points, [1, 2, 3, 4, 5], seed=0)
+        inertias = [i for _, i in curve]
+        assert all(a >= b - 1e-9 for a, b in zip(inertias, inertias[1:]))
+
+    def test_sharp_drop_at_true_k(self, three_blobs):
+        points, _ = three_blobs
+        curve = dict(elbow_curve(points, [2, 3, 4], seed=0))
+        # Going 2->3 helps a lot; 3->4 helps little.
+        assert (curve[2] - curve[3]) > 5 * (curve[3] - curve[4])
+
+    def test_duplicate_and_unsorted_ks(self, three_blobs):
+        points, _ = three_blobs
+        curve = elbow_curve(points, [3, 1, 3], seed=0)
+        assert [k for k, _ in curve] == [1, 3]
+
+    def test_empty_k_values(self, three_blobs):
+        points, _ = three_blobs
+        with pytest.raises(ValueError):
+            elbow_curve(points, [])
+
+
+class TestSilhouette:
+    def test_well_separated_high_score(self, three_blobs):
+        points, _ = three_blobs
+        result = kmeans_sequential(points, 3, seed=0)
+        assert silhouette_score(points, result.assignments) > 0.7
+
+    def test_wrong_k_scores_lower(self, three_blobs):
+        points, _ = three_blobs
+        good = kmeans_sequential(points, 3, seed=0)
+        bad = kmeans_sequential(points, 6, seed=0)
+        assert silhouette_score(points, good.assignments) > silhouette_score(
+            points, bad.assignments
+        )
+
+    def test_single_cluster_rejected(self, three_blobs):
+        points, _ = three_blobs
+        with pytest.raises(ValueError, match="2 clusters"):
+            silhouette_score(points, np.zeros(len(points), dtype=int))
+
+    def test_perfect_two_point_clusters(self):
+        points = np.array([[0.0, 0.0], [0.1, 0.0], [10.0, 0.0], [10.1, 0.0]])
+        score = silhouette_score(points, np.array([0, 0, 1, 1]))
+        assert score > 0.95
+
+    def test_singletons_contribute_zero(self):
+        points = np.array([[0.0, 0.0], [10.0, 0.0], [10.1, 0.0]])
+        score = silhouette_score(points, np.array([0, 1, 1]))
+        # point 0 is a singleton (0), the pair scores ~1 -> mean ~2/3.
+        assert 0.5 < score < 0.7
+
+    def test_shape_mismatch(self, three_blobs):
+        points, _ = three_blobs
+        with pytest.raises(ValueError):
+            silhouette_score(points, np.zeros(5, dtype=int))
+
+
+class TestSuggestK:
+    def test_finds_true_cluster_count(self, three_blobs):
+        points, _ = three_blobs
+        assert suggest_k(points, k_max=8, seed=0) == 3
+
+    def test_small_kmax(self, three_blobs):
+        points, _ = three_blobs
+        assert suggest_k(points, k_max=2) == 2

@@ -1,0 +1,79 @@
+"""Tests for confusion matrices and classification reports."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.knn.application import (
+    classification_report,
+    confusion_matrix,
+    format_report,
+)
+
+
+class TestConfusionMatrix:
+    def test_perfect_prediction_is_diagonal(self):
+        y = np.array([0, 1, 2, 1, 0])
+        m = confusion_matrix(y, y)
+        np.testing.assert_array_equal(m, np.diag([2, 2, 1]))
+
+    def test_off_diagonal_counts(self):
+        true = np.array([0, 0, 1, 1])
+        pred = np.array([0, 1, 1, 0])
+        m = confusion_matrix(true, pred)
+        np.testing.assert_array_equal(m, [[1, 1], [1, 1]])
+
+    def test_explicit_num_classes_pads(self):
+        m = confusion_matrix(np.array([0]), np.array([0]), num_classes=4)
+        assert m.shape == (4, 4)
+        assert m.sum() == 1
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            confusion_matrix(np.array([0, 1]), np.array([0]))
+
+    def test_negative_labels_rejected(self):
+        with pytest.raises(ValueError):
+            confusion_matrix(np.array([-1]), np.array([0]))
+
+    @given(st.lists(st.tuples(st.integers(0, 4), st.integers(0, 4)), min_size=1, max_size=100))
+    @settings(max_examples=30)
+    def test_property_row_sums_are_class_counts(self, pairs):
+        true = np.array([t for t, _ in pairs])
+        pred = np.array([p for _, p in pairs])
+        m = confusion_matrix(true, pred, num_classes=5)
+        assert m.sum() == len(pairs)
+        np.testing.assert_array_equal(m.sum(axis=1), np.bincount(true, minlength=5))
+        np.testing.assert_array_equal(m.sum(axis=0), np.bincount(pred, minlength=5))
+
+
+class TestClassificationReport:
+    def test_perfect_scores(self):
+        y = np.array([0, 1, 1, 2])
+        reports = classification_report(y, y)
+        for r in reports:
+            assert r.precision == r.recall == r.f1 == 1.0
+        assert [r.support for r in reports] == [1, 2, 1]
+
+    def test_known_metrics(self):
+        true = np.array([0, 0, 0, 1])
+        pred = np.array([0, 0, 1, 1])
+        r0, r1 = classification_report(true, pred)
+        assert r0.precision == 1.0
+        assert r0.recall == pytest.approx(2 / 3)
+        assert r1.precision == 0.5
+        assert r1.recall == 1.0
+
+    def test_unpredicted_class_zero_precision(self):
+        true = np.array([0, 1])
+        pred = np.array([0, 0])
+        _, r1 = classification_report(true, pred)
+        assert r1.precision == 0.0 and r1.recall == 0.0 and r1.f1 == 0.0
+
+    def test_format_report_table(self):
+        y = np.array([0, 1, 1])
+        text = format_report(classification_report(y, y))
+        assert "precision" in text
+        assert "weighted f1" in text
+        assert len(text.splitlines()) == 4  # header + 2 classes + summary

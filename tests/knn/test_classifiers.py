@@ -1,0 +1,172 @@
+"""Tests for the kNN classifiers: heap, vectorized, kd-tree, quadtree."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.knn import (
+    KDTree,
+    KNNClassifier,
+    QuadTree,
+    knn_predict_heap,
+    knn_predict_vectorized,
+    majority_vote,
+    make_banknote_like,
+    make_blobs,
+    make_leaf_like,
+    train_test_split,
+)
+
+
+class TestMajorityVote:
+    def test_plain_majority(self):
+        assert majority_vote(np.array([1, 2, 2])) == 2
+
+    def test_tie_broken_by_distance(self):
+        labels = np.array([1, 1, 2, 2])
+        distances = np.array([0.5, 0.5, 0.1, 0.1])
+        assert majority_vote(labels, distances) == 2
+
+    def test_tie_broken_by_label_when_distances_equal(self):
+        labels = np.array([3, 1])
+        distances = np.array([1.0, 1.0])
+        assert majority_vote(labels, distances) == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            majority_vote(np.array([]))
+
+
+class TestEngineAgreement:
+    @pytest.mark.parametrize("k", [1, 3, 7])
+    def test_heap_and_vectorized_agree(self, k):
+        db, labels = make_blobs(300, 5, 4, seed=1)
+        queries, _ = make_blobs(50, 5, 4, seed=2)
+        a = knn_predict_heap(db, labels, queries, k)
+        b = knn_predict_vectorized(db, labels, queries, k)
+        np.testing.assert_array_equal(a, b)
+
+    @pytest.mark.parametrize("k", [1, 5])
+    def test_kdtree_agrees_with_brute(self, k):
+        db, labels = make_blobs(400, 3, 3, seed=3)
+        queries, _ = make_blobs(60, 3, 3, seed=4)
+        brute = knn_predict_vectorized(db, labels, queries, k)
+        tree = KDTree.build(db, labels).predict(queries, k)
+        np.testing.assert_array_equal(brute, tree)
+
+    @pytest.mark.parametrize("k", [1, 5])
+    def test_quadtree_agrees_with_brute_in_2d(self, k):
+        db, labels = make_blobs(300, 2, 3, seed=5)
+        queries, _ = make_blobs(40, 2, 3, seed=6)
+        brute = knn_predict_vectorized(db, labels, queries, k)
+        quad = QuadTree(db, labels).predict(queries, k)
+        np.testing.assert_array_equal(brute, quad)
+
+    def test_vectorized_blocking_invariant(self):
+        db, labels = make_blobs(120, 4, 3, seed=7)
+        queries, _ = make_blobs(33, 4, 3, seed=8)
+        a = knn_predict_vectorized(db, labels, queries, 3, block=7)
+        b = knn_predict_vectorized(db, labels, queries, 3, block=1000)
+        np.testing.assert_array_equal(a, b)
+
+    @given(st.integers(1, 6), st.integers(0, 100))
+    @settings(max_examples=15, deadline=None)
+    def test_property_k1_nearest_is_its_own_class(self, k_classes, seed):
+        # Querying a database point with k=1 must return its own label.
+        db, labels = make_blobs(80, 3, k_classes, seed=seed)
+        preds = knn_predict_vectorized(db, labels, db[:10], 1)
+        np.testing.assert_array_equal(preds, labels[:10])
+
+
+class TestTreeInternals:
+    def test_kdtree_query_distances_match_brute(self):
+        db, labels = make_blobs(200, 3, 2, seed=9)
+        tree = KDTree.build(db, labels)
+        q = np.array([0.0, 0.0, 0.0])
+        nearest = tree.query(q, 5)
+        d2 = np.einsum("ij,ij->i", db - q, db - q)
+        np.testing.assert_allclose([d for d, _ in nearest], np.sort(d2)[:5])
+
+    def test_kdtree_prunes(self):
+        db, labels = make_blobs(2000, 2, 4, seed=10, separation=20.0)
+        tree = KDTree.build(db, labels)
+        tree.query(db[0], 3)
+        # Far fewer nodes visited than a full traversal would touch.
+        assert tree.last_nodes_visited < 2000 / 4
+
+    def test_quadtree_handles_duplicate_points(self):
+        pts = np.zeros((50, 2))
+        labels = np.zeros(50, dtype=np.int64)
+        quad = QuadTree(pts, labels)
+        nearest = quad.query(np.zeros(2), 5)
+        assert len(nearest) == 5
+        assert all(d == 0.0 for d, _ in nearest)
+
+    def test_quadtree_requires_2d(self):
+        with pytest.raises(ValueError):
+            QuadTree(np.zeros((5, 3)), np.zeros(5, dtype=int))
+
+    def test_kdtree_empty_rejected(self):
+        with pytest.raises(ValueError):
+            KDTree.build(np.empty((0, 2)), np.empty(0, dtype=int))
+
+
+class TestClassifierAPI:
+    @pytest.mark.parametrize("method", ["vectorized", "heap", "kdtree"])
+    def test_fit_predict_score(self, method):
+        pts, labels = make_banknote_like(400, seed=0)
+        tr_x, tr_y, te_x, te_y = train_test_split(pts, labels, seed=0)
+        clf = KNNClassifier(k=5, method=method).fit(tr_x, tr_y)
+        acc = clf.score(te_x, te_y)
+        assert acc > 0.8  # overlapping classes but easily separable cores
+
+    def test_leaf_like_many_classes(self):
+        pts, labels = make_leaf_like(900, num_species=10, seed=1)
+        tr_x, tr_y, te_x, te_y = train_test_split(pts, labels, seed=1)
+        acc = KNNClassifier(k=3).fit(tr_x, tr_y).score(te_x, te_y)
+        assert acc > 0.7
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            KNNClassifier().predict(np.zeros((1, 2)))
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError):
+            KNNClassifier(method="cuda")
+
+    def test_dimension_mismatch(self):
+        clf = KNNClassifier(k=1).fit(np.zeros((4, 3)), np.zeros(4, dtype=int))
+        with pytest.raises(ValueError, match="dimension mismatch"):
+            clf.predict(np.zeros((2, 5)))
+
+    def test_k_capped_at_database_size(self):
+        db = np.array([[0.0], [1.0]])
+        labels = np.array([0, 1])
+        preds = knn_predict_vectorized(db, labels, np.array([[0.1]]), k=10)
+        assert preds[0] == 0
+
+
+class TestDatasets:
+    def test_blobs_shapes_and_balance(self):
+        pts, labels = make_blobs(100, 7, 4, seed=0)
+        assert pts.shape == (100, 7)
+        counts = np.bincount(labels)
+        assert counts.max() - counts.min() <= 1
+
+    def test_determinism(self):
+        a = make_blobs(50, 3, 2, seed=5)
+        b = make_blobs(50, 3, 2, seed=5)
+        np.testing.assert_array_equal(a[0], b[0])
+
+    def test_split_partitions_data(self):
+        pts, labels = make_blobs(100, 2, 2, seed=0)
+        tr_x, tr_y, te_x, te_y = train_test_split(pts, labels, test_fraction=0.3, seed=0)
+        assert len(tr_x) + len(te_x) == 100
+        assert len(te_x) == 30
+        assert len(tr_y) == len(tr_x) and len(te_y) == len(te_x)
+
+    def test_split_fraction_validated(self):
+        pts, labels = make_blobs(10, 2, 2)
+        with pytest.raises(ValueError):
+            train_test_split(pts, labels, test_fraction=0.0)

@@ -1,0 +1,91 @@
+"""Tests for kNN extensions: weighted voting and parallel file IO."""
+
+import numpy as np
+import pytest
+
+from repro.knn import knn_predict_vectorized, make_blobs
+from repro.knn.brute import weighted_vote
+from repro.knn.wordcount import run_wordcount, run_wordcount_files
+
+
+class TestWeightedVote:
+    def test_near_minority_beats_far_majority(self):
+        labels = np.array([0, 1, 1])
+        distances = np.array([0.01, 5.0, 5.0])
+        assert weighted_vote(labels, distances) == 0
+
+    def test_uniform_distances_reduce_to_majority(self):
+        labels = np.array([2, 1, 2])
+        distances = np.ones(3)
+        assert weighted_vote(labels, distances) == 2
+
+    def test_zero_distance_dominates(self):
+        labels = np.array([7, 0, 0, 0, 0])
+        distances = np.array([0.0, 0.1, 0.1, 0.1, 0.1])
+        assert weighted_vote(labels, distances) == 7
+
+    def test_tie_breaks_to_smaller_label(self):
+        labels = np.array([3, 1])
+        distances = np.array([1.0, 1.0])
+        assert weighted_vote(labels, distances) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            weighted_vote(np.array([]), np.array([]))
+        with pytest.raises(ValueError):
+            weighted_vote(np.array([1]), np.array([1.0, 2.0]))
+
+    def test_vote_mode_in_vectorized_engine(self):
+        # A query sitting on top of a lone class-0 point, with three
+        # class-1 points farther away: majority says 1, distance says 0.
+        db = np.array([[0.0, 0.0], [3.0, 0.0], [0.0, 3.0], [3.0, 3.0]])
+        labels = np.array([0, 1, 1, 1])
+        query = np.array([[0.01, 0.0]])
+        majority = knn_predict_vectorized(db, labels, query, k=4, vote="majority")
+        distance = knn_predict_vectorized(db, labels, query, k=4, vote="distance")
+        assert majority[0] == 1
+        assert distance[0] == 0
+
+    def test_unknown_vote_mode(self):
+        db, labels = make_blobs(20, 2, 2, seed=0)
+        with pytest.raises(ValueError, match="vote"):
+            knn_predict_vectorized(db, labels, db[:1], 3, vote="borda")
+
+    def test_both_modes_equal_on_separated_data(self):
+        db, labels = make_blobs(200, 4, 3, seed=1, separation=10.0, spread=0.5)
+        queries, _ = make_blobs(40, 4, 3, seed=2, separation=10.0, spread=0.5)
+        a = knn_predict_vectorized(db, labels, queries, 5, vote="majority")
+        b = knn_predict_vectorized(db, labels, queries, 5, vote="distance")
+        np.testing.assert_array_equal(a, b)
+
+
+class TestWordcountFiles:
+    @pytest.fixture()
+    def corpus_files(self, tmp_path):
+        texts = [
+            "alpha beta\ngamma alpha",
+            "beta beta",
+            "gamma alpha beta",
+            "delta",
+        ]
+        paths = []
+        for i, text in enumerate(texts):
+            p = tmp_path / f"doc{i}.txt"
+            p.write_text(text)
+            paths.append(p)
+        return paths, texts
+
+    @pytest.mark.parametrize("ranks", [1, 2, 4, 6])
+    def test_counts_match_in_memory_version(self, corpus_files, ranks):
+        paths, texts = corpus_files
+        lines = [line for t in texts for line in t.splitlines()]
+        expect = run_wordcount(1, lines)
+        got = run_wordcount_files(ranks, paths)
+        assert got == expect
+        assert got["beta"] == 4 and got["delta"] == 1
+
+    def test_missing_file_fails_loudly(self, tmp_path):
+        from repro.mpi import RankFailedError
+
+        with pytest.raises(RankFailedError):
+            run_wordcount_files(2, [tmp_path / "nope.txt"])

@@ -1,0 +1,96 @@
+"""Tests for bounded-heap top-k selection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.knn.heap import BoundedMaxHeap, top_k_by_sort, top_k_smallest
+
+
+class TestBoundedMaxHeap:
+    def test_keeps_k_smallest(self):
+        heap = BoundedMaxHeap(3)
+        for v in [9, 1, 8, 2, 7, 3]:
+            heap.offer(v, f"p{v}")
+        assert [k for k, _ in heap.sorted_items()] == [1, 2, 3]
+
+    def test_offer_reports_kept(self):
+        heap = BoundedMaxHeap(2)
+        assert heap.offer(5) is True
+        assert heap.offer(3) is True
+        assert heap.offer(10) is False
+        assert heap.offer(1) is True
+
+    def test_worst_key_infinite_until_full(self):
+        heap = BoundedMaxHeap(2)
+        assert heap.worst_key == float("inf")
+        heap.offer(4)
+        assert heap.worst_key == float("inf")
+        heap.offer(2)
+        assert heap.worst_key == 4
+
+    def test_ties_keep_incumbent(self):
+        heap = BoundedMaxHeap(1)
+        heap.offer(5.0, "first")
+        assert heap.offer(5.0, "second") is False
+        assert heap.sorted_items() == [(5.0, "first")]
+
+    def test_capacity_one(self):
+        heap = BoundedMaxHeap(1)
+        for v in [5, 3, 8, 1]:
+            heap.offer(v)
+        assert heap.sorted_items() == [(1, None)]
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            BoundedMaxHeap(0)
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=200), st.integers(1, 20))
+    @settings(max_examples=50)
+    def test_property_matches_sorted_prefix(self, values, k):
+        heap = BoundedMaxHeap(k)
+        for v in values:
+            heap.offer(v)
+        got = [key for key, _ in heap.sorted_items()]
+        assert got == sorted(values)[: min(k, len(values))]
+
+
+class TestTopKFunctions:
+    def test_heap_and_sort_agree_on_keys(self):
+        rng = np.random.default_rng(3)
+        keys = rng.random(500).tolist()
+        a = [k for k, _ in top_k_smallest(keys, None, 7)]
+        b = [k for k, _ in top_k_by_sort(keys, None, 7)]
+        assert a == b
+
+    def test_payloads_carried(self):
+        got = top_k_smallest([3.0, 1.0, 2.0], ["c", "a", "b"], 2)
+        assert got == [(1.0, "a"), (2.0, "b")]
+
+    def test_default_payload_is_index(self):
+        got = top_k_smallest([3.0, 1.0, 2.0], None, 1)
+        assert got == [(1.0, 1)]
+
+    def test_k_larger_than_n(self):
+        got = top_k_smallest([2.0, 1.0], None, 10)
+        assert [k for k, _ in got] == [1.0, 2.0]
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            top_k_smallest([1.0], ["a", "b"], 1)
+        with pytest.raises(ValueError):
+            top_k_by_sort([1.0], ["a", "b"], 1)
+
+    @given(
+        st.lists(st.floats(-100, 100), min_size=1, max_size=100).map(
+            lambda xs: sorted(set(xs))  # distinct keys: payload order well-defined
+        ),
+        st.integers(1, 10),
+    )
+    @settings(max_examples=30)
+    def test_property_heap_equals_sort_with_distinct_keys(self, keys, k):
+        import random
+
+        random.Random(0).shuffle(keys)
+        assert top_k_smallest(keys, None, k) == top_k_by_sort(keys, None, k)

@@ -1,0 +1,205 @@
+"""Tests for the MapReduce engine over the SPMD runtime."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mapreduce import KeyMultiValue, KeyValue, MapReduce, stable_hash
+from repro.mapreduce.hashing import partition_for
+from repro.mpi import RankFailedError, run_spmd
+
+
+class TestStableHash:
+    def test_deterministic_for_common_types(self):
+        for key in ["word", 42, 3.14, (1, "a"), b"bytes", None, True, False, (1, (2, 3))]:
+            assert stable_hash(key) == stable_hash(key)
+
+    def test_bool_and_int_distinct(self):
+        assert stable_hash(True) != stable_hash(1)
+        assert stable_hash(False) != stable_hash(0)
+
+    def test_str_and_bytes_distinct(self):
+        assert stable_hash("ab") != stable_hash(b"ab")
+
+    def test_nested_tuples_distinct(self):
+        assert stable_hash((1, 2, 3)) != stable_hash(((1, 2), 3))
+
+    def test_partition_in_range(self):
+        for key in range(100):
+            assert 0 <= partition_for(key, 7) < 7
+
+    def test_partition_rejects_zero_ranks(self):
+        with pytest.raises(ValueError):
+            partition_for("k", 0)
+
+    @given(st.text(max_size=30))
+    @settings(max_examples=50)
+    def test_property_spread_is_plausible(self, s):
+        # Not a statistical test, just that hashing never raises and is stable.
+        assert stable_hash(s) == stable_hash(s)
+
+
+class TestKeyValueStores:
+    def test_keyvalue_preserves_insertion_order(self):
+        kv = KeyValue()
+        kv.add("b", 1)
+        kv.add("a", 2)
+        kv.add("b", 3)
+        assert kv.pairs() == [("b", 1), ("a", 2), ("b", 3)]
+        assert kv.keys() == ["b", "a", "b"]
+        assert len(kv) == 3
+
+    def test_keymultivalue_groups_in_first_seen_order(self):
+        kmv = KeyMultiValue.from_pairs([("x", 1), ("y", 2), ("x", 3)])
+        assert kmv.keys() == ["x", "y"]
+        assert kmv.values_for("x") == [1, 3]
+        assert "y" in kmv and "z" not in kmv
+        assert len(kmv) == 2
+
+
+class TestWordCountStyle:
+    """The classic warm-up problem, run at several rank counts."""
+
+    CORPUS = [
+        "the quick brown fox",
+        "the lazy dog",
+        "the quick dog jumps",
+        "brown dog brown fox",
+    ]
+
+    @staticmethod
+    def expected_counts():
+        counts = {}
+        for line in TestWordCountStyle.CORPUS:
+            for w in line.split():
+                counts[w] = counts.get(w, 0) + 1
+        return counts
+
+    @pytest.mark.parametrize("size", [1, 2, 3, 4])
+    def test_wordcount_matches_serial(self, size):
+        corpus = self.CORPUS
+
+        def program(comm):
+            mr = MapReduce(comm)
+            mr.map_items(corpus, lambda line, kv: [kv.add(w, 1) for w in line.split()])
+            mr.collate()
+            mr.reduce(lambda word, ones, kv: kv.add(word, sum(ones)))
+            pairs = mr.gather()
+            return dict(pairs) if comm.rank == 0 else None
+
+        results = run_spmd(size, program)
+        assert results[0] == self.expected_counts()
+
+    def test_map_tasks_cyclic_distribution(self):
+        def program(comm):
+            mr = MapReduce(comm)
+            total = mr.map_tasks(10, lambda task, kv: kv.add(task, comm.rank))
+            assert total == 10
+            return sorted(k for k, _ in mr.kv)
+
+        results = run_spmd(3, program)
+        assert results[0] == [0, 3, 6, 9]
+        assert results[1] == [1, 4, 7]
+        assert results[2] == [2, 5, 8]
+
+    def test_aggregate_places_keys_consistently(self):
+        def program(comm):
+            mr = MapReduce(comm)
+            # Every rank emits the same keys; after aggregate, each key
+            # must live on exactly one rank.
+            mr.map_items(list(range(comm.size)), lambda i, kv: [kv.add(k, i) for k in "abcdef"])
+            mr.aggregate()
+            return set(mr.kv.keys())
+
+        results = run_spmd(4, program)
+        all_keys = set("abcdef")
+        seen = set()
+        for owned in results:
+            assert seen.isdisjoint(owned)
+            seen |= owned
+        assert seen == all_keys
+
+    def test_custom_partitioner(self):
+        def program(comm):
+            mr = MapReduce(comm)
+            mr.map_items(list(range(8)), lambda i, kv: kv.add(i, i * i))
+            mr.aggregate(partitioner=lambda key: key)  # key k -> rank k % size
+            return sorted(mr.kv.keys())
+
+        results = run_spmd(2, program)
+        assert results[0] == [0, 2, 4, 6]
+        assert results[1] == [1, 3, 5, 7]
+
+    def test_reduce_without_collate_raises(self):
+        def program(comm):
+            mr = MapReduce(comm)
+            mr.reduce(lambda k, vs, kv: None)
+
+        with pytest.raises(RankFailedError, match="collate"):
+            run_spmd(1, program)
+
+    def test_local_combine_reduces_shuffle_volume(self):
+        words = ["apple"] * 50 + ["pear"] * 50
+
+        def program(comm, combine):
+            mr = MapReduce(comm)
+            mr.map_items(words, lambda w, kv: kv.add(w, 1))
+            if combine:
+                mr.local_combine(lambda w, ones, kv: kv.add(w, sum(ones)))
+            shipped = mr.aggregate()
+            mr.convert()
+            mr.reduce(lambda w, counts, kv: kv.add(w, sum(counts)))
+            pairs = mr.gather()
+            return (shipped, dict(pairs) if comm.rank == 0 else None)
+
+        no_combine = run_spmd(4, program, False)
+        with_combine = run_spmd(4, program, True)
+        # Same answer either way...
+        assert no_combine[0][1] == with_combine[0][1] == {"apple": 50, "pear": 50}
+        # ...but the combiner ships far fewer pairs.
+        assert with_combine[0][0] < no_combine[0][0]
+
+    def test_gather_all_and_counts(self):
+        def program(comm):
+            mr = MapReduce(comm)
+            mr.map_items([1, 2, 3, 4], lambda i, kv: kv.add(i, i))
+            everyone = mr.gather_all()
+            return (sorted(everyone), mr.num_pairs_global())
+
+        results = run_spmd(2, program)
+        for pairs, total in results:
+            assert pairs == [(1, 1), (2, 2), (3, 3), (4, 4)]
+            assert total == 4
+
+    def test_sort_by_key(self):
+        def program(comm):
+            mr = MapReduce(comm)
+            mr.map_items([3, 1, 2], lambda i, kv: kv.add(i, str(i)))
+            mr.sort_by_key()
+            return mr.kv.pairs()
+
+        results = run_spmd(1, program)
+        assert results[0] == [(1, "1"), (2, "2"), (3, "3")]
+
+    def test_map_append_mode(self):
+        def program(comm):
+            mr = MapReduce(comm)
+            mr.map_items([1], lambda i, kv: kv.add("a", i))
+            mr.map_items([2], lambda i, kv: kv.add("b", i), append=True)
+            return len(mr.kv)
+
+        assert run_spmd(1, program) == [2]
+
+    @pytest.mark.parametrize("size", [1, 2, 5])
+    def test_results_independent_of_rank_count(self, size):
+        corpus = [f"line {i} word{i % 3}" for i in range(20)]
+
+        def program(comm):
+            mr = MapReduce(comm)
+            mr.map_items(corpus, lambda line, kv: [kv.add(w, 1) for w in line.split()])
+            mr.collate()
+            mr.reduce(lambda w, ones, kv: kv.add(w, sum(ones)))
+            pairs = mr.gather()
+            return sorted(pairs) if comm.rank == 0 else None
+
+        assert run_spmd(size, program)[0] == run_spmd(1, program)[0]

@@ -1,0 +1,86 @@
+"""Tests for the MR-MPI engine's remaining operations."""
+
+import pytest
+
+from repro.mapreduce import MapReduce
+from repro.mpi import RankFailedError, run_spmd
+
+
+class TestSortByValue:
+    def test_local_value_order(self):
+        def program(comm):
+            mr = MapReduce(comm)
+            mr.map_items([("a", 3), ("b", 1), ("c", 2)], lambda kv, out: out.add(*kv))
+            mr.sort_by_value()
+            return mr.kv.pairs()
+
+        assert run_spmd(1, program)[0] == [("b", 1), ("c", 2), ("a", 3)]
+
+
+class TestAdd:
+    def test_merges_two_datasets(self):
+        def program(comm):
+            a = MapReduce(comm)
+            a.map_items([1, 2], lambda i, kv: kv.add(i, "a"))
+            b = MapReduce(comm)
+            b.map_items([3], lambda i, kv: kv.add(i, "b"))
+            total = a.add(b)
+            return (total, sorted(a.gather_all()))
+
+        results = run_spmd(2, program)
+        total, pairs = results[0]
+        assert total == 3
+        assert pairs == [(1, "a"), (2, "a"), (3, "b")]
+
+    def test_different_comms_rejected(self):
+        def program(comm):
+            sub = comm.split(color=0, key=comm.rank)
+            a = MapReduce(comm)
+            b = MapReduce(sub)
+            a.add(b)
+
+        with pytest.raises(RankFailedError, match="same communicator"):
+            run_spmd(2, program)
+
+
+class TestMapKv:
+    def test_chains_stages(self):
+        def program(comm):
+            mr = MapReduce(comm)
+            mr.map_items(["aa bb", "bb cc"], lambda line, kv: [kv.add(w, 1) for w in line.split()])
+            mr.collate()
+            mr.reduce(lambda w, ones, kv: kv.add(w, sum(ones)))
+            # Second stage: invert to (count, word) for a frequency ranking.
+            mr.map_kv(lambda word, count, kv: kv.add(count, word))
+            mr.collate()
+            mr.reduce(lambda count, words, kv: kv.add(count, sorted(words)))
+            return dict(mr.gather_all())
+
+        results = run_spmd(3, program)
+        assert results[0] == {1: ["aa", "cc"], 2: ["bb"]}
+
+
+class TestScrunch:
+    def test_everything_lands_on_root(self):
+        def program(comm):
+            mr = MapReduce(comm)
+            mr.map_items(list(range(10)), lambda i, kv: kv.add(i % 3, i))
+            unique_on_me = mr.scrunch(root=0)
+            return (unique_on_me, mr.num_pairs_local)
+
+        results = run_spmd(4, program)
+        assert results[0] == (3, 10)
+        assert all(r == (0, 0) for r in results[1:])
+
+    def test_root_can_reduce_globally_after_scrunch(self):
+        def program(comm):
+            mr = MapReduce(comm)
+            mr.map_items(list(range(20)), lambda i, kv: kv.add("all", i))
+            mr.scrunch(root=0)
+            # reduce() is collective (it allreduces the pair count), so
+            # every rank calls it; non-root ranks hold an empty grouping.
+            mr.reduce(lambda k, vs, kv: kv.add(k, max(vs)))
+            return mr.kv.pairs() if comm.rank == 0 else None
+
+        results = run_spmd(3, program)
+        assert results[0] == [("all", 19)]

@@ -1,0 +1,180 @@
+"""Collective-operation tests, including the property MPI guarantees:
+allreduce == gather + fold + bcast."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpi import LAND, LOR, MAX, MIN, PROD, SUM, RankFailedError, run_spmd
+
+SIZES = [1, 2, 3, 4, 7]
+
+
+class TestBcast:
+    @pytest.mark.parametrize("size", SIZES)
+    def test_everyone_gets_roots_value(self, size):
+        def program(comm):
+            data = {"key": [1, 2, 3]} if comm.rank == 0 else None
+            return comm.bcast(data, root=0)
+
+        assert run_spmd(size, program) == [{"key": [1, 2, 3]}] * size
+
+    def test_nonzero_root(self):
+        def program(comm):
+            return comm.bcast(comm.rank if comm.rank == 2 else None, root=2)
+
+        assert run_spmd(4, program) == [2, 2, 2, 2]
+
+    def test_bcast_copies_for_root_too(self):
+        def program(comm):
+            original = [1]
+            got = comm.bcast(original, root=0)
+            got.append(2)
+            return original
+
+        assert run_spmd(2, program)[0] == [1]
+
+    def test_bad_root(self):
+        with pytest.raises(RankFailedError, match="root"):
+            run_spmd(2, lambda comm: comm.bcast(1, root=5))
+
+
+class TestScatterGather:
+    @pytest.mark.parametrize("size", SIZES)
+    def test_scatter_distributes_in_rank_order(self, size):
+        def program(comm):
+            data = [(i + 1) ** 2 for i in range(comm.size)] if comm.rank == 0 else None
+            return comm.scatter(data, root=0)
+
+        assert run_spmd(size, program) == [(i + 1) ** 2 for i in range(size)]
+
+    def test_scatter_uneven_payloads(self):
+        # Doubles as Scatterv: chunk sizes may differ.
+        def program(comm):
+            chunks = [list(range(r + 1)) for r in range(comm.size)] if comm.rank == 0 else None
+            return comm.scatter(chunks, root=0)
+
+        assert run_spmd(3, program) == [[0], [0, 1], [0, 1, 2]]
+
+    def test_scatter_wrong_length_rejected(self):
+        def program(comm):
+            comm.scatter([1, 2, 3] if comm.rank == 0 else None, root=0)
+
+        with pytest.raises(RankFailedError, match="exactly 2 items"):
+            run_spmd(2, program)
+
+    @pytest.mark.parametrize("size", SIZES)
+    def test_gather_collects_in_rank_order(self, size):
+        results = run_spmd(size, lambda comm: comm.gather(comm.rank * 10, root=0))
+        assert results[0] == [r * 10 for r in range(size)]
+        assert all(r is None for r in results[1:])
+
+    @pytest.mark.parametrize("size", SIZES)
+    def test_allgather(self, size):
+        results = run_spmd(size, lambda comm: comm.allgather(chr(ord("a") + comm.rank)))
+        expect = [chr(ord("a") + r) for r in range(size)]
+        assert results == [expect] * size
+
+    def test_scatter_gather_roundtrip(self):
+        def program(comm):
+            data = list(range(comm.size)) if comm.rank == 0 else None
+            piece = comm.scatter(data, root=0)
+            return comm.gather(piece * 2, root=0)
+
+        assert run_spmd(4, program)[0] == [0, 2, 4, 6]
+
+
+class TestAlltoall:
+    @pytest.mark.parametrize("size", SIZES)
+    def test_transpose_semantics(self, size):
+        def program(comm):
+            return comm.alltoall([(comm.rank, dest) for dest in range(comm.size)])
+
+        results = run_spmd(size, program)
+        for dest in range(size):
+            assert results[dest] == [(src, dest) for src in range(size)]
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(RankFailedError, match="alltoall needs exactly"):
+            run_spmd(2, lambda comm: comm.alltoall([1]))
+
+
+class TestReductions:
+    @pytest.mark.parametrize("size", SIZES)
+    def test_reduce_sum(self, size):
+        results = run_spmd(size, lambda comm: comm.reduce(comm.rank + 1, SUM, root=0))
+        assert results[0] == size * (size + 1) // 2
+        assert all(r is None for r in results[1:])
+
+    @pytest.mark.parametrize(
+        "op,expect",
+        [(SUM, 10), (PROD, 24), (MAX, 4), (MIN, 1), (LAND, True), (LOR, True)],
+    )
+    def test_allreduce_ops(self, op, expect):
+        results = run_spmd(4, lambda comm: comm.allreduce(comm.rank + 1, op))
+        assert results == [expect] * 4
+
+    def test_allreduce_numpy_arrays(self):
+        def program(comm):
+            return comm.allreduce(np.full(3, float(comm.rank)), SUM)
+
+        results = run_spmd(4, program)
+        for r in results:
+            np.testing.assert_array_equal(r, [6.0, 6.0, 6.0])
+
+    @pytest.mark.parametrize("size", SIZES)
+    def test_scan_inclusive_prefix(self, size):
+        results = run_spmd(size, lambda comm: comm.scan(comm.rank + 1, SUM))
+        assert results == [(r + 1) * (r + 2) // 2 for r in range(size)]
+
+    @pytest.mark.parametrize("size", SIZES)
+    def test_exscan_exclusive_prefix(self, size):
+        results = run_spmd(size, lambda comm: comm.exscan(comm.rank + 1, SUM))
+        assert results[0] is None
+        for r in range(1, size):
+            assert results[r] == r * (r + 1) // 2
+
+    @given(st.lists(st.integers(-1000, 1000), min_size=1, max_size=6))
+    @settings(max_examples=15, deadline=None)
+    def test_property_allreduce_equals_gather_fold_bcast(self, values):
+        size = len(values)
+
+        def program(comm):
+            mine = values[comm.rank]
+            via_allreduce = comm.allreduce(mine, SUM)
+            gathered = comm.gather(mine, root=0)
+            manual = sum(gathered) if comm.rank == 0 else None
+            manual = comm.bcast(manual, root=0)
+            return via_allreduce == manual
+
+        assert all(run_spmd(size, program))
+
+
+class TestBarrier:
+    def test_barrier_orders_phases(self):
+        # Every rank appends "a" before the barrier and "b" after. With a
+        # working barrier, all "a"s precede all "b"s in the shared log.
+        import threading
+
+        log = []
+        lock = threading.Lock()
+
+        def program(comm):
+            with lock:
+                log.append("a")
+            comm.barrier()
+            with lock:
+                log.append("b")
+
+        run_spmd(4, program)
+        assert log[:4] == ["a"] * 4
+        assert log[4:] == ["b"] * 4
+
+    def test_many_barriers_no_crosstalk(self):
+        def program(comm):
+            for _ in range(25):
+                comm.barrier()
+            return True
+
+        assert all(run_spmd(5, program))

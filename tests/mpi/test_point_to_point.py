@@ -1,0 +1,210 @@
+"""Point-to-point messaging tests for the SPMD runtime."""
+
+import numpy as np
+import pytest
+
+from repro.mpi import ANY_SOURCE, ANY_TAG, DeadlockError, RankFailedError, run_spmd
+
+
+class TestSendRecv:
+    def test_ping(self):
+        def program(comm):
+            if comm.rank == 0:
+                comm.send({"a": 7, "b": 3.14}, dest=1, tag=11)
+                return None
+            return comm.recv(source=0, tag=11)
+
+        results = run_spmd(2, program)
+        assert results[1] == {"a": 7, "b": 3.14}
+
+    def test_messages_are_value_copies(self):
+        # Like real MPI, mutating the received object must not affect
+        # the sender's copy (messages are pickled).
+        def program(comm):
+            data = [1, 2, 3]
+            if comm.rank == 0:
+                comm.send(data, dest=1)
+                comm.barrier()
+                return data
+            got = comm.recv(source=0)
+            got.append(99)
+            comm.barrier()
+            return got
+
+        results = run_spmd(2, program)
+        assert results[0] == [1, 2, 3]
+        assert results[1] == [1, 2, 3, 99]
+
+    def test_numpy_payload(self):
+        def program(comm):
+            if comm.rank == 0:
+                comm.send(np.arange(10.0), dest=1)
+                return None
+            return comm.recv(source=0)
+
+        results = run_spmd(2, program)
+        np.testing.assert_array_equal(results[1], np.arange(10.0))
+
+    def test_tag_matching_out_of_order(self):
+        # Receiver asks for tag 2 first even though tag 1 arrives first.
+        def program(comm):
+            if comm.rank == 0:
+                comm.send("first", dest=1, tag=1)
+                comm.send("second", dest=1, tag=2)
+                return None
+            second = comm.recv(source=0, tag=2)
+            first = comm.recv(source=0, tag=1)
+            return (first, second)
+
+        results = run_spmd(2, program)
+        assert results[1] == ("first", "second")
+
+    def test_fifo_per_sender_and_tag(self):
+        def program(comm):
+            if comm.rank == 0:
+                for i in range(20):
+                    comm.send(i, dest=1, tag=5)
+                return None
+            return [comm.recv(source=0, tag=5) for _ in range(20)]
+
+        results = run_spmd(2, program)
+        assert results[1] == list(range(20))
+
+    def test_any_source_any_tag(self):
+        def program(comm):
+            if comm.rank == 0:
+                got = sorted(comm.recv(ANY_SOURCE, ANY_TAG) for _ in range(comm.size - 1))
+                return got
+            comm.send(comm.rank * 10, dest=0, tag=comm.rank)
+            return None
+
+        results = run_spmd(4, program)
+        assert results[0] == [10, 20, 30]
+
+    def test_status_reports_source_and_tag(self):
+        def program(comm):
+            if comm.rank == 2:
+                comm.send("x", dest=0, tag=7)
+                return None
+            if comm.rank == 0:
+                obj, status = comm.recv_with_status(ANY_SOURCE, ANY_TAG)
+                return (obj, status.source, status.tag)
+            return None
+
+        results = run_spmd(3, program)
+        assert results[0] == ("x", 2, 7)
+
+    def test_sendrecv_ring(self):
+        def program(comm):
+            right = (comm.rank + 1) % comm.size
+            left = (comm.rank - 1) % comm.size
+            return comm.sendrecv(comm.rank, dest=right, source=left)
+
+        results = run_spmd(4, program)
+        assert results == [3, 0, 1, 2]
+
+    def test_negative_user_tag_rejected(self):
+        def program(comm):
+            comm.send(1, dest=0, tag=-5)
+
+        with pytest.raises(RankFailedError):
+            run_spmd(1, program)
+
+    def test_bad_dest_rejected(self):
+        def program(comm):
+            comm.send(1, dest=5)
+
+        with pytest.raises(RankFailedError, match="out of range"):
+            run_spmd(2, program)
+
+
+class TestNonBlocking:
+    def test_isend_irecv(self):
+        def program(comm):
+            if comm.rank == 0:
+                req = comm.isend(list(range(5)), dest=1, tag=3)
+                req.wait()
+                return None
+            req = comm.irecv(source=0, tag=3)
+            return req.wait()
+
+        results = run_spmd(2, program)
+        assert results[1] == [0, 1, 2, 3, 4]
+
+    def test_irecv_test_polls(self):
+        def program(comm):
+            if comm.rank == 0:
+                comm.recv(source=1, tag=9)  # wait until rank 1 posted its irecv
+                comm.send("late", dest=1, tag=4)
+                return None
+            req = comm.irecv(source=0, tag=4)
+            done, value = req.test()
+            assert not done and value is None
+            comm.send(None, dest=0, tag=9)
+            return req.wait()
+
+        results = run_spmd(2, program)
+        assert results[1] == "late"
+
+    def test_probe_and_iprobe(self):
+        def program(comm):
+            if comm.rank == 0:
+                assert comm.iprobe(source=1) is None
+                comm.send(None, dest=1, tag=9)  # release the sender
+                status = comm.probe(source=1, tag=2)
+                assert (status.source, status.tag) == (1, 2)
+                # Probing does not consume: the message is still there.
+                return comm.recv(source=1, tag=2)
+            comm.recv(source=0, tag=9)
+            comm.send("payload", dest=0, tag=2)
+            return None
+
+        results = run_spmd(2, program)
+        assert results[0] == "payload"
+
+
+class TestFailureHandling:
+    def test_rank_exception_reported_with_rank(self):
+        def program(comm):
+            if comm.rank == 1:
+                raise ValueError("boom on rank 1")
+            comm.barrier()
+
+        with pytest.raises(RankFailedError, match="rank 1: ValueError: boom"):
+            run_spmd(3, program, timeout=10.0)
+
+    def test_failure_unblocks_peers(self):
+        # Rank 0 blocks in recv forever; rank 1 raises. The abort must
+        # wake rank 0 rather than waiting out the full timeout.
+        def program(comm):
+            if comm.rank == 0:
+                comm.recv(source=1)
+            else:
+                raise RuntimeError("dead sender")
+
+        with pytest.raises(RankFailedError, match="dead sender"):
+            run_spmd(2, program, timeout=30.0)
+
+    def test_deadlock_detected(self):
+        def program(comm):
+            comm.recv(source=(comm.rank + 1) % comm.size)
+
+        with pytest.raises(RankFailedError) as excinfo:
+            run_spmd(2, program, timeout=0.5)
+        assert any(isinstance(e, DeadlockError) for e in excinfo.value.failures.values())
+
+    def test_results_in_rank_order(self):
+        results = run_spmd(5, lambda comm: comm.rank**2)
+        assert results == [0, 1, 4, 9, 16]
+
+    def test_extra_args_passed_through(self):
+        results = run_spmd(3, lambda comm, base, scale=1: base + scale * comm.rank, 100, scale=2)
+        assert results == [100, 102, 104]
+
+    def test_single_rank_world(self):
+        results = run_spmd(1, lambda comm: (comm.rank, comm.size))
+        assert results == [(0, 1)]
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            run_spmd(0, lambda comm: None)

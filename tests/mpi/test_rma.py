@@ -1,0 +1,136 @@
+"""Tests for one-sided communication (RMA windows)."""
+
+import numpy as np
+import pytest
+
+from repro.mpi import RankFailedError, run_spmd
+from repro.mpi.rma import Window
+
+
+class TestLockEpochs:
+    def test_tutorial_pattern_root_window(self):
+        """The mpi4py tutorial's example: root exposes memory, rank 0
+        fills it, the others read 42s."""
+
+        def program(comm):
+            win = Window(comm, local_size=10 if comm.rank == 0 else 0)
+            if comm.rank == 0:
+                with win.locked(0):
+                    win.put(np.full(10, 42.0), target=0)
+                comm.barrier()
+                return True
+            comm.barrier()
+            with win.locked(0):
+                data = win.get(target=0)
+            return bool(np.all(data == 42.0))
+
+        assert all(run_spmd(3, program))
+
+    def test_put_then_get_roundtrip(self):
+        def program(comm):
+            win = Window(comm, local_size=4)
+            peer = (comm.rank + 1) % comm.size
+            with win.locked(peer):
+                win.put(np.full(4, float(comm.rank)), target=peer)
+            comm.barrier()
+            return win.local.copy()
+
+        results = run_spmd(3, program)
+        # Rank r's window was written by rank (r-1) % size.
+        for r, buf in enumerate(results):
+            np.testing.assert_array_equal(buf, np.full(4, float((r - 1) % 3)))
+
+    def test_partial_put_with_offset(self):
+        def program(comm):
+            win = Window(comm, local_size=6)
+            if comm.rank == 1:
+                with win.locked(0):
+                    win.put(np.array([7.0, 8.0]), target=0, offset=2)
+            comm.barrier()
+            return win.local.copy()
+
+        results = run_spmd(2, program)
+        np.testing.assert_array_equal(results[0], [0, 0, 7, 8, 0, 0])
+
+    def test_access_outside_epoch_rejected(self):
+        def program(comm):
+            win = Window(comm, local_size=2)
+            win.put(np.zeros(2), target=0)  # no lock, no fence
+
+        with pytest.raises(RankFailedError, match="outside any epoch"):
+            run_spmd(2, program)
+
+    def test_out_of_bounds_rejected(self):
+        def program(comm):
+            win = Window(comm, local_size=2)
+            with win.locked(0):
+                win.put(np.zeros(5), target=0)
+
+        with pytest.raises(RankFailedError, match="exceeds window"):
+            run_spmd(1, program)
+
+    def test_empty_target_window_rejected(self):
+        def program(comm):
+            win = Window(comm, local_size=0 if comm.rank == 1 else 2)
+            comm.barrier()
+            if comm.rank == 0:
+                with win.locked(1):
+                    win.get(target=1)
+            comm.barrier()
+
+        with pytest.raises(RankFailedError, match="exposes no window memory"):
+            run_spmd(2, program)
+
+
+class TestFenceEpochs:
+    def test_fence_separated_halo_pattern(self):
+        def program(comm):
+            win = Window(comm, local_size=1)
+            win.local[0] = float(comm.rank)
+            win.fence()
+            right = (comm.rank + 1) % comm.size
+            got = win.get(target=right)[0]
+            win.fence()
+            return got
+
+        assert run_spmd(4, program) == [1.0, 2.0, 3.0, 0.0]
+
+    def test_concurrent_accumulates_lose_nothing(self):
+        def program(comm):
+            win = Window(comm, local_size=1)
+            win.fence()
+            for _ in range(200):
+                win.accumulate(np.array([1.0]), target=0)
+            win.fence()
+            return win.local[0] if comm.rank == 0 else None
+
+        results = run_spmd(4, program)
+        assert results[0] == 800.0
+
+    def test_accumulate_custom_op(self):
+        def program(comm):
+            win = Window(comm, local_size=2)
+            win.fence()
+            win.accumulate(np.full(2, float(comm.rank + 1)), target=0,
+                           op=lambda a, b: np.maximum(a, b))
+            win.fence()
+            return win.local.copy() if comm.rank == 0 else None
+
+        results = run_spmd(3, program)
+        np.testing.assert_array_equal(results[0], [3.0, 3.0])
+
+    def test_two_windows_are_independent(self):
+        def program(comm):
+            a = Window(comm, local_size=1)
+            b = Window(comm, local_size=1)
+            a.fence()
+            b.fence()
+            a.accumulate(np.array([1.0]), target=0)
+            a.fence()
+            b.fence()
+            if comm.rank == 0:
+                return (a.local[0], b.local[0])
+            return None
+
+        results = run_spmd(2, program)
+        assert results[0] == (2.0, 0.0)

@@ -1,0 +1,117 @@
+"""Tests for Cartesian topologies."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpi import run_spmd
+from repro.mpi.topology import CartComm, dims_create
+
+
+class TestDimsCreate:
+    @pytest.mark.parametrize(
+        "nnodes,ndims,expect",
+        [(12, 2, [4, 3]), (8, 3, [2, 2, 2]), (7, 2, [7, 1]), (1, 2, [1, 1]), (6, 1, [6])],
+    )
+    def test_known_factorizations(self, nnodes, ndims, expect):
+        assert dims_create(nnodes, ndims) == expect
+
+    @given(st.integers(1, 512), st.integers(1, 4))
+    @settings(max_examples=50)
+    def test_property_product_and_order(self, nnodes, ndims):
+        dims = dims_create(nnodes, ndims)
+        assert len(dims) == ndims
+        prod = 1
+        for d in dims:
+            prod *= d
+        assert prod == nnodes
+        assert dims == sorted(dims, reverse=True)
+
+
+class TestCoordinates:
+    def test_row_major_layout(self):
+        def program(comm):
+            cart = CartComm(comm, dims=[2, 3], periods=[False, False])
+            return cart.coords
+
+        results = run_spmd(6, program)
+        assert results == [(0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (1, 2)]
+
+    def test_rank_of_inverts_coords_of(self):
+        def program(comm):
+            cart = CartComm(comm, dims=[2, 2, 2], periods=[True, True, True])
+            return all(cart.rank_of(cart.coords_of(r)) == r for r in range(comm.size))
+
+        assert all(run_spmd(8, program))
+
+    def test_periodic_wrapping(self):
+        def program(comm):
+            cart = CartComm(comm, dims=[4], periods=[True])
+            return cart.rank_of([comm.rank + 4])  # wraps to itself
+
+        assert run_spmd(4, program) == [0, 1, 2, 3]
+
+    def test_nonperiodic_out_of_range(self):
+        def program(comm):
+            cart = CartComm(comm, dims=[2], periods=[False])
+            try:
+                cart.rank_of([5])
+                return False
+            except ValueError:
+                return True
+
+        assert all(run_spmd(2, program))
+
+    def test_dims_must_cover_size(self):
+        from repro.mpi import RankFailedError
+
+        def program(comm):
+            CartComm(comm, dims=[2, 2], periods=[False, False])
+
+        with pytest.raises(RankFailedError, match="cover"):
+            run_spmd(3, program)
+
+
+class TestShift:
+    def test_ring_shift(self):
+        def program(comm):
+            cart = CartComm(comm, dims=[4], periods=[True])
+            return cart.shift(0, 1)
+
+        results = run_spmd(4, program)
+        assert results == [(3, 1), (0, 2), (1, 3), (2, 0)]
+
+    def test_nonperiodic_edges_are_none(self):
+        def program(comm):
+            cart = CartComm(comm, dims=[3], periods=[False])
+            return cart.shift(0, 1)
+
+        results = run_spmd(3, program)
+        assert results == [(None, 1), (0, 2), (1, None)]
+
+    def test_2d_shift_moves_along_one_axis(self):
+        def program(comm):
+            cart = CartComm(comm, dims=[2, 3], periods=[True, True])
+            src_row, dst_row = cart.shift(0, 1)
+            src_col, dst_col = cart.shift(1, 1)
+            return (cart.coords_of(dst_row), cart.coords_of(dst_col))
+
+        results = run_spmd(6, program)
+        r, c = results[0]  # rank 0 at (0,0)
+        assert r == (1, 0) and c == (0, 1)
+
+    def test_neighbor_sendrecv_rotates_ring(self):
+        def program(comm):
+            cart = CartComm(comm, dims=[comm.size], periods=[True])
+            return cart.neighbor_sendrecv(comm.rank, dimension=0, displacement=1)
+
+        results = run_spmd(5, program)
+        assert results == [4, 0, 1, 2, 3]
+
+    def test_neighbor_sendrecv_boundary_returns_none(self):
+        def program(comm):
+            cart = CartComm(comm, dims=[comm.size], periods=[False])
+            return cart.neighbor_sendrecv(comm.rank, dimension=0, displacement=1)
+
+        results = run_spmd(3, program)
+        assert results == [None, 0, 1]

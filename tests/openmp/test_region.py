@@ -1,0 +1,179 @@
+"""Tests for parallel regions and scheduling."""
+
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.openmp import parallel_region
+from repro.openmp.loops import chunked_for, parallel_for
+
+
+class TestParallelRegion:
+    def test_results_in_thread_order(self):
+        assert parallel_region(4, lambda ctx: ctx.thread_id) == [0, 1, 2, 3]
+
+    def test_num_threads_visible(self):
+        assert parallel_region(3, lambda ctx: ctx.num_threads) == [3, 3, 3]
+
+    def test_exception_propagates(self):
+        def body(ctx):
+            if ctx.thread_id == 1:
+                raise ValueError("thread 1 failed")
+
+        with pytest.raises(ValueError, match="thread 1 failed"):
+            parallel_region(3, body)
+
+    def test_exception_does_not_deadlock_barrier_waiters(self):
+        # Thread 1 dies before the barrier; others blocked in barrier()
+        # must be released (broken barrier), not hang.
+        def body(ctx):
+            if ctx.thread_id == 1:
+                raise RuntimeError("early death")
+            ctx.barrier()
+
+        with pytest.raises(RuntimeError, match="early death"):
+            parallel_region(3, body)
+
+    def test_invalid_thread_count(self):
+        with pytest.raises(ValueError):
+            parallel_region(0, lambda ctx: None)
+
+    def test_args_passed(self):
+        out = parallel_region(2, lambda ctx, a, b=0: a + b + ctx.thread_id, 10, b=5)
+        assert out == [15, 16]
+
+
+class TestBarrierAndMaster:
+    def test_barrier_separates_phases(self):
+        log = []
+        lock = threading.Lock()
+
+        def body(ctx):
+            with lock:
+                log.append(("pre", ctx.thread_id))
+            ctx.barrier()
+            with lock:
+                log.append(("post", ctx.thread_id))
+
+        parallel_region(4, body)
+        phases = [p for p, _ in log]
+        assert phases[:4] == ["pre"] * 4 and phases[4:] == ["post"] * 4
+
+    def test_master_is_thread_zero(self):
+        assert parallel_region(3, lambda ctx: ctx.master()) == [True, False, False]
+
+    def test_single_claimed_once_per_occurrence(self):
+        claims = []
+        lock = threading.Lock()
+
+        def body(ctx):
+            ctx.barrier()
+            for occurrence in range(3):
+                if ctx.single():
+                    with lock:
+                        claims.append(occurrence)
+                ctx.barrier()
+
+        parallel_region(4, body)
+        assert sorted(claims) == [0, 1, 2]
+
+
+class TestCritical:
+    def test_critical_protects_compound_update(self):
+        counter = {"n": 0}
+
+        def body(ctx):
+            for _ in range(2000):
+                with ctx.critical("count"):
+                    counter["n"] += 1
+
+        parallel_region(4, body)
+        assert counter["n"] == 8000
+
+    def test_named_criticals_are_independent(self):
+        # A thread holding critical "a" must not block one entering "b".
+        order = []
+        lock = threading.Lock()
+
+        def body(ctx):
+            name = "a" if ctx.thread_id == 0 else "b"
+            with ctx.critical(name):
+                ctx.barrier()  # both inside simultaneously -> not same lock
+                with lock:
+                    order.append(name)
+
+        parallel_region(2, body)
+        assert sorted(order) == ["a", "b"]
+
+
+class TestForRange:
+    @pytest.mark.parametrize("schedule", ["static", "static-cyclic", "dynamic", "guided"])
+    def test_every_index_visited_exactly_once(self, schedule):
+        visited = []
+        lock = threading.Lock()
+
+        def body(ctx):
+            mine = list(ctx.for_range(101, schedule=schedule, chunk=3))
+            with lock:
+                visited.extend(mine)
+
+        parallel_region(4, body)
+        assert sorted(visited) == list(range(101))
+
+    def test_static_blocks_are_contiguous(self):
+        blocks = parallel_region(3, lambda ctx: list(ctx.for_range(10)))
+        assert blocks == [[0, 1, 2, 3], [4, 5, 6], [7, 8, 9]]
+
+    def test_static_cyclic_layout(self):
+        blocks = parallel_region(2, lambda ctx: list(ctx.for_range(8, "static-cyclic", chunk=2)))
+        assert blocks == [[0, 1, 4, 5], [2, 3, 6, 7]]
+
+    def test_unknown_schedule_rejected(self):
+        with pytest.raises(ValueError, match="unknown schedule"):
+            parallel_region(1, lambda ctx: list(ctx.for_range(4, "bogus")))
+
+    def test_two_sequential_dynamic_loops_do_not_crosstalk(self):
+        def body(ctx):
+            first = list(ctx.for_range(20, "dynamic"))
+            ctx.barrier()
+            second = list(ctx.for_range(20, "dynamic"))
+            return (first, second)
+
+        results = parallel_region(3, body)
+        all_first = sorted(i for f, _ in results for i in f)
+        all_second = sorted(i for _, s in results for i in s)
+        assert all_first == list(range(20))
+        assert all_second == list(range(20))
+
+    @given(st.integers(0, 200), st.integers(1, 8))
+    @settings(max_examples=20, deadline=None)
+    def test_property_static_partition_complete(self, n, threads):
+        blocks = parallel_region(threads, lambda ctx: list(ctx.for_range(n)))
+        flat = sorted(i for b in blocks for i in b)
+        assert flat == list(range(n))
+
+
+class TestParallelFor:
+    def test_applies_body_to_all_indices(self):
+        out = [0] * 50
+        parallel_for(50, 4, lambda i: out.__setitem__(i, i * i))
+        assert out == [i * i for i in range(50)]
+
+    def test_pass_ctx_enables_critical(self):
+        total = {"v": 0}
+
+        def body(ctx, i):
+            with ctx.critical():
+                total["v"] += i
+
+        parallel_for(100, 4, body, pass_ctx=True)
+        assert total["v"] == sum(range(100))
+
+    def test_chunked_for_covers_range(self):
+        import numpy as np
+
+        out = np.zeros(97)
+        chunked_for(97, 4, lambda lo, hi: out.__setitem__(slice(lo, hi), 1.0))
+        assert out.sum() == 97

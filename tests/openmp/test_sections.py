@@ -1,0 +1,102 @@
+"""Tests for the sections and ordered constructs."""
+
+import threading
+
+import pytest
+
+from repro.openmp import OrderedRegion, parallel_region, parallel_sections
+
+
+class TestParallelSections:
+    def test_each_section_runs_once_results_in_order(self):
+        calls = []
+        lock = threading.Lock()
+
+        def make(i):
+            def section():
+                with lock:
+                    calls.append(i)
+                return i * 10
+            return section
+
+        results = parallel_sections([make(i) for i in range(5)])
+        assert results == [0, 10, 20, 30, 40]
+        assert sorted(calls) == [0, 1, 2, 3, 4]
+
+    def test_fewer_threads_than_sections(self):
+        results = parallel_sections([lambda i=i: i for i in range(6)], num_threads=2)
+        assert results == list(range(6))
+
+    def test_sections_run_concurrently(self):
+        # Two sections that each wait for the other via an event pair
+        # complete only if they genuinely overlap.
+        a_ready = threading.Event()
+        b_ready = threading.Event()
+
+        def section_a():
+            a_ready.set()
+            assert b_ready.wait(timeout=10.0)
+            return "a"
+
+        def section_b():
+            b_ready.set()
+            assert a_ready.wait(timeout=10.0)
+            return "b"
+
+        assert parallel_sections([section_a, section_b]) == ["a", "b"]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            parallel_sections([])
+
+    def test_section_exception_propagates(self):
+        def bad():
+            raise RuntimeError("section failed")
+
+        with pytest.raises(RuntimeError, match="section failed"):
+            parallel_sections([lambda: 1, bad])
+
+
+class TestOrderedRegion:
+    def test_commits_execute_in_iteration_order(self):
+        n = 40
+        region = OrderedRegion(total=n)
+        out = []
+
+        def body(ctx):
+            for i in ctx.for_range(n, schedule="dynamic"):
+                value = i * i  # parallel compute
+                region.commit(i, lambda v=value: out.append(v))
+
+        parallel_region(4, body)
+        assert out == [i * i for i in range(n)]
+        assert region.committed == n
+
+    def test_double_commit_detected(self):
+        region = OrderedRegion(total=3)
+        region.commit(0, lambda: None)
+        with pytest.raises(RuntimeError, match="committed twice"):
+            region.commit(0, lambda: None)
+
+    def test_out_of_range_iteration(self):
+        region = OrderedRegion(total=2)
+        with pytest.raises(ValueError):
+            region.commit(5, lambda: None)
+
+    def test_commit_returns_action_result(self):
+        region = OrderedRegion(total=1)
+        assert region.commit(0, lambda: "value") == "value"
+
+    def test_action_exception_still_advances(self):
+        # If iteration i's action raises, iteration i+1 must not deadlock.
+        region = OrderedRegion(total=2)
+        with pytest.raises(RuntimeError):
+            region.commit(0, lambda: (_ for _ in ()).throw(RuntimeError("bad")))
+        assert region.commit(1, lambda: "ok") == "ok"
+
+    def test_skipped_commit_times_out_instead_of_hanging(self):
+        region = OrderedRegion(total=3)
+        region.commit(0, lambda: None)
+        # Iteration 1 never commits; iteration 2 must fail fast, not hang.
+        with pytest.raises(TimeoutError, match="skipped"):
+            region.commit(2, lambda: None, timeout=0.3)

@@ -1,0 +1,57 @@
+"""Tests for the DataFrame-dialect NYC pipeline."""
+
+import pytest
+
+from repro.pipeline import arrests_per_100k, generate_arrests, generate_ntas
+from repro.pipeline.nyc import arrests_dataframe, rates_via_dataframe
+from repro.spark import SparkContext
+
+
+@pytest.fixture(scope="module")
+def world():
+    ntas = generate_ntas(3, 4, seed=9)
+    arrests = generate_arrests(2500, ntas, year=2021, seed=3)
+    return ntas, arrests
+
+
+class TestArrestsDataFrame:
+    def test_schema_and_cleaning(self, world):
+        ntas, arrests = world
+        sc = SparkContext(num_workers=3)
+        df = arrests_dataframe(sc, arrests, ntas)
+        assert df.columns == ["nta", "borough", "year", "offense"]
+        clean = sum(1 for a in arrests if a.valid)
+        assert df.count() <= clean
+        assert df.count() > 0.9 * clean  # only boundary misses dropped
+
+    def test_borough_lookup_consistent(self, world):
+        ntas, arrests = world
+        sc = SparkContext(num_workers=2)
+        df = arrests_dataframe(sc, arrests, ntas)
+        borough_of = {n.code: n.borough for n in ntas}
+        for row in df.limit(50).collect():
+            assert row["borough"] == borough_of[row["nta"]]
+
+    def test_offense_breakdown_via_group_by(self, world):
+        ntas, arrests = world
+        sc = SparkContext(num_workers=2)
+        breakdown = (
+            arrests_dataframe(sc, arrests, ntas)
+            .group_by("offense")
+            .count()
+            .collect()
+        )
+        total = sum(r["count"] for r in breakdown)
+        df = arrests_dataframe(sc, arrests, ntas)
+        assert total == df.count()
+
+
+class TestRatesViaDataFrame:
+    def test_agrees_with_rdd_pipeline(self, world):
+        ntas, arrests = world
+        sc = SparkContext(num_workers=3)
+        rdd_rates, _ = arrests_per_100k(sc, [arrests], ntas)
+        df_rates = rates_via_dataframe(sc, arrests, ntas)
+        assert set(df_rates) == set(rdd_rates)
+        for code in rdd_rates:
+            assert df_rates[code] == pytest.approx(rdd_rates[code])

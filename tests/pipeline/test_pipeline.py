@@ -1,0 +1,209 @@
+"""Tests for the pipeline framework, geometry, NYC exemplar, and survey."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pipeline import (
+    TABLE1_EXPECTED,
+    Pipeline,
+    Polygon,
+    ProjectSpec,
+    StageKind,
+    aggregate_survey,
+    arrests_per_100k,
+    generate_arrests,
+    generate_ntas,
+    heat_map_matrix,
+    raw_survey_items,
+    validate_project,
+)
+from repro.pipeline.nyc import locate_nta
+from repro.pipeline.survey import raw_student_records
+from repro.spark import SparkContext
+
+
+class TestPolygon:
+    def test_rectangle_contains(self):
+        r = Polygon.rectangle(0.0, 0.0, 1.0, 1.0)
+        assert r.contains(0.5, 0.5)
+        assert not r.contains(1.5, 0.5)
+        assert not r.contains(0.5, -0.1)
+
+    def test_triangle_contains(self):
+        t = Polygon([(0, 0), (4, 0), (0, 4)])
+        assert t.contains(1.0, 1.0)
+        assert not t.contains(3.0, 3.0)
+
+    def test_area_and_centroid(self):
+        r = Polygon.rectangle(0.0, 0.0, 2.0, 3.0)
+        assert r.area() == pytest.approx(6.0)
+        assert r.centroid() == pytest.approx((1.0, 1.5))
+
+    def test_too_few_vertices(self):
+        with pytest.raises(ValueError):
+            Polygon([(0, 0), (1, 1)])
+
+    def test_degenerate_rectangle(self):
+        with pytest.raises(ValueError):
+            Polygon.rectangle(0, 0, 0, 1)
+
+    @given(st.floats(0.01, 0.99), st.floats(0.01, 0.99))
+    @settings(max_examples=30)
+    def test_property_grid_tiles_partition(self, x, y):
+        # Every interior point belongs to exactly one tile of a 3x3 grid.
+        ntas = generate_ntas(3, 3, seed=0)
+        owners = [nta.code for nta in ntas if nta.polygon.contains(x, y)]
+        assert len(owners) == 1
+
+
+class TestPipelineFramework:
+    def make_pipeline(self):
+        return (
+            Pipeline("demo")
+            .add_stage("load", StageKind.AGGREGATION, lambda _: list(range(10)))
+            .add_stage("drop-odd", StageKind.CLEANING, lambda xs: [x for x in xs if x % 2 == 0])
+            .add_stage("sum", StageKind.ANALYSIS, lambda xs: sum(xs))
+            .add_stage("format", StageKind.VISUALIZATION, lambda s: f"total={s}")
+        )
+
+    def test_run_threads_outputs(self):
+        assert self.make_pipeline().run(None) == "total=20"
+
+    def test_reports_one_per_stage(self):
+        p = self.make_pipeline()
+        p.run(None)
+        assert [r.name for r in p.reports] == ["load", "drop-odd", "sum", "format"]
+        assert all(r.seconds >= 0 for r in p.reports)
+
+    def test_empty_pipeline_rejected(self):
+        with pytest.raises(ValueError, match="no stages"):
+            Pipeline("empty").run(None)
+
+    def test_kinds_used(self):
+        assert self.make_pipeline().kinds_used() == set(StageKind)
+
+
+class TestRubric:
+    def complete_spec(self):
+        p = TestPipelineFramework().make_pipeline()
+        return ProjectSpec(
+            title="NYC crime",
+            dataset_names=["arrests-historic", "nta-population"],
+            problems=[p, p, p],
+            report_text="We analyzed...",
+            presented_in_class=True,
+            code_submitted=True,
+        )
+
+    def test_complete_project_passes(self):
+        assert validate_project(self.complete_spec()) == []
+
+    def test_single_dataset_fails(self):
+        spec = self.complete_spec()
+        spec.dataset_names = ["arrests-historic", "arrests-historic"]
+        assert any("two distinct" in v for v in validate_project(spec))
+
+    def test_two_problems_fail(self):
+        spec = self.complete_spec()
+        spec.problems = spec.problems[:2]
+        assert any("three data analysis problems" in v for v in validate_project(spec))
+
+    def test_missing_visualization_fails(self):
+        bare = Pipeline("bare").add_stage("x", StageKind.ANALYSIS, lambda d: d)
+        spec = self.complete_spec()
+        spec.problems = [bare, bare, bare]
+        violations = validate_project(spec)
+        assert any("aggregation" in v and "visualization" in v for v in violations)
+
+    def test_no_report_fails(self):
+        spec = self.complete_spec()
+        spec.report_text = "  "
+        assert any("report" in v for v in validate_project(spec))
+
+
+class TestNycPipeline:
+    @pytest.fixture(scope="class")
+    def world(self):
+        ntas = generate_ntas(4, 5, seed=1)
+        historic = generate_arrests(3000, ntas, year=2020, seed=2)
+        current = generate_arrests(1500, ntas, year=2021, seed=2)
+        return ntas, historic, current
+
+    def test_rates_cover_all_ntas(self, world):
+        ntas, historic, current = world
+        sc = SparkContext(num_workers=4)
+        rates, diag = arrests_per_100k(sc, [historic, current], ntas)
+        assert set(rates) == {nta.code for nta in ntas}
+        assert all(rate >= 0 for rate in rates.values())
+
+    def test_cleaning_drops_dirty_rows(self, world):
+        ntas, historic, current = world
+        sc = SparkContext(num_workers=4)
+        _, diag = arrests_per_100k(sc, [historic, current], ntas)
+        dirty = sum(1 for a in historic + current if not a.valid)
+        assert diag["dropped"] == dirty
+        assert dirty > 0  # generator produced some
+
+    def test_rates_match_direct_computation(self, world):
+        ntas, historic, current = world
+        sc = SparkContext(num_workers=3)
+        rates, _ = arrests_per_100k(sc, [historic, current], ntas)
+        pop = {nta.code: nta.population for nta in ntas}
+        manual: dict[str, int] = {}
+        for a in historic + current:
+            if a.valid:
+                code = locate_nta(a.x, a.y, ntas)
+                if code:
+                    manual[code] = manual.get(code, 0) + 1
+        for code, count in manual.items():
+            assert rates[code] == pytest.approx(100_000.0 * count / pop[code])
+
+    def test_year_filter(self, world):
+        ntas, historic, current = world
+        sc = SparkContext(num_workers=2)
+        all_rates, _ = arrests_per_100k(sc, [historic, current], ntas)
+        rates_2021, _ = arrests_per_100k(sc, [historic, current], ntas, year_filter=2021)
+        assert sum(rates_2021.values()) < sum(all_rates.values())
+
+    def test_heat_map_matrix_layout(self, world):
+        ntas, historic, current = world
+        sc = SparkContext(num_workers=2)
+        rates, _ = arrests_per_100k(sc, [historic, current], ntas)
+        matrix = heat_map_matrix(rates, 4, 5)
+        assert matrix.shape == (4, 5)
+        assert matrix[2, 3] == rates["NTA0203"]
+        assert matrix.sum() == pytest.approx(sum(rates.values()))
+
+    def test_generators_validate(self):
+        with pytest.raises(ValueError):
+            generate_arrests(10, [], year=2020)
+        with pytest.raises(ValueError):
+            generate_ntas(0, 3)
+
+
+class TestSurveyTable1:
+    def test_aggregation_reproduces_table1_exactly(self):
+        sc = SparkContext(num_workers=2)
+        table = aggregate_survey(sc, raw_survey_items(), raw_student_records())
+        assert table == TABLE1_EXPECTED
+
+    def test_paper_totals(self):
+        # "Forty-three students contributed 33 positive items ... 13 of
+        # them specifically about the project."
+        items = raw_survey_items()
+        assert sum(1 for i in items if i.positive) == 33
+        assert sum(1 for i in items if i.positive and i.about_project) == 13
+        students = raw_student_records()
+        assert sum(1 for s in students if s.answered_survey) == 43
+
+    def test_negative_items_last_two_years_only_five_project(self):
+        # "The five negative items raised in the last two years" refers
+        # to project-specific negatives: 4 (2022/23) + 1 (2021/22).
+        items = raw_survey_items()
+        recent = [
+            i for i in items
+            if not i.positive and i.about_project and i.winter in ("2022/23", "2021/22")
+        ]
+        assert len(recent) == 5

@@ -1,0 +1,89 @@
+"""Tests for the second worked pipeline project (transit vs weather)."""
+
+import pytest
+
+from repro.pipeline.transit import (
+    CONDITION_DELAY_SHIFT,
+    cancellation_by_condition,
+    delay_by_condition,
+    generate_trips,
+    generate_weather,
+    worst_routes,
+)
+from repro.spark import SparkContext
+
+
+@pytest.fixture(scope="module")
+def world():
+    weather = generate_weather(120, seed=7)
+    trips = generate_trips(weather, routes=6, trips_per_route_day=5, seed=7)
+    return weather, trips
+
+
+@pytest.fixture()
+def sc():
+    return SparkContext(num_workers=3)
+
+
+class TestGenerators:
+    def test_weather_shapes(self, world):
+        weather, _ = world
+        assert len(weather) == 120
+        assert {w.condition for w in weather} <= set(CONDITION_DELAY_SHIFT)
+        assert [w.day for w in weather] == list(range(120))
+
+    def test_trips_reference_valid_days(self, world):
+        weather, trips = world
+        days = {w.day for w in weather}
+        assert all(t.day in days for t in trips)
+        assert len(trips) == 120 * 6 * 5
+
+    def test_deterministic(self, world):
+        weather, trips = world
+        again = generate_trips(weather, routes=6, trips_per_route_day=5, seed=7)
+        assert trips == again
+
+    def test_cancelled_trips_have_zero_delay(self, world):
+        _, trips = world
+        assert all(t.delay_minutes == 0.0 for t in trips if t.cancelled)
+
+
+class TestProblem1:
+    def test_delay_ordering_follows_ground_truth(self, world, sc):
+        weather, trips = world
+        means = delay_by_condition(sc, weather, trips)
+        # Generator adds 0 / 4 / 12 / 20 minutes by condition.
+        assert means["clear"] < means["rain"] < means["snow"] < means["storm"]
+
+    def test_magnitudes_near_ground_truth(self, world, sc):
+        weather, trips = world
+        means = delay_by_condition(sc, weather, trips)
+        for condition, (shift, _) in CONDITION_DELAY_SHIFT.items():
+            if condition in means:
+                # Base route delays average 3 + mean(route r/2) = ~4.25.
+                assert means[condition] == pytest.approx(4.25 + shift, abs=1.5)
+
+
+class TestProblem2:
+    def test_worst_routes_are_the_highest_numbered(self, world, sc):
+        weather, trips = world
+        ranking = worst_routes(sc, weather, trips, top=3)
+        # Route r adds r/2 minutes, so R05 > R04 > R03 ...
+        assert [route for route, _ in ranking] == ["R05", "R04", "R03"]
+        delays = [d for _, d in ranking]
+        assert delays == sorted(delays, reverse=True)
+
+    def test_top_validation(self, world, sc):
+        weather, trips = world
+        with pytest.raises(ValueError):
+            worst_routes(sc, weather, trips, top=0)
+
+
+class TestProblem3:
+    def test_cancellation_rises_with_severity(self, world, sc):
+        weather, trips = world
+        rates = cancellation_by_condition(sc, weather, trips)
+        assert rates["clear"] < rates["snow"]
+        if "storm" in rates:
+            assert rates["snow"] <= rates["storm"] + 0.05
+        assert all(0.0 <= r <= 1.0 for r in rates.values())

@@ -1,0 +1,76 @@
+"""Tests for the distribution helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.rng.distributions import bernoulli, uniform, uniform_int
+
+
+class TestUniform:
+    def test_scalar_mapping(self):
+        assert uniform(0.0, 2.0, 6.0) == 2.0
+        assert uniform(0.5, 2.0, 6.0) == 4.0
+
+    def test_array_mapping(self):
+        u = np.array([0.0, 0.25, 0.75])
+        np.testing.assert_allclose(uniform(u, -1.0, 1.0), [-1.0, -0.5, 0.5])
+
+    def test_rejects_inverted_range(self):
+        with pytest.raises(ValueError):
+            uniform(0.5, 3.0, 2.0)
+
+    @given(st.floats(0, 1, exclude_max=True), st.floats(-100, 100), st.floats(0, 100))
+    def test_property_result_in_range(self, u, lo, width):
+        hi = lo + width
+        v = uniform(u, lo, hi)
+        assert lo <= v <= hi
+
+
+class TestUniformInt:
+    def test_scalar_truncation(self):
+        assert uniform_int(0.0, 0, 10) == 0
+        assert uniform_int(0.999, 0, 10) == 9
+
+    def test_array(self):
+        u = np.array([0.0, 0.5, 0.99])
+        np.testing.assert_array_equal(uniform_int(u, 0, 4), [0, 2, 3])
+
+    def test_edge_u_equal_one_clamped(self):
+        assert uniform_int(1.0, 0, 5) == 4
+
+    def test_rejects_empty_range(self):
+        with pytest.raises(ValueError):
+            uniform_int(0.5, 3, 3)
+
+    @given(st.floats(0, 1, exclude_max=True), st.integers(-50, 50), st.integers(1, 100))
+    def test_property_in_half_open_range(self, u, lo, width):
+        v = uniform_int(u, lo, lo + width)
+        assert lo <= v < lo + width
+
+
+class TestBernoulli:
+    def test_p_zero_never_fires(self):
+        u = np.linspace(0, 0.999, 100)
+        assert not np.any(bernoulli(u, 0.0))
+
+    def test_p_one_always_fires(self):
+        u = np.linspace(0, 0.999, 100)
+        assert np.all(bernoulli(u, 1.0))
+
+    def test_scalar_returns_bool(self):
+        assert bernoulli(0.1, 0.5) is True
+        assert bernoulli(0.9, 0.5) is False
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            bernoulli(0.5, 1.5)
+        with pytest.raises(ValueError):
+            bernoulli(0.5, -0.1)
+
+    def test_empirical_rate(self):
+        rng = np.random.default_rng(0)
+        u = rng.random(50_000)
+        rate = bernoulli(u, 0.13).mean()
+        assert abs(rate - 0.13) < 0.01

@@ -1,0 +1,83 @@
+"""Tests for shared-sequence carving strategies (block split, leapfrog)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rng.lcg import MINSTD, KNUTH_LCG, LinearCongruential
+from repro.rng.streams import BlockSplitter, LeapfrogStream, SharedSequence
+
+
+class TestSharedSequence:
+    def test_draws_match_serial_generator(self):
+        seq = SharedSequence(MINSTD, seed=11)
+        serial = LinearCongruential(MINSTD, seed=11)
+        expect = [serial.next_uniform() for _ in range(20)]
+        np.testing.assert_allclose(seq.draws(0, 20), expect)
+        np.testing.assert_allclose(seq.draws(5, 10), expect[5:15])
+
+    def test_random_access_is_pure(self):
+        seq = SharedSequence(MINSTD, seed=3)
+        a = seq.draws(100, 5)
+        b = seq.draws(100, 5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_generator_at_position(self):
+        seq = SharedSequence(MINSTD, seed=3)
+        g = seq.generator_at(7)
+        assert g.next_uniform() == seq.draws(7, 1)[0]
+
+    @given(st.integers(0, 500), st.integers(0, 50))
+    @settings(max_examples=25)
+    def test_windows_concatenate(self, start, count):
+        seq = SharedSequence(KNUTH_LCG, seed=1)
+        whole = seq.draws(start, count)
+        split = count // 2
+        parts = np.concatenate([seq.draws(start, split), seq.draws(start + split, count - split)])
+        np.testing.assert_array_equal(whole, parts)
+
+
+class TestBlockSplitter:
+    @pytest.mark.parametrize("workers", [1, 2, 3, 5, 8])
+    def test_workers_reconstruct_serial_batch(self, workers):
+        seq = SharedSequence(MINSTD, seed=42)
+        split = BlockSplitter(seq, batch=37, workers=workers)
+        for step in range(3):
+            serial = split.step_draws(step)
+            stitched = np.concatenate(
+                [split.worker_draws(step, w) for w in range(workers)]
+            )
+            np.testing.assert_array_equal(stitched, serial)
+
+    def test_steps_are_disjoint_windows(self):
+        seq = SharedSequence(MINSTD, seed=42)
+        split = BlockSplitter(seq, batch=10, workers=2)
+        s0 = split.step_draws(0)
+        s1 = split.step_draws(1)
+        np.testing.assert_array_equal(np.concatenate([s0, s1]), seq.draws(0, 20))
+
+    def test_validation(self):
+        seq = SharedSequence(MINSTD, seed=42)
+        with pytest.raises(ValueError):
+            BlockSplitter(seq, batch=10, workers=0)
+        with pytest.raises(ValueError):
+            BlockSplitter(seq, batch=-1, workers=2)
+
+
+class TestLeapfrogStream:
+    @pytest.mark.parametrize("workers", [1, 2, 3, 7])
+    def test_leapfrog_interleaves_to_serial(self, workers):
+        serial = SharedSequence(MINSTD, seed=9).serial_draws(workers * 10)
+        streams = [LeapfrogStream(MINSTD, 9, w, workers) for w in range(workers)]
+        rebuilt = np.empty_like(serial)
+        for w, stream in enumerate(streams):
+            for i in range(10):
+                rebuilt[w + i * workers] = stream.next_uniform()
+        np.testing.assert_array_equal(rebuilt, serial)
+
+    def test_worker_out_of_range(self):
+        with pytest.raises(ValueError):
+            LeapfrogStream(MINSTD, 9, worker=3, workers=3)
+        with pytest.raises(ValueError):
+            LeapfrogStream(MINSTD, 9, worker=-1, workers=3)

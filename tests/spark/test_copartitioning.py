@@ -1,0 +1,69 @@
+"""Tests for the co-partitioning optimization: known layouts skip shuffles."""
+
+import pytest
+
+from repro.spark import HashPartitioner, SparkContext
+
+
+@pytest.fixture()
+def sc():
+    return SparkContext(num_workers=3, default_partitions=4)
+
+
+class TestPartitionerMetadata:
+    def test_fresh_rdd_has_no_partitioner(self, sc):
+        assert sc.parallelize([(1, 1)]).partitioner is None
+
+    def test_shuffle_sets_partitioner(self, sc):
+        rdd = sc.parallelize([(i, i) for i in range(10)]).reduce_by_key(lambda a, b: a + b)
+        assert rdd.partitioner == HashPartitioner(rdd.num_partitions)
+
+    def test_map_values_preserves_partitioner(self, sc):
+        rdd = sc.parallelize([(i, i) for i in range(10)]).reduce_by_key(lambda a, b: a + b)
+        assert rdd.map_values(lambda v: v + 1).partitioner == rdd.partitioner
+
+    def test_plain_map_clears_partitioner(self, sc):
+        rdd = sc.parallelize([(i, i) for i in range(10)]).reduce_by_key(lambda a, b: a + b)
+        # map() may change keys, so the layout guarantee is gone.
+        assert rdd.map(lambda kv: kv).partitioner is None
+
+
+class TestShuffleElision:
+    def test_second_aggregation_skips_shuffle(self, sc):
+        data = [(i % 6, i) for i in range(60)]
+        first = sc.parallelize(data).reduce_by_key(lambda a, b: a + b)
+        first.collect()
+        shuffles_after_first = sc.metrics.shuffles
+        # Same key layout: summing again (idempotent here) must not shuffle.
+        second = first.map_values(lambda v: v).reduce_by_key(lambda a, b: a + b)
+        result = second.collect_as_map()
+        assert sc.metrics.shuffles == shuffles_after_first
+        expect = {}
+        for k, v in data:
+            expect[k] = expect.get(k, 0) + v
+        assert result == expect
+
+    def test_different_partition_count_still_shuffles(self, sc):
+        data = [(i % 6, i) for i in range(60)]
+        first = sc.parallelize(data).reduce_by_key(lambda a, b: a + b, num_partitions=4)
+        before = sc.metrics.shuffles
+        first.reduce_by_key(lambda a, b: a + b, num_partitions=2).collect()
+        assert sc.metrics.shuffles > before
+
+    def test_elided_group_by_key_matches_shuffled(self, sc):
+        data = [(i % 4, i) for i in range(40)]
+        routed = sc.parallelize(data).partition_by(HashPartitioner(4))
+        elided = routed.group_by_key(4).collect_as_map()
+        fresh = sc.parallelize(data).group_by_key(4).collect_as_map()
+        assert {k: sorted(v) for k, v in elided.items()} == {
+            k: sorted(v) for k, v in fresh.items()
+        }
+
+    def test_chained_pipeline_stage_count_drops(self, sc):
+        from repro.spark.dag import execution_stages
+
+        data = [(i % 3, i) for i in range(30)]
+        base = sc.parallelize(data).reduce_by_key(lambda a, b: a + b)
+        chained = base.map_values(lambda v: v * 2).reduce_by_key(lambda a, b: a + b)
+        # Only the first aggregation is a shuffle boundary.
+        assert len(execution_stages(chained)) == 2

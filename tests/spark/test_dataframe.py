@@ -1,0 +1,241 @@
+"""Tests for the mini DataFrame layer."""
+
+import pytest
+
+from repro.spark import SparkContext
+from repro.spark.dataframe import DataFrame
+
+
+@pytest.fixture()
+def sc():
+    return SparkContext(num_workers=3, default_partitions=3)
+
+
+@pytest.fixture()
+def people(sc):
+    rows = [
+        {"name": "ada", "dept": "eng", "salary": 120},
+        {"name": "bob", "dept": "eng", "salary": 100},
+        {"name": "cyd", "dept": "ops", "salary": 90},
+        {"name": "dee", "dept": "ops", "salary": 95},
+        {"name": "eve", "dept": "sci", "salary": 130},
+    ]
+    return DataFrame.from_rows(sc, rows)
+
+
+class TestConstruction:
+    def test_schema_inferred_from_first_row(self, people):
+        assert people.columns == ["name", "dept", "salary"]
+        assert people.count() == 5
+
+    def test_inconsistent_rows_rejected(self, sc):
+        with pytest.raises(ValueError, match="row 1 has columns"):
+            DataFrame.from_rows(sc, [{"a": 1}, {"b": 2}])
+
+    def test_empty_needs_schema(self, sc):
+        with pytest.raises(ValueError, match="zero rows"):
+            DataFrame.from_rows(sc, [])
+        df = DataFrame.from_rows(sc, [], columns=["a"])
+        assert df.count() == 0
+
+    def test_duplicate_columns_rejected(self, sc):
+        with pytest.raises(ValueError, match="duplicate"):
+            DataFrame(sc.parallelize([]), ["a", "a"])
+
+
+class TestProjection:
+    def test_select_subset_and_order(self, people):
+        df = people.select("salary", "name")
+        assert df.columns == ["salary", "name"]
+        assert df.first() == {"salary": 120, "name": "ada"}
+
+    def test_select_unknown_column(self, people):
+        with pytest.raises(KeyError, match="unknown column"):
+            people.select("age")
+
+    def test_with_column_computed(self, people):
+        df = people.with_column("bonus", lambda r: r["salary"] // 10)
+        assert df.columns[-1] == "bonus"
+        assert df.first()["bonus"] == 12
+
+    def test_with_column_replace_keeps_schema(self, people):
+        df = people.with_column("salary", lambda r: r["salary"] * 2)
+        assert df.columns == people.columns
+        assert df.first()["salary"] == 240
+
+    def test_drop(self, people):
+        df = people.drop("salary")
+        assert df.columns == ["name", "dept"]
+        with pytest.raises(ValueError, match="every column"):
+            people.drop("name", "dept", "salary")
+
+    def test_rename(self, people):
+        df = people.rename({"dept": "team"})
+        assert df.columns == ["name", "team", "salary"]
+        assert df.first()["team"] == "eng"
+
+
+class TestFilterDistinctUnion:
+    def test_where(self, people):
+        rich = people.where(lambda r: r["salary"] >= 100)
+        assert {r["name"] for r in rich.collect()} == {"ada", "bob", "eve"}
+
+    def test_distinct(self, sc):
+        df = DataFrame.from_rows(sc, [{"x": 1}, {"x": 1}, {"x": 2}])
+        assert sorted(r["x"] for r in df.distinct().collect()) == [1, 2]
+
+    def test_union_schema_checked(self, people, sc):
+        other = DataFrame.from_rows(sc, [{"name": "fay", "dept": "sci", "salary": 80}])
+        assert people.union(other).count() == 6
+        with pytest.raises(ValueError, match="identical schemas"):
+            people.union(other.select("name", "dept", "salary").rename({"name": "n"}))
+
+
+class TestOrderLimit:
+    def test_order_by(self, people):
+        names = [r["name"] for r in people.order_by("salary").collect()]
+        assert names == ["cyd", "dee", "bob", "ada", "eve"]
+        desc = [r["name"] for r in people.order_by("salary", ascending=False).collect()]
+        assert desc == ["eve", "ada", "bob", "dee", "cyd"]
+
+    def test_limit(self, people):
+        assert people.limit(2).count() == 2
+        assert people.limit(0).count() == 0
+
+
+class TestGroupByAgg:
+    def test_multiple_aggregations(self, people):
+        summary = people.group_by("dept").agg(
+            {
+                "total": ("salary", "sum"),
+                "avg": ("salary", "mean"),
+                "headcount": ("name", "count"),
+                "top": ("salary", "max"),
+            }
+        )
+        rows = {r["dept"]: r for r in summary.collect()}
+        assert rows["eng"] == {"dept": "eng", "total": 220, "avg": 110.0, "headcount": 2, "top": 120}
+        assert rows["sci"]["headcount"] == 1
+
+    def test_shorthand_spec(self, people):
+        rows = {r["dept"]: r for r in people.select("dept", "salary")
+                .group_by("dept").agg({"salary": "min"}).collect()}
+        assert rows["ops"]["salary"] == 90
+
+    def test_count_shorthand(self, people):
+        rows = {r["dept"]: r["count"] for r in people.group_by("dept").count().collect()}
+        assert rows == {"eng": 2, "ops": 2, "sci": 1}
+
+    def test_unknown_aggregation(self, people):
+        with pytest.raises(ValueError, match="unknown aggregation"):
+            people.group_by("dept").agg({"salary": "median"})
+
+    def test_group_by_multiple_keys(self, sc):
+        rows = [
+            {"a": 1, "b": "x", "v": 10},
+            {"a": 1, "b": "x", "v": 20},
+            {"a": 1, "b": "y", "v": 1},
+        ]
+        out = DataFrame.from_rows(sc, rows).group_by("a", "b").agg({"v": "sum"}).collect()
+        got = {(r["a"], r["b"]): r["v"] for r in out}
+        assert got == {(1, "x"): 30, (1, "y"): 1}
+
+
+class TestJoin:
+    @pytest.fixture()
+    def depts(self, sc):
+        return DataFrame.from_rows(
+            sc,
+            [
+                {"dept": "eng", "floor": 3},
+                {"dept": "ops", "floor": 1},
+                {"dept": "hr", "floor": 2},
+            ],
+        )
+
+    def test_inner_join(self, people, depts):
+        joined = people.join(depts, on="dept")
+        assert set(joined.columns) == {"dept", "name", "salary", "floor"}
+        rows = {r["name"]: r["floor"] for r in joined.collect()}
+        assert rows == {"ada": 3, "bob": 3, "cyd": 1, "dee": 1}  # eve's dept has no floor
+
+    def test_left_join_fills_none(self, people, depts):
+        joined = people.join(depts, on="dept", how="left")
+        rows = {r["name"]: r["floor"] for r in joined.collect()}
+        assert rows["eve"] is None
+        assert len(rows) == 5
+
+    def test_full_join_includes_unmatched_right(self, people, depts):
+        joined = people.join(depts, on="dept", how="full")
+        depts_seen = {r["dept"] for r in joined.collect()}
+        assert "hr" in depts_seen
+
+    def test_column_collision_rejected(self, people, sc):
+        other = DataFrame.from_rows(sc, [{"dept": "eng", "salary": 999}])
+        with pytest.raises(ValueError, match="collide"):
+            people.join(other, on="dept")
+
+    def test_unknown_join_type(self, people, depts):
+        with pytest.raises(ValueError, match="join type"):
+            people.join(depts, on="dept", how="cross")
+
+
+class TestShow:
+    def test_show_renders_table(self, people):
+        text = people.show(2)
+        lines = text.splitlines()
+        assert "name" in lines[0] and "salary" in lines[0]
+        assert len(lines) == 4  # header + rule + 2 rows
+
+    def test_column_values(self, people):
+        assert sorted(people.column_values("salary")) == [90, 95, 100, 120, 130]
+
+
+class TestDescribe:
+    def test_numeric_summary(self, people):
+        summary = people.describe("salary").collect()
+        assert len(summary) == 1
+        row = summary[0]
+        assert row["column"] == "salary"
+        assert row["count"] == 5
+        assert row["min"] == 90 and row["max"] == 130
+        assert row["mean"] == pytest.approx(107.0)
+
+    def test_all_columns_skips_non_numeric(self, people):
+        summary = people.describe().collect()
+        assert [r["column"] for r in summary] == ["salary"]
+
+    def test_explicit_non_numeric_rejected(self, people):
+        with pytest.raises(ValueError, match="no numeric values"):
+            people.describe("name")
+
+
+class TestJoinStrategy:
+    def test_broadcast_matches_shuffle(self, people, sc):
+        depts = DataFrame.from_rows(
+            sc, [{"dept": "eng", "floor": 3}, {"dept": "ops", "floor": 1}]
+        )
+        shuffle = sorted(
+            tuple(sorted(r.items())) for r in people.join(depts, on="dept").collect()
+        )
+        broadcast = sorted(
+            tuple(sorted(r.items()))
+            for r in people.join(depts, on="dept", strategy="broadcast").collect()
+        )
+        assert broadcast == shuffle
+
+    def test_broadcast_avoids_shuffle_entirely(self, people, sc):
+        depts = DataFrame.from_rows(sc, [{"dept": "eng", "floor": 3}])
+        sc.reset_metrics()
+        people.join(depts, on="dept", strategy="broadcast").collect()
+        assert sc.metrics.shuffles == 0
+
+    def test_broadcast_requires_inner(self, people, sc):
+        depts = DataFrame.from_rows(sc, [{"dept": "eng", "floor": 3}])
+        with pytest.raises(ValueError, match="inner joins only"):
+            people.join(depts, on="dept", how="left", strategy="broadcast")
+
+    def test_unknown_strategy(self, people, sc):
+        depts = DataFrame.from_rows(sc, [{"dept": "eng", "floor": 3}])
+        with pytest.raises(ValueError, match="strategy"):
+            people.join(depts, on="dept", strategy="sortmerge")

@@ -1,0 +1,113 @@
+"""Tests for zip, cartesian, group_by, fold_by_key, and text output."""
+
+import pytest
+
+from repro.spark import SparkContext
+
+
+@pytest.fixture()
+def sc():
+    return SparkContext(num_workers=3, default_partitions=3)
+
+
+class TestZip:
+    def test_positional_pairs(self, sc):
+        a = sc.parallelize([1, 2, 3, 4], 2)
+        b = sc.parallelize("wxyz", 2)
+        assert a.zip(b).collect() == [(1, "w"), (2, "x"), (3, "y"), (4, "z")]
+
+    def test_partition_count_mismatch(self, sc):
+        a = sc.parallelize([1, 2], 1)
+        b = sc.parallelize([1, 2], 2)
+        with pytest.raises(ValueError, match="equal partition counts"):
+            a.zip(b)
+
+    def test_partition_size_mismatch_detected_at_compute(self, sc):
+        a = sc.parallelize([1, 2, 3], 2)
+        b = sc.parallelize([1, 2], 2)
+        with pytest.raises(ValueError, match="sizes differ"):
+            a.zip(b).collect()
+
+
+class TestCartesian:
+    def test_cross_product(self, sc):
+        a = sc.parallelize([1, 2], 2)
+        b = sc.parallelize(["x", "y"], 2)
+        got = sorted(a.cartesian(b).collect())
+        assert got == [(1, "x"), (1, "y"), (2, "x"), (2, "y")]
+
+    def test_count_is_product(self, sc):
+        a = sc.parallelize(range(7), 3)
+        b = sc.parallelize(range(5), 2)
+        cross = a.cartesian(b)
+        assert cross.count() == 35
+        assert cross.num_partitions == 6
+
+    def test_empty_side(self, sc):
+        a = sc.parallelize([1, 2])
+        assert a.cartesian(sc.empty_rdd()).collect() == []
+
+
+class TestGroupByAndFoldByKey:
+    def test_group_by_function(self, sc):
+        got = sc.parallelize(range(10)).group_by(lambda x: x % 3).collect_as_map()
+        assert got[0] == [0, 3, 6, 9]
+        assert got[1] == [1, 4, 7]
+        assert got[2] == [2, 5, 8]
+
+    def test_fold_by_key(self, sc):
+        data = [("a", 2), ("b", 3), ("a", 4)]
+        got = sc.parallelize(data).fold_by_key(1, lambda acc, v: acc * v).collect_as_map()
+        assert got == {"a": 8, "b": 3}
+
+    def test_fold_by_key_max_with_floor(self, sc):
+        # Like Spark, fold_by_key needs acc and value to share a type;
+        # the zero acts as a per-partition floor.
+        data = [("a", 1), ("b", 2), ("a", 9), ("b", -5)]
+        got = sc.parallelize(data, 2).fold_by_key(0, max).collect_as_map()
+        assert got == {"a": 9, "b": 2}
+
+
+class TestTextOutput:
+    def test_save_and_reload_roundtrip(self, sc, tmp_path):
+        out = tmp_path / "result"
+        rdd = sc.parallelize([f"line{i}" for i in range(10)], 3)
+        rdd.save_as_text_file(out)
+        assert (out / "_SUCCESS").exists()
+        parts = sorted(out.glob("part-*"))
+        assert len(parts) == 3
+        reloaded = []
+        for p in parts:
+            reloaded.extend(sc.text_file(p).collect())
+        assert reloaded == [f"line{i}" for i in range(10)]
+
+    def test_empty_partitions_write_empty_files(self, sc, tmp_path):
+        out = tmp_path / "sparse"
+        sc.parallelize([1], 3).save_as_text_file(out)
+        assert len(list(out.glob("part-*"))) == 3
+
+
+class TestBroadcastJoin:
+    def test_matches_shuffle_join(self, sc):
+        left = sc.parallelize([(i % 5, i) for i in range(40)], 4)
+        right = sc.parallelize([(k, f"v{k}") for k in range(3)], 2)
+        shuffle = sorted(left.join(right).collect())
+        broadcast = sorted(left.broadcast_join(right).collect())
+        assert broadcast == shuffle
+
+    def test_duplicate_keys_on_small_side(self, sc):
+        left = sc.parallelize([("a", 1)])
+        right = sc.parallelize([("a", "x"), ("a", "y")])
+        got = sorted(left.broadcast_join(right).collect())
+        assert got == [("a", (1, "x")), ("a", (1, "y"))]
+
+    def test_no_shuffle_records(self, sc):
+        left = sc.parallelize([(i % 4, i) for i in range(100)], 4)
+        right = sc.parallelize([(k, k * 10) for k in range(4)])
+        sc.reset_metrics()
+        left.broadcast_join(right).collect()
+        assert sc.metrics.shuffles == 0
+        assert sc.metrics.shuffle_records == 0
+        sc.reset_metrics()
+        left.join(right).collect()
+        assert sc.metrics.shuffles > 0

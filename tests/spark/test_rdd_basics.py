@@ -1,0 +1,193 @@
+"""Tests for narrow transformations and actions of the mini-Spark RDD."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spark import SparkContext
+
+
+@pytest.fixture()
+def sc():
+    return SparkContext(num_workers=4, default_partitions=3)
+
+
+class TestIngest:
+    def test_parallelize_preserves_order_on_collect(self, sc):
+        data = list(range(25))
+        assert sc.parallelize(data).collect() == data
+
+    def test_partition_count(self, sc):
+        rdd = sc.parallelize(range(10), num_partitions=4)
+        assert rdd.num_partitions == 4
+        assert rdd.glom().collect() == [[0, 1, 2], [3, 4, 5], [6, 7], [8, 9]]
+
+    def test_more_partitions_than_elements(self, sc):
+        rdd = sc.parallelize([1], num_partitions=5)
+        assert rdd.collect() == [1]
+        assert rdd.count() == 1
+
+    def test_text_file(self, sc, tmp_path):
+        path = tmp_path / "data.txt"
+        path.write_text("alpha\nbeta\ngamma\n")
+        assert sc.text_file(path).collect() == ["alpha", "beta", "gamma"]
+
+    def test_empty_rdd(self, sc):
+        assert sc.empty_rdd().collect() == []
+        assert sc.empty_rdd().count() == 0
+
+    def test_stopped_context_rejects_work(self, sc):
+        sc.stop()
+        with pytest.raises(RuntimeError, match="stopped"):
+            sc.parallelize([1, 2])
+
+
+class TestNarrowTransformations:
+    def test_map_filter_flatmap(self, sc):
+        rdd = sc.parallelize(range(10))
+        assert rdd.map(lambda x: x * 2).collect() == [x * 2 for x in range(10)]
+        assert rdd.filter(lambda x: x % 3 == 0).collect() == [0, 3, 6, 9]
+        assert rdd.flat_map(lambda x: [x] * (x % 2)).collect() == [1, 3, 5, 7, 9]
+
+    def test_laziness_no_jobs_until_action(self, sc):
+        rdd = sc.parallelize(range(100)).map(lambda x: x + 1).filter(lambda x: x > 5)
+        assert sc.metrics.jobs == 0
+        rdd.collect()
+        assert sc.metrics.jobs == 1
+
+    def test_key_by_and_values(self, sc):
+        rdd = sc.parallelize(["aa", "b", "ccc"]).key_by(len)
+        assert rdd.collect() == [(2, "aa"), (1, "b"), (3, "ccc")]
+        assert rdd.keys().collect() == [2, 1, 3]
+        assert rdd.values().collect() == ["aa", "b", "ccc"]
+
+    def test_map_values_and_flat_map_values(self, sc):
+        pairs = sc.parallelize([("a", 1), ("b", 2)])
+        assert pairs.map_values(lambda v: v * 10).collect() == [("a", 10), ("b", 20)]
+        assert pairs.flat_map_values(lambda v: range(v)).collect() == [
+            ("a", 0),
+            ("b", 0),
+            ("b", 1),
+        ]
+
+    def test_union_keeps_duplicates(self, sc):
+        a = sc.parallelize([1, 2])
+        b = sc.parallelize([2, 3])
+        assert sorted(a.union(b).collect()) == [1, 2, 2, 3]
+
+    def test_sample_deterministic(self, sc):
+        rdd = sc.parallelize(range(1000))
+        first = rdd.sample(0.1, seed=7).collect()
+        second = rdd.sample(0.1, seed=7).collect()
+        assert first == second
+        assert 50 < len(first) < 200
+
+    def test_sample_fraction_bounds(self, sc):
+        rdd = sc.parallelize(range(10))
+        assert rdd.sample(0.0).collect() == []
+        assert rdd.sample(1.0).collect() == list(range(10))
+        with pytest.raises(ValueError):
+            rdd.sample(1.5)
+
+    def test_zip_with_index_global_order(self, sc):
+        rdd = sc.parallelize(["a", "b", "c", "d", "e"], num_partitions=3)
+        assert rdd.zip_with_index().collect() == [
+            ("a", 0), ("b", 1), ("c", 2), ("d", 3), ("e", 4),
+        ]
+
+    def test_coalesce_merges_adjacent(self, sc):
+        rdd = sc.parallelize(range(8), num_partitions=4).coalesce(2)
+        assert rdd.num_partitions == 2
+        assert rdd.collect() == list(range(8))
+
+    def test_repartition_rebalances(self, sc):
+        rdd = sc.parallelize(range(12), num_partitions=1).repartition(3)
+        assert rdd.num_partitions == 3
+        sizes = [len(p) for p in rdd.glom().collect()]
+        assert sorted(rdd.collect()) == list(range(12))
+        assert max(sizes) - min(sizes) <= 1
+
+
+class TestActions:
+    def test_count_first_take(self, sc):
+        rdd = sc.parallelize(range(20))
+        assert rdd.count() == 20
+        assert rdd.first() == 0
+        assert rdd.take(5) == [0, 1, 2, 3, 4]
+        assert rdd.take(0) == []
+        assert rdd.take(100) == list(range(20))
+
+    def test_first_on_empty_raises(self, sc):
+        with pytest.raises(IndexError):
+            sc.empty_rdd().first()
+
+    def test_reduce_fold_aggregate(self, sc):
+        rdd = sc.parallelize(range(1, 11))
+        assert rdd.reduce(lambda a, b: a + b) == 55
+        assert rdd.fold(0, lambda a, b: a + b) == 55
+        total, count = rdd.aggregate(
+            (0, 0), lambda acc, x: (acc[0] + x, acc[1] + 1), lambda a, b: (a[0] + b[0], a[1] + b[1])
+        )
+        assert (total, count) == (55, 10)
+
+    def test_reduce_empty_raises(self, sc):
+        with pytest.raises(ValueError):
+            sc.empty_rdd().reduce(lambda a, b: a + b)
+
+    def test_reduce_with_empty_partitions(self, sc):
+        rdd = sc.parallelize([5], num_partitions=4)
+        assert rdd.reduce(lambda a, b: a + b) == 5
+
+    def test_numeric_actions(self, sc):
+        rdd = sc.parallelize([4.0, 1.0, 3.0, 2.0])
+        assert rdd.sum() == 10.0
+        assert rdd.mean() == 2.5
+        assert rdd.min() == 1.0
+        assert rdd.max() == 4.0
+
+    def test_top_and_take_ordered(self, sc):
+        rdd = sc.parallelize([5, 1, 9, 3, 7])
+        assert rdd.top(2) == [9, 7]
+        assert rdd.take_ordered(2) == [1, 3]
+        assert rdd.top(2, key=lambda x: -x) == [1, 3]
+
+    def test_count_by_value_and_key(self, sc):
+        assert sc.parallelize(["a", "b", "a"]).count_by_value() == {"a": 2, "b": 1}
+        assert sc.parallelize([("x", 1), ("x", 2), ("y", 3)]).count_by_key() == {"x": 2, "y": 1}
+
+    def test_foreach_side_effects(self, sc):
+        seen = []
+        sc.parallelize(range(5), num_partitions=1).foreach(seen.append)
+        assert sorted(seen) == [0, 1, 2, 3, 4]
+
+    def test_collect_as_map(self, sc):
+        assert sc.parallelize([("a", 1), ("b", 2)]).collect_as_map() == {"a": 1, "b": 2}
+
+    @given(st.lists(st.integers(-100, 100), max_size=50), st.integers(1, 6))
+    @settings(max_examples=25, deadline=None)
+    def test_property_collect_roundtrip(self, data, nparts):
+        sc = SparkContext(num_workers=2)
+        assert sc.parallelize(data, num_partitions=nparts).collect() == data
+
+
+class TestCaching:
+    def test_persist_computes_once(self, sc):
+        calls = []
+        rdd = sc.parallelize(range(10), num_partitions=2).map(
+            lambda x: (calls.append(x), x)[1]
+        ).persist()
+        rdd.collect()
+        first_calls = len(calls)
+        rdd.collect()
+        assert len(calls) == first_calls  # no recompute
+        assert sc.metrics.partitions_cached == 2
+
+    def test_unpersist_recomputes(self, sc):
+        calls = []
+        rdd = sc.parallelize(range(4), num_partitions=1).map(
+            lambda x: (calls.append(x), x)[1]
+        ).persist()
+        rdd.collect()
+        rdd.unpersist()
+        rdd.collect()
+        assert len(calls) == 8

@@ -1,0 +1,232 @@
+"""Tests for wide transformations: shuffles, joins, sorting, and the DAG view."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spark import HashPartitioner, RangePartitioner, SparkContext
+from repro.spark.dag import execution_stages, lineage, shuffle_depth
+
+
+@pytest.fixture()
+def sc():
+    return SparkContext(num_workers=4, default_partitions=3)
+
+
+class TestReduceByKey:
+    def test_wordcount(self, sc):
+        words = "the quick brown fox jumps over the lazy dog the end".split()
+        counts = (
+            sc.parallelize(words)
+            .map(lambda w: (w, 1))
+            .reduce_by_key(lambda a, b: a + b)
+            .collect_as_map()
+        )
+        assert counts["the"] == 3
+        assert counts["dog"] == 1
+        assert sum(counts.values()) == len(words)
+
+    def test_map_side_combine_shrinks_shuffle(self, sc):
+        data = [("k", 1)] * 1000
+        rdd = sc.parallelize(data, num_partitions=4)
+        rdd.reduce_by_key(lambda a, b: a + b).collect()
+        combined_records = sc.metrics.shuffle_records
+        sc.reset_metrics()
+        rdd.group_by_key().collect()  # no map-side combine
+        grouped_records = sc.metrics.shuffle_records
+        assert combined_records == 4  # one pre-combined pair per map task
+        assert grouped_records == 1000
+
+    def test_results_stable_across_partition_counts(self, sc):
+        data = [(i % 7, i) for i in range(100)]
+        expect = {}
+        for k, v in data:
+            expect[k] = expect.get(k, 0) + v
+        for nparts in [1, 2, 5]:
+            got = (
+                sc.parallelize(data, num_partitions=nparts)
+                .reduce_by_key(lambda a, b: a + b)
+                .collect_as_map()
+            )
+            assert got == expect
+
+    def test_group_by_key_preserves_value_order(self, sc):
+        data = [("a", i) for i in range(10)]
+        groups = sc.parallelize(data, num_partitions=3).group_by_key().collect_as_map()
+        assert groups["a"] == list(range(10))
+
+    def test_aggregate_by_key(self, sc):
+        data = [("a", 1), ("b", 5), ("a", 3), ("b", 2)]
+        result = (
+            sc.parallelize(data)
+            .aggregate_by_key((0, 0), lambda acc, v: (acc[0] + v, acc[1] + 1),
+                              lambda x, y: (x[0] + y[0], x[1] + y[1]))
+            .collect_as_map()
+        )
+        assert result == {"a": (4, 2), "b": (7, 2)}
+
+    def test_distinct(self, sc):
+        assert sorted(sc.parallelize([1, 2, 2, 3, 3, 3]).distinct().collect()) == [1, 2, 3]
+
+
+class TestJoins:
+    def test_inner_join(self, sc):
+        left = sc.parallelize([("a", 1), ("b", 2), ("a", 3)])
+        right = sc.parallelize([("a", "x"), ("c", "y")])
+        got = sorted(left.join(right).collect())
+        assert got == [("a", (1, "x")), ("a", (3, "x"))]
+
+    def test_left_outer_join(self, sc):
+        left = sc.parallelize([("a", 1), ("b", 2)])
+        right = sc.parallelize([("a", "x")])
+        got = dict(left.left_outer_join(right).collect())
+        assert got == {"a": (1, "x"), "b": (2, None)}
+
+    def test_right_outer_join(self, sc):
+        left = sc.parallelize([("a", 1)])
+        right = sc.parallelize([("a", "x"), ("c", "y")])
+        got = dict(left.right_outer_join(right).collect())
+        assert got == {"a": (1, "x"), "c": (None, "y")}
+
+    def test_full_outer_join(self, sc):
+        left = sc.parallelize([("a", 1), ("b", 2)])
+        right = sc.parallelize([("b", "x"), ("c", "y")])
+        got = dict(left.full_outer_join(right).collect())
+        assert got == {"a": (1, None), "b": (2, "x"), "c": (None, "y")}
+
+    def test_cogroup_collects_both_sides(self, sc):
+        left = sc.parallelize([("k", 1), ("k", 2)])
+        right = sc.parallelize([("k", 9)])
+        (key, (lvals, rvals)), = left.cogroup(right).collect()
+        assert key == "k" and lvals == [1, 2] and rvals == [9]
+
+    def test_subtract_by_key_and_subtract(self, sc):
+        left = sc.parallelize([("a", 1), ("b", 2)])
+        right = sc.parallelize([("b", 99)])
+        assert left.subtract_by_key(right).collect() == [("a", 1)]
+        assert sorted(sc.parallelize([1, 2, 3]).subtract(sc.parallelize([2])).collect()) == [1, 3]
+
+    def test_intersection(self, sc):
+        got = sc.parallelize([1, 2, 2, 3]).intersection(sc.parallelize([2, 3, 4])).collect()
+        assert sorted(got) == [2, 3]
+
+    @given(
+        st.lists(st.tuples(st.integers(0, 5), st.integers()), max_size=30),
+        st.lists(st.tuples(st.integers(0, 5), st.integers()), max_size=30),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_property_join_matches_nested_loop(self, left_data, right_data):
+        sc = SparkContext(num_workers=2)
+        expect = sorted(
+            (k, (lv, rv))
+            for k, lv in left_data
+            for k2, rv in right_data
+            if k == k2
+        )
+        got = sorted(
+            sc.parallelize(left_data, 2).join(sc.parallelize(right_data, 2)).collect()
+        )
+        assert got == expect
+
+
+class TestSorting:
+    def test_sort_by_key_global_order(self, sc):
+        data = [(k, None) for k in [5, 3, 9, 1, 7, 2, 8]]
+        got = sc.parallelize(data).sort_by_key().keys().collect()
+        assert got == sorted([5, 3, 9, 1, 7, 2, 8])
+
+    def test_sort_by_descending(self, sc):
+        got = sc.parallelize([3, 1, 4, 1, 5, 9, 2, 6]).sort_by(lambda x: x, ascending=False).collect()
+        assert got == sorted([3, 1, 4, 1, 5, 9, 2, 6], reverse=True)
+
+    @given(st.lists(st.integers(-50, 50), max_size=60), st.integers(1, 5))
+    @settings(max_examples=20, deadline=None)
+    def test_property_sort_by_matches_builtin(self, data, nparts):
+        sc = SparkContext(num_workers=2)
+        got = sc.parallelize(data, num_partitions=nparts).sort_by(lambda x: x).collect()
+        assert got == sorted(data)
+
+
+class TestPartitioners:
+    def test_hash_partitioner_stability_and_range(self):
+        p = HashPartitioner(5)
+        assert all(0 <= p.partition(k) < 5 for k in range(100))
+        assert p == HashPartitioner(5)
+        assert p != HashPartitioner(6)
+
+    def test_range_partitioner_orders_buckets(self):
+        p = RangePartitioner.from_keys(list(range(100)), 4)
+        buckets = [p.partition(k) for k in range(100)]
+        assert buckets == sorted(buckets)
+        assert p.num_partitions >= 2
+
+    def test_range_partitioner_single_partition(self):
+        p = RangePartitioner.from_keys([1, 2, 3], 1)
+        assert p.partition(2) == 0
+
+    def test_partition_by_places_same_keys_together(self, sc):
+        data = [(i % 4, i) for i in range(40)]
+        routed = sc.parallelize(data, num_partitions=5).partition_by(HashPartitioner(3))
+        for part in routed.glom().collect():
+            keys_here = {k for k, _ in part}
+            for k in keys_here:
+                # every pair with this key is in this partition
+                assert sum(1 for kk, _ in part if kk == k) == 10
+
+
+class TestDag:
+    def test_lineage_walks_all_ancestors(self, sc):
+        a = sc.parallelize(range(4))
+        b = a.map(lambda x: x + 1)
+        c = b.filter(lambda x: x > 1)
+        ids = [r.id for r in lineage(c)]
+        assert ids == [a.id, b.id, c.id]
+
+    def test_narrow_plan_is_one_stage(self, sc):
+        rdd = sc.parallelize(range(10)).map(lambda x: x).filter(bool)
+        assert shuffle_depth(rdd) == 0
+        assert len(execution_stages(rdd)) == 1
+
+    def test_each_shuffle_adds_a_stage(self, sc):
+        pairs = sc.parallelize([("a", 1)]).reduce_by_key(lambda a, b: a + b)
+        assert len(execution_stages(pairs)) == 2
+        twice = pairs.map(lambda kv: kv).group_by_key()
+        assert len(execution_stages(twice)) == 3
+
+    def test_join_is_single_extra_stage(self, sc):
+        left = sc.parallelize([("a", 1)])
+        right = sc.parallelize([("a", 2)])
+        joined = left.join(right)
+        assert shuffle_depth(joined) == 1
+        assert len(execution_stages(joined)) == 2
+
+
+class TestSharedVariables:
+    def test_broadcast_read_in_tasks(self, sc):
+        lookup = sc.broadcast({1: "one", 2: "two"})
+        got = sc.parallelize([1, 2, 1]).map(lambda x: lookup.value[x]).collect()
+        assert got == ["one", "two", "one"]
+
+    def test_broadcast_unpersist_blocks_reads(self, sc):
+        b = sc.broadcast([1, 2, 3])
+        b.unpersist()
+        with pytest.raises(RuntimeError, match="unpersisted"):
+            _ = b.value
+
+    def test_accumulator_counts_across_tasks(self, sc):
+        dropped = sc.accumulator(0)
+
+        def keep(x):
+            if x % 2:
+                return True
+            dropped.add(1)
+            return False
+
+        kept = sc.parallelize(range(100), num_partitions=4).filter(keep).count()
+        assert kept == 50
+        assert dropped.value == 50
+
+    def test_accumulator_custom_op(self, sc):
+        acc = sc.accumulator(0, op=max)
+        sc.parallelize([3, 9, 4], num_partitions=3).foreach(acc.add)
+        assert acc.value == 9

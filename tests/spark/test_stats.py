@@ -1,0 +1,104 @@
+"""Tests for RDD summary statistics, histograms, and sampling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spark import SparkContext
+from repro.spark.stats import StatCounter, histogram, stats, take_sample
+
+
+@pytest.fixture()
+def sc():
+    return SparkContext(num_workers=3, default_partitions=4)
+
+
+class TestStatCounter:
+    def test_push_matches_numpy(self):
+        data = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0]
+        c = StatCounter()
+        for x in data:
+            c.push(x)
+        assert c.count == 6
+        assert c.mean == pytest.approx(np.mean(data))
+        assert c.variance == pytest.approx(np.var(data))
+        assert (c.min_value, c.max_value) == (1.0, 9.0)
+
+    def test_merge_exact(self):
+        data = list(range(50))
+        whole = StatCounter()
+        for x in data:
+            whole.push(x)
+        left, right = StatCounter(), StatCounter()
+        for x in data[:20]:
+            left.push(x)
+        for x in data[20:]:
+            right.push(x)
+        merged = left.merge(right)
+        assert merged.count == whole.count
+        assert merged.mean == pytest.approx(whole.mean)
+        assert merged.m2 == pytest.approx(whole.m2)
+
+    def test_merge_with_empty(self):
+        c = StatCounter().push(5.0)
+        assert c.merge(StatCounter()).count == 1
+        assert StatCounter().merge(c).mean == 5.0
+
+    def test_variance_of_single_value(self):
+        assert StatCounter().push(7.0).variance == 0.0
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=100), st.integers(1, 6))
+    @settings(max_examples=30, deadline=None)
+    def test_property_stats_match_numpy(self, data, nparts):
+        sc = SparkContext(num_workers=2)
+        summary = stats(sc.parallelize(data, num_partitions=nparts))
+        assert summary.count == len(data)
+        assert summary.mean == pytest.approx(np.mean(data), rel=1e-9, abs=1e-9)
+        assert summary.stdev == pytest.approx(np.std(data), rel=1e-9, abs=1e-6)
+
+
+class TestHistogram:
+    def test_matches_numpy_histogram(self, sc):
+        rng = np.random.default_rng(0)
+        data = rng.normal(size=500).tolist()
+        edges, counts = histogram(sc.parallelize(data), bins=10)
+        np_counts, np_edges = np.histogram(data, bins=10)
+        np.testing.assert_allclose(edges, np_edges)
+        np.testing.assert_array_equal(counts, np_counts)
+
+    def test_explicit_bounds_exclude_outliers(self, sc):
+        data = [-100.0, 0.1, 0.5, 0.9, 100.0]
+        _, counts = histogram(sc.parallelize(data), bins=2, lo=0.0, hi=1.0)
+        assert counts.sum() == 3
+
+    def test_constant_data(self, sc):
+        edges, counts = histogram(sc.parallelize([5.0] * 10), bins=4)
+        assert counts.sum() == 10
+
+    def test_empty_rejected(self, sc):
+        with pytest.raises(ValueError, match="empty"):
+            histogram(sc.empty_rdd(), bins=3)
+
+    def test_inverted_bounds_rejected(self, sc):
+        with pytest.raises(ValueError):
+            histogram(sc.parallelize([1.0]), bins=2, lo=5.0, hi=1.0)
+
+
+class TestTakeSample:
+    def test_without_replacement_and_deterministic(self, sc):
+        rdd = sc.parallelize(range(100))
+        a = take_sample(rdd, 10, seed=1)
+        b = take_sample(rdd, 10, seed=1)
+        assert a == b
+        assert len(set(a)) == 10
+
+    def test_different_seeds_differ(self, sc):
+        rdd = sc.parallelize(range(100))
+        assert take_sample(rdd, 10, seed=1) != take_sample(rdd, 10, seed=2)
+
+    def test_n_larger_than_data(self, sc):
+        assert sorted(take_sample(sc.parallelize([1, 2, 3]), 10)) == [1, 2, 3]
+
+    def test_empty_rdd(self, sc):
+        assert take_sample(sc.empty_rdd(), 5) == []

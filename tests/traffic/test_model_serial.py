@@ -1,0 +1,210 @@
+"""Tests for the traffic model, serial implementations, and analysis."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.traffic import (
+    TrafficParams,
+    TrafficState,
+    count_stopped,
+    detect_jams,
+    simulate_serial,
+    simulate_serial_grid,
+    space_time_diagram,
+    step_cars,
+)
+from repro.traffic.analysis import average_velocity, flow_rate
+
+
+class TestParams:
+    def test_defaults_match_figure3(self):
+        p = TrafficParams()
+        assert (p.road_length, p.num_cars, p.p_slow, p.v_max) == (1000, 200, 0.13, 5)
+        assert p.density == pytest.approx(0.2)
+
+    def test_too_many_cars_rejected(self):
+        with pytest.raises(ValueError):
+            TrafficParams(road_length=10, num_cars=11)
+
+    def test_bad_probability_rejected(self):
+        with pytest.raises(ValueError):
+            TrafficParams(p_slow=1.5)
+
+
+class TestState:
+    def test_even_placement_no_collisions(self):
+        s = TrafficState.initial(TrafficParams(road_length=100, num_cars=30))
+        s.validate_invariants()
+        assert np.all(s.velocities == 0)
+
+    def test_random_placement_distinct_cells(self):
+        s = TrafficState.initial(
+            TrafficParams(road_length=50, num_cars=25), placement="random"
+        )
+        s.validate_invariants()
+
+    def test_random_placement_deterministic(self):
+        p = TrafficParams(road_length=50, num_cars=10, seed=3)
+        a = TrafficState.initial(p, placement="random")
+        b = TrafficState.initial(p, placement="random")
+        np.testing.assert_array_equal(a.positions, b.positions)
+
+    def test_unknown_placement(self):
+        with pytest.raises(ValueError):
+            TrafficState.initial(TrafficParams(), placement="clustered")
+
+    def test_gaps_sum_to_free_space(self):
+        s = TrafficState.initial(TrafficParams(road_length=100, num_cars=30))
+        assert s.gaps().sum() == 100 - 30
+
+    def test_single_car_gap_is_whole_road(self):
+        s = TrafficState.initial(TrafficParams(road_length=20, num_cars=1))
+        assert s.gaps()[0] == 19
+
+    def test_occupancy_roundtrip(self):
+        s = TrafficState.initial(TrafficParams(road_length=10, num_cars=3))
+        road = s.occupancy()
+        assert np.count_nonzero(road >= 0) == 3
+
+
+class TestStepRules:
+    def make(self, positions, velocities, length=20, v_max=5, p=0.5):
+        params = TrafficParams(
+            road_length=length, num_cars=len(positions), p_slow=p, v_max=v_max
+        )
+        return TrafficState(
+            params,
+            np.array(positions, dtype=np.int64),
+            np.array(velocities, dtype=np.int64),
+        )
+
+    def test_acceleration_without_slowdown(self):
+        s = self.make([0], [0], p=0.5)
+        out = step_cars(s, np.array([0.9]))  # draw >= p: no slowdown
+        assert out.velocities[0] == 1 and out.positions[0] == 1
+
+    def test_braking_to_gap(self):
+        s = self.make([0, 2], [5, 0], p=0.0)
+        out = step_cars(s, np.array([1.0, 1.0]) * 0.99)
+        # Car 0 has gap 1 -> v=1; lands on cell 1, right behind car 1's old spot.
+        assert out.velocities[0] == 1
+        assert out.positions[0] == 1
+
+    def test_random_slowdown_applies_when_draw_below_p(self):
+        s = self.make([0], [3], p=0.5)
+        slowed = step_cars(s, np.array([0.1]))
+        free = step_cars(s, np.array([0.9]))
+        assert slowed.velocities[0] == 3  # min(4, gap) - 1
+        assert free.velocities[0] == 4
+
+    def test_velocity_never_negative(self):
+        s = self.make([0, 1], [0, 0], p=1.0)  # bumper to bumper, always slow
+        out = step_cars(s, np.array([0.0, 0.0]))
+        assert np.all(out.velocities >= 0)
+
+    def test_no_collisions_ever(self):
+        params = TrafficParams(road_length=30, num_cars=20, p_slow=0.5, seed=5)
+        state, traj = simulate_serial(params, 100, record=True)
+        for s in traj:
+            s.validate_invariants()
+
+    def test_wrong_draw_count_rejected(self):
+        s = self.make([0, 5], [0, 0])
+        with pytest.raises(ValueError):
+            step_cars(s, np.array([0.5]))
+
+    def test_pure_function_does_not_mutate(self):
+        s = self.make([0, 5], [0, 0])
+        before = s.positions.copy()
+        step_cars(s, np.array([0.5, 0.5]))
+        np.testing.assert_array_equal(s.positions, before)
+
+    @given(st.integers(0, 1000))
+    @settings(max_examples=20, deadline=None)
+    def test_property_car_count_conserved(self, seed):
+        params = TrafficParams(road_length=60, num_cars=25, p_slow=0.3, seed=seed)
+        state, _ = simulate_serial(params, 30)
+        assert len(np.unique(state.positions)) == 25
+
+
+class TestDeterminismAndEquivalence:
+    def test_serial_reproducible(self):
+        params = TrafficParams(road_length=100, num_cars=40, seed=9)
+        a, _ = simulate_serial(params, 50)
+        b, _ = simulate_serial(params, 50)
+        np.testing.assert_array_equal(a.positions, b.positions)
+        np.testing.assert_array_equal(a.velocities, b.velocities)
+
+    def test_seed_changes_trajectory(self):
+        base = dict(road_length=100, num_cars=40, p_slow=0.3)
+        a, _ = simulate_serial(TrafficParams(seed=1, **base), 50)
+        b, _ = simulate_serial(TrafficParams(seed=2, **base), 50)
+        assert not np.array_equal(a.positions, b.positions)
+
+    @pytest.mark.parametrize("steps", [0, 1, 25])
+    def test_grid_matches_agents(self, steps):
+        params = TrafficParams(road_length=80, num_cars=30, p_slow=0.25, seed=4)
+        agent_state, _ = simulate_serial(params, steps)
+        grid, _ = simulate_serial_grid(params, steps)
+        np.testing.assert_array_equal(agent_state.occupancy(), grid)
+
+    def test_p_zero_reaches_free_flow(self):
+        # Without randomness every car reaches v_max (density < 1/(v_max+1)).
+        params = TrafficParams(road_length=120, num_cars=10, p_slow=0.0, v_max=5)
+        state, _ = simulate_serial(params, 100)
+        assert np.all(state.velocities == 5)
+        assert count_stopped(state) == 0
+
+
+class TestAnalysis:
+    def test_space_time_shape(self):
+        params = TrafficParams(road_length=50, num_cars=10, seed=2)
+        _, traj = simulate_serial(params, 20, record=True)
+        st_matrix = space_time_diagram(traj)
+        assert st_matrix.shape == (21, 50)
+        assert np.all((st_matrix >= -1) & (st_matrix <= 5))
+
+    def test_space_time_requires_recording(self):
+        with pytest.raises(ValueError):
+            space_time_diagram([])
+
+    def test_detect_jams_finds_bumper_queue(self):
+        params = TrafficParams(road_length=20, num_cars=4, v_max=5)
+        state = TrafficState(
+            params,
+            positions=np.array([5, 6, 7, 15], dtype=np.int64),
+            velocities=np.array([0, 0, 0, 3], dtype=np.int64),
+        )
+        jams = detect_jams(state)
+        assert jams == [(0, 3)]
+
+    def test_detect_jams_none_in_free_flow(self):
+        params = TrafficParams(road_length=60, num_cars=5, v_max=5)
+        state = TrafficState(
+            params,
+            positions=np.arange(0, 50, 10, dtype=np.int64),
+            velocities=np.full(5, 5, dtype=np.int64),
+        )
+        assert detect_jams(state) == []
+
+    def test_detect_jams_wrapping_queue(self):
+        params = TrafficParams(road_length=10, num_cars=10)
+        state = TrafficState(
+            params,
+            positions=np.arange(10, dtype=np.int64),
+            velocities=np.zeros(10, dtype=np.int64),
+        )
+        assert detect_jams(state) == [(0, 10)]
+
+    def test_empty_road(self):
+        params = TrafficParams(road_length=10, num_cars=0)
+        state = TrafficState.initial(params)
+        assert detect_jams(state) == []
+        assert average_velocity(state) == 0.0
+
+    def test_flow_rate_zero_when_all_stopped(self):
+        params = TrafficParams(road_length=10, num_cars=10)  # full road
+        _, traj = simulate_serial(params, 5, record=True)
+        assert flow_rate(traj) == 0.0

@@ -1,0 +1,82 @@
+"""Tests for the open-boundary variation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.traffic.open_road import OpenRoadParams, simulate_open_road
+
+
+class TestOpenRoad:
+    def test_cars_enter_and_flow_through(self):
+        params = OpenRoadParams(road_length=100, p_in=0.8, p_out=1.0, p_slow=0.1, seed=3)
+        final, _ = simulate_open_road(params, 400)
+        assert final.entered_total > 50
+        assert final.exited_total > 20
+        assert final.num_cars == final.entered_total - final.exited_total
+
+    def test_invariants_every_step(self):
+        params = OpenRoadParams(road_length=60, p_in=0.9, p_out=0.5, p_slow=0.3, seed=7)
+        _, trajectory = simulate_open_road(params, 200, record=True)
+        for state in trajectory:
+            state.validate_invariants()
+
+    def test_deterministic(self):
+        params = OpenRoadParams(road_length=80, p_in=0.6, p_out=0.7, seed=11)
+        a, _ = simulate_open_road(params, 150)
+        b, _ = simulate_open_road(params, 150)
+        np.testing.assert_array_equal(a.positions, b.positions)
+        assert a.entered_total == b.entered_total
+        assert a.exited_total == b.exited_total
+
+    def test_closed_exit_queues_the_road(self):
+        # p_out = 0: nobody ever leaves; the segment fills up from the
+        # right — the bottleneck phase.
+        params = OpenRoadParams(road_length=40, p_in=1.0, p_out=0.0, p_slow=0.0, seed=1)
+        final, _ = simulate_open_road(params, 500)
+        assert final.exited_total == 0
+        assert final.num_cars == 40  # completely jammed
+        assert np.all(final.velocities == 0)
+
+    def test_blocked_entry_when_cell_zero_occupied(self):
+        # p_in = 1 but road full: entries stop once cell 0 is taken.
+        params = OpenRoadParams(road_length=10, p_in=1.0, p_out=0.0, p_slow=0.0, seed=2)
+        final, _ = simulate_open_road(params, 100)
+        assert final.entered_total == 10
+
+    def test_low_exit_rate_reduces_throughput(self):
+        base = dict(road_length=100, p_in=0.9, p_slow=0.1, seed=5)
+        free, _ = simulate_open_road(OpenRoadParams(p_out=1.0, **base), 400)
+        choked, _ = simulate_open_road(OpenRoadParams(p_out=0.1, **base), 400)
+        assert choked.exited_total < free.exited_total
+        # The choke point also backs cars up onto the segment.
+        assert choked.num_cars > free.num_cars
+
+    def test_zero_inflow_stays_empty(self):
+        params = OpenRoadParams(p_in=0.0, seed=1)
+        final, _ = simulate_open_road(params, 100)
+        assert final.num_cars == 0
+        assert final.entered_total == 0
+
+    def test_zero_steps(self):
+        final, traj = simulate_open_road(OpenRoadParams(), 0, record=True)
+        assert final.num_cars == 0
+        assert len(traj) == 1
+
+    def test_param_validation(self):
+        with pytest.raises(ValueError):
+            OpenRoadParams(p_in=1.5)
+        with pytest.raises(ValueError):
+            OpenRoadParams(p_out=-0.1)
+        with pytest.raises(ValueError):
+            OpenRoadParams(p_slow=2.0)
+
+    @given(st.integers(0, 10_000), st.integers(10, 60))
+    @settings(max_examples=15, deadline=None)
+    def test_property_conservation(self, seed, length):
+        params = OpenRoadParams(road_length=length, p_in=0.7, p_out=0.6, p_slow=0.2, seed=seed)
+        final, _ = simulate_open_road(params, 80)
+        final.validate_invariants()
+        assert final.num_cars == final.entered_total - final.exited_total
+        assert 0 <= final.num_cars <= length

@@ -1,0 +1,81 @@
+"""The assignment's acceptance test: parallel output identical to serial
+for any thread count."""
+
+import numpy as np
+import pytest
+
+from repro.traffic import TrafficParams, simulate_parallel, simulate_serial
+
+
+class TestBitwiseReproducibility:
+    @pytest.mark.parametrize("threads", [1, 2, 3, 4, 7])
+    def test_identical_to_serial_any_thread_count(self, threads):
+        params = TrafficParams(road_length=200, num_cars=60, p_slow=0.3, seed=21)
+        serial, _ = simulate_serial(params, 80)
+        parallel, _ = simulate_parallel(params, 80, num_threads=threads)
+        np.testing.assert_array_equal(parallel.positions, serial.positions)
+        np.testing.assert_array_equal(parallel.velocities, serial.velocities)
+
+    def test_identical_trajectories_not_just_endpoints(self):
+        params = TrafficParams(road_length=100, num_cars=30, p_slow=0.4, seed=5)
+        _, serial_traj = simulate_serial(params, 30, record=True)
+        _, parallel_traj = simulate_parallel(params, 30, num_threads=3, record=True)
+        assert len(serial_traj) == len(parallel_traj)
+        for s, p in zip(serial_traj, parallel_traj):
+            np.testing.assert_array_equal(s.positions, p.positions)
+            np.testing.assert_array_equal(s.velocities, p.velocities)
+
+    def test_more_threads_than_cars(self):
+        params = TrafficParams(road_length=40, num_cars=3, p_slow=0.2, seed=1)
+        serial, _ = simulate_serial(params, 20)
+        parallel, _ = simulate_parallel(params, 20, num_threads=8)
+        np.testing.assert_array_equal(parallel.positions, serial.positions)
+
+    def test_zero_steps(self):
+        params = TrafficParams(road_length=40, num_cars=5)
+        final, traj = simulate_parallel(params, 0, num_threads=2, record=True)
+        assert final.step_index == 0
+        assert len(traj) == 1
+
+    def test_empty_road_parallel(self):
+        params = TrafficParams(road_length=40, num_cars=0)
+        final, _ = simulate_parallel(params, 10, num_threads=2)
+        assert final.positions.size == 0
+
+    def test_random_placement_also_reproducible(self):
+        params = TrafficParams(road_length=150, num_cars=50, p_slow=0.25, seed=8)
+        serial, _ = simulate_serial(params, 40, placement="random")
+        parallel, _ = simulate_parallel(params, 40, num_threads=4, placement="random")
+        np.testing.assert_array_equal(parallel.positions, serial.positions)
+
+    def test_invariants_hold_in_parallel(self):
+        params = TrafficParams(road_length=60, num_cars=40, p_slow=0.5, seed=77)
+        _, traj = simulate_parallel(params, 50, num_threads=4, record=True)
+        for state in traj:
+            state.validate_invariants()
+
+
+class TestWhyNaiveFails:
+    def test_per_thread_seeds_would_differ_by_thread_count(self):
+        """Demonstrate the anti-pattern the assignment warns about:
+        giving each thread its own seeded PRNG ties results to the
+        thread count."""
+        from repro.rng.lcg import MINSTD, LinearCongruential
+
+        params = TrafficParams(road_length=100, num_cars=30, p_slow=0.3, seed=5)
+
+        def naive_draws(num_threads: int, step: int) -> np.ndarray:
+            # Each thread seeds its own generator (seed + thread id) and
+            # draws for its own cars — the WRONG approach.
+            from repro.util.partition import block_bounds
+
+            draws = np.empty(params.num_cars)
+            for t in range(num_threads):
+                lo, hi = block_bounds(params.num_cars, num_threads, t)
+                gen = LinearCongruential(MINSTD, seed=params.seed + t)
+                gen.jump(step * (hi - lo))
+                for i in range(lo, hi):
+                    draws[i] = gen.next_uniform()
+            return draws
+
+        assert not np.array_equal(naive_draws(2, step=0), naive_draws(4, step=0))

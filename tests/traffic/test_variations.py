@@ -1,0 +1,138 @@
+"""Tests for the §5 variations: MPI traffic, self-describing IO, studies."""
+
+import numpy as np
+import pytest
+
+from repro.traffic import (
+    TrafficParams,
+    density_sweep_cases,
+    read_trajectory,
+    run_parameter_study,
+    simulate_mpi,
+    simulate_serial,
+    write_trajectory,
+)
+from repro.traffic.io import TrajectoryFile
+
+
+class TestMpiTraffic:
+    @pytest.mark.parametrize("ranks", [1, 2, 3, 5])
+    def test_identical_to_serial_any_rank_count(self, ranks):
+        params = TrafficParams(road_length=150, num_cars=40, p_slow=0.3, seed=17)
+        serial, _ = simulate_serial(params, 60)
+        distributed = simulate_mpi(params, 60, num_ranks=ranks)
+        np.testing.assert_array_equal(distributed.positions, serial.positions)
+        np.testing.assert_array_equal(distributed.velocities, serial.velocities)
+
+    def test_more_ranks_than_cars(self):
+        params = TrafficParams(road_length=50, num_cars=3, p_slow=0.2, seed=2)
+        serial, _ = simulate_serial(params, 30)
+        distributed = simulate_mpi(params, 30, num_ranks=6)
+        np.testing.assert_array_equal(distributed.positions, serial.positions)
+
+    def test_single_car(self):
+        params = TrafficParams(road_length=30, num_cars=1, p_slow=0.0, seed=1)
+        serial, _ = simulate_serial(params, 20)
+        distributed = simulate_mpi(params, 20, num_ranks=2)
+        np.testing.assert_array_equal(distributed.positions, serial.positions)
+        assert distributed.velocities[0] == params.v_max
+
+    def test_invariants_after_distribution(self):
+        params = TrafficParams(road_length=60, num_cars=30, p_slow=0.5, seed=9)
+        final = simulate_mpi(params, 40, num_ranks=4)
+        final.validate_invariants()
+
+    def test_random_placement(self):
+        params = TrafficParams(road_length=100, num_cars=20, p_slow=0.25, seed=4)
+        serial, _ = simulate_serial(params, 25, placement="random")
+        distributed = simulate_mpi(params, 25, num_ranks=3, placement="random")
+        np.testing.assert_array_equal(distributed.positions, serial.positions)
+
+
+class TestTrajectoryIO:
+    def test_roundtrip_exact(self, tmp_path):
+        params = TrafficParams(road_length=80, num_cars=15, p_slow=0.2, seed=3)
+        _, trajectory = simulate_serial(params, 20, record=True)
+        path = tmp_path / "run.trj"
+        write_trajectory(path, trajectory)
+        back_params, back = read_trajectory(path)
+        assert back_params == params
+        assert len(back) == len(trajectory)
+        for a, b in zip(trajectory, back):
+            np.testing.assert_array_equal(a.positions, b.positions)
+            np.testing.assert_array_equal(a.velocities, b.velocities)
+
+    def test_file_is_self_describing(self, tmp_path):
+        params = TrafficParams(road_length=40, num_cars=5)
+        _, trajectory = simulate_serial(params, 5, record=True)
+        path = tmp_path / "run.trj"
+        write_trajectory(path, trajectory)
+        image = TrajectoryFile.load(path)
+        # The schema travels with the data.
+        assert image.dims == {"step": 6, "car": 5}
+        assert set(image.variables) == {"positions", "velocities"}
+        assert image.attributes["model"] == "nagel-schreckenberg"
+        assert image.attributes["p_slow"] == params.p_slow
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "junk.trj"
+        path.write_bytes(b"NOPE" + b"\x00" * 16)
+        with pytest.raises(ValueError, match="bad magic"):
+            TrajectoryFile.load(path)
+
+    def test_truncated_payload_rejected(self, tmp_path):
+        params = TrafficParams(road_length=40, num_cars=5)
+        _, trajectory = simulate_serial(params, 3, record=True)
+        path = tmp_path / "run.trj"
+        write_trajectory(path, trajectory)
+        raw = path.read_bytes()
+        path.write_bytes(raw[:-8])  # chop the tail
+        with pytest.raises(ValueError, match="truncated"):
+            TrajectoryFile.load(path)
+
+    def test_trailing_garbage_rejected(self, tmp_path):
+        params = TrafficParams(road_length=40, num_cars=5)
+        _, trajectory = simulate_serial(params, 3, record=True)
+        path = tmp_path / "run.trj"
+        write_trajectory(path, trajectory)
+        path.write_bytes(path.read_bytes() + b"xx")
+        with pytest.raises(ValueError, match="trailing"):
+            TrajectoryFile.load(path)
+
+    def test_empty_trajectory_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="empty"):
+            write_trajectory(tmp_path / "x.trj", [])
+
+    def test_variable_dimension_validated(self, tmp_path):
+        image = TrajectoryFile(
+            dims={"step": 2},
+            variables={"bad": np.zeros((3,))},  # 3 matches no dimension
+        )
+        with pytest.raises(ValueError, match="not matching any dimension"):
+            image.save(tmp_path / "x.trj")
+
+
+class TestParameterStudy:
+    def test_results_in_case_order_and_deterministic(self):
+        cases = density_sweep_cases(120, [0.05, 0.2, 0.5], seed=3)
+        a = run_parameter_study(cases, 60, num_workers=3, warmup=20)
+        b = run_parameter_study(cases, 60, num_workers=2, warmup=20)
+        assert [r.params for r in a] == cases
+        for ra, rb in zip(a, b):
+            assert ra.mean_velocity == rb.mean_velocity
+            assert ra.flow == rb.flow
+
+    def test_fundamental_shape_low_beats_high_density_velocity(self):
+        cases = density_sweep_cases(200, [0.05, 0.6], seed=1)
+        low, high = run_parameter_study(cases, 100, num_workers=2)
+        assert low.mean_velocity > high.mean_velocity
+        assert low.density < high.density
+
+    def test_empty_case_list(self):
+        assert run_parameter_study([], 10) == []
+
+    def test_density_sweep_clamps(self):
+        cases = density_sweep_cases(10, [0.0, 1.0, 2.0])
+        assert cases[0].num_cars == 0
+        assert cases[1].num_cars == 10
+        assert cases[2].num_cars == 10

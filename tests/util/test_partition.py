@@ -1,0 +1,106 @@
+"""Unit and property tests for repro.util.partition."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.partition import (
+    block_bounds,
+    block_partition,
+    block_size,
+    cyclic_partition,
+    distribute_tasks,
+    owner_of,
+)
+
+
+class TestBlockBounds:
+    def test_even_split(self):
+        assert [block_bounds(9, 3, i) for i in range(3)] == [(0, 3), (3, 6), (6, 9)]
+
+    def test_uneven_split_front_loads_extra(self):
+        assert [block_bounds(10, 3, i) for i in range(3)] == [(0, 4), (4, 7), (7, 10)]
+
+    def test_more_parts_than_elements(self):
+        bounds = [block_bounds(2, 5, i) for i in range(5)]
+        assert bounds == [(0, 1), (1, 2), (2, 2), (2, 2), (2, 2)]
+
+    def test_zero_elements(self):
+        assert block_bounds(0, 4, 2) == (0, 0)
+
+    def test_index_out_of_range(self):
+        with pytest.raises(IndexError):
+            block_bounds(10, 3, 3)
+        with pytest.raises(IndexError):
+            block_bounds(10, 3, -1)
+
+    def test_rejects_bad_types(self):
+        with pytest.raises(TypeError):
+            block_bounds(10.5, 3, 0)
+        with pytest.raises(ValueError):
+            block_bounds(10, 0, 0)
+
+    @given(st.integers(0, 10_000), st.integers(1, 64))
+    def test_blocks_tile_range_exactly(self, n, parts):
+        covered = []
+        for i in range(parts):
+            lo, hi = block_bounds(n, parts, i)
+            assert 0 <= lo <= hi <= n
+            covered.extend(range(lo, hi))
+        assert covered == list(range(n))
+
+    @given(st.integers(0, 10_000), st.integers(1, 64))
+    def test_sizes_differ_by_at_most_one(self, n, parts):
+        sizes = [block_size(n, parts, i) for i in range(parts)]
+        assert max(sizes) - min(sizes) <= 1
+        assert sum(sizes) == n
+
+
+class TestOwnerOf:
+    @given(st.integers(1, 5_000), st.integers(1, 32))
+    def test_owner_matches_bounds(self, n, parts):
+        for element in {0, n - 1, n // 2, n // 3}:
+            owner = owner_of(n, parts, element)
+            lo, hi = block_bounds(n, parts, owner)
+            assert lo <= element < hi
+
+    def test_out_of_range_element(self):
+        with pytest.raises(IndexError):
+            owner_of(10, 3, 10)
+        with pytest.raises(IndexError):
+            owner_of(10, 3, -1)
+
+
+class TestCyclicPartition:
+    def test_round_robin_layout(self):
+        parts = cyclic_partition(7, 3)
+        assert [list(r) for r in parts] == [[0, 3, 6], [1, 4], [2, 5]]
+
+    @given(st.integers(0, 3_000), st.integers(1, 32))
+    def test_cyclic_tiles_range(self, n, parts):
+        seen = sorted(x for r in cyclic_partition(n, parts) for x in r)
+        assert seen == list(range(n))
+
+
+class TestDistributeTasks:
+    def test_uneven_division_example_from_paper(self):
+        # 10 ensemble models over 4 nodes: loads 3,3,2,2 (differ by <= 1).
+        assignment = distribute_tasks(10, 4)
+        assert assignment == [[0, 4, 8], [1, 5, 9], [2, 6], [3, 7]]
+
+    def test_more_nodes_than_tasks(self):
+        assignment = distribute_tasks(2, 5)
+        assert assignment == [[0], [1], [], [], []]
+
+    @given(st.integers(0, 500), st.integers(1, 32))
+    def test_every_task_assigned_once_and_balanced(self, tasks, nodes):
+        assignment = distribute_tasks(tasks, nodes)
+        flat = sorted(t for node in assignment for t in node)
+        assert flat == list(range(tasks))
+        loads = [len(node) for node in assignment]
+        assert max(loads) - min(loads) <= 1
+
+
+class TestBlockPartition:
+    def test_matches_bounds(self):
+        assert block_partition(7, 3) == [range(0, 3), range(3, 5), range(5, 7)]

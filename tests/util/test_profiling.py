@@ -1,0 +1,45 @@
+"""Tests for the cProfile wrapper."""
+
+import pytest
+
+from repro.util.profiling import profile_call
+
+
+def busy(n):
+    total = 0
+    for i in range(n):
+        total += hot_inner(i)
+    return total
+
+
+def hot_inner(i):
+    return sum(range(i % 50))
+
+
+class TestProfileCall:
+    def test_returns_function_result(self):
+        report = profile_call(busy, 2000)
+        assert report.result == busy(2000)
+
+    def test_finds_the_hot_function(self):
+        report = profile_call(busy, 5000, top=5)
+        locations = " ".join(h.location for h in report.hotspots)
+        assert "hot_inner" in locations or "sum" in locations
+        assert report.hottest.total_time >= 0.0
+
+    def test_hotspots_sorted_by_self_time(self):
+        report = profile_call(busy, 3000)
+        times = [h.total_time for h in report.hotspots]
+        assert times == sorted(times, reverse=True)
+
+    def test_text_table_present(self):
+        report = profile_call(busy, 100)
+        assert "ncalls" in report.text
+
+    def test_kwargs_passed(self):
+        report = profile_call(lambda a, b=1: a + b, 2, b=5)
+        assert report.result == 7
+
+    def test_top_validated(self):
+        with pytest.raises(ValueError):
+            profile_call(busy, 10, top=0)

@@ -1,0 +1,85 @@
+"""Tests for the CSV point/label round-trip in repro.util.tabular."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.util.tabular import (
+    points_from_csv_text,
+    points_to_csv_text,
+    read_points_csv,
+    write_points_csv,
+)
+
+
+class TestRoundTrip:
+    def test_labelled_round_trip(self):
+        pts = np.array([[1.0, 2.5], [3.0, -4.0]])
+        labels = np.array([0, 2])
+        text = points_to_csv_text(pts, labels)
+        back, lab = points_from_csv_text(text, labelled=True)
+        np.testing.assert_array_equal(back, pts)
+        np.testing.assert_array_equal(lab, labels)
+
+    def test_unlabelled_round_trip(self):
+        pts = np.array([[0.1, 0.2, 0.3]])
+        back, lab = points_from_csv_text(points_to_csv_text(pts), labelled=False)
+        np.testing.assert_array_equal(back, pts)
+        assert lab is None
+
+    def test_file_round_trip(self, tmp_path):
+        pts = np.arange(12, dtype=float).reshape(4, 3)
+        labels = np.array([1, 0, 1, 3])
+        path = tmp_path / "db.csv"
+        write_points_csv(path, pts, labels)
+        back, lab = read_points_csv(path, labelled=True)
+        np.testing.assert_array_equal(back, pts)
+        np.testing.assert_array_equal(lab, labels)
+
+    @given(
+        hnp.arrays(
+            dtype=np.float64,
+            shape=st.tuples(st.integers(0, 20), st.integers(1, 8)),
+            elements=st.floats(-1e9, 1e9, allow_nan=False),
+        )
+    )
+    def test_values_survive_exactly(self, pts):
+        back, _ = points_from_csv_text(points_to_csv_text(pts), labelled=False)
+        if pts.shape[0] == 0:
+            # An empty file carries no column count; only emptiness survives.
+            assert back.shape[0] == 0
+        else:
+            np.testing.assert_array_equal(back, pts)
+
+
+class TestParsing:
+    def test_skips_blank_and_comment_lines(self):
+        text = "# header\n\n1.0,2.0,1\n\n# trailing\n3.0,4.0,0\n"
+        pts, labels = points_from_csv_text(text, labelled=True)
+        assert pts.shape == (2, 2)
+        assert list(labels) == [1, 0]
+
+    def test_ragged_rows_rejected(self):
+        with pytest.raises(ValueError, match="expected 3 columns"):
+            points_from_csv_text("1,2,3\n4,5\n", labelled=False)
+
+    def test_labelled_needs_two_columns(self):
+        with pytest.raises(ValueError, match=">= 2 columns"):
+            points_from_csv_text("7\n", labelled=True)
+
+    def test_empty_text(self):
+        pts, labels = points_from_csv_text("", labelled=True)
+        assert pts.shape[0] == 0
+        assert labels.shape == (0,)
+
+
+class TestValidation:
+    def test_rejects_non_2d_points(self):
+        with pytest.raises(ValueError, match="2-D"):
+            points_to_csv_text(np.arange(3.0))
+
+    def test_rejects_mismatched_labels(self):
+        with pytest.raises(ValueError, match="does not match"):
+            points_to_csv_text(np.zeros((3, 2)), np.zeros(2, dtype=int))

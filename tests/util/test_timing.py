@@ -1,0 +1,65 @@
+"""Tests for repro.util.timing."""
+
+import pytest
+
+from repro.util.timing import ScalingStudy, Timer, time_call
+
+
+class TestTimer:
+    def test_measures_nonnegative_elapsed(self):
+        with Timer() as t:
+            sum(range(100))
+        assert t.elapsed >= 0.0
+
+    def test_time_call_returns_result(self):
+        seconds, result = time_call(lambda a, b: a + b, 2, 3, repeats=3)
+        assert result == 5
+        assert seconds >= 0.0
+
+    def test_time_call_rejects_zero_repeats(self):
+        with pytest.raises(ValueError):
+            time_call(lambda: None, repeats=0)
+
+
+class TestScalingStudy:
+    def test_speedup_and_efficiency(self):
+        s = ScalingStudy("demo")
+        s.record(1, 8.0)
+        s.record(2, 4.0)
+        s.record(4, 4.0)
+        assert s.speedup(2) == pytest.approx(2.0)
+        assert s.efficiency(2) == pytest.approx(1.0)
+        assert s.speedup(4) == pytest.approx(2.0)
+        assert s.efficiency(4) == pytest.approx(0.5)
+
+    def test_record_keeps_minimum_of_repeats(self):
+        s = ScalingStudy("demo")
+        s.record(2, 5.0)
+        s.record(2, 3.0)
+        s.record(2, 4.0)
+        assert s.measurements[2] == 3.0
+
+    def test_baseline_falls_back_to_smallest_workers(self):
+        s = ScalingStudy("demo")
+        s.record(2, 6.0)
+        s.record(4, 3.0)
+        assert s.baseline_workers == 2
+        assert s.speedup(4) == pytest.approx(2.0)
+
+    def test_rows_sorted_and_table_formats(self):
+        s = ScalingStudy("demo")
+        s.record(4, 1.0)
+        s.record(1, 4.0)
+        rows = s.rows()
+        assert [r[0] for r in rows] == [1, 4]
+        table = s.format_table()
+        assert "demo" in table and "workers" in table
+
+    def test_rejects_invalid_measurements(self):
+        s = ScalingStudy("demo")
+        with pytest.raises(ValueError):
+            s.record(0, 1.0)
+        with pytest.raises(ValueError):
+            s.record(1, -1.0)
+        with pytest.raises(ValueError):
+            _ = s.baseline_workers
