@@ -26,7 +26,12 @@ uncertainty.
 """
 
 from repro.hpo.digits import make_ambiguous_digit, make_digit_dataset, render_digit
-from repro.hpo.distributed import run_distributed_hpo, train_ensemble_mpi
+from repro.hpo.distributed import (
+    run_distributed_hpo,
+    run_distributed_hpo_ft,
+    train_ensemble_mpi,
+    train_ensemble_mpi_ft,
+)
 from repro.hpo.elimination import (
     EliminationReport,
     run_elimination_mpi,
@@ -53,6 +58,8 @@ __all__ = [
     "greedy_lpt_schedule",
     "train_ensemble_mpi",
     "run_distributed_hpo",
+    "train_ensemble_mpi_ft",
+    "run_distributed_hpo_ft",
     "successive_halving",
     "run_elimination_mpi",
     "EliminationReport",

@@ -13,6 +13,14 @@ to the nodes using MPI4Py". The canonical solution, reproduced here on
 Because :func:`repro.hpo.search.train_one` is deterministic per
 configuration, the distributed search returns models bit-identical to
 the serial search — verified by the tests.
+
+The fault-tolerant variant (:func:`train_ensemble_mpi_ft`) generalizes
+the round-robin ``N ∤ T`` idiom to an ``N`` that shrinks mid-run: the
+root's gather detects ranks that died without delivering their outcomes
+and reassigns the orphaned configurations round-robin over the
+survivors, looping until every task is trained. Because each task is
+deterministic wherever it runs, the result is *bit-identical* to the
+fault-free serial search — rank deaths cost time, never accuracy.
 """
 
 from __future__ import annotations
@@ -21,10 +29,19 @@ import numpy as np
 
 from repro.hpo.ensemble import DeepEnsemble
 from repro.hpo.search import HPOutcome, HyperParams, train_one
-from repro.mpi import Communicator, run_spmd
+from repro.mpi import Communicator, FaultPlan, FaultReport, RankFailedError, run_spmd
 from repro.util.validation import require_positive_int
 
-__all__ = ["train_ensemble_mpi", "run_distributed_hpo"]
+__all__ = [
+    "train_ensemble_mpi",
+    "run_distributed_hpo",
+    "train_ensemble_mpi_ft",
+    "run_distributed_hpo_ft",
+]
+
+# App-level tags for the reassignment protocol (user tags must be >= 0).
+_TAG_REASSIGN = 7001
+_TAG_REASSIGN_RESULT = 7002
 
 
 def train_ensemble_mpi(
@@ -58,11 +75,124 @@ def train_ensemble_mpi(
             by_task[task_id] = outcome
     if len(by_task) != len(grid):
         raise AssertionError("some tasks were never trained")
+    return _rank_results(by_task, top_m)
+
+
+def _rank_results(by_task: dict[int, HPOutcome], top_m: int | None):
+    """Globally re-rank gathered outcomes; build the top-M ensemble."""
     order = sorted(by_task, key=lambda t: (-by_task[t].val_accuracy, t))
     outcomes = [by_task[t] for t in order]
     m = top_m if top_m is not None else max(1, len(outcomes) // 2)
     require_positive_int("top_m", m)
     return DeepEnsemble([o.model for o in outcomes[:m]]), outcomes
+
+
+def train_ensemble_mpi_ft(
+    comm: Communicator,
+    grid: list[HyperParams],
+    train_x: np.ndarray,
+    train_y: np.ndarray,
+    val_x: np.ndarray,
+    val_y: np.ndarray,
+    *,
+    top_m: int | None = None,
+) -> tuple[DeepEnsemble, list[HPOutcome]] | None:
+    """Fault-tolerant SPMD HPO: survivors absorb dead ranks' tasks.
+
+    Run under ``run_spmd(..., on_failure="tolerate")``. Each rank trains
+    its round-robin share, then the root collects with a tolerant gather:
+    outcomes owned by ranks that died are *reassigned* round-robin over
+    the survivors (the root included) in as many rounds as deaths demand.
+    Rank 0 must survive — root death is the unrecoverable case, exactly
+    as in ULFM practice.
+
+    Returns (ensemble, outcomes) on the root, None on other ranks. The
+    ensemble is bit-identical to the fault-free serial search's because
+    :func:`~repro.hpo.search.train_one` is deterministic per
+    configuration, wherever and whenever it runs.
+    """
+    if not grid:
+        raise ValueError("hyperparameter grid is empty")
+    my_tasks = list(range(comm.rank, len(grid), comm.size))
+    my_outcomes = [
+        (t, train_one(grid[t], train_x, train_y, val_x, val_y)) for t in my_tasks
+    ]
+    gathered, _missing = comm.gather_tolerant(my_outcomes, root=0)
+
+    if comm.rank != 0:
+        # Serve reassignment rounds until the root says done (None).
+        while True:
+            extra = comm.recv(source=0, tag=_TAG_REASSIGN)
+            if extra is None:
+                return None
+            outcomes = [
+                (t, train_one(grid[t], train_x, train_y, val_x, val_y)) for t in extra
+            ]
+            comm.send(outcomes, dest=0, tag=_TAG_REASSIGN_RESULT)
+
+    by_task: dict[int, HPOutcome] = {}
+    for rank_list in gathered:
+        for task_id, outcome in rank_list or []:
+            by_task[task_id] = outcome
+    serving = [r for r in range(1, comm.size) if comm.is_alive(r)]
+    while len(by_task) < len(grid):
+        missing_tasks = [t for t in range(len(grid)) if t not in by_task]
+        workers = [0] + [r for r in serving if comm.is_alive(r)]
+        shares: dict[int, list[int]] = {r: [] for r in workers}
+        for i, t in enumerate(missing_tasks):
+            shares[workers[i % len(workers)]].append(t)
+        for r, share in shares.items():
+            if r != 0 and share:
+                comm.send(share, dest=r, tag=_TAG_REASSIGN)
+        for t in shares[0]:
+            by_task[t] = train_one(grid[t], train_x, train_y, val_x, val_y)
+        for r, share in shares.items():
+            if r == 0 or not share:
+                continue
+            got = comm.recv_tolerant(source=r, tag=_TAG_REASSIGN_RESULT)
+            if got is None:
+                # Died mid-round; its share stays missing for the next round.
+                serving.remove(r)
+                continue
+            for task_id, outcome in got:
+                by_task[task_id] = outcome
+    for r in serving:
+        if comm.is_alive(r):
+            comm.send(None, dest=r, tag=_TAG_REASSIGN)
+    return _rank_results(by_task, top_m)
+
+
+def run_distributed_hpo_ft(
+    num_ranks: int,
+    grid: list[HyperParams],
+    train_x: np.ndarray,
+    train_y: np.ndarray,
+    val_x: np.ndarray,
+    val_y: np.ndarray,
+    *,
+    top_m: int | None = None,
+    faults: FaultPlan | None = None,
+    timeout: float = 60.0,
+) -> tuple[DeepEnsemble, list[HPOutcome], FaultReport]:
+    """Launcher: fault-tolerant HPO; returns root's result plus the FaultReport."""
+    results, report = run_spmd(
+        num_ranks,
+        train_ensemble_mpi_ft,
+        grid,
+        train_x,
+        train_y,
+        val_x,
+        val_y,
+        top_m=top_m,
+        faults=faults,
+        on_failure="tolerate",
+        return_report=True,
+        timeout=timeout,
+    )
+    if results[0] is None:
+        raise RankFailedError(dict(report.failures))
+    ensemble, outcomes = results[0]
+    return ensemble, outcomes, report
 
 
 def run_distributed_hpo(

@@ -13,9 +13,19 @@ Phase structure per iteration:
    front) and accumulates local sums / counts / change count;
 3. one ``allreduce`` folds the partials — in rank order, so the result
    is deterministic and equal to the OpenMP reduction variant's.
+
+For fault tolerance the loop can checkpoint: pass a
+:class:`KMeansCheckpoint` and rank 0 records ``(iteration, centroids,
+assignments, histories)`` after each completed iteration. A *restarted*
+world handed the same checkpoint resumes from the last completed
+iteration and — because the reduction folds in rank order — finishes
+with centroids bit-identical to an uninterrupted run of the same world
+size (docs/fault_tolerance.md).
 """
 
 from __future__ import annotations
+
+import threading
 
 import numpy as np
 
@@ -26,7 +36,61 @@ from repro.mpi import SUM, Communicator, run_spmd
 from repro.util.partition import block_bounds
 from repro.util.validation import require_positive_int
 
-__all__ = ["kmeans_mpi", "run_kmeans_mpi"]
+__all__ = ["kmeans_mpi", "run_kmeans_mpi", "KMeansCheckpoint"]
+
+
+class KMeansCheckpoint:
+    """Iteration checkpoint for :func:`kmeans_mpi` (in-memory stand-in for a file).
+
+    Holds the state of the last *completed* iteration: the iteration
+    number, the centroids it produced, the global assignment vector, and
+    the per-iteration histories. ``save`` replaces the whole state
+    atomically under a lock, so a world that dies mid-save at worst
+    leaves the previous iteration's state — never a torn one (the
+    write-temp-then-rename discipline of real checkpoint files).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._state: tuple | None = None
+
+    @property
+    def iteration(self) -> int:
+        """Last completed iteration recorded (0 = nothing recorded)."""
+        with self._lock:
+            return 0 if self._state is None else self._state[0]
+
+    def has_state(self) -> bool:
+        """True once at least one iteration has been recorded."""
+        with self._lock:
+            return self._state is not None
+
+    def save(
+        self,
+        iteration: int,
+        centroids: np.ndarray,
+        assignments: np.ndarray,
+        changes_history: list[int],
+        shift_history: list[float],
+    ) -> None:
+        """Atomically record the state after one completed iteration."""
+        state = (
+            iteration,
+            np.array(centroids, copy=True),
+            np.array(assignments, copy=True),
+            list(changes_history),
+            list(shift_history),
+        )
+        with self._lock:
+            self._state = state
+
+    def restore(self) -> tuple[int, np.ndarray, np.ndarray, list[int], list[float]]:
+        """Copies of the recorded state; raises if nothing was saved."""
+        with self._lock:
+            if self._state is None:
+                raise ValueError("checkpoint is empty — nothing to restore")
+            it, cent, assign, ch, sh = self._state
+            return it, cent.copy(), assign.copy(), list(ch), list(sh)
 
 
 def kmeans_mpi(
@@ -37,16 +101,27 @@ def kmeans_mpi(
     seed: int = 0,
     criteria: TerminationCriteria | None = None,
     initial_centroids: np.ndarray | None = None,
+    checkpoint: KMeansCheckpoint | None = None,
 ) -> KMeansResult | None:
     """SPMD K-means: call from every rank; ``points`` needed on root only.
 
     Returns the full :class:`KMeansResult` on rank 0, None elsewhere.
+
+    With a ``checkpoint``, rank 0 records every completed iteration's
+    state (one extra gather per iteration), and a world started with a
+    *non-empty* checkpoint resumes from it instead of initializing —
+    the restart path for a run killed by a fault.
     """
     require_positive_int("k", k)
     criteria = criteria or TerminationCriteria()
     rank, size = comm.rank, comm.size
 
     # --- one-time distribution of the input (collective scatter) -------
+    restored = checkpoint is not None and checkpoint.has_state()
+    assignment_chunks = None
+    start_iteration = 0
+    changes_history: list[int] = []
+    shift_history: list[float] = []
     if rank == 0:
         points = np.asarray(points, dtype=float)
         if points.ndim != 2 or points.shape[0] == 0:
@@ -55,7 +130,18 @@ def kmeans_mpi(
         chunks = [
             points[slice(*block_bounds(n, size, r))] for r in range(size)
         ]
-        if initial_centroids is not None:
+        if restored:
+            start_iteration, centroids, assignments_g, changes_history, shift_history = (
+                checkpoint.restore()
+            )
+            if centroids.shape != (k, d):
+                raise ValueError(
+                    f"checkpoint centroids must be {(k, d)}, got {centroids.shape}"
+                )
+            assignment_chunks = [
+                assignments_g[slice(*block_bounds(n, size, r))] for r in range(size)
+            ]
+        elif initial_centroids is not None:
             centroids = np.asarray(initial_centroids, dtype=float).copy()
             if centroids.shape != (k, d):
                 raise ValueError(f"initial_centroids must be {(k, d)}, got {centroids.shape}")
@@ -69,10 +155,12 @@ def kmeans_mpi(
     centroids = comm.bcast(centroids, root=0)
     k_dims = centroids.shape[1]
 
-    my_assignments = np.full(my_points.shape[0], -1, dtype=np.int64)
-    changes_history: list[int] = []
-    shift_history: list[float] = []
-    iteration = 0
+    if restored:
+        my_assignments = comm.scatter(assignment_chunks, root=0)
+        start_iteration = comm.bcast(start_iteration, root=0)
+    else:
+        my_assignments = np.full(my_points.shape[0], -1, dtype=np.int64)
+    iteration = start_iteration
     reason = "max_iterations"
 
     while True:
@@ -109,6 +197,18 @@ def kmeans_mpi(
         changes_history.append(changes)
         shift_history.append(max_shift)
         stop = criteria.reason_to_stop(iteration, changes, max_shift)
+        if checkpoint is not None:
+            # One extra collective per iteration: the completed state
+            # lands on rank 0 before anyone can die in iteration i+1.
+            ckpt_assignments = comm.gather(my_assignments, root=0)
+            if rank == 0:
+                checkpoint.save(
+                    iteration,
+                    centroids,
+                    np.concatenate(ckpt_assignments),
+                    changes_history,
+                    shift_history,
+                )
         if stop is not None:
             reason = stop
             break
@@ -129,10 +229,23 @@ def kmeans_mpi(
     )
 
 
-def run_kmeans_mpi(num_ranks: int, points: np.ndarray, k: int, **kwargs) -> KMeansResult:
-    """Launcher: run :func:`kmeans_mpi` on ``num_ranks`` ranks, return root's result."""
+def run_kmeans_mpi(
+    num_ranks: int,
+    points: np.ndarray,
+    k: int,
+    *,
+    faults=None,
+    timeout: float = 60.0,
+    **kwargs,
+) -> KMeansResult:
+    """Launcher: run :func:`kmeans_mpi` on ``num_ranks`` ranks, return root's result.
+
+    ``faults``/``timeout`` go to the runtime (fault-injection runs);
+    remaining keyword arguments go to :func:`kmeans_mpi` — including
+    ``checkpoint``, which is how a relaunch after a fault resumes.
+    """
 
     def program(comm: Communicator) -> KMeansResult | None:
         return kmeans_mpi(comm, points if comm.rank == 0 else None, k, **kwargs)
 
-    return run_spmd(num_ranks, program)[0]
+    return run_spmd(num_ranks, program, faults=faults, timeout=timeout)[0]

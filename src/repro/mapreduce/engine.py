@@ -35,6 +35,10 @@ ItemMapFn = Callable[[Any, KeyValue], None]
 #: Signature of a reduce callback: (key, values, kv_out) -> None.
 ReduceFn = Callable[[Any, list[Any], KeyValue], None]
 
+# App-level tags for the speculative-map protocol (user tags are >= 0).
+_TAG_SPECULATIVE_SYNC = 7101
+_TAG_SPECULATIVE_PLAN = 7102
+
 
 class MapReduce:
     """Distributed key/value dataset plus the operations that transform it."""
@@ -66,6 +70,58 @@ class MapReduce:
         self.kmv = None
         for task in range(self.comm.rank, num_tasks, self.comm.size):
             map_fn(task, self.kv)
+        return self.comm.allreduce(len(self.kv), SUM)
+
+    def map_tasks_speculative(self, num_tasks: int, map_fn: MapFn, *, append: bool = False) -> int:
+        """Cyclic map with speculative re-execution of dead ranks' tasks.
+
+        The fault-tolerant :meth:`map_tasks`, for worlds launched with
+        ``run_spmd(..., on_failure="tolerate")``. After running its own
+        tasks each rank reports to rank 0, which detects ranks that died
+        during the map phase (their completion token never arrives),
+        assigns every orphaned task round-robin over the survivors, and
+        — once the adopted tasks have been re-executed — the engine
+        *shrinks*: ``self.comm`` is replaced by the survivors-only
+        communicator, so the subsequent ``collate``/``reduce``/``gather``
+        phases run exactly as on a smaller world.
+
+        Rank 0 must survive (it is the detection point, like the
+        MR-MPI driver). Crashes *after* a rank's completion token are
+        outside this method's protection — they surface as deadlocks in
+        the next collective, which is the honest semantics: speculative
+        re-execution guards the map phase, not the whole job.
+
+        Returns the global number of pairs emitted (over survivors).
+        """
+        if num_tasks < 0:
+            raise ValueError(f"num_tasks must be >= 0, got {num_tasks}")
+        if not append:
+            self.kv = KeyValue()
+        self.kmv = None
+        for task in range(self.comm.rank, num_tasks, self.comm.size):
+            map_fn(task, self.kv)
+        if self.comm.rank == 0:
+            dead = []
+            for r in range(1, self.comm.size):
+                if self.comm.recv_tolerant(source=r, tag=_TAG_SPECULATIVE_SYNC) is None:
+                    dead.append(r)
+            live = [r for r in range(self.comm.size) if r not in dead]
+            orphans = sorted(
+                t for d in dead for t in range(d, num_tasks, self.comm.size)
+            )
+            adopted: dict[int, list[int]] = {r: [] for r in live}
+            for i, task in enumerate(orphans):
+                adopted[live[i % len(live)]].append(task)
+            for r in live[1:]:
+                self.comm.send((dead, adopted[r]), dest=r, tag=_TAG_SPECULATIVE_PLAN)
+            my_extra = adopted[0]
+        else:
+            self.comm.send(self.comm.rank, dest=0, tag=_TAG_SPECULATIVE_SYNC)
+            dead, my_extra = self.comm.recv(source=0, tag=_TAG_SPECULATIVE_PLAN)
+        for task in my_extra:
+            map_fn(task, self.kv)
+        if dead:
+            self.comm = self.comm.shrink(failed=dead)
         return self.comm.allreduce(len(self.kv), SUM)
 
     def map_files(

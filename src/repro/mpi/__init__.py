@@ -24,17 +24,32 @@ naive queue-of-references simulator would hide.
 
 Entry point: :func:`run_spmd` launches ``fn(comm, *args)`` on every rank
 and returns the per-rank results.
+
+The runtime also supports deterministic fault injection and ULFM-style
+recovery (docs/fault_tolerance.md): a seeded :class:`FaultPlan` kills
+ranks, drops/delays/duplicates messages, and adds stragglers
+bit-reproducibly; ``run_spmd``'s ``on_failure`` policy chooses between
+fail-fast ``"abort"``, bounded-retry ``"respawn"``, and ``"tolerate"``,
+under which survivors observe deaths (``Communicator.failed_ranks``,
+``recv_tolerant``, ``gather_tolerant``) and rebuild with ``shrink``.
 """
 
 from repro.mpi.comm import ANY_SOURCE, ANY_TAG, Communicator, Request, Status
-from repro.mpi.errors import DeadlockError, RankFailedError, SpmdAbort
+from repro.mpi.errors import DeadlockError, InjectedCrash, RankFailedError, SpmdAbort
+from repro.mpi.faults import FaultEvent, FaultPlan, FaultReport, InjectionRecord
 from repro.mpi.ops import BAND, BOR, LAND, LOR, MAX, MIN, PROD, SUM
 from repro.mpi.rma import Window
-from repro.mpi.runtime import run_spmd
+from repro.mpi.runtime import FAILURE_POLICIES, run_spmd
 from repro.mpi.topology import CartComm, dims_create
 
 __all__ = [
     "run_spmd",
+    "FAILURE_POLICIES",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultReport",
+    "InjectionRecord",
+    "InjectedCrash",
     "Communicator",
     "Request",
     "Status",

@@ -44,6 +44,29 @@ _TAG_BARRIER_OUT = -8
 _TAG_SPLIT_UP = -9
 _TAG_SPLIT_DOWN = -10
 _TAG_REDUCE = -11
+_TAG_GATHER_FT = -12
+
+# Operation names for diagnostics (DeadlockError messages) and for the
+# fault injector's per-operation log.
+_TAG_NAMES = {
+    _TAG_BCAST: "bcast",
+    _TAG_SCATTER: "scatter",
+    _TAG_GATHER: "gather",
+    _TAG_ALLTOALL: "alltoall",
+    _TAG_SCAN: "scan",
+    _TAG_BARRIER_IN: "barrier",
+    _TAG_BARRIER_OUT: "barrier",
+    _TAG_SPLIT_UP: "split",
+    _TAG_SPLIT_DOWN: "split",
+    _TAG_REDUCE: "reduce",
+    _TAG_GATHER_FT: "gather_tolerant",
+}
+
+
+def _tag_label(tag: int) -> str:
+    if tag == ANY_TAG:
+        return "ANY_TAG"
+    return _TAG_NAMES.get(tag, str(tag))
 
 
 @dataclass(frozen=True)
@@ -103,9 +126,21 @@ class _Mailbox:
             return self._messages.pop(i) if remove else self._messages[i]
 
     def match(
-        self, comm_id: int, src_world: int | None, tag: int, *, remove: bool
+        self,
+        comm_id: int,
+        src_world: int | None,
+        tag: int,
+        *,
+        remove: bool,
+        op: str = "recv",
+        peer: str = "ANY_SOURCE",
     ) -> _Envelope:
-        """Block until a matching message arrives (or abort / deadlock)."""
+        """Block until a matching message arrives (or abort / deadlock).
+
+        ``op`` and ``peer`` name the blocked operation and its partner in
+        the :class:`DeadlockError` message, so a hang (organic or
+        fault-injected) is diagnosable from the error alone.
+        """
         deadline = time.monotonic() + self._world.timeout
         with self._cond:
             while True:
@@ -117,8 +152,45 @@ class _Mailbox:
                 remaining = deadline - time.monotonic()
                 if remaining <= 0:
                     raise DeadlockError(
-                        f"recv(comm={comm_id}, src_world={src_world}, tag={tag}) "
-                        f"timed out after {self._world.timeout:.1f}s — likely deadlock"
+                        f"{op}(source={peer}, tag={_tag_label(tag)}) on comm {comm_id} "
+                        f"timed out after {self._world.timeout:.1f}s — likely deadlock "
+                        f"(the peer never sent, died, or is itself blocked)"
+                    )
+                self._cond.wait(timeout=min(remaining, 0.1))
+
+    def match_or_dead(
+        self,
+        comm_id: int,
+        src_world: int,
+        tag: int,
+        *,
+        op: str = "recv_tolerant",
+        peer: str = "?",
+    ) -> _Envelope | None:
+        """Like :meth:`match`, but return None once ``src_world`` is dead.
+
+        The fault-tolerant receive primitive: a pending message always
+        wins (a rank that managed to send before dying still counts),
+        and only a dead peer with nothing in flight yields None.
+        ``World.mark_dead`` wakes all mailboxes, so death is noticed
+        promptly rather than after the timeout.
+        """
+        deadline = time.monotonic() + self._world.timeout
+        with self._cond:
+            while True:
+                if self._world.aborted:
+                    raise SpmdAbort("world aborted while waiting for a message")
+                i = self._find(comm_id, src_world, tag)
+                if i is not None:
+                    return self._messages.pop(i)
+                if self._world.is_dead(src_world):
+                    return None
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise DeadlockError(
+                        f"{op}(source={peer}, tag={_tag_label(tag)}) on comm {comm_id} "
+                        f"timed out after {self._world.timeout:.1f}s — likely deadlock "
+                        f"(the peer is alive but never sent)"
                     )
                 self._cond.wait(timeout=min(remaining, 0.1))
 
@@ -202,10 +274,33 @@ class Communicator:
     # point-to-point
     # ------------------------------------------------------------------
     def _post(self, obj: Any, dest_world: int, tag: int) -> None:
+        event = None
+        faults = self._world.faults
+        if faults is not None:
+            # May raise InjectedCrash (the "process" dies before sending)
+            # or sleep (straggler); message events come back to apply.
+            event = faults.on_op(self.world_rank, _TAG_NAMES.get(tag, "send"), send=True)
         payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
         self._world.stats.record(len(payload))
         env = _Envelope(self._id, self.world_rank, tag, payload)
-        self._world.mailbox(dest_world).put(env)
+        mailbox = self._world.mailbox(dest_world)
+        if event is not None:
+            if event.kind == "drop":
+                return  # posted by the app, lost on the wire
+            if event.kind == "delay":
+                timer = threading.Timer(event.seconds, mailbox.put, args=(env,))
+                timer.daemon = True
+                timer.start()
+                return
+            if event.kind == "duplicate":
+                mailbox.put(env)  # once here, once below
+        mailbox.put(env)
+
+    def _fault_op(self, op: str) -> None:
+        """Receive-side fault hook: crash/straggle may fire before the op."""
+        faults = self._world.faults
+        if faults is not None:
+            faults.on_op(self.world_rank, op, send=False)
 
     def _source_world(self, source: int) -> int | None:
         if source == ANY_SOURCE:
@@ -222,10 +317,20 @@ class Communicator:
         obj, _ = self.recv_with_status(source, tag)
         return obj
 
+    @staticmethod
+    def _peer_label(source: int) -> str:
+        return "ANY_SOURCE" if source == ANY_SOURCE else f"rank {source}"
+
     def recv_with_status(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> tuple[Any, Status]:
         """Like :meth:`recv` but also return the matched :class:`Status`."""
+        self._fault_op("recv")
         env = self._world.mailbox(self.world_rank).match(
-            self._id, self._source_world(source), tag, remove=True
+            self._id,
+            self._source_world(source),
+            tag,
+            remove=True,
+            op="recv",
+            peer=self._peer_label(source),
         )
         status = Status(self._from_world[env.src_world], env.tag)
         return pickle.loads(env.payload), status
@@ -244,12 +349,16 @@ class Communicator:
 
     def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Request:
         """Non-blocking receive; completion happens in ``test``/``wait``."""
+        self._fault_op("irecv")
         src_world = self._source_world(source)
         mailbox = self._world.mailbox(self.world_rank)
+        peer = self._peer_label(source)
 
         def complete(block: bool) -> tuple[bool, Any]:
             if block:
-                env = mailbox.match(self._id, src_world, tag, remove=True)
+                env = mailbox.match(
+                    self._id, src_world, tag, remove=True, op="irecv.wait", peer=peer
+                )
             else:
                 env = mailbox.try_match(self._id, src_world, tag, remove=True)
                 if env is None:
@@ -260,13 +369,20 @@ class Communicator:
 
     def probe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Status:
         """Block until a matching message is available; do not consume it."""
+        self._fault_op("probe")
         env = self._world.mailbox(self.world_rank).match(
-            self._id, self._source_world(source), tag, remove=False
+            self._id,
+            self._source_world(source),
+            tag,
+            remove=False,
+            op="probe",
+            peer=self._peer_label(source),
         )
         return Status(self._from_world[env.src_world], env.tag)
 
     def iprobe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Status | None:
         """Non-blocking probe: matching message's status, or None."""
+        self._fault_op("iprobe")
         env = self._world.mailbox(self.world_rank).try_match(
             self._id, self._source_world(source), tag, remove=False
         )
@@ -292,8 +408,14 @@ class Communicator:
             self._recv_sys(root, _TAG_BARRIER_OUT)
 
     def _recv_sys(self, source: int, tag: int) -> Any:
+        self._fault_op(_TAG_NAMES.get(tag, "recv"))
         env = self._world.mailbox(self.world_rank).match(
-            self._id, self._world_ranks[source], tag, remove=True
+            self._id,
+            self._world_ranks[source],
+            tag,
+            remove=True,
+            op=_TAG_NAMES.get(tag, "recv"),
+            peer=f"rank {source}",
         )
         return pickle.loads(env.payload)
 
@@ -455,6 +577,98 @@ class Communicator:
         dup = self.split(color=0, key=self._rank)
         assert dup is not None
         return dup
+
+    # ------------------------------------------------------------------
+    # fault tolerance (ULFM-style; see docs/fault_tolerance.md)
+    # ------------------------------------------------------------------
+    def is_alive(self, rank: int) -> bool:
+        """False once ``rank`` has died unrecovered (``on_failure="tolerate"``)."""
+        return not self._world.is_dead(self._check_peer("rank", rank))
+
+    def failed_ranks(self) -> list[int]:
+        """Communicator ranks known dead so far, sorted (MPI_Comm_get_failed).
+
+        Detection is immediate in the simulator (the world records each
+        death), but still *asynchronous* with respect to this rank's
+        program: a rank that will die later is not yet listed.
+        """
+        return [r for r, w in enumerate(self._world_ranks) if self._world.is_dead(w)]
+
+    def shrink(self, failed: Sequence[int] | None = None) -> "Communicator":
+        """Rebuild a smaller communicator from the survivors (ULFM shrink).
+
+        Every *surviving* rank of this communicator must call it with the
+        same ``failed`` set (default: :meth:`failed_ranks` — safe once the
+        survivors have agreed on who is dead, e.g. after a tolerant
+        gather). Involves no messaging: survivors derive the same member
+        list and obtain a shared communicator id from the world, so
+        shrink cannot itself hang on the dead.
+        """
+        failed_local = self.failed_ranks() if failed is None else sorted(set(failed))
+        failed_world = frozenset(self._world_ranks[r] for r in failed_local)
+        if self.world_rank in failed_world:
+            raise ValueError("a dead rank cannot take part in shrink")
+        survivors_world = [w for w in self._world_ranks if w not in failed_world]
+        comm_id = self._world.shrink_comm_id(self._id, failed_world)
+        return Communicator(
+            self._world, comm_id, survivors_world, survivors_world.index(self.world_rank)
+        )
+
+    def recv_tolerant(self, source: int, tag: int = ANY_TAG) -> Any | None:
+        """Receive from ``source`` — or return None once it is known dead.
+
+        A message the peer managed to post before dying is still
+        delivered; None means "dead with nothing in flight". ``source``
+        must be a concrete rank (liveness is per-peer, so ``ANY_SOURCE``
+        has no meaning here).
+        """
+        if source == ANY_SOURCE:
+            raise ValueError("recv_tolerant needs a concrete source rank, not ANY_SOURCE")
+        self._fault_op("recv_tolerant")
+        env = self._world.mailbox(self.world_rank).match_or_dead(
+            self._id,
+            self._check_peer("source", source),
+            tag,
+            op="recv_tolerant",
+            peer=self._peer_label(source),
+        )
+        if env is None:
+            return None
+        return pickle.loads(env.payload)
+
+    def gather_tolerant(self, obj: Any, root: int = 0) -> tuple[list[Any] | None, list[int]]:
+        """A gather that survives dead contributors.
+
+        Root returns ``(values, missing)``: ``values[r]`` is rank ``r``'s
+        contribution or None, and ``missing`` lists the ranks that died
+        without contributing. Non-root ranks return ``(None, [])``. The
+        root must be alive (like the ULFM practice of treating root death
+        as unrecoverable and restarting the job).
+        """
+        self._check_root(root)
+        if self._rank != root:
+            self._post(obj, self._world_ranks[root], _TAG_GATHER_FT)
+            return None, []
+        values: list[Any] = [None] * self.size
+        values[root] = pickle.loads(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
+        missing: list[int] = []
+        mailbox = self._world.mailbox(self.world_rank)
+        for r in range(self.size):
+            if r == root:
+                continue
+            self._fault_op("gather_tolerant")
+            env = mailbox.match_or_dead(
+                self._id,
+                self._world_ranks[r],
+                _TAG_GATHER_FT,
+                op="gather_tolerant",
+                peer=f"rank {r}",
+            )
+            if env is None:
+                missing.append(r)
+            else:
+                values[r] = pickle.loads(env.payload)
+        return values, missing
 
     def abort(self) -> None:
         """Tear down the whole world (MPI_Abort): all ranks raise SpmdAbort."""

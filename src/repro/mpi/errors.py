@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-__all__ = ["SpmdAbort", "RankFailedError", "DeadlockError"]
+__all__ = ["SpmdAbort", "RankFailedError", "DeadlockError", "InjectedCrash"]
 
 
 class SpmdAbort(BaseException):
@@ -36,5 +36,23 @@ class DeadlockError(RuntimeError):
 
     Real MPI would simply hang; the simulator turns the hang into a
     diagnosable error, which the assignments use to demonstrate deadlock
-    (e.g. two ranks both blocking in ``recv`` before anyone sends).
+    (e.g. two ranks both blocking in ``recv`` before anyone sends). The
+    message names the blocked operation and its peer rank so a hang
+    caused by an injected fault (:mod:`repro.mpi.faults`) points at the
+    dead partner, not just at the clock.
     """
+
+
+class InjectedCrash(RuntimeError):
+    """A rank death injected by a :class:`repro.mpi.faults.FaultPlan`.
+
+    Distinct from organic failures so recovery policies (and tests) can
+    tell a simulated fault apart from a genuine bug in the rank program.
+    ``rank`` is the world rank that was killed and ``op_index`` the
+    runtime-operation index at which the plan scheduled the crash.
+    """
+
+    def __init__(self, rank: int, op_index: int) -> None:
+        self.rank = rank
+        self.op_index = op_index
+        super().__init__(f"injected crash of rank {rank} at operation {op_index}")

@@ -1,0 +1,302 @@
+"""Deterministic fault injection for the SPMD runtime.
+
+Real clusters lose ranks, drop messages, and straggle — but never twice
+the same way, which is exactly why failure handling is so hard to teach
+on real hardware. The thread-per-rank simulator can do better: a
+:class:`FaultPlan` is *seeded* and *bit-reproducible*, built on the same
+:mod:`repro.rng.lcg` fast-forward machinery as the §5 traffic PRNG, so
+"rank 2 dies at its 13th operation" happens identically on every run
+with the same seed.
+
+The plan addresses faults by ``(rank, op_index)`` where the operation
+index counts the rank's primitive runtime operations in program order:
+every message it posts and every receive/probe it performs. For a
+deterministic rank program that sequence is itself deterministic, so
+injection is exact.
+
+Fault kinds:
+
+- ``crash``    — the rank raises :class:`~repro.mpi.errors.InjectedCrash`
+  *before* executing the operation (the process "dies" at that point);
+- ``drop``     — the posted message is silently discarded;
+- ``duplicate``— the posted message is delivered twice;
+- ``delay``    — the posted message is delivered ``seconds`` later;
+- ``straggle`` — the rank sleeps ``seconds`` before the operation
+  (an artificial slow node).
+
+Message kinds scheduled at an operation index that turns out to be a
+receive are no-ops (nothing was posted to disturb).
+
+The default is no injector at all: ``run_spmd(...)`` without a plan
+takes the exact fault-free hot path (one attribute load + ``None``
+check per operation; ``benchmarks/test_fault_overhead.py`` holds the
+line at <5%).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.mpi.errors import InjectedCrash
+from repro.rng.lcg import KNUTH_LCG, LcgParams, LinearCongruential
+from repro.util.validation import require_nonnegative_int, require_positive_int
+
+__all__ = ["FaultEvent", "FaultPlan", "FaultReport", "InjectionRecord", "FAULT_KINDS"]
+
+#: The recognized fault kinds, in the order the sampler's probability
+#: intervals are laid out.
+FAULT_KINDS = ("crash", "drop", "duplicate", "delay", "straggle")
+
+#: Kinds that act on a posted message (ignored on receive operations).
+_MESSAGE_KINDS = frozenset({"drop", "duplicate", "delay"})
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault: ``kind`` hits ``rank`` at its ``op_index``-th op.
+
+    ``seconds`` only matters for ``delay`` and ``straggle``.
+    """
+
+    kind: str
+    rank: int
+    op_index: int
+    seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; expected one of {FAULT_KINDS}")
+        require_nonnegative_int("rank", self.rank)
+        require_nonnegative_int("op_index", self.op_index)
+        if self.seconds < 0:
+            raise ValueError(f"seconds must be >= 0, got {self.seconds}")
+
+
+@dataclass(frozen=True)
+class InjectionRecord:
+    """One fault that actually fired: where, what, and on which operation."""
+
+    rank: int
+    op_index: int
+    kind: str
+    op: str
+    seconds: float = 0.0
+
+
+class FaultPlan:
+    """An immutable schedule of faults for one SPMD world.
+
+    Build one explicitly from :class:`FaultEvent` instances, or sample
+    one reproducibly with :meth:`sample`. At most one event may target a
+    given ``(rank, op_index)`` slot.
+    """
+
+    def __init__(self, events: Iterable[FaultEvent] = (), *, seed: int | None = None) -> None:
+        self.events: tuple[FaultEvent, ...] = tuple(
+            sorted(events, key=lambda e: (e.rank, e.op_index))
+        )
+        self.seed = seed
+        slots = [(e.rank, e.op_index) for e in self.events]
+        if len(slots) != len(set(slots)):
+            raise ValueError("at most one fault event per (rank, op_index) slot")
+
+    @classmethod
+    def crash(cls, rank: int, op_index: int) -> "FaultPlan":
+        """The simplest plan: kill one rank at one operation."""
+        return cls([FaultEvent("crash", rank, op_index)])
+
+    @classmethod
+    def sample(
+        cls,
+        seed: int,
+        size: int,
+        horizon: int,
+        *,
+        crash_prob: float = 0.0,
+        drop_prob: float = 0.0,
+        duplicate_prob: float = 0.0,
+        delay_prob: float = 0.0,
+        straggle_prob: float = 0.0,
+        seconds: float = 0.002,
+        max_crashes: int = 1,
+        protected_ranks: Sequence[int] = (0,),
+        params: LcgParams = KNUTH_LCG,
+    ) -> "FaultPlan":
+        """Draw a reproducible plan: one LCG decision per (rank, op) slot.
+
+        Exactly the §5 traffic idiom: every rank owns a contiguous block
+        of ``horizon`` draws from one shared LCG sequence, reached by
+        O(log n) fast-forward (``jumped``), so the plan is bit-identical
+        for a given ``seed`` regardless of evaluation order. Probabilities
+        partition [0, 1): a draw falling in a kind's interval schedules
+        that kind at that slot.
+
+        ``max_crashes`` caps total crashes (survivors must outnumber the
+        dead for recovery to mean anything) and ``protected_ranks``
+        shields ranks whose death the workloads treat as unrecoverable —
+        by default rank 0, the root every gather converges on.
+        """
+        require_positive_int("size", size)
+        require_positive_int("horizon", horizon)
+        probs = (crash_prob, drop_prob, duplicate_prob, delay_prob, straggle_prob)
+        if any(p < 0 for p in probs) or sum(probs) > 1.0:
+            raise ValueError(f"fault probabilities must be >= 0 and sum to <= 1, got {probs}")
+        base = LinearCongruential(params, seed)
+        events: list[FaultEvent] = []
+        crashes = 0
+        protected = frozenset(protected_ranks)
+        for rank in range(size):
+            stream = base.jumped(rank * horizon)
+            for op_index in range(horizon):
+                u = stream.next_uniform()
+                kind = None
+                lo = 0.0
+                for name, p in zip(FAULT_KINDS, probs):
+                    if lo <= u < lo + p:
+                        kind = name
+                        break
+                    lo += p
+                if kind is None:
+                    continue
+                if kind == "crash":
+                    if rank in protected or crashes >= max_crashes:
+                        continue
+                    crashes += 1
+                    events.append(FaultEvent("crash", rank, op_index))
+                    break  # ops after a crash are unreachable
+                events.append(
+                    FaultEvent(kind, rank, op_index, seconds if kind in ("delay", "straggle") else 0.0)
+                )
+        return cls(events, seed=seed)
+
+    def for_rank(self, rank: int) -> dict[int, FaultEvent]:
+        """This rank's events, keyed by operation index."""
+        return {e.op_index: e for e in self.events if e.rank == rank}
+
+    def trace(self) -> tuple[tuple[str, int, int], ...]:
+        """Normalized (kind, rank, op_index) tuples — the reproducibility witness."""
+        return tuple((e.kind, e.rank, e.op_index) for e in self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __repr__(self) -> str:
+        seed = f", seed={self.seed}" if self.seed is not None else ""
+        return f"FaultPlan({len(self.events)} events{seed})"
+
+
+@dataclass
+class FaultReport:
+    """What the fault layer observed during one SPMD run.
+
+    Returned by ``run_spmd(..., return_report=True)``: which faults
+    fired (:attr:`injected`), which ranks ended the run dead
+    (:attr:`failures`), and how many times each rank was respawned.
+    All mutators are thread-safe; readers should run after the world
+    has been joined.
+    """
+
+    size: int
+    injected: list[InjectionRecord] = field(default_factory=list)
+    failures: dict[int, BaseException] = field(default_factory=dict)
+    respawns: dict[int, int] = field(default_factory=dict)
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False, compare=False)
+
+    def record_injection(self, record: InjectionRecord) -> None:
+        """Log one fired fault (called by the injector)."""
+        with self._lock:
+            self.injected.append(record)
+
+    def record_death(self, rank: int, exc: BaseException) -> None:
+        """Log a rank's final, unrecovered failure."""
+        with self._lock:
+            self.failures[rank] = exc
+
+    def record_respawn(self, rank: int) -> None:
+        """Log one respawn attempt for a rank."""
+        with self._lock:
+            self.respawns[rank] = self.respawns.get(rank, 0) + 1
+
+    @property
+    def dead_ranks(self) -> list[int]:
+        """World ranks that never recovered, sorted."""
+        return sorted(self.failures)
+
+    @property
+    def survivors(self) -> list[int]:
+        """World ranks alive at the end of the run, sorted."""
+        return [r for r in range(self.size) if r not in self.failures]
+
+    def trace(self) -> tuple[tuple[str, int, int, str], ...]:
+        """Normalized fired-fault tuples — equal across runs of one seed."""
+        with self._lock:
+            return tuple(
+                (rec.kind, rec.rank, rec.op_index, rec.op)
+                for rec in sorted(self.injected, key=lambda r: (r.rank, r.op_index))
+            )
+
+    def summary(self) -> str:
+        """One human-readable paragraph (for logs and teaching output)."""
+        lines = [f"FaultReport: {len(self.injected)} fault(s) fired on a {self.size}-rank world"]
+        for rec in sorted(self.injected, key=lambda r: (r.rank, r.op_index)):
+            extra = f" ({rec.seconds:.3f}s)" if rec.seconds else ""
+            lines.append(f"  - rank {rec.rank} op {rec.op_index} [{rec.op}]: {rec.kind}{extra}")
+        for rank in self.dead_ranks:
+            exc = self.failures[rank]
+            n = self.respawns.get(rank, 0)
+            retried = f" after {n} respawn(s)" if n else ""
+            lines.append(f"  rank {rank} died{retried}: {type(exc).__name__}: {exc}")
+        if not self.failures:
+            lines.append("  all ranks survived")
+        return "\n".join(lines)
+
+
+class _FaultInjector:
+    """Runtime side of a plan: counts each rank's operations and fires events.
+
+    One per :class:`~repro.mpi.runtime.World`. Per-rank counters need no
+    locking: a rank's operations all run on its own thread (respawns
+    reuse the slot sequentially), and the counter survives respawns so
+    every event fires at most once per run.
+    """
+
+    def __init__(self, plan: FaultPlan, size: int, report: FaultReport) -> None:
+        self.plan = plan
+        self.report = report
+        self._by_rank = [plan.for_rank(r) for r in range(size)]
+        self._op_counts = [0] * size
+
+    def on_op(self, rank: int, op: str, *, send: bool) -> FaultEvent | None:
+        """Advance ``rank``'s op counter; fire any event scheduled there.
+
+        Crashes raise, stragglers sleep here; message events are returned
+        to the caller (``Communicator._post``) to apply — and swallowed
+        when the operation is not a send.
+        """
+        op_index = self._op_counts[rank]
+        self._op_counts[rank] = op_index + 1
+        event = self._by_rank[rank].get(op_index)
+        if event is None:
+            return None
+        if event.kind == "crash":
+            self.report.record_injection(InjectionRecord(rank, op_index, "crash", op))
+            raise InjectedCrash(rank, op_index)
+        if event.kind == "straggle":
+            self.report.record_injection(
+                InjectionRecord(rank, op_index, "straggle", op, event.seconds)
+            )
+            time.sleep(event.seconds)
+            return None
+        if not send:
+            return None  # message fault scheduled on a receive: nothing to disturb
+        self.report.record_injection(
+            InjectionRecord(rank, op_index, event.kind, op, event.seconds)
+        )
+        return event
+
+    def ops_performed(self, rank: int) -> int:
+        """How many operations ``rank`` has executed (diagnostic)."""
+        return self._op_counts[rank]

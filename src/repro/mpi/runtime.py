@@ -11,20 +11,33 @@ messages, real concurrency hazards, real blocking — and a partially
 faithful *performance* model: numpy kernels release the GIL so chunked
 array compute genuinely overlaps, while pure-Python loops serialize.
 DESIGN.md's ablation benchmark quantifies exactly that boundary.
+
+Fault tolerance (docs/fault_tolerance.md): pass a seeded
+:class:`~repro.mpi.faults.FaultPlan` to inject deterministic crashes,
+message faults, and stragglers, and pick an ``on_failure`` policy —
+``"abort"`` (fail fast, the default), ``"respawn"`` (re-run the dead
+rank's function with bounded exponential-backoff retries), or
+``"tolerate"`` (ULFM-style: the world keeps running, survivors observe
+the death via ``Communicator.failed_ranks``/``shrink``).
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from typing import Any, Callable
 
 from repro.mpi.comm import Communicator, _Mailbox
-from repro.mpi.errors import RankFailedError, SpmdAbort
+from repro.mpi.errors import DeadlockError, RankFailedError, SpmdAbort
+from repro.mpi.faults import FaultPlan, FaultReport, _FaultInjector
 from repro.util.validation import require_positive_int
 
-__all__ = ["World", "run_spmd"]
+__all__ = ["World", "run_spmd", "FAILURE_POLICIES"]
 
 _WORLD_COMM_ID = 0
+
+#: Recovery policies accepted by :func:`run_spmd`'s ``on_failure``.
+FAILURE_POLICIES = ("abort", "respawn", "tolerate")
 
 
 class MessageStats:
@@ -57,13 +70,17 @@ class MessageStats:
 class World:
     """Shared state for one SPMD execution: mailboxes, abort flag, comm ids."""
 
-    def __init__(self, size: int, timeout: float) -> None:
+    def __init__(self, size: int, timeout: float, faults: FaultPlan | None = None) -> None:
         require_positive_int("size", size)
         if timeout <= 0:
             raise ValueError(f"timeout must be > 0, got {timeout}")
         self.size = size
         self.timeout = timeout
         self.stats = MessageStats()
+        self.report = FaultReport(size)
+        #: Fault injector consulted on every runtime operation, or None —
+        #: the fault-free hot path is a single ``is None`` check.
+        self.faults = _FaultInjector(faults, size, self.report) if faults is not None else None
         self._mailboxes = [_Mailbox(self) for _ in range(size)]
         self._abort = threading.Event()
         self._comm_id_lock = threading.Lock()
@@ -71,6 +88,9 @@ class World:
         self._shared: dict[int, object] = {}
         self._shared_lock = threading.Lock()
         self._next_shared_key = 0
+        self._dead: dict[int, BaseException] = {}
+        self._dead_lock = threading.Lock()
+        self._shrink_ids: dict[tuple[int, frozenset[int]], int] = {}
 
     @property
     def aborted(self) -> bool:
@@ -82,6 +102,29 @@ class World:
         self._abort.set()
         for box in self._mailboxes:
             box.wake_all()
+
+    def mark_dead(self, world_rank: int, exc: BaseException) -> None:
+        """Record an unrecovered rank death (``on_failure="tolerate"``).
+
+        The world keeps running; blocked receivers are woken so tolerant
+        operations can notice the death instead of waiting out the
+        timeout.
+        """
+        with self._dead_lock:
+            self._dead[world_rank] = exc
+        self.report.record_death(world_rank, exc)
+        for box in self._mailboxes:
+            box.wake_all()
+
+    def is_dead(self, world_rank: int) -> bool:
+        """True if the rank died and was not (or could not be) respawned."""
+        with self._dead_lock:
+            return world_rank in self._dead
+
+    def dead_world_ranks(self) -> frozenset[int]:
+        """The currently-known dead world ranks."""
+        with self._dead_lock:
+            return frozenset(self._dead)
 
     def mailbox(self, world_rank: int) -> _Mailbox:
         """The receive queue of a world rank."""
@@ -112,6 +155,20 @@ class World:
             self._next_comm_id += 1
             return cid
 
+    def shrink_comm_id(self, parent_id: int, failed_world: frozenset[int]) -> int:
+        """The communicator id all survivors of one shrink agree on.
+
+        ``shrink`` involves no messaging, so agreement comes from this
+        shared, lock-protected cache: the first survivor to ask allocates
+        the id, the rest reuse it.
+        """
+        key = (parent_id, failed_world)
+        with self._comm_id_lock:
+            if key not in self._shrink_ids:
+                self._shrink_ids[key] = self._next_comm_id
+                self._next_comm_id += 1
+            return self._shrink_ids[key]
+
     def world_communicator(self, rank: int) -> Communicator:
         """The COMM_WORLD view for one rank."""
         return Communicator(self, _WORLD_COMM_ID, list(range(self.size)), rank)
@@ -123,8 +180,14 @@ def run_spmd(
     *args: Any,
     timeout: float = 60.0,
     return_stats: bool = False,
+    faults: FaultPlan | None = None,
+    on_failure: str = "abort",
+    max_respawns: int = 2,
+    respawn_backoff: float = 0.01,
+    wall_timeout: float | None = None,
+    return_report: bool = False,
     **kwargs: Any,
-) -> list[Any] | tuple[list[Any], dict[str, int]]:
+) -> Any:
     """Run ``fn(comm, *args, **kwargs)`` on ``size`` ranks; return per-rank results.
 
     Parameters
@@ -140,32 +203,87 @@ def run_spmd(
         Seconds any single blocking operation may wait before the runtime
         declares deadlock.
     return_stats:
-        When True, return ``(results, stats)`` where stats reports the
-        run's total message count and pickled payload bytes — the
-        communication-volume view the course's performance discussions
-        need.
+        When True, the run's message-count/payload-bytes stats are
+        appended to the return value.
+    faults:
+        Optional :class:`~repro.mpi.faults.FaultPlan` to inject
+        deterministic crashes, message faults, and stragglers. None (the
+        default) leaves the hot path untouched.
+    on_failure:
+        Recovery policy for a rank whose function raises an
+        ``Exception`` (``BaseException`` escapes always abort):
+
+        - ``"abort"``: fail fast — abort the world, raise
+          :class:`RankFailedError` (the pre-fault-tolerance behaviour);
+        - ``"respawn"``: re-run the rank function from the top, up to
+          ``max_respawns`` times with exponential backoff
+          (``respawn_backoff * 2**attempt`` seconds); exhausted retries
+          escalate to abort. The function must be re-entrant — see
+          docs/fault_tolerance.md.
+        - ``"tolerate"``: ULFM-style — record the death, keep the world
+          running; survivors observe it via
+          ``Communicator.failed_ranks()`` / ``is_alive()`` and rebuild
+          with ``shrink()``. The dead rank's result stays None. Raises
+          :class:`RankFailedError` only if *every* rank died.
+    wall_timeout:
+        Optional bound on the whole run's wall-clock seconds. If any
+        rank thread is still running at the deadline the world is
+        aborted and :class:`DeadlockError` is raised naming the stuck
+        ranks — instead of joining forever.
+    return_report:
+        When True, the :class:`~repro.mpi.faults.FaultReport` (fired
+        faults, deaths, respawns) is appended to the return value.
+
+    Returns
+    -------
+    ``results`` — or ``(results, stats)``, ``(results, report)``,
+    ``(results, stats, report)`` as requested by the two flags.
 
     Raises
     ------
     RankFailedError
-        If any rank raised; carries the per-rank exceptions.
+        If any rank raised (policy permitting); carries the per-rank
+        exceptions.
+    DeadlockError
+        If ``wall_timeout`` expired with rank threads still running.
     """
-    world = World(size, timeout)
+    if on_failure not in FAILURE_POLICIES:
+        raise ValueError(f"on_failure must be one of {FAILURE_POLICIES}, got {on_failure!r}")
+    if wall_timeout is not None and wall_timeout <= 0:
+        raise ValueError(f"wall_timeout must be > 0, got {wall_timeout}")
+    world = World(size, timeout, faults=faults)
     results: list[Any] = [None] * size
     failures: dict[int, BaseException] = {}
     failure_lock = threading.Lock()
 
     def rank_main(rank: int) -> None:
-        comm = world.world_communicator(rank)
-        try:
-            results[rank] = fn(comm, *args, **kwargs)
-        except SpmdAbort:
-            # Another rank failed first; this rank just unwinds quietly.
-            pass
-        except BaseException as exc:  # noqa: BLE001 - report any rank failure
-            with failure_lock:
-                failures[rank] = exc
-            world.abort()
+        attempts = 0
+        while True:
+            comm = world.world_communicator(rank)
+            try:
+                results[rank] = fn(comm, *args, **kwargs)
+                return
+            except SpmdAbort:
+                # Another rank failed first; this rank just unwinds quietly.
+                return
+            except Exception as exc:
+                if on_failure == "respawn" and attempts < max_respawns and not world.aborted:
+                    world.report.record_respawn(rank)
+                    time.sleep(respawn_backoff * (2**attempts))
+                    attempts += 1
+                    continue
+                if on_failure == "tolerate":
+                    world.mark_dead(rank, exc)
+                    return
+                with failure_lock:
+                    failures[rank] = exc
+                world.abort()
+                return
+            except BaseException as exc:  # noqa: BLE001 - report any rank failure
+                with failure_lock:
+                    failures[rank] = exc
+                world.abort()
+                return
 
     threads = [
         threading.Thread(target=rank_main, args=(r,), name=f"spmd-rank-{r}", daemon=True)
@@ -173,12 +291,37 @@ def run_spmd(
     ]
     for t in threads:
         t.start()
+    deadline = None if wall_timeout is None else time.monotonic() + wall_timeout
     for t in threads:
-        t.join()
+        t.join(None if deadline is None else max(0.0, deadline - time.monotonic()))
+    stuck = [r for r, t in enumerate(threads) if t.is_alive()]
+    if stuck:
+        # Wake anything blocked in the runtime; give the unwind a moment.
+        world.abort()
+        grace = time.monotonic() + 1.0
+        for t in threads:
+            t.join(max(0.0, grace - time.monotonic()))
+        still = [r for r, t in enumerate(threads) if t.is_alive()]
+        raise DeadlockError(
+            f"run_spmd exceeded wall_timeout={wall_timeout}s: "
+            f"rank(s) {stuck} never returned"
+            + (f"; rank(s) {still} ignored the abort (stuck outside the runtime)" if still else "")
+        )
 
-    if failures:
+    if on_failure == "tolerate":
+        # Tolerated deaths live in the report; raise only for hard aborts
+        # (BaseException escapes) or a world with no survivors left.
+        all_dead = dict(world.report.failures)
+        if failures or len(all_dead) >= size:
+            failures = {**all_dead, **failures}
+            first_rank = min(failures)
+            raise RankFailedError(failures) from failures[first_rank]
+    elif failures:
         first_rank = min(failures)
         raise RankFailedError(failures) from failures[first_rank]
+    out: tuple[Any, ...] = (results,)
     if return_stats:
-        return results, world.stats.snapshot()
-    return results
+        out += (world.stats.snapshot(),)
+    if return_report:
+        out += (world.report,)
+    return out[0] if len(out) == 1 else out

@@ -1,0 +1,96 @@
+"""Fault-tolerant distributed HPO: deaths cost time, never accuracy.
+
+The PR's acceptance criterion lives here: a seeded FaultPlan killing a
+rank mid-search must still yield a DeepEnsemble bit-identical to the
+fault-free *serial* search, and one seed must reproduce one fault trace.
+"""
+
+import numpy as np
+import pytest
+
+from repro.hpo import (
+    hyperparameter_grid,
+    make_digit_dataset,
+    run_distributed_hpo_ft,
+    run_hpo_serial,
+)
+from repro.hpo.search import ensemble_of_top
+from repro.mpi import FaultEvent, FaultPlan, RankFailedError
+
+
+@pytest.fixture(scope="module")
+def digit_data():
+    x, y = make_digit_dataset(300, noise=0.1, seed=0)
+    return x[:200], y[:200], x[200:], y[200:]
+
+
+@pytest.fixture(scope="module")
+def small_grid():
+    return hyperparameter_grid(
+        hidden_options=[(12,)],
+        lr_options=[0.1],
+        epochs_options=[3],
+        seeds=[0, 1, 2, 3, 4, 5],
+    )
+
+
+@pytest.fixture(scope="module")
+def serial_ensemble(digit_data, small_grid):
+    return ensemble_of_top(run_hpo_serial(small_grid, *digit_data), 2)
+
+
+def assert_ensembles_bit_identical(a, b):
+    assert len(a.models) == len(b.models)
+    for ma, mb in zip(a.models, b.models):
+        for wa, wb in zip(ma.get_weights(), mb.get_weights()):
+            np.testing.assert_array_equal(wa, wb)
+
+
+class TestFaultTolerantHpo:
+    def test_fault_free_matches_serial(self, digit_data, small_grid, serial_ensemble):
+        ensemble, outcomes, report = run_distributed_hpo_ft(
+            4, small_grid, *digit_data, top_m=2
+        )
+        assert len(outcomes) == len(small_grid)
+        assert report.failures == {}
+        assert_ensembles_bit_identical(ensemble, serial_ensemble)
+
+    def test_rank_death_mid_search_is_bit_transparent(
+        self, digit_data, small_grid, serial_ensemble
+    ):
+        # Rank 2 dies at its first runtime operation — after training its
+        # share, before delivering it. The root must reassign and the
+        # ensemble must not change by a single bit.
+        ensemble, outcomes, report = run_distributed_hpo_ft(
+            4, small_grid, *digit_data, top_m=2, faults=FaultPlan.crash(2, 0)
+        )
+        assert len(outcomes) == len(small_grid)
+        assert report.dead_ranks == [2]
+        assert report.trace() == (("crash", 2, 0, "gather_tolerant"),)
+        assert_ensembles_bit_identical(ensemble, serial_ensemble)
+
+    def test_sampled_plan_same_seed_same_trace_same_ensemble(
+        self, digit_data, small_grid, serial_ensemble
+    ):
+        # One seed → one plan → one fired trace, run after run; and the
+        # injected death still cannot perturb the result.
+        def search():
+            plan = FaultPlan.sample(23, size=4, horizon=2, crash_prob=0.9)
+            assert any(e.kind == "crash" for e in plan.events)
+            return run_distributed_hpo_ft(
+                4, small_grid, *digit_data, top_m=2, faults=plan
+            )
+
+        first = search()
+        second = search()
+        assert first[2].trace() == second[2].trace()
+        assert len(first[2].trace()) >= 1
+        assert_ensembles_bit_identical(first[0], serial_ensemble)
+        assert_ensembles_bit_identical(second[0], serial_ensemble)
+
+    def test_root_death_is_unrecoverable(self, digit_data, small_grid):
+        plan = FaultPlan([FaultEvent("crash", 0, 0)])
+        with pytest.raises(RankFailedError):
+            run_distributed_hpo_ft(
+                3, small_grid, *digit_data, top_m=2, faults=plan, timeout=1.0
+            )

@@ -1,0 +1,75 @@
+"""Iteration checkpoint/restore for the MPI k-means: bit-identical resume."""
+
+import numpy as np
+import pytest
+
+from repro.kmeans.mpi_kmeans import KMeansCheckpoint, run_kmeans_mpi
+from repro.mpi import FaultPlan, InjectedCrash, RankFailedError
+
+
+@pytest.fixture(scope="module")
+def points():
+    return np.random.default_rng(0).normal(size=(400, 3))
+
+
+@pytest.fixture(scope="module")
+def baseline(points):
+    return run_kmeans_mpi(4, points, 5, seed=1)
+
+
+def assert_results_bit_identical(a, b):
+    np.testing.assert_array_equal(a.centroids, b.centroids)
+    np.testing.assert_array_equal(a.assignments, b.assignments)
+    assert a.iterations == b.iterations
+    assert a.stop_reason == b.stop_reason
+    assert a.inertia == b.inertia
+    assert a.changes_history == b.changes_history
+    assert a.shift_history == b.shift_history
+
+
+class TestKMeansCheckpoint:
+    def test_empty_checkpoint_restore_raises(self):
+        ckpt = KMeansCheckpoint()
+        assert not ckpt.has_state()
+        assert ckpt.iteration == 0
+        with pytest.raises(ValueError, match="empty"):
+            ckpt.restore()
+
+    def test_save_copies_state(self):
+        ckpt = KMeansCheckpoint()
+        centroids = np.ones((2, 3))
+        assignments = np.zeros(10, dtype=np.int64)
+        ckpt.save(3, centroids, assignments, [5], [0.1])
+        centroids[:] = -1.0  # caller mutation must not reach the checkpoint
+        it, cent, assign, changes, shifts = ckpt.restore()
+        assert it == 3 and ckpt.iteration == 3
+        np.testing.assert_array_equal(cent, np.ones((2, 3)))
+        assert changes == [5] and shifts == [0.1]
+
+    def test_checkpointed_run_matches_plain_run(self, points, baseline):
+        ckpt = KMeansCheckpoint()
+        result = run_kmeans_mpi(4, points, 5, seed=1, checkpoint=ckpt)
+        assert_results_bit_identical(result, baseline)
+        assert ckpt.iteration == baseline.iterations
+
+    def test_crash_then_resume_is_bit_identical(self, points, baseline):
+        # The restart story end to end: a fresh world killed mid-run by
+        # an injected crash, then a second world resuming from the
+        # checkpoint, finishing exactly where an uninterrupted run does.
+        ckpt = KMeansCheckpoint()
+        with pytest.raises(RankFailedError) as excinfo:
+            run_kmeans_mpi(
+                4, points, 5, seed=1, checkpoint=ckpt,
+                faults=FaultPlan.crash(1, 20), timeout=10.0,
+            )
+        assert isinstance(excinfo.value.failures[1], InjectedCrash)
+        assert 0 < ckpt.iteration < baseline.iterations
+
+        resumed = run_kmeans_mpi(4, points, 5, seed=1, checkpoint=ckpt)
+        assert_results_bit_identical(resumed, baseline)
+
+    def test_restore_rejects_mismatched_k(self, points):
+        ckpt = KMeansCheckpoint()
+        ckpt.save(1, np.zeros((7, 3)), np.zeros(400, dtype=np.int64), [1], [0.5])
+        with pytest.raises(RankFailedError, match="checkpoint centroids"):
+            run_kmeans_mpi(4, points, 5, seed=1, checkpoint=ckpt)

@@ -1,0 +1,87 @@
+"""Speculative re-execution of map tasks owned by a dead rank."""
+
+import pytest
+
+from repro.mapreduce import MapReduce
+from repro.mpi import FaultEvent, FaultPlan, RankFailedError, run_spmd
+
+CORPUS = [
+    "the quick brown fox",
+    "the lazy dog",
+    "the quick dog jumps",
+    "brown dog brown fox",
+    "fox and dog and fox",
+    "lazy summer afternoon",
+]
+
+
+def expected_counts():
+    counts = {}
+    for line in CORPUS:
+        for w in line.split():
+            counts[w] = counts.get(w, 0) + 1
+    return counts
+
+
+def wordcount_speculative(comm):
+    mr = MapReduce(comm)
+    mr.map_tasks_speculative(
+        len(CORPUS), lambda t, kv: [kv.add(w, 1) for w in CORPUS[t].split()]
+    )
+    mr.collate()
+    mr.reduce(lambda word, ones, kv: kv.add(word, sum(ones)))
+    pairs = mr.gather()
+    return dict(pairs) if comm.rank == 0 else None
+
+
+class TestSpeculativeMap:
+    def test_fault_free_path_matches_map_tasks(self):
+        results = run_spmd(4, wordcount_speculative)
+        assert results[0] == expected_counts()
+
+    @pytest.mark.parametrize("victim", [1, 2, 3])
+    def test_dead_ranks_tasks_are_readopted(self, victim):
+        results = run_spmd(
+            4,
+            wordcount_speculative,
+            faults=FaultPlan.crash(victim, 0),
+            on_failure="tolerate",
+            timeout=10.0,
+        )
+        assert results[victim] is None
+        assert results[0] == expected_counts()
+
+    def test_two_simultaneous_deaths(self):
+        plan = FaultPlan([FaultEvent("crash", 1, 0), FaultEvent("crash", 3, 0)])
+        results, report = run_spmd(
+            4,
+            wordcount_speculative,
+            faults=plan,
+            on_failure="tolerate",
+            timeout=10.0,
+            return_report=True,
+        )
+        assert report.dead_ranks == [1, 3]
+        assert results[0] == expected_counts()
+
+    def test_emitted_pair_count_covers_orphans(self):
+        def program(comm):
+            mr = MapReduce(comm)
+            return mr.map_tasks_speculative(9, lambda t, kv: kv.add(t, t))
+
+        results = run_spmd(
+            3,
+            program,
+            faults=FaultPlan.crash(2, 0),
+            on_failure="tolerate",
+            timeout=10.0,
+        )
+        # All 9 tasks emitted exactly once, counted over the survivors.
+        assert results[0] == 9 and results[1] == 9 and results[2] is None
+
+    def test_negative_task_count_rejected(self):
+        def program(comm):
+            MapReduce(comm).map_tasks_speculative(-1, lambda t, kv: None)
+
+        with pytest.raises(RankFailedError, match="num_tasks"):
+            run_spmd(2, program)

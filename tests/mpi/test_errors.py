@@ -1,0 +1,122 @@
+"""Error-reporting semantics: RankFailedError ordering/chaining, SpmdAbort unwind.
+
+These pin down the failure contract the fault-tolerance layer builds
+on: which exception becomes ``__cause__``, how simultaneous failures
+are merged, and how surviving ranks unwind when the world aborts.
+"""
+
+import threading
+
+import pytest
+
+from repro.mpi import RankFailedError, SpmdAbort, run_spmd
+
+
+class TestRankFailedErrorChaining:
+    def test_cause_is_lowest_rank_failure(self):
+        barrier = threading.Barrier(3)
+
+        def program(comm):
+            barrier.wait(timeout=5.0)  # all fail simultaneously
+            raise ValueError(f"rank {comm.rank} broke")
+
+        with pytest.raises(RankFailedError) as excinfo:
+            run_spmd(3, program, timeout=5.0)
+        err = excinfo.value
+        assert set(err.failures) == {0, 1, 2}
+        assert err.__cause__ is err.failures[0]
+
+    def test_message_lists_failures_in_rank_order(self):
+        barrier = threading.Barrier(2)
+
+        def program(comm):
+            barrier.wait(timeout=5.0)
+            raise RuntimeError(f"boom-{comm.rank}")
+
+        with pytest.raises(RankFailedError, match=r"rank 0: .*boom-0.*rank 1: .*boom-1"):
+            run_spmd(2, program, timeout=5.0)
+
+    def test_original_exception_preserved_not_wrapped(self):
+        class DomainError(Exception):
+            pass
+
+        def program(comm):
+            if comm.rank == 1:
+                raise DomainError("typed failure")
+            comm.barrier()
+
+        with pytest.raises(RankFailedError) as excinfo:
+            run_spmd(2, program, timeout=5.0)
+        assert type(excinfo.value.failures[1]) is DomainError
+
+    def test_single_failure_is_sole_entry(self):
+        def program(comm):
+            if comm.rank == 2:
+                raise KeyError("only rank 2")
+            comm.allreduce(1)
+
+        with pytest.raises(RankFailedError) as excinfo:
+            run_spmd(4, program, timeout=5.0)
+        assert list(excinfo.value.failures) == [2]
+
+
+class TestSpmdAbortUnwind:
+    def test_survivors_blocked_in_collective_unwind_quietly(self):
+        # Ranks 0 and 2 block inside allreduce; rank 1's failure must
+        # wake and unwind them without adding them to the failure map.
+        def program(comm):
+            if comm.rank == 1:
+                raise RuntimeError("first failure")
+            comm.allreduce(comm.rank)
+
+        with pytest.raises(RankFailedError) as excinfo:
+            run_spmd(3, program, timeout=10.0)
+        assert list(excinfo.value.failures) == [1]
+
+    def test_abort_not_swallowed_by_except_exception(self):
+        # SpmdAbort derives from BaseException precisely so a rank's
+        # blanket `except Exception` cannot eat the teardown.
+        assert issubclass(SpmdAbort, BaseException)
+        assert not issubclass(SpmdAbort, Exception)
+
+        reached = []
+
+        def program(comm):
+            if comm.rank == 1:
+                raise ValueError("dies")
+            try:
+                comm.recv(source=1, tag=0)
+            except Exception:  # would hide the abort if SpmdAbort were one
+                reached.append("swallowed")
+            return "survived"
+
+        with pytest.raises(RankFailedError) as excinfo:
+            run_spmd(2, program, timeout=10.0)
+        assert list(excinfo.value.failures) == [1]
+        assert reached == []
+
+    def test_user_abort_unwinds_whole_world_quietly(self):
+        # comm.abort() is a deliberate MPI_Abort-style teardown: every
+        # rank (the caller included) unwinds via SpmdAbort without being
+        # reported as a *failure* — even under "tolerate".
+        def program(comm):
+            if comm.rank == 0:
+                comm.abort()
+            comm.barrier()
+            return "unreachable"
+
+        results, report = run_spmd(
+            2, program, on_failure="tolerate", timeout=10.0, return_report=True
+        )
+        assert results == [None, None]
+        assert report.failures == {}
+
+    def test_failed_world_leaves_next_run_clean(self):
+        def bad(comm):
+            if comm.rank == 0:
+                raise RuntimeError("poison")
+            comm.barrier()
+
+        with pytest.raises(RankFailedError):
+            run_spmd(2, bad, timeout=10.0)
+        assert run_spmd(2, lambda comm: comm.allreduce(1)) == [2, 2]
