@@ -3,14 +3,21 @@
 Every table/figure benchmark both *times* its workload (pytest-benchmark)
 and *regenerates the paper's rows/series*, writing them to
 ``benchmarks/out/<experiment>.txt`` so the artifacts survive the run and
-can be diffed against EXPERIMENTS.md.
+can be diffed against EXPERIMENTS.md. Scaling studies additionally emit
+machine-readable ``benchmarks/out/BENCH_<name>.json`` via
+:func:`write_bench_json`, so downstream tooling (plots, regression
+dashboards) never has to parse the text tables.
 """
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
+from typing import Any
 
 import pytest
+
+from repro.util.timing import ScalingStudy
 
 OUT_DIR = Path(__file__).parent / "out"
 
@@ -23,7 +30,37 @@ def write_report(name: str, text: str) -> Path:
     return path
 
 
+def write_bench_json(
+    name: str,
+    study: ScalingStudy,
+    *,
+    metrics: dict[str, Any] | None = None,
+    **extra: Any,
+) -> Path:
+    """Persist one scaling study as ``BENCH_<name>.json``.
+
+    The payload is ``ScalingStudy.to_json()`` (workers/seconds/speedup/
+    efficiency rows) plus an optional ``metrics`` snapshot (e.g. from
+    ``tracer.metrics.snapshot()``) and any keyword extras the benchmark
+    wants to pin (sizes, seeds, variants).
+    """
+    OUT_DIR.mkdir(exist_ok=True)
+    payload = study.to_json()
+    if metrics is not None:
+        payload["metrics"] = metrics
+    payload.update(extra)
+    path = OUT_DIR / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
 @pytest.fixture(scope="session")
 def report_writer():
     """Fixture handing benches the report writer."""
     return write_report
+
+
+@pytest.fixture(scope="session")
+def bench_json_writer():
+    """Fixture handing benches the machine-readable JSON writer."""
+    return write_bench_json

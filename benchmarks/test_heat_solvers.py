@@ -11,7 +11,7 @@ import numpy as np
 
 from repro.chapel import set_num_locales
 from repro.heat import sine_initial_condition, solve_coforall, solve_forall, solve_serial
-from repro.util.timing import time_call
+from repro.util.timing import ScalingStudy, time_call
 
 N = 40_000
 STEPS = 60
@@ -19,7 +19,7 @@ ALPHA = 0.25
 LOCALES = [1, 2, 4]
 
 
-def test_heat_forall_vs_coforall(benchmark, report_writer):
+def test_heat_forall_vs_coforall(benchmark, report_writer, bench_json_writer):
     u0 = sine_initial_condition(N)
     serial_sec, (serial_u, _) = time_call(lambda: solve_serial(u0, ALPHA, STEPS), repeats=2)
 
@@ -34,6 +34,7 @@ def test_heat_forall_vs_coforall(benchmark, report_writer):
         f"{'remote gets':>12} {'remote puts':>12} {'exact':>6}",
         f"{'serial':>10} {1:>8} {serial_sec:>9.3f} {0:>12} {0:>12} {0:>12} {'-':>6}",
     ]
+    study = ScalingStudy("heat_coforall")
     for num_locales in LOCALES:
         locs = set_num_locales(num_locales)
         fa_sec, (fa_u, fa_stats) = time_call(
@@ -49,6 +50,7 @@ def test_heat_forall_vs_coforall(benchmark, report_writer):
             lambda: solve_coforall(u0, ALPHA, STEPS, locs), repeats=2
         )
         np.testing.assert_array_equal(co_u, serial_u)
+        study.record(num_locales, co_sec)
         lines.append(
             f"{'coforall':>10} {num_locales:>8} {co_sec:>9.3f} {co_stats.task_spawns:>12} "
             f"{co_stats.remote_gets:>12} {co_stats.remote_puts:>12} {'yes':>6}"
@@ -64,3 +66,6 @@ def test_heat_forall_vs_coforall(benchmark, report_writer):
     lines.append("shape: forall spawns tasks every step; coforall spawns once and")
     lines.append("replaces implicit boundary reads with explicit halo puts")
     report_writer("heat_solvers", "\n".join(lines) + "\n")
+    bench_json_writer(
+        "heat_coforall", study, n=N, steps=STEPS, alpha=ALPHA, serial_seconds=serial_sec
+    )

@@ -16,13 +16,13 @@ from repro.hpo import (
 )
 from repro.hpo.scheduler import greedy_lpt_schedule, round_robin_schedule
 from repro.util.partition import distribute_tasks
-from repro.util.timing import time_call
+from repro.util.timing import ScalingStudy, time_call
 
 T = 10  # ensemble-training tasks
 NODES = [3, 4, 6]
 
 
-def test_hpo_task_distribution(benchmark, report_writer):
+def test_hpo_task_distribution(benchmark, report_writer, bench_json_writer):
     x, y = make_digit_dataset(500, noise=0.1, seed=0)
     train_x, train_y, val_x, val_y = x[:350], y[:350], x[350:], y[350:]
     grid = hyperparameter_grid(
@@ -44,6 +44,7 @@ def test_hpo_task_distribution(benchmark, report_writer):
         "",
         f"{'nodes':>6} {'loads':>16} {'max-min':>8} {'seconds':>9} {'same ranking':>13}",
     ]
+    study = ScalingStudy("hpo_distribution")
     for nodes in NODES:
         assignment = distribute_tasks(T, nodes)
         loads = [len(a) for a in assignment]
@@ -56,6 +57,7 @@ def test_hpo_task_distribution(benchmark, report_writer):
         same = [o.params for o in out] == [o.params for o in serial]
         assert same
         assert max(loads) - min(loads) <= 1
+        study.record(nodes, sec)
         lines.append(
             f"{nodes:>6} {str(loads):>16} {max(loads) - min(loads):>8} {sec:>9.3f} {'yes':>13}"
         )
@@ -73,3 +75,4 @@ def test_hpo_task_distribution(benchmark, report_writer):
     assert lpt.makespan <= rr.makespan
     lines.append(f"ensemble of top-5 val accuracy: {ensemble.accuracy(val_x, val_y):.3f}")
     report_writer("hpo_distribution", "\n".join(lines) + "\n")
+    bench_json_writer("hpo_distribution", study, tasks=T, top_m=5)

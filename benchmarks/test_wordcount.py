@@ -1,7 +1,8 @@
 """E-wordcount — the MapReduce warm-up problem at several rank counts."""
 
 from repro.knn import run_wordcount
-from repro.util.timing import time_call
+from repro.trace import Tracer, use_tracer
+from repro.util.timing import ScalingStudy, time_call
 
 LINES = [
     f"line {i} the quick brown fox jumps over the lazy dog number {i % 10}"
@@ -9,12 +10,13 @@ LINES = [
 ]
 
 
-def test_wordcount_ranks(benchmark, report_writer):
+def test_wordcount_ranks(benchmark, report_writer, bench_json_writer):
     counts = benchmark(lambda: run_wordcount(4, LINES, local_combine=True))
     assert counts["the"] == 2 * len(LINES)
 
     rows = ["E-wordcount: Word Counting on MapReduce-MPI", f"lines={len(LINES)}", ""]
     rows.append(f"{'ranks':>6} {'combine':>8} {'seconds':>9}")
+    study = ScalingStudy("wordcount")
     baseline = None
     for ranks in (1, 4):
         for combine in (False, True):
@@ -25,5 +27,19 @@ def test_wordcount_ranks(benchmark, report_writer):
             assert got == counts
             if baseline is None:
                 baseline = sec
+            if combine:
+                study.record(ranks, sec)
             rows.append(f"{ranks:>6} {str(combine):>8} {sec:>9.3f}")
     report_writer("wordcount", "\n".join(rows) + "\n")
+
+    # One traced run supplies the communication-metrics snapshot for the
+    # machine-readable report (message counts, shuffle volume, ...).
+    with use_tracer(Tracer()) as tracer:
+        run_wordcount(4, LINES, local_combine=True)
+    bench_json_writer(
+        "wordcount",
+        study,
+        lines=len(LINES),
+        local_combine=True,
+        metrics=tracer.metrics.snapshot(),
+    )

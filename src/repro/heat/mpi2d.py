@@ -95,7 +95,7 @@ def solve_mpi_2d(
     left = neighbour(0, -1)
     right = neighbour(0, 1)
 
-    for _ in range(num_steps):
+    for step in range(num_steps):
         local, local_n = local_n, local
         # Interior update, clipped to the global interior (Dirichlet edges fixed).
         glo_r = max(rlo, 1)
@@ -128,22 +128,23 @@ def solve_mpi_2d(
         # sends before any receive is deadlock-free. Tag = direction the
         # payload travels: my top row goes UP (tag 10), and I fill my
         # bottom halo with the tag-10 row arriving from DOWN, etc.
-        if up is not None:
-            comm.send(local_n[1, 1:-1].copy(), dest=up, tag=10)
-        if down is not None:
-            comm.send(local_n[-2, 1:-1].copy(), dest=down, tag=11)
-        if left is not None:
-            comm.send(local_n[1:-1, 1].copy(), dest=left, tag=12)
-        if right is not None:
-            comm.send(local_n[1:-1, -2].copy(), dest=right, tag=13)
-        if down is not None:
-            local_n[-1, 1:-1] = comm.recv(source=down, tag=10)
-        if up is not None:
-            local_n[0, 1:-1] = comm.recv(source=up, tag=11)
-        if right is not None:
-            local_n[1:-1, -1] = comm.recv(source=right, tag=12)
-        if left is not None:
-            local_n[1:-1, 0] = comm.recv(source=left, tag=13)
+        with comm.tracer.span("halo_exchange", category="heat", step=step):
+            if up is not None:
+                comm.send(local_n[1, 1:-1].copy(), dest=up, tag=10)
+            if down is not None:
+                comm.send(local_n[-2, 1:-1].copy(), dest=down, tag=11)
+            if left is not None:
+                comm.send(local_n[1:-1, 1].copy(), dest=left, tag=12)
+            if right is not None:
+                comm.send(local_n[1:-1, -2].copy(), dest=right, tag=13)
+            if down is not None:
+                local_n[-1, 1:-1] = comm.recv(source=down, tag=10)
+            if up is not None:
+                local_n[0, 1:-1] = comm.recv(source=up, tag=11)
+            if right is not None:
+                local_n[1:-1, -1] = comm.recv(source=right, tag=12)
+            if left is not None:
+                local_n[1:-1, 0] = comm.recv(source=left, tag=13)
 
     return local_n[1:-1, 1:-1].copy()
 

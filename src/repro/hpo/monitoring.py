@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.hpo.nn.network import MLP
+from repro.trace.tracer import get_tracer
 from repro.util.validation import require_positive_int
 
 __all__ = ["AccuracyMonitor", "StopTraining", "learning_curve"]
@@ -53,6 +54,11 @@ class AccuracyMonitor:
             return
         accuracy = model.accuracy(self.val_x, self.val_y)
         self.history.append((epoch, accuracy))
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.instant(
+                "hpo.accuracy_check", category="hpo", epoch=epoch, accuracy=accuracy
+            )
         if accuracy > self.best_accuracy:
             self.best_accuracy = accuracy
             self.best_epoch = epoch
@@ -60,6 +66,13 @@ class AccuracyMonitor:
         else:
             self._checks_since_best += 1
             if self.patience is not None and self._checks_since_best >= self.patience:
+                if tracer.enabled:
+                    tracer.instant(
+                        "hpo.early_stop",
+                        category="hpo",
+                        epoch=epoch,
+                        best_epoch=self.best_epoch,
+                    )
                 raise StopTraining(
                     f"no improvement for {self.patience} checks "
                     f"(best {self.best_accuracy:.3f} at epoch {self.best_epoch})"

@@ -22,6 +22,7 @@ import numpy as np
 from repro.hpo.ensemble import DeepEnsemble
 from repro.hpo.nn.network import MLP
 from repro.hpo.nn.optimizers import SGD
+from repro.trace.tracer import get_tracer
 
 __all__ = [
     "HyperParams",
@@ -104,25 +105,31 @@ def train_one(
     """
     input_size = input_size or train_x.shape[1]
     num_classes = num_classes or int(max(train_y.max(), val_y.max())) + 1
-    model = MLP(
-        (input_size, *params.hidden_sizes, num_classes),
-        activation="relu",
-        seed=params.seed + hash(params.hidden_sizes) % 1000,
-    )
-    model.fit(
-        train_x,
-        train_y,
-        epochs=params.epochs,
-        batch_size=params.batch_size,
-        optimizer=SGD(lr=params.learning_rate, momentum=params.momentum),
-        shuffle_seed=params.seed,
-    )
-    return HPOutcome(
-        params=params,
-        model=model,
-        val_accuracy=model.accuracy(val_x, val_y),
-        train_accuracy=model.accuracy(train_x, train_y),
-    )
+    tracer = get_tracer()
+    with tracer.span("hpo.trial", category="hpo", config=params.describe()) as sp:
+        model = MLP(
+            (input_size, *params.hidden_sizes, num_classes),
+            activation="relu",
+            seed=params.seed + hash(params.hidden_sizes) % 1000,
+        )
+        model.fit(
+            train_x,
+            train_y,
+            epochs=params.epochs,
+            batch_size=params.batch_size,
+            optimizer=SGD(lr=params.learning_rate, momentum=params.momentum),
+            shuffle_seed=params.seed,
+        )
+        outcome = HPOutcome(
+            params=params,
+            model=model,
+            val_accuracy=model.accuracy(val_x, val_y),
+            train_accuracy=model.accuracy(train_x, train_y),
+        )
+    if tracer.enabled:
+        tracer.metrics.histogram("hpo.trial_seconds").observe(sp.duration)
+        tracer.metrics.counter("hpo.trials").inc()
+    return outcome
 
 
 def run_hpo_serial(

@@ -23,6 +23,7 @@ import numpy as np
 from repro.kmeans.initialization import init_random_points
 from repro.kmeans.sequential import KMeansResult, compute_inertia
 from repro.kmeans.termination import TerminationCriteria
+from repro.trace.tracer import get_tracer
 from repro.util.validation import require_positive_int
 
 __all__ = ["kmeans_device"]
@@ -114,6 +115,13 @@ def kmeans_device(
         centroids = new_centroids
         changes_history.append(changes)
         shift_history.append(max_shift)
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.instant(
+                "kmeans.iteration", category="kmeans", iteration=iteration, changes=changes
+            )
+            tracer.metrics.histogram("kmeans.iteration_shift", model="device").observe(max_shift)
+            tracer.metrics.counter("kmeans.iterations", model="device").inc()
         stop = criteria.reason_to_stop(iteration, changes, max_shift)
         if stop is not None:
             reason = stop

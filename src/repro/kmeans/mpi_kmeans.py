@@ -115,6 +115,7 @@ def kmeans_mpi(
     require_positive_int("k", k)
     criteria = criteria or TerminationCriteria()
     rank, size = comm.rank, comm.size
+    tracer = comm.tracer
 
     # --- one-time distribution of the input (collective scatter) -------
     restored = checkpoint is not None and checkpoint.has_state()
@@ -196,6 +197,13 @@ def kmeans_mpi(
         centroids = new_centroids
         changes_history.append(changes)
         shift_history.append(max_shift)
+        if tracer.enabled and rank == 0:
+            # Post-allreduce the values are global, so rank 0 speaks for all.
+            tracer.instant(
+                "kmeans.iteration", category="kmeans", iteration=iteration, changes=changes
+            )
+            tracer.metrics.histogram("kmeans.iteration_shift", model="mpi").observe(max_shift)
+            tracer.metrics.counter("kmeans.iterations", model="mpi").inc()
         stop = criteria.reason_to_stop(iteration, changes, max_shift)
         if checkpoint is not None:
             # One extra collective per iteration: the completed state

@@ -25,6 +25,7 @@ from repro.kmeans.initialization import init_random_points
 from repro.kmeans.sequential import KMeansResult, compute_inertia
 from repro.kmeans.termination import TerminationCriteria
 from repro.openmp import Atomic, parallel_region
+from repro.trace.tracer import get_tracer
 from repro.util.partition import block_bounds
 from repro.util.validation import require_positive_int
 
@@ -138,6 +139,13 @@ def kmeans_openmp(
         changes = changes_cell.value
         changes_history.append(changes)
         shift_history.append(max_shift)
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.instant(
+                "kmeans.iteration", category="kmeans", iteration=iteration, changes=changes
+            )
+            tracer.metrics.histogram("kmeans.iteration_shift", model="openmp").observe(max_shift)
+            tracer.metrics.counter("kmeans.iterations", model="openmp").inc()
         stop = criteria.reason_to_stop(iteration, changes, max_shift)
         if stop is not None:
             reason = stop

@@ -65,12 +65,13 @@ class MapReduce:
         """
         if num_tasks < 0:
             raise ValueError(f"num_tasks must be >= 0, got {num_tasks}")
-        if not append:
-            self.kv = KeyValue()
-        self.kmv = None
-        for task in range(self.comm.rank, num_tasks, self.comm.size):
-            map_fn(task, self.kv)
-        return self.comm.allreduce(len(self.kv), SUM)
+        with self.comm.tracer.span("map", category="mapreduce", tasks=num_tasks):
+            if not append:
+                self.kv = KeyValue()
+            self.kmv = None
+            for task in range(self.comm.rank, num_tasks, self.comm.size):
+                map_fn(task, self.kv)
+            return self.comm.allreduce(len(self.kv), SUM)
 
     def map_tasks_speculative(self, num_tasks: int, map_fn: MapFn, *, append: bool = False) -> int:
         """Cyclic map with speculative re-execution of dead ranks' tasks.
@@ -95,11 +96,12 @@ class MapReduce:
         """
         if num_tasks < 0:
             raise ValueError(f"num_tasks must be >= 0, got {num_tasks}")
-        if not append:
-            self.kv = KeyValue()
-        self.kmv = None
-        for task in range(self.comm.rank, num_tasks, self.comm.size):
-            map_fn(task, self.kv)
+        with self.comm.tracer.span("map_speculative", category="mapreduce", tasks=num_tasks):
+            if not append:
+                self.kv = KeyValue()
+            self.kmv = None
+            for task in range(self.comm.rank, num_tasks, self.comm.size):
+                map_fn(task, self.kv)
         if self.comm.rank == 0:
             dead = []
             for r in range(1, self.comm.size):
@@ -142,13 +144,14 @@ class MapReduce:
         """
         from pathlib import Path
 
-        if not append:
-            self.kv = KeyValue()
-        self.kmv = None
-        for i in range(self.comm.rank, len(paths), self.comm.size):
-            path = Path(paths[i])
-            map_fn(str(path), path.read_text(), self.kv)
-        return self.comm.allreduce(len(self.kv), SUM)
+        with self.comm.tracer.span("map", category="mapreduce", files=len(paths)):
+            if not append:
+                self.kv = KeyValue()
+            self.kmv = None
+            for i in range(self.comm.rank, len(paths), self.comm.size):
+                path = Path(paths[i])
+                map_fn(str(path), path.read_text(), self.kv)
+            return self.comm.allreduce(len(self.kv), SUM)
 
     def map_items(self, items: Sequence[Any], map_fn: ItemMapFn, *, append: bool = False) -> int:
         """Call ``map_fn(item, kv)`` on this rank's block of a global sequence.
@@ -157,13 +160,14 @@ class MapReduce:
         all ranks hold the same input description, each processes its
         slice). Returns the global number of pairs emitted.
         """
-        if not append:
-            self.kv = KeyValue()
-        self.kmv = None
-        lo, hi = block_bounds(len(items), self.comm.size, self.comm.rank)
-        for item in items[lo:hi]:
-            map_fn(item, self.kv)
-        return self.comm.allreduce(len(self.kv), SUM)
+        with self.comm.tracer.span("map", category="mapreduce", items=len(items)):
+            if not append:
+                self.kv = KeyValue()
+            self.kmv = None
+            lo, hi = block_bounds(len(items), self.comm.size, self.comm.rank)
+            for item in items[lo:hi]:
+                map_fn(item, self.kv)
+            return self.comm.allreduce(len(self.kv), SUM)
 
     # ------------------------------------------------------------------
     # shuffle phase
@@ -178,28 +182,35 @@ class MapReduce:
         the global number of pairs shipped between ranks.
         """
         size = self.comm.size
-        outboxes: list[list[tuple[Any, Any]]] = [[] for _ in range(size)]
-        for key, value in self.kv:
-            dest = partitioner(key) % size if partitioner else partition_for(key, size)
-            outboxes[dest].append((key, value))
-        self.last_shuffle_sent = sum(
-            len(box) for r, box in enumerate(outboxes) if r != self.comm.rank
-        )
-        inboxes = self.comm.alltoall(outboxes)
-        merged = KeyValue()
-        for box in inboxes:
-            merged.extend(box)
-        self.kv = merged
-        self.kmv = None
-        return self.comm.allreduce(self.last_shuffle_sent, SUM)
+        tracer = self.comm.tracer
+        with tracer.span("shuffle", category="mapreduce"):
+            outboxes: list[list[tuple[Any, Any]]] = [[] for _ in range(size)]
+            for key, value in self.kv:
+                dest = partitioner(key) % size if partitioner else partition_for(key, size)
+                outboxes[dest].append((key, value))
+            self.last_shuffle_sent = sum(
+                len(box) for r, box in enumerate(outboxes) if r != self.comm.rank
+            )
+            if tracer.enabled:
+                tracer.metrics.counter(
+                    "mapreduce.shuffle_pairs", rank=self.comm.world_rank
+                ).inc(self.last_shuffle_sent)
+            inboxes = self.comm.alltoall(outboxes)
+            merged = KeyValue()
+            for box in inboxes:
+                merged.extend(box)
+            self.kv = merged
+            self.kmv = None
+            return self.comm.allreduce(self.last_shuffle_sent, SUM)
 
     def convert(self) -> int:
         """Group this rank's pairs by key into a KeyMultiValue (no communication).
 
         Returns the global number of unique keys.
         """
-        self.kmv = KeyMultiValue.from_pairs(self.kv)
-        return self.comm.allreduce(len(self.kmv), SUM)
+        with self.comm.tracer.span("group", category="mapreduce"):
+            self.kmv = KeyMultiValue.from_pairs(self.kv)
+            return self.comm.allreduce(len(self.kmv), SUM)
 
     def collate(self, partitioner: Callable[[Any], int] | None = None) -> int:
         """``aggregate`` + ``convert``: the canonical shuffle-and-group step.
@@ -220,12 +231,13 @@ class MapReduce:
         """
         if self.kmv is None:
             raise RuntimeError("reduce() requires collate() or convert() first")
-        out = KeyValue()
-        for key, values in self.kmv.items():
-            reduce_fn(key, values, out)
-        self.kv = out
-        self.kmv = None
-        return self.comm.allreduce(len(out), SUM)
+        with self.comm.tracer.span("reduce", category="mapreduce"):
+            out = KeyValue()
+            for key, values in self.kmv.items():
+                reduce_fn(key, values, out)
+            self.kv = out
+            self.kmv = None
+            return self.comm.allreduce(len(out), SUM)
 
     def local_combine(self, reduce_fn: ReduceFn) -> int:
         """Pre-reduce *locally* before any shuffle — the paper's optimization.
@@ -248,10 +260,11 @@ class MapReduce:
     # ------------------------------------------------------------------
     def gather(self, root: int = 0) -> list[tuple[Any, Any]] | None:
         """All pairs to ``root`` (concatenated in rank order); None elsewhere."""
-        chunks = self.comm.gather(self.kv.pairs(), root=root)
-        if chunks is None:
-            return None
-        return [pair for chunk in chunks for pair in chunk]
+        with self.comm.tracer.span("gather", category="mapreduce", root=root):
+            chunks = self.comm.gather(self.kv.pairs(), root=root)
+            if chunks is None:
+                return None
+            return [pair for chunk in chunks for pair in chunk]
 
     def gather_all(self) -> list[tuple[Any, Any]]:
         """All pairs on every rank (rank-order concatenation)."""

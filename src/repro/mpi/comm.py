@@ -90,15 +90,20 @@ class _Envelope:
 class _Mailbox:
     """Per-rank message store with condition-variable based matching."""
 
-    def __init__(self, world: "World") -> None:
+    def __init__(self, world: "World", rank: int) -> None:
         self._world = world
+        self._rank = rank
         self._cond = threading.Condition()
         self._messages: list[_Envelope] = []
 
     def put(self, env: _Envelope) -> None:
         with self._cond:
             self._messages.append(env)
+            depth = len(self._messages)
             self._cond.notify_all()
+        tracer = self._world.tracer
+        if tracer.enabled:
+            tracer.metrics.gauge("mailbox.queue_depth", rank=self._rank).set(depth)
 
     def wake_all(self) -> None:
         """Wake blocked receivers (used when the world aborts)."""
@@ -257,6 +262,21 @@ class Communicator:
         """This process's rank in the world communicator."""
         return self._world_ranks[self._rank]
 
+    @property
+    def tracer(self):
+        """The world's :class:`~repro.trace.Tracer` (disabled by default)."""
+        return self._world.tracer
+
+    @property
+    def stats(self):
+        """The world's live :class:`~repro.mpi.runtime.MessageStats`.
+
+        Counts cover the whole world (all communicators), updating as
+        messages post; ``per_rank()``/``per_pair()`` give the breakdown
+        by sender and by (src, dst) world-rank pair.
+        """
+        return self._world.stats
+
     def __repr__(self) -> str:
         return f"Communicator(id={self._id}, rank={self._rank}, size={self.size})"
 
@@ -281,8 +301,20 @@ class Communicator:
             # or sleep (straggler); message events come back to apply.
             event = faults.on_op(self.world_rank, _TAG_NAMES.get(tag, "send"), send=True)
         payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
-        self._world.stats.record(len(payload))
-        env = _Envelope(self._id, self.world_rank, tag, payload)
+        src_world = self.world_rank
+        self._world.stats.record(len(payload), src=src_world, dst=dest_world)
+        tracer = self._world.tracer
+        if tracer.enabled:
+            tracer.instant(
+                "send",
+                category="mpi.p2p",
+                dest=dest_world,
+                tag=_tag_label(tag),
+                nbytes=len(payload),
+            )
+            tracer.metrics.counter("mpi.messages", rank=src_world).inc()
+            tracer.metrics.counter("mpi.payload_bytes", rank=src_world).inc(len(payload))
+        env = _Envelope(self._id, src_world, tag, payload)
         mailbox = self._world.mailbox(dest_world)
         if event is not None:
             if event.kind == "drop":
@@ -324,14 +356,17 @@ class Communicator:
     def recv_with_status(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> tuple[Any, Status]:
         """Like :meth:`recv` but also return the matched :class:`Status`."""
         self._fault_op("recv")
-        env = self._world.mailbox(self.world_rank).match(
-            self._id,
-            self._source_world(source),
-            tag,
-            remove=True,
-            op="recv",
-            peer=self._peer_label(source),
-        )
+        with self._world.tracer.span(
+            "recv", category="mpi.p2p", source=self._peer_label(source), tag=_tag_label(tag)
+        ):
+            env = self._world.mailbox(self.world_rank).match(
+                self._id,
+                self._source_world(source),
+                tag,
+                remove=True,
+                op="recv",
+                peer=self._peer_label(source),
+            )
         status = Status(self._from_world[env.src_world], env.tag)
         return pickle.loads(env.payload), status
 
@@ -370,14 +405,17 @@ class Communicator:
     def probe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Status:
         """Block until a matching message is available; do not consume it."""
         self._fault_op("probe")
-        env = self._world.mailbox(self.world_rank).match(
-            self._id,
-            self._source_world(source),
-            tag,
-            remove=False,
-            op="probe",
-            peer=self._peer_label(source),
-        )
+        with self._world.tracer.span(
+            "probe", category="mpi.p2p", source=self._peer_label(source), tag=_tag_label(tag)
+        ):
+            env = self._world.mailbox(self.world_rank).match(
+                self._id,
+                self._source_world(source),
+                tag,
+                remove=False,
+                op="probe",
+                peer=self._peer_label(source),
+            )
         return Status(self._from_world[env.src_world], env.tag)
 
     def iprobe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Status | None:
@@ -395,17 +433,23 @@ class Communicator:
     # ------------------------------------------------------------------
     def barrier(self) -> None:
         """Block until every rank of the communicator has entered."""
-        root = 0
-        if self._rank == root:
-            for r in range(self.size):
-                if r != root:
-                    self._recv_sys(r, _TAG_BARRIER_IN)
-            for r in range(self.size):
-                if r != root:
-                    self._post(None, self._world_ranks[r], _TAG_BARRIER_OUT)
-        else:
-            self._post(None, self._world_ranks[root], _TAG_BARRIER_IN)
-            self._recv_sys(root, _TAG_BARRIER_OUT)
+        tracer = self._world.tracer
+        with tracer.span("barrier", category="mpi.collective") as sp:
+            root = 0
+            if self._rank == root:
+                for r in range(self.size):
+                    if r != root:
+                        self._recv_sys(r, _TAG_BARRIER_IN)
+                for r in range(self.size):
+                    if r != root:
+                        self._post(None, self._world_ranks[r], _TAG_BARRIER_OUT)
+            else:
+                self._post(None, self._world_ranks[root], _TAG_BARRIER_IN)
+                self._recv_sys(root, _TAG_BARRIER_OUT)
+        if tracer.enabled:
+            tracer.metrics.histogram(
+                "mpi.barrier_wait_seconds", rank=self.world_rank
+            ).observe(sp.duration)
 
     def _recv_sys(self, source: int, tag: int) -> Any:
         self._fault_op(_TAG_NAMES.get(tag, "recv"))
@@ -426,13 +470,14 @@ class Communicator:
     def bcast(self, obj: Any, root: int = 0) -> Any:
         """Broadcast ``obj`` from ``root``; every rank returns its own copy."""
         self._check_root(root)
-        if self._rank == root:
-            for r in range(self.size):
-                if r != root:
-                    self._post(obj, self._world_ranks[r], _TAG_BCAST)
-            # Root round-trips through pickle too, for uniform value semantics.
-            return pickle.loads(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
-        return self._recv_sys(root, _TAG_BCAST)
+        with self._world.tracer.span("bcast", category="mpi.collective", root=root):
+            if self._rank == root:
+                for r in range(self.size):
+                    if r != root:
+                        self._post(obj, self._world_ranks[r], _TAG_BCAST)
+                # Root round-trips through pickle too, for uniform value semantics.
+                return pickle.loads(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
+            return self._recv_sys(root, _TAG_BCAST)
 
     def scatter(self, objs: Sequence[Any] | None, root: int = 0) -> Any:
         """Rank ``i`` returns ``objs[i]`` from the root's sequence.
@@ -440,28 +485,32 @@ class Communicator:
         Uneven payload sizes are allowed (this doubles as Scatterv).
         """
         self._check_root(root)
-        if self._rank == root:
-            if objs is None or len(objs) != self.size:
-                got = "None" if objs is None else str(len(objs))
-                raise ValueError(f"root must pass exactly {self.size} items to scatter, got {got}")
-            for r in range(self.size):
-                if r != root:
-                    self._post(objs[r], self._world_ranks[r], _TAG_SCATTER)
-            return pickle.loads(pickle.dumps(objs[root], protocol=pickle.HIGHEST_PROTOCOL))
-        return self._recv_sys(root, _TAG_SCATTER)
+        with self._world.tracer.span("scatter", category="mpi.collective", root=root):
+            if self._rank == root:
+                if objs is None or len(objs) != self.size:
+                    got = "None" if objs is None else str(len(objs))
+                    raise ValueError(
+                        f"root must pass exactly {self.size} items to scatter, got {got}"
+                    )
+                for r in range(self.size):
+                    if r != root:
+                        self._post(objs[r], self._world_ranks[r], _TAG_SCATTER)
+                return pickle.loads(pickle.dumps(objs[root], protocol=pickle.HIGHEST_PROTOCOL))
+            return self._recv_sys(root, _TAG_SCATTER)
 
     def gather(self, obj: Any, root: int = 0) -> list[Any] | None:
         """Root returns ``[rank0_obj, rank1_obj, …]``; other ranks return None."""
         self._check_root(root)
-        if self._rank == root:
-            out: list[Any] = [None] * self.size
-            out[root] = pickle.loads(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
-            for r in range(self.size):
-                if r != root:
-                    out[r] = self._recv_sys(r, _TAG_GATHER)
-            return out
-        self._post(obj, self._world_ranks[root], _TAG_GATHER)
-        return None
+        with self._world.tracer.span("gather", category="mpi.collective", root=root):
+            if self._rank == root:
+                out: list[Any] = [None] * self.size
+                out[root] = pickle.loads(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
+                for r in range(self.size):
+                    if r != root:
+                        out[r] = self._recv_sys(r, _TAG_GATHER)
+                return out
+            self._post(obj, self._world_ranks[root], _TAG_GATHER)
+            return None
 
     def allgather(self, obj: Any) -> list[Any]:
         """Every rank returns the full gathered list."""
@@ -475,33 +524,35 @@ class Communicator:
         """
         if len(objs) != self.size:
             raise ValueError(f"alltoall needs exactly {self.size} items, got {len(objs)}")
-        for r in range(self.size):
-            if r != self._rank:
-                self._post(objs[r], self._world_ranks[r], _TAG_ALLTOALL)
-        out: list[Any] = [None] * self.size
-        out[self._rank] = pickle.loads(
-            pickle.dumps(objs[self._rank], protocol=pickle.HIGHEST_PROTOCOL)
-        )
-        for r in range(self.size):
-            if r != self._rank:
-                out[r] = self._recv_sys(r, _TAG_ALLTOALL)
-        return out
+        with self._world.tracer.span("alltoall", category="mpi.collective"):
+            for r in range(self.size):
+                if r != self._rank:
+                    self._post(objs[r], self._world_ranks[r], _TAG_ALLTOALL)
+            out: list[Any] = [None] * self.size
+            out[self._rank] = pickle.loads(
+                pickle.dumps(objs[self._rank], protocol=pickle.HIGHEST_PROTOCOL)
+            )
+            for r in range(self.size):
+                if r != self._rank:
+                    out[r] = self._recv_sys(r, _TAG_ALLTOALL)
+            return out
 
     def reduce(self, obj: Any, op: Op = SUM, root: int = 0) -> Any:
         """Fold all ranks' values with ``op`` in rank order; result at root only."""
         self._check_root(root)
-        if self._rank == root:
-            parts: list[Any] = [None] * self.size
-            parts[root] = pickle.loads(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
-            for r in range(self.size):
-                if r != root:
-                    parts[r] = self._recv_sys(r, _TAG_REDUCE)
-            acc = parts[0]
-            for part in parts[1:]:
-                acc = op(acc, part)
-            return acc
-        self._post(obj, self._world_ranks[root], _TAG_REDUCE)
-        return None
+        with self._world.tracer.span("reduce", category="mpi.collective", root=root):
+            if self._rank == root:
+                parts: list[Any] = [None] * self.size
+                parts[root] = pickle.loads(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
+                for r in range(self.size):
+                    if r != root:
+                        parts[r] = self._recv_sys(r, _TAG_REDUCE)
+                acc = parts[0]
+                for part in parts[1:]:
+                    acc = op(acc, part)
+                return acc
+            self._post(obj, self._world_ranks[root], _TAG_REDUCE)
+            return None
 
     def allreduce(self, obj: Any, op: Op = SUM) -> Any:
         """Reduce then broadcast: every rank returns the folded value."""
@@ -509,29 +560,31 @@ class Communicator:
 
     def scan(self, obj: Any, op: Op = SUM) -> Any:
         """Inclusive prefix reduction: rank ``r`` gets fold of ranks ``0..r``."""
-        own = pickle.loads(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
-        if self._rank == 0:
-            acc = own
-        else:
-            prefix = self._recv_sys(self._rank - 1, _TAG_SCAN)
-            acc = op(prefix, own)
-        if self._rank + 1 < self.size:
-            self._post(acc, self._world_ranks[self._rank + 1], _TAG_SCAN)
-        return acc
+        with self._world.tracer.span("scan", category="mpi.collective"):
+            own = pickle.loads(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
+            if self._rank == 0:
+                acc = own
+            else:
+                prefix = self._recv_sys(self._rank - 1, _TAG_SCAN)
+                acc = op(prefix, own)
+            if self._rank + 1 < self.size:
+                self._post(acc, self._world_ranks[self._rank + 1], _TAG_SCAN)
+            return acc
 
     def exscan(self, obj: Any, op: Op = SUM) -> Any:
         """Exclusive prefix reduction: rank ``r`` gets fold of ranks ``0..r-1``.
 
         Rank 0 returns ``None`` (MPI leaves it undefined).
         """
-        own = pickle.loads(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
-        prefix = None
-        if self._rank > 0:
-            prefix = self._recv_sys(self._rank - 1, _TAG_SCAN)
-        if self._rank + 1 < self.size:
-            inclusive = own if prefix is None else op(prefix, own)
-            self._post(inclusive, self._world_ranks[self._rank + 1], _TAG_SCAN)
-        return prefix
+        with self._world.tracer.span("exscan", category="mpi.collective"):
+            own = pickle.loads(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
+            prefix = None
+            if self._rank > 0:
+                prefix = self._recv_sys(self._rank - 1, _TAG_SCAN)
+            if self._rank + 1 < self.size:
+                inclusive = own if prefix is None else op(prefix, own)
+                self._post(inclusive, self._world_ranks[self._rank + 1], _TAG_SCAN)
+            return prefix
 
     # ------------------------------------------------------------------
     # communicator management
@@ -610,6 +663,9 @@ class Communicator:
             raise ValueError("a dead rank cannot take part in shrink")
         survivors_world = [w for w in self._world_ranks if w not in failed_world]
         comm_id = self._world.shrink_comm_id(self._id, failed_world)
+        self._world.tracer.instant(
+            "shrink", category="mpi.collective", survivors=len(survivors_world)
+        )
         return Communicator(
             self._world, comm_id, survivors_world, survivors_world.index(self.world_rank)
         )
@@ -625,13 +681,16 @@ class Communicator:
         if source == ANY_SOURCE:
             raise ValueError("recv_tolerant needs a concrete source rank, not ANY_SOURCE")
         self._fault_op("recv_tolerant")
-        env = self._world.mailbox(self.world_rank).match_or_dead(
-            self._id,
-            self._check_peer("source", source),
-            tag,
-            op="recv_tolerant",
-            peer=self._peer_label(source),
-        )
+        with self._world.tracer.span(
+            "recv_tolerant", category="mpi.p2p", source=self._peer_label(source), tag=_tag_label(tag)
+        ):
+            env = self._world.mailbox(self.world_rank).match_or_dead(
+                self._id,
+                self._check_peer("source", source),
+                tag,
+                op="recv_tolerant",
+                peer=self._peer_label(source),
+            )
         if env is None:
             return None
         return pickle.loads(env.payload)
@@ -646,29 +705,30 @@ class Communicator:
         as unrecoverable and restarting the job).
         """
         self._check_root(root)
-        if self._rank != root:
-            self._post(obj, self._world_ranks[root], _TAG_GATHER_FT)
-            return None, []
-        values: list[Any] = [None] * self.size
-        values[root] = pickle.loads(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
-        missing: list[int] = []
-        mailbox = self._world.mailbox(self.world_rank)
-        for r in range(self.size):
-            if r == root:
-                continue
-            self._fault_op("gather_tolerant")
-            env = mailbox.match_or_dead(
-                self._id,
-                self._world_ranks[r],
-                _TAG_GATHER_FT,
-                op="gather_tolerant",
-                peer=f"rank {r}",
-            )
-            if env is None:
-                missing.append(r)
-            else:
-                values[r] = pickle.loads(env.payload)
-        return values, missing
+        with self._world.tracer.span("gather_tolerant", category="mpi.collective", root=root):
+            if self._rank != root:
+                self._post(obj, self._world_ranks[root], _TAG_GATHER_FT)
+                return None, []
+            values: list[Any] = [None] * self.size
+            values[root] = pickle.loads(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
+            missing: list[int] = []
+            mailbox = self._world.mailbox(self.world_rank)
+            for r in range(self.size):
+                if r == root:
+                    continue
+                self._fault_op("gather_tolerant")
+                env = mailbox.match_or_dead(
+                    self._id,
+                    self._world_ranks[r],
+                    _TAG_GATHER_FT,
+                    op="gather_tolerant",
+                    peer=f"rank {r}",
+                )
+                if env is None:
+                    missing.append(r)
+                else:
+                    values[r] = pickle.loads(env.payload)
+            return values, missing
 
     def abort(self) -> None:
         """Tear down the whole world (MPI_Abort): all ranks raise SpmdAbort."""

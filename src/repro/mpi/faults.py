@@ -263,11 +263,24 @@ class _FaultInjector:
     every event fires at most once per run.
     """
 
-    def __init__(self, plan: FaultPlan, size: int, report: FaultReport) -> None:
+    def __init__(self, plan: FaultPlan, size: int, report: FaultReport, tracer=None) -> None:
         self.plan = plan
         self.report = report
+        self._tracer = tracer
         self._by_rank = [plan.for_rank(r) for r in range(size)]
         self._op_counts = [0] * size
+
+    def _trace(self, rank: int, op_index: int, kind: str, op: str) -> None:
+        # Fault firings become trace instants on the victim's lane, so a
+        # timeline shows exactly where the injected failure bit.
+        if self._tracer is not None and self._tracer.enabled:
+            self._tracer.instant(
+                f"fault.{kind}",
+                category="runtime.fault",
+                rank=rank,
+                op=op,
+                op_index=op_index,
+            )
 
     def on_op(self, rank: int, op: str, *, send: bool) -> FaultEvent | None:
         """Advance ``rank``'s op counter; fire any event scheduled there.
@@ -283,11 +296,13 @@ class _FaultInjector:
             return None
         if event.kind == "crash":
             self.report.record_injection(InjectionRecord(rank, op_index, "crash", op))
+            self._trace(rank, op_index, "crash", op)
             raise InjectedCrash(rank, op_index)
         if event.kind == "straggle":
             self.report.record_injection(
                 InjectionRecord(rank, op_index, "straggle", op, event.seconds)
             )
+            self._trace(rank, op_index, "straggle", op)
             time.sleep(event.seconds)
             return None
         if not send:
@@ -295,6 +310,7 @@ class _FaultInjector:
         self.report.record_injection(
             InjectionRecord(rank, op_index, event.kind, op, event.seconds)
         )
+        self._trace(rank, op_index, event.kind, op)
         return event
 
     def ops_performed(self, rank: int) -> int:

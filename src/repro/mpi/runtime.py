@@ -30,6 +30,7 @@ from typing import Any, Callable
 from repro.mpi.comm import Communicator, _Mailbox
 from repro.mpi.errors import DeadlockError, RankFailedError, SpmdAbort
 from repro.mpi.faults import FaultPlan, FaultReport, _FaultInjector
+from repro.trace.tracer import Tracer, get_tracer
 from repro.util.validation import require_positive_int
 
 __all__ = ["World", "run_spmd", "FAILURE_POLICIES"]
@@ -41,36 +42,72 @@ FAILURE_POLICIES = ("abort", "respawn", "tolerate")
 
 
 class MessageStats:
-    """Communication counters for one SPMD run (all ranks combined).
+    """Communication counters for one SPMD run.
 
     Like the shuffle-pair counts in MapReduce/Spark and the remote-access
     counters in the Chapel arrays, these make the runtime's traffic
-    observable: ``messages`` posts and their pickled ``payload_bytes``.
-    Thread-safe via a single lock (contention is irrelevant at teaching
-    scale).
+    observable: ``messages`` posts and their pickled ``payload_bytes``,
+    in aggregate (:meth:`snapshot`, unchanged shape for existing
+    callers) and broken down per sending rank (:meth:`per_rank`) and per
+    (src, dst) pair (:meth:`per_pair`) — the communication *matrix* that
+    shows who talks to whom. Thread-safe via a single lock (contention
+    is irrelevant at teaching scale).
     """
 
     def __init__(self) -> None:
         self.messages = 0
         self.payload_bytes = 0
+        self._by_pair: dict[tuple[int, int], list[int]] = {}
         self._lock = threading.Lock()
 
-    def record(self, nbytes: int) -> None:
-        """Count one posted message of ``nbytes`` pickled payload."""
+    def record(self, nbytes: int, *, src: int | None = None, dst: int | None = None) -> None:
+        """Count one posted message of ``nbytes`` pickled payload.
+
+        ``src``/``dst`` are world ranks; when both are given the message
+        also lands in the per-rank and per-pair breakdowns.
+        """
         with self._lock:
             self.messages += 1
             self.payload_bytes += nbytes
+            if src is not None and dst is not None:
+                cell = self._by_pair.setdefault((src, dst), [0, 0])
+                cell[0] += 1
+                cell[1] += nbytes
 
     def snapshot(self) -> dict[str, int]:
         """A plain-dict copy (for reports)."""
         with self._lock:
             return {"messages": self.messages, "payload_bytes": self.payload_bytes}
 
+    def per_rank(self) -> dict[int, dict[str, int]]:
+        """Messages/bytes *sent* by each world rank, sorted by rank."""
+        with self._lock:
+            out: dict[int, dict[str, int]] = {}
+            for (src, _dst), (n, b) in sorted(self._by_pair.items()):
+                cell = out.setdefault(src, {"messages": 0, "payload_bytes": 0})
+                cell["messages"] += n
+                cell["payload_bytes"] += b
+            return out
+
+    def per_pair(self) -> dict[tuple[int, int], dict[str, int]]:
+        """Messages/bytes per (src, dst) world-rank pair, sorted."""
+        with self._lock:
+            return {
+                pair: {"messages": n, "payload_bytes": b}
+                for pair, (n, b) in sorted(self._by_pair.items())
+            }
+
 
 class World:
     """Shared state for one SPMD execution: mailboxes, abort flag, comm ids."""
 
-    def __init__(self, size: int, timeout: float, faults: FaultPlan | None = None) -> None:
+    def __init__(
+        self,
+        size: int,
+        timeout: float,
+        faults: FaultPlan | None = None,
+        tracer: Tracer | None = None,
+    ) -> None:
         require_positive_int("size", size)
         if timeout <= 0:
             raise ValueError(f"timeout must be > 0, got {timeout}")
@@ -78,10 +115,17 @@ class World:
         self.timeout = timeout
         self.stats = MessageStats()
         self.report = FaultReport(size)
+        #: The run's tracer — the process default (disabled) unless one
+        #: was passed explicitly. Bound once at construction.
+        self.tracer = tracer if tracer is not None else get_tracer()
         #: Fault injector consulted on every runtime operation, or None —
         #: the fault-free hot path is a single ``is None`` check.
-        self.faults = _FaultInjector(faults, size, self.report) if faults is not None else None
-        self._mailboxes = [_Mailbox(self) for _ in range(size)]
+        self.faults = (
+            _FaultInjector(faults, size, self.report, tracer=self.tracer)
+            if faults is not None
+            else None
+        )
+        self._mailboxes = [_Mailbox(self, r) for r in range(size)]
         self._abort = threading.Event()
         self._comm_id_lock = threading.Lock()
         self._next_comm_id = _WORLD_COMM_ID + 1
@@ -113,6 +157,13 @@ class World:
         with self._dead_lock:
             self._dead[world_rank] = exc
         self.report.record_death(world_rank, exc)
+        self.tracer.instant(
+            "rank_death",
+            category="runtime.fault",
+            scope=f"rank{world_rank}",
+            rank=world_rank,
+            error=type(exc).__name__,
+        )
         for box in self._mailboxes:
             box.wake_all()
 
@@ -186,6 +237,7 @@ def run_spmd(
     respawn_backoff: float = 0.01,
     wall_timeout: float | None = None,
     return_report: bool = False,
+    tracer: Tracer | None = None,
     **kwargs: Any,
 ) -> Any:
     """Run ``fn(comm, *args, **kwargs)`` on ``size`` ranks; return per-rank results.
@@ -233,6 +285,14 @@ def run_spmd(
     return_report:
         When True, the :class:`~repro.mpi.faults.FaultReport` (fired
         faults, deaths, respawns) is appended to the return value.
+    tracer:
+        Optional :class:`~repro.trace.Tracer` observing this run. None
+        (the default) uses the process tracer from
+        :func:`repro.trace.get_tracer` — a disabled no-op unless
+        installed with ``use_tracer``/``set_tracer``. When enabled, the
+        runtime records per-rank lifecycle spans, every message post,
+        receive/collective spans, and fault events, each stamped with a
+        deterministic per-rank logical clock (docs/observability.md).
 
     Returns
     -------
@@ -251,49 +311,60 @@ def run_spmd(
         raise ValueError(f"on_failure must be one of {FAILURE_POLICIES}, got {on_failure!r}")
     if wall_timeout is not None and wall_timeout <= 0:
         raise ValueError(f"wall_timeout must be > 0, got {wall_timeout}")
-    world = World(size, timeout, faults=faults)
+    world = World(size, timeout, faults=faults, tracer=tracer)
+    run_tracer = world.tracer
     results: list[Any] = [None] * size
     failures: dict[int, BaseException] = {}
     failure_lock = threading.Lock()
 
     def rank_main(rank: int) -> None:
         attempts = 0
-        while True:
-            comm = world.world_communicator(rank)
-            try:
-                results[rank] = fn(comm, *args, **kwargs)
-                return
-            except SpmdAbort:
-                # Another rank failed first; this rank just unwinds quietly.
-                return
-            except Exception as exc:
-                if on_failure == "respawn" and attempts < max_respawns and not world.aborted:
-                    world.report.record_respawn(rank)
-                    time.sleep(respawn_backoff * (2**attempts))
-                    attempts += 1
-                    continue
-                if on_failure == "tolerate":
-                    world.mark_dead(rank, exc)
+        with run_tracer.scope(f"rank{rank}"):
+            while True:
+                comm = world.world_communicator(rank)
+                try:
+                    with run_tracer.span("rank", category="runtime", rank=rank, attempt=attempts):
+                        results[rank] = fn(comm, *args, **kwargs)
                     return
-                with failure_lock:
-                    failures[rank] = exc
-                world.abort()
-                return
-            except BaseException as exc:  # noqa: BLE001 - report any rank failure
-                with failure_lock:
-                    failures[rank] = exc
-                world.abort()
-                return
+                except SpmdAbort:
+                    # Another rank failed first; this rank just unwinds quietly.
+                    return
+                except Exception as exc:
+                    if on_failure == "respawn" and attempts < max_respawns and not world.aborted:
+                        world.report.record_respawn(rank)
+                        run_tracer.instant(
+                            "rank_respawn", category="runtime.fault", rank=rank, attempt=attempts
+                        )
+                        time.sleep(respawn_backoff * (2**attempts))
+                        attempts += 1
+                        continue
+                    if on_failure == "tolerate":
+                        world.mark_dead(rank, exc)
+                        return
+                    run_tracer.instant(
+                        "rank_failed", category="runtime.fault", rank=rank,
+                        error=type(exc).__name__,
+                    )
+                    with failure_lock:
+                        failures[rank] = exc
+                    world.abort()
+                    return
+                except BaseException as exc:  # noqa: BLE001 - report any rank failure
+                    with failure_lock:
+                        failures[rank] = exc
+                    world.abort()
+                    return
 
     threads = [
         threading.Thread(target=rank_main, args=(r,), name=f"spmd-rank-{r}", daemon=True)
         for r in range(size)
     ]
-    for t in threads:
-        t.start()
-    deadline = None if wall_timeout is None else time.monotonic() + wall_timeout
-    for t in threads:
-        t.join(None if deadline is None else max(0.0, deadline - time.monotonic()))
+    with run_tracer.span("run_spmd", category="runtime", size=size):
+        for t in threads:
+            t.start()
+        deadline = None if wall_timeout is None else time.monotonic() + wall_timeout
+        for t in threads:
+            t.join(None if deadline is None else max(0.0, deadline - time.monotonic()))
     stuck = [r for r, t in enumerate(threads) if t.is_alive()]
     if stuck:
         # Wake anything blocked in the runtime; give the unwind a moment.

@@ -18,6 +18,7 @@ from typing import Any, Callable, Iterable, Sequence
 from repro.spark.accumulators import Accumulator
 from repro.spark.broadcast import Broadcast
 from repro.spark.rdd import RDD, ParallelCollectionRDD
+from repro.trace.tracer import get_tracer
 from repro.util.partition import block_partition
 from repro.util.validation import require_positive_int
 
@@ -94,14 +95,29 @@ class SparkContext:
         self._check_alive()
         self.metrics.jobs += 1
         self.metrics.tasks += rdd.num_partitions
-        if rdd.num_partitions == 1:
-            return [task_fn(0, rdd.partition(0))]
-        with ThreadPoolExecutor(max_workers=self.num_workers) as pool:
-            futures = [
-                pool.submit(lambda i=i: task_fn(i, rdd.partition(i)))
-                for i in range(rdd.num_partitions)
-            ]
-            return [f.result() for f in futures]
+        tracer = get_tracer()
+        with tracer.span(
+            "job", category="spark", scope="spark.driver",
+            rdd=rdd.id, partitions=rdd.num_partitions,
+        ):
+            if rdd.num_partitions == 1:
+                return [self._run_task(tracer, task_fn, rdd, 0)]
+            with ThreadPoolExecutor(max_workers=self.num_workers) as pool:
+                futures = [
+                    pool.submit(lambda i=i: self._run_task(tracer, task_fn, rdd, i))
+                    for i in range(rdd.num_partitions)
+                ]
+                return [f.result() for f in futures]
+
+    @staticmethod
+    def _run_task(tracer: Any, task_fn: Callable[[int, list[Any]], Any], rdd: RDD, i: int) -> Any:
+        if not tracer.enabled:
+            return task_fn(i, rdd.partition(i))
+        # Each partition gets its own logical-clock lane; nested jobs spawned
+        # inside a task inherit it through the thread-local scope.
+        with tracer.scope(f"spark.p{i}"):
+            with tracer.span("task", category="spark", rdd=rdd.id, partition=i):
+                return task_fn(i, rdd.partition(i))
 
     # ------------------------------------------------------------------
     # lifecycle / bookkeeping

@@ -1,0 +1,146 @@
+"""Exporters: Chrome trace-event JSON, plain-text rank timelines, summaries.
+
+Three ways to look at one recorded run:
+
+- :func:`to_chrome_trace` — the ``chrome://tracing`` / Perfetto JSON
+  object format. Each scope becomes a named thread row, spans become
+  complete (``"X"``) events, instants stay instants; the logical-clock
+  ``seq`` rides along in ``args`` so the deterministic order is visible
+  next to the wall-clock one.
+- :func:`render_timeline` — an offline per-scope Gantt chart in plain
+  text, for terminals and test output (the "read the rank timeline"
+  skill docs/observability.md teaches).
+- the metrics table lives in :func:`repro.trace.metrics.format_metrics_table`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Sequence
+
+from repro.trace.tracer import TraceEvent, Tracer
+
+if TYPE_CHECKING:  # pragma: no cover
+    pass
+
+__all__ = ["to_chrome_trace", "write_chrome_trace", "render_timeline"]
+
+
+def _as_events(source: "Tracer | Sequence[TraceEvent]") -> list[TraceEvent]:
+    if isinstance(source, Tracer):
+        return source.events()
+    return list(source)
+
+
+def to_chrome_trace(source: "Tracer | Sequence[TraceEvent]") -> dict[str, Any]:
+    """Convert a tracer (or event list) to the Chrome trace-event JSON object.
+
+    Timestamps are microseconds relative to the earliest recorded event
+    (the viewer wants small positive numbers, not raw ``perf_counter``
+    values). One process (``pid=0``); each scope maps to a stable
+    ``tid`` in sorted-scope order, labeled via ``thread_name`` metadata
+    events. Serialize with ``json.dumps`` or :func:`write_chrome_trace`.
+    """
+    events = _as_events(source)
+    scopes = sorted({e.scope for e in events})
+    tids = {scope: tid for tid, scope in enumerate(scopes)}
+    origin = min((e.start for e in events), default=0.0)
+
+    trace_events: list[dict[str, Any]] = [
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": tids[scope],
+            "args": {"name": scope},
+        }
+        for scope in scopes
+    ]
+    for e in sorted(events, key=lambda e: (e.scope, e.seq)):
+        row: dict[str, Any] = {
+            "name": e.name,
+            "cat": e.category,
+            "ph": e.phase,
+            "ts": (e.start - origin) * 1e6,
+            "pid": 0,
+            "tid": tids[e.scope],
+            "args": {**dict(e.args), "seq": e.seq},
+        }
+        if e.phase == "X":
+            row["dur"] = e.duration * 1e6
+        else:
+            row["s"] = "t"  # instant scoped to its thread
+        trace_events.append(row)
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(source: "Tracer | Sequence[TraceEvent]", path: str | Path) -> Path:
+    """Serialize :func:`to_chrome_trace` to ``path``; returns the path.
+
+    Load the file in ``chrome://tracing`` or https://ui.perfetto.dev.
+    """
+    path = Path(path)
+    path.write_text(json.dumps(to_chrome_trace(source)))
+    return path
+
+
+def render_timeline(
+    source: "Tracer | Sequence[TraceEvent]",
+    *,
+    width: int = 72,
+    categories: Sequence[str] | None = None,
+) -> str:
+    """Plain-text Gantt chart: one row per scope, time left to right.
+
+    Spans paint their extent with the first letter of their name
+    (overlapping spans: the later-starting span wins the cell); instants
+    draw ``!``. ``categories`` filters which events are drawn. The
+    footer lists the legend mapping letters back to event names.
+
+    >>> from repro.trace import Tracer
+    >>> t = Tracer()
+    >>> with t.span("work", scope="rank0"):
+    ...     pass
+    >>> print(render_timeline(t))  # doctest: +SKIP
+    """
+    if width < 10:
+        raise ValueError(f"width must be >= 10, got {width}")
+    events = _as_events(source)
+    if categories is not None:
+        wanted = set(categories)
+        events = [e for e in events if e.category in wanted]
+    if not events:
+        return "(no events)"
+
+    t0 = min(e.start for e in events)
+    t1 = max(e.end for e in events)
+    span = max(t1 - t0, 1e-12)
+    scopes = sorted({e.scope for e in events})
+    label_w = max(len(s) for s in scopes)
+
+    def col(t: float) -> int:
+        return min(width - 1, max(0, int((t - t0) / span * width)))
+
+    legend: dict[str, str] = {}
+    lines = [
+        f"timeline: {len(events)} events over {span * 1e3:.3f} ms "
+        f"({len(scopes)} scope{'s' if len(scopes) != 1 else ''})"
+    ]
+    for scope in scopes:
+        row = [" "] * width
+        # Paint in (seq) order so later spans overwrite earlier ones.
+        for e in sorted((e for e in events if e.scope == scope), key=lambda e: e.seq):
+            if e.phase == "X":
+                mark = e.name[0] if e.name else "?"
+                legend.setdefault(mark, e.name)
+                for c in range(col(e.start), col(e.end) + 1):
+                    row[c] = mark
+            else:
+                legend.setdefault("!", "instant")
+                row[col(e.start)] = "!"
+        lines.append(f"{scope:>{label_w}} |{''.join(row)}|")
+    lines.append(
+        "legend: " + "  ".join(f"{mark}={name}" for mark, name in sorted(legend.items()))
+    )
+    return "\n".join(lines)

@@ -1,0 +1,213 @@
+"""Counters, gauges, and histograms — the numeric half of observability.
+
+Spans say *where time went*; metrics say *how much of what happened*:
+``mpi.messages``, ``mpi.payload_bytes``, ``mapreduce.shuffle_pairs``,
+``kmeans.iteration_shift``, ``hpo.trial_seconds``. A
+:class:`MetricsRegistry` is a get-or-create store of named instruments,
+optionally split by labels (``counter("mpi.messages", rank=2)``), so
+per-rank and per-pair breakdowns are one keyword away.
+
+All instruments are thread-safe. A histogram keeps summary statistics
+(count/total/min/max), not samples — bounded memory no matter how hot
+the path.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Union
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "format_metrics_table"]
+
+
+class Counter:
+    """A monotonically increasing count (messages posted, pairs shuffled)."""
+
+    __slots__ = ("_lock", "value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.value: float = 0
+
+    def inc(self, n: float = 1) -> None:
+        """Add ``n`` (must be >= 0) to the count."""
+        if n < 0:
+            raise ValueError(f"counters only go up; got increment {n}")
+        with self._lock:
+            self.value += n
+
+    def snapshot(self) -> dict[str, Any]:
+        """Plain-dict view for reports."""
+        with self._lock:
+            return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """A last-value-wins level (queue depth, live worker count)."""
+
+    __slots__ = ("_lock", "value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.value: float = 0
+
+    def set(self, v: float) -> None:
+        """Record the current level."""
+        with self._lock:
+            self.value = v
+
+    def add(self, n: float) -> None:
+        """Adjust the level by ``n`` (may be negative)."""
+        with self._lock:
+            self.value += n
+
+    def snapshot(self) -> dict[str, Any]:
+        """Plain-dict view for reports."""
+        with self._lock:
+            return {"type": "gauge", "value": self.value}
+
+
+class Histogram:
+    """Summary statistics over observed values (latencies, shifts, sizes)."""
+
+    __slots__ = ("_lock", "count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.count: int = 0
+        self.total: float = 0.0
+        self.min: float = float("inf")
+        self.max: float = float("-inf")
+
+    def observe(self, v: float) -> None:
+        """Fold one observation into the summary."""
+        v = float(v)
+        with self._lock:
+            self.count += 1
+            self.total += v
+            if v < self.min:
+                self.min = v
+            if v > self.max:
+                self.max = v
+
+    @property
+    def mean(self) -> float:
+        """Average observation (0.0 when empty)."""
+        with self._lock:
+            return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict[str, Any]:
+        """Plain-dict view for reports (empty histograms report zeros)."""
+        with self._lock:
+            if not self.count:
+                return {"type": "histogram", "count": 0, "total": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0}
+            return {
+                "type": "histogram",
+                "count": self.count,
+                "total": self.total,
+                "min": self.min,
+                "max": self.max,
+                "mean": self.total / self.count,
+            }
+
+
+Metric = Union[Counter, Gauge, Histogram]
+
+
+def _render_key(name: str, labels: tuple[tuple[str, Any], ...]) -> str:
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+class MetricsRegistry:
+    """Get-or-create store of named (and optionally labeled) instruments.
+
+    The same ``(name, labels)`` always returns the same instrument; a
+    name may not change kind (a counter cannot come back as a gauge).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: dict[tuple[str, tuple[tuple[str, Any], ...]], Metric] = {}
+
+    def _get(self, cls: type, name: str, labels: dict[str, Any]) -> Metric:
+        key = (name, tuple(sorted(labels.items())))
+        with self._lock:
+            metric = self._metrics.get(key)
+            if metric is None:
+                metric = cls()
+                self._metrics[key] = metric
+            elif not isinstance(metric, cls):
+                raise TypeError(
+                    f"metric {_render_key(*key)!r} is a {type(metric).__name__}, "
+                    f"not a {cls.__name__}"
+                )
+            return metric
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        """The counter registered under ``name`` + labels (created on first use)."""
+        return self._get(Counter, name, labels)  # type: ignore[return-value]
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        """The gauge registered under ``name`` + labels (created on first use)."""
+        return self._get(Gauge, name, labels)  # type: ignore[return-value]
+
+    def histogram(self, name: str, **labels: Any) -> Histogram:
+        """The histogram registered under ``name`` + labels (created on first use)."""
+        return self._get(Histogram, name, labels)  # type: ignore[return-value]
+
+    def clear(self) -> None:
+        """Forget every instrument."""
+        with self._lock:
+            self._metrics.clear()
+
+    def snapshot(self) -> dict[str, dict[str, Any]]:
+        """All instruments as ``{rendered_name: summary_dict}``, sorted by name.
+
+        Rendered names include labels Prometheus-style:
+        ``mpi.messages{rank=2}``.
+        """
+        with self._lock:
+            items = list(self._metrics.items())
+        return {_render_key(name, labels): m.snapshot() for (name, labels), m in sorted(items)}
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._metrics)
+
+
+def format_metrics_table(registry: MetricsRegistry, *, title: str = "metrics") -> str:
+    """Render a registry as an aligned plain-text summary table.
+
+    Counters and gauges show their value; histograms show
+    count/mean/min/max — the at-a-glance report the workloads print
+    after a traced run.
+    """
+    snap = registry.snapshot()
+    if not snap:
+        return f"{title}: (empty)"
+
+    def fmt(v: float) -> str:
+        if isinstance(v, float) and not v.is_integer():
+            return f"{v:.6g}"
+        return str(int(v))
+
+    rows: list[tuple[str, str, str]] = []
+    for name, summary in snap.items():
+        kind = summary["type"]
+        if kind == "histogram":
+            detail = (
+                f"count={summary['count']} mean={fmt(summary['mean'])} "
+                f"min={fmt(summary['min'])} max={fmt(summary['max'])}"
+            )
+        else:
+            detail = fmt(summary["value"])
+        rows.append((name, kind, detail))
+    name_w = max(len(r[0]) for r in rows)
+    kind_w = max(len(r[1]) for r in rows)
+    lines = [title, f"{'metric':<{name_w}}  {'type':<{kind_w}}  value"]
+    for name, kind, detail in rows:
+        lines.append(f"{name:<{name_w}}  {kind:<{kind_w}}  {detail}")
+    return "\n".join(lines)

@@ -20,6 +20,12 @@ __all__ = ["Timer", "time_call", "ScalingStudy"]
 class Timer:
     """Context-manager stopwatch measuring wall-clock seconds.
 
+    One instance is safely reusable (sequential ``with`` blocks) and
+    nestable (re-entering while already running): starts are kept on a
+    stack, and ``elapsed`` always reports the most recently *completed*
+    interval. Exiting a timer that was never entered raises
+    ``RuntimeError`` instead of dying on an assert.
+
     >>> with Timer() as t:
     ...     _ = sum(range(1000))
     >>> t.elapsed >= 0.0
@@ -27,16 +33,17 @@ class Timer:
     """
 
     def __init__(self) -> None:
-        self._start: float | None = None
+        self._starts: list[float] = []
         self.elapsed: float = 0.0
 
     def __enter__(self) -> "Timer":
-        self._start = time.perf_counter()
+        self._starts.append(time.perf_counter())
         return self
 
     def __exit__(self, *exc: object) -> None:
-        assert self._start is not None
-        self.elapsed = time.perf_counter() - self._start
+        if not self._starts:
+            raise RuntimeError("Timer.__exit__ without a matching __enter__")
+        self.elapsed = time.perf_counter() - self._starts.pop()
 
 
 def time_call(fn: Callable[..., Any], *args: Any, repeats: int = 1, **kwargs: Any) -> tuple[float, Any]:
@@ -86,7 +93,12 @@ class ScalingStudy:
     def speedup(self, workers: int) -> float:
         """Baseline time divided by the time at ``workers``."""
         base = self.measurements[self.baseline_workers]
-        t = self.measurements[workers]
+        t = self.measurements.get(workers)
+        if t is None:
+            raise ValueError(
+                f"no measurement recorded for {workers} workers "
+                f"(recorded: {sorted(self.measurements)})"
+            )
         return float("inf") if t == 0 else base / t
 
     def efficiency(self, workers: int) -> float:
@@ -106,3 +118,18 @@ class ScalingStudy:
         for w, secs, sp, eff in self.rows():
             lines.append(f"{w:>8d} {secs:>10.4f} {sp:>8.2f} {eff:>6.2f}")
         return "\n".join(lines)
+
+    def to_json(self) -> dict[str, Any]:
+        """JSON-ready dict: name, baseline, and the full scaling rows.
+
+        The machine-readable counterpart of :meth:`format_table`, used by
+        the benchmark harness's ``BENCH_<name>.json`` reports.
+        """
+        return {
+            "name": self.name,
+            "baseline_workers": self.baseline_workers,
+            "rows": [
+                {"workers": w, "seconds": secs, "speedup": sp, "efficiency": eff}
+                for w, secs, sp, eff in self.rows()
+            ],
+        }

@@ -13,6 +13,7 @@ import repro
 ROOT = Path(__file__).parent.parent.parent
 sys.path.insert(0, str(ROOT / "tools"))
 
+from check_api_index import check, main as check_main  # noqa: E402
 from gen_api_index import build_index  # noqa: E402
 
 
@@ -22,6 +23,36 @@ class TestApiIndex:
         assert checked_in == build_index(), (
             "docs/API.md is stale — regenerate with `python tools/gen_api_index.py`"
         )
+
+
+class TestCheckApiIndex:
+    """The CI gate: `python tools/check_api_index.py --check`."""
+
+    def test_current_index_passes(self):
+        current, report = check()
+        assert current, report
+        assert report == ""
+        assert check_main(["--check"]) == 0
+
+    def test_stale_index_fails_with_diff(self, tmp_path, capsys):
+        stale = tmp_path / "API.md"
+        stale.write_text(build_index().replace("# API index", "# Old index", 1))
+        current, report = check(stale)
+        assert not current
+        assert "-# Old index" in report and "+# API index" in report
+        assert check_main(["--check", str(stale)]) == 1
+        assert "STALE" in capsys.readouterr().out
+
+    def test_missing_index_fails(self, tmp_path):
+        current, report = check(tmp_path / "missing.md")
+        assert not current
+        assert "does not exist" in report
+
+    def test_without_check_flag_rewrites(self, tmp_path):
+        stale = tmp_path / "API.md"
+        stale.write_text("junk\n")
+        assert check_main([str(stale)]) == 0
+        assert stale.read_text() == build_index()
 
     def test_every_export_is_documented(self):
         undocumented = []

@@ -1,0 +1,106 @@
+"""Exporters: Chrome trace-event JSON schema, text timelines, file output."""
+
+import json
+
+import pytest
+
+from repro.trace import Tracer, render_timeline, to_chrome_trace, write_chrome_trace
+
+
+def _sample_tracer() -> Tracer:
+    t = Tracer()
+    with t.scope("rank0"):
+        with t.span("compute", category="app", size=10):
+            t.instant("send", category="mpi.p2p", dest=1)
+    with t.scope("rank1"):
+        with t.span("compute", category="app"):
+            pass
+    return t
+
+
+class TestChromeTrace:
+    def test_schema(self):
+        """Every row carries the Chrome trace-event required fields."""
+        doc = to_chrome_trace(_sample_tracer())
+        assert set(doc) == {"traceEvents", "displayTimeUnit"}
+        assert doc["displayTimeUnit"] == "ms"
+        for row in doc["traceEvents"]:
+            assert {"name", "ph", "pid", "tid", "args"} <= set(row)
+            assert row["ph"] in ("M", "X", "i")
+            if row["ph"] == "M":
+                assert row["name"] == "thread_name"
+                assert isinstance(row["args"]["name"], str)
+                continue
+            assert isinstance(row["ts"], float)
+            assert row["ts"] >= 0.0
+            assert isinstance(row["cat"], str)
+            assert isinstance(row["args"]["seq"], int)
+            if row["ph"] == "X":
+                assert row["dur"] >= 0.0
+            else:
+                assert row["s"] == "t"
+
+    def test_scopes_become_named_threads(self):
+        doc = to_chrome_trace(_sample_tracer())
+        meta = [r for r in doc["traceEvents"] if r["ph"] == "M"]
+        names = {r["args"]["name"]: r["tid"] for r in meta}
+        assert names == {"rank0": 0, "rank1": 1}  # sorted-scope tid order
+
+    def test_timestamps_relative_to_earliest(self):
+        doc = to_chrome_trace(_sample_tracer())
+        ts = [r["ts"] for r in doc["traceEvents"] if r["ph"] != "M"]
+        assert min(ts) == 0.0
+
+    def test_event_args_ride_along(self):
+        doc = to_chrome_trace(_sample_tracer())
+        send = next(r for r in doc["traceEvents"] if r["name"] == "send")
+        assert send["args"]["dest"] == 1
+        assert send["cat"] == "mpi.p2p"
+
+    def test_accepts_plain_event_list(self):
+        t = _sample_tracer()
+        assert to_chrome_trace(t.events()) == to_chrome_trace(t)
+
+    def test_empty_tracer(self):
+        assert to_chrome_trace(Tracer()) == {"traceEvents": [], "displayTimeUnit": "ms"}
+
+    def test_write_round_trips_through_json(self, tmp_path):
+        t = _sample_tracer()
+        path = write_chrome_trace(t, tmp_path / "trace.json")
+        assert json.loads(path.read_text()) == to_chrome_trace(t)
+
+
+class TestTimeline:
+    def test_one_row_per_scope_with_legend(self):
+        text = render_timeline(_sample_tracer(), width=40)
+        lines = text.splitlines()
+        assert "3 events" in lines[0]
+        assert lines[1].startswith("rank0 |")
+        assert lines[2].startswith("rank1 |")
+        assert "c=compute" in lines[-1]
+        assert "!=instant" in lines[-1]
+
+    def test_instants_paint_bang(self):
+        t = Tracer()
+        t.instant("tick", scope="rank0")
+        assert "!" in render_timeline(t, width=20)
+
+    def test_category_filter(self):
+        text = render_timeline(_sample_tracer(), width=40, categories=["mpi.p2p"])
+        assert "1 event" in text
+        assert "rank1" not in text
+
+    def test_empty(self):
+        assert render_timeline(Tracer()) == "(no events)"
+
+    def test_narrow_width_rejected(self):
+        with pytest.raises(ValueError, match="width"):
+            render_timeline(Tracer(), width=5)
+
+    def test_rows_fit_width(self):
+        width = 32
+        text = render_timeline(_sample_tracer(), width=width)
+        for line in text.splitlines():
+            if "|" in line:
+                bar = line.split("|")[1]
+                assert len(bar) == width

@@ -1,0 +1,110 @@
+"""Metrics: instruments, the labeled registry, and the summary table."""
+
+import threading
+
+import pytest
+
+from repro.trace import Counter, Gauge, Histogram, MetricsRegistry, format_metrics_table
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        c = Counter()
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        assert c.snapshot() == {"type": "counter", "value": 5}
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError, match="only go up"):
+            Counter().inc(-1)
+
+    def test_gauge_set_and_add(self):
+        g = Gauge()
+        g.set(7)
+        g.add(-2)
+        assert g.value == 5
+        assert g.snapshot() == {"type": "gauge", "value": 5}
+
+    def test_histogram_summary(self):
+        h = Histogram()
+        for v in (1.0, 3.0, 2.0):
+            h.observe(v)
+        snap = h.snapshot()
+        assert snap == {
+            "type": "histogram",
+            "count": 3,
+            "total": 6.0,
+            "min": 1.0,
+            "max": 3.0,
+            "mean": 2.0,
+        }
+        assert h.mean == 2.0
+
+    def test_empty_histogram_reports_zeros(self):
+        snap = Histogram().snapshot()
+        assert snap["count"] == 0
+        assert snap["min"] == 0.0 and snap["max"] == 0.0 and snap["mean"] == 0.0
+
+    def test_counter_is_thread_safe(self):
+        c = Counter()
+        threads = [
+            threading.Thread(target=lambda: [c.inc() for _ in range(1000)])
+            for _ in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == 4000
+
+
+class TestRegistry:
+    def test_get_or_create_is_stable(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+        assert reg.counter("x", rank=1) is reg.counter("x", rank=1)
+        assert reg.counter("x") is not reg.counter("x", rank=1)
+
+    def test_label_order_does_not_matter(self):
+        reg = MetricsRegistry()
+        assert reg.gauge("g", a=1, b=2) is reg.gauge("g", b=2, a=1)
+
+    def test_kind_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError, match="is a Counter, not a Gauge"):
+            reg.gauge("x")
+
+    def test_snapshot_renders_labels_prometheus_style(self):
+        reg = MetricsRegistry()
+        reg.counter("mpi.messages", rank=2).inc(3)
+        reg.histogram("lat", op="barrier").observe(0.5)
+        snap = reg.snapshot()
+        assert snap["mpi.messages{rank=2}"]["value"] == 3
+        assert snap["lat{op=barrier}"]["count"] == 1
+        assert list(snap) == sorted(snap)
+
+    def test_clear_and_len(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        reg.gauge("b")
+        assert len(reg) == 2
+        reg.clear()
+        assert len(reg) == 0
+
+
+class TestTable:
+    def test_empty_registry(self):
+        assert format_metrics_table(MetricsRegistry()) == "metrics: (empty)"
+
+    def test_table_lists_every_instrument(self):
+        reg = MetricsRegistry()
+        reg.counter("msgs", rank=0).inc(12)
+        reg.gauge("depth").set(2.5)
+        reg.histogram("wait").observe(0.25)
+        text = format_metrics_table(reg, title="run metrics")
+        assert text.startswith("run metrics")
+        assert "msgs{rank=0}" in text and "12" in text
+        assert "2.5" in text
+        assert "count=1" in text and "mean=0.25" in text

@@ -1,0 +1,48 @@
+"""Fast tier-1 overhead gate for the tracing layer.
+
+The authoritative <5% budget lives in ``benchmarks/test_trace_overhead.py``
+(min-of-9 interleaved runs on a benchmark-sized instance). This gate is
+its tier-1 tripwire: a tiny workload, few repeats, and a deliberately
+loose threshold, so it only fires on a *gross* regression (an un-gated
+hot-path allocation, accidental always-on tracing) rather than on
+scheduler noise — while staying fast enough to run in every test sweep.
+"""
+
+from repro.kmeans.mpi_kmeans import run_kmeans_mpi
+from repro.kmeans.termination import TerminationCriteria
+from repro.knn.data import make_blobs
+from repro.trace import NULL_TRACER, Tracer, use_tracer
+from repro.util.timing import time_call
+
+RANKS = 2
+REPEATS = 3
+CRITERIA = TerminationCriteria(max_iterations=10)
+# Gross-regression tripwire only; the tight 1.05x budget is benchmarks'.
+THRESHOLD = 2.0
+
+
+def test_tracing_overhead_tripwire():
+    points, _ = make_blobs(1000, 8, 4, seed=3)
+
+    def run(tracer):
+        def once():
+            with use_tracer(tracer):
+                return run_kmeans_mpi(RANKS, points, 4, seed=1, criteria=CRITERIA)
+
+        best = float("inf")
+        for _ in range(REPEATS):
+            sec, result = time_call(once, repeats=1)
+            best = min(best, sec)
+        return best, result
+
+    base_sec, base = run(NULL_TRACER)
+    enabled = Tracer()
+    enabled_sec, traced = run(enabled)
+
+    assert base.iterations == traced.iterations
+    assert len(enabled) > 0
+    ratio = enabled_sec / base_sec
+    assert ratio < THRESHOLD, (
+        f"tracing overhead tripwire: enabled/disabled ratio {ratio:.2f}x "
+        f"exceeds {THRESHOLD}x — a hot-path gate has probably regressed"
+    )

@@ -1,0 +1,189 @@
+"""Tracer core: spans, instants, scopes, the logical clock, enable/disable."""
+
+import threading
+
+import pytest
+
+from repro.mpi import run_spmd
+from repro.trace import NULL_TRACER, Tracer, get_tracer, set_tracer, use_tracer
+from repro.trace.tracer import _NOOP_SPAN
+
+
+class TestSpansAndInstants:
+    def test_span_records_complete_event(self):
+        t = Tracer()
+        with t.span("work", category="app", size=3):
+            pass
+        (e,) = t.events()
+        assert e.name == "work"
+        assert e.category == "app"
+        assert e.phase == "X"
+        assert e.scope == "main"
+        assert e.seq == 0
+        assert e.duration >= 0.0
+        assert dict(e.args) == {"size": 3}
+
+    def test_instant_records_zero_duration(self):
+        t = Tracer()
+        t.instant("tick", category="app", n=1)
+        (e,) = t.events()
+        assert e.phase == "i"
+        assert e.duration == 0.0
+        assert e.end == e.start
+
+    def test_span_exposes_duration_for_metrics(self):
+        t = Tracer()
+        with t.span("work") as sp:
+            pass
+        assert sp.duration >= 0.0
+        assert sp.duration == t.events()[0].duration
+
+    def test_span_records_error_on_exception(self):
+        t = Tracer()
+        with pytest.raises(ValueError):
+            with t.span("boom"):
+                raise ValueError("no")
+        (e,) = t.events()
+        assert dict(e.args)["error"] == "ValueError"
+
+    def test_complete_records_pretimed_span(self):
+        t = Tracer()
+        t.complete("old", 1.0, 0.5, category="app")
+        (e,) = t.events()
+        assert (e.start, e.duration, e.phase) == (1.0, 0.5, "X")
+
+    def test_nested_spans_keep_program_order(self):
+        t = Tracer()
+        with t.span("outer"):
+            with t.span("inner"):
+                pass
+        # Entry order assigns seq: outer first, inner second — even though
+        # the inner event is *recorded* (exits) first.
+        by_name = {e.name: e.seq for e in t.events()}
+        assert by_name == {"outer": 0, "inner": 1}
+
+
+class TestScopes:
+    def test_default_scope_is_main(self):
+        assert Tracer().current_scope == "main"
+
+    def test_scope_routes_and_restores(self):
+        t = Tracer()
+        with t.scope("rank1"):
+            assert t.current_scope == "rank1"
+            t.instant("x")
+            with t.scope("rank2"):
+                t.instant("y")
+            assert t.current_scope == "rank1"
+        assert t.current_scope == "main"
+        assert [(e.scope, e.seq) for e in t.events()] == [("rank1", 0), ("rank2", 0)]
+
+    def test_explicit_scope_argument_wins(self):
+        t = Tracer()
+        with t.scope("rank1"):
+            t.instant("x", scope="driver")
+        assert t.events()[0].scope == "driver"
+
+    def test_scopes_are_thread_local(self):
+        t = Tracer()
+        seen = []
+
+        def worker():
+            with t.scope("worker"):
+                seen.append(t.current_scope)
+
+        with t.scope("main-lane"):
+            th = threading.Thread(target=worker)
+            th.start()
+            th.join()
+            assert t.current_scope == "main-lane"
+        assert seen == ["worker"]
+
+    def test_each_scope_has_its_own_clock(self):
+        t = Tracer()
+        for scope in ("a", "b", "a"):
+            t.instant("e", scope=scope)
+        assert t.logical_sequence() == (
+            ("a", 0, "e", "app", "i"),
+            ("a", 1, "e", "app", "i"),
+            ("b", 0, "e", "app", "i"),
+        )
+        assert t.scopes() == ["a", "b"]
+
+
+class TestDisabled:
+    def test_disabled_tracer_records_nothing(self):
+        t = Tracer(enabled=False)
+        with t.span("work"):
+            t.instant("tick")
+        t.complete("old", 0.0, 1.0)
+        assert len(t) == 0
+        assert not t.enabled
+
+    def test_disabled_span_is_the_shared_noop(self):
+        t = Tracer(enabled=False)
+        assert t.span("a") is t.span("b") is _NOOP_SPAN
+
+    def test_null_tracer_is_disabled(self):
+        assert not NULL_TRACER.enabled
+
+    def test_clear_resets_events_clocks_and_metrics(self):
+        t = Tracer()
+        with t.span("work"):
+            pass
+        t.metrics.counter("c").inc()
+        t.clear()
+        assert len(t) == 0
+        assert len(t.metrics) == 0
+        t.instant("again")
+        assert t.events()[0].seq == 0  # clocks restarted
+
+
+class TestActiveTracer:
+    def test_default_active_is_null(self):
+        assert get_tracer() is NULL_TRACER
+
+    def test_use_tracer_installs_and_restores(self):
+        t = Tracer()
+        with use_tracer(t) as got:
+            assert got is t
+            assert get_tracer() is t
+        assert get_tracer() is NULL_TRACER
+
+    def test_set_tracer_returns_previous(self):
+        t = Tracer()
+        prev = set_tracer(t)
+        try:
+            assert prev is NULL_TRACER
+            assert get_tracer() is t
+        finally:
+            set_tracer(prev)
+
+
+class TestDeterminism:
+    """The acceptance test: same seeded workload => same logical sequence."""
+
+    @staticmethod
+    def _traced_run():
+        def program(comm):
+            token = comm.bcast(comm.rank * 10 if comm.rank == 0 else None, root=0)
+            comm.barrier()
+            return comm.gather(token + comm.rank, root=0)
+
+        tracer = Tracer()
+        run_spmd(4, program, tracer=tracer)
+        return tracer
+
+    def test_two_runs_have_identical_logical_sequences(self):
+        first = self._traced_run().logical_sequence()
+        second = self._traced_run().logical_sequence()
+        assert first == second
+        assert len(first) > 0
+
+    def test_logical_sequence_excludes_wall_clock(self):
+        t = Tracer()
+        t.complete("a", 123.0, 4.0)
+        t.complete("a", 999.0, 7.0, scope="main")
+        # Different wall clocks, same logical rows apart from seq.
+        rows = t.logical_sequence()
+        assert rows == (("main", 0, "a", "app", "X"), ("main", 1, "a", "app", "X"))

@@ -43,3 +43,24 @@ class TestProfileCall:
     def test_top_validated(self):
         with pytest.raises(ValueError):
             profile_call(busy, 10, top=0)
+
+    def test_top_caps_hotspot_count(self):
+        report = profile_call(busy, 2000, top=3)
+        assert 0 < len(report.hotspots) <= 3
+
+    def test_hottest_is_first_hotspot(self):
+        report = profile_call(busy, 2000)
+        assert report.hottest is report.hotspots[0]
+        assert report.hottest.total_time == max(h.total_time for h in report.hotspots)
+
+    def test_cumulative_includes_self_time(self):
+        report = profile_call(busy, 2000)
+        for h in report.hotspots:
+            assert h.cumulative >= h.total_time >= 0.0
+            assert h.calls >= 1
+
+    def test_hottest_on_empty_profile_raises(self):
+        from repro.util.profiling import ProfileReport
+
+        with pytest.raises(ValueError, match="empty profile"):
+            _ = ProfileReport(result=None, hotspots=[], text="").hottest

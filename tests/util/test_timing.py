@@ -11,9 +11,53 @@ class TestTimer:
             sum(range(100))
         assert t.elapsed >= 0.0
 
+    def test_reusable_sequentially_without_stale_elapsed(self):
+        import time
+
+        t = Timer()
+        with t:
+            time.sleep(0.02)
+        assert t.elapsed >= 0.02
+        with t:
+            pass
+        assert t.elapsed < 0.02  # second use re-measures; no stale value
+
+    def test_nestable(self):
+        t = Timer()
+        with t:
+            with t:
+                inner_work = sum(range(100))
+            inner = t.elapsed
+        outer = t.elapsed
+        assert inner_work >= 0
+        assert outer >= inner >= 0.0
+
+    def test_unbalanced_exit_raises(self):
+        t = Timer()
+        with pytest.raises(RuntimeError, match="without a matching"):
+            t.__exit__(None, None, None)
+
+    def test_exception_in_block_still_records(self):
+        t = Timer()
+        with pytest.raises(ValueError):
+            with t:
+                raise ValueError("boom")
+        assert t.elapsed >= 0.0
+
     def test_time_call_returns_result(self):
         seconds, result = time_call(lambda a, b: a + b, 2, 3, repeats=3)
         assert result == 5
+        assert seconds >= 0.0
+
+    def test_time_call_runs_exactly_repeats_times(self):
+        calls = []
+        time_call(lambda: calls.append(1), repeats=4)
+        assert len(calls) == 4
+
+    def test_time_call_returns_last_result_and_min_time(self):
+        results = iter(["first", "second", "third"])
+        seconds, result = time_call(lambda: next(results), repeats=3)
+        assert result == "third"
         assert seconds >= 0.0
 
     def test_time_call_rejects_zero_repeats(self):
@@ -63,3 +107,41 @@ class TestScalingStudy:
             s.record(1, -1.0)
         with pytest.raises(ValueError):
             _ = s.baseline_workers
+
+    def test_unrecorded_workers_raise_clear_error(self):
+        s = ScalingStudy("demo")
+        s.record(1, 4.0)
+        s.record(2, 2.0)
+        with pytest.raises(ValueError, match=r"no measurement recorded for 8 workers"):
+            s.speedup(8)
+        with pytest.raises(ValueError, match=r"recorded: \[1, 2\]"):
+            s.efficiency(8)
+
+    def test_empty_study_speedup_raises(self):
+        with pytest.raises(ValueError, match="no measurements"):
+            ScalingStudy("demo").speedup(1)
+
+    def test_zero_time_speedup_is_inf(self):
+        s = ScalingStudy("demo")
+        s.record(1, 1.0)
+        s.record(2, 0.0)
+        assert s.speedup(2) == float("inf")
+
+    def test_single_measurement_rows(self):
+        s = ScalingStudy("demo")
+        s.record(4, 2.0)
+        assert s.rows() == [(4, 2.0, 1.0, 1.0)]  # its own baseline
+
+    def test_to_json_round_trips(self):
+        import json
+
+        s = ScalingStudy("demo")
+        s.record(1, 8.0)
+        s.record(2, 4.0)
+        payload = json.loads(json.dumps(s.to_json()))
+        assert payload["name"] == "demo"
+        assert payload["baseline_workers"] == 1
+        assert payload["rows"] == [
+            {"workers": 1, "seconds": 8.0, "speedup": 1.0, "efficiency": 1.0},
+            {"workers": 2, "seconds": 4.0, "speedup": 2.0, "efficiency": 1.0},
+        ]

@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Check (or refresh) docs/API.md against the live package.
+
+CI-friendly companion to ``gen_api_index.py``::
+
+    python tools/check_api_index.py --check   # exit 1 + diff summary if stale
+    python tools/check_api_index.py           # rewrite docs/API.md if stale
+
+``--check`` never writes; it prints which sections drifted so the fix
+(`python tools/gen_api_index.py`) is obvious from the failure alone.
+The tier-1 suite runs the same comparison via
+``tests/core/test_api_index.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import difflib
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from gen_api_index import build_index, main as regenerate  # noqa: E402
+
+__all__ = ["check", "main"]
+
+DEFAULT_PATH = Path(__file__).parent.parent / "docs" / "API.md"
+#: Cap on printed diff lines so a wholesale rewrite stays readable.
+MAX_DIFF_LINES = 40
+
+
+def check(path: Path = DEFAULT_PATH) -> tuple[bool, str]:
+    """Compare the checked-in index against a fresh build.
+
+    Returns ``(is_current, report)``; ``report`` is a human-readable
+    unified-diff excerpt when stale ("" when current or missing).
+    """
+    expected = build_index()
+    if not path.exists():
+        return False, f"{path} does not exist — run `python tools/gen_api_index.py`"
+    actual = path.read_text()
+    if actual == expected:
+        return True, ""
+    diff = list(
+        difflib.unified_diff(
+            actual.splitlines(),
+            expected.splitlines(),
+            fromfile=str(path),
+            tofile="freshly generated",
+            lineterm="",
+        )
+    )
+    shown = diff[:MAX_DIFF_LINES]
+    if len(diff) > MAX_DIFF_LINES:
+        shown.append(f"... ({len(diff) - MAX_DIFF_LINES} more diff lines)")
+    return False, "\n".join(shown)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="only verify; exit 1 with a diff if docs/API.md is stale",
+    )
+    parser.add_argument(
+        "path", nargs="?", default=None, help="index file (default: docs/API.md)"
+    )
+    args = parser.parse_args(argv)
+    path = Path(args.path) if args.path else DEFAULT_PATH
+
+    current, report = check(path)
+    if current:
+        print(f"{path} is current")
+        return 0
+    if args.check:
+        print(f"{path} is STALE — regenerate with `python tools/gen_api_index.py`")
+        print(report)
+        return 1
+    written = regenerate(str(path))
+    print(f"rewrote {written}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
