@@ -27,8 +27,16 @@ from repro.pipeline.nyc import (
     generate_arrests,
     generate_ntas,
     heat_map_matrix,
+    nyc_arrests_pipeline,
 )
-from repro.pipeline.stages import Pipeline, ProjectSpec, Stage, StageKind, validate_project
+from repro.pipeline.stages import (
+    Pipeline,
+    ProjectSpec,
+    SparkPipeline,
+    Stage,
+    StageKind,
+    validate_project,
+)
 from repro.pipeline.survey import TABLE1_EXPECTED, aggregate_survey, raw_survey_items
 from repro.pipeline.transit import (
     cancellation_by_condition,
@@ -44,6 +52,7 @@ __all__ = [
     "Stage",
     "StageKind",
     "Pipeline",
+    "SparkPipeline",
     "ProjectSpec",
     "validate_project",
     "NTA",
@@ -51,6 +60,7 @@ __all__ = [
     "generate_ntas",
     "generate_arrests",
     "arrests_per_100k",
+    "nyc_arrests_pipeline",
     "heat_map_matrix",
     "TABLE1_EXPECTED",
     "raw_survey_items",

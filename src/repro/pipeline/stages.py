@@ -17,9 +17,20 @@ from __future__ import annotations
 import enum
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Sequence
 
-__all__ = ["StageKind", "Stage", "StageReport", "Pipeline", "ProjectSpec", "validate_project"]
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.spark import JobMetrics, SparkFaultPlan, SparkFaultReport
+
+__all__ = [
+    "StageKind",
+    "Stage",
+    "StageReport",
+    "Pipeline",
+    "SparkPipeline",
+    "ProjectSpec",
+    "validate_project",
+]
 
 
 class StageKind(enum.Enum):
@@ -81,6 +92,64 @@ class Pipeline:
     def kinds_used(self) -> set[StageKind]:
         """The distinct workflow-step kinds present."""
         return {s.kind for s in self.stages}
+
+
+class SparkPipeline(Pipeline):
+    """A workflow whose stages share one managed :class:`~repro.spark.SparkContext`.
+
+    Stage functions take ``(sc, data)`` instead of ``(data)``: each
+    :meth:`run` opens a fresh context (``with SparkContext(...)``), threads
+    it through every stage, and stops it on the way out — so pipelines
+    can't leak contexts or touch a stopped one.
+
+    The constructor surfaces the engine's robustness knobs on the
+    workflow itself: ``fault_plan`` installs deterministic fault
+    injection + recovery (see :mod:`repro.spark.faults`) and
+    ``max_task_retries`` bounds per-task retries. For any plan a run
+    survives, its output is bit-identical to the fault-free run. After a
+    run, ``last_metrics`` / ``last_fault_report`` hold the context's
+    counters and fired-fault evidence.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        stages: Sequence[Stage] | None = None,
+        *,
+        num_workers: int = 4,
+        fault_plan: "SparkFaultPlan | None" = None,
+        max_task_retries: int = 3,
+    ) -> None:
+        super().__init__(name, stages)
+        self.num_workers = num_workers
+        self.fault_plan = fault_plan
+        self.max_task_retries = max_task_retries
+        self.last_metrics: "JobMetrics | None" = None
+        self.last_fault_report: "SparkFaultReport | None" = None
+
+    def run(self, data: Any) -> Any:
+        """Run all stages in order against a fresh managed context."""
+        from repro.spark import SparkContext
+
+        if not self.stages:
+            raise ValueError(f"pipeline {self.name!r} has no stages")
+        self.reports = []
+        with SparkContext(
+            self.num_workers,
+            name=f"SparkPipeline({self.name})",
+            fault_plan=self.fault_plan,
+            max_task_retries=self.max_task_retries,
+        ) as sc:
+            for stage in self.stages:
+                start = time.perf_counter()
+                data = stage.fn(sc, data)
+                elapsed = time.perf_counter() - start
+                self.reports.append(
+                    StageReport(stage.name, stage.kind, elapsed, _summarize(data))
+                )
+            self.last_metrics = sc.metrics
+            self.last_fault_report = sc.fault_report
+        return data
 
 
 def _summarize(data: Any) -> str:

@@ -20,6 +20,13 @@ this package supplies the equivalent engine:
   combiners shrink them, caching pays off for reused intermediates —
   are all observable in the simulator's counters.
 
+- :mod:`repro.spark.faults` — seeded, bit-reproducible fault injection
+  (task failures, worker blacklisting, corrupted shuffle/broadcast
+  blocks, stragglers) and the recovery machinery that survives it:
+  retries, lineage recomputation, ``RDD.checkpoint()``, speculative
+  execution. For any seed, results under a fault plan are bit-identical
+  to the fault-free run.
+
 Determinism: partitioning uses :func:`repro.mapreduce.stable_hash`, and
 all merges happen in partition order, so every pipeline result is exactly
 reproducible run to run.
@@ -27,15 +34,26 @@ reproducible run to run.
 
 from repro.spark.accumulators import Accumulator
 from repro.spark.broadcast import Broadcast
-from repro.spark.context import SparkContext
-from repro.spark.dag import execution_stages, lineage
+from repro.spark.context import JobMetrics, SparkContext
+from repro.spark.dag import execution_stages, lineage, recomputation_frontier
 from repro.spark.dataframe import DataFrame, GroupedData
+from repro.spark.faults import (
+    BlacklistedWorker,
+    SparkFaultEvent,
+    SparkFaultPlan,
+    SparkFaultReport,
+    SparkInjectionRecord,
+    SparkJobFailedError,
+    TaskFailure,
+)
 from repro.spark.partitioner import HashPartitioner, RangePartitioner
 from repro.spark.rdd import RDD
+from repro.spark.shuffle import CorruptShuffleBlockError, ShuffleBlockStore
 from repro.spark.stats import StatCounter, histogram, stats, take_sample
 
 __all__ = [
     "SparkContext",
+    "JobMetrics",
     "RDD",
     "Broadcast",
     "Accumulator",
@@ -43,10 +61,20 @@ __all__ = [
     "RangePartitioner",
     "lineage",
     "execution_stages",
+    "recomputation_frontier",
     "StatCounter",
     "stats",
     "histogram",
     "take_sample",
     "DataFrame",
     "GroupedData",
+    "SparkFaultEvent",
+    "SparkFaultPlan",
+    "SparkFaultReport",
+    "SparkInjectionRecord",
+    "SparkJobFailedError",
+    "TaskFailure",
+    "BlacklistedWorker",
+    "CorruptShuffleBlockError",
+    "ShuffleBlockStore",
 ]

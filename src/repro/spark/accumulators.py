@@ -3,14 +3,65 @@
 Used by pipelines for data-quality tallies (e.g. "rows dropped by
 cleaning"), which is exactly the cleaning-stage bookkeeping the
 assignment's workflow rubric asks for.
+
+Under fault injection the engine retries failed task attempts and
+recomputes lost partitions, so a naive accumulator would double-count —
+real Spark's classic footgun. The scheduler therefore runs each task
+attempt inside :func:`task_updates`, which buffers the attempt's
+``add`` calls in a thread-local sink; only the attempt that *completes
+a logical task for the first time* gets its sink committed
+(``SparkContext._commit_task``). Failed attempts, losing speculative
+twins, and lineage recomputations of already-committed tasks are
+discarded unapplied — giving exactly-once semantics and bit-identical
+accumulator values with or without faults. On the fault-free fast path
+no sink is ever pushed and ``add`` applies directly, as before.
 """
 
 from __future__ import annotations
 
 import threading
-from typing import Any, Callable
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator
 
 __all__ = ["Accumulator"]
+
+_TASK_LOCAL = threading.local()
+
+
+class _Sink:
+    """The buffered ``add`` calls of one in-flight task attempt."""
+
+    __slots__ = ("updates",)
+
+    def __init__(self) -> None:
+        self.updates: list[tuple["Accumulator", Any]] = []
+
+
+@contextmanager
+def task_updates() -> Iterator[_Sink]:
+    """Buffer this thread's ``Accumulator.add`` calls for the block.
+
+    Sinks nest (a task body can trigger an inline nested job, whose own
+    attempt pushes its own sink); each ``add`` lands in the innermost
+    one. The caller decides the buffered updates' fate: apply them via
+    :func:`commit_updates` exactly when the attempt's logical task
+    commits, or drop the sink to discard them.
+    """
+    stack = getattr(_TASK_LOCAL, "sinks", None)
+    if stack is None:
+        stack = _TASK_LOCAL.sinks = []
+    sink = _Sink()
+    stack.append(sink)
+    try:
+        yield sink
+    finally:
+        stack.pop()
+
+
+def commit_updates(sink: _Sink) -> None:
+    """Apply a completed attempt's buffered updates to their accumulators."""
+    for acc, amount in sink.updates:
+        acc._apply(amount)
 
 
 class Accumulator:
@@ -27,7 +78,19 @@ class Accumulator:
         self._lock = threading.Lock()
 
     def add(self, amount: Any) -> None:
-        """Fold ``amount`` into the accumulator (callable from any task)."""
+        """Fold ``amount`` into the accumulator (callable from any task).
+
+        Inside a scheduler-managed task attempt the update is buffered
+        and committed exactly once per logical task; outside one it
+        applies immediately.
+        """
+        stack = getattr(_TASK_LOCAL, "sinks", None)
+        if stack:
+            stack[-1].updates.append((self, amount))
+            return
+        self._apply(amount)
+
+    def _apply(self, amount: Any) -> None:
         with self._lock:
             self._value = self._op(self._value, amount)
 

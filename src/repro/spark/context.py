@@ -6,28 +6,65 @@ jobs — shuffles materializing inside tasks — can never starve). The
 :class:`JobMetrics` counters make the engine's communication behaviour
 observable, which is what the pipeline assignment grades students on
 discussing.
+
+With a :class:`~repro.spark.faults.SparkFaultPlan` installed the
+scheduler becomes fault-tolerant, mirroring real Spark's recovery
+model:
+
+- injected task failures and worker blacklistings are retried with
+  bounded deterministic backoff (``max_task_retries``), each retry on
+  the next virtual worker;
+- injected stragglers trigger a speculative copy on another worker,
+  which deterministically wins (the abandoned original is parked);
+- corrupted shuffle/broadcast payloads are caught by checksums in
+  :mod:`repro.spark.shuffle` / :mod:`repro.spark.broadcast` and healed
+  by lineage recomputation / master-copy refetch.
+
+Accumulator updates are buffered per attempt and committed exactly once
+per logical task (``(job, partition)``), so results *and* diagnostics
+are bit-identical to the fault-free run. Without a plan the scheduler
+takes the original code path (one ``is None`` test per task).
 """
 
 from __future__ import annotations
 
+import itertools
+import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Callable, Iterable, Sequence
+from typing import Any, Callable, Iterable
 
-from repro.spark.accumulators import Accumulator
+from repro.spark.accumulators import Accumulator, commit_updates, task_updates
 from repro.spark.broadcast import Broadcast
+from repro.spark.faults import (
+    BlacklistedWorker,
+    SparkFaultPlan,
+    SparkFaultReport,
+    SparkInjectionRecord,
+    SparkJobFailedError,
+    TaskFailure,
+)
 from repro.spark.rdd import RDD, ParallelCollectionRDD
 from repro.trace.tracer import get_tracer
 from repro.util.partition import block_partition
-from repro.util.validation import require_positive_int
+from repro.util.validation import require_nonnegative_int, require_positive_int
 
 __all__ = ["SparkContext", "JobMetrics"]
+
+_CONTEXT_IDS = itertools.count(1)
 
 
 @dataclass
 class JobMetrics:
-    """Observable engine counters (reset with :meth:`SparkContext.reset_metrics`)."""
+    """Observable engine counters (reset with :meth:`SparkContext.reset_metrics`).
+
+    Fault-tolerance counters live in :attr:`extra` under ``spark.*``
+    keys (see ``docs/observability.md``) and are bumped via
+    :meth:`bump`, which is thread-safe — recovery happens on task
+    threads.
+    """
 
     jobs: int = 0
     tasks: int = 0
@@ -35,18 +72,63 @@ class JobMetrics:
     shuffle_records: int = 0
     partitions_cached: int = 0
     extra: dict[str, int] = field(default_factory=dict)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    def bump(self, key: str, n: int = 1) -> None:
+        """Thread-safely add ``n`` to the ``extra[key]`` counter."""
+        with self._lock:
+            self.extra[key] = self.extra.get(key, 0) + n
 
 
 class SparkContext:
-    """Factory for RDDs plus the scheduler that runs their jobs."""
+    """Factory for RDDs plus the scheduler that runs their jobs.
 
-    def __init__(self, num_workers: int = 4, default_partitions: int | None = None) -> None:
+    Usable as a context manager (``with SparkContext() as sc:``);
+    :meth:`stop` is idempotent and leaving the ``with`` block calls it.
+
+    ``fault_plan`` installs deterministic fault injection + recovery
+    (see :mod:`repro.spark.faults`): ``max_task_retries`` bounds per-task
+    retries and ``retry_backoff`` seeds the exponential backoff between
+    them. ``fault_report`` then carries the structured evidence of what
+    fired and what was recovered.
+    """
+
+    def __init__(
+        self,
+        num_workers: int = 4,
+        default_partitions: int | None = None,
+        *,
+        name: str | None = None,
+        fault_plan: SparkFaultPlan | None = None,
+        max_task_retries: int = 3,
+        retry_backoff: float = 0.001,
+    ) -> None:
         self.num_workers = require_positive_int("num_workers", num_workers)
         self.default_partitions = default_partitions or num_workers
         require_positive_int("default_partitions", self.default_partitions)
+        self.name = name or f"SparkContext-{next(_CONTEXT_IDS)}"
         self.metrics = JobMetrics()
         self._rdd_counter = 0
         self._stopped = False
+        # --- fault tolerance state (all inert when fault_plan is None) ---
+        self._fault_plan = fault_plan
+        self.max_task_retries = require_nonnegative_int("max_task_retries", max_task_retries)
+        if retry_backoff < 0:
+            raise ValueError(f"retry_backoff must be >= 0, got {retry_backoff}")
+        self.retry_backoff = retry_backoff
+        self.fault_report: SparkFaultReport | None = (
+            SparkFaultReport(plan=fault_plan) if fault_plan is not None else None
+        )
+        self._job_lock = threading.Lock()
+        self._job_counter = 0
+        self._shuffle_counter = 0
+        self._broadcast_counter = 0
+        self._blacklisted: set[int] = set()
+        self._blacklist_lock = threading.Lock()
+        self._committed: set[tuple[int, int]] = set()
+        self._commit_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # ingest
@@ -73,9 +155,36 @@ class SparkContext:
     # shared variables
     # ------------------------------------------------------------------
     def broadcast(self, value: Any) -> Broadcast:
-        """Snapshot ``value`` for read-only task access."""
+        """Snapshot ``value`` for read-only task access.
+
+        Under a fault plan, broadcasts are numbered in creation order;
+        a scheduled ``broadcast`` event corrupts the shipped payload
+        here, and the checksum on first task access refetches the
+        driver's master copy.
+        """
         self._check_alive()
-        return Broadcast(value)
+        if self._fault_plan is None:
+            return Broadcast(value)
+        with self._job_lock:
+            index = self._broadcast_counter
+            self._broadcast_counter += 1
+        bc = Broadcast(value, on_refetch=self._on_broadcast_refetch)
+        event = self._fault_plan.broadcast_event(index)
+        if event is not None:
+            bc._corrupt()
+            self.metrics.bump("spark.injected_faults")
+            assert self.fault_report is not None
+            self.fault_report.record_injection(SparkInjectionRecord("broadcast", index, 0))
+            get_tracer().instant(
+                "fault.broadcast", category="spark.fault", scope="spark.driver", index=index
+            )
+        return bc
+
+    def _on_broadcast_refetch(self) -> None:
+        self.metrics.bump("spark.broadcast_refetches")
+        if self.fault_report is not None:
+            self.fault_report.record_broadcast_refetch()
+        get_tracer().instant("broadcast_refetch", category="spark.fault")
 
     def accumulator(self, initial: Any = 0, op: Callable[[Any, Any], Any] | None = None) -> Accumulator:
         """Create a task-writable, driver-readable fold cell."""
@@ -92,7 +201,18 @@ class SparkContext:
         job keeps nested jobs deadlock-free and mirrors Spark's
         job-level scheduling.
         """
+        _job_id, results = self._execute_job(rdd, task_fn)
+        return results
+
+    def _execute_job(
+        self, rdd: RDD, task_fn: Callable[[int, list[Any]], Any]
+    ) -> tuple[int, list[Any]]:
+        """Run a job and also return its id (jobs are numbered in
+        submission order — the coordinate task-level fault events use)."""
         self._check_alive()
+        with self._job_lock:
+            job_id = self._job_counter
+            self._job_counter += 1
         self.metrics.jobs += 1
         self.metrics.tasks += rdd.num_partitions
         tracer = get_tracer()
@@ -101,23 +221,197 @@ class SparkContext:
             rdd=rdd.id, partitions=rdd.num_partitions,
         ):
             if rdd.num_partitions == 1:
-                return [self._run_task(tracer, task_fn, rdd, 0)]
+                return job_id, [self._run_task(tracer, task_fn, rdd, 0, job_id, None)]
             with ThreadPoolExecutor(max_workers=self.num_workers) as pool:
                 futures = [
-                    pool.submit(lambda i=i: self._run_task(tracer, task_fn, rdd, i))
+                    pool.submit(
+                        lambda i=i: self._run_task(tracer, task_fn, rdd, i, job_id, pool)
+                    )
                     for i in range(rdd.num_partitions)
                 ]
-                return [f.result() for f in futures]
+                return job_id, [f.result() for f in futures]
 
-    @staticmethod
-    def _run_task(tracer: Any, task_fn: Callable[[int, list[Any]], Any], rdd: RDD, i: int) -> Any:
-        if not tracer.enabled:
-            return task_fn(i, rdd.partition(i))
-        # Each partition gets its own logical-clock lane; nested jobs spawned
-        # inside a task inherit it through the thread-local scope.
-        with tracer.scope(f"spark.p{i}"):
-            with tracer.span("task", category="spark", rdd=rdd.id, partition=i):
+    def _run_task(
+        self,
+        tracer: Any,
+        task_fn: Callable[[int, list[Any]], Any],
+        rdd: RDD,
+        i: int,
+        job_id: int,
+        pool: ThreadPoolExecutor | None,
+    ) -> Any:
+        if self._fault_plan is None:
+            # The fault-free hot path: identical to the pre-fault engine.
+            if not tracer.enabled:
                 return task_fn(i, rdd.partition(i))
+            # Each partition gets its own logical-clock lane; nested jobs
+            # spawned inside a task inherit it through the thread-local scope.
+            with tracer.scope(f"spark.p{i}"):
+                with tracer.span("task", category="spark", rdd=rdd.id, partition=i):
+                    return task_fn(i, rdd.partition(i))
+        return self._run_task_ft(tracer, task_fn, rdd, i, job_id, pool)
+
+    def _run_task_ft(
+        self,
+        tracer: Any,
+        task_fn: Callable[[int, list[Any]], Any],
+        rdd: RDD,
+        partition: int,
+        job_id: int,
+        pool: ThreadPoolExecutor | None,
+    ) -> Any:
+        """Run one logical task under the fault plan: retry, blacklist,
+        speculate, and commit accumulator updates exactly once."""
+        plan = self._fault_plan
+        report = self.fault_report
+        assert plan is not None and report is not None
+        event = plan.task_event(job_id, partition)
+        lane = f"spark.p{partition}"
+        failures = 0
+        attempt = 0
+        while True:
+            worker = self._pick_worker(partition, attempt)
+            if event is not None and attempt < event.attempts:
+                if event.kind == "straggle" and attempt == 0:
+                    # The attempt is an injected slow node: park it on its
+                    # worker and launch a speculative copy, which runs the
+                    # real body immediately on the next worker — so the
+                    # copy always wins, deterministically.
+                    self.metrics.bump("spark.injected_faults")
+                    self.metrics.bump("spark.speculative_tasks")
+                    report.record_injection(SparkInjectionRecord(
+                        "straggle", job_id, partition, attempt, worker, seconds=event.seconds
+                    ))
+                    report.record_speculative(job_id, partition)
+                    tracer.instant(
+                        "fault.straggle", category="spark.fault", scope=lane,
+                        job=job_id, partition=partition, worker=worker,
+                        seconds=event.seconds,
+                    )
+                    tracer.instant(
+                        "speculative_launch", category="spark.fault", scope=lane,
+                        job=job_id, partition=partition,
+                    )
+                    if pool is not None:
+                        pool.submit(time.sleep, event.seconds)
+                    self.metrics.bump("spark.speculative_wins")
+                    attempt += 1
+                    continue
+                if event.kind in ("task", "worker"):
+                    injected: Exception | None = None
+                    if event.kind == "task":
+                        injected = TaskFailure(job_id, partition, attempt, worker)
+                    elif self._blacklist(worker):
+                        injected = BlacklistedWorker(worker, job_id, partition, attempt)
+                        tracer.instant(
+                            "fault.worker", category="spark.fault", scope=lane,
+                            job=job_id, partition=partition, worker=worker,
+                        )
+                    # (an injected blacklist against the last live worker is
+                    # suppressed: the scheduler never kills its whole cluster)
+                    if injected is not None:
+                        self.metrics.bump("spark.injected_faults")
+                        report.record_injection(SparkInjectionRecord(
+                            event.kind, job_id, partition, attempt, worker
+                        ))
+                        if event.kind == "task":
+                            tracer.instant(
+                                "fault.task", category="spark.fault", scope=lane,
+                                job=job_id, partition=partition, attempt=attempt,
+                            )
+                        failures += 1
+                        if failures > self.max_task_retries:
+                            raise SparkJobFailedError(
+                                job_id, partition, failures, report
+                            ) from injected
+                        report.record_retry(job_id, partition)
+                        self.metrics.bump("spark.task_retries")
+                        tracer.instant(
+                            "task_retry", category="spark.fault", scope=lane,
+                            job=job_id, partition=partition, attempt=attempt + 1,
+                        )
+                        if self.retry_backoff:
+                            time.sleep(self.retry_backoff * (2 ** (failures - 1)))
+                        attempt += 1
+                        continue
+            return self._execute_attempt(tracer, task_fn, rdd, partition, job_id)
+
+    def _execute_attempt(
+        self,
+        tracer: Any,
+        task_fn: Callable[[int, list[Any]], Any],
+        rdd: RDD,
+        partition: int,
+        job_id: int,
+    ) -> Any:
+        """One surviving attempt: run the body with accumulator updates
+        buffered, then commit them iff this logical task hasn't already."""
+        with task_updates() as sink:
+            if not tracer.enabled:
+                result = task_fn(partition, rdd.partition(partition))
+            else:
+                with tracer.scope(f"spark.p{partition}"):
+                    with tracer.span("task", category="spark", rdd=rdd.id, partition=partition):
+                        result = task_fn(partition, rdd.partition(partition))
+        self._commit_task((job_id, partition), sink)
+        return result
+
+    def _commit_task(self, key: tuple[int, int], sink: Any) -> None:
+        """Apply an attempt's buffered accumulator updates exactly once
+        per logical task (lineage recomputation of an already-committed
+        task discards its updates — that's the exactly-once guarantee)."""
+        with self._commit_lock:
+            if key in self._committed:
+                return
+            self._committed.add(key)
+        commit_updates(sink)
+
+    # ------------------------------------------------------------------
+    # virtual workers (fault-tolerance scheduling model)
+    # ------------------------------------------------------------------
+    def _pick_worker(self, partition: int, attempt: int) -> int:
+        """Deterministic assignment over live (non-blacklisted) workers."""
+        with self._blacklist_lock:
+            live = [w for w in range(self.num_workers) if w not in self._blacklisted]
+        return live[(partition + attempt) % len(live)]
+
+    def _blacklist(self, worker: int) -> bool:
+        """Remove ``worker`` from scheduling; refuses to kill the last one."""
+        with self._blacklist_lock:
+            if worker in self._blacklisted:
+                return False
+            if len(self._blacklisted) >= self.num_workers - 1:
+                return False
+            self._blacklisted.add(worker)
+        self.metrics.bump("spark.blacklisted_workers")
+        if self.fault_report is not None:
+            self.fault_report.record_blacklist(worker)
+        return True
+
+    # ------------------------------------------------------------------
+    # shuffle registration (fault injection seam)
+    # ------------------------------------------------------------------
+    def _register_shuffle(self, store: Any) -> int:
+        """Number a freshly materialized shuffle and apply any scheduled
+        block corruption to its store. Returns the shuffle's index."""
+        with self._job_lock:
+            index = self._shuffle_counter
+            self._shuffle_counter += 1
+        if self._fault_plan is not None:
+            for event in self._fault_plan.shuffle_events(index):
+                map_task = event.unit % store.num_maps
+                reduce_part = (event.unit // store.num_maps) % store.num_parts
+                if store.corrupt(map_task, reduce_part):
+                    self.metrics.bump("spark.injected_faults")
+                    assert self.fault_report is not None
+                    self.fault_report.record_injection(
+                        SparkInjectionRecord("shuffle", index, event.unit)
+                    )
+                    get_tracer().instant(
+                        "fault.shuffle", category="spark.fault", scope="spark.driver",
+                        shuffle=index, map_task=map_task, reduce_part=reduce_part,
+                    )
+        return index
 
     # ------------------------------------------------------------------
     # lifecycle / bookkeeping
@@ -127,12 +421,21 @@ class SparkContext:
         self.metrics = JobMetrics()
 
     def stop(self) -> None:
-        """Refuse further work (catching use-after-stop bugs in pipelines)."""
+        """Refuse further work (catching use-after-stop bugs in pipelines).
+
+        Idempotent: stopping a stopped context is a no-op, so ``with``
+        blocks and explicit ``stop()`` calls compose.
+        """
+        if self._stopped:
+            return
         self._stopped = True
 
     def _check_alive(self) -> None:
         if self._stopped:
-            raise RuntimeError("SparkContext has been stopped")
+            raise RuntimeError(
+                f"{self.name} has been stopped; create a fresh SparkContext "
+                "to run further jobs"
+            )
 
     def _next_rdd_id(self) -> int:
         self._rdd_counter += 1
@@ -143,3 +446,8 @@ class SparkContext:
 
     def __exit__(self, *exc: Any) -> None:
         self.stop()
+
+    def __repr__(self) -> str:
+        state = "stopped" if self._stopped else "alive"
+        plan = f", fault_plan={self._fault_plan!r}" if self._fault_plan is not None else ""
+        return f"{type(self).__name__}(name={self.name!r}, num_workers={self.num_workers}, {state}{plan})"

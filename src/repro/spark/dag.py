@@ -14,7 +14,7 @@ from dataclasses import dataclass
 
 from repro.spark.rdd import RDD, NarrowDependency, ShuffleDependency
 
-__all__ = ["lineage", "execution_stages", "shuffle_depth", "Stage"]
+__all__ = ["lineage", "execution_stages", "shuffle_depth", "recomputation_frontier", "Stage"]
 
 
 def lineage(rdd: RDD) -> list[RDD]:
@@ -61,6 +61,34 @@ def shuffle_depth(rdd: RDD) -> int:
         return d
 
     return depth(rdd)
+
+
+def recomputation_frontier(rdd: RDD) -> list[RDD]:
+    """The RDDs a lost partition of ``rdd`` could be rebuilt from.
+
+    Fault recovery recomputes up the lineage until it hits a
+    *recomputation barrier* — a persisted or checkpointed RDD (or a
+    leaf, which always holds its data). This returns those frontier
+    nodes, deduplicated, leaf-most first: the teaching lens on why
+    ``checkpoint()`` exists — a checkpointed RDD both joins the
+    frontier *and* truncates everything behind it out of the walk.
+    """
+    frontier: dict[int, RDD] = {}
+
+    def visit(node: RDD) -> None:
+        if node.id in frontier:
+            return
+        if node.is_recompute_barrier or not node.deps:
+            frontier[node.id] = node
+            return
+        for dep in node.deps:
+            visit(dep.parent)
+
+    for dep in rdd.deps:
+        visit(dep.parent)
+    if not rdd.deps:
+        frontier[rdd.id] = rdd
+    return list(frontier.values())
 
 
 def execution_stages(rdd: RDD) -> list[Stage]:

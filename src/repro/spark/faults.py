@@ -1,0 +1,441 @@
+"""Deterministic fault injection for the mini-Spark engine.
+
+Real Spark's defining robustness claim is that a lost task or a corrupt
+shuffle fetch costs *recomputation, not wrong answers*: every partition
+can be rebuilt from its RDD lineage. This module brings that claim to
+the simulator with the same discipline as :mod:`repro.mpi.faults`: a
+:class:`SparkFaultPlan` is *seeded* and *bit-reproducible*, built on the
+:mod:`repro.rng.lcg` block-split fast-forward idiom, so "task 2 of job 5
+fails on its first attempt" happens identically on every run with the
+same seed.
+
+Faults are addressed by deterministic engine coordinates rather than
+wall-clock time:
+
+- ``task`` / ``worker`` / ``straggle`` events by ``(job_index,
+  partition)`` — jobs are numbered in submission order by the context,
+  partitions are the task indices within a job;
+- ``shuffle`` events by ``(shuffle_index, block_slot)`` — shuffles are
+  numbered in materialization order, the slot is folded onto a concrete
+  ``(map_task, reduce_partition)`` block when the shuffle's shape is
+  known;
+- ``broadcast`` events by the broadcast's creation index.
+
+Fault kinds and the scheduler's recovery for each:
+
+- ``task``     — the attempt raises :class:`TaskFailure` before running
+  the task body; recovered by per-task retry with bounded deterministic
+  backoff (``SparkContext(max_task_retries=...)``).
+- ``worker``   — the attempt's worker is blacklisted and the attempt
+  raises :class:`BlacklistedWorker`; the retry lands on another worker.
+  The scheduler never blacklists its last live worker.
+- ``straggle`` — the attempt is an injected slow node: the scheduler
+  abandons it mid-sleep and launches a speculative copy on another
+  worker, which always wins (deterministic winner selection — the
+  original is delayed by a known injected amount).
+- ``shuffle``  — a stored shuffle block is corrupted in place; the
+  checksum-verified fetch detects it and the lost map output is
+  **recomputed from lineage**, stopping at cached/checkpointed RDDs.
+- ``broadcast``— the shipped broadcast payload is corrupted; the
+  checksum on first task access detects it and refetches the driver's
+  master copy.
+
+Because injected failures fire *before* the task body and accumulator
+updates commit exactly once per logical task, every action under an
+active plan returns results **bit-identical** to the fault-free run —
+the invariant ``tests/spark/test_fault_recovery.py`` sweeps seeds over.
+
+The default is no plan at all: ``SparkContext()`` takes the exact
+fault-free hot path (one ``is None`` test per job;
+``benchmarks/test_spark_fault_overhead.py`` holds the line at <5%).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.rng.lcg import KNUTH_LCG, LcgParams, LinearCongruential
+from repro.util.validation import require_nonnegative_int, require_positive_int
+
+__all__ = [
+    "SparkFaultEvent",
+    "SparkFaultPlan",
+    "SparkFaultReport",
+    "SparkInjectionRecord",
+    "SparkJobFailedError",
+    "TaskFailure",
+    "BlacklistedWorker",
+    "SPARK_FAULT_KINDS",
+]
+
+#: The recognized fault kinds, in the order the sampler's probability
+#: intervals are laid out for the per-(job, partition) draws.
+SPARK_FAULT_KINDS = ("task", "worker", "straggle", "shuffle", "broadcast")
+
+#: Kinds addressed by (job_index, partition) — consumed by the task scheduler.
+_TASK_KINDS = frozenset({"task", "worker", "straggle"})
+
+
+class TaskFailure(RuntimeError):
+    """An injected task-attempt failure (fired before the task body runs).
+
+    The scheduler catches this and retries the task on another attempt;
+    it only escapes wrapped in :class:`SparkJobFailedError` once retries
+    are exhausted.
+    """
+
+    def __init__(self, job: int, partition: int, attempt: int, worker: int) -> None:
+        super().__init__(
+            f"injected failure: task {partition} of job {job}, "
+            f"attempt {attempt} on worker {worker}"
+        )
+        self.job = job
+        self.partition = partition
+        self.attempt = attempt
+        self.worker = worker
+
+
+class BlacklistedWorker(RuntimeError):
+    """The attempt's worker was just blacklisted by an injected worker fault.
+
+    Like :class:`TaskFailure`, caught by the scheduler: the retry is
+    assigned to a different (non-blacklisted) worker.
+    """
+
+    def __init__(self, worker: int, job: int, partition: int, attempt: int) -> None:
+        super().__init__(
+            f"worker {worker} blacklisted while running task {partition} "
+            f"of job {job} (attempt {attempt})"
+        )
+        self.worker = worker
+        self.job = job
+        self.partition = partition
+        self.attempt = attempt
+
+
+class SparkJobFailedError(RuntimeError):
+    """A task exhausted its retries: the job is unrecoverable.
+
+    Carries the context's :class:`SparkFaultReport` as :attr:`report`,
+    so a failed run ends with structured evidence (what fired, what was
+    retried/recomputed) instead of a hang or a bare traceback.
+    """
+
+    def __init__(self, job: int, partition: int, failures: int, report: "SparkFaultReport") -> None:
+        super().__init__(
+            f"task {partition} of job {job} failed {failures} time(s) and "
+            f"exhausted its retries\n{report.summary()}"
+        )
+        self.job = job
+        self.partition = partition
+        self.failures = failures
+        self.report = report
+
+
+@dataclass(frozen=True)
+class SparkFaultEvent:
+    """One scheduled fault at an engine coordinate.
+
+    ``slot``/``unit`` mean (job, partition) for task-level kinds,
+    (shuffle, block_slot) for ``shuffle``, and (broadcast_index, 0) for
+    ``broadcast``. ``attempts`` is how many consecutive attempts a
+    ``task``/``worker`` event fails; ``seconds`` is the ``straggle``
+    delay.
+    """
+
+    kind: str
+    slot: int
+    unit: int = 0
+    attempts: int = 1
+    seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in SPARK_FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; expected one of {SPARK_FAULT_KINDS}"
+            )
+        require_nonnegative_int("slot", self.slot)
+        require_nonnegative_int("unit", self.unit)
+        require_positive_int("attempts", self.attempts)
+        if self.seconds < 0:
+            raise ValueError(f"seconds must be >= 0, got {self.seconds}")
+
+
+@dataclass(frozen=True)
+class SparkInjectionRecord:
+    """One fault that actually fired: kind, coordinate, attempt, worker."""
+
+    kind: str
+    slot: int
+    unit: int
+    attempt: int = 0
+    worker: int = -1
+    seconds: float = 0.0
+
+
+class SparkFaultPlan:
+    """An immutable, seeded schedule of engine faults for one context.
+
+    Build one explicitly from :class:`SparkFaultEvent` instances (or the
+    single-event constructors below), or sample one reproducibly with
+    :meth:`sample`. At most one event may target a given coordinate.
+    """
+
+    def __init__(self, events: Iterable[SparkFaultEvent] = (), *, seed: int | None = None) -> None:
+        self.events: tuple[SparkFaultEvent, ...] = tuple(
+            sorted(events, key=lambda e: (e.kind, e.slot, e.unit))
+        )
+        self.seed = seed
+        self._tasks: dict[tuple[int, int], SparkFaultEvent] = {}
+        self._shuffles: dict[int, list[SparkFaultEvent]] = {}
+        self._broadcasts: dict[int, SparkFaultEvent] = {}
+        for event in self.events:
+            if event.kind in _TASK_KINDS:
+                key = (event.slot, event.unit)
+                if key in self._tasks:
+                    raise ValueError(f"multiple task-level events at (job, partition)={key}")
+                self._tasks[key] = event
+            elif event.kind == "shuffle":
+                blocks = self._shuffles.setdefault(event.slot, [])
+                if any(e.unit == event.unit for e in blocks):
+                    raise ValueError(
+                        f"multiple shuffle events at (shuffle, block)={(event.slot, event.unit)}"
+                    )
+                blocks.append(event)
+            else:  # broadcast
+                if event.slot in self._broadcasts:
+                    raise ValueError(f"multiple broadcast events at index {event.slot}")
+                self._broadcasts[event.slot] = event
+
+    # ------------------------------------------------------------------
+    # single-event constructors (the classroom building blocks)
+    # ------------------------------------------------------------------
+    @classmethod
+    def fail_task(cls, job: int, partition: int, attempts: int = 1) -> "SparkFaultPlan":
+        """Fail one task's first ``attempts`` attempts."""
+        return cls([SparkFaultEvent("task", job, partition, attempts=attempts)])
+
+    @classmethod
+    def blacklist_worker(cls, job: int, partition: int) -> "SparkFaultPlan":
+        """Blacklist whichever worker draws this task's first attempt."""
+        return cls([SparkFaultEvent("worker", job, partition)])
+
+    @classmethod
+    def straggler(cls, job: int, partition: int, seconds: float = 0.002) -> "SparkFaultPlan":
+        """Make one task attempt an artificial slow node."""
+        return cls([SparkFaultEvent("straggle", job, partition, seconds=seconds)])
+
+    @classmethod
+    def corrupt_shuffle(cls, shuffle: int, block: int = 0) -> "SparkFaultPlan":
+        """Corrupt one stored shuffle block of the ``shuffle``-th shuffle."""
+        return cls([SparkFaultEvent("shuffle", shuffle, block)])
+
+    @classmethod
+    def corrupt_broadcast(cls, index: int = 0) -> "SparkFaultPlan":
+        """Corrupt the shipped payload of the ``index``-th broadcast."""
+        return cls([SparkFaultEvent("broadcast", index)])
+
+    # ------------------------------------------------------------------
+    # reproducible sampling
+    # ------------------------------------------------------------------
+    @classmethod
+    def sample(
+        cls,
+        seed: int,
+        jobs: int,
+        partitions: int,
+        *,
+        task_fail_prob: float = 0.0,
+        blacklist_prob: float = 0.0,
+        straggle_prob: float = 0.0,
+        shuffle_corrupt_prob: float = 0.0,
+        broadcast_corrupt_prob: float = 0.0,
+        shuffles: int = 4,
+        shuffle_blocks: int = 16,
+        broadcasts: int = 4,
+        attempts: int = 1,
+        seconds: float = 0.002,
+        max_blacklists: int = 1,
+        params: LcgParams = KNUTH_LCG,
+    ) -> "SparkFaultPlan":
+        """Draw a reproducible plan: one LCG decision per coordinate.
+
+        Exactly the §5 traffic idiom reused by ``FaultPlan.sample``:
+        every job owns a contiguous block of ``partitions`` draws from
+        one shared LCG sequence, reached by O(log n) fast-forward
+        (``jumped``), so the plan is bit-identical for a given ``seed``
+        regardless of evaluation order. The task-level probabilities
+        partition [0, 1); shuffle and broadcast corruption draw from
+        their own fast-forwarded regions with independent probabilities.
+
+        ``max_blacklists`` caps worker deaths (the scheduler additionally
+        refuses to blacklist its last live worker), and ``attempts``
+        (per failing task) should stay at or below the context's
+        ``max_task_retries`` for the plan to be recoverable.
+        """
+        require_positive_int("jobs", jobs)
+        require_positive_int("partitions", partitions)
+        require_positive_int("shuffles", shuffles)
+        require_positive_int("shuffle_blocks", shuffle_blocks)
+        require_positive_int("broadcasts", broadcasts)
+        probs = (task_fail_prob, blacklist_prob, straggle_prob)
+        if any(p < 0 for p in probs) or sum(probs) > 1.0:
+            raise ValueError(f"task-level probabilities must be >= 0 and sum to <= 1, got {probs}")
+        for name, p in (("shuffle_corrupt_prob", shuffle_corrupt_prob),
+                        ("broadcast_corrupt_prob", broadcast_corrupt_prob)):
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {p}")
+
+        base = LinearCongruential(params, seed)
+        events: list[SparkFaultEvent] = []
+        blacklists = 0
+        for job in range(jobs):
+            stream = base.jumped(job * partitions)
+            for part in range(partitions):
+                u = stream.next_uniform()
+                if u < task_fail_prob:
+                    events.append(SparkFaultEvent("task", job, part, attempts=attempts))
+                elif u < task_fail_prob + blacklist_prob:
+                    if blacklists < max_blacklists:
+                        blacklists += 1
+                        events.append(SparkFaultEvent("worker", job, part))
+                elif u < task_fail_prob + blacklist_prob + straggle_prob:
+                    events.append(SparkFaultEvent("straggle", job, part, seconds=seconds))
+        offset = jobs * partitions
+        for shuffle in range(shuffles):
+            stream = base.jumped(offset + shuffle * shuffle_blocks)
+            for block in range(shuffle_blocks):
+                if stream.next_uniform() < shuffle_corrupt_prob:
+                    events.append(SparkFaultEvent("shuffle", shuffle, block))
+        stream = base.jumped(offset + shuffles * shuffle_blocks)
+        for index in range(broadcasts):
+            if stream.next_uniform() < broadcast_corrupt_prob:
+                events.append(SparkFaultEvent("broadcast", index))
+        return cls(events, seed=seed)
+
+    # ------------------------------------------------------------------
+    # lookups (consumed by the scheduler / shuffle store / broadcasts)
+    # ------------------------------------------------------------------
+    def task_event(self, job: int, partition: int) -> SparkFaultEvent | None:
+        """The task-level event scheduled at ``(job, partition)``, if any."""
+        return self._tasks.get((job, partition))
+
+    def shuffle_events(self, shuffle: int) -> list[SparkFaultEvent]:
+        """Corruption events scheduled on the ``shuffle``-th shuffle."""
+        return list(self._shuffles.get(shuffle, ()))
+
+    @property
+    def has_shuffle_events(self) -> bool:
+        """Whether any shuffle corruption is scheduled at all.
+
+        The engine consults this to decide whether shuffle stores need
+        checksums: corruption only ever enters through the plan, so a
+        plan that schedules none keeps the zero-overhead plain blocks.
+        """
+        return bool(self._shuffles)
+
+    def broadcast_event(self, index: int) -> SparkFaultEvent | None:
+        """The corruption event scheduled on the ``index``-th broadcast."""
+        return self._broadcasts.get(index)
+
+    def trace(self) -> tuple[tuple[str, int, int], ...]:
+        """Normalized (kind, slot, unit) tuples — the reproducibility witness."""
+        return tuple((e.kind, e.slot, e.unit) for e in self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __repr__(self) -> str:
+        seed = f", seed={self.seed}" if self.seed is not None else ""
+        return f"SparkFaultPlan({len(self.events)} events{seed})"
+
+
+@dataclass
+class SparkFaultReport:
+    """What the fault layer observed during one context's lifetime.
+
+    Reached as ``ctx.fault_report`` (``None`` when no plan is installed)
+    and carried by :class:`SparkJobFailedError` on unrecoverable plans.
+    All mutators are thread-safe; readers should run after the jobs
+    they care about have returned.
+    """
+
+    plan: SparkFaultPlan | None = None
+    injected: list[SparkInjectionRecord] = field(default_factory=list)
+    retries: dict[tuple[int, int], int] = field(default_factory=dict)
+    recomputed: list[tuple[int, int]] = field(default_factory=list)
+    blacklisted: list[int] = field(default_factory=list)
+    speculative: list[tuple[int, int]] = field(default_factory=list)
+    broadcast_refetches: int = 0
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False, compare=False)
+
+    def record_injection(self, record: SparkInjectionRecord) -> None:
+        """Log one fired fault (called by the scheduler/stores)."""
+        with self._lock:
+            self.injected.append(record)
+
+    def record_retry(self, job: int, partition: int) -> None:
+        """Log one failed attempt that will be retried (or escalate)."""
+        with self._lock:
+            key = (job, partition)
+            self.retries[key] = self.retries.get(key, 0) + 1
+
+    def record_recompute(self, shuffle: int, map_task: int) -> None:
+        """Log one lost map output rebuilt from lineage."""
+        with self._lock:
+            self.recomputed.append((shuffle, map_task))
+
+    def record_blacklist(self, worker: int) -> None:
+        """Log one worker removed from scheduling."""
+        with self._lock:
+            self.blacklisted.append(worker)
+
+    def record_speculative(self, job: int, partition: int) -> None:
+        """Log one speculative copy launched against a straggler."""
+        with self._lock:
+            self.speculative.append((job, partition))
+
+    def record_broadcast_refetch(self) -> None:
+        """Log one corrupted broadcast payload restored from the driver."""
+        with self._lock:
+            self.broadcast_refetches += 1
+
+    def trace(self) -> tuple[tuple[str, int, int, int], ...]:
+        """Normalized fired-fault tuples — equal across runs of one seed
+        (for pipelines whose job-submission order is deterministic)."""
+        with self._lock:
+            return tuple(
+                (rec.kind, rec.slot, rec.unit, rec.attempt)
+                for rec in sorted(self.injected, key=lambda r: (r.kind, r.slot, r.unit, r.attempt))
+            )
+
+    def summary(self) -> str:
+        """One human-readable paragraph (for logs and teaching output)."""
+        with self._lock:
+            lines = [f"SparkFaultReport: {len(self.injected)} fault(s) fired"]
+            for rec in sorted(self.injected, key=lambda r: (r.kind, r.slot, r.unit, r.attempt)):
+                extra = f" ({rec.seconds:.3f}s)" if rec.seconds else ""
+                where = f"worker {rec.worker}" if rec.worker >= 0 else "engine"
+                lines.append(
+                    f"  - {rec.kind} at ({rec.slot}, {rec.unit}) "
+                    f"attempt {rec.attempt} [{where}]{extra}"
+                )
+            if self.retries:
+                total = sum(self.retries.values())
+                lines.append(f"  {total} retried attempt(s) over {len(self.retries)} task(s)")
+            if self.recomputed:
+                lines.append(
+                    f"  {len(self.recomputed)} map output(s) recomputed from lineage: "
+                    + ", ".join(f"shuffle {s} map {m}" for s, m in self.recomputed)
+                )
+            if self.blacklisted:
+                lines.append(f"  worker(s) blacklisted: {sorted(self.blacklisted)}")
+            if self.speculative:
+                lines.append(f"  {len(self.speculative)} speculative task(s) launched (all won)")
+            if self.broadcast_refetches:
+                lines.append(f"  {self.broadcast_refetches} broadcast payload(s) refetched")
+            if len(lines) == 1:
+                lines.append("  nothing fired")
+        return "\n".join(lines)

@@ -73,3 +73,15 @@ class RangePartitioner:
         if not self.ascending:
             bucket = len(self.bounds) - bucket
         return bucket
+
+    def __eq__(self, other: object) -> bool:
+        # Equal bounds + direction route every key identically, which is
+        # what the co-partitioning optimization needs to skip a shuffle.
+        return (
+            isinstance(other, RangePartitioner)
+            and other.bounds == self.bounds
+            and other.ascending == self.ascending
+        )
+
+    def __hash__(self) -> int:
+        return hash(("range", tuple(self.bounds), self.ascending))

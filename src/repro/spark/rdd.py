@@ -15,6 +15,7 @@ from typing import TYPE_CHECKING, Any, Callable, Iterable, Sequence
 
 from repro.rng.counter import CounterRNG
 from repro.spark.partitioner import HashPartitioner, RangePartitioner
+from repro.spark.shuffle import CorruptShuffleBlockError, ShuffleBlockStore
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.spark.context import SparkContext
@@ -28,6 +29,11 @@ __all__ = [
     "NarrowDependency",
     "ShuffleDependency",
 ]
+
+
+#: Placeholder for a checkpoint slot that hasn't materialized yet
+#: (``None`` can't serve: an empty partition is valid data).
+_MISSING = object()
 
 
 class NarrowDependency:
@@ -60,6 +66,8 @@ class RDD:
         self.partitioner: Any = None
         self._cached: list[list[Any]] | None = None
         self._persist = False
+        self._checkpoint = False
+        self._ckpt_data: list[Any] | None = None
         self._cache_lock = threading.Lock()
 
     # ------------------------------------------------------------------
@@ -71,6 +79,8 @@ class RDD:
 
     def partition(self, split: int) -> list[Any]:
         """Partition ``split``, consulting/populating the cache if persisted."""
+        if self._checkpoint:
+            return self._checkpointed_partition(split)
         if not self._persist:
             return self.compute(split)
         with self._cache_lock:
@@ -98,6 +108,59 @@ class RDD:
             self._persist = False
             self._cached = None
         return self
+
+    # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> "RDD":
+        """Mark this RDD as a durable recomputation barrier.
+
+        Like ``persist``, partitions are materialized lazily on first
+        use and served from memory after — but a checkpoint additionally
+        **truncates lineage**: once every partition is stored, ``deps``
+        is cleared, so neither lineage walks (:mod:`repro.spark.dag`)
+        nor fault recovery ever recompute past it. ``persist`` is a hint
+        (droppable, lineage intact); ``checkpoint`` is a promise.
+        """
+        self._checkpoint = True
+        return self
+
+    @property
+    def is_checkpointed(self) -> bool:
+        """Whether every partition has been checkpoint-materialized."""
+        with self._cache_lock:
+            data = self._ckpt_data
+            return data is not None and all(d is not _MISSING for d in data)
+
+    @property
+    def is_recompute_barrier(self) -> bool:
+        """Whether fault recovery stops here instead of recursing deeper
+        (the RDD is marked for checkpointing or persisted)."""
+        return self._checkpoint or self._persist
+
+    def _checkpointed_partition(self, split: int) -> list[Any]:
+        with self._cache_lock:
+            if self._ckpt_data is None:
+                self._ckpt_data = [_MISSING] * self.num_partitions
+            data = self._ckpt_data[split]
+        if data is not _MISSING:
+            return data
+        computed = self.compute(split)
+        with self._cache_lock:
+            if self._ckpt_data[split] is _MISSING:
+                self._ckpt_data[split] = computed
+                self.ctx.metrics.bump("spark.checkpointed_partitions")
+                if all(d is not _MISSING for d in self._ckpt_data):
+                    # Checkpoint complete: truncate lineage for good.
+                    self.deps = []
+                    from repro.trace.tracer import get_tracer
+
+                    get_tracer().instant(
+                        "checkpoint_complete", category="spark.fault", rdd=self.id
+                    )
+            else:
+                computed = self._ckpt_data[split]
+        return computed
 
     # ------------------------------------------------------------------
     # narrow transformations
@@ -729,9 +792,16 @@ class ShuffledRDD(RDD):
     """A wide transformation: hash/range-routed, per-key combined pairs.
 
     The map side buckets (and optionally pre-combines) every parent
-    partition's pairs; the reduce side merges bucket streams in map-task
-    order. All shuffle traffic is counted in ``ctx.metrics`` so tests
-    and benchmarks can observe the effect of map-side combining.
+    partition's pairs into a :class:`~repro.spark.shuffle.ShuffleBlockStore`;
+    the reduce side fetches and merges bucket streams in map-task order.
+    All shuffle traffic is counted in ``ctx.metrics`` so tests and
+    benchmarks can observe the effect of map-side combining.
+
+    Under a fault plan the store is checksummed, and a fetch that
+    detects corruption triggers **lineage recovery**: the owning map
+    task is recomputed from ``self._parent`` (recursing up the DAG as
+    needed, stopping at persisted/checkpointed RDDs) and its blocks
+    re-stored — real Spark's lost-partition model.
     """
 
     def __init__(
@@ -757,50 +827,117 @@ class ShuffledRDD(RDD):
         self._map_side_combine = map_side_combine
         self._flatten_values = flatten_values
         self._shuffle_lock = threading.Lock()
-        self._map_outputs: list[list[list[tuple[Any, Any]]]] | None = None
+        self._recompute_lock = threading.Lock()
+        self._store: Any = None
+        self._shuffle_index: int | None = None
+        self._map_job_id: int | None = None
 
-    def _materialize_shuffle(self) -> list[list[list[tuple[Any, Any]]]]:
-        """Run the map side once: ``outputs[map_task][reduce_part]`` pair lists."""
-        with self._shuffle_lock:
-            if self._map_outputs is not None:
-                return self._map_outputs
-
-            nparts = self.num_partitions
-            partitioner = self._partitioner
-
-            def map_task(_i: int, part: list[Any]) -> list[list[tuple[Any, Any]]]:
-                buckets: list[list[tuple[Any, Any]]] = [[] for _ in range(nparts)]
-                if self._map_side_combine:
-                    combined: dict[int, dict[Any, Any]] = {}
-                    order: list[list[Any]] = [[] for _ in range(nparts)]
-                    for key, value in part:
-                        dest = partitioner.partition(key)
-                        dest_map = combined.setdefault(dest, {})
-                        if key in dest_map:
-                            dest_map[key] = self._merge_value(dest_map[key], value)
-                        else:
-                            dest_map[key] = self._create(value)
-                            order[dest].append(key)
-                    for dest, dest_map in combined.items():
-                        buckets[dest] = [(k, dest_map[k]) for k in order[dest]]
+    def _map_one(self, _i: int, part: list[Any]) -> list[list[tuple[Any, Any]]]:
+        """The map-task body: route (and optionally pre-combine) one parent
+        partition's pairs into one bucket per reduce partition. Also the
+        unit of lineage recovery — a lost map output is rebuilt by
+        re-running this on the recomputed parent partition."""
+        nparts = self.num_partitions
+        partitioner = self._partitioner
+        buckets: list[list[tuple[Any, Any]]] = [[] for _ in range(nparts)]
+        if self._map_side_combine:
+            combined: dict[int, dict[Any, Any]] = {}
+            order: list[list[Any]] = [[] for _ in range(nparts)]
+            for key, value in part:
+                dest = partitioner.partition(key)
+                dest_map = combined.setdefault(dest, {})
+                if key in dest_map:
+                    dest_map[key] = self._merge_value(dest_map[key], value)
                 else:
-                    for key, value in part:
-                        buckets[partitioner.partition(key)].append((key, value))
-                return buckets
+                    dest_map[key] = self._create(value)
+                    order[dest].append(key)
+            for dest, dest_map in combined.items():
+                buckets[dest] = [(k, dest_map[k]) for k in order[dest]]
+        else:
+            for key, value in part:
+                buckets[partitioner.partition(key)].append((key, value))
+        return buckets
 
-            outputs = self.ctx.run_job(self._parent, map_task)
+    def _materialize_shuffle(self) -> Any:
+        """Run the map side once, into a block store keyed by map task."""
+        with self._shuffle_lock:
+            if self._store is not None:
+                return self._store
+            ctx = self.ctx
+            job_id, outputs = ctx._execute_job(self._parent, self._map_one)
             shipped = sum(len(bucket) for task in outputs for bucket in task)
-            self.ctx.metrics.shuffle_records += shipped
-            self.ctx.metrics.shuffles += 1
-            self._map_outputs = outputs
-            return outputs
+            ctx.metrics.shuffle_records += shipped
+            ctx.metrics.shuffles += 1
+            # Corruption only enters through the plan, so checksums are
+            # pure overhead unless the plan schedules a shuffle fault.
+            plan = ctx._fault_plan
+            store = ShuffleBlockStore(
+                self._parent.num_partitions,
+                self.num_partitions,
+                checksums=plan is not None and plan.has_shuffle_events,
+            )
+            for map_task, buckets in enumerate(outputs):
+                store.put(map_task, buckets)
+            self._map_job_id = job_id
+            # Registration numbers the shuffle and injects any scheduled
+            # block corruption — after the blocks exist, before any fetch.
+            self._shuffle_index = ctx._register_shuffle(store)
+            self._store = store
+            return store
+
+    def _fetch_block(self, store: Any, map_task: int, reduce_part: int) -> list[tuple[Any, Any]]:
+        """Fetch one block, healing a corrupt map output from lineage."""
+        try:
+            return store.get(map_task, reduce_part)
+        except CorruptShuffleBlockError:
+            self._recover_map_output(store, map_task)
+            return store.get(map_task, reduce_part)
+
+    def _recover_map_output(self, store: Any, map_task: int) -> None:
+        """Recompute one lost/corrupt map output from the lineage DAG.
+
+        Serialized so concurrent reduce tasks hitting the same bad block
+        recover it once; the parent-partition recursion stops at
+        persisted/checkpointed RDDs (recomputation barriers) and cascades
+        through upstream shuffles' own recovery if *their* blocks are
+        also corrupt. The rebuilt map task's accumulator updates are
+        discarded by the exactly-once commit (its logical task already
+        committed during materialization), keeping diagnostics
+        bit-identical.
+        """
+        from repro.spark.accumulators import task_updates
+        from repro.trace.tracer import get_tracer
+
+        ctx = self.ctx
+        with self._recompute_lock:
+            bad = store.corrupted_blocks(map_task)
+            if not bad:
+                return  # another task already recovered this map output
+            tracer = get_tracer()
+            ctx.metrics.bump("spark.corrupt_blocks_detected", len(bad))
+            tracer.instant(
+                "corrupt_block", category="spark.fault",
+                shuffle=self._shuffle_index, map_task=map_task, blocks=len(bad),
+            )
+            with task_updates() as sink:
+                buckets = self._map_one(map_task, self._parent.partition(map_task))
+            assert self._map_job_id is not None
+            ctx._commit_task((self._map_job_id, map_task), sink)
+            store.put(map_task, buckets)
+            ctx.metrics.bump("spark.recomputed_partitions")
+            if ctx.fault_report is not None:
+                ctx.fault_report.record_recompute(self._shuffle_index or 0, map_task)
+            tracer.instant(
+                "recompute", category="spark.fault",
+                shuffle=self._shuffle_index, map_task=map_task,
+            )
 
     def compute(self, split: int) -> list[Any]:
-        outputs = self._materialize_shuffle()
+        store = self._materialize_shuffle()
         merged: dict[Any, Any] = {}
         order: list[Any] = []
-        for task_buckets in outputs:
-            for key, value in task_buckets[split]:
+        for map_task in range(store.num_maps):
+            for key, value in self._fetch_block(store, map_task, split):
                 if key in merged:
                     if self._map_side_combine:
                         merged[key] = self._merge_combiners(merged[key], value)

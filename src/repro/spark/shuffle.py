@@ -1,0 +1,146 @@
+"""Shuffle block storage for the mini-Spark engine.
+
+A shuffle materializes one *block* per ``(map_task, reduce_partition)``
+pair: the list of key/value pairs map task ``m`` routed to reduce
+partition ``r``. :class:`ShuffleBlockStore` owns that matrix. It was
+extracted from ``ShuffledRDD`` so the fault layer has a seam to corrupt
+blocks at and the engine a seam to verify them through.
+
+Two storage modes, chosen once at construction:
+
+- **plain** (the default, ``checksums=False``): blocks are the raw
+  in-memory lists, exactly the pre-extraction representation. Zero
+  overhead — this is the fault-free hot path.
+- **checksummed** (``checksums=True``, used when a ``SparkFaultPlan``
+  is installed): each block is stored as its pickle plus a crc32, and
+  every fetch verifies before unpickling. A mismatch raises
+  :class:`CorruptShuffleBlockError`, which ``ShuffledRDD`` treats as a
+  *lost partition*: the owning map task is recomputed from lineage and
+  its blocks re-stored.
+
+Corruption itself (:meth:`ShuffleBlockStore.corrupt`) flips bits in the
+stored pickle without touching the recorded checksum — the model for a
+disk/network fault that checksums exist to catch.
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+import zlib
+from typing import Any, Sequence
+
+__all__ = ["ShuffleBlockStore", "CorruptShuffleBlockError"]
+
+Pair = tuple[Any, Any]
+
+
+class CorruptShuffleBlockError(RuntimeError):
+    """A stored shuffle block failed checksum verification on fetch."""
+
+    def __init__(self, map_task: int, reduce_part: int) -> None:
+        super().__init__(
+            f"shuffle block (map_task={map_task}, reduce_part={reduce_part}) "
+            "failed checksum verification"
+        )
+        self.map_task = map_task
+        self.reduce_part = reduce_part
+
+
+class ShuffleBlockStore:
+    """The materialized output matrix of one shuffle.
+
+    ``num_maps`` map tasks each contribute ``num_parts`` blocks (one per
+    reduce partition). Writers call :meth:`put` once per map task;
+    readers call :meth:`get` per block. Thread-safe: concurrent reduce
+    tasks fetch while a recovery path may be re-storing a recomputed
+    map output.
+    """
+
+    def __init__(self, num_maps: int, num_parts: int, *, checksums: bool = False) -> None:
+        self.num_maps = num_maps
+        self.num_parts = num_parts
+        self.checksums = checksums
+        self._lock = threading.Lock()
+        # plain mode: _blocks[m][r] is the raw pair list.
+        # checksummed mode: _blocks[m][r] is (payload_bytes, crc32).
+        self._blocks: list[list[Any] | None] = [None] * num_maps
+
+    def put(self, map_task: int, buckets: Sequence[list[Pair]]) -> None:
+        """Store map task ``map_task``'s full row of ``num_parts`` buckets."""
+        if len(buckets) != self.num_parts:
+            raise ValueError(
+                f"map task {map_task} produced {len(buckets)} buckets, "
+                f"expected {self.num_parts}"
+            )
+        if self.checksums:
+            row: list[Any] = []
+            for bucket in buckets:
+                payload = pickle.dumps(bucket, protocol=pickle.HIGHEST_PROTOCOL)
+                row.append((payload, zlib.crc32(payload)))
+        else:
+            row = list(buckets)
+        with self._lock:
+            self._blocks[map_task] = row
+
+    def get(self, map_task: int, reduce_part: int) -> list[Pair]:
+        """Fetch one block, verifying its checksum in checksummed mode.
+
+        Raises :class:`CorruptShuffleBlockError` on a checksum mismatch
+        and ``KeyError`` if the map task's output was never stored.
+        """
+        with self._lock:
+            row = self._blocks[map_task]
+            if row is None:
+                raise KeyError(f"map task {map_task} has no stored shuffle output")
+            block = row[reduce_part]
+        if not self.checksums:
+            return block
+        payload, crc = block
+        if zlib.crc32(payload) != crc:
+            raise CorruptShuffleBlockError(map_task, reduce_part)
+        return pickle.loads(payload)
+
+    def has_output(self, map_task: int) -> bool:
+        """Whether ``map_task``'s row has been stored (possibly corrupt)."""
+        with self._lock:
+            return self._blocks[map_task] is not None
+
+    def corrupt(self, map_task: int, reduce_part: int) -> bool:
+        """Flip bits in one stored block's payload (checksummed mode only).
+
+        The recorded checksum is left untouched so the next
+        :meth:`get` of this block fails verification. Returns whether
+        anything was corrupted (``False`` if the row isn't stored yet
+        or the store is in plain mode — nothing to corrupt against).
+        """
+        if not self.checksums:
+            return False
+        with self._lock:
+            row = self._blocks[map_task]
+            if row is None:
+                return False
+            payload, crc = row[reduce_part]
+            mangled = bytes([payload[0] ^ 0xFF]) + payload[1:]
+            row[reduce_part] = (mangled, crc)
+        return True
+
+    def corrupted_blocks(self, map_task: int) -> list[int]:
+        """Reduce partitions of ``map_task`` currently failing verification."""
+        if not self.checksums:
+            return []
+        with self._lock:
+            row = self._blocks[map_task]
+            if row is None:
+                return []
+            blocks = list(row)
+        return [r for r, (payload, crc) in enumerate(blocks) if zlib.crc32(payload) != crc]
+
+    def __repr__(self) -> str:
+        with self._lock:
+            stored = sum(1 for row in self._blocks if row is not None)
+        mode = "checksummed" if self.checksums else "plain"
+        return (
+            f"ShuffleBlockStore({stored}/{self.num_maps} map outputs, "
+            f"{self.num_parts} partitions, {mode})"
+        )

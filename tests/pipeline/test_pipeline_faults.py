@@ -1,0 +1,151 @@
+"""The NYC exemplar under fault injection: bit-identical or bust.
+
+``nyc_arrests_pipeline`` surfaces the engine's ``fault_plan=`` knob on
+the workflow itself; for every sampled plan the heat-map matrix, the
+rates, and the accumulator diagnostics must match the fault-free run
+exactly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.pipeline import (
+    SparkPipeline,
+    StageKind,
+    arrests_per_100k,
+    generate_arrests,
+    generate_ntas,
+    nyc_arrests_pipeline,
+)
+from repro.spark import SparkContext, SparkFaultEvent, SparkFaultPlan, SparkJobFailedError
+
+ROWS, COLS = 4, 5
+
+
+@pytest.fixture(scope="module")
+def datasets():
+    ntas = generate_ntas(ROWS, COLS, seed=7)
+    historic = generate_arrests(3_000, ntas, year=2020, seed=1)
+    current = generate_arrests(1_500, ntas, year=2021, seed=1)
+    return ntas, [historic, current]
+
+
+@pytest.fixture(scope="module")
+def fault_free(datasets):
+    ntas, arrests = datasets
+    pipeline = nyc_arrests_pipeline(ntas, ROWS, COLS, year_filter=2021)
+    matrix = pipeline.run(arrests)
+    return matrix, pipeline.rates, pipeline.diagnostics
+
+
+class TestNycPipelineBuilder:
+    def test_matches_plain_function(self, datasets, fault_free):
+        ntas, arrests = datasets
+        matrix, rates, diagnostics = fault_free
+        with SparkContext(4) as sc:
+            want_rates, want_diag = arrests_per_100k(sc, arrests, ntas, year_filter=2021)
+        assert rates == want_rates
+        assert diagnostics == want_diag
+        assert matrix.shape == (ROWS, COLS)
+
+    def test_covers_all_rubric_kinds(self, datasets):
+        ntas, _ = datasets
+        pipeline = nyc_arrests_pipeline(ntas, ROWS, COLS)
+        assert pipeline.kinds_used() == {
+            StageKind.AGGREGATION,
+            StageKind.CLEANING,
+            StageKind.ANALYSIS,
+            StageKind.VISUALIZATION,
+        }
+
+    def test_reports_and_metrics_populated(self, datasets):
+        ntas, arrests = datasets
+        pipeline = nyc_arrests_pipeline(ntas, ROWS, COLS)
+        pipeline.run(arrests)
+        assert [r.name for r in pipeline.reports] == [
+            "aggregate", "clean", "analyze", "visualize",
+        ]
+        assert pipeline.last_metrics.jobs > 0
+        assert pipeline.last_fault_report is None  # no plan installed
+
+    def test_validates_inputs(self):
+        with pytest.raises(ValueError, match="at least one NTA"):
+            nyc_arrests_pipeline([], ROWS, COLS)
+
+
+class TestNycPipelineUnderFaults:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_sampled_plans_bit_identical(self, seed, datasets, fault_free):
+        ntas, arrests = datasets
+        want_matrix, want_rates, want_diag = fault_free
+        plan = SparkFaultPlan.sample(
+            seed,
+            jobs=10,
+            partitions=8,
+            task_fail_prob=0.08,
+            blacklist_prob=0.04,
+            straggle_prob=0.04,
+            shuffle_corrupt_prob=0.15,
+            broadcast_corrupt_prob=0.50,
+            seconds=0.0005,
+        )
+        pipeline = nyc_arrests_pipeline(ntas, ROWS, COLS, year_filter=2021, fault_plan=plan)
+        matrix = pipeline.run(arrests)
+        assert np.array_equal(matrix, want_matrix)
+        assert pipeline.rates == want_rates
+        assert pipeline.diagnostics == want_diag
+
+    def test_surviving_run_reports_recovery(self, datasets, fault_free):
+        ntas, arrests = datasets
+        plan = SparkFaultPlan(
+            [SparkFaultEvent("task", 0, 1), SparkFaultEvent("shuffle", 0, 2)]
+        )
+        pipeline = nyc_arrests_pipeline(ntas, ROWS, COLS, year_filter=2021, fault_plan=plan)
+        matrix = pipeline.run(arrests)
+        assert np.array_equal(matrix, fault_free[0])
+        report = pipeline.last_fault_report
+        assert report is not None and len(report.injected) == 2
+        extra = pipeline.last_metrics.extra
+        assert extra["spark.task_retries"] == 1
+        assert extra["spark.recomputed_partitions"] == 1
+
+    def test_unrecoverable_plan_raises_with_report(self, datasets):
+        ntas, arrests = datasets
+        plan = SparkFaultPlan([SparkFaultEvent("task", 0, 0, attempts=20)])
+        pipeline = nyc_arrests_pipeline(
+            ntas, ROWS, COLS, year_filter=2021, fault_plan=plan, max_task_retries=2
+        )
+        with pytest.raises(SparkJobFailedError) as exc_info:
+            pipeline.run(arrests)
+        assert exc_info.value.report.injected  # structured evidence attached
+
+
+class TestSparkPipeline:
+    def test_stages_share_one_managed_context(self):
+        seen = []
+        pipeline = SparkPipeline("shared-ctx")
+        pipeline.add_stage(
+            "make", StageKind.AGGREGATION, lambda sc, n: (seen.append(sc), sc.parallelize(range(n)))[1]
+        )
+        pipeline.add_stage(
+            "count", StageKind.ANALYSIS, lambda sc, rdd: (seen.append(sc), rdd.count())[1]
+        )
+        assert pipeline.run(10) == 10
+        assert seen[0] is seen[1]
+        # The managed context is stopped once the run finishes.
+        with pytest.raises(RuntimeError, match="has been stopped"):
+            seen[0].parallelize([1])
+
+    def test_each_run_gets_a_fresh_context(self):
+        seen = []
+        pipeline = SparkPipeline("fresh-ctx")
+        pipeline.add_stage(
+            "touch", StageKind.ANALYSIS, lambda sc, x: (seen.append(sc), x)[1]
+        )
+        pipeline.run(1)
+        pipeline.run(2)
+        assert seen[0] is not seen[1]
+
+    def test_empty_pipeline_rejected(self):
+        with pytest.raises(ValueError, match="no stages"):
+            SparkPipeline("empty").run(None)

@@ -1,0 +1,48 @@
+"""Fast tier-1 overhead gate for the Spark fault layer.
+
+The authoritative <5% budget lives in
+``benchmarks/test_spark_fault_overhead.py`` (min-of-9 interleaved runs
+on the benchmark-sized NYC pipeline). This gate is its tier-1 tripwire:
+a tiny workload, few repeats, and a deliberately loose threshold, so it
+only fires on a *gross* regression (checksums accidentally on without a
+plan, an un-gated per-task allocation) rather than on scheduler noise —
+while staying fast enough to run in every test sweep.
+"""
+
+from repro.pipeline import arrests_per_100k, generate_arrests, generate_ntas
+from repro.spark import SparkContext, SparkFaultPlan
+from repro.util.timing import time_call
+
+WORKERS = 2
+REPEATS = 3
+# Gross-regression tripwire only; the tight 1.05x budget is benchmarks'.
+THRESHOLD = 2.0
+
+
+def test_spark_fault_overhead_tripwire():
+    ntas = generate_ntas(3, 4, seed=7)
+    datasets = [
+        generate_arrests(1_500, ntas, year=2020, seed=1),
+        generate_arrests(800, ntas, year=2021, seed=1),
+    ]
+
+    def run(fault_plan):
+        def once():
+            with SparkContext(WORKERS, fault_plan=fault_plan) as sc:
+                return arrests_per_100k(sc, datasets, ntas, year_filter=2021)
+
+        best = float("inf")
+        for _ in range(REPEATS):
+            sec, result = time_call(once, repeats=1)
+            best = min(best, sec)
+        return best, result
+
+    base_sec, base = run(None)
+    empty_sec, faulted = run(SparkFaultPlan())
+
+    assert base == faulted  # (rates, diagnostics) bit-identical
+    ratio = empty_sec / base_sec
+    assert ratio < THRESHOLD, (
+        f"spark fault overhead tripwire: empty-plan/disabled ratio {ratio:.2f}x "
+        f"exceeds {THRESHOLD}x — a hot-path gate has probably regressed"
+    )
