@@ -9,7 +9,9 @@ makes that catalog a first-class object:
   context, and the modules of this library that implement it), plus the
   selection criteria (tested / adoptable / cool);
 - :mod:`repro.core.speedup` — the scaling-study runner the assignments
-  ask students to perform ("obtain speedup", "compare performance").
+  ask students to perform ("obtain speedup", "compare performance");
+- :mod:`repro.core.executor` — the pluggable serial/thread/process
+  executor backends every engine fans its local work over.
 """
 
 from repro.core.assignment import (
@@ -18,6 +20,17 @@ from repro.core.assignment import (
     SelectionCriteria,
     get_assignment,
     list_assignments,
+)
+from repro.core.executor import (
+    BACKENDS,
+    Executor,
+    ProcessExecutor,
+    SerialExecutor,
+    TaskFailedError,
+    ThreadExecutor,
+    WorkerCrashError,
+    derive_task_seed,
+    get_executor,
 )
 from repro.core.speedup import run_scaling_study
 
@@ -28,4 +41,13 @@ __all__ = [
     "get_assignment",
     "list_assignments",
     "run_scaling_study",
+    "BACKENDS",
+    "Executor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "get_executor",
+    "derive_task_seed",
+    "TaskFailedError",
+    "WorkerCrashError",
 ]

@@ -1,0 +1,492 @@
+"""Pluggable executor backends: serial, thread, and process parallelism.
+
+Every engine in the reproduction fans embarrassingly-parallel work over
+local workers — Spark tasks over partitions, MapReduce map/reduce tasks
+within a rank, the k-means assignment step over point chunks, HPO
+trials over the grid. This module gives them one shared substrate with
+three interchangeable backends:
+
+- :class:`SerialExecutor` — a plain loop on the calling thread.
+  Zero concurrency, zero overhead; the determinism baseline.
+- :class:`ThreadExecutor` — a fresh ``ThreadPoolExecutor`` per map
+  (fresh pools keep nested maps deadlock-free). Real concurrency for
+  GIL-releasing kernels (numpy, IO); serialized for pure-Python loops.
+- :class:`ProcessExecutor` — real CPU parallelism on ``multiprocessing``
+  worker processes, with chunked task batching to amortize IPC.
+
+The three backends are **result-identical by construction**: tasks are
+pure functions of ``(index, item)``, results are merged in index order,
+and per-task seeds come from :func:`derive_task_seed` — a pure function
+of ``(base_seed, index)`` — so no backend can leak scheduling order
+into the output. ``tests/core/test_executor_determinism.py`` sweeps
+seeds over all three backends for k-means, MapReduce wordcount, and
+accumulator-carrying Spark jobs to hold that line.
+
+Process-backend ground rules (docs/executors.md has the full story):
+
+- With the ``fork`` start method (the default where available, i.e.
+  Linux), the task function and items are *inherited* by the forked
+  workers — closures over arbitrary driver state work unmodified.
+- With ``spawn``, the ``(fn, items)`` payload must pickle; closures
+  that the stdlib pickler rejects fall back to :mod:`cloudpickle` when
+  it is importable, and otherwise raise a clear error.
+- Task *results* (and task exceptions) always travel back by pickle,
+  under either start method — keep them plain data.
+- A worker that dies without delivering its results (segfault,
+  ``os._exit``, OOM kill) surfaces as :class:`WorkerCrashError`
+  carrying the completed results and the missing task indices, so
+  schedulers (e.g. the Spark context) can re-execute the lost tasks
+  and record the crash in their fault reports.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+import queue as queue_mod
+import threading
+import time
+import traceback
+from abc import ABC, abstractmethod
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, Sequence
+
+from repro.trace.tracer import get_tracer
+from repro.util.partition import block_partition
+from repro.util.validation import require_positive_int
+
+__all__ = [
+    "BACKENDS",
+    "Executor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "get_executor",
+    "derive_task_seed",
+    "TaskFailedError",
+    "WorkerCrashError",
+]
+
+#: The recognized backend names, in determinism-baseline-first order.
+BACKENDS = ("serial", "thread", "process")
+
+_MASK64 = (1 << 64) - 1
+
+
+def derive_task_seed(base_seed: int, index: int) -> int:
+    """A per-task seed that is a pure function of ``(base_seed, index)``.
+
+    SplitMix64 finalizer over the combined words: well-mixed (adjacent
+    indices give unrelated seeds), backend- and scheduling-independent,
+    and identical on every platform — the shared-seed plumbing that
+    keeps stochastic tasks bit-identical across ``serial``/``thread``/
+    ``process`` backends.
+    """
+    x = ((base_seed & _MASK64) * 0x9E3779B97F4A7C15 + (index & _MASK64) + 1) & _MASK64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return (x ^ (x >> 31)) & _MASK64
+
+
+class TaskFailedError(RuntimeError):
+    """A task raised in a worker and its exception could not be re-raised.
+
+    Raised by :class:`ProcessExecutor` when the original exception does
+    not survive the trip back through pickle; carries the failing task
+    ``index`` and the worker-side ``traceback_text``. (When the original
+    exception *does* unpickle, it is re-raised as-is, matching the
+    serial and thread backends.)
+    """
+
+    def __init__(self, index: int, message: str, traceback_text: str = "") -> None:
+        super().__init__(
+            f"task {index} failed in worker: {message}"
+            + (f"\n--- worker traceback ---\n{traceback_text}" if traceback_text else "")
+        )
+        self.index = index
+        self.traceback_text = traceback_text
+
+
+class WorkerCrashError(RuntimeError):
+    """A worker process died without delivering all its task results.
+
+    ``completed`` maps task index -> result for everything that made it
+    back (from all workers); ``missing`` is the sorted tuple of indices
+    whose results were lost. Schedulers catch this to re-execute the
+    missing tasks and feed their fault-report paths.
+    """
+
+    def __init__(
+        self,
+        worker: int,
+        exitcode: int | None,
+        completed: dict[int, Any],
+        missing: tuple[int, ...],
+    ) -> None:
+        super().__init__(
+            f"worker {worker} crashed (exitcode={exitcode}) with "
+            f"{len(missing)} task result(s) undelivered: {list(missing)[:8]}"
+            + ("..." if len(missing) > 8 else "")
+        )
+        self.worker = worker
+        self.exitcode = exitcode
+        self.completed = completed
+        self.missing = missing
+
+
+class Executor(ABC):
+    """Ordered map over independent tasks: ``fn(index, item)`` per item.
+
+    Contract shared by all backends (what the determinism tests pin):
+
+    - results are returned **in item order**, never completion order;
+    - ``fn`` must be a pure function of its arguments (plus read-only
+      shared state) — backends may run it anywhere, in any order;
+    - a task exception propagates to the caller (lowest failing index
+      wins when several fail);
+    - :meth:`map_seeded` hands task ``i`` the seed
+      ``derive_task_seed(base_seed, i)`` regardless of backend.
+
+    Executors are context managers; only :class:`ProcessExecutor`-style
+    backends with real resources do anything on close.
+    """
+
+    name: str = "abstract"
+
+    def __init__(self, num_workers: int = 4) -> None:
+        self.num_workers = require_positive_int("num_workers", num_workers)
+
+    @abstractmethod
+    def map(self, fn: Callable[[int, Any], Any], items: Sequence[Any]) -> list[Any]:
+        """Run ``fn(i, items[i])`` for every i; results in index order."""
+
+    def map_seeded(
+        self, fn: Callable[[int, Any, int], Any], items: Sequence[Any], base_seed: int
+    ) -> list[Any]:
+        """:meth:`map` with a derived per-task seed as a third argument."""
+        return self.map(lambda i, item: fn(i, item, derive_task_seed(base_seed, i)), items)
+
+    def close(self) -> None:
+        """Release backend resources (idempotent)."""
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(num_workers={self.num_workers})"
+
+
+class SerialExecutor(Executor):
+    """The baseline: a plain loop on the calling thread."""
+
+    name = "serial"
+
+    def __init__(self, num_workers: int = 1) -> None:
+        super().__init__(num_workers)
+
+    def map(self, fn: Callable[[int, Any], Any], items: Sequence[Any]) -> list[Any]:
+        with get_tracer().span(
+            "executor.map", category="executor", scope="executor.serial",
+            backend=self.name, tasks=len(items),
+        ):
+            return [fn(i, item) for i, item in enumerate(items)]
+
+
+class ThreadExecutor(Executor):
+    """Today's engine behaviour: a fresh thread pool per map call.
+
+    A fresh pool keeps nested maps (a task that itself maps — e.g. a
+    Spark shuffle materializing inside a job) deadlock-free, exactly
+    like ``SparkContext``'s fresh pool per job. Exceptions re-raise the
+    original exception object of the lowest failing index.
+    """
+
+    name = "thread"
+
+    def map(self, fn: Callable[[int, Any], Any], items: Sequence[Any]) -> list[Any]:
+        if not items:
+            return []
+        with get_tracer().span(
+            "executor.map", category="executor", scope="executor.thread",
+            backend=self.name, tasks=len(items), workers=self.num_workers,
+        ):
+            if len(items) == 1:
+                return [fn(0, items[0])]
+            with ThreadPoolExecutor(max_workers=self.num_workers) as pool:
+                futures = [pool.submit(fn, i, item) for i, item in enumerate(items)]
+                return [f.result() for f in futures]
+
+
+# ----------------------------------------------------------------------
+# process backend
+# ----------------------------------------------------------------------
+
+#: Jobs awaiting pickup by freshly forked workers. Under the ``fork``
+#: start method the (fn, items) payload is *inherited* through process
+#: memory rather than pickled, which is what lets closures over driver
+#: state (RDD lineage, broadcast tables) run in workers unmodified.
+#: Keyed by a job token so concurrent maps (Spark jobs run from many
+#: threads) never collide; entries are removed once workers have forked.
+_FORK_JOBS: dict[int, tuple[Callable[[int, Any], Any], Sequence[Any]]] = {}
+_FORK_LOCK = threading.Lock()
+_FORK_TOKENS = iter(range(1, 1 << 62))
+
+
+def _encode_error(exc: BaseException) -> tuple[bytes | None, str, str]:
+    """(pickled exception or None, message, traceback) for the trip home."""
+    try:
+        payload = pickle.dumps(exc)
+    except Exception:
+        payload = None
+    return payload, f"{type(exc).__name__}: {exc}", traceback.format_exc()
+
+
+def _run_chunk(
+    fn: Callable[[int, Any], Any], items: Sequence[Any], lo: int, hi: int
+) -> list[tuple[int, bool, Any]]:
+    out: list[tuple[int, bool, Any]] = []
+    for i in range(lo, hi):
+        try:
+            out.append((i, True, fn(i, items[i])))
+        except BaseException as exc:  # noqa: BLE001 - shipped back to the driver
+            out.append((i, False, _encode_error(exc)))
+    return out
+
+
+def _worker_main(
+    worker_id: int,
+    job_token: int | None,
+    payload: bytes | None,
+    chunks: list[tuple[int, int, int]],
+    result_queue: Any,
+) -> None:
+    """Worker body: run assigned chunks, ship each back, then sign off."""
+    if job_token is not None:
+        fn, items = _FORK_JOBS[job_token]  # inherited via fork
+    else:
+        fn, items = _loads_payload(payload)
+    for chunk_id, lo, hi in chunks:
+        results = _run_chunk(fn, items, lo, hi)
+        try:
+            result_queue.put(("chunk", worker_id, chunk_id, results))
+        except Exception as exc:  # unpicklable result: report, don't die
+            substitute = [
+                (i, False, (None, f"result of task {i} could not be pickled: {exc}", ""))
+                for i, _ok, _val in results
+            ]
+            result_queue.put(("chunk", worker_id, chunk_id, substitute))
+    result_queue.put(("done", worker_id))
+
+
+def _dumps_payload(fn: Callable[[int, Any], Any], items: Sequence[Any]) -> bytes:
+    try:
+        return pickle.dumps((fn, items))
+    except Exception:
+        try:
+            import cloudpickle
+        except ImportError:
+            raise ValueError(
+                "ProcessExecutor with the 'spawn' start method needs a picklable "
+                "(fn, items) payload (and cloudpickle is not installed to widen "
+                "that); use start_method='fork' or module-level functions"
+            ) from None
+        return cloudpickle.dumps((fn, items))
+
+
+def _loads_payload(payload: bytes | None) -> tuple[Callable[[int, Any], Any], Sequence[Any]]:
+    assert payload is not None
+    return pickle.loads(payload)
+
+
+class ProcessExecutor(Executor):
+    """Real CPU parallelism: worker processes with chunked task batching.
+
+    ``chunks_per_worker`` controls batching: the item range is split
+    into ``min(n, num_workers * chunks_per_worker)`` contiguous blocks
+    (assigned round-robin to workers), so one IPC round-trip carries a
+    whole chunk of results instead of one task's worth — the classic
+    latency/balance trade (more chunks = better balance, more IPC).
+
+    ``start_method`` is ``"fork"`` where the platform offers it (task
+    closures and items are inherited, never pickled), else ``"spawn"``
+    (the payload must pickle; cloudpickle widens what qualifies). The
+    workers are daemonic and freshly started per :meth:`map` call, so a
+    crashed or leaked worker can never outlive the caller.
+    """
+
+    name = "process"
+
+    def __init__(
+        self,
+        num_workers: int = 4,
+        *,
+        chunks_per_worker: int = 4,
+        start_method: str | None = None,
+    ) -> None:
+        super().__init__(num_workers)
+        self.chunks_per_worker = require_positive_int("chunks_per_worker", chunks_per_worker)
+        available = multiprocessing.get_all_start_methods()
+        if start_method is None:
+            start_method = "fork" if "fork" in available else "spawn"
+        if start_method not in available:
+            raise ValueError(
+                f"start_method {start_method!r} not available on this platform "
+                f"(have {available})"
+            )
+        self.start_method = start_method
+        self._ctx = multiprocessing.get_context(start_method)
+
+    def map(self, fn: Callable[[int, Any], Any], items: Sequence[Any]) -> list[Any]:
+        n = len(items)
+        if n == 0:
+            return []
+        with get_tracer().span(
+            "executor.map", category="executor", scope="executor.process",
+            backend=self.name, tasks=n, workers=self.num_workers,
+            start_method=self.start_method,
+        ):
+            return self._map_processes(fn, items, n)
+
+    def _map_processes(
+        self, fn: Callable[[int, Any], Any], items: Sequence[Any], n: int
+    ) -> list[Any]:
+        num_workers = min(self.num_workers, n)
+        num_chunks = min(n, num_workers * self.chunks_per_worker)
+        chunk_bounds = [
+            (c, r.start, r.stop) for c, r in enumerate(block_partition(n, num_chunks))
+        ]
+        # Round-robin chunk -> worker keeps contiguous blocks spread evenly.
+        assignments: list[list[tuple[int, int, int]]] = [[] for _ in range(num_workers)]
+        for chunk in chunk_bounds:
+            assignments[chunk[0] % num_workers].append(chunk)
+
+        token: int | None = None
+        payload: bytes | None = None
+        if self.start_method == "fork":
+            token = next(_FORK_TOKENS)
+            with _FORK_LOCK:
+                _FORK_JOBS[token] = (fn, items)
+        else:
+            payload = _dumps_payload(fn, items)
+
+        result_queue = self._ctx.Queue()
+        workers = [
+            self._ctx.Process(
+                target=_worker_main,
+                args=(w, token, payload, assignments[w], result_queue),
+                name=f"executor-worker-{w}",
+                daemon=True,
+            )
+            for w in range(num_workers)
+        ]
+        try:
+            for p in workers:
+                p.start()
+        finally:
+            if token is not None:
+                # Forked children hold their inherited copy; drop ours.
+                with _FORK_LOCK:
+                    _FORK_JOBS.pop(token, None)
+
+        try:
+            results, errors, crashed = self._collect(workers, result_queue, n)
+        finally:
+            for p in workers:
+                p.join(timeout=5.0)
+                if p.is_alive():  # pragma: no cover - stuck worker backstop
+                    p.terminate()
+                    p.join(timeout=1.0)
+            result_queue.close()
+
+        if errors:
+            index = min(errors)
+            exc_payload, message, tb_text = errors[index]
+            if exc_payload is not None:
+                try:
+                    raise pickle.loads(exc_payload)
+                except TaskFailedError:
+                    raise
+                except Exception as original:
+                    if f"{type(original).__name__}: {original}" == message:
+                        raise original from None
+            raise TaskFailedError(index, message, tb_text)
+        if crashed:
+            worker_id, exitcode = crashed[0]
+            missing = tuple(i for i in range(n) if i not in results)
+            raise WorkerCrashError(worker_id, exitcode, results, missing)
+        return [results[i] for i in range(n)]
+
+    def _collect(
+        self, workers: list[Any], result_queue: Any, n: int
+    ) -> tuple[dict[int, Any], dict[int, tuple[bytes | None, str, str]], list[tuple[int, int | None]]]:
+        """Drain chunk results until every worker signed off or died."""
+        results: dict[int, Any] = {}
+        errors: dict[int, tuple[bytes | None, str, str]] = {}
+        pending = set(range(len(workers)))
+        crashed: list[tuple[int, int | None]] = []
+        while pending:
+            try:
+                message = result_queue.get(timeout=0.05)
+            except queue_mod.Empty:
+                for w in sorted(pending):
+                    proc = workers[w]
+                    if not proc.is_alive():
+                        # Late messages may still sit in the pipe: give the
+                        # queue one grace pass before declaring the loss.
+                        deadline = time.monotonic() + 0.25
+                        drained = False
+                        while time.monotonic() < deadline:
+                            try:
+                                late = result_queue.get(timeout=0.05)
+                            except queue_mod.Empty:
+                                continue
+                            self._apply(late, results, errors, pending)
+                            drained = True
+                            break
+                        if drained and w not in pending:
+                            continue
+                        if not drained:
+                            pending.discard(w)
+                            crashed.append((w, proc.exitcode))
+                continue
+            self._apply(message, results, errors, pending)
+        return results, errors, crashed
+
+    @staticmethod
+    def _apply(
+        message: tuple[Any, ...],
+        results: dict[int, Any],
+        errors: dict[int, tuple[bytes | None, str, str]],
+        pending: set[int],
+    ) -> None:
+        kind = message[0]
+        if kind == "chunk":
+            for index, ok, value in message[3]:
+                if ok:
+                    results[index] = value
+                else:
+                    errors[index] = value
+        elif kind == "done":
+            pending.discard(message[1])
+
+
+def get_executor(
+    backend: "str | Executor", num_workers: int = 4, **kwargs: Any
+) -> Executor:
+    """Resolve a backend name (or pass an :class:`Executor` through).
+
+    ``kwargs`` are forwarded to the backend constructor (e.g.
+    ``chunks_per_worker``/``start_method`` for ``"process"``).
+    """
+    if isinstance(backend, Executor):
+        return backend
+    if backend == "serial":
+        return SerialExecutor()
+    if backend == "thread":
+        return ThreadExecutor(num_workers, **kwargs)
+    if backend == "process":
+        return ProcessExecutor(num_workers, **kwargs)
+    raise ValueError(f"backend must be one of {BACKENDS} or an Executor, got {backend!r}")

@@ -41,7 +41,13 @@ from repro.hpo.ensemble import DeepEnsemble
 from repro.hpo.monitoring import AccuracyMonitor, StopTraining, learning_curve
 from repro.hpo.nn import MLP
 from repro.hpo.scheduler import ScheduleReport, greedy_lpt_schedule, simulate_schedule
-from repro.hpo.search import HyperParams, HPOutcome, hyperparameter_grid, run_hpo_serial
+from repro.hpo.search import (
+    HyperParams,
+    HPOutcome,
+    hyperparameter_grid,
+    run_hpo_executor,
+    run_hpo_serial,
+)
 
 __all__ = [
     "MLP",
@@ -53,6 +59,7 @@ __all__ = [
     "HPOutcome",
     "hyperparameter_grid",
     "run_hpo_serial",
+    "run_hpo_executor",
     "ScheduleReport",
     "simulate_schedule",
     "greedy_lpt_schedule",

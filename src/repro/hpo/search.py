@@ -30,6 +30,7 @@ __all__ = [
     "hyperparameter_grid",
     "train_one",
     "run_hpo_serial",
+    "run_hpo_executor",
     "ensemble_of_top",
 ]
 
@@ -147,6 +148,38 @@ def run_hpo_serial(
     outcomes = [
         train_one(p, train_x, train_y, val_x, val_y) for p in grid
     ]
+    order = sorted(
+        range(len(outcomes)), key=lambda i: (-outcomes[i].val_accuracy, i)
+    )
+    return [outcomes[i] for i in order]
+
+
+def run_hpo_executor(
+    grid: list[HyperParams],
+    train_x: np.ndarray,
+    train_y: np.ndarray,
+    val_x: np.ndarray,
+    val_y: np.ndarray,
+    *,
+    backend: str = "thread",
+    num_workers: int = 4,
+) -> list[HPOutcome]:
+    """The trial farm over an executor backend: :func:`run_hpo_serial`'s
+    exact results, trained on local serial/thread/process workers.
+
+    Each trial is already deterministic in its ``params`` (it trains the
+    same model wherever it runs), and ranking keys on ``(-accuracy,
+    grid_index)``, so the returned ordering is bit-identical across
+    backends. The process backend gives the single-machine analogue of
+    the assignment's MPI task farm — real CPU parallelism for the
+    GIL-bound training loops.
+    """
+    from repro.core.executor import get_executor
+
+    executor = get_executor(backend, num_workers)
+    outcomes = executor.map(
+        lambda _i, p: train_one(p, train_x, train_y, val_x, val_y), list(grid)
+    )
     order = sorted(
         range(len(outcomes)), key=lambda i: (-outcomes[i].val_accuracy, i)
     )

@@ -16,6 +16,9 @@ per-cluster coordinate sums) in each model.
   centroids, one distributed reduction per iteration;
 - :mod:`repro.kmeans.device_kmeans` — CUDA-style: grid/block
   decomposition with per-block partial reductions, vectorized per block;
+- :mod:`repro.kmeans.parallel_kmeans` — the executor-backend variant:
+  phase 1 farmed over serial/thread/process workers
+  (:mod:`repro.core.executor`), bit-identical across backends;
 - :mod:`repro.kmeans.initialization` / :mod:`repro.kmeans.termination`
   — deterministic centroid seeding and the stopping rules.
 """
@@ -26,6 +29,7 @@ from repro.kmeans.sequential import KMeansResult, kmeans_sequential, assign_poin
 from repro.kmeans.openmp_kmeans import kmeans_openmp
 from repro.kmeans.mpi_kmeans import kmeans_mpi, run_kmeans_mpi
 from repro.kmeans.device_kmeans import kmeans_device
+from repro.kmeans.parallel_kmeans import kmeans_parallel
 from repro.kmeans.evaluation import elbow_curve, silhouette_score, suggest_k
 
 __all__ = [
@@ -35,6 +39,7 @@ __all__ = [
     "assign_points",
     "update_centroids",
     "kmeans_openmp",
+    "kmeans_parallel",
     "kmeans_mpi",
     "run_kmeans_mpi",
     "kmeans_device",

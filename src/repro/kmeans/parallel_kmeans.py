@@ -1,0 +1,195 @@
+"""Executor-backend K-means: the assignment step over serial/thread/process.
+
+The PKMeans lineage of the assignment (and the paper's §3 speedup
+curves) hinges on the embarrassingly-parallel structure of phase 1:
+each point's nearest centroid is independent, so the point array splits
+into static blocks farmed over :mod:`repro.core.executor` workers. Each
+task returns its block's assignments plus *private* per-cluster
+sums/counts, and the driver merges partials in block order — the same
+deterministic reduction as ``kmeans_openmp(variant="reduction")``, so
+results are bit-identical across the ``serial``/``thread``/``process``
+backends (asserted in ``tests/core/test_executor_determinism.py``).
+
+Two ``kernel`` choices select what each task actually computes:
+
+- ``"numpy"`` — the vectorized einsum/argmin math shared with the other
+  models. numpy releases the GIL inside these kernels, so *threads*
+  already scale here and the process backend mostly pays IPC.
+- ``"python"`` — a pure-Python distance loop, the GIL-bound stand-in
+  for the C starter code's per-point arithmetic. Threads serialize on
+  the GIL; only the process backend shows real speedup — which is
+  exactly what ``benchmarks/test_executor_backends.py`` measures.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.executor import BACKENDS, get_executor
+from repro.kmeans.initialization import init_random_points
+from repro.kmeans.sequential import KMeansResult, compute_inertia
+from repro.kmeans.termination import TerminationCriteria
+from repro.trace.tracer import get_tracer
+from repro.util.partition import block_partition
+from repro.util.validation import require_positive_int
+
+__all__ = ["kmeans_parallel", "KERNELS"]
+
+KERNELS = ("numpy", "python")
+
+
+def _assign_block_numpy(
+    block: np.ndarray, centroids: np.ndarray, old: np.ndarray
+) -> tuple[np.ndarray, int, np.ndarray, np.ndarray]:
+    """One task: vectorized assignment + private sums/counts for a block."""
+    k, d = centroids.shape
+    d2 = (
+        np.einsum("ij,ij->i", block, block)[:, None]
+        - 2.0 * block @ centroids.T
+        + np.einsum("ij,ij->i", centroids, centroids)[None, :]
+    )
+    new_local = np.argmin(d2, axis=1)
+    changes = int(np.count_nonzero(new_local != old))
+    sums = np.zeros((k, d))
+    counts = np.zeros(k, dtype=np.int64)
+    np.add.at(sums, new_local, block)
+    np.add.at(counts, new_local, 1)
+    return new_local, changes, sums, counts
+
+
+def _assign_block_python(
+    block: np.ndarray, centroids: np.ndarray, old: np.ndarray
+) -> tuple[np.ndarray, int, np.ndarray, np.ndarray]:
+    """The GIL-bound task: pure-Python distance scan per point.
+
+    Ties go to the lowest cluster index (a strict ``<`` scan), matching
+    numpy's argmin convention, and partials accumulate in point order —
+    deterministic for any fixed blocking.
+    """
+    k = len(centroids)
+    d = len(centroids[0]) if k else 0
+    cent = [[float(x) for x in c] for c in centroids]
+    sums = [[0.0] * d for _ in range(k)]
+    counts = [0] * k
+    new_local = []
+    changes = 0
+    for row_index, row in enumerate(block.tolist()):
+        best, best_d2 = 0, float("inf")
+        for c in range(k):
+            cc = cent[c]
+            dist = 0.0
+            for j in range(d):
+                diff = row[j] - cc[j]
+                dist += diff * diff
+            if dist < best_d2:
+                best, best_d2 = c, dist
+        new_local.append(best)
+        if best != old[row_index]:
+            changes += 1
+        target = sums[best]
+        for j in range(d):
+            target[j] += row[j]
+        counts[best] += 1
+    return (
+        np.asarray(new_local, dtype=np.int64),
+        changes,
+        np.asarray(sums),
+        np.asarray(counts, dtype=np.int64),
+    )
+
+
+_KERNEL_FNS = {"numpy": _assign_block_numpy, "python": _assign_block_python}
+
+
+def kmeans_parallel(
+    points: np.ndarray,
+    k: int,
+    *,
+    num_workers: int = 4,
+    backend: str = "thread",
+    kernel: str = "numpy",
+    seed: int = 0,
+    criteria: TerminationCriteria | None = None,
+    initial_centroids: np.ndarray | None = None,
+) -> KMeansResult:
+    """K-means with the assignment step farmed over an executor backend.
+
+    ``num_workers`` fixes the static blocking (and thus the arithmetic)
+    independently of ``backend``, so any two backends at the same worker
+    count return bit-identical centroids, assignments, and histories.
+    """
+    points = np.asarray(points, dtype=float)
+    if points.ndim != 2 or points.shape[0] == 0:
+        raise ValueError("points must be a non-empty 2-D array")
+    require_positive_int("k", k)
+    require_positive_int("num_workers", num_workers)
+    if backend not in BACKENDS:
+        raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
+    if kernel not in KERNELS:
+        raise ValueError(f"kernel must be one of {KERNELS}, got {kernel!r}")
+    criteria = criteria or TerminationCriteria()
+    kernel_fn = _KERNEL_FNS[kernel]
+
+    n, d = points.shape
+    if initial_centroids is not None:
+        centroids = np.asarray(initial_centroids, dtype=float).copy()
+        if centroids.shape != (k, d):
+            raise ValueError(f"initial_centroids must be {(k, d)}, got {centroids.shape}")
+    else:
+        centroids = init_random_points(points, k, seed)
+
+    blocks = [r for r in block_partition(n, num_workers) if r.stop > r.start]
+    assignments = np.full(n, -1, dtype=np.int64)
+    changes_history: list[int] = []
+    shift_history: list[float] = []
+    iteration = 0
+    reason = "max_iterations"
+    executor = get_executor(backend, num_workers)
+    tracer = get_tracer()
+
+    while True:
+        iteration += 1
+        current = centroids  # pin for the closure: one snapshot per iteration
+
+        def assign_block(_i: int, r: range) -> tuple[np.ndarray, int, np.ndarray, np.ndarray]:
+            return kernel_fn(points[r.start : r.stop], current, assignments[r.start : r.stop])
+
+        partials = executor.map(assign_block, blocks)
+
+        sums = np.zeros((k, d))
+        counts = np.zeros(k, dtype=np.int64)
+        changes = 0
+        for r, (new_local, block_changes, block_sums, block_counts) in zip(blocks, partials):
+            assignments[r.start : r.stop] = new_local
+            changes += block_changes
+            sums += block_sums  # block-order merge: deterministic reduction
+            counts += block_counts
+
+        new_centroids = centroids.copy()
+        nonempty = counts > 0
+        new_centroids[nonempty] = sums[nonempty] / counts[nonempty, None]
+        max_shift = float(np.sqrt(((new_centroids - centroids) ** 2).sum(axis=1)).max())
+        centroids = new_centroids
+        changes_history.append(changes)
+        shift_history.append(max_shift)
+        if tracer.enabled:
+            tracer.instant(
+                "kmeans.iteration", category="kmeans", iteration=iteration,
+                changes=changes, backend=backend,
+            )
+            tracer.metrics.histogram("kmeans.iteration_shift", model="executor").observe(max_shift)
+            tracer.metrics.counter("kmeans.iterations", model="executor").inc()
+        stop = criteria.reason_to_stop(iteration, changes, max_shift)
+        if stop is not None:
+            reason = stop
+            break
+
+    return KMeansResult(
+        centroids=centroids,
+        assignments=assignments,
+        iterations=iteration,
+        stop_reason=reason,
+        inertia=compute_inertia(points, centroids, assignments),
+        changes_history=changes_history,
+        shift_history=shift_history,
+    )

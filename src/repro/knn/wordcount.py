@@ -24,15 +24,22 @@ def tokenize(line: str) -> list[str]:
 
 
 def wordcount(
-    comm: Communicator, lines: list[str], *, local_combine: bool = False
+    comm: Communicator,
+    lines: list[str],
+    *,
+    local_combine: bool = False,
+    backend: str = "serial",
+    num_workers: int = 4,
 ) -> dict[str, int]:
     """SPMD word count over ``lines`` (identical on all ranks).
 
     Every rank returns the complete counts. ``local_combine`` applies
     the per-rank pre-sum before the shuffle — the same optimization the
     kNN step teaches, introduced here on the warm-up problem.
+    ``backend`` picks the executor each rank fans its local map/reduce
+    loops over (serial/thread/process; results bit-identical).
     """
-    mr = MapReduce(comm)
+    mr = MapReduce(comm, backend=backend, num_workers=num_workers)
 
     def emit_words(line: str, kv: KeyValue) -> None:
         for word in tokenize(line):
@@ -47,14 +54,19 @@ def wordcount(
 
 
 def wordcount_files(
-    comm: Communicator, paths: list, *, local_combine: bool = True
+    comm: Communicator,
+    paths: list,
+    *,
+    local_combine: bool = True,
+    backend: str = "serial",
+    num_workers: int = 4,
 ) -> dict[str, int]:
     """SPMD word count over *files*: each rank reads and maps its share.
 
     The parallel-IO form of the warm-up — the file list is shared but
     each file's bytes are read by exactly one rank.
     """
-    mr = MapReduce(comm)
+    mr = MapReduce(comm, backend=backend, num_workers=num_workers)
 
     def emit_words(_path: str, text: str, kv: KeyValue) -> None:
         for line in text.splitlines():

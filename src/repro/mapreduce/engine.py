@@ -18,8 +18,9 @@ MR-MPI's return values.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Sequence
+from typing import Any, Callable, Iterable, Sequence
 
+from repro.core.executor import BACKENDS, get_executor
 from repro.mapreduce.hashing import partition_for
 from repro.mapreduce.keymultivalue import KeyMultiValue
 from repro.mapreduce.keyvalue import KeyValue
@@ -43,14 +44,58 @@ _TAG_SPECULATIVE_PLAN = 7102
 class MapReduce:
     """Distributed key/value dataset plus the operations that transform it."""
 
-    def __init__(self, comm: Communicator) -> None:
+    def __init__(
+        self,
+        comm: Communicator,
+        *,
+        backend: str = "serial",
+        num_workers: int = 4,
+    ) -> None:
+        if backend not in BACKENDS:
+            raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
         self.comm = comm
+        #: Executor backend for this rank's *local* map/reduce loops.
+        #: ``"serial"`` (the default) is the classic in-line loop;
+        #: ``"thread"``/``"process"`` fan the rank's tasks over
+        #: :mod:`repro.core.executor` workers — pair order and therefore
+        #: all results stay bit-identical (tasks emit into private
+        #: KeyValues, merged in task order).
+        self.backend = backend
+        self.num_workers = num_workers
         self.kv = KeyValue()
         self.kmv: KeyMultiValue | None = None
         #: Number of pairs this rank shipped to other ranks in the last
         #: aggregate() — the communication-volume statistic the local-
         #: combine ablation measures.
         self.last_shuffle_sent = 0
+
+    def _run_local(
+        self,
+        tasks: Iterable[Any],
+        call: Callable[[Any, KeyValue], None],
+        out: KeyValue,
+    ) -> None:
+        """Run this rank's share of map/reduce work, emitting into ``out``.
+
+        The serial backend is the legacy in-line loop. Parallel backends
+        give every task a private KeyValue and merge the emitted pairs
+        in task order, so the pair stream is byte-for-byte the same as
+        the serial loop's regardless of scheduling.
+        """
+        task_list = list(tasks)
+        if self.backend == "serial" or len(task_list) <= 1:
+            for task in task_list:
+                call(task, out)
+            return
+
+        def body(_i: int, task: Any) -> list[tuple[Any, Any]]:
+            emitted = KeyValue()
+            call(task, emitted)
+            return emitted.pairs()
+
+        executor = get_executor(self.backend, self.num_workers)
+        for pairs in executor.map(body, task_list):
+            out.extend(pairs)
 
     # ------------------------------------------------------------------
     # map phase
@@ -69,8 +114,9 @@ class MapReduce:
             if not append:
                 self.kv = KeyValue()
             self.kmv = None
-            for task in range(self.comm.rank, num_tasks, self.comm.size):
-                map_fn(task, self.kv)
+            self._run_local(
+                range(self.comm.rank, num_tasks, self.comm.size), map_fn, self.kv
+            )
             return self.comm.allreduce(len(self.kv), SUM)
 
     def map_tasks_speculative(self, num_tasks: int, map_fn: MapFn, *, append: bool = False) -> int:
@@ -148,9 +194,14 @@ class MapReduce:
             if not append:
                 self.kv = KeyValue()
             self.kmv = None
-            for i in range(self.comm.rank, len(paths), self.comm.size):
+
+            def read_and_map(i: int, kv: KeyValue) -> None:
                 path = Path(paths[i])
-                map_fn(str(path), path.read_text(), self.kv)
+                map_fn(str(path), path.read_text(), kv)
+
+            self._run_local(
+                range(self.comm.rank, len(paths), self.comm.size), read_and_map, self.kv
+            )
             return self.comm.allreduce(len(self.kv), SUM)
 
     def map_items(self, items: Sequence[Any], map_fn: ItemMapFn, *, append: bool = False) -> int:
@@ -165,8 +216,7 @@ class MapReduce:
                 self.kv = KeyValue()
             self.kmv = None
             lo, hi = block_bounds(len(items), self.comm.size, self.comm.rank)
-            for item in items[lo:hi]:
-                map_fn(item, self.kv)
+            self._run_local(items[lo:hi], map_fn, self.kv)
             return self.comm.allreduce(len(self.kv), SUM)
 
     # ------------------------------------------------------------------
@@ -233,8 +283,11 @@ class MapReduce:
             raise RuntimeError("reduce() requires collate() or convert() first")
         with self.comm.tracer.span("reduce", category="mapreduce"):
             out = KeyValue()
-            for key, values in self.kmv.items():
-                reduce_fn(key, values, out)
+            self._run_local(
+                self.kmv.items(),
+                lambda kv_item, kv: reduce_fn(kv_item[0], list(kv_item[1]), kv),
+                out,
+            )
             self.kv = out
             self.kmv = None
             return self.comm.allreduce(len(out), SUM)

@@ -13,19 +13,34 @@ a logical task for the first time* gets its sink committed
 (``SparkContext._commit_task``). Failed attempts, losing speculative
 twins, and lineage recomputations of already-committed tasks are
 discarded unapplied — giving exactly-once semantics and bit-identical
-accumulator values with or without faults. On the fault-free fast path
-no sink is ever pushed and ``add`` applies directly, as before.
+accumulator values with or without faults. Every scheduler-managed task
+runs inside a sink (fault plan or not), and the scheduler commits sinks
+in **partition order** at job end — so accumulator folds are applied in
+the same order under every executor backend (serial, thread, process),
+keeping even non-commutative or floating-point folds bit-identical
+across backends. ``add`` outside any managed task applies directly.
 """
 
 from __future__ import annotations
 
+import itertools
 import threading
+import weakref
 from contextlib import contextmanager
 from typing import Any, Callable, Iterator
 
 __all__ = ["Accumulator"]
 
 _TASK_LOCAL = threading.local()
+
+#: Driver-side id -> Accumulator map, so updates buffered in a *worker
+#: process* can travel home as plain ``(id, amount)`` pairs and be
+#: applied to the driver's objects (the worker's copies are forked
+#: clones that die with it). Weak values: an accumulator nobody can
+#: read any more has no one to report to.
+_ACC_IDS = itertools.count(1)
+_REGISTRY: "weakref.WeakValueDictionary[int, Accumulator]" = weakref.WeakValueDictionary()
+_REGISTRY_LOCK = threading.Lock()
 
 
 class _Sink:
@@ -64,6 +79,29 @@ def commit_updates(sink: _Sink) -> None:
         acc._apply(amount)
 
 
+def encode_updates(sink: _Sink) -> list[tuple[int, Any]]:
+    """A sink's updates as picklable ``(accumulator_id, amount)`` pairs.
+
+    The process-backend return path: a worker can't ship the (forked
+    copy of an) :class:`Accumulator` home, but the id survives the trip
+    and resolves to the driver's object in :func:`apply_encoded_updates`.
+    """
+    return [(acc.id, amount) for acc, amount in sink.updates]
+
+
+def apply_encoded_updates(pairs: list[tuple[int, Any]]) -> None:
+    """Apply :func:`encode_updates` pairs to the driver's accumulators.
+
+    Ids whose accumulator has been garbage-collected are skipped — there
+    is no one left to observe the value.
+    """
+    for acc_id, amount in pairs:
+        with _REGISTRY_LOCK:
+            acc = _REGISTRY.get(acc_id)
+        if acc is not None:
+            acc._apply(amount)
+
+
 class Accumulator:
     """Thread-safe fold cell: tasks ``add``, the driver reads ``value``.
 
@@ -76,6 +114,9 @@ class Accumulator:
         self._value = initial
         self._op = op or (lambda a, b: a + b)
         self._lock = threading.Lock()
+        self.id = next(_ACC_IDS)
+        with _REGISTRY_LOCK:
+            _REGISTRY[self.id] = self
 
     def add(self, amount: Any) -> None:
         """Fold ``amount`` into the accumulator (callable from any task).

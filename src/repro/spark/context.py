@@ -1,8 +1,13 @@
 """The driver-side entry point: job execution, data ingest, shared vars.
 
 A :class:`SparkContext` plays driver *and* cluster: ``run_job`` executes
-one task per partition on a thread pool (a fresh pool per job, so nested
-jobs — shuffles materializing inside tasks — can never starve). The
+one task per partition on a pluggable executor backend
+(:mod:`repro.core.executor`): ``backend="thread"`` (the default — a
+fresh pool per job, so nested jobs — shuffles materializing inside
+tasks — can never starve), ``"serial"``, or ``"process"`` (fork-based
+worker processes for real CPU parallelism; see ``docs/executors.md``).
+Results, accumulator values, and fault recovery are bit-identical
+across all three. The
 :class:`JobMetrics` counters make the engine's communication behaviour
 observable, which is what the pipeline assignment grades students on
 discussing.
@@ -29,14 +34,28 @@ takes the original code path (one ``is None`` test per task).
 from __future__ import annotations
 
 import itertools
+import multiprocessing
+import os
 import threading
 import time
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Callable, Iterable
+from typing import Any, Callable, Iterable, Sequence
 
-from repro.spark.accumulators import Accumulator, commit_updates, task_updates
+from repro.core.executor import (
+    BACKENDS,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    WorkerCrashError,
+)
+from repro.spark.accumulators import (
+    Accumulator,
+    apply_encoded_updates,
+    commit_updates,
+    encode_updates,
+    task_updates,
+)
 from repro.spark.broadcast import Broadcast
 from repro.spark.faults import (
     BlacklistedWorker,
@@ -46,7 +65,7 @@ from repro.spark.faults import (
     SparkJobFailedError,
     TaskFailure,
 )
-from repro.spark.rdd import RDD, ParallelCollectionRDD
+from repro.spark.rdd import RDD, ParallelCollectionRDD, ShuffledRDD
 from repro.trace.tracer import get_tracer
 from repro.util.partition import block_partition
 from repro.util.validation import require_nonnegative_int, require_positive_int
@@ -101,6 +120,7 @@ class SparkContext:
         default_partitions: int | None = None,
         *,
         name: str | None = None,
+        backend: str = "thread",
         fault_plan: SparkFaultPlan | None = None,
         max_task_retries: int = 3,
         retry_backoff: float = 0.001,
@@ -108,6 +128,17 @@ class SparkContext:
         self.num_workers = require_positive_int("num_workers", num_workers)
         self.default_partitions = default_partitions or num_workers
         require_positive_int("default_partitions", self.default_partitions)
+        if backend not in BACKENDS:
+            raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
+        if backend == "process" and "fork" not in multiprocessing.get_all_start_methods():
+            # Spark tasks close over the whole lineage DAG (RDDs, shuffle
+            # stores, broadcasts) — only fork can ship that to workers.
+            raise ValueError(
+                "backend='process' requires the 'fork' start method, which this "
+                "platform does not offer; use backend='thread'"
+            )
+        self.backend = backend
+        self._driver_pid = os.getpid()
         self.name = name or f"SparkContext-{next(_CONTEXT_IDS)}"
         self.metrics = JobMetrics()
         self._rdd_counter = 0
@@ -197,9 +228,12 @@ class SparkContext:
     def run_job(self, rdd: RDD, task_fn: Callable[[int, list[Any]], Any]) -> list[Any]:
         """Run ``task_fn(partition_index, partition_data)`` over all partitions.
 
-        Results are returned in partition order. A fresh thread pool per
-        job keeps nested jobs deadlock-free and mirrors Spark's
-        job-level scheduling.
+        Results are returned in partition order. The context's
+        ``backend`` picks the executor: ``"thread"`` (default — a fresh
+        pool per job keeps nested jobs deadlock-free), ``"serial"``, or
+        ``"process"`` (fork-based worker processes; see
+        ``docs/executors.md``). All three produce bit-identical results
+        and accumulator values.
         """
         _job_id, results = self._execute_job(rdd, task_fn)
         return results
@@ -215,21 +249,32 @@ class SparkContext:
             self._job_counter += 1
         self.metrics.jobs += 1
         self.metrics.tasks += rdd.num_partitions
+        backend = self.backend
+        if backend == "process" and os.getpid() != self._driver_pid:
+            # A nested job inside a forked worker (daemonic processes
+            # can't have children): compute inline instead.
+            backend = "serial"
         tracer = get_tracer()
         with tracer.span(
             "job", category="spark", scope="spark.driver",
-            rdd=rdd.id, partitions=rdd.num_partitions,
+            rdd=rdd.id, partitions=rdd.num_partitions, backend=backend,
         ):
-            if rdd.num_partitions == 1:
-                return job_id, [self._run_task(tracer, task_fn, rdd, 0, job_id, None)]
-            with ThreadPoolExecutor(max_workers=self.num_workers) as pool:
-                futures = [
-                    pool.submit(
-                        lambda i=i: self._run_task(tracer, task_fn, rdd, i, job_id, pool)
-                    )
-                    for i in range(rdd.num_partitions)
-                ]
-                return job_id, [f.result() for f in futures]
+            if backend == "process":
+                return job_id, self._execute_job_process(tracer, task_fn, rdd, job_id)
+            executor = (
+                SerialExecutor() if backend == "serial" else ThreadExecutor(self.num_workers)
+            )
+            outcomes = executor.map(
+                lambda i, _item: self._run_task(tracer, task_fn, rdd, i, job_id),
+                range(rdd.num_partitions),
+            )
+            # Commit accumulator sinks in partition order — deterministic
+            # and identical across backends (see repro.spark.accumulators).
+            results: list[Any] = []
+            for i, (result, sink) in enumerate(outcomes):
+                self._commit_task((job_id, i), sink)
+                results.append(result)
+            return job_id, results
 
     def _run_task(
         self,
@@ -238,30 +283,32 @@ class SparkContext:
         rdd: RDD,
         i: int,
         job_id: int,
-        pool: ThreadPoolExecutor | None,
-    ) -> Any:
+    ) -> tuple[Any, Any]:
+        """One logical task on the serial/thread path: returns
+        ``(result, accumulator_sink)``; the job loop commits sinks."""
         if self._fault_plan is None:
-            # The fault-free hot path: identical to the pre-fault engine.
-            if not tracer.enabled:
-                return task_fn(i, rdd.partition(i))
-            # Each partition gets its own logical-clock lane; nested jobs
-            # spawned inside a task inherit it through the thread-local scope.
-            with tracer.scope(f"spark.p{i}"):
-                with tracer.span("task", category="spark", rdd=rdd.id, partition=i):
-                    return task_fn(i, rdd.partition(i))
-        return self._run_task_ft(tracer, task_fn, rdd, i, job_id, pool)
+            # The fault-free hot path: one is-None test plus the sink.
+            with task_updates() as sink:
+                if not tracer.enabled:
+                    return task_fn(i, rdd.partition(i)), sink
+                # Each partition gets its own logical-clock lane; nested jobs
+                # spawned inside a task inherit it through the thread-local scope.
+                with tracer.scope(f"spark.p{i}"):
+                    with tracer.span("task", category="spark", rdd=rdd.id, partition=i):
+                        return task_fn(i, rdd.partition(i)), sink
+        self._resolve_task_faults(tracer, i, job_id)
+        return self._execute_attempt(tracer, task_fn, rdd, i, job_id)
 
-    def _run_task_ft(
-        self,
-        tracer: Any,
-        task_fn: Callable[[int, list[Any]], Any],
-        rdd: RDD,
-        partition: int,
-        job_id: int,
-        pool: ThreadPoolExecutor | None,
-    ) -> Any:
-        """Run one logical task under the fault plan: retry, blacklist,
-        speculate, and commit accumulator updates exactly once."""
+    def _resolve_task_faults(self, tracer: Any, partition: int, job_id: int) -> None:
+        """Play out the fault plan's schedule for one logical task: retry,
+        blacklist, and speculate until an attempt survives (returns) or
+        retries are exhausted (raises :class:`SparkJobFailedError`).
+
+        Pure scheduling — the surviving attempt's body is *not* run here,
+        which is what lets the process backend resolve faults driver-side
+        (deterministically, in partition order) and then batch-execute
+        the surviving attempts in worker processes.
+        """
         plan = self._fault_plan
         report = self.fault_report
         assert plan is not None and report is not None
@@ -273,10 +320,10 @@ class SparkContext:
             worker = self._pick_worker(partition, attempt)
             if event is not None and attempt < event.attempts:
                 if event.kind == "straggle" and attempt == 0:
-                    # The attempt is an injected slow node: park it on its
-                    # worker and launch a speculative copy, which runs the
-                    # real body immediately on the next worker — so the
-                    # copy always wins, deterministically.
+                    # The attempt is an injected slow node: park it on a
+                    # background thread and launch a speculative copy, which
+                    # runs the real body immediately on the next worker — so
+                    # the copy always wins, deterministically.
                     self.metrics.bump("spark.injected_faults")
                     self.metrics.bump("spark.speculative_tasks")
                     report.record_injection(SparkInjectionRecord(
@@ -292,8 +339,9 @@ class SparkContext:
                         "speculative_launch", category="spark.fault", scope=lane,
                         job=job_id, partition=partition,
                     )
-                    if pool is not None:
-                        pool.submit(time.sleep, event.seconds)
+                    threading.Thread(
+                        target=time.sleep, args=(event.seconds,), daemon=True
+                    ).start()
                     self.metrics.bump("spark.speculative_wins")
                     attempt += 1
                     continue
@@ -334,7 +382,7 @@ class SparkContext:
                             time.sleep(self.retry_backoff * (2 ** (failures - 1)))
                         attempt += 1
                         continue
-            return self._execute_attempt(tracer, task_fn, rdd, partition, job_id)
+            return
 
     def _execute_attempt(
         self,
@@ -343,9 +391,9 @@ class SparkContext:
         rdd: RDD,
         partition: int,
         job_id: int,
-    ) -> Any:
+    ) -> tuple[Any, Any]:
         """One surviving attempt: run the body with accumulator updates
-        buffered, then commit them iff this logical task hasn't already."""
+        buffered; the caller commits the sink exactly once per task."""
         with task_updates() as sink:
             if not tracer.enabled:
                 result = task_fn(partition, rdd.partition(partition))
@@ -353,18 +401,133 @@ class SparkContext:
                 with tracer.scope(f"spark.p{partition}"):
                     with tracer.span("task", category="spark", rdd=rdd.id, partition=partition):
                         result = task_fn(partition, rdd.partition(partition))
-        self._commit_task((job_id, partition), sink)
-        return result
+        return result, sink
+
+    # ------------------------------------------------------------------
+    # process backend
+    # ------------------------------------------------------------------
+    def _execute_job_process(
+        self,
+        tracer: Any,
+        task_fn: Callable[[int, list[Any]], Any],
+        rdd: RDD,
+        job_id: int,
+    ) -> list[Any]:
+        """Run one job's tasks in forked worker processes.
+
+        Three driver-side steps make the fork model safe and keep results
+        bit-identical to the other backends:
+
+        1. the lineage is *prepared* — every shuffle store and every
+           persisted/checkpointed cache is materialized in the driver, so
+           workers compute over inherited data instead of each privately
+           (and wastefully) rebuilding driver state they can't share back;
+        2. under a fault plan, each task's injected schedule is resolved
+           here, serially in partition order (retries/blacklists/
+           speculation are driver bookkeeping — only surviving attempt
+           bodies ship to workers);
+        3. task accumulator updates travel home as encoded pairs and are
+           committed in partition order, same as the other backends.
+
+        A crashed worker (:class:`WorkerCrashError`) is surfaced in
+        metrics and the fault report, and its lost tasks are re-executed
+        on the driver — the process-backend analogue of retry.
+        """
+        self._prepare_lineage_for_processes(tracer, rdd)
+        if self._fault_plan is not None:
+            for i in range(rdd.num_partitions):
+                self._resolve_task_faults(tracer, i, job_id)
+
+        def body(i: int, _item: Any) -> tuple[Any, list[tuple[int, Any]]]:
+            with task_updates() as sink:
+                result = task_fn(i, rdd.partition(i))
+            return result, encode_updates(sink)
+
+        outcomes = self._process_map(tracer, body, list(range(rdd.num_partitions)))
+        results: list[Any] = []
+        for i, (result, pairs) in enumerate(outcomes):
+            self._commit_task_encoded((job_id, i), pairs)
+            results.append(result)
+        return results
+
+    def _process_map(
+        self, tracer: Any, body: Callable[[int, Any], Any], items: Sequence[Any]
+    ) -> list[Any]:
+        """Map ``body`` over ``items`` in worker processes, recovering
+        lost results on the driver when a worker dies mid-job."""
+        executor = ProcessExecutor(self.num_workers, start_method="fork")
+        try:
+            return executor.map(body, items)
+        except WorkerCrashError as crash:
+            self.metrics.bump("spark.worker_crashes")
+            if self.fault_report is not None:
+                self.fault_report.record_worker_crash(crash.worker, len(crash.missing))
+            tracer.instant(
+                "worker_crash", category="spark.fault", scope="spark.driver",
+                worker=crash.worker, exitcode=crash.exitcode, lost=len(crash.missing),
+            )
+            outcomes = dict(crash.completed)
+            for i in crash.missing:
+                outcomes[i] = body(i, items[i])
+            return [outcomes[i] for i in range(len(items))]
+
+    def _prepare_lineage_for_processes(self, tracer: Any, rdd: RDD) -> None:
+        """Materialize all shuffle stores and persist/checkpoint caches in
+        ``rdd``'s lineage, driver-side, before forking workers.
+
+        Post-order over the dependency DAG so parents are ready before a
+        child computes. Cache fills run as process maps themselves (the
+        computed partitions ship home and are installed), and their
+        accumulator updates are applied once — mirroring the thread
+        backend, where the first task to touch a cached partition folds
+        that computation's updates into its own committed sink.
+        """
+        seen: set[int] = set()
+
+        def visit(r: RDD) -> None:
+            if id(r) in seen:
+                return
+            seen.add(id(r))
+            for dep in r.deps:
+                visit(dep.parent)
+            if isinstance(r, ShuffledRDD):
+                r._materialize_shuffle()
+            splits = r._uncached_splits()
+            if splits:
+                def fill(_i: int, split: int, r: RDD = r) -> tuple[list[Any], list[tuple[int, Any]]]:
+                    with task_updates() as sink:
+                        data = r.compute(split)
+                    return data, encode_updates(sink)
+
+                filled = self._process_map(tracer, fill, splits)
+                for split, (data, pairs) in zip(splits, filled):
+                    r._install_partition(split, data)
+                    apply_encoded_updates(pairs)
+
+        visit(rdd)
+
+    # ------------------------------------------------------------------
+    # accumulator commits (exactly-once per logical task)
+    # ------------------------------------------------------------------
+    def _mark_committed(self, key: tuple[int, int]) -> bool:
+        with self._commit_lock:
+            if key in self._committed:
+                return False
+            self._committed.add(key)
+            return True
 
     def _commit_task(self, key: tuple[int, int], sink: Any) -> None:
         """Apply an attempt's buffered accumulator updates exactly once
         per logical task (lineage recomputation of an already-committed
         task discards its updates — that's the exactly-once guarantee)."""
-        with self._commit_lock:
-            if key in self._committed:
-                return
-            self._committed.add(key)
-        commit_updates(sink)
+        if self._mark_committed(key):
+            commit_updates(sink)
+
+    def _commit_task_encoded(self, key: tuple[int, int], pairs: list[tuple[int, Any]]) -> None:
+        """The process-backend commit: same exactly-once gate, but the
+        updates arrive as encoded ``(accumulator_id, amount)`` pairs."""
+        if self._mark_committed(key):
+            apply_encoded_updates(pairs)
 
     # ------------------------------------------------------------------
     # virtual workers (fault-tolerance scheduling model)
@@ -450,4 +613,7 @@ class SparkContext:
     def __repr__(self) -> str:
         state = "stopped" if self._stopped else "alive"
         plan = f", fault_plan={self._fault_plan!r}" if self._fault_plan is not None else ""
-        return f"{type(self).__name__}(name={self.name!r}, num_workers={self.num_workers}, {state}{plan})"
+        return (
+            f"{type(self).__name__}(name={self.name!r}, num_workers={self.num_workers}, "
+            f"backend={self.backend!r}, {state}{plan})"
+        )

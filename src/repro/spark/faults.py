@@ -369,6 +369,7 @@ class SparkFaultReport:
     blacklisted: list[int] = field(default_factory=list)
     speculative: list[tuple[int, int]] = field(default_factory=list)
     broadcast_refetches: int = 0
+    worker_crashes: list[tuple[int, int]] = field(default_factory=list)
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False, compare=False)
 
     def record_injection(self, record: SparkInjectionRecord) -> None:
@@ -401,6 +402,12 @@ class SparkFaultReport:
         """Log one corrupted broadcast payload restored from the driver."""
         with self._lock:
             self.broadcast_refetches += 1
+
+    def record_worker_crash(self, worker: int, lost_tasks: int) -> None:
+        """Log one executor worker *process* that died mid-job (process
+        backend); its lost task results were re-executed on the driver."""
+        with self._lock:
+            self.worker_crashes.append((worker, lost_tasks))
 
     def trace(self) -> tuple[tuple[str, int, int, int], ...]:
         """Normalized fired-fault tuples — equal across runs of one seed
@@ -436,6 +443,12 @@ class SparkFaultReport:
                 lines.append(f"  {len(self.speculative)} speculative task(s) launched (all won)")
             if self.broadcast_refetches:
                 lines.append(f"  {self.broadcast_refetches} broadcast payload(s) refetched")
+            if self.worker_crashes:
+                lost = sum(n for _w, n in self.worker_crashes)
+                lines.append(
+                    f"  {len(self.worker_crashes)} worker process crash(es), "
+                    f"{lost} lost task(s) re-executed on the driver"
+                )
             if len(lines) == 1:
                 lines.append("  nothing fired")
         return "\n".join(lines)

@@ -138,6 +138,55 @@ class RDD:
         (the RDD is marked for checkpointing or persisted)."""
         return self._checkpoint or self._persist
 
+    def _uncached_splits(self) -> list[int]:
+        """Partitions the persist/checkpoint cache does not hold yet
+        (empty when the RDD isn't persisted or checkpointed at all).
+
+        Used by the process backend to find what must be materialized
+        driver-side before forking workers (a fill computed inside a
+        worker would die with it).
+        """
+        with self._cache_lock:
+            if self._checkpoint:
+                if self._ckpt_data is None:
+                    return list(range(self.num_partitions))
+                return [i for i, d in enumerate(self._ckpt_data) if d is _MISSING]
+            if self._persist:
+                if self._cached is None:
+                    return list(range(self.num_partitions))
+                return [i for i, d in enumerate(self._cached) if d is None]
+            return []
+
+    def _install_partition(self, split: int, data: list[Any]) -> None:
+        """Driver-side install of an externally computed partition into the
+        persist/checkpoint cache (the process backend's cache-fill path —
+        same bookkeeping as computing it through :meth:`partition`)."""
+        if self._checkpoint:
+            with self._cache_lock:
+                if self._ckpt_data is None:
+                    self._ckpt_data = [_MISSING] * self.num_partitions
+                if self._ckpt_data[split] is not _MISSING:
+                    return
+                self._ckpt_data[split] = data
+                complete = all(d is not _MISSING for d in self._ckpt_data)
+            self.ctx.metrics.bump("spark.checkpointed_partitions")
+            if complete:
+                self.deps = []
+                from repro.trace.tracer import get_tracer
+
+                get_tracer().instant(
+                    "checkpoint_complete", category="spark.fault", rdd=self.id
+                )
+            return
+        if not self._persist:
+            return
+        with self._cache_lock:
+            if self._cached is None:
+                self._cached = [None] * self.num_partitions  # type: ignore[list-item]
+            if self._cached[split] is None:
+                self._cached[split] = data
+                self.ctx.metrics.partitions_cached += 1
+
     def _checkpointed_partition(self, split: int) -> list[Any]:
         with self._cache_lock:
             if self._ckpt_data is None:

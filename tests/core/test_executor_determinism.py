@@ -1,0 +1,140 @@
+"""Seed-sweep bit-identity: serial == thread == process everywhere.
+
+The executor layer's core promise (DESIGN.md, docs/executors.md): for
+any seed, switching ``backend`` never changes a single bit of any
+engine's output. Each sweep runs the same workload under all three
+backends and asserts exact equality — floats compared with ``==``, not
+``approx``, because the arithmetic (blocking, merge order, commit
+order) is fixed independently of the backend.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.executor import BACKENDS
+from repro.hpo import hyperparameter_grid, make_digit_dataset, run_hpo_executor
+from repro.kmeans import kmeans_parallel
+from repro.knn.wordcount import wordcount
+from repro.mpi import run_spmd
+from repro.rng.lcg import MINSTD, LinearCongruential
+from repro.spark import SparkContext, SparkFaultPlan
+
+SEEDS = [0, 1, 7]
+
+
+def _clusters(seed: int, backend: str, kernel: str = "numpy"):
+    rng = np.random.default_rng(seed)
+    points = rng.normal(size=(240, 3))
+    result = kmeans_parallel(
+        points, 4, num_workers=4, backend=backend, kernel=kernel, seed=seed
+    )
+    return (
+        result.centroids.tobytes(),
+        result.assignments.tobytes(),
+        result.iterations,
+        result.stop_reason,
+        result.inertia,
+        tuple(result.changes_history),
+        tuple(result.shift_history),
+    )
+
+
+class TestKMeansSweep:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_backends_bit_identical(self, seed):
+        runs = {b: _clusters(seed, b) for b in BACKENDS}
+        assert runs["serial"] == runs["thread"] == runs["process"]
+
+    def test_python_kernel_matches_numpy_kernel_across_backends(self):
+        runs = [_clusters(3, b, kernel=k) for b in BACKENDS for k in ("numpy", "python")]
+        assert all(r == runs[0] for r in runs[1:])
+
+
+def _corpus(seed: int, lines: int = 60) -> list[str]:
+    words = ["peach", "spmd", "spark", "kmeans", "heat", "mpi", "gpu", "trace"]
+    gen = LinearCongruential(MINSTD, seed=seed + 1)
+    return [
+        " ".join(words[gen.next_raw() % len(words)] for _ in range(6))
+        for _ in range(lines)
+    ]
+
+
+class TestWordcountSweep:
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("local_combine", [False, True])
+    def test_backends_bit_identical(self, seed, local_combine):
+        lines = _corpus(seed)
+        runs = {
+            b: run_spmd(
+                3,
+                wordcount,
+                lines,
+                local_combine=local_combine,
+                backend=b,
+                num_workers=4,
+            )
+            for b in BACKENDS
+        }
+        assert runs["serial"] == runs["thread"] == runs["process"]
+        assert sum(runs["serial"][0].values()) == 6 * len(lines)
+
+
+def _spark_job(backend: str, seed: int, plan: SparkFaultPlan | None):
+    with SparkContext(4, backend=backend, fault_plan=plan) as sc:
+        acc = sc.accumulator(0)
+
+        def tag(x):
+            acc.add(1)
+            return (x % 5, x * x)
+
+        rdd = sc.parallelize(range(120), 8).map(tag)
+        pairs = rdd.reduce_by_key(lambda a, b: a + b).collect()
+        total = sc.parallelize(range(seed, seed + 64), 8).sum()
+        return pairs, acc.value, total
+
+
+class TestSparkSweep:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_fault_free_backends_bit_identical(self, seed):
+        runs = {b: _spark_job(b, seed, None) for b in BACKENDS}
+        assert runs["serial"] == runs["thread"] == runs["process"]
+        assert runs["serial"][1] == 120  # exactly-once accumulator commits
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_faulty_backends_match_fault_free_serial(self, seed):
+        baseline = _spark_job("serial", seed, None)
+        for backend in BACKENDS:
+            plan = SparkFaultPlan.sample(
+                seed=seed,
+                jobs=12,
+                partitions=8,
+                task_fail_prob=0.2,
+                straggle_prob=0.05,
+                shuffle_corrupt_prob=0.1,
+            )
+            assert _spark_job(backend, seed, plan) == baseline
+
+
+class TestHPOSweep:
+    def test_backends_identical_ranking_and_models(self):
+        x, y = make_digit_dataset(120, seed=0)
+        split = 90
+        grid = hyperparameter_grid([(8,)], [0.1, 0.05], [2], seeds=[0, 1])
+        runs = {
+            b: run_hpo_executor(
+                grid, x[:split], y[:split], x[split:], y[split:], backend=b, num_workers=2
+            )
+            for b in BACKENDS
+        }
+        ranks = {
+            b: [(o.params, o.val_accuracy, o.train_accuracy) for o in out]
+            for b, out in runs.items()
+        }
+        assert ranks["serial"] == ranks["thread"] == ranks["process"]
+        for b in ("thread", "process"):
+            for a, o in zip(runs["serial"], runs[b]):
+                assert np.array_equal(
+                    a.model.predict_proba(x[split:]), o.model.predict_proba(x[split:])
+                )

@@ -1,0 +1,44 @@
+"""The HPO trial farm over executor backends matches the serial search."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.executor import BACKENDS
+from repro.hpo import hyperparameter_grid, make_digit_dataset, run_hpo_serial
+from repro.hpo.search import run_hpo_executor
+
+
+@pytest.fixture(scope="module")
+def data():
+    x, y = make_digit_dataset(100, seed=1)
+    return x[:80], y[:80], x[80:], y[80:]
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return hyperparameter_grid([(8,), (12,)], [0.1], [2], seeds=[0])
+
+
+class TestExecutorFarm:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_matches_serial_search(self, backend, data, grid):
+        tx, ty, vx, vy = data
+        serial = run_hpo_serial(grid, tx, ty, vx, vy)
+        farmed = run_hpo_executor(grid, tx, ty, vx, vy, backend=backend, num_workers=2)
+        assert [o.params for o in farmed] == [o.params for o in serial]
+        assert [o.val_accuracy for o in farmed] == [o.val_accuracy for o in serial]
+        for a, b in zip(serial, farmed):
+            assert np.array_equal(a.model.predict_proba(vx), b.model.predict_proba(vx))
+
+    def test_ranking_best_first_with_stable_ties(self, data, grid):
+        tx, ty, vx, vy = data
+        out = run_hpo_executor(grid, tx, ty, vx, vy, backend="process", num_workers=2)
+        accs = [o.val_accuracy for o in out]
+        assert accs == sorted(accs, reverse=True)
+
+    def test_unknown_backend_rejected(self, data, grid):
+        tx, ty, vx, vy = data
+        with pytest.raises(ValueError, match="backend"):
+            run_hpo_executor(grid, tx, ty, vx, vy, backend="tpu")

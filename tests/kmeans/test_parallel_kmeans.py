@@ -1,0 +1,75 @@
+"""Executor-backend k-means: correctness against the sequential model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.executor import BACKENDS
+from repro.kmeans import TerminationCriteria, kmeans_parallel, kmeans_sequential
+from repro.kmeans.parallel_kmeans import KERNELS
+
+
+def _blobs(seed: int = 0, n: int = 180, d: int = 2):
+    rng = np.random.default_rng(seed)
+    centers = np.array([[0.0, 0.0], [6.0, 6.0], [-6.0, 5.0]])[:, :d]
+    return np.concatenate(
+        [c + rng.normal(scale=0.6, size=(n // 3, d)) for c in centers]
+    )
+
+
+class TestMatchesSequential:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_same_result_as_sequential(self, backend, kernel):
+        points = _blobs()
+        seq = kmeans_sequential(points, 3, seed=1)
+        par = kmeans_parallel(
+            points, 3, num_workers=3, backend=backend, kernel=kernel, seed=1
+        )
+        assert np.array_equal(par.assignments, seq.assignments)
+        assert np.allclose(par.centroids, seq.centroids)
+        assert par.iterations == seq.iterations
+        assert par.stop_reason == seq.stop_reason
+
+    def test_worker_count_does_not_change_results(self):
+        points = _blobs(seed=4)
+        runs = [
+            kmeans_parallel(points, 3, num_workers=w, backend="thread", seed=2)
+            for w in (1, 2, 5)
+        ]
+        for r in runs[1:]:
+            assert np.array_equal(r.assignments, runs[0].assignments)
+            assert np.allclose(r.centroids, runs[0].centroids)
+
+
+class TestKnobs:
+    def test_initial_centroids_respected(self):
+        points = _blobs(seed=7)
+        init = points[[0, 60, 120]].copy()
+        res = kmeans_parallel(points, 3, initial_centroids=init, backend="serial")
+        assert res.iterations >= 1
+
+    def test_termination_criteria_forwarded(self):
+        points = _blobs(seed=2)
+        res = kmeans_parallel(
+            points, 3, criteria=TerminationCriteria(max_iterations=1), backend="serial"
+        )
+        assert res.iterations == 1
+        assert res.stop_reason == "max_iterations"
+
+    def test_more_workers_than_points(self):
+        points = _blobs()[:3]
+        res = kmeans_parallel(points, 2, num_workers=8, backend="thread", seed=0)
+        assert len(res.assignments) == 3
+
+    def test_validation(self):
+        points = _blobs()
+        with pytest.raises(ValueError, match="backend"):
+            kmeans_parallel(points, 3, backend="gpu")
+        with pytest.raises(ValueError, match="kernel"):
+            kmeans_parallel(points, 3, kernel="fortran")
+        with pytest.raises(ValueError, match="initial_centroids"):
+            kmeans_parallel(points, 3, initial_centroids=np.zeros((2, 2)))
+        with pytest.raises(ValueError, match="non-empty"):
+            kmeans_parallel(np.zeros((0, 2)), 3)

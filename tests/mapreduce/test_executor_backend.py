@@ -1,0 +1,97 @@
+"""MapReduce local map/reduce dispatch over the executor backends.
+
+Each SPMD rank's local loops (``map_tasks`` / ``map_items`` /
+``map_files`` / ``reduce``) can fan out over
+:mod:`repro.core.executor`; the merged pair stream must be
+bit-identical to the serial in-line loop for every backend.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.executor import BACKENDS
+from repro.mapreduce import MapReduce
+from repro.mpi import run_spmd
+
+LINES = [
+    "the quick brown fox",
+    "jumps over the lazy dog",
+    "the dog barks",
+    "quick quick slow",
+] * 4
+
+
+def _count_words(comm, *, backend):
+    mr = MapReduce(comm, backend=backend, num_workers=3)
+
+    def emit(line, kv):
+        for word in line.split():
+            kv.add(word, 1)
+
+    mr.map_items(LINES, emit)
+    mr.collate()
+    mr.reduce(lambda word, counts, kv: kv.add(word, sum(counts)))
+    return mr.gather_all()
+
+
+def _count_tasks(comm, *, backend):
+    mr = MapReduce(comm, backend=backend, num_workers=3)
+    mr.map_tasks(10, lambda task, kv: kv.add(task % 3, task))
+    mr.collate()
+    mr.reduce(lambda key, values, kv: kv.add(key, sum(values)))
+    return mr.gather_all()
+
+
+class TestBackendsBitIdentical:
+    @pytest.mark.parametrize("size", [1, 3])
+    def test_map_items_pipeline(self, size):
+        runs = {b: run_spmd(size, _count_words, backend=b) for b in BACKENDS}
+        assert runs["serial"] == runs["thread"] == runs["process"]
+        counts = dict(runs["serial"][0])
+        assert counts["the"] == 12 and counts["quick"] == 12
+
+    def test_map_tasks_pipeline(self):
+        runs = {b: run_spmd(2, _count_tasks, backend=b) for b in BACKENDS}
+        assert runs["serial"] == runs["thread"] == runs["process"]
+
+    def test_map_files_pipeline(self, tmp_path):
+        paths = []
+        for i, text in enumerate(["alpha beta", "beta gamma", "gamma alpha alpha"]):
+            p = tmp_path / f"part{i}.txt"
+            p.write_text(text)
+            paths.append(p)
+
+        def count_files(comm, *, backend):
+            mr = MapReduce(comm, backend=backend, num_workers=2)
+
+            def emit(path, text, kv):
+                for word in text.split():
+                    kv.add(word, 1)
+
+            mr.map_files(paths, emit)
+            mr.collate()
+            mr.reduce(lambda word, counts, kv: kv.add(word, sum(counts)))
+            return mr.gather_all()
+
+        runs = {b: run_spmd(1, count_files, backend=b) for b in BACKENDS}
+        assert runs["serial"] == runs["thread"] == runs["process"]
+        assert dict(runs["serial"][0]) == {"alpha": 3, "beta": 2, "gamma": 2}
+
+
+class TestEngineKnobs:
+    def test_unknown_backend_rejected(self):
+        # Backend validation fires before the communicator is touched.
+        with pytest.raises(ValueError, match="backend"):
+            MapReduce(None, backend="quantum")
+
+    def test_single_task_stays_inline(self):
+        # One task per rank: the parallel path is skipped, results unchanged.
+        def one(comm, *, backend):
+            mr = MapReduce(comm, backend=backend, num_workers=4)
+            mr.map_tasks(1, lambda task, kv: kv.add("only", task))
+            mr.collate()
+            mr.reduce(lambda key, values, kv: kv.add(key, sum(values)))
+            return mr.gather_all()
+
+        assert run_spmd(1, one, backend="process") == run_spmd(1, one, backend="serial")

@@ -1,0 +1,39 @@
+#!/usr/bin/env sh
+# One-command local equivalent of .github/workflows/ci.yml.
+#
+#   sh tools/ci_local.sh          # lint + tier-1 + api-index (the blocking jobs)
+#   sh tools/ci_local.sh --perf   # additionally run the non-blocking tripwires
+#
+# Requires only the baked-in toolchain (python + pytest + numpy). ruff
+# is picked up when installed (pip install -e '.[dev]') and skipped
+# with a warning otherwise, so the script never fails for a missing
+# linter the CI lint job would have caught anyway.
+
+set -eu
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== lint =="
+if command -v ruff >/dev/null 2>&1; then
+    ruff check src tests benchmarks tools
+else
+    echo "ruff not installed (pip install -e '.[dev]') -- skipping lint"
+fi
+python -m compileall -q src
+
+echo "== tier-1 tests =="
+python -m pytest -x -q
+
+echo "== api index =="
+python tools/check_api_index.py --check
+
+if [ "${1:-}" = "--perf" ]; then
+    echo "== perf tripwires (non-blocking in CI) =="
+    python -m pytest -q \
+        tests/trace/test_overhead_gate.py \
+        tests/spark/test_fault_overhead_gate.py \
+        benchmarks/test_executor_backends.py
+fi
+
+echo "ci_local: all checks passed"
