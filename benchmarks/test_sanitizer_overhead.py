@@ -1,0 +1,115 @@
+"""Sanitizer overhead: the off-by-default gate must stay free.
+
+The sanitizer hooks sit on the shared-memory hot paths — every
+``Atomic`` operation, critical section, barrier, parallel region, and
+annotated access. Disabled (the default for every run that is not a
+race-detection campaign), each hook is one module-global read plus a
+``None`` test. The uninstrumented code no longer exists to diff
+against, so — exactly like the trace-overhead gate — this bench bounds
+the *whole* machinery from above: an **observe-mode** sanitizer (real
+vector-clock bookkeeping on every hook, strictly more work than the
+disabled ``None`` test) must stay within 5% of the disabled run on a
+workload whose kernels dominate. Exploration mode serializes threads by
+design and is not a hot path; it is never gated.
+
+Timing uses interleaved min-of-repeats: each round times both
+configurations back to back so transient system noise lands on both
+alike, and the minimum is the least-noise estimator.
+"""
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.kmeans.openmp_kmeans import kmeans_openmp
+from repro.kmeans.termination import TerminationCriteria
+from repro.sanitizer import Sanitizer, use_sanitizer
+from repro.util.timing import time_call
+
+THREADS = 4
+REPEATS = 9
+# Hook volume is fixed per iteration (one region, one reduction slot and
+# a handful of annotated writes per thread), so the instance is sized to
+# make one iteration's numpy work dominate the constant hook cost.
+N, D, K = 96_000, 16, 8
+CRITERIA = TerminationCriteria(max_iterations=10)
+THRESHOLD = 1.05
+OUT_DIR = Path(__file__).parent / "out"
+
+
+def _run(points, init):
+    # The reduction rung: deterministic thread-order merge, so the
+    # disabled and observed runs are bit-comparable.
+    return kmeans_openmp(
+        points, K, num_threads=THREADS, variant="reduction",
+        criteria=CRITERIA, initial_centroids=init,
+    )
+
+
+def test_sanitizer_overhead_under_five_percent(benchmark, report_writer):
+    points = np.random.default_rng(7).normal(size=(N, D))
+    from repro.kmeans.initialization import init_random_points
+
+    init = init_random_points(points, K, seed=1)
+
+    benchmark(lambda: _run(points, init))
+
+    disabled_sec = enabled_sec = float("inf")
+    base = observed = sanitizer = None
+    for _ in range(REPEATS):
+        sec, base = time_call(lambda: _run(points, init), repeats=1)
+        disabled_sec = min(disabled_sec, sec)
+
+        sanitizer = Sanitizer()  # fresh shadow state each round
+
+        def observed_run():
+            with use_sanitizer(sanitizer):
+                return _run(points, init)
+
+        sec, observed = time_call(observed_run, repeats=1)
+        enabled_sec = min(enabled_sec, sec)
+
+    # Identical numerics first — overhead is meaningless otherwise.
+    np.testing.assert_array_equal(base.centroids, observed.centroids)
+    np.testing.assert_array_equal(base.assignments, observed.assignments)
+    # The observed run really instrumented the teams and found no races.
+    assert sanitizer.races == ()
+    assert len(sanitizer.detector.clock_of("omp0:t0")) > 0
+
+    ratio = enabled_sec / disabled_sec
+    lines = [
+        "Sanitizer overhead on the openmp kmeans reduction rung",
+        f"threads={THREADS} points={N}x{D} k={K} iterations={base.iterations} "
+        f"(min of {REPEATS} interleaved runs)",
+        f"disabled sanitizer (one None-test per hook): {disabled_sec:.4f}s",
+        f"observe-mode sanitizer (full HB bookkeeping): {enabled_sec:.4f}s",
+        f"ratio: {ratio:.3f}x (budget: <{THRESHOLD:.2f}x)",
+        "",
+        "observe mode bounds disabled from above: every hook does",
+        "strictly less work when no sanitizer is installed, so the",
+        "disabled default (the path every non-campaign run takes) is",
+        "also under the 5% budget",
+    ]
+    report_writer("sanitizer_overhead", "\n".join(lines) + "\n")
+
+    OUT_DIR.mkdir(exist_ok=True)
+    payload = {
+        "bench": "sanitizer_overhead",
+        "workload": {
+            "model": "kmeans_openmp", "variant": "reduction",
+            "threads": THREADS, "n": N, "d": D, "k": K,
+            "iterations": base.iterations,
+        },
+        "repeats": REPEATS,
+        "disabled_sec": disabled_sec,
+        "observed_sec": enabled_sec,
+        "ratio": ratio,
+        "threshold": THRESHOLD,
+        "races": len(sanitizer.races),
+    }
+    (OUT_DIR / "BENCH_sanitizer_overhead.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+
+    assert ratio < THRESHOLD, f"sanitizer overhead {ratio:.3f}x exceeds {THRESHOLD}x"

@@ -51,6 +51,7 @@ from abc import ABC, abstractmethod
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable, Sequence
 
+from repro.sanitizer.runtime import get_sanitizer
 from repro.trace.tracer import get_tracer
 from repro.util.partition import block_partition
 from repro.util.validation import require_positive_int
@@ -213,11 +214,61 @@ class ThreadExecutor(Executor):
             "executor.map", category="executor", scope="executor.thread",
             backend=self.name, tasks=len(items), workers=self.num_workers,
         ):
+            sanitizer = get_sanitizer()
+            if sanitizer is not None:
+                return self._map_sanitized(fn, items, sanitizer)
             if len(items) == 1:
                 return [fn(0, items[0])]
             with ThreadPoolExecutor(max_workers=self.num_workers) as pool:
                 futures = [pool.submit(fn, i, item) for i, item in enumerate(items)]
                 return [f.result() for f in futures]
+
+    def _map_sanitized(
+        self, fn: Callable[[int, Any], Any], items: Sequence[Any], sanitizer: Any
+    ) -> list[Any]:
+        """The instrumented map: dedicated registered threads, block-partitioned.
+
+        Pool threads are anonymous to the race detector (and invisible to
+        the cooperative scheduler), so under an active sanitizer the map
+        runs on one dedicated thread per worker instead: each thread is
+        registered for its lifetime and walks a contiguous block of the
+        item range in index order — the same task->result mapping as the
+        pool path, with the fork/join happens-before edges made explicit.
+        """
+        n = len(items)
+        num_workers = min(self.num_workers, n)
+        blocks = block_partition(n, num_workers)
+        results: list[Any] = [None] * n
+        errors: list[BaseException | None] = [None] * n
+        team = sanitizer.team_begin(num_workers, kind="exec")
+
+        def runner(worker: int) -> None:
+            try:
+                sanitizer.thread_begin(team, worker)
+                for i in blocks[worker]:
+                    results[i] = fn(i, items[i])
+            except BaseException as exc:  # noqa: BLE001 - reported to caller below
+                errors[blocks[worker].start] = exc
+            finally:
+                try:
+                    sanitizer.thread_end(team, worker)
+                except BaseException as exc:  # noqa: BLE001 - deadlock found at teardown
+                    if errors[blocks[worker].start] is None:
+                        errors[blocks[worker].start] = exc
+
+        threads = [
+            threading.Thread(target=runner, args=(w,), name=f"exec-{w}", daemon=True)
+            for w in range(num_workers)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        sanitizer.team_end(team)
+        for exc in errors:
+            if exc is not None:
+                raise exc
+        return results
 
 
 # ----------------------------------------------------------------------

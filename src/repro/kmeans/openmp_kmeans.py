@@ -6,15 +6,26 @@ sums/counts; (2) guard them with **critical** regions; (3) replace with
 **atomic** operations; (4) restructure as **reductions**. Each rung is a
 selectable ``variant`` so correctness and cost can be compared:
 
+- ``"racy"`` — rung zero, the bug under study: an unguarded
+  :class:`~repro.openmp.RacyCell` change counter and bare shared
+  sums/counts updates. Kept so the race *detector* has a true positive
+  — ``repro.sanitizer.explore`` flags it on every schedule and loses
+  updates on adverse ones. Never use it for answers.
 - ``"critical"`` — one named critical section serializes every update
   (correct, maximally contended);
 - ``"atomic"`` — per-cluster atomic cells (correct, finer-grained);
 - ``"reduction"`` — per-thread private sums merged once, in thread
   order (correct, contention-free, and deterministic).
 
+``VARIANTS`` lists the *correct* rungs (what conformance tests sweep);
+``ALL_VARIANTS`` adds ``"racy"`` for the sanitizer suite.
+
 All variants share phase-1 vectorized assignment over static thread
 blocks, so they produce identical assignments; centroid coordinates may
-differ across variants by float-addition order only.
+differ across variants by float-addition order only. Shared cells carry
+``annotate_read``/``annotate_write`` declarations — free when no
+sanitizer is installed — so every rung is certifiable by
+``tests/sanitizer/test_kmeans_certification.py``.
 """
 
 from __future__ import annotations
@@ -24,14 +35,18 @@ import numpy as np
 from repro.kmeans.initialization import init_random_points
 from repro.kmeans.sequential import KMeansResult, compute_inertia
 from repro.kmeans.termination import TerminationCriteria
-from repro.openmp import Atomic, parallel_region
+from repro.openmp import Atomic, RacyCell, parallel_region
+from repro.sanitizer.runtime import annotate_read, annotate_write
 from repro.trace.tracer import get_tracer
 from repro.util.partition import block_bounds
 from repro.util.validation import require_positive_int
 
-__all__ = ["kmeans_openmp", "VARIANTS"]
+__all__ = ["kmeans_openmp", "VARIANTS", "ALL_VARIANTS"]
 
+#: The correct rungs of the ladder (safe for answers and conformance sweeps).
 VARIANTS = ("critical", "atomic", "reduction")
+#: Every rung including the intentionally-broken one the detector must flag.
+ALL_VARIANTS = ("racy",) + VARIANTS
 
 
 def kmeans_openmp(
@@ -50,8 +65,8 @@ def kmeans_openmp(
         raise ValueError("points must be a non-empty 2-D array")
     require_positive_int("k", k)
     require_positive_int("num_threads", num_threads)
-    if variant not in VARIANTS:
-        raise ValueError(f"variant must be one of {VARIANTS}, got {variant!r}")
+    if variant not in ALL_VARIANTS:
+        raise ValueError(f"variant must be one of {ALL_VARIANTS}, got {variant!r}")
     criteria = criteria or TerminationCriteria()
 
     n, d = points.shape
@@ -70,10 +85,17 @@ def kmeans_openmp(
 
     while True:
         iteration += 1
-        changes_cell = Atomic(0)
+        if variant == "racy":
+            changes_cell = RacyCell(0, name="kmeans.changes")
+        else:
+            changes_cell = Atomic(0, name="kmeans.changes")
         sums = np.zeros((k, d))
         counts = np.zeros(k, dtype=np.int64)
-        cluster_cells = [Atomic(0) for _ in range(k)] if variant == "atomic" else None
+        cluster_cells = (
+            [Atomic(0, name=f"kmeans.cluster[{c}]") for c in range(k)]
+            if variant == "atomic"
+            else None
+        )
         thread_sums = (
             [np.zeros((k, d)) for _ in range(num_threads)] if variant == "reduction" else None
         )
@@ -90,6 +112,7 @@ def kmeans_openmp(
                 return
             # Phase 1: vectorized assignment of this thread's block. The
             # per-point writes are disjoint; the shared *counter* is the race.
+            annotate_read("kmeans.centroids", "kmeans.assign:centroids")
             d2 = (
                 np.einsum("ij,ij->i", block, block)[:, None]
                 - 2.0 * block @ centroids.T
@@ -103,12 +126,20 @@ def kmeans_openmp(
                 with ctx.critical("changes"):
                     changes_cell.store(changes_cell.value + local_changes)
             else:
-                changes_cell.add(local_changes)  # atomic & reduction variants
+                changes_cell.add(local_changes)  # racy / atomic / reduction
 
             # Phase 2: per-cluster sums/counts — the update race.
-            if variant == "critical":
+            if variant == "racy":
+                # Stage 1: the bug — bare read-modify-writes on shared arrays.
+                annotate_write("kmeans.sums", "kmeans.racy:sums")
+                annotate_write("kmeans.counts", "kmeans.racy:counts")
+                np.add.at(sums, new_local, block)
+                np.add.at(counts, new_local, 1)
+            elif variant == "critical":
                 # Stage 2: one big critical region serializes all updates.
                 with ctx.critical("centroid-update"):
+                    annotate_write("kmeans.sums", "kmeans.critical:sums")
+                    annotate_write("kmeans.counts", "kmeans.critical:counts")
                     np.add.at(sums, new_local, block)
                     np.add.at(counts, new_local, 1)
             elif variant == "atomic":
@@ -116,11 +147,13 @@ def kmeans_openmp(
                 for c in range(k):
                     members = block[new_local == c]
                     if members.shape[0]:
-                        with cluster_cells[c]._lock:  # noqa: SLF001 - cell-scoped section
+                        with cluster_cells[c].guarded():
+                            annotate_write(f"kmeans.sums[{c}]", "kmeans.atomic:sums")
                             sums[c] += members.sum(axis=0)
                             counts[c] += members.shape[0]
             else:
                 # Stage 4: thread-private accumulators, merged after the join.
+                annotate_write(f"kmeans.sums:t{ctx.thread_id}", "kmeans.reduction:sums")
                 np.add.at(thread_sums[ctx.thread_id], new_local, block)
                 np.add.at(thread_counts[ctx.thread_id], new_local, 1)
 
@@ -128,9 +161,11 @@ def kmeans_openmp(
 
         if variant == "reduction":
             for t in range(num_threads):  # deterministic thread-order merge
+                annotate_read(f"kmeans.sums:t{t}", "kmeans.reduction:merge")
                 sums += thread_sums[t]
                 counts += thread_counts[t]
 
+        annotate_write("kmeans.centroids", "kmeans.update:centroids")
         new_centroids = centroids.copy()
         nonempty = counts > 0
         new_centroids[nonempty] = sums[nonempty] / counts[nonempty, None]

@@ -30,7 +30,7 @@ from repro.openmp.loops import chunked_for, parallel_for
 from repro.openmp.reduction import ReductionVar, parallel_reduce
 from repro.openmp.region import TeamContext, parallel_region
 from repro.openmp.sections import OrderedRegion, parallel_sections
-from repro.openmp.sync import Atomic
+from repro.openmp.sync import Atomic, RacyCell
 from repro.openmp.tasks import TaskGroup, task_parallel
 from repro.openmp.threadprivate import ThreadPrivate
 
@@ -40,6 +40,7 @@ __all__ = [
     "parallel_for",
     "chunked_for",
     "Atomic",
+    "RacyCell",
     "parallel_reduce",
     "ReductionVar",
     "ThreadPrivate",

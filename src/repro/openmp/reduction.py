@@ -17,6 +17,7 @@ import copy
 from typing import Any, Callable
 
 from repro.openmp.region import TeamContext, parallel_region
+from repro.sanitizer.runtime import get_sanitizer
 from repro.util.partition import block_bounds
 
 __all__ = ["ReductionVar", "parallel_reduce"]
@@ -40,16 +41,31 @@ class ReductionVar:
         self._identity_factory = identity_factory
         self._locals: list[Any] = [identity_factory() for _ in range(num_threads)]
 
+    def _slot(self, sanitizer, thread_id: int) -> str:
+        return f"{sanitizer.cell_name(self, 'reduction')}:t{thread_id}"
+
     def local(self, ctx: TeamContext) -> Any:
         """This thread's private accumulator (mutate freely, no locks needed)."""
+        sanitizer = get_sanitizer()
+        if sanitizer is not None:
+            # Mutating the returned accumulator writes this thread's slot.
+            sanitizer.mem_write(self._slot(sanitizer, ctx.thread_id), "ReductionVar.local")
         return self._locals[ctx.thread_id]
 
     def set_local(self, ctx: TeamContext, value: Any) -> None:
         """Replace this thread's private accumulator (for immutable scalars)."""
+        sanitizer = get_sanitizer()
+        if sanitizer is not None:
+            sanitizer.mem_write(self._slot(sanitizer, ctx.thread_id), "ReductionVar.set_local")
         self._locals[ctx.thread_id] = value
 
     def result(self) -> Any:
         """Fold the private copies in thread order; call after the region joins."""
+        sanitizer = get_sanitizer()
+        if sanitizer is not None:
+            # The merge reads every slot; the team join orders it after the writes.
+            for thread_id in range(len(self._locals)):
+                sanitizer.mem_read(self._slot(sanitizer, thread_id), "ReductionVar.result")
         acc = self._identity_factory()
         for part in self._locals:
             acc = self._op(acc, part)

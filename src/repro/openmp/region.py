@@ -13,6 +13,7 @@ import itertools
 import threading
 from typing import Any, Callable, Iterator
 
+from repro.sanitizer.runtime import get_sanitizer
 from repro.util.partition import block_bounds
 from repro.util.validation import require_positive_int
 
@@ -25,6 +26,10 @@ class _Team:
     def __init__(self, num_threads: int) -> None:
         self.num_threads = num_threads
         self.barrier = threading.Barrier(num_threads)
+        #: Sanitizer bindings: set by parallel_region when a sanitizer is
+        #: installed, None on the free hot path.
+        self.sanitizer = None
+        self.san_team = None
         self._locks: dict[str, threading.RLock] = {}
         self._locks_guard = threading.Lock()
         self._single_counter = itertools.count()
@@ -53,15 +58,27 @@ class TeamContext:
     # -- synchronization ------------------------------------------------
     def barrier(self) -> None:
         """Block until every team member reaches this barrier."""
-        self._team.barrier.wait()
+        team = self._team
+        if team.san_team is not None:
+            team.sanitizer.barrier_wait(team.san_team, self.thread_id, team.barrier)
+        else:
+            team.barrier.wait()
 
-    def critical(self, name: str = "default") -> threading.RLock:
+    def critical(self, name: str = "default"):
         """Named critical section: ``with ctx.critical("updates"): …``.
 
         Distinct names are independent locks, exactly like OpenMP's
         ``critical(name)`` — the first rung of the k-means ladder.
+        Returns a context manager: the team's RLock, or (under an active
+        sanitizer) the instrumented section that feeds release/acquire
+        edges to the race detector and preemption points to the
+        schedule explorer.
         """
-        return self._team.lock_named(f"critical:{name}")
+        team = self._team
+        real = team.lock_named(f"critical:{name}")
+        if team.san_team is not None:
+            return team.sanitizer.guard(f"{team.san_team.name}:critical:{name}", real)
+        return real
 
     def master(self) -> bool:
         """True only on thread 0 (the ``omp master`` construct)."""
@@ -155,12 +172,26 @@ def parallel_region(
     results: list[Any] = [None] * num_threads
     errors: list[BaseException | None] = [None] * num_threads
 
+    sanitizer = get_sanitizer()
+    san_team = sanitizer.team_begin(num_threads, kind="omp") if sanitizer is not None else None
+    team.sanitizer = sanitizer if san_team is not None else None
+    team.san_team = san_team
+
     def runner(tid: int) -> None:
         try:
+            if san_team is not None:
+                sanitizer.thread_begin(san_team, tid)
             results[tid] = body(TeamContext(team, tid), *args, **kwargs)
         except BaseException as exc:  # noqa: BLE001 - reported to caller below
             errors[tid] = exc
             team.barrier.abort()
+        finally:
+            if san_team is not None:
+                try:
+                    sanitizer.thread_end(san_team, tid)
+                except BaseException as exc:  # noqa: BLE001 - deadlock found at teardown
+                    if errors[tid] is None:
+                        errors[tid] = exc
 
     threads = [
         threading.Thread(target=runner, args=(t,), name=f"omp-{t}", daemon=True)
@@ -170,6 +201,8 @@ def parallel_region(
         t.start()
     for t in threads:
         t.join()
+    if san_team is not None:
+        sanitizer.team_end(san_team)
     for exc in errors:
         if exc is not None and not isinstance(exc, threading.BrokenBarrierError):
             raise exc

@@ -3,8 +3,25 @@
 CPython's GIL makes single bytecode operations atomic in practice, but
 compound read-modify-write (``x += 1``) is not: the interpreter can
 switch threads between the read and the write. :class:`Atomic` makes
-the race explicit and fixes it with a per-cell lock, exactly the
-progression (racy update → guarded update) the assignment teaches.
+the race explicit and fixes it with a per-cell guarded section, exactly
+the progression (racy update → guarded update) the assignment teaches.
+:class:`RacyCell` is the rung-zero counterpart: the same interface with
+the guard deliberately removed, so the race detector has a true data
+race to find and the schedule explorer has a lost update to manifest.
+
+Every read-modify-write helper runs its read, its compute, and its
+write inside **one** guarded section and returns the value it wrote
+(or, for ``fetch_add``, the value it replaced) — under contention the
+returned values are therefore always a consistent linearization: N
+threads each calling ``add(1)`` on a zero cell observe exactly the
+post-values ``1..N``, each once. ``tests/sanitizer/test_atomic_hammer.py``
+hammers that contract across explored schedules, and shows the
+unguarded :class:`RacyCell` failing it via the detector.
+
+Under an active :mod:`repro.sanitizer` the section additionally feeds
+release/acquire edges to the happens-before detector and preemption
+points to the schedule explorer; disabled, each operation pays one
+module-global read.
 """
 
 from __future__ import annotations
@@ -12,11 +29,17 @@ from __future__ import annotations
 import threading
 from typing import Any, Callable
 
-__all__ = ["Atomic"]
+from repro.sanitizer.runtime import get_sanitizer
+
+__all__ = ["Atomic", "RacyCell"]
 
 
 class Atomic:
-    """A lock-protected scalar supporting atomic read-modify-write.
+    """A guarded scalar supporting atomic read-modify-write.
+
+    ``name`` (optional) labels the cell in sanitizer race reports; left
+    unset, the active sanitizer assigns ``atomic#<n>`` in first-use
+    order, which is deterministic under the schedule explorer.
 
     >>> cell = Atomic(0)
     >>> cell.add(5)
@@ -25,56 +48,173 @@ class Atomic:
     5
     """
 
-    __slots__ = ("_value", "_lock")
+    __slots__ = ("_value", "_lock", "_name")
 
-    def __init__(self, value: Any = 0) -> None:
+    def __init__(self, value: Any = 0, *, name: str | None = None) -> None:
         self._value = value
-        self._lock = threading.Lock()
+        # Reentrant so cell operations compose inside the cell's own
+        # guarded() section (the sanitizer's cooperative lock allows the
+        # same reentry via owner counts).
+        self._lock = threading.RLock()
+        self._name = name
+
+    def _cell(self, sanitizer) -> str:
+        return self._name if self._name is not None else sanitizer.cell_name(self, "atomic")
+
+    def _rmw(self, fn: Callable[[Any], Any], label: str) -> Any:
+        """Run ``value = fn(value)`` in one guarded section; return the new value."""
+        sanitizer = get_sanitizer()
+        if sanitizer is None:
+            with self._lock:
+                self._value = fn(self._value)
+                return self._value
+        cell = self._cell(sanitizer)
+        with sanitizer.guard(("atomic-lock", cell), self._lock):
+            sanitizer.mem_write(cell, label)
+            self._value = fn(self._value)
+            return self._value
 
     @property
     def value(self) -> Any:
-        """Current value (plain read)."""
-        with self._lock:
+        """Current value (a guarded read)."""
+        sanitizer = get_sanitizer()
+        if sanitizer is None:
+            with self._lock:
+                return self._value
+        cell = self._cell(sanitizer)
+        with sanitizer.guard(("atomic-lock", cell), self._lock):
+            sanitizer.mem_read(cell, "Atomic.value")
             return self._value
 
     def store(self, value: Any) -> None:
         """Atomic overwrite."""
-        with self._lock:
-            self._value = value
+        self._rmw(lambda _old: value, "Atomic.store")
 
     def add(self, delta: Any) -> Any:
         """Atomic ``+=``; returns the new value."""
-        with self._lock:
-            self._value = self._value + delta
-            return self._value
+        return self._rmw(lambda old: old + delta, "Atomic.add")
+
+    def fetch_add(self, delta: Any) -> Any:
+        """Atomic ``+=``; returns the **previous** value (C++ ``fetch_add``)."""
+        sanitizer = get_sanitizer()
+        if sanitizer is None:
+            with self._lock:
+                previous = self._value
+                self._value = previous + delta
+                return previous
+        cell = self._cell(sanitizer)
+        with sanitizer.guard(("atomic-lock", cell), self._lock):
+            sanitizer.mem_write(cell, "Atomic.fetch_add")
+            previous = self._value
+            self._value = previous + delta
+            return previous
+
+    def exchange(self, value: Any) -> Any:
+        """Atomically replace the value; returns the **previous** value."""
+        sanitizer = get_sanitizer()
+        if sanitizer is None:
+            with self._lock:
+                previous = self._value
+                self._value = value
+                return previous
+        cell = self._cell(sanitizer)
+        with sanitizer.guard(("atomic-lock", cell), self._lock):
+            sanitizer.mem_write(cell, "Atomic.exchange")
+            previous = self._value
+            self._value = value
+            return previous
 
     def max(self, other: Any) -> Any:
         """Atomic ``x = max(x, other)``; returns the new value."""
-        with self._lock:
-            if other > self._value:
-                self._value = other
-            return self._value
+        return self._rmw(lambda old: other if other > old else old, "Atomic.max")
 
     def min(self, other: Any) -> Any:
         """Atomic ``x = min(x, other)``; returns the new value."""
-        with self._lock:
-            if other < self._value:
-                self._value = other
-            return self._value
+        return self._rmw(lambda old: other if other < old else old, "Atomic.min")
 
     def update(self, fn: Callable[[Any], Any]) -> Any:
         """Atomic ``x = fn(x)`` for arbitrary pure ``fn``; returns the new value."""
-        with self._lock:
-            self._value = fn(self._value)
-            return self._value
+        return self._rmw(fn, "Atomic.update")
 
     def compare_exchange(self, expected: Any, desired: Any) -> bool:
         """Set to ``desired`` iff currently ``expected``; True on success."""
-        with self._lock:
+        sanitizer = get_sanitizer()
+        if sanitizer is None:
+            with self._lock:
+                if self._value == expected:
+                    self._value = desired
+                    return True
+                return False
+        cell = self._cell(sanitizer)
+        with sanitizer.guard(("atomic-lock", cell), self._lock):
+            sanitizer.mem_write(cell, "Atomic.compare_exchange")
             if self._value == expected:
                 self._value = desired
                 return True
             return False
 
+    def guarded(self):
+        """The cell's guarded section, for multi-statement updates.
+
+        ``with cell.guarded(): …`` serializes the block against every
+        other operation on this cell — the public replacement for
+        reaching into the private lock, and instrumented under an
+        active sanitizer.
+        """
+        sanitizer = get_sanitizer()
+        if sanitizer is None:
+            return self._lock
+        return sanitizer.guard(("atomic-lock", self._cell(sanitizer)), self._lock)
+
     def __repr__(self) -> str:
         return f"Atomic({self.value!r})"
+
+
+class RacyCell:
+    """The UNGUARDED scalar: rung zero of the ladder, kept for the detector.
+
+    Same interface as :class:`Atomic` but every read-modify-write is a
+    bare read → compute → write with **no** mutual exclusion — the
+    cluster-change counter of the racy k-means rung. Under the schedule
+    explorer the gap between the read and the write is a preemption
+    point, so lost updates genuinely manifest on adverse schedules, and
+    the happens-before detector flags the unordered accesses on *every*
+    schedule.
+    """
+
+    __slots__ = ("_value", "name")
+
+    def __init__(self, value: Any = 0, *, name: str = "racy-cell") -> None:
+        self._value = value
+        self.name = name
+
+    @property
+    def value(self) -> Any:
+        """Current value (a bare, annotated read)."""
+        sanitizer = get_sanitizer()
+        if sanitizer is not None:
+            sanitizer.mem_read(self.name, f"{self.name}:RacyCell.value")
+        return self._value
+
+    def store(self, value: Any) -> None:
+        """Bare overwrite (annotated)."""
+        sanitizer = get_sanitizer()
+        if sanitizer is not None:
+            sanitizer.mem_write(self.name, f"{self.name}:RacyCell.store")
+        self._value = value
+
+    def add(self, delta: Any) -> Any:
+        """The textbook racy ``+=``: read, (preemptible) compute, write."""
+        sanitizer = get_sanitizer()
+        if sanitizer is not None:
+            sanitizer.mem_read(self.name, f"{self.name}:RacyCell.add:read")
+        new = self._value + delta
+        if sanitizer is not None:
+            # The window another thread's update disappears into.
+            sanitizer.yield_point()
+            sanitizer.mem_write(self.name, f"{self.name}:RacyCell.add:write")
+        self._value = new
+        return new
+
+    def __repr__(self) -> str:
+        return f"RacyCell({self._value!r}, name={self.name!r})"

@@ -1,0 +1,340 @@
+"""Vector-clock happens-before race detection with per-cell shadow state.
+
+The detector implements the classic happens-before discipline (the same
+model TSan and FastTrack use): every logical thread carries a vector
+clock; release/acquire pairs on locks, fork/join edges around thread
+teams, and full barriers install ordering edges between the clocks; and
+every *annotated* shared-memory access is checked against the cell's
+shadow state (last write + pending reads). Two conflicting accesses —
+same cell, at least one a write — that are not ordered by the
+happens-before relation are a data race, reported as a
+:class:`RaceReport` naming both accesses, their threads, and the
+synchronization gap.
+
+Detection is interleaving-independent: a race is flagged whenever the
+*synchronization* fails to order the accesses, whether or not the
+particular run happened to corrupt anything. That is what lets the
+schedule explorer (:mod:`repro.sanitizer.schedule`) certify a rung of
+the k-means ladder race-free from a bounded set of schedules instead of
+hoping the GIL interleaves badly.
+
+Thread identities are logical names (``"main"``, ``"r0:t1"`` for region
+0's thread 1), not OS thread ids, so reports are stable run to run and
+replay bit-identically at a fixed ``(seed, schedule_id)``.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable
+
+__all__ = [
+    "VectorClock",
+    "MemoryAccess",
+    "RaceReport",
+    "RaceError",
+    "HBDetector",
+]
+
+#: The logical thread every un-registered (driver) thread reports as.
+MAIN_THREAD = "main"
+
+
+class VectorClock:
+    """A mutable vector clock: logical-thread name -> last-known clock value.
+
+    Missing entries are implicitly 0. ``observes(thread, value)`` is the
+    happens-before test this detector needs: has this clock's owner
+    observed ``thread`` at or after ``value``?
+    """
+
+    __slots__ = ("_entries",)
+
+    def __init__(self, entries: dict[str, int] | None = None) -> None:
+        self._entries: dict[str, int] = dict(entries or {})
+
+    def get(self, thread: str) -> int:
+        return self._entries.get(thread, 0)
+
+    def tick(self, thread: str) -> None:
+        """Increment ``thread``'s component (its next event's timestamp)."""
+        self._entries[thread] = self._entries.get(thread, 0) + 1
+
+    def observes(self, thread: str, value: int) -> bool:
+        """True iff this clock has seen ``thread`` advance to ``value``."""
+        return self._entries.get(thread, 0) >= value
+
+    def merge(self, other: "VectorClock") -> None:
+        """Pointwise maximum (the join of the happens-before lattice)."""
+        for thread, value in other._entries.items():
+            if self._entries.get(thread, 0) < value:
+                self._entries[thread] = value
+
+    def copy(self) -> "VectorClock":
+        return VectorClock(self._entries)
+
+    def snapshot(self) -> tuple[tuple[str, int], ...]:
+        """Sorted immutable view (for reports)."""
+        return tuple(sorted(self._entries.items()))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{t}:{v}" for t, v in sorted(self._entries.items()))
+        return f"VectorClock({{{inner}}})"
+
+
+@dataclass(frozen=True)
+class MemoryAccess:
+    """One annotated access to a shared cell, as remembered by the shadow state."""
+
+    thread: str
+    kind: str  # "read" | "write"
+    label: str  # source-level location hint, e.g. "kmeans.openmp.racy.sums"
+    clock: int  # the accessing thread's own clock component at the access
+    op_index: int  # the access's ordinal among the thread's annotated ops
+
+    def describe(self) -> str:
+        return f"{self.kind} of {self.label!r} by {self.thread} (clock {self.thread}@{self.clock})"
+
+
+@dataclass(frozen=True)
+class RaceReport:
+    """Two conflicting, happens-before-unordered accesses to one cell.
+
+    ``first`` is the access already in the shadow state (it executed
+    earlier in this schedule), ``second`` the access that exposed the
+    race. ``gap`` names the missing synchronization: which thread failed
+    to observe which clock value.
+    """
+
+    cell: str
+    first: MemoryAccess
+    second: MemoryAccess
+    gap: str
+
+    @property
+    def signature(self) -> tuple:
+        """Stable identity of the race within one schedule (for replay tests)."""
+        return (
+            self.cell,
+            self.first.thread,
+            self.first.kind,
+            self.first.label,
+            self.first.clock,
+            self.second.thread,
+            self.second.kind,
+            self.second.label,
+            self.second.clock,
+        )
+
+    @property
+    def location_signature(self) -> tuple:
+        """Schedule-independent identity (for deduplication across schedules).
+
+        Threads and clock values vary with the interleaving; the pair of
+        source labels, the access kinds, and the cell do not.
+        """
+        a = (self.first.kind, self.first.label)
+        b = (self.second.kind, self.second.label)
+        return (self.cell, *sorted([a, b]))
+
+    def describe(self) -> str:
+        return (
+            f"data race on cell {self.cell!r}:\n"
+            f"  earlier: {self.first.describe()}\n"
+            f"  later:   {self.second.describe()}\n"
+            f"  gap:     {self.gap}"
+        )
+
+
+class RaceError(RuntimeError):
+    """Raised by :meth:`HBDetector.check` when races were recorded."""
+
+    def __init__(self, races: tuple[RaceReport, ...]) -> None:
+        super().__init__(
+            f"{len(races)} data race(s) detected; first: {races[0].describe()}"
+        )
+        self.races = races
+
+
+class _Shadow:
+    """Per-cell shadow state: the last write plus all reads since it."""
+
+    __slots__ = ("last_write", "reads")
+
+    def __init__(self) -> None:
+        self.last_write: MemoryAccess | None = None
+        self.reads: dict[str, MemoryAccess] = {}
+
+
+class HBDetector:
+    """The race detector proper: clocks, lock clocks, and shadow memory.
+
+    All mutators take an internal lock, so the detector is safe both
+    under the cooperative scheduler (one runnable thread at a time) and
+    in free-running *observe* mode where hooks fire concurrently. The
+    lock is never held across a blocking operation.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._clocks: dict[str, VectorClock] = {MAIN_THREAD: VectorClock({MAIN_THREAD: 1})}
+        self._lock_clocks: dict[Hashable, VectorClock] = {}
+        self._cells: dict[str, _Shadow] = {}
+        self._op_counts: dict[str, int] = {}
+        self._races: list[RaceReport] = []
+        self._seen: set[tuple] = set()
+
+    # ------------------------------------------------------------------
+    # clock plumbing
+    # ------------------------------------------------------------------
+    def _clock(self, thread: str) -> VectorClock:
+        clock = self._clocks.get(thread)
+        if clock is None:
+            clock = VectorClock({thread: 1})
+            self._clocks[thread] = clock
+        return clock
+
+    def clock_of(self, thread: str) -> tuple[tuple[str, int], ...]:
+        """Snapshot of ``thread``'s vector clock (diagnostics/tests)."""
+        with self._lock:
+            return self._clock(thread).snapshot()
+
+    def fork(self, parent: str, child: str) -> None:
+        """Install the fork edge parent -> child (team/thread creation)."""
+        with self._lock:
+            parent_clock = self._clock(parent)
+            child_clock = parent_clock.copy()
+            child_clock.tick(child)
+            self._clocks[child] = child_clock
+            parent_clock.tick(parent)
+
+    def join(self, parent: str, child: str) -> None:
+        """Install the join edge child -> parent (thread join)."""
+        with self._lock:
+            parent_clock = self._clock(parent)
+            parent_clock.merge(self._clock(child))
+            parent_clock.tick(parent)
+
+    def acquire(self, lock_key: Hashable, thread: str) -> None:
+        """Acquire edge: the thread inherits the lock's release clock."""
+        with self._lock:
+            released = self._lock_clocks.get(lock_key)
+            if released is not None:
+                self._clock(thread).merge(released)
+
+    def release(self, lock_key: Hashable, thread: str) -> None:
+        """Release edge: the lock remembers the releasing thread's clock."""
+        with self._lock:
+            clock = self._clock(thread)
+            stored = self._lock_clocks.get(lock_key)
+            if stored is None:
+                self._lock_clocks[lock_key] = clock.copy()
+            else:
+                stored.merge(clock)
+            clock.tick(thread)
+
+    def barrier_sync(self, threads: Iterable[str]) -> None:
+        """Full barrier: everyone observes everyone (join of all clocks)."""
+        with self._lock:
+            names = list(threads)
+            joined = VectorClock()
+            for name in names:
+                joined.merge(self._clock(name))
+            for name in names:
+                clock = joined.copy()
+                clock.tick(name)
+                self._clocks[name] = clock
+
+    # ------------------------------------------------------------------
+    # annotated accesses
+    # ------------------------------------------------------------------
+    def _access(self, thread: str, kind: str, label: str) -> MemoryAccess:
+        count = self._op_counts.get(thread, 0)
+        self._op_counts[thread] = count + 1
+        return MemoryAccess(
+            thread=thread,
+            kind=kind,
+            label=label,
+            clock=self._clock(thread).get(thread),
+            op_index=count,
+        )
+
+    def _report(self, cell: str, first: MemoryAccess, second: MemoryAccess) -> None:
+        gap = (
+            f"no happens-before edge orders them: {second.thread} has not observed "
+            f"{first.thread}@{first.clock} (missing release/acquire, barrier, or "
+            f"join between the accesses)"
+        )
+        report = RaceReport(cell=cell, first=first, second=second, gap=gap)
+        if report.signature in self._seen:
+            return
+        self._seen.add(report.signature)
+        self._races.append(report)
+        self._emit_trace(report)
+
+    @staticmethod
+    def _emit_trace(report: RaceReport) -> None:
+        # Local import: repro.trace must stay importable without the
+        # sanitizer and vice versa.
+        from repro.trace.tracer import get_tracer
+
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.instant(
+                "sanitizer.race",
+                category="sanitizer",
+                cell=report.cell,
+                first=f"{report.first.thread}:{report.first.kind}:{report.first.label}",
+                second=f"{report.second.thread}:{report.second.kind}:{report.second.label}",
+            )
+            tracer.metrics.counter("sanitizer.races").inc()
+
+    def read(self, cell: str, thread: str, label: str) -> None:
+        """Record an annotated read; race iff an unordered write precedes it."""
+        with self._lock:
+            shadow = self._cells.setdefault(cell, _Shadow())
+            clock = self._clock(thread)
+            access = self._access(thread, "read", label)
+            write = shadow.last_write
+            if (
+                write is not None
+                and write.thread != thread
+                and not clock.observes(write.thread, write.clock)
+            ):
+                self._report(cell, write, access)
+            shadow.reads[thread] = access
+
+    def write(self, cell: str, thread: str, label: str) -> None:
+        """Record an annotated write; race iff any unordered access precedes it."""
+        with self._lock:
+            shadow = self._cells.setdefault(cell, _Shadow())
+            clock = self._clock(thread)
+            access = self._access(thread, "write", label)
+            write = shadow.last_write
+            if (
+                write is not None
+                and write.thread != thread
+                and not clock.observes(write.thread, write.clock)
+            ):
+                self._report(cell, write, access)
+            for read in shadow.reads.values():
+                if read.thread != thread and not clock.observes(read.thread, read.clock):
+                    self._report(cell, read, access)
+            shadow.last_write = access
+            shadow.reads = {}
+
+    # ------------------------------------------------------------------
+    # results
+    # ------------------------------------------------------------------
+    @property
+    def races(self) -> tuple[RaceReport, ...]:
+        """All distinct races recorded so far (detection order)."""
+        with self._lock:
+            return tuple(self._races)
+
+    def check(self) -> None:
+        """Raise :class:`RaceError` if any race was recorded."""
+        races = self.races
+        if races:
+            raise RaceError(races)

@@ -1,0 +1,124 @@
+"""Rendering race findings: plain text reports and trace instants.
+
+Races found by the detector surface in two places so they plug into the
+repo's existing observability story (``docs/observability.md``):
+
+- **live**, as ``sanitizer.race`` instants plus a ``sanitizer.races``
+  counter on the active :mod:`repro.trace` tracer the moment the
+  detector flags them (the detector does this itself), and
+- **after the fact**, as the plain-text campaign report this module
+  renders — one block per distinct race with both accesses, their
+  vector-clock evidence, and the exact replay command.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.sanitizer.hb import RaceReport
+from repro.sanitizer.schedule import ExplorationResult, ScheduleOutcome
+
+__all__ = [
+    "format_race",
+    "format_outcome",
+    "format_result",
+    "write_report",
+    "emit_trace_instants",
+]
+
+
+def format_race(race: RaceReport, *, index: int | None = None) -> str:
+    """One race as a readable block (see docs/sanitizer.md for the anatomy)."""
+    header = f"RACE #{index}" if index is not None else "RACE"
+    return "\n".join(
+        [
+            f"{header} on cell {race.cell!r}",
+            f"  earlier access : {race.first.describe()}",
+            f"  later access   : {race.second.describe()}",
+            f"  missing order  : {race.gap}",
+        ]
+    )
+
+
+def _replay_hint(outcome: ScheduleOutcome) -> str:
+    if outcome.mode == "random":
+        return (
+            f"replay: repro.sanitizer.run_schedule(body, seed={outcome.seed}, "
+            f"schedule_id={outcome.schedule_id})"
+        )
+    return f"replay: PrefixChooser(prefix={outcome.choices!r}) (dfs schedule {outcome.schedule_id})"
+
+
+def format_outcome(outcome: ScheduleOutcome) -> str:
+    """One schedule's findings, with its replay coordinates."""
+    lines = [
+        f"schedule {outcome.schedule_id} ({outcome.mode}"
+        + (f", seed={outcome.seed}" if outcome.seed is not None else "")
+        + f"): {outcome.steps} decisions, {len(outcome.races)} race(s)",
+        f"  {_replay_hint(outcome)}",
+    ]
+    for i, race in enumerate(outcome.races):
+        lines.append("")
+        lines.extend("  " + line for line in format_race(race, index=i).splitlines())
+    return "\n".join(lines)
+
+
+def format_result(result: ExplorationResult, *, title: str = "schedule exploration") -> str:
+    """The campaign report: verdict, coverage, then every distinct race."""
+    races = result.races
+    racy = result.racy_schedules()
+    verdict = (
+        "NO RACES DETECTED"
+        if not races
+        else f"{len(races)} DISTINCT RACE(S) on {len(racy)}/{result.schedules_run} schedules"
+    )
+    lines = [
+        f"=== sanitizer report: {title} ===",
+        f"mode={result.mode}"
+        + (f" seed={result.seed}" if result.seed is not None else "")
+        + f" schedules={result.schedules_run}"
+        + f" distinct_interleavings={result.distinct_interleavings()}",
+        f"verdict: {verdict}",
+    ]
+    for i, race in enumerate(races):
+        lines.append("")
+        lines.append(format_race(race, index=i))
+    if racy:
+        lines.append("")
+        lines.append("racy schedules (replay any of them):")
+        lines.extend(f"  {_replay_hint(outcome)}" for outcome in racy)
+    return "\n".join(lines) + "\n"
+
+
+def write_report(result: ExplorationResult, path: str | Path, *, title: str | None = None) -> Path:
+    """Render :func:`format_result` to ``path`` (parents created); returns it."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(format_result(result, title=title or path.stem))
+    return path
+
+
+def emit_trace_instants(result: ExplorationResult, tracer=None) -> int:
+    """Re-emit a campaign's distinct races as ``sanitizer.race`` instants.
+
+    The detector already emits instants live when a tracer is enabled
+    *during* the run; this lets a caller surface the aggregated findings
+    on a different tracer (e.g. the CI run's). Returns how many fired.
+    """
+    from repro.trace.tracer import get_tracer
+
+    tracer = tracer or get_tracer()
+    if not tracer.enabled:
+        return 0
+    races = result.races
+    for race in races:
+        tracer.instant(
+            "sanitizer.race",
+            category="sanitizer",
+            cell=race.cell,
+            first=f"{race.first.thread}:{race.first.kind}:{race.first.label}",
+            second=f"{race.second.thread}:{race.second.kind}:{race.second.label}",
+        )
+    if races:
+        tracer.metrics.counter("sanitizer.reported_races").inc(len(races))
+    return len(races)

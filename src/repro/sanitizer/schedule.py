@@ -1,0 +1,429 @@
+"""Deterministic schedule exploration: cooperative scheduling of thread teams.
+
+Python's thread scheduler is an adversary you cannot subpoena: a racy
+program may run correctly for a million GIL-timed executions and fail
+on the next. This module replaces the OS schedule with a *cooperative*
+one — instrumented threads hand the single run token to each other at
+preemption points (annotated memory accesses, lock operations,
+barriers) and a **chooser** picks which runnable thread goes next:
+
+- :class:`RandomChooser` draws choices from a ``repro.rng.lcg`` stream,
+  so schedule ``(seed, schedule_id)`` is one block-split LCG stream
+  (the same idiom as the fault plans) and every interleaving replays
+  **bit-identically** from its two integers;
+- :class:`PrefixChooser` replays a recorded choice prefix and then
+  falls back to first-runnable, which is what the bounded
+  depth-first :func:`explore_dfs` mode uses to systematically
+  enumerate interleavings around each divergence point.
+
+:func:`explore` runs a body under ``schedules`` seeded random
+interleavings and aggregates the :class:`~repro.sanitizer.hb.RaceReport`
+findings; :func:`run_schedule` replays exactly one.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.rng.lcg import KNUTH_LCG, LinearCongruential
+from repro.sanitizer.hb import RaceReport
+from repro.util.validation import require_nonnegative_int, require_positive_int
+
+__all__ = [
+    "ScheduleDeadlockError",
+    "CooperativeScheduler",
+    "RandomChooser",
+    "PrefixChooser",
+    "ScheduleOutcome",
+    "ExplorationResult",
+    "schedule_stream",
+    "run_schedule",
+    "explore",
+    "explore_dfs",
+]
+
+#: Spacing between schedule streams on the shared LCG sequence — far
+#: larger than any schedule's decision count, so streams never overlap
+#: within drawn prefixes (the block-split contract tests/rng pins).
+SCHEDULE_STREAM_SPACING = 1 << 40
+
+#: Defensive ceiling on how long a thread waits for its turn before the
+#: run is declared stalled (a scheduler bug, not a workload deadlock).
+_STALL_TIMEOUT_S = 120.0
+
+
+class ScheduleDeadlockError(RuntimeError):
+    """No runnable thread remains but not every thread has finished.
+
+    Under cooperative scheduling this is a *real* deadlock of the
+    explored program on this schedule (e.g. a barrier some team member
+    never reaches), reported deterministically instead of hanging.
+    """
+
+
+class RandomChooser:
+    """Choices drawn from a seeded, fast-forwardable LCG stream.
+
+    One raw draw per decision point — including forced ones with a
+    single runnable thread — keeps the stream position a pure function
+    of the decision index, which is what makes replay exact.
+    """
+
+    def __init__(self, stream: LinearCongruential) -> None:
+        self._stream = stream
+
+    def __call__(self, num_enabled: int, step: int) -> int:
+        # Choose via the high bits (the uniform draw): the low-order bits
+        # of a power-of-two-modulus LCG have tiny periods — bit 0 simply
+        # alternates — so ``raw % n`` would collapse every stream onto
+        # one alternating schedule.
+        draw = int(self._stream.next_uniform() * num_enabled)
+        return draw if draw < num_enabled else num_enabled - 1
+
+    def __repr__(self) -> str:
+        return f"RandomChooser(position={self._stream.position})"
+
+
+class PrefixChooser:
+    """Replay a recorded choice prefix, then take the first runnable thread."""
+
+    def __init__(self, prefix: tuple[int, ...] = ()) -> None:
+        self.prefix = tuple(prefix)
+
+    def __call__(self, num_enabled: int, step: int) -> int:
+        if step < len(self.prefix):
+            return min(self.prefix[step], num_enabled - 1)
+        return 0
+
+    def __repr__(self) -> str:
+        return f"PrefixChooser(prefix={self.prefix})"
+
+
+class CooperativeScheduler:
+    """Serializes registered threads onto one deterministic interleaving.
+
+    Exactly one registered thread holds the run token at any time. At
+    every preemption point the holder re-enters the scheduler, the
+    chooser picks the next thread from the *enabled* set (runnable, or
+    blocked with a now-true predicate, in registration order), and the
+    token moves. Unregistered threads (the driver, nested teams) are
+    never scheduled and pass through every hook untouched.
+    """
+
+    _STARTING, _READY, _RUNNING, _BLOCKED, _DONE = range(5)
+
+    def __init__(self, chooser: Callable[[int, int], int]) -> None:
+        self._chooser = chooser
+        self._cond = threading.Condition()
+        self._state: dict[str, int] = {}
+        self._order: dict[str, int] = {}
+        self._predicates: dict[str, Callable[[], bool]] = {}
+        self._pending: set[str] = set()
+        self._current: str | None = None
+        self._next_order = 0
+        self._step = 0
+        self._failure: BaseException | None = None
+        #: One ``(num_enabled, choice)`` row per decision, in order.
+        self.trace: list[tuple[int, int]] = []
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def __contains__(self, tid: str) -> bool:
+        with self._cond:
+            return tid in self._state
+
+    def add_team(self, tids: list[str]) -> None:
+        """Register a team; dispatching waits until every member begins."""
+        with self._cond:
+            for tid in tids:
+                self._state[tid] = self._STARTING
+                self._order[tid] = self._next_order
+                self._next_order += 1
+                self._pending.add(tid)
+
+    def remove_team(self, tids: list[str]) -> None:
+        with self._cond:
+            for tid in tids:
+                self._state.pop(tid, None)
+                self._order.pop(tid, None)
+                self._predicates.pop(tid, None)
+                self._pending.discard(tid)
+
+    # ------------------------------------------------------------------
+    # thread lifecycle (called from the registered threads themselves)
+    # ------------------------------------------------------------------
+    def thread_begin(self, tid: str) -> None:
+        with self._cond:
+            self._pending.discard(tid)
+            self._state[tid] = self._READY
+            if not self._pending and self._current is None:
+                self._dispatch()
+            self._wait_for_turn(tid)
+
+    def thread_end(self, tid: str) -> None:
+        with self._cond:
+            self._state[tid] = self._DONE
+            if self._current == tid:
+                self._current = None
+            self._dispatch()
+
+    def yield_point(self, tid: str) -> None:
+        """Hand the token back; the chooser decides who runs next (maybe us)."""
+        with self._cond:
+            if tid not in self._state:
+                return
+            self._state[tid] = self._READY
+            if self._current == tid:
+                self._current = None
+            self._dispatch()
+            self._wait_for_turn(tid)
+
+    def block_until(self, tid: str, predicate: Callable[[], bool]) -> None:
+        """Yield and stay unschedulable until ``predicate()`` becomes true."""
+        with self._cond:
+            if tid not in self._state:
+                return
+            self._state[tid] = self._BLOCKED
+            self._predicates[tid] = predicate
+            if self._current == tid:
+                self._current = None
+            self._dispatch()
+            self._wait_for_turn(tid)
+
+    # ------------------------------------------------------------------
+    # dispatch (condition lock held)
+    # ------------------------------------------------------------------
+    def _enabled(self) -> list[str]:
+        out = []
+        for tid, state in self._state.items():
+            if state == self._READY:
+                out.append(tid)
+            elif state == self._BLOCKED and self._predicates[tid]():
+                out.append(tid)
+        out.sort(key=self._order.__getitem__)
+        return out
+
+    def _dispatch(self) -> None:
+        if self._failure is not None or self._pending or self._current is not None:
+            return
+        enabled = self._enabled()
+        if not enabled:
+            if any(s in (self._READY, self._BLOCKED) for s in self._state.values()):
+                blocked = sorted(
+                    (t for t, s in self._state.items() if s == self._BLOCKED),
+                    key=self._order.__getitem__,
+                )
+                self._failure = ScheduleDeadlockError(
+                    f"no runnable thread at step {self._step}: "
+                    f"{blocked} blocked on unsatisfiable predicates "
+                    "(a barrier or lock some team member never releases)"
+                )
+                self._cond.notify_all()
+                raise self._failure
+            self._cond.notify_all()  # all done: release the driver
+            return
+        choice = self._chooser(len(enabled), self._step)
+        if not 0 <= choice < len(enabled):
+            raise ValueError(
+                f"chooser returned {choice} for {len(enabled)} enabled threads"
+            )
+        self.trace.append((len(enabled), choice))
+        chosen = enabled[choice]
+        self._predicates.pop(chosen, None)
+        self._state[chosen] = self._RUNNING
+        self._current = chosen
+        self._step += 1
+        self._cond.notify_all()
+
+    def _wait_for_turn(self, tid: str) -> None:
+        while self._current != tid and self._failure is None:
+            if not self._cond.wait(timeout=_STALL_TIMEOUT_S):
+                self._failure = ScheduleDeadlockError(
+                    f"scheduler stalled waiting to run {tid!r}"
+                )
+                self._cond.notify_all()
+                break
+        if self._failure is not None:
+            raise self._failure
+
+
+# ----------------------------------------------------------------------
+# exploration
+# ----------------------------------------------------------------------
+
+def schedule_stream(seed: int, schedule_id: int) -> LinearCongruential:
+    """The choice stream for ``(seed, schedule_id)``: one block-split LCG.
+
+    Stream ``k`` starts ``k * SCHEDULE_STREAM_SPACING`` draws into the
+    seeded Knuth-MMIX sequence (an O(log n) jump), so schedules of one
+    seed never share draws and any schedule is addressable in isolation.
+    """
+    require_nonnegative_int("schedule_id", schedule_id)
+    return LinearCongruential(KNUTH_LCG, seed).jumped(schedule_id * SCHEDULE_STREAM_SPACING)
+
+
+@dataclass(frozen=True)
+class ScheduleOutcome:
+    """One explored interleaving: its identity, findings, and choice trace."""
+
+    schedule_id: int
+    mode: str  # "random" | "dfs"
+    seed: int | None  # None in dfs mode
+    prefix: tuple[int, ...]  # dfs divergence prefix ("" in random mode)
+    races: tuple[RaceReport, ...]
+    choice_trace: tuple[tuple[int, int], ...]
+    result: Any = field(compare=False, default=None)
+
+    @property
+    def steps(self) -> int:
+        """Number of scheduling decisions taken."""
+        return len(self.choice_trace)
+
+    @property
+    def choices(self) -> tuple[int, ...]:
+        """Just the chosen indices (the replayable prefix for DFS)."""
+        return tuple(c for _n, c in self.choice_trace)
+
+
+class ExplorationResult:
+    """Aggregate of one :func:`explore`/:func:`explore_dfs` campaign."""
+
+    def __init__(self, mode: str, seed: int | None, outcomes: list[ScheduleOutcome]) -> None:
+        self.mode = mode
+        self.seed = seed
+        self.outcomes = list(outcomes)
+
+    @property
+    def schedules_run(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def race_free(self) -> bool:
+        return all(not o.races for o in self.outcomes)
+
+    @property
+    def races(self) -> tuple[RaceReport, ...]:
+        """Distinct races across all schedules (first sighting wins).
+
+        Deduplicated by :attr:`RaceReport.location_signature`, so one
+        racy source pair reported on fifty schedules is one finding.
+        """
+        seen: set[tuple] = set()
+        out: list[RaceReport] = []
+        for outcome in self.outcomes:
+            for race in outcome.races:
+                key = race.location_signature
+                if key not in seen:
+                    seen.add(key)
+                    out.append(race)
+        return tuple(out)
+
+    def racy_schedules(self) -> tuple[ScheduleOutcome, ...]:
+        return tuple(o for o in self.outcomes if o.races)
+
+    def distinct_interleavings(self) -> int:
+        """How many distinct choice traces the campaign actually explored."""
+        return len({o.choice_trace for o in self.outcomes})
+
+    def __repr__(self) -> str:
+        return (
+            f"ExplorationResult(mode={self.mode!r}, schedules={self.schedules_run}, "
+            f"distinct={self.distinct_interleavings()}, races={len(self.races)})"
+        )
+
+
+def _run_with_chooser(
+    body: Callable[[], Any], chooser: Callable[[int, int], int]
+) -> tuple[tuple[RaceReport, ...], tuple[tuple[int, int], ...], Any]:
+    # Local import: runtime builds schedulers from this module.
+    from repro.sanitizer.runtime import Sanitizer, use_sanitizer
+
+    sanitizer = Sanitizer(chooser=chooser)
+    with use_sanitizer(sanitizer):
+        result = body()
+    return sanitizer.detector.races, tuple(sanitizer.scheduler.trace), result
+
+
+def run_schedule(body: Callable[[], Any], *, seed: int = 0, schedule_id: int = 0) -> ScheduleOutcome:
+    """Run ``body`` once under the ``(seed, schedule_id)`` interleaving.
+
+    Re-running with the same two integers replays the identical
+    interleaving — identical choice trace, identical race reports —
+    which is the replay workflow a :class:`RaceReport` names.
+    """
+    races, trace, result = _run_with_chooser(
+        body, RandomChooser(schedule_stream(seed, schedule_id))
+    )
+    return ScheduleOutcome(
+        schedule_id=schedule_id,
+        mode="random",
+        seed=seed,
+        prefix=(),
+        races=races,
+        choice_trace=trace,
+        result=result,
+    )
+
+
+def explore(
+    body: Callable[[], Any], *, schedules: int = 50, seed: int = 0
+) -> ExplorationResult:
+    """Run ``body`` under ``schedules`` seeded random interleavings.
+
+    Random exploration is the workhorse mode: cheap, embarrassingly
+    reproducible, and effective because most races need only one
+    adverse ordering among a handful of preemption points.
+    """
+    require_positive_int("schedules", schedules)
+    outcomes = [
+        run_schedule(body, seed=seed, schedule_id=schedule_id)
+        for schedule_id in range(schedules)
+    ]
+    return ExplorationResult("random", seed, outcomes)
+
+
+def explore_dfs(
+    body: Callable[[], Any], *, max_schedules: int = 64, max_depth: int | None = None
+) -> ExplorationResult:
+    """Bounded depth-first enumeration of interleavings.
+
+    Starting from the first-runnable baseline, every decision point up
+    to ``max_depth`` spawns the untaken alternatives as new schedule
+    prefixes (depth-first), until ``max_schedules`` distinct
+    interleavings have run. Exhaustive below the bound for small
+    bodies; a systematic complement to :func:`explore` for larger ones.
+    """
+    require_positive_int("max_schedules", max_schedules)
+    if max_depth is not None:
+        require_positive_int("max_depth", max_depth)
+    stack: list[tuple[int, ...]] = [()]
+    seen: set[tuple[int, ...]] = set()
+    outcomes: list[ScheduleOutcome] = []
+    while stack and len(outcomes) < max_schedules:
+        prefix = stack.pop()
+        races, trace, result = _run_with_chooser(body, PrefixChooser(prefix))
+        choices = tuple(c for _n, c in trace)
+        if choices in seen:
+            continue
+        seen.add(choices)
+        outcomes.append(
+            ScheduleOutcome(
+                schedule_id=len(outcomes),
+                mode="dfs",
+                seed=None,
+                prefix=prefix,
+                races=races,
+                choice_trace=trace,
+                result=result,
+            )
+        )
+        horizon = len(trace) if max_depth is None else min(len(trace), max_depth)
+        for i in range(len(prefix), horizon):
+            num_enabled, taken = trace[i]
+            for alternative in range(num_enabled):
+                if alternative != taken:
+                    stack.append(choices[:i] + (alternative,))
+    return ExplorationResult("dfs", None, outcomes)

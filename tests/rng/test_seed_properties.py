@@ -1,0 +1,103 @@
+"""Property-based seed sweeps for the RNG substrate.
+
+The sanitizer's replay guarantee leans entirely on two RNG contracts —
+``jump(n)`` lands exactly where ``n`` sequential draws land, and
+block-split streams never overlap within their drawn prefixes — so this
+suite pins both as *properties over seeds*, not single examples.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rng.lcg import KNUTH_LCG, MINSTD, MINSTD0, LinearCongruential
+from repro.rng.streams import BlockSplitter, LeapfrogStream, SharedSequence
+from repro.sanitizer.schedule import SCHEDULE_STREAM_SPACING, schedule_stream
+
+PARAMS = (MINSTD0, MINSTD, KNUTH_LCG)
+
+seeds = st.integers(0, 2**32 - 1)
+small_n = st.integers(0, 300)
+
+
+class TestJumpEqualsSequentialDraws:
+    @given(seed=seeds, n=small_n, params=st.sampled_from(PARAMS))
+    @settings(max_examples=60, deadline=None)
+    def test_jump_n_equals_n_draws(self, seed, n, params):
+        stepped = LinearCongruential(params, seed)
+        for _ in range(n):
+            stepped.next_raw()
+        jumped = LinearCongruential(params, seed)
+        jumped.jump(n)
+        assert jumped.state == stepped.state
+        assert jumped.position == stepped.position == n
+        assert jumped.next_raw() == stepped.next_raw()
+
+    @given(seed=seeds, a=st.integers(0, 150), b=st.integers(0, 150))
+    @settings(max_examples=40, deadline=None)
+    def test_jump_is_additive_over_seeds(self, seed, a, b):
+        split = LinearCongruential(KNUTH_LCG, seed)
+        split.jump(a)
+        split.jump(b)
+        whole = LinearCongruential(KNUTH_LCG, seed)
+        whole.jump(a + b)
+        assert split.state == whole.state
+
+
+class TestBlockSplitStreamsNeverOverlap:
+    @given(seed=seeds, batch=st.integers(1, 40), workers=st.integers(1, 6))
+    @settings(max_examples=40, deadline=None)
+    def test_worker_prefixes_tile_the_serial_sequence(self, seed, batch, workers):
+        sequence = SharedSequence(MINSTD, seed)
+        splitter = BlockSplitter(sequence, batch, workers)
+        drawn = [
+            value
+            for step in range(2)
+            for worker in range(workers)
+            for value in splitter.worker_draws(step, worker)
+        ]
+        serial = list(sequence.serial_draws(2 * batch))
+        # Concatenated worker windows ARE the serial prefix: every draw
+        # appears exactly once — disjointness and coverage in one shot.
+        assert drawn == serial
+
+    @given(seed=seeds, count=st.integers(1, 60), lead=st.integers(0, 60))
+    @settings(max_examples=40, deadline=None)
+    def test_windows_at_distinct_offsets_are_disjoint(self, seed, count, lead):
+        sequence = SharedSequence(KNUTH_LCG, seed)
+        first = sequence.draws(0, count)
+        second = sequence.draws(count + lead, count)
+        # Positions never overlap, so re-drawing both windows retraces
+        # the same values (purity) and uses distinct stream positions.
+        assert list(first) == list(sequence.draws(0, count))
+        assert list(second) == list(sequence.draws(count + lead, count))
+
+    @given(seed=seeds, workers=st.integers(1, 5), rounds=st.integers(1, 30))
+    @settings(max_examples=40, deadline=None)
+    def test_leapfrog_union_is_the_serial_sequence(self, seed, workers, rounds):
+        serial = LinearCongruential(MINSTD, seed)
+        expected = [serial.next_raw() for _ in range(workers * rounds)]
+        streams = [LeapfrogStream(MINSTD, seed, w, workers) for w in range(workers)]
+        interleaved = [
+            streams[w].next_raw() for _ in range(rounds) for w in range(workers)
+        ]
+        assert interleaved == expected
+
+
+class TestScheduleStreams:
+    @given(seed=seeds, sid=st.integers(0, 200))
+    @settings(max_examples=40, deadline=None)
+    def test_schedule_stream_is_a_block_split(self, seed, sid):
+        stream = schedule_stream(seed, sid)
+        assert stream.position == sid * SCHEDULE_STREAM_SPACING
+        base = LinearCongruential(KNUTH_LCG, seed).jumped(sid * SCHEDULE_STREAM_SPACING)
+        assert stream.next_raw() == base.next_raw()
+
+    @given(seed=seeds, sid=st.integers(0, 100))
+    @settings(max_examples=30, deadline=None)
+    def test_adjacent_schedule_streams_share_no_prefix_draws(self, seed, sid):
+        # Positions [sid*S, sid*S + 512) and [(sid+1)*S, ...) are disjoint
+        # by construction; the drawn values at equal offsets still differ
+        # somewhere (streams are not phase-locked copies).
+        a = schedule_stream(seed, sid)
+        b = schedule_stream(seed, sid + 1)
+        assert [a.next_raw() for _ in range(8)] != [b.next_raw() for _ in range(8)]

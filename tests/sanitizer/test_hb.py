@@ -1,0 +1,174 @@
+"""Unit tests for the vector-clock happens-before detector."""
+
+import pytest
+
+from repro.sanitizer import HBDetector, RaceError, VectorClock
+
+
+class TestVectorClock:
+    def test_missing_entries_are_zero(self):
+        clock = VectorClock()
+        assert clock.get("t0") == 0
+        assert clock.observes("t0", 0)
+        assert not clock.observes("t0", 1)
+
+    def test_tick_and_observe(self):
+        clock = VectorClock()
+        clock.tick("t0")
+        clock.tick("t0")
+        assert clock.get("t0") == 2
+        assert clock.observes("t0", 2)
+        assert not clock.observes("t0", 3)
+
+    def test_merge_is_pointwise_max(self):
+        a = VectorClock({"t0": 3, "t1": 1})
+        b = VectorClock({"t1": 5, "t2": 2})
+        a.merge(b)
+        assert a.snapshot() == (("t0", 3), ("t1", 5), ("t2", 2))
+
+    def test_copy_is_independent(self):
+        a = VectorClock({"t0": 1})
+        b = a.copy()
+        b.tick("t0")
+        assert a.get("t0") == 1
+        assert b.get("t0") == 2
+
+
+class TestDetection:
+    def test_unordered_writes_race(self):
+        det = HBDetector()
+        det.fork("main", "t0")
+        det.fork("main", "t1")
+        det.write("cell", "t0", "w0")
+        det.write("cell", "t1", "w1")
+        assert len(det.races) == 1
+        race = det.races[0]
+        assert race.cell == "cell"
+        assert {race.first.label, race.second.label} == {"w0", "w1"}
+
+    def test_read_write_race(self):
+        det = HBDetector()
+        det.fork("main", "t0")
+        det.fork("main", "t1")
+        det.read("cell", "t0", "r0")
+        det.write("cell", "t1", "w1")
+        assert len(det.races) == 1
+        assert det.races[0].first.kind == "read"
+        assert det.races[0].second.kind == "write"
+
+    def test_concurrent_reads_are_not_a_race(self):
+        det = HBDetector()
+        det.fork("main", "t0")
+        det.fork("main", "t1")
+        det.read("cell", "t0", "r0")
+        det.read("cell", "t1", "r1")
+        assert det.races == ()
+
+    def test_same_thread_rmw_is_not_a_race(self):
+        det = HBDetector()
+        det.fork("main", "t0")
+        det.read("cell", "t0", "r")
+        det.write("cell", "t0", "w")
+        det.read("cell", "t0", "r")
+        assert det.races == ()
+
+    def test_fork_orders_parent_writes_before_child(self):
+        det = HBDetector()
+        det.write("cell", "main", "setup")
+        det.fork("main", "t0")
+        det.read("cell", "t0", "child-read")
+        assert det.races == ()
+
+    def test_join_orders_child_writes_before_parent(self):
+        det = HBDetector()
+        det.fork("main", "t0")
+        det.write("cell", "t0", "child-write")
+        det.join("main", "t0")
+        det.read("cell", "main", "parent-read")
+        assert det.races == ()
+
+    def test_missing_join_is_a_race(self):
+        det = HBDetector()
+        det.fork("main", "t0")
+        det.write("cell", "t0", "child-write")
+        det.read("cell", "main", "parent-read")  # no join edge
+        assert len(det.races) == 1
+
+    def test_release_acquire_orders_accesses(self):
+        det = HBDetector()
+        det.fork("main", "t0")
+        det.fork("main", "t1")
+        det.acquire("L", "t0")
+        det.write("cell", "t0", "w0")
+        det.release("L", "t0")
+        det.acquire("L", "t1")
+        det.write("cell", "t1", "w1")
+        det.release("L", "t1")
+        assert det.races == ()
+
+    def test_distinct_locks_do_not_order(self):
+        det = HBDetector()
+        det.fork("main", "t0")
+        det.fork("main", "t1")
+        det.acquire("L0", "t0")
+        det.write("cell", "t0", "w0")
+        det.release("L0", "t0")
+        det.acquire("L1", "t1")
+        det.write("cell", "t1", "w1")
+        det.release("L1", "t1")
+        assert len(det.races) == 1
+
+    def test_barrier_orders_both_sides(self):
+        det = HBDetector()
+        det.fork("main", "t0")
+        det.fork("main", "t1")
+        det.write("cell", "t0", "before-barrier")
+        det.barrier_sync(["t0", "t1"])
+        det.write("cell", "t1", "after-barrier")
+        assert det.races == ()
+
+    def test_duplicate_race_reported_once(self):
+        det = HBDetector()
+        det.fork("main", "t0")
+        det.fork("main", "t1")
+        det.write("cell", "t0", "w0")
+        det.write("cell", "t1", "w1")
+        det.write("cell", "t1", "w1")  # same shadow pairing again
+        assert len(det.races) == 1
+
+    def test_check_raises_race_error(self):
+        det = HBDetector()
+        det.fork("main", "t0")
+        det.fork("main", "t1")
+        det.write("cell", "t0", "w0")
+        det.write("cell", "t1", "w1")
+        with pytest.raises(RaceError) as err:
+            det.check()
+        assert err.value.races == det.races
+
+    def test_check_passes_when_clean(self):
+        det = HBDetector()
+        det.write("cell", "main", "w")
+        det.check()
+
+
+class TestSignatures:
+    def _race(self):
+        det = HBDetector()
+        det.fork("main", "t0")
+        det.fork("main", "t1")
+        det.write("cell", "t0", "w0")
+        det.write("cell", "t1", "w1")
+        return det.races[0]
+
+    def test_signature_stable_across_identical_runs(self):
+        assert self._race().signature == self._race().signature
+
+    def test_location_signature_ignores_thread_order(self):
+        race = self._race()
+        assert race.location_signature[0] == "cell"
+        assert set(race.location_signature[1:]) == {("write", "w0"), ("write", "w1")}
+
+    def test_describe_names_both_accesses(self):
+        text = self._race().describe()
+        assert "cell" in text and "w0" in text and "w1" in text

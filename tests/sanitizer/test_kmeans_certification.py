@@ -1,0 +1,98 @@
+"""Certifying the k-means race-repair ladder with the schedule explorer.
+
+The acceptance bar for the sanitizer: it must *find* the intentional
+race in the ``"racy"`` rung, and certify ``"critical"``/``"atomic"``/
+``"reduction"`` race-free across at least 50 explored schedules each.
+"""
+
+import numpy as np
+import pytest
+
+from repro.kmeans.initialization import init_random_points
+from repro.kmeans.openmp_kmeans import ALL_VARIANTS, VARIANTS, kmeans_openmp
+from repro.kmeans.termination import TerminationCriteria
+from repro.sanitizer import explore, explore_dfs, run_schedule
+
+SCHEDULES = 50
+
+
+@pytest.fixture(scope="module")
+def instance():
+    rng = np.random.default_rng(11)
+    points = rng.normal(size=(24, 2))
+    init = init_random_points(points, 2, seed=3)
+    return points, init
+
+
+def make_body(points, init, variant):
+    criteria = TerminationCriteria(max_iterations=2)
+
+    def body():
+        result = kmeans_openmp(
+            points, 2, num_threads=2, variant=variant,
+            initial_centroids=init, criteria=criteria,
+        )
+        return (tuple(result.changes_history), result.centroids.tobytes())
+
+    return body
+
+
+class TestRacyRungIsFlagged:
+    def test_detector_flags_racy_variant(self, instance):
+        points, init = instance
+        result = explore(make_body(points, init, "racy"), schedules=SCHEDULES, seed=1)
+        assert not result.race_free
+        assert len(result.racy_schedules()) >= 1
+        cells = {race.cell for race in result.races}
+        # Both intentional races: the change counter and the shared sums.
+        assert "kmeans.changes" in cells
+        assert "kmeans.sums" in cells
+
+    def test_racy_schedule_replays_bit_identically(self, instance):
+        points, init = instance
+        body = make_body(points, init, "racy")
+        result = explore(body, schedules=10, seed=1)
+        target = result.racy_schedules()[0]
+        replay = run_schedule(body, seed=1, schedule_id=target.schedule_id)
+        assert replay.choice_trace == target.choice_trace
+        assert replay.result == target.result
+        assert [r.signature for r in replay.races] == [r.signature for r in target.races]
+
+    def test_racy_is_the_only_flagged_variant(self, instance):
+        points, init = instance
+        flagged = {
+            variant: not explore(make_body(points, init, variant), schedules=5, seed=2).race_free
+            for variant in ALL_VARIANTS
+        }
+        assert flagged == {"racy": True, "critical": False, "atomic": False, "reduction": False}
+
+
+class TestCorrectRungsCertified:
+    @pytest.mark.parametrize("variant", VARIANTS)
+    def test_variant_race_free_across_schedules(self, instance, variant):
+        points, init = instance
+        result = explore(make_body(points, init, variant), schedules=SCHEDULES, seed=1)
+        assert result.schedules_run == SCHEDULES
+        assert result.race_free, [r.describe() for r in result.races]
+        # Coverage sanity: the campaign really explored distinct orders.
+        assert result.distinct_interleavings() > 1
+
+    @pytest.mark.parametrize("variant", VARIANTS)
+    def test_variant_result_schedule_independent(self, instance, variant):
+        points, init = instance
+        result = explore(make_body(points, init, variant), schedules=10, seed=4)
+        changes = {r[0] for r in (o.result for o in result.outcomes)}
+        assert len(changes) == 1, f"{variant} changes counter varies with the schedule"
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("variant", VARIANTS)
+    def test_variant_race_free_under_dfs(self, instance, variant):
+        points, init = instance
+        result = explore_dfs(make_body(points, init, variant), max_schedules=32, max_depth=12)
+        assert result.race_free, [r.describe() for r in result.races]
+
+    @pytest.mark.slow
+    def test_dfs_also_flags_racy(self, instance):
+        points, init = instance
+        result = explore_dfs(make_body(points, init, "racy"), max_schedules=32, max_depth=12)
+        assert not result.race_free

@@ -1,0 +1,88 @@
+"""Rendering race findings: text reports, replay hints, trace instants."""
+
+from repro.openmp import RacyCell, parallel_region
+from repro.sanitizer import (
+    emit_trace_instants,
+    explore,
+    explore_dfs,
+    format_outcome,
+    format_race,
+    format_result,
+    write_report,
+)
+from repro.trace import Tracer, use_tracer
+
+
+def racy_body():
+    cell = RacyCell(0, name="counter")
+    parallel_region(2, lambda ctx: cell.add(1))
+    return cell.value
+
+
+def clean_body():
+    return parallel_region(2, lambda ctx: ctx.thread_id)
+
+
+class TestFormatting:
+    def test_format_race_names_cell_and_accesses(self):
+        result = explore(racy_body, schedules=10, seed=1)
+        text = format_race(result.races[0], index=0)
+        assert "RACE #0" in text
+        assert "counter" in text
+        assert "earlier access" in text and "later access" in text
+
+    def test_format_outcome_carries_replay_command(self):
+        result = explore(racy_body, schedules=10, seed=1)
+        outcome = result.racy_schedules()[0]
+        text = format_outcome(outcome)
+        assert f"seed={outcome.seed}" in text
+        assert f"schedule_id={outcome.schedule_id}" in text
+        assert "run_schedule" in text
+
+    def test_format_result_verdict_racy(self):
+        result = explore(racy_body, schedules=10, seed=1)
+        text = format_result(result, title="racy counter")
+        assert "racy counter" in text
+        assert "DISTINCT RACE" in text
+        assert "replay" in text
+
+    def test_format_result_verdict_clean(self):
+        result = explore(clean_body, schedules=5, seed=1)
+        text = format_result(result)
+        assert "NO RACES DETECTED" in text
+
+    def test_dfs_outcomes_hint_prefix_replay(self):
+        result = explore_dfs(racy_body, max_schedules=8)
+        outcome = result.racy_schedules()[0]
+        assert "PrefixChooser" in format_outcome(outcome)
+
+
+class TestWriteReport:
+    def test_write_report_creates_parents_and_roundtrips(self, tmp_path):
+        result = explore(racy_body, schedules=5, seed=1)
+        path = write_report(result, tmp_path / "out" / "racy.txt")
+        assert path.exists()
+        assert "sanitizer report" in path.read_text()
+
+
+class TestTraceIntegration:
+    def test_detector_emits_instants_live(self):
+        with use_tracer(Tracer()) as tracer:
+            explore(racy_body, schedules=3, seed=1)
+        names = {e.name for e in tracer.events()}
+        assert "sanitizer.race" in names
+        snapshot = tracer.metrics.snapshot()
+        assert snapshot["sanitizer.races"]["value"] >= 1
+
+    def test_emit_trace_instants_reemits_aggregate(self):
+        result = explore(racy_body, schedules=3, seed=1)
+        with use_tracer(Tracer()) as tracer:
+            count = emit_trace_instants(result)
+        assert count == len(result.races)
+        races = [e for e in tracer.events() if e.name == "sanitizer.race"]
+        assert len(races) == count
+
+    def test_emit_trace_instants_disabled_tracer(self):
+        result = explore(racy_body, schedules=3, seed=1)
+        with use_tracer(Tracer(enabled=False)):
+            assert emit_trace_instants(result) == 0

@@ -1,0 +1,162 @@
+"""The sanitizer gate, observe mode, and the instrumentation hook surface."""
+
+import pytest
+
+from repro.core.executor import ThreadExecutor
+from repro.openmp import ReductionVar, parallel_reduce, parallel_region
+from repro.sanitizer import (
+    Sanitizer,
+    annotate_read,
+    annotate_write,
+    explore,
+    get_sanitizer,
+    preemption_point,
+    set_sanitizer,
+    use_sanitizer,
+)
+
+
+class TestGate:
+    def test_disabled_by_default(self):
+        assert get_sanitizer() is None
+
+    def test_annotations_are_noops_when_disabled(self):
+        annotate_read("cell")
+        annotate_write("cell")
+        preemption_point()
+
+    def test_use_sanitizer_installs_and_restores(self):
+        sanitizer = Sanitizer()
+        with use_sanitizer(sanitizer) as active:
+            assert active is sanitizer
+            assert get_sanitizer() is sanitizer
+        assert get_sanitizer() is None
+
+    def test_set_sanitizer_returns_previous(self):
+        first = Sanitizer()
+        assert set_sanitizer(first) is None
+        second = Sanitizer()
+        assert set_sanitizer(second) is first
+        assert set_sanitizer(None) is second
+
+    def test_cell_names_assigned_in_first_sighting_order(self):
+        sanitizer = Sanitizer()
+        a, b = object(), object()
+        assert sanitizer.cell_name(a, "atomic") == "atomic#0"
+        assert sanitizer.cell_name(b, "atomic") == "atomic#1"
+        assert sanitizer.cell_name(a, "atomic") == "atomic#0"  # stable
+
+
+class TestObserveMode:
+    def test_region_race_flagged_without_scheduler(self):
+        def member(ctx):
+            annotate_write("shared", "observe-write")
+
+        with use_sanitizer(Sanitizer()) as sanitizer:
+            parallel_region(2, member)
+        assert not sanitizer.exploring
+        assert sanitizer.races
+        assert sanitizer.races[0].cell == "shared"
+
+    def test_critical_section_clean_without_scheduler(self):
+        def member(ctx):
+            with ctx.critical("update"):
+                annotate_write("shared", "guarded-write")
+
+        with use_sanitizer(Sanitizer()) as sanitizer:
+            parallel_region(4, member)
+        assert sanitizer.races == ()
+
+    def test_barrier_orders_phases_without_scheduler(self):
+        def member(ctx):
+            if ctx.thread_id == 0:
+                annotate_write("phase", "produce")
+            ctx.barrier()
+            annotate_read("phase", "consume")
+
+        with use_sanitizer(Sanitizer()) as sanitizer:
+            parallel_region(3, member)
+        assert sanitizer.races == ()
+
+    def test_main_thread_accesses_ordered_by_fork_join(self):
+        with use_sanitizer(Sanitizer()) as sanitizer:
+            annotate_write("handoff", "setup")
+            parallel_region(2, lambda ctx: annotate_read("handoff", "worker"))
+            annotate_write("handoff", "teardown")
+        assert sanitizer.races == ()
+
+
+class TestReductionHooks:
+    def test_reduction_var_certified_race_free(self):
+        def body():
+            var = ReductionVar(int, lambda a, b: a + b, 3)
+
+            def member(ctx):
+                var.set_local(ctx, var.local(ctx) + ctx.thread_id)
+
+            parallel_region(3, member)
+            return var.result()
+
+        result = explore(body, schedules=15, seed=8)
+        assert result.race_free
+        assert {o.result for o in result.outcomes} == {3}
+
+    def test_parallel_reduce_certified_race_free(self):
+        def body():
+            return parallel_reduce(
+                20, 3, lambda lo, hi: sum(range(lo, hi)), lambda a, b: a + b
+            )
+
+        result = explore(body, schedules=10, seed=8)
+        assert result.race_free
+        assert {o.result for o in result.outcomes} == {sum(range(20))}
+
+
+class TestExecutorHooks:
+    def test_thread_backend_results_in_order_under_exploration(self):
+        def body():
+            with ThreadExecutor(num_workers=3) as executor:
+                return tuple(executor.map(lambda i, item: item * 2, list(range(7))))
+
+        result = explore(body, schedules=10, seed=5)
+        assert result.race_free
+        assert {o.result for o in result.outcomes} == {tuple(2 * i for i in range(7))}
+
+    def test_thread_backend_race_between_tasks_is_flagged(self):
+        def body():
+            def task(i, item):
+                annotate_write("executor-shared", "task-write")
+                return item
+
+            with ThreadExecutor(num_workers=3) as executor:
+                executor.map(task, list(range(6)))
+
+        result = explore(body, schedules=10, seed=5)
+        assert not result.race_free
+        assert result.races[0].cell == "executor-shared"
+
+    def test_thread_backend_exceptions_propagate_under_exploration(self):
+        def body():
+            def task(i, item):
+                if i == 2:
+                    raise ValueError("boom")
+                return item
+
+            with ThreadExecutor(num_workers=2) as executor:
+                executor.map(task, list(range(4)))
+
+        with use_sanitizer(Sanitizer()):
+            with pytest.raises(ValueError, match="boom"):
+                body()
+
+
+class TestNestedTeams:
+    def test_nested_region_gets_hb_edges_only(self):
+        def outer(ctx):
+            if ctx.thread_id == 0:
+                return sum(parallel_region(2, lambda inner: inner.thread_id))
+            return 0
+
+        result = explore(lambda: parallel_region(2, outer), schedules=5, seed=9)
+        assert result.race_free
+        assert {tuple(o.result) for o in result.outcomes} == {(1, 0)}

@@ -1,8 +1,10 @@
 #!/usr/bin/env sh
 # One-command local equivalent of .github/workflows/ci.yml.
 #
-#   sh tools/ci_local.sh          # lint + tier-1 + api-index (the blocking jobs)
-#   sh tools/ci_local.sh --perf   # additionally run the non-blocking tripwires
+#   sh tools/ci_local.sh              # lint + tier-1 + api-index (the blocking jobs)
+#   sh tools/ci_local.sh --perf       # additionally run the non-blocking tripwires
+#   sh tools/ci_local.sh --sanitizer  # additionally run the CI sanitizer job
+#                                     # (slow DFS tests + the seed-matrix campaign)
 #
 # Requires only the baked-in toolchain (python + pytest + numpy). ruff
 # is picked up when installed (pip install -e '.[dev]') and skipped
@@ -34,6 +36,16 @@ if [ "${1:-}" = "--perf" ]; then
         tests/trace/test_overhead_gate.py \
         tests/spark/test_fault_overhead_gate.py \
         benchmarks/test_executor_backends.py
+fi
+
+if [ "${1:-}" = "--sanitizer" ]; then
+    echo "== sanitizer suite (including slow systematic-DFS tests) =="
+    python -m pytest -q tests/sanitizer -m 'slow or not slow'
+    echo "== sanitizer k-means certification campaign (seed matrix) =="
+    for seed in 0 7 123; do
+        python tools/sanitizer_campaign.py --seed "$seed" --schedules 50 \
+            --out sanitizer-reports
+    done
 fi
 
 echo "ci_local: all checks passed"
