@@ -30,7 +30,7 @@ from repro.knn.kdtree import KDTree
 from repro.knn.mapreduce_knn import knn_mapreduce, run_knn_mapreduce
 from repro.knn.parallel_variants import knn_device, knn_mpi, knn_openmp, run_knn_mpi
 from repro.knn.quadtree import QuadTree
-from repro.knn.wordcount import run_wordcount, wordcount
+from repro.knn.wordcount import run_wordcount, wordcount, wordcount_spark
 
 __all__ = [
     "BoundedMaxHeap",
@@ -53,6 +53,7 @@ __all__ = [
     "make_leaf_like",
     "train_test_split",
     "wordcount",
+    "wordcount_spark",
     "run_wordcount",
     "confusion_matrix",
     "classification_report",

@@ -13,7 +13,14 @@ import re
 from repro.mapreduce import KeyValue, MapReduce
 from repro.mpi import Communicator, run_spmd
 
-__all__ = ["tokenize", "wordcount", "wordcount_files", "run_wordcount", "run_wordcount_files"]
+__all__ = [
+    "tokenize",
+    "wordcount",
+    "wordcount_files",
+    "wordcount_spark",
+    "run_wordcount",
+    "run_wordcount_files",
+]
 
 _WORD_RE = re.compile(r"[A-Za-z0-9']+")
 
@@ -79,6 +86,46 @@ def wordcount_files(
     mr.collate()
     mr.reduce(lambda word, counts, kv: kv.add(word, sum(counts)))
     return dict(mr.gather_all())
+
+
+def wordcount_spark(
+    lines: list[str],
+    *,
+    num_workers: int = 4,
+    num_partitions: int | None = None,
+    local_combine: bool = True,
+    memory_budget: int | None = None,
+    spill_compress: bool = False,
+    verify_reads: bool = False,
+    fault_plan=None,
+) -> dict[str, int]:
+    """The warm-up on the Spark engine: flatMap → (word, 1) → sum by key.
+
+    The exemplar workload for the engine's robustness knobs:
+    ``memory_budget`` (bytes) bounds resident shuffle memory and spills
+    the excess to disk (optionally zlib-compressed via
+    ``spill_compress``), ``verify_reads`` checksums every shuffle
+    fetch, and ``fault_plan`` runs the count under deterministic fault
+    injection — all bit-identical to the plain in-memory run.
+    ``local_combine`` toggles map-side combining (the same shuffle-
+    shrinking optimization the MPI variant teaches).
+    """
+    from repro.spark import SparkContext
+
+    with SparkContext(
+        num_workers,
+        name="wordcount-spark",
+        fault_plan=fault_plan,
+        memory_budget=memory_budget,
+        spill_compress=spill_compress,
+        verify_reads=verify_reads,
+    ) as sc:
+        pairs = sc.parallelize(lines, num_partitions).flat_map(tokenize).map(lambda w: (w, 1))
+        if local_combine:
+            counts = pairs.reduce_by_key(lambda a, b: a + b)
+        else:
+            counts = pairs.group_by_key().map_values(sum)
+        return dict(counts.collect())
 
 
 def run_wordcount(num_ranks: int, lines: list[str], **kwargs) -> dict[str, int]:

@@ -212,6 +212,9 @@ def nyc_arrests_pipeline(
     num_workers: int = 4,
     fault_plan=None,
     max_task_retries: int = 3,
+    memory_budget: int | None = None,
+    spill_compress: bool = False,
+    verify_reads: bool = False,
 ):
     """Figure 2 as a four-stage :class:`~repro.pipeline.stages.SparkPipeline`.
 
@@ -221,7 +224,10 @@ def nyc_arrests_pipeline(
     and with the engine's robustness knobs surfaced: pass a
     ``fault_plan`` (:class:`~repro.spark.SparkFaultPlan`) and the run
     executes under deterministic fault injection + recovery, returning a
-    heat-map matrix bit-identical to the fault-free run.
+    heat-map matrix bit-identical to the fault-free run; pass a
+    ``memory_budget`` (bytes) and the shuffle tier runs out-of-core,
+    spilling (optionally zlib-compressed) sorted runs to disk — again
+    bit-identical to the unbounded run.
 
     ``pipeline.run(arrest_datasets)`` (the list of raw datasets, e.g.
     historic + current-year) returns the matrix; after a run,
@@ -240,6 +246,9 @@ def nyc_arrests_pipeline(
         num_workers=num_workers,
         fault_plan=fault_plan,
         max_task_retries=max_task_retries,
+        memory_budget=memory_budget,
+        spill_compress=spill_compress,
+        verify_reads=verify_reads,
     )
     pipeline.rates = None
     pipeline.diagnostics = None

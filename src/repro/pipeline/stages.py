@@ -105,8 +105,11 @@ class SparkPipeline(Pipeline):
     The constructor surfaces the engine's robustness knobs on the
     workflow itself: ``fault_plan`` installs deterministic fault
     injection + recovery (see :mod:`repro.spark.faults`) and
-    ``max_task_retries`` bounds per-task retries. For any plan a run
-    survives, its output is bit-identical to the fault-free run. After a
+    ``max_task_retries`` bounds per-task retries. ``memory_budget``
+    (bytes) caps resident shuffle memory and spills the excess to disk
+    (``spill_compress`` zlib-compresses the runs); ``verify_reads``
+    checksums every shuffle fetch. For any plan/budget a run survives,
+    its output is bit-identical to the unbounded fault-free run. After a
     run, ``last_metrics`` / ``last_fault_report`` hold the context's
     counters and fired-fault evidence.
     """
@@ -119,11 +122,17 @@ class SparkPipeline(Pipeline):
         num_workers: int = 4,
         fault_plan: "SparkFaultPlan | None" = None,
         max_task_retries: int = 3,
+        memory_budget: int | None = None,
+        spill_compress: bool = False,
+        verify_reads: bool = False,
     ) -> None:
         super().__init__(name, stages)
         self.num_workers = num_workers
         self.fault_plan = fault_plan
         self.max_task_retries = max_task_retries
+        self.memory_budget = memory_budget
+        self.spill_compress = spill_compress
+        self.verify_reads = verify_reads
         self.last_metrics: "JobMetrics | None" = None
         self.last_fault_report: "SparkFaultReport | None" = None
 
@@ -139,6 +148,9 @@ class SparkPipeline(Pipeline):
             name=f"SparkPipeline({self.name})",
             fault_plan=self.fault_plan,
             max_task_retries=self.max_task_retries,
+            memory_budget=self.memory_budget,
+            spill_compress=self.spill_compress,
+            verify_reads=self.verify_reads,
         ) as sc:
             for stage in self.stages:
                 start = time.perf_counter()

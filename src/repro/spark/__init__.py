@@ -22,10 +22,15 @@ this package supplies the equivalent engine:
 
 - :mod:`repro.spark.faults` — seeded, bit-reproducible fault injection
   (task failures, worker blacklisting, corrupted shuffle/broadcast
-  blocks, stragglers) and the recovery machinery that survives it:
-  retries, lineage recomputation, ``RDD.checkpoint()``, speculative
-  execution. For any seed, results under a fault plan are bit-identical
-  to the fault-free run.
+  blocks, stragglers, lost/truncated/corrupted spill files) and the
+  recovery machinery that survives it: retries, lineage recomputation,
+  ``RDD.checkpoint()``, speculative execution. For any seed, results
+  under a fault plan are bit-identical to the fault-free run.
+- Out-of-core shuffle: ``SparkContext(memory_budget=...)`` bounds
+  resident shuffle memory, spilling sorted CRC-checksummed runs to a
+  temp directory that the idempotent ``stop()`` cleans up; the reduce
+  side k-way merges runs back, bit-identical to the unbounded run
+  (see ``docs/fault_tolerance.md``).
 
 Determinism: partitioning uses :func:`repro.mapreduce.stable_hash`, and
 all merges happen in partition order, so every pipeline result is exactly
@@ -38,6 +43,7 @@ from repro.spark.context import JobMetrics, SparkContext
 from repro.spark.dag import execution_stages, lineage, recomputation_frontier
 from repro.spark.dataframe import DataFrame, GroupedData
 from repro.spark.faults import (
+    SPILL_FAULT_KINDS,
     BlacklistedWorker,
     SparkFaultEvent,
     SparkFaultPlan,
@@ -48,7 +54,12 @@ from repro.spark.faults import (
 )
 from repro.spark.partitioner import HashPartitioner, RangePartitioner
 from repro.spark.rdd import RDD
-from repro.spark.shuffle import CorruptShuffleBlockError, ShuffleBlockStore
+from repro.spark.shuffle import (
+    CorruptShuffleBlockError,
+    LostSpillFileError,
+    ShuffleBlockStore,
+    SpillFileInfo,
+)
 from repro.spark.stats import StatCounter, histogram, stats, take_sample
 
 __all__ = [
@@ -77,4 +88,7 @@ __all__ = [
     "BlacklistedWorker",
     "CorruptShuffleBlockError",
     "ShuffleBlockStore",
+    "LostSpillFileError",
+    "SpillFileInfo",
+    "SPILL_FAULT_KINDS",
 ]

@@ -36,6 +36,8 @@ from __future__ import annotations
 import itertools
 import multiprocessing
 import os
+import shutil
+import tempfile
 import threading
 import time
 from dataclasses import dataclass, field
@@ -66,6 +68,7 @@ from repro.spark.faults import (
     TaskFailure,
 )
 from repro.spark.rdd import RDD, ParallelCollectionRDD, ShuffledRDD
+from repro.spark.shuffle import ShuffleBlockStore, SpillFileInfo, damage_spill_file
 from repro.trace.tracer import get_tracer
 from repro.util.partition import block_partition
 from repro.util.validation import require_nonnegative_int, require_positive_int
@@ -112,6 +115,18 @@ class SparkContext:
     retries and ``retry_backoff`` seeds the exponential backoff between
     them. ``fault_report`` then carries the structured evidence of what
     fired and what was recovered.
+
+    ``memory_budget`` (bytes, ``None`` = unbounded) turns the shuffle
+    tier out-of-core: each shuffle's block store spills sorted,
+    CRC-checksummed runs to a context-private temp directory whenever
+    its resident estimate exceeds the budget, and the reduce side k-way
+    merges the runs back (results stay bit-identical to the in-memory
+    run). ``spill_compress`` zlib-compresses spilled blocks;
+    ``verify_reads`` turns on checksum verification of *resident*
+    shuffle blocks independently of any fault plan; ``spill_dir``
+    overrides where the private spill directory is created. The spill
+    directory is removed by the idempotent :meth:`stop` — on success,
+    after a failed job, and on double-stop alike.
     """
 
     def __init__(
@@ -124,6 +139,10 @@ class SparkContext:
         fault_plan: SparkFaultPlan | None = None,
         max_task_retries: int = 3,
         retry_backoff: float = 0.001,
+        memory_budget: int | None = None,
+        spill_compress: bool = False,
+        verify_reads: bool = False,
+        spill_dir: str | Path | None = None,
     ) -> None:
         self.num_workers = require_positive_int("num_workers", num_workers)
         self.default_partitions = default_partitions or num_workers
@@ -160,6 +179,16 @@ class SparkContext:
         self._blacklist_lock = threading.Lock()
         self._committed: set[tuple[int, int]] = set()
         self._commit_lock = threading.Lock()
+        # --- out-of-core shuffle state ---
+        if memory_budget is not None:
+            require_positive_int("memory_budget", memory_budget)
+        self.memory_budget = memory_budget
+        self.spill_compress = spill_compress
+        self.verify_reads = verify_reads
+        self._spill_dir_base = Path(spill_dir) if spill_dir is not None else None
+        self._spill_root: Path | None = None
+        self._spill_lock = threading.Lock()
+        self._spill_fired: dict[tuple[int, int], int] = {}
 
     # ------------------------------------------------------------------
     # ingest
@@ -552,29 +581,138 @@ class SparkContext:
         return True
 
     # ------------------------------------------------------------------
-    # shuffle registration (fault injection seam)
+    # shuffle registration + spill management (fault injection seams)
     # ------------------------------------------------------------------
-    def _register_shuffle(self, store: Any) -> int:
-        """Number a freshly materialized shuffle and apply any scheduled
-        block corruption to its store. Returns the shuffle's index."""
+    def _next_shuffle_index(self) -> int:
+        """Number a shuffle in materialization order (the coordinate
+        ``shuffle`` and spill-file fault events address)."""
         with self._job_lock:
             index = self._shuffle_counter
             self._shuffle_counter += 1
-        if self._fault_plan is not None:
-            for event in self._fault_plan.shuffle_events(index):
-                map_task = event.unit % store.num_maps
-                reduce_part = (event.unit // store.num_maps) % store.num_parts
-                if store.corrupt(map_task, reduce_part):
-                    self.metrics.bump("spark.injected_faults")
-                    assert self.fault_report is not None
-                    self.fault_report.record_injection(
-                        SparkInjectionRecord("shuffle", index, event.unit)
-                    )
-                    get_tracer().instant(
-                        "fault.shuffle", category="spark.fault", scope="spark.driver",
-                        shuffle=index, map_task=map_task, reduce_part=reduce_part,
-                    )
         return index
+
+    def _create_shuffle_store(self, index: int, num_maps: int, num_parts: int) -> Any:
+        """Build the block store for shuffle ``index`` with this context's
+        checksum/spill configuration wired in."""
+        plan = self._fault_plan
+        # Corruption of resident blocks only enters through the plan, so
+        # resident checksums are pure overhead unless the plan schedules
+        # a shuffle fault — or the user asked for them via verify_reads.
+        checksums = plan is not None and plan.has_shuffle_events
+        return ShuffleBlockStore(
+            num_maps,
+            num_parts,
+            checksums=checksums,
+            verify_reads=self.verify_reads,
+            memory_budget=self.memory_budget,
+            spill_dir=self._spill_dir if self.memory_budget is not None else None,
+            spill_name=f"shuffle-{index:05d}",
+            compress=self.spill_compress,
+            on_spill=(
+                (lambda info: self._on_spill_file(index, info))
+                if self.memory_budget is not None
+                else None
+            ),
+            on_merge=self._on_merge_pass,
+        )
+
+    def _inject_shuffle_corruption(self, store: Any, index: int) -> None:
+        """Apply any scheduled resident-block corruption to a freshly
+        materialized shuffle — after the blocks exist, before any fetch."""
+        if self._fault_plan is None:
+            return
+        for event in self._fault_plan.shuffle_events(index):
+            map_task = event.unit % store.num_maps
+            reduce_part = (event.unit // store.num_maps) % store.num_parts
+            if store.corrupt(map_task, reduce_part):
+                self.metrics.bump("spark.injected_faults")
+                assert self.fault_report is not None
+                self.fault_report.record_injection(
+                    SparkInjectionRecord("shuffle", index, event.unit)
+                )
+                get_tracer().instant(
+                    "fault.shuffle", category="spark.fault", scope="spark.driver",
+                    shuffle=index, map_task=map_task, reduce_part=reduce_part,
+                )
+
+    def _spill_dir(self) -> Path:
+        """The context-private spill directory, created on first spill and
+        removed by :meth:`stop`."""
+        with self._spill_lock:
+            if self._spill_root is None:
+                base = None
+                if self._spill_dir_base is not None:
+                    self._spill_dir_base.mkdir(parents=True, exist_ok=True)
+                    base = str(self._spill_dir_base)
+                self._spill_root = Path(
+                    tempfile.mkdtemp(prefix="repro-spark-spill-", dir=base)
+                )
+            return self._spill_root
+
+    @property
+    def spill_directory(self) -> Path | None:
+        """Where spill runs live (``None`` until the first spill/after stop)."""
+        with self._spill_lock:
+            return self._spill_root
+
+    def _on_spill_file(self, shuffle: int, info: SpillFileInfo) -> None:
+        """Account one written spill run and fire any scheduled disk fault
+        against it (deletion / truncation / byte corruption)."""
+        self.metrics.bump("spark.spill_files")
+        self.metrics.bump("spark.spill_bytes", info.bytes)
+        get_tracer().instant(
+            "spill", category="spark.spill", scope="spark.driver",
+            shuffle=shuffle, file=info.slot, bytes=info.bytes,
+            blocks=info.blocks, map_tasks=len(info.map_tasks),
+            compressed=info.compressed,
+        )
+        plan = self._fault_plan
+        if plan is None:
+            return
+        event = plan.spill_event(shuffle, info.slot)
+        if event is None:
+            return
+        with self._spill_lock:
+            self._spill_fired[(shuffle, info.slot)] = 1
+        if damage_spill_file(info.path, event.kind):
+            self.metrics.bump("spark.injected_faults")
+            assert self.fault_report is not None
+            self.fault_report.record_injection(
+                SparkInjectionRecord(event.kind, shuffle, info.slot)
+            )
+            get_tracer().instant(
+                f"fault.{event.kind}", category="spark.fault", scope="spark.driver",
+                shuffle=shuffle, file=info.slot,
+            )
+
+    def _spill_refire(self, shuffle: int, slot: int) -> bool:
+        """Whether the spill fault at ``(shuffle, slot)`` destroys the
+        recomputed data again (its ``attempts`` are not yet exhausted).
+        Each call that returns True consumes one attempt."""
+        plan = self._fault_plan
+        if plan is None:
+            return False
+        event = plan.spill_event(shuffle, slot)
+        if event is None:
+            return False
+        with self._spill_lock:
+            fired = self._spill_fired.get((shuffle, slot), 0)
+            if fired >= event.attempts:
+                return False
+            self._spill_fired[(shuffle, slot)] = fired + 1
+        self.metrics.bump("spark.injected_faults")
+        if self.fault_report is not None:
+            self.fault_report.record_injection(
+                SparkInjectionRecord(event.kind, shuffle, slot, attempt=fired)
+            )
+        return True
+
+    def _on_merge_pass(self, runs: int) -> None:
+        """Account one reduce-side k-way merge over spilled runs."""
+        self.metrics.bump("spark.merge_passes")
+        get_tracer().instant(
+            "merge", category="spark.spill", runs=runs,
+        )
 
     # ------------------------------------------------------------------
     # lifecycle / bookkeeping
@@ -589,6 +727,12 @@ class SparkContext:
         Idempotent: stopping a stopped context is a no-op, so ``with``
         blocks and explicit ``stop()`` calls compose.
         """
+        with self._spill_lock:
+            spill_root, self._spill_root = self._spill_root, None
+        if spill_root is not None:
+            # Best-effort, even after a failed job: leaked spill runs are
+            # the disk-tier equivalent of a memory leak.
+            shutil.rmtree(spill_root, ignore_errors=True)
         if self._stopped:
             return
         self._stopped = True

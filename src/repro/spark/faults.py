@@ -39,6 +39,17 @@ Fault kinds and the scheduler's recovery for each:
 - ``broadcast``— the shipped broadcast payload is corrupted; the
   checksum on first task access detects it and refetches the driver's
   master copy.
+- ``spill_delete`` / ``spill_truncate`` / ``spill_corrupt`` — a
+  just-written shuffle *spill file* (out-of-core mode, see
+  ``SparkContext(memory_budget=...)``) is unlinked, cut in half, or has
+  a byte flipped, addressed by ``(shuffle_index, spill_file_slot)``
+  with at most one event per slot. The always-on spill CRCs detect the
+  damage on the first fetch that touches the file, and every map output
+  that lived in it is recomputed from lineage and re-stored pinned in
+  memory. ``attempts`` makes the fault re-fire on the first
+  ``attempts - 1`` recoveries; once recovery failures exceed the
+  context's ``max_task_retries`` the job fails structurally with a
+  :class:`SparkJobFailedError` whose report names the lost spill files.
 
 Because injected failures fire *before* the task body and accumulator
 updates commit exactly once per logical task, every action under an
@@ -68,14 +79,28 @@ __all__ = [
     "TaskFailure",
     "BlacklistedWorker",
     "SPARK_FAULT_KINDS",
+    "SPILL_FAULT_KINDS",
 ]
 
 #: The recognized fault kinds, in the order the sampler's probability
 #: intervals are laid out for the per-(job, partition) draws.
-SPARK_FAULT_KINDS = ("task", "worker", "straggle", "shuffle", "broadcast")
+SPARK_FAULT_KINDS = (
+    "task",
+    "worker",
+    "straggle",
+    "shuffle",
+    "broadcast",
+    "spill_delete",
+    "spill_truncate",
+    "spill_corrupt",
+)
 
 #: Kinds addressed by (job_index, partition) — consumed by the task scheduler.
 _TASK_KINDS = frozenset({"task", "worker", "straggle"})
+
+#: Disk-tier kinds addressed by (shuffle_index, spill_file_slot).
+SPILL_FAULT_KINDS = ("spill_delete", "spill_truncate", "spill_corrupt")
+_SPILL_KINDS = frozenset(SPILL_FAULT_KINDS)
 
 
 class TaskFailure(RuntimeError):
@@ -191,6 +216,7 @@ class SparkFaultPlan:
         self._tasks: dict[tuple[int, int], SparkFaultEvent] = {}
         self._shuffles: dict[int, list[SparkFaultEvent]] = {}
         self._broadcasts: dict[int, SparkFaultEvent] = {}
+        self._spills: dict[tuple[int, int], SparkFaultEvent] = {}
         for event in self.events:
             if event.kind in _TASK_KINDS:
                 key = (event.slot, event.unit)
@@ -204,6 +230,13 @@ class SparkFaultPlan:
                         f"multiple shuffle events at (shuffle, block)={(event.slot, event.unit)}"
                     )
                 blocks.append(event)
+            elif event.kind in _SPILL_KINDS:
+                key = (event.slot, event.unit)
+                if key in self._spills:
+                    raise ValueError(
+                        f"multiple spill-file events at (shuffle, file)={key}"
+                    )
+                self._spills[key] = event
             else:  # broadcast
                 if event.slot in self._broadcasts:
                     raise ValueError(f"multiple broadcast events at index {event.slot}")
@@ -237,6 +270,21 @@ class SparkFaultPlan:
         """Corrupt the shipped payload of the ``index``-th broadcast."""
         return cls([SparkFaultEvent("broadcast", index)])
 
+    @classmethod
+    def delete_spill(cls, shuffle: int, file: int = 0, attempts: int = 1) -> "SparkFaultPlan":
+        """Unlink the ``file``-th spill run of the ``shuffle``-th shuffle."""
+        return cls([SparkFaultEvent("spill_delete", shuffle, file, attempts=attempts)])
+
+    @classmethod
+    def truncate_spill(cls, shuffle: int, file: int = 0, attempts: int = 1) -> "SparkFaultPlan":
+        """Cut the ``file``-th spill run of the ``shuffle``-th shuffle in half."""
+        return cls([SparkFaultEvent("spill_truncate", shuffle, file, attempts=attempts)])
+
+    @classmethod
+    def corrupt_spill(cls, shuffle: int, file: int = 0, attempts: int = 1) -> "SparkFaultPlan":
+        """Flip a byte mid-file in the ``file``-th spill run of a shuffle."""
+        return cls([SparkFaultEvent("spill_corrupt", shuffle, file, attempts=attempts)])
+
     # ------------------------------------------------------------------
     # reproducible sampling
     # ------------------------------------------------------------------
@@ -252,10 +300,15 @@ class SparkFaultPlan:
         straggle_prob: float = 0.0,
         shuffle_corrupt_prob: float = 0.0,
         broadcast_corrupt_prob: float = 0.0,
+        spill_delete_prob: float = 0.0,
+        spill_truncate_prob: float = 0.0,
+        spill_corrupt_prob: float = 0.0,
         shuffles: int = 4,
         shuffle_blocks: int = 16,
         broadcasts: int = 4,
+        spill_files: int = 8,
         attempts: int = 1,
+        spill_attempts: int = 1,
         seconds: float = 0.002,
         max_blacklists: int = 1,
         params: LcgParams = KNUTH_LCG,
@@ -268,18 +321,23 @@ class SparkFaultPlan:
         (``jumped``), so the plan is bit-identical for a given ``seed``
         regardless of evaluation order. The task-level probabilities
         partition [0, 1); shuffle and broadcast corruption draw from
-        their own fast-forwarded regions with independent probabilities.
+        their own fast-forwarded regions with independent probabilities,
+        and the three spill-file probabilities partition one draw per
+        ``(shuffle, spill_file_slot)`` — slots a run never writes are
+        harmless no-ops, so plans compose with any memory budget.
 
         ``max_blacklists`` caps worker deaths (the scheduler additionally
         refuses to blacklist its last live worker), and ``attempts``
-        (per failing task) should stay at or below the context's
-        ``max_task_retries`` for the plan to be recoverable.
+        (per failing task) / ``spill_attempts`` (per destroyed spill
+        file) should stay at or below the context's ``max_task_retries``
+        for the plan to be recoverable.
         """
         require_positive_int("jobs", jobs)
         require_positive_int("partitions", partitions)
         require_positive_int("shuffles", shuffles)
         require_positive_int("shuffle_blocks", shuffle_blocks)
         require_positive_int("broadcasts", broadcasts)
+        require_positive_int("spill_files", spill_files)
         probs = (task_fail_prob, blacklist_prob, straggle_prob)
         if any(p < 0 for p in probs) or sum(probs) > 1.0:
             raise ValueError(f"task-level probabilities must be >= 0 and sum to <= 1, got {probs}")
@@ -287,6 +345,11 @@ class SparkFaultPlan:
                         ("broadcast_corrupt_prob", broadcast_corrupt_prob)):
             if not 0.0 <= p <= 1.0:
                 raise ValueError(f"{name} must be in [0, 1], got {p}")
+        spill_probs = (spill_delete_prob, spill_truncate_prob, spill_corrupt_prob)
+        if any(p < 0 for p in spill_probs) or sum(spill_probs) > 1.0:
+            raise ValueError(
+                f"spill-file probabilities must be >= 0 and sum to <= 1, got {spill_probs}"
+            )
 
         base = LinearCongruential(params, seed)
         events: list[SparkFaultEvent] = []
@@ -313,6 +376,26 @@ class SparkFaultPlan:
         for index in range(broadcasts):
             if stream.next_uniform() < broadcast_corrupt_prob:
                 events.append(SparkFaultEvent("broadcast", index))
+        # Spill-file region: one draw per (shuffle, spill slot), laid out
+        # after the broadcast region so pre-existing seeds keep drawing
+        # exactly the plans they always did.
+        spill_offset = offset + shuffles * shuffle_blocks + broadcasts
+        for shuffle in range(shuffles):
+            stream = base.jumped(spill_offset + shuffle * spill_files)
+            for slot in range(spill_files):
+                u = stream.next_uniform()
+                if u < spill_delete_prob:
+                    events.append(
+                        SparkFaultEvent("spill_delete", shuffle, slot, attempts=spill_attempts)
+                    )
+                elif u < spill_delete_prob + spill_truncate_prob:
+                    events.append(
+                        SparkFaultEvent("spill_truncate", shuffle, slot, attempts=spill_attempts)
+                    )
+                elif u < sum(spill_probs):
+                    events.append(
+                        SparkFaultEvent("spill_corrupt", shuffle, slot, attempts=spill_attempts)
+                    )
         return cls(events, seed=seed)
 
     # ------------------------------------------------------------------
@@ -339,6 +422,15 @@ class SparkFaultPlan:
     def broadcast_event(self, index: int) -> SparkFaultEvent | None:
         """The corruption event scheduled on the ``index``-th broadcast."""
         return self._broadcasts.get(index)
+
+    def spill_event(self, shuffle: int, slot: int) -> SparkFaultEvent | None:
+        """The disk-fault event scheduled on one spill-file slot, if any."""
+        return self._spills.get((shuffle, slot))
+
+    @property
+    def has_spill_events(self) -> bool:
+        """Whether any spill-file destruction is scheduled at all."""
+        return bool(self._spills)
 
     def trace(self) -> tuple[tuple[str, int, int], ...]:
         """Normalized (kind, slot, unit) tuples — the reproducibility witness."""
@@ -370,6 +462,10 @@ class SparkFaultReport:
     speculative: list[tuple[int, int]] = field(default_factory=list)
     broadcast_refetches: int = 0
     worker_crashes: list[tuple[int, int]] = field(default_factory=list)
+    #: (shuffle, spill_slot, reason, path) per detected spill-file loss.
+    spill_losses: list[tuple[int, int, str, str]] = field(default_factory=list)
+    #: (shuffle, spill_slot) per spill file healed via lineage.
+    spill_recoveries: list[tuple[int, int]] = field(default_factory=list)
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False, compare=False)
 
     def record_injection(self, record: SparkInjectionRecord) -> None:
@@ -408,6 +504,21 @@ class SparkFaultReport:
         backend); its lost task results were re-executed on the driver."""
         with self._lock:
             self.worker_crashes.append((worker, lost_tasks))
+
+    def record_spill_loss(self, shuffle: int, slot: int, reason: str, path: str) -> None:
+        """Log one spill file detected missing/truncated/corrupt on fetch."""
+        with self._lock:
+            self.spill_losses.append((shuffle, slot, reason, path))
+
+    def record_spill_recovery(self, shuffle: int, slot: int) -> None:
+        """Log one lost spill file's map outputs rebuilt from lineage."""
+        with self._lock:
+            self.spill_recoveries.append((shuffle, slot))
+
+    def lost_spill_files(self) -> list[tuple[int, int, str, str]]:
+        """The spill files this run lost, as (shuffle, slot, reason, path)."""
+        with self._lock:
+            return sorted(self.spill_losses)
 
     def trace(self) -> tuple[tuple[str, int, int, int], ...]:
         """Normalized fired-fault tuples — equal across runs of one seed
@@ -448,6 +559,17 @@ class SparkFaultReport:
                 lines.append(
                     f"  {len(self.worker_crashes)} worker process crash(es), "
                     f"{lost} lost task(s) re-executed on the driver"
+                )
+            if self.spill_losses:
+                lines.append(f"  {len(self.spill_losses)} spill file(s) lost:")
+                for shuffle, slot, reason, path in sorted(self.spill_losses):
+                    lines.append(
+                        f"    - shuffle {shuffle} spill file {slot} ({reason}): {path}"
+                    )
+            if self.spill_recoveries:
+                lines.append(
+                    f"  {len(self.spill_recoveries)} spill file(s) recovered from lineage: "
+                    + ", ".join(f"shuffle {s} file {f}" for s, f in sorted(self.spill_recoveries))
                 )
             if len(lines) == 1:
                 lines.append("  nothing fired")

@@ -15,7 +15,7 @@ from typing import TYPE_CHECKING, Any, Callable, Iterable, Sequence
 
 from repro.rng.counter import CounterRNG
 from repro.spark.partitioner import HashPartitioner, RangePartitioner
-from repro.spark.shuffle import CorruptShuffleBlockError, ShuffleBlockStore
+from repro.spark.shuffle import CorruptShuffleBlockError, LostSpillFileError
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.spark.context import SparkContext
@@ -917,30 +917,23 @@ class ShuffledRDD(RDD):
             shipped = sum(len(bucket) for task in outputs for bucket in task)
             ctx.metrics.shuffle_records += shipped
             ctx.metrics.shuffles += 1
-            # Corruption only enters through the plan, so checksums are
-            # pure overhead unless the plan schedules a shuffle fault.
-            plan = ctx._fault_plan
-            store = ShuffleBlockStore(
-                self._parent.num_partitions,
-                self.num_partitions,
-                checksums=plan is not None and plan.has_shuffle_events,
+            # The shuffle is numbered *after* its map job (nested parent
+            # shuffles materialize — and number themselves — during it)
+            # but *before* any put: spills fire during puts and their
+            # fault events are addressed by (shuffle, spill file).
+            index = ctx._next_shuffle_index()
+            store = ctx._create_shuffle_store(
+                index, self._parent.num_partitions, self.num_partitions
             )
             for map_task, buckets in enumerate(outputs):
                 store.put(map_task, buckets)
             self._map_job_id = job_id
-            # Registration numbers the shuffle and injects any scheduled
-            # block corruption — after the blocks exist, before any fetch.
-            self._shuffle_index = ctx._register_shuffle(store)
+            self._shuffle_index = index
+            # Inject any scheduled resident-block corruption — after the
+            # blocks exist, before any fetch.
+            ctx._inject_shuffle_corruption(store, index)
             self._store = store
             return store
-
-    def _fetch_block(self, store: Any, map_task: int, reduce_part: int) -> list[tuple[Any, Any]]:
-        """Fetch one block, healing a corrupt map output from lineage."""
-        try:
-            return store.get(map_task, reduce_part)
-        except CorruptShuffleBlockError:
-            self._recover_map_output(store, map_task)
-            return store.get(map_task, reduce_part)
 
     def _recover_map_output(self, store: Any, map_task: int) -> None:
         """Recompute one lost/corrupt map output from the lineage DAG.
@@ -972,7 +965,9 @@ class ShuffledRDD(RDD):
                 buckets = self._map_one(map_task, self._parent.partition(map_task))
             assert self._map_job_id is not None
             ctx._commit_task((self._map_job_id, map_task), sink)
-            store.put(map_task, buckets)
+            # pin: a recomputed output must stay resident — re-spilling it
+            # could land it back on the fault that just destroyed it.
+            store.put(map_task, buckets, pin=True)
             ctx.metrics.bump("spark.recomputed_partitions")
             if ctx.fault_report is not None:
                 ctx.fault_report.record_recompute(self._shuffle_index or 0, map_task)
@@ -981,12 +976,86 @@ class ShuffledRDD(RDD):
                 shuffle=self._shuffle_index, map_task=map_task,
             )
 
+    def _recover_spill_file(self, store: Any, err: LostSpillFileError) -> None:
+        """Recompute every map output that lived in a lost spill run.
+
+        Whole-file granularity: one bad byte poisons the run, so all of
+        ``err.map_tasks`` are rebuilt from lineage (honoring
+        persist()/checkpoint() barriers, exactly like resident-block
+        recovery) and re-stored *pinned* resident. If the fault plan
+        schedules repeat attempts against this file, each one destroys
+        the recomputed data again; more than ``ctx.max_task_retries``
+        such failures escalates to :class:`SparkJobFailedError` carrying
+        the fault report that names the lost file.
+        """
+        from repro.spark.accumulators import task_updates
+        from repro.spark.faults import SparkJobFailedError
+        from repro.trace.tracer import get_tracer
+
+        ctx = self.ctx
+        shuffle = self._shuffle_index or 0
+        with self._recompute_lock:
+            if not store.file_needs_recovery(err.slot):
+                return  # another reduce task already recovered this run
+            tracer = get_tracer()
+            ctx.metrics.bump("spark.lost_spill_files")
+            if ctx.fault_report is not None:
+                ctx.fault_report.record_spill_loss(shuffle, err.slot, err.reason, err.path)
+            tracer.instant(
+                "lost_spill_file", category="spark.fault",
+                shuffle=shuffle, file=err.slot,
+                reason=err.reason, map_tasks=len(err.map_tasks),
+            )
+            failures = 1  # the loss itself
+            while ctx._spill_refire(shuffle, err.slot):
+                failures += 1
+                if ctx.fault_report is not None:
+                    ctx.fault_report.record_retry(self._map_job_id or 0, err.map_tasks[0])
+                if failures > ctx.max_task_retries:
+                    assert ctx.fault_report is not None
+                    raise SparkJobFailedError(
+                        self._map_job_id or 0,
+                        err.map_tasks[0],
+                        failures,
+                        ctx.fault_report,
+                    ) from err
+            assert self._map_job_id is not None
+            for map_task in err.map_tasks:
+                with task_updates() as sink:
+                    buckets = self._map_one(map_task, self._parent.partition(map_task))
+                ctx._commit_task((self._map_job_id, map_task), sink)
+                store.put(map_task, buckets, pin=True)
+                ctx.metrics.bump("spark.recomputed_partitions")
+                if ctx.fault_report is not None:
+                    ctx.fault_report.record_recompute(shuffle, map_task)
+            store.mark_file_recovered(err.slot)
+            ctx.metrics.bump("spark.spill_recoveries")
+            if ctx.fault_report is not None:
+                ctx.fault_report.record_spill_recovery(shuffle, err.slot)
+            tracer.instant(
+                "spill_recovery", category="spark.fault",
+                shuffle=shuffle, file=err.slot, map_tasks=len(err.map_tasks),
+            )
+
     def compute(self, split: int) -> list[Any]:
         store = self._materialize_shuffle()
+        # The merge restarts from scratch after recovery: merge functions
+        # never mutate stored blocks, so a clean re-read over the healed
+        # store is bit-identical to an undisturbed pass.
+        while True:
+            try:
+                return self._merge_split(store, split)
+            except CorruptShuffleBlockError as err:
+                self._recover_map_output(store, err.map_task)
+            except LostSpillFileError as err:
+                self._recover_spill_file(store, err)
+
+    def _merge_split(self, store: Any, split: int) -> list[Any]:
+        """One clean merge pass over reduce partition ``split``."""
         merged: dict[Any, Any] = {}
         order: list[Any] = []
-        for map_task in range(store.num_maps):
-            for key, value in self._fetch_block(store, map_task, split):
+        for _map_task, block in store.iter_blocks(split):
+            for key, value in block:
                 if key in merged:
                     if self._map_side_combine:
                         merged[key] = self._merge_combiners(merged[key], value)

@@ -1,0 +1,246 @@
+"""Out-of-core shuffle: spill-to-disk, k-way merge, and cleanup.
+
+The tentpole guarantee under test: with a ``memory_budget`` the engine
+spills sorted CRC-checksummed runs to a temp directory, merges them
+back on the reduce side, and produces results **bit-identical** to the
+unbounded in-memory run — on the store in isolation, on the exemplar
+workloads (NYC pipeline, wordcount) with inputs several times the
+budget, and across all executor backends. The spill directory must
+never outlive the context (see the leak tests at the bottom).
+"""
+
+import zlib
+
+import pytest
+
+from repro.knn import wordcount_spark
+from repro.pipeline import generate_arrests, generate_ntas, nyc_arrests_pipeline
+from repro.spark import LostSpillFileError, ShuffleBlockStore, SparkContext
+
+WORDS = "the quick brown fox jumps over the lazy dog again and again".split()
+
+
+def big_lines(n: int) -> list[str]:
+    return [" ".join(WORDS[(i + j) % len(WORDS)] for j in range(8)) for i in range(n)]
+
+
+class TestStoreSpill:
+    def put_rows(self, store: ShuffleBlockStore, num_maps: int, num_parts: int, scale: int = 50):
+        rows = []
+        for m in range(num_maps):
+            buckets = [[(f"k{m}-{r}-{i}", i) for i in range(scale)] for r in range(num_parts)]
+            rows.append(buckets)
+            store.put(m, buckets)
+        return rows
+
+    def test_roundtrip_after_spill(self, tmp_path):
+        store = ShuffleBlockStore(4, 3, memory_budget=2_000, spill_dir=tmp_path)
+        rows = self.put_rows(store, 4, 3)
+        assert store.spill_file_count >= 1  # the budget actually bit
+        for m in range(4):
+            for r in range(3):
+                assert store.get(m, r) == rows[m][r]
+
+    def test_iter_blocks_merges_in_map_task_order(self, tmp_path):
+        store = ShuffleBlockStore(5, 2, memory_budget=2_000, spill_dir=tmp_path)
+        rows = self.put_rows(store, 5, 2)
+        # Last row resident, earlier ones spread over spill runs: the
+        # merged stream must still come back 0,1,2,3,4.
+        for r in range(2):
+            got = list(store.iter_blocks(r))
+            assert [m for m, _ in got] == [0, 1, 2, 3, 4]
+            assert [b for _, b in got] == [rows[m][r] for m in range(5)]
+
+    def test_runs_are_sorted_by_reduce_partition(self, tmp_path):
+        infos = []
+        store = ShuffleBlockStore(
+            4, 3, memory_budget=2_000, spill_dir=tmp_path, on_spill=infos.append
+        )
+        self.put_rows(store, 4, 3)
+        assert infos and infos == store.spill_files()
+        record = store._files[infos[0].slot]
+        # Offsets ordered by (reduce_part, map_task): each reduce
+        # partition's blocks are one contiguous, sequential scan.
+        keys = sorted(record.index, key=lambda k: record.index[k][0])
+        assert keys == sorted(keys, key=lambda k: (k[1], k[0]))
+
+    def test_compressed_spill_roundtrips_and_shrinks(self, tmp_path):
+        plain = ShuffleBlockStore(4, 2, memory_budget=2_000, spill_dir=tmp_path / "p")
+        compressed = ShuffleBlockStore(
+            4, 2, memory_budget=2_000, spill_dir=tmp_path / "c", compress=True
+        )
+        (tmp_path / "p").mkdir(), (tmp_path / "c").mkdir()
+        rows = self.put_rows(plain, 4, 2, scale=200)
+        assert self.put_rows(compressed, 4, 2, scale=200) == rows
+        for m in range(4):
+            for r in range(2):
+                assert compressed.get(m, r) == plain.get(m, r) == rows[m][r]
+        plain_bytes = sum(f.bytes for f in plain.spill_files())
+        comp_bytes = sum(f.bytes for f in compressed.spill_files())
+        assert 0 < comp_bytes < plain_bytes
+
+    def test_pinned_rows_are_never_spilled(self, tmp_path):
+        store = ShuffleBlockStore(3, 2, memory_budget=500, spill_dir=tmp_path)
+        buckets = [[("k", i) for i in range(100)] for _ in range(2)]
+        store.put(0, buckets, pin=True)
+        store.put(1, buckets)
+        store.put(2, buckets)
+        assert store.spill_file_count >= 1
+        assert all(0 not in f.map_tasks for f in store.spill_files())
+        assert store.get(0, 0) == buckets[0]
+
+    def test_oversized_single_row_still_works(self, tmp_path):
+        # One row alone exceeding the budget spills as its own run.
+        store = ShuffleBlockStore(2, 2, memory_budget=100, spill_dir=tmp_path)
+        rows = self.put_rows(store, 2, 2, scale=50)
+        assert store.spill_file_count >= 1
+        assert [b for _, b in store.iter_blocks(1)] == [rows[0][1], rows[1][1]]
+
+    def test_budget_requires_spill_dir_and_positive_bytes(self, tmp_path):
+        with pytest.raises(ValueError, match="spill_dir"):
+            ShuffleBlockStore(2, 2, memory_budget=100)
+        with pytest.raises(ValueError, match="positive"):
+            ShuffleBlockStore(2, 2, memory_budget=0, spill_dir=tmp_path)
+
+    def test_verify_reads_without_fault_plan(self):
+        store = ShuffleBlockStore(2, 2, verify_reads=True)
+        store.put(0, [[("k", 1)], [("k", 2)]])
+        assert store.get(0, 1) == [("k", 2)]
+        assert store.corrupt(0, 1)  # serialized mode is armed...
+        from repro.spark import CorruptShuffleBlockError
+
+        with pytest.raises(CorruptShuffleBlockError):
+            store.get(0, 1)  # ...and every get verifies
+
+    def test_spill_tier_is_always_checksummed(self, tmp_path):
+        store = ShuffleBlockStore(2, 2, memory_budget=100, spill_dir=tmp_path)
+        self.put_rows(store, 2, 2, scale=20)
+        info = store.spill_files()[0]
+        with open(info.path, "r+b") as fh:
+            fh.seek(info.bytes // 2)
+            byte = fh.read(1)
+            fh.seek(info.bytes // 2)
+            fh.write(bytes([byte[0] ^ 0xFF]))
+        with pytest.raises(LostSpillFileError) as err:
+            for r in range(2):
+                list(store.iter_blocks(r))
+        assert err.value.map_tasks  # names the poisoned map outputs
+        assert zlib  # (checksums are crc32 — imported for the doc link)
+
+
+class TestEngineOutOfCore:
+    BUDGET = 8_192
+
+    def wordcount_both(self, **kwargs):
+        lines = big_lines(4_000)  # shuffle estimate is many times BUDGET
+        base = wordcount_spark(lines, num_workers=2)
+        return base, wordcount_spark(lines, num_workers=2, memory_budget=self.BUDGET, **kwargs)
+
+    def test_wordcount_bit_identical_under_budget(self):
+        base, spilled = self.wordcount_both()
+        assert spilled == base
+
+    def test_wordcount_bit_identical_with_compression(self):
+        base, spilled = self.wordcount_both(spill_compress=True)
+        assert spilled == base
+
+    def test_nyc_pipeline_bit_identical_under_budget(self):
+        ntas = generate_ntas(3, 4, seed=7)
+        datasets = [
+            generate_arrests(4_000, ntas, year=2020, seed=1),
+            generate_arrests(2_000, ntas, year=2021, seed=1),
+        ]
+        base = nyc_arrests_pipeline(ntas, 3, 4, num_workers=2)
+        # The pipeline's shuffles carry post-combine per-NTA aggregates,
+        # so the budget must sit below even that to force the spill path.
+        bounded = nyc_arrests_pipeline(
+            ntas, 3, 4, num_workers=2, memory_budget=1_024, spill_compress=True
+        )
+        expected = base.run(datasets)
+        got = bounded.run(datasets)
+        assert (got == expected).all()
+        assert bounded.rates == base.rates
+        assert bounded.last_metrics.extra.get("spark.spill_files", 0) >= 1
+        assert bounded.last_metrics.extra.get("spark.spill_bytes", 0) > 0
+
+    def test_spill_counters_and_backend_identity(self):
+        lines = big_lines(2_000)
+
+        def run(backend):
+            with SparkContext(
+                2, backend=backend, memory_budget=4_096, name=f"oc-{backend}"
+            ) as sc:
+                out = dict(
+                    sc.parallelize(lines, 8)
+                    .flat_map(str.split)
+                    .map(lambda w: (w, 1))
+                    .reduce_by_key(lambda a, b: a + b)
+                    .collect()
+                )
+                return out, dict(sc.metrics.extra)
+
+        serial_out, serial_extra = run("serial")
+        thread_out, _ = run("thread")
+        assert thread_out == serial_out
+        assert serial_extra["spark.spill_files"] >= 1
+        assert serial_extra["spark.spill_bytes"] > 0
+        assert serial_extra["spark.merge_passes"] >= 1
+
+    def test_spill_trace_instants_emitted(self):
+        from repro.trace.tracer import Tracer, use_tracer
+
+        with use_tracer(Tracer()) as tracer:
+            with SparkContext(2, backend="serial", memory_budget=4_096) as sc:
+                sc.parallelize(big_lines(2_000), 8).map(
+                    lambda line: (line.split()[0], 1)
+                ).reduce_by_key(lambda a, b: a + b).collect()
+        spills = [e for e in tracer.events() if e.category == "spark.spill"]
+        assert any(e.name == "spill" for e in spills)
+        assert any(e.name == "merge" for e in spills)
+
+
+class TestSpillCleanup:
+    def fill(self, sc: SparkContext) -> None:
+        sc.parallelize(big_lines(2_000), 8).map(
+            lambda line: (line, 1)
+        ).reduce_by_key(lambda a, b: a + b).collect()
+
+    def test_no_temp_files_survive_stop_on_success(self):
+        sc = SparkContext(2, backend="serial", memory_budget=4_096)
+        self.fill(sc)
+        spill_dir = sc.spill_directory
+        assert spill_dir is not None and any(spill_dir.iterdir())
+        sc.stop()
+        assert not spill_dir.exists()
+        assert sc.spill_directory is None
+
+    def test_no_temp_files_survive_stop_on_failure(self):
+        sc = SparkContext(2, backend="serial", memory_budget=4_096)
+        self.fill(sc)
+        spill_dir = sc.spill_directory
+        with pytest.raises(RuntimeError, match="boom"):
+            with sc:  # the failing-job shape: error inside the with block
+                raise RuntimeError("boom")
+        assert spill_dir is not None and not spill_dir.exists()
+
+    def test_double_stop_is_idempotent(self):
+        sc = SparkContext(2, backend="serial", memory_budget=4_096)
+        self.fill(sc)
+        spill_dir = sc.spill_directory
+        sc.stop()
+        sc.stop()  # second stop: no error, still clean
+        assert spill_dir is not None and not spill_dir.exists()
+
+    def test_custom_spill_dir_base_is_used_and_cleaned(self, tmp_path):
+        base = tmp_path / "spills"
+        with SparkContext(2, backend="serial", memory_budget=4_096, spill_dir=base) as sc:
+            self.fill(sc)
+            spill_dir = sc.spill_directory
+            assert spill_dir is not None and spill_dir.parent == base
+        assert not spill_dir.exists()
+        assert base.exists()  # only the private subdir is removed
+
+    def test_no_budget_means_no_spill_dir(self):
+        with SparkContext(2, backend="serial") as sc:
+            self.fill(sc)
+            assert sc.spill_directory is None

@@ -1,0 +1,54 @@
+"""Fast tier-1 overhead gate for the out-of-core shuffle machinery.
+
+The authoritative <5% budget for the no-spill hot path lives in
+``benchmarks/test_shuffle_spill.py`` (min-of-interleaved-runs on a
+benchmark-sized workload). This gate is its tier-1 tripwire: a tiny
+workload, few repeats, and a deliberately loose threshold, so it only
+fires on a *gross* regression (eager serialization sneaking into the
+resident path, per-put budget accounting growing a syscall) rather
+than on scheduler noise — while staying fast enough for every sweep.
+"""
+
+from repro.spark import SparkContext
+from repro.util.timing import time_call
+
+WORKERS = 2
+REPEATS = 3
+# Gross-regression tripwire only; the tight 1.05x budget is benchmarks'.
+THRESHOLD = 2.0
+#: Large enough that the budget-enabled run never actually spills —
+#: isolating pure accounting overhead on the hot path.
+HUGE_BUDGET = 1 << 30
+
+LINES = [f"alpha beta gamma delta epsilon zeta line{i % 97}" for i in range(2_000)]
+
+
+def run(memory_budget):
+    def once():
+        with SparkContext(WORKERS, memory_budget=memory_budget) as sc:
+            return dict(
+                sc.parallelize(LINES, 8)
+                .flat_map(str.split)
+                .map(lambda w: (w, 1))
+                .reduce_by_key(lambda a, b: a + b)
+                .collect()
+            )
+
+    best = float("inf")
+    for _ in range(REPEATS):
+        sec, result = time_call(once, repeats=1)
+        best = min(best, sec)
+    return best, result
+
+
+def test_no_spill_hot_path_overhead_tripwire():
+    base_sec, base = run(None)
+    budget_sec, budgeted = run(HUGE_BUDGET)
+
+    assert budgeted == base  # budget machinery idle: bit-identical
+    ratio = budget_sec / base_sec
+    assert ratio < THRESHOLD, (
+        f"out-of-core accounting tripwire: never-spilling-budget/unbounded ratio "
+        f"{ratio:.2f}x exceeds {THRESHOLD}x — the resident hot path has probably "
+        "grown serialization or locking it shouldn't have"
+    )

@@ -35,7 +35,9 @@ if [ "${1:-}" = "--perf" ]; then
     python -m pytest -q \
         tests/trace/test_overhead_gate.py \
         tests/spark/test_fault_overhead_gate.py \
-        benchmarks/test_executor_backends.py
+        tests/spark/test_spill_overhead_gate.py \
+        benchmarks/test_executor_backends.py \
+        benchmarks/test_shuffle_spill.py
 fi
 
 if [ "${1:-}" = "--sanitizer" ]; then
