@@ -13,10 +13,11 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Any
+from typing import Any, Mapping
 
 import pytest
 
+from repro.trace.history import make_record
 from repro.util.timing import ScalingStudy
 
 OUT_DIR = Path(__file__).parent / "out"
@@ -50,25 +51,49 @@ def write_report(name: str, text: str) -> Path:
 
 def write_bench_json(
     name: str,
-    study: ScalingStudy,
+    study: ScalingStudy | Mapping[str, float],
     *,
+    workload: str | None = None,
+    config: Mapping[str, Any] | None = None,
+    bit_identical: bool | None = None,
+    digest: str | None = None,
     metrics: dict[str, Any] | None = None,
     **extra: Any,
 ) -> Path:
-    """Persist one scaling study as ``BENCH_<name>.json``.
+    """Persist one measurement set as a schema-v1 ``BENCH_<name>.json``.
 
-    The payload is ``ScalingStudy.to_json()`` (workers/seconds/speedup/
-    efficiency rows) plus an optional ``metrics`` snapshot (e.g. from
-    ``tracer.metrics.snapshot()``) and any keyword extras the benchmark
-    wants to pin (sizes, seeds, variants).
+    ``study`` is either a :class:`ScalingStudy` (its rows become
+    ``workers=<n>`` timing labels, and the full rows ride along in
+    ``extra``) or a plain ``{label: seconds}`` mapping for benches that
+    are not strong-scaling sweeps. Every payload is validated through
+    :func:`repro.trace.history.make_record` before it hits disk —
+    ``tools/check_bench_schema.py`` gates the same invariant in CI —
+    and carries the fields trend analysis needs: ``schema_version``,
+    ``workload``, string ``config`` labels, and a ``timings`` unit.
+    ``metrics`` (e.g. ``tracer.metrics.snapshot()``) and any keyword
+    extras are preserved under ``extra``.
     """
-    OUT_DIR.mkdir(exist_ok=True)
-    payload = study.to_json()
+    payload_extra: dict[str, Any] = dict(extra)
+    if isinstance(study, ScalingStudy):
+        timings = {f"workers={w}": secs for w, secs in sorted(study.measurements.items())}
+        payload_extra.setdefault("rows", study.to_json()["rows"])
+        payload_extra.setdefault("baseline_workers", study.baseline_workers)
+    else:
+        timings = dict(study)
     if metrics is not None:
-        payload["metrics"] = metrics
-    payload.update(extra)
+        payload_extra["metrics"] = metrics
+    record = make_record(
+        workload or name,
+        timings=timings,
+        config=config,
+        bit_identical=bit_identical,
+        digest=digest,
+        source=f"benchmarks/BENCH_{name}.json",
+        extra=payload_extra,
+    )
+    OUT_DIR.mkdir(exist_ok=True)
     path = OUT_DIR / f"BENCH_{name}.json"
-    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    path.write_text(json.dumps(record.to_json(), indent=2, sort_keys=True) + "\n")
     return path
 
 

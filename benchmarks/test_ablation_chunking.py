@@ -35,10 +35,12 @@ def _pure_python_rank(comm, data):
     return total
 
 
-def test_gil_boundary_ablation(benchmark, report_writer):
+def test_gil_boundary_ablation(benchmark, report_writer, bench_json_writer):
     data = np.random.default_rng(0).random(N)
 
     benchmark(lambda: run_spmd(4, _vectorized_rank, data))
+
+    timings: dict[str, float] = {}
 
     lines = [
         "Ablation: vectorized vs pure-Python rank kernels under thread-ranks",
@@ -54,6 +56,8 @@ def test_gil_boundary_ablation(benchmark, report_writer):
         vec_base = vec_base or vec_sec
         py_base = py_base or py_sec
         vec_speedups[ranks] = vec_base / vec_sec
+        timings[f"vectorized/ranks={ranks}"] = vec_sec
+        timings[f"python/ranks={ranks}"] = py_sec
         lines.append(
             f"{ranks:>6} {vec_sec:>13.3f} {vec_base / vec_sec:>8.2f} "
             f"{py_sec:>14.3f} {py_base / py_sec:>8.2f}"
@@ -73,3 +77,10 @@ def test_gil_boundary_ablation(benchmark, report_writer):
         lines.append("single-core machine: no wall-clock overlap is physically possible;")
         lines.append("the table documents that both kernel styles stay ~flat here")
     report_writer("ablation_chunking", "\n".join(lines) + "\n")
+    bench_json_writer(
+        "ablation_chunking",
+        timings,
+        workload="ablation_chunking",
+        config={"n": N, "repeat": REPEAT, "cores": cores},
+        vectorized_speedup_at_4=vec_speedups[4],
+    )

@@ -17,7 +17,7 @@ N = 4_000
 STEPS = 10
 
 
-def test_elementwise_vs_bulk(benchmark, report_writer):
+def test_elementwise_vs_bulk(benchmark, report_writer, bench_json_writer):
     locs = set_num_locales(2)
     u0 = sine_initial_condition(N)
 
@@ -42,3 +42,10 @@ def test_elementwise_vs_bulk(benchmark, report_writer):
         "Python — and the one whose comm counters match the halo analysis",
     ]
     report_writer("ablation_heat_granularity", "\n".join(lines) + "\n")
+    bench_json_writer(
+        "ablation_heat_granularity",
+        {"bulk": bulk_sec, "elementwise": elem_sec},
+        workload="ablation_heat_granularity",
+        config={"n": N, "steps": STEPS, "locales": 2},
+        elementwise_remote_gets=elem_stats.remote_gets,
+    )

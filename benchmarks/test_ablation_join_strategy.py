@@ -14,7 +14,7 @@ FACTS = 20_000
 DIM_KEYS = 50
 
 
-def test_join_strategy_ablation(benchmark, report_writer):
+def test_join_strategy_ablation(benchmark, report_writer, bench_json_writer):
     sc = SparkContext(num_workers=4)
     facts = sc.parallelize([(i % DIM_KEYS, i) for i in range(FACTS)], 8)
     dim = sc.parallelize([(k, f"dim{k}") for k in range(DIM_KEYS)], 2)
@@ -47,3 +47,12 @@ def test_join_strategy_ablation(benchmark, report_writer):
         "the join-strategy selection lesson of the pipeline course",
     ]
     report_writer("ablation_join_strategy", "\n".join(lines) + "\n")
+    bench_json_writer(
+        "ablation_join_strategy",
+        {"shuffle_join": shuffle_sec, "broadcast_join": broadcast_sec},
+        workload="ablation_join_strategy",
+        config={"facts": FACTS, "dim_keys": DIM_KEYS, "workers": 4},
+        bit_identical=True,  # both plans returned identical counts
+        shuffle_records=shuffle_records,
+        broadcast_records=broadcast_records,
+    )

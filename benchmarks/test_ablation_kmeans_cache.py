@@ -16,7 +16,7 @@ from repro.util.timing import time_call
 N, D, K = 40_000, 32, 16
 
 
-def test_kmeans_memory_layout_ablation(benchmark, report_writer):
+def test_kmeans_memory_layout_ablation(benchmark, report_writer, bench_json_writer):
     points_c, _ = make_blobs(N, D, K, seed=3)
     points_c = np.ascontiguousarray(points_c)
     points_f = np.asfortranarray(points_c)
@@ -46,3 +46,11 @@ def test_kmeans_memory_layout_ablation(benchmark, report_writer):
         "the GEMM-dominated path, which is itself the point worth teaching)",
     ]
     report_writer("ablation_kmeans_cache", "\n".join(lines) + "\n")
+    bench_json_writer(
+        "ablation_kmeans_cache",
+        {"c_order": c_sec, "f_order": f_sec},
+        workload="ablation_kmeans_cache",
+        config={"n": N, "d": D, "k": K},
+        bit_identical=True,  # layouts produced identical assignments
+        layout_ratio=f_sec / c_sec,
+    )

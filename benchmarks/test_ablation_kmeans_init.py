@@ -11,12 +11,13 @@ import numpy as np
 from repro.kmeans import kmeans_sequential
 from repro.kmeans.initialization import init_kmeans_plus_plus, init_random_points
 from repro.knn.data import make_blobs
+from repro.util.timing import Timer
 
 K = 5
 RESTARTS = 12
 
 
-def test_init_quality_ablation(benchmark, report_writer):
+def test_init_quality_ablation(benchmark, report_writer, bench_json_writer):
     points, _ = make_blobs(1200, 2, K, seed=31, separation=8.0, spread=0.8)
 
     benchmark(
@@ -27,14 +28,17 @@ def test_init_quality_ablation(benchmark, report_writer):
 
     rows = []
     stats = {}
+    sweep_seconds = {}
     for name, init_fn in [("random", init_random_points), ("kmeans++", init_kmeans_plus_plus)]:
         inertias = []
         iterations = []
-        for seed in range(RESTARTS):
-            init = init_fn(points, K, seed=seed)
-            result = kmeans_sequential(points, K, initial_centroids=init)
-            inertias.append(result.inertia)
-            iterations.append(result.iterations)
+        with Timer() as sweep:
+            for seed in range(RESTARTS):
+                init = init_fn(points, K, seed=seed)
+                result = kmeans_sequential(points, K, initial_centroids=init)
+                inertias.append(result.inertia)
+                iterations.append(result.iterations)
+        sweep_seconds[name] = sweep.elapsed
         inertias = np.array(inertias)
         best = inertias.min()
         stats[name] = (inertias, np.mean(iterations))
@@ -58,3 +62,11 @@ def test_init_quality_ablation(benchmark, report_writer):
         "seeding falls into (the bad restarts with split/merged blobs)",
     ]
     report_writer("ablation_kmeans_init", "\n".join(lines) + "\n")
+    bench_json_writer(
+        "ablation_kmeans_init",
+        {"random": sweep_seconds["random"], "kmeans++": sweep_seconds["kmeans++"]},
+        workload="ablation_kmeans_init",
+        config={"n": len(points), "k": K, "restarts": RESTARTS},
+        best_inertia={name: float(s[0].min()) for name, s in stats.items()},
+        mean_iterations={name: float(s[1]) for name, s in stats.items()},
+    )

@@ -16,9 +16,7 @@ pay IPC. Both stories land in ``BENCH_executor_backends.json``.
 
 from __future__ import annotations
 
-import json
 import os
-from pathlib import Path
 
 import numpy as np
 import pytest
@@ -27,7 +25,6 @@ from repro.core.executor import BACKENDS
 from repro.kmeans import TerminationCriteria, kmeans_parallel
 from repro.util.timing import time_call
 
-OUT_DIR = Path(__file__).parent / "out"
 WORKERS = 4
 REPEATS = 3
 N, D, K = 4_000, 8, 8
@@ -75,14 +72,24 @@ def timings() -> dict[str, dict[str, float]]:
     return {kernel: _time_backends(points, kernel) for kernel in ("python", "numpy")}
 
 
-def test_backend_timings_artifact(timings, report_writer):
-    payload = {
-        "name": "executor_backends",
-        "workload": f"kmeans assignment step, n={N} d={D} k={K}, "
-        f"{CRITERIA.max_iterations} iterations, {WORKERS} workers",
-        "cpu_count": os.cpu_count(),
-        "repeats": REPEATS,
-        "kernels": {
+def test_backend_timings_artifact(timings, report_writer, bench_json_writer):
+    bench_json_writer(
+        "executor_backends",
+        {
+            f"{kernel}/{backend}": sec
+            for kernel, secs in timings.items()
+            for backend, sec in secs.items()
+        },
+        workload="executor_backends",
+        config={
+            "n": N, "d": D, "k": K,
+            "iterations": CRITERIA.max_iterations,
+            "workers": WORKERS,
+            "cpu_count": os.cpu_count(),
+            "repeats": REPEATS,
+        },
+        bit_identical=True,  # every backend matched the serial baseline bitwise
+        kernels={
             kernel: {
                 "seconds": secs,
                 "process_speedup_vs_thread": secs["thread"] / secs["process"],
@@ -90,10 +97,7 @@ def test_backend_timings_artifact(timings, report_writer):
             }
             for kernel, secs in timings.items()
         },
-    }
-    OUT_DIR.mkdir(exist_ok=True)
-    path = OUT_DIR / "BENCH_executor_backends.json"
-    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    )
 
     lines = [f"Executor backends on the kmeans assignment step ({WORKERS} workers)"]
     for kernel, secs in timings.items():

@@ -11,6 +11,8 @@ import numpy as np
 
 from repro.kmeans import kmeans_sequential
 from repro.knn.data import make_blobs
+from repro.trace.history import result_digest
+from repro.util.timing import time_call
 
 
 def _ascii_scatter(points: np.ndarray, assignments: np.ndarray, size: int = 24) -> str:
@@ -27,7 +29,7 @@ def _ascii_scatter(points: np.ndarray, assignments: np.ndarray, size: int = 24) 
     return "\n".join("".join(row) for row in grid)
 
 
-def test_fig1_kmeans_2d_three_clusters(benchmark, report_writer):
+def test_fig1_kmeans_2d_three_clusters(benchmark, report_writer, bench_json_writer):
     points, true_labels = make_blobs(900, 2, 3, seed=42, separation=7.0, spread=0.9)
 
     # k-means++ seeding avoids the split-blob local optimum that plain
@@ -61,3 +63,16 @@ def test_fig1_kmeans_2d_three_clusters(benchmark, report_writer):
     lines.append("")
     lines.append(_ascii_scatter(points, result.assignments))
     report_writer("fig1_kmeans", "\n".join(lines) + "\n")
+
+    sec, timed = time_call(
+        lambda: kmeans_sequential(points, 3, initial_centroids=init), repeats=3
+    )
+    bench_json_writer(
+        "fig1_kmeans",
+        {"total": sec},
+        workload="fig1_kmeans",
+        config={"n": len(points), "k": 3, "seed": 42, "init": "kmeans++"},
+        digest=result_digest((timed.centroids, timed.assignments)),
+        iterations=timed.iterations,
+        inertia=timed.inertia,
+    )

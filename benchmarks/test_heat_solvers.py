@@ -67,5 +67,10 @@ def test_heat_forall_vs_coforall(benchmark, report_writer, bench_json_writer):
     lines.append("replaces implicit boundary reads with explicit halo puts")
     report_writer("heat_solvers", "\n".join(lines) + "\n")
     bench_json_writer(
-        "heat_coforall", study, n=N, steps=STEPS, alpha=ALPHA, serial_seconds=serial_sec
+        "heat_coforall",
+        study,
+        workload="heat_coforall",
+        config={"n": N, "steps": STEPS, "alpha": ALPHA},
+        bit_identical=True,  # every locale count matched the serial solver bitwise
+        serial_seconds=serial_sec,
     )

@@ -75,4 +75,10 @@ def test_hpo_task_distribution(benchmark, report_writer, bench_json_writer):
     assert lpt.makespan <= rr.makespan
     lines.append(f"ensemble of top-5 val accuracy: {ensemble.accuracy(val_x, val_y):.3f}")
     report_writer("hpo_distribution", "\n".join(lines) + "\n")
-    bench_json_writer("hpo_distribution", study, tasks=T, top_m=5)
+    bench_json_writer(
+        "hpo_distribution",
+        study,
+        workload="hpo_distribution",
+        config={"tasks": T, "top_m": 5},
+        bit_identical=True,  # every node count reproduced the serial ranking
+    )

@@ -12,7 +12,8 @@ alongside.
 import numpy as np
 
 from repro.knn import knn_predict_vectorized, make_blobs, run_knn_mapreduce
-from repro.util.timing import time_call
+from repro.trace.history import result_digest
+from repro.util.timing import ScalingStudy, time_call
 
 N = 1500
 D = 16
@@ -20,7 +21,7 @@ K = 5
 RANKS = [1, 2, 4, 8]
 
 
-def test_knn_mapreduce_speedup_and_combine(benchmark, report_writer):
+def test_knn_mapreduce_speedup_and_combine(benchmark, report_writer, bench_json_writer):
     db, labels = make_blobs(N, D, 4, seed=0)
     queries, _ = make_blobs(200, D, 4, seed=1)
     serial = knn_predict_vectorized(db, labels, queries, K)
@@ -34,6 +35,8 @@ def test_knn_mapreduce_speedup_and_combine(benchmark, report_writer):
         "",
         f"{'ranks':>6} {'seconds':>9} {'shuffled pairs (combine)':>25} {'shuffled pairs (plain)':>23}",
     ]
+    study = ScalingStudy("knn_mapreduce")
+    shuffle_volume = {}
     for ranks in RANKS:
         sec, (p, shipped_combine) = time_call(
             lambda r=ranks: run_knn_mapreduce(r, db, labels, queries, K), repeats=2
@@ -42,6 +45,8 @@ def test_knn_mapreduce_speedup_and_combine(benchmark, report_writer):
         _, shipped_plain = run_knn_mapreduce(
             ranks, db, labels, queries, K, local_combine=False
         )
+        study.record(ranks, sec)
+        shuffle_volume[str(ranks)] = {"combine": shipped_combine, "plain": shipped_plain}
         lines.append(f"{ranks:>6} {sec:>9.3f} {shipped_combine:>25} {shipped_plain:>23}")
         if ranks > 1:
             # The paper's optimization: combiner cuts communication hard.
@@ -52,3 +57,12 @@ def test_knn_mapreduce_speedup_and_combine(benchmark, report_writer):
         " (paper: 'noticeably improves the communication cost')"
     )
     report_writer("knn_mapreduce", "\n".join(lines) + "\n")
+    bench_json_writer(
+        "knn_mapreduce",
+        study,
+        workload="knn_mapreduce",
+        config={"n": N, "queries": 200, "d": D, "k": K, "local_combine": True},
+        bit_identical=True,  # every rank count matched the vectorized serial kNN
+        digest=result_digest(serial),
+        shuffled_pairs=shuffle_volume,
+    )

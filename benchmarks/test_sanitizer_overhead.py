@@ -17,9 +17,6 @@ configurations back to back so transient system noise lands on both
 alike, and the minimum is the least-noise estimator.
 """
 
-import json
-from pathlib import Path
-
 import numpy as np
 
 from repro.kmeans.openmp_kmeans import kmeans_openmp
@@ -35,7 +32,6 @@ REPEATS = 9
 N, D, K = 96_000, 16, 8
 CRITERIA = TerminationCriteria(max_iterations=10)
 THRESHOLD = 1.05
-OUT_DIR = Path(__file__).parent / "out"
 
 
 def _run(points, init):
@@ -47,7 +43,7 @@ def _run(points, init):
     )
 
 
-def test_sanitizer_overhead_under_five_percent(benchmark, report_writer):
+def test_sanitizer_overhead_under_five_percent(benchmark, report_writer, bench_json_writer):
     points = np.random.default_rng(7).normal(size=(N, D))
     from repro.kmeans.initialization import init_random_points
 
@@ -93,23 +89,19 @@ def test_sanitizer_overhead_under_five_percent(benchmark, report_writer):
     ]
     report_writer("sanitizer_overhead", "\n".join(lines) + "\n")
 
-    OUT_DIR.mkdir(exist_ok=True)
-    payload = {
-        "bench": "sanitizer_overhead",
-        "workload": {
+    bench_json_writer(
+        "sanitizer_overhead",
+        {"disabled": disabled_sec, "observed": enabled_sec},
+        workload="sanitizer_overhead",
+        config={
             "model": "kmeans_openmp", "variant": "reduction",
             "threads": THREADS, "n": N, "d": D, "k": K,
-            "iterations": base.iterations,
+            "iterations": base.iterations, "repeats": REPEATS,
         },
-        "repeats": REPEATS,
-        "disabled_sec": disabled_sec,
-        "observed_sec": enabled_sec,
-        "ratio": ratio,
-        "threshold": THRESHOLD,
-        "races": len(sanitizer.races),
-    }
-    (OUT_DIR / "BENCH_sanitizer_overhead.json").write_text(
-        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        bit_identical=True,  # observed run matched the disabled run bitwise
+        ratio=ratio,
+        threshold=THRESHOLD,
+        races=len(sanitizer.races),
     )
 
     assert ratio < THRESHOLD, f"sanitizer overhead {ratio:.3f}x exceeds {THRESHOLD}x"

@@ -17,13 +17,8 @@ all alike, and the minimum across rounds is the least-noise estimator
 for a deterministic workload on a shared machine.
 """
 
-import json
-from pathlib import Path
-
 from repro.spark import SparkContext
 from repro.util.timing import time_call
-
-OUT_DIR = Path(__file__).parent / "out"
 
 WORKERS = 4
 REPEATS = 7
@@ -58,7 +53,7 @@ def _one_run(memory_budget, compress=False):
     return sec, counts, extra
 
 
-def test_shuffle_spill_costs_and_hot_path_gate(benchmark, report_writer):
+def test_shuffle_spill_costs_and_hot_path_gate(benchmark, report_writer, bench_json_writer):
     benchmark(lambda: _one_run(None))
 
     configs = {
@@ -106,29 +101,23 @@ def test_shuffle_spill_costs_and_hot_path_gate(benchmark, report_writer):
     ]
     report_writer("shuffle_spill", "\n".join(lines) + "\n")
 
-    OUT_DIR.mkdir(exist_ok=True)
-    payload = {
-        "name": "shuffle_spill",
-        "workers": WORKERS,
-        "workload": {"lines": N_LINES, "partitions": PARTITIONS},
-        "repeats": REPEATS,
-        "spill_budget_bytes": SPILL_BUDGET,
-        "in_memory_seconds": best["in_memory"],
-        "no_spill_budget_seconds": best["no_spill_budget"],
-        "spill_seconds": best["spill"],
-        "spill_compressed_seconds": best["spill_compressed"],
-        "hot_path_ratio": gate_ratio,
-        "spill_ratio": spill_ratio,
-        "spill_compressed_ratio": compressed_ratio,
-        "spill_files": extras["spill"]["spark.spill_files"],
-        "spill_bytes": extras["spill"]["spark.spill_bytes"],
-        "spill_bytes_compressed": extras["spill_compressed"]["spark.spill_bytes"],
-        "merge_passes": extras["spill"]["spark.merge_passes"],
-        "threshold": THRESHOLD,
-        "bit_identical": True,
-    }
-    (OUT_DIR / "BENCH_shuffle_spill.json").write_text(
-        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    bench_json_writer(
+        "shuffle_spill",
+        {name: sec for name, sec in best.items()},
+        workload="shuffle_spill",
+        config={
+            "workers": WORKERS, "lines": N_LINES, "partitions": PARTITIONS,
+            "spill_budget_bytes": SPILL_BUDGET, "repeats": REPEATS,
+        },
+        bit_identical=True,
+        ratio=gate_ratio,
+        threshold=THRESHOLD,
+        spill_ratio=spill_ratio,
+        spill_compressed_ratio=compressed_ratio,
+        spill_files=extras["spill"]["spark.spill_files"],
+        spill_bytes=extras["spill"]["spark.spill_bytes"],
+        spill_bytes_compressed=extras["spill_compressed"]["spark.spill_bytes"],
+        merge_passes=extras["spill"]["spark.merge_passes"],
     )
 
     assert gate_ratio < THRESHOLD, (

@@ -16,14 +16,9 @@ both alike, and the minimum across rounds is the least-noise estimator
 for a deterministic workload on a shared machine.
 """
 
-import json
-from pathlib import Path
-
 from repro.pipeline import arrests_per_100k, generate_arrests, generate_ntas
 from repro.spark import SparkContext, SparkFaultPlan
 from repro.util.timing import time_call
-
-OUT_DIR = Path(__file__).parent / "out"
 
 WORKERS = 4
 REPEATS = 9
@@ -40,7 +35,7 @@ def _one_run(datasets, ntas, fault_plan):
     return time_call(once, repeats=1)
 
 
-def test_spark_fault_overhead_under_five_percent(benchmark, report_writer):
+def test_spark_fault_overhead_under_five_percent(benchmark, report_writer, bench_json_writer):
     ntas = generate_ntas(ROWS, COLS, seed=7)
     historic = generate_arrests(N_HISTORIC, ntas, year=2020, seed=1)
     current = generate_arrests(N_CURRENT, ntas, year=2021, seed=1)
@@ -75,24 +70,18 @@ def test_spark_fault_overhead_under_five_percent(benchmark, report_writer):
     ]
     report_writer("spark_fault_overhead", "\n".join(lines) + "\n")
 
-    OUT_DIR.mkdir(exist_ok=True)
-    payload = {
-        "name": "spark_fault_overhead",
-        "workers": WORKERS,
-        "workload": {
-            "ntas": [ROWS, COLS],
-            "arrests": [N_HISTORIC, N_CURRENT],
-            "year_filter": 2021,
+    bench_json_writer(
+        "spark_fault_overhead",
+        {"baseline": base_sec, "empty_plan": empty_sec},
+        workload="spark_fault_overhead",
+        config={
+            "workers": WORKERS, "ntas_rows": ROWS, "ntas_cols": COLS,
+            "arrests_historic": N_HISTORIC, "arrests_current": N_CURRENT,
+            "year_filter": 2021, "repeats": REPEATS,
         },
-        "repeats": REPEATS,
-        "baseline_seconds": base_sec,
-        "empty_plan_seconds": empty_sec,
-        "ratio": ratio,
-        "threshold": THRESHOLD,
-        "bit_identical": base == faulted,
-    }
-    (OUT_DIR / "BENCH_spark_fault_overhead.json").write_text(
-        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        bit_identical=base == faulted,
+        ratio=ratio,
+        threshold=THRESHOLD,
     )
 
     assert ratio < THRESHOLD, (

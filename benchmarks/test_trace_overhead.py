@@ -40,7 +40,7 @@ def _one_run(points, tracer):
     return time_call(once, repeats=1)
 
 
-def test_trace_overhead_under_five_percent(benchmark, report_writer):
+def test_trace_overhead_under_five_percent(benchmark, report_writer, bench_json_writer):
     points = np.random.default_rng(7).normal(size=(N, D))
 
     benchmark(lambda: run_kmeans_mpi(RANKS, points, 8, seed=1, criteria=CRITERIA))
@@ -74,4 +74,19 @@ def test_trace_overhead_under_five_percent(benchmark, report_writer):
         "(the hot path every non-observability run takes) is also <5%",
     ]
     report_writer("trace_overhead", "\n".join(lines) + "\n")
+
+    bench_json_writer(
+        "trace_overhead",
+        {"disabled": base_sec, "enabled": enabled_sec},
+        workload="trace_overhead",
+        config={
+            "model": "kmeans_mpi", "ranks": RANKS, "n": N, "d": D, "k": 8,
+            "iterations": base.iterations, "repeats": REPEATS,
+        },
+        bit_identical=True,  # traced run matched the untraced run bitwise
+        ratio=ratio,
+        threshold=THRESHOLD,
+        events=len(enabled),
+    )
+
     assert ratio < THRESHOLD, f"trace layer overhead {ratio:.3f}x exceeds {THRESHOLD}x"

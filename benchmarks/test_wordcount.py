@@ -39,7 +39,8 @@ def test_wordcount_ranks(benchmark, report_writer, bench_json_writer):
     bench_json_writer(
         "wordcount",
         study,
-        lines=len(LINES),
-        local_combine=True,
+        workload="wordcount",
+        config={"lines": len(LINES), "local_combine": True},
+        bit_identical=True,  # every (ranks, combine) cell matched the reference counts
         metrics=tracer.metrics.snapshot(),
     )

@@ -16,7 +16,13 @@ package provides one process-wide answer:
 - exporters — Chrome ``chrome://tracing`` JSON
   (:func:`to_chrome_trace`), a plain-text per-rank timeline
   (:func:`render_timeline`), and a metrics summary table
-  (:func:`format_metrics_table`).
+  (:func:`format_metrics_table`);
+- history — the longitudinal layer (``repro.trace.history``): the
+  canonical :class:`BenchRecord` schema every ``BENCH_*.json`` payload
+  normalizes into, the append-only ``benchmarks/history.jsonl`` store,
+  rolling-baseline trend analysis (:func:`analyze_trends`), and the
+  deterministic ``TRENDS.md`` renderer (:func:`render_trends`) driven
+  by the campaign runner in ``tools/trials/`` (docs/trials.md).
 
 The default tracer is disabled and free on the hot path (gated < 5% by
 ``benchmarks/test_trace_overhead.py``). Enable per run::
@@ -31,6 +37,22 @@ See docs/observability.md for the full guide.
 """
 
 from repro.trace.export import render_timeline, to_chrome_trace, write_chrome_trace
+from repro.trace.history import (
+    BENCH_SCHEMA_VERSION,
+    BenchRecord,
+    Finding,
+    analyze_trends,
+    append_history,
+    load_bench_dir,
+    load_bench_file,
+    load_history,
+    make_record,
+    migrate_bench_payload,
+    render_trends,
+    result_digest,
+    sparkline,
+    validate_bench_payload,
+)
 from repro.trace.metrics import (
     Counter,
     Gauge,
@@ -62,4 +84,18 @@ __all__ = [
     "to_chrome_trace",
     "write_chrome_trace",
     "render_timeline",
+    "BENCH_SCHEMA_VERSION",
+    "BenchRecord",
+    "Finding",
+    "make_record",
+    "validate_bench_payload",
+    "migrate_bench_payload",
+    "load_bench_file",
+    "load_bench_dir",
+    "append_history",
+    "load_history",
+    "result_digest",
+    "analyze_trends",
+    "sparkline",
+    "render_trends",
 ]

@@ -1,0 +1,97 @@
+"""Exporter edge cases: empty tracers, metrics-table ordering, instant-only traces."""
+
+import json
+
+from repro.trace import Tracer, format_metrics_table, to_chrome_trace, write_chrome_trace
+from repro.trace.metrics import MetricsRegistry
+
+
+class TestEmptyTracerExport:
+    def test_chrome_trace_of_empty_tracer_is_valid_and_empty(self):
+        doc = to_chrome_trace(Tracer())
+        assert doc == {"traceEvents": [], "displayTimeUnit": "ms"}
+        # and still round-trips through JSON serialization
+        assert json.loads(json.dumps(doc)) == doc
+
+    def test_write_chrome_trace_of_empty_tracer(self, tmp_path):
+        path = write_chrome_trace(Tracer(), tmp_path / "empty.json")
+        assert json.loads(path.read_text())["traceEvents"] == []
+
+    def test_cleared_tracer_exports_empty_again(self):
+        t = Tracer()
+        with t.span("work"):
+            pass
+        assert to_chrome_trace(t)["traceEvents"]
+        t.clear()
+        assert to_chrome_trace(t)["traceEvents"] == []
+
+    def test_empty_metrics_table(self):
+        assert format_metrics_table(MetricsRegistry()) == "metrics: (empty)"
+        assert format_metrics_table(MetricsRegistry(), title="run") == "run: (empty)"
+
+
+class TestMetricsTableOrdering:
+    def test_rows_sorted_by_rendered_name_not_insertion_order(self):
+        reg = MetricsRegistry()
+        reg.counter("zebra.count").inc()
+        reg.gauge("alpha.level").set(3)
+        reg.counter("mpi.messages", rank=2).inc()
+        reg.counter("mpi.messages", rank=0).inc()
+        table = format_metrics_table(reg)
+        rows = [ln.split()[0] for ln in table.splitlines() if "." in ln]
+        assert rows == sorted(rows)
+        assert rows.index("mpi.messages{rank=0}") < rows.index("mpi.messages{rank=2}")
+
+    def test_table_is_deterministic_across_identical_registries(self):
+        def build() -> MetricsRegistry:
+            reg = MetricsRegistry()
+            reg.histogram("lat").observe(1.0)
+            reg.histogram("lat").observe(3.0)
+            reg.counter("ops", kind="put").inc(7)
+            reg.gauge("depth").set(2)
+            return reg
+
+        assert format_metrics_table(build()) == format_metrics_table(build())
+
+    def test_histogram_row_shows_summary_stats(self):
+        reg = MetricsRegistry()
+        reg.histogram("lat").observe(1.0)
+        reg.histogram("lat").observe(3.0)
+        table = format_metrics_table(reg)
+        row = next(ln for ln in table.splitlines() if "lat" in ln)
+        assert "count=2" in row and "mean=2" in row
+
+
+class TestInstantOnlyChromeTrace:
+    def _instants_only(self) -> Tracer:
+        t = Tracer()
+        t.instant("send", scope="rank0", category="mpi.p2p", dest=1)
+        t.instant("recv", scope="rank1", category="mpi.p2p", source=0)
+        t.instant("tick", scope="rank0")
+        return t
+
+    def test_all_rows_are_instants_with_thread_scope(self):
+        doc = to_chrome_trace(self._instants_only())
+        rows = [r for r in doc["traceEvents"] if r["ph"] != "M"]
+        assert len(rows) == 3
+        for row in rows:
+            assert row["ph"] == "i"
+            assert row["s"] == "t"
+            assert "dur" not in row
+
+    def test_timestamps_still_relative_to_earliest_instant(self):
+        doc = to_chrome_trace(self._instants_only())
+        ts = [r["ts"] for r in doc["traceEvents"] if r["ph"] != "M"]
+        assert min(ts) == 0.0
+        assert all(t >= 0.0 for t in ts)
+
+    def test_scope_threads_still_emitted(self):
+        doc = to_chrome_trace(self._instants_only())
+        meta = {r["args"]["name"] for r in doc["traceEvents"] if r["ph"] == "M"}
+        assert meta == {"rank0", "rank1"}
+
+    def test_single_instant_has_zero_origin(self):
+        t = Tracer()
+        t.instant("only")
+        rows = [r for r in to_chrome_trace(t)["traceEvents"] if r["ph"] == "i"]
+        assert len(rows) == 1 and rows[0]["ts"] == 0.0

@@ -5,6 +5,8 @@
 #   sh tools/ci_local.sh --perf       # additionally run the non-blocking tripwires
 #   sh tools/ci_local.sh --sanitizer  # additionally run the CI sanitizer job
 #                                     # (slow DFS tests + the seed-matrix campaign)
+#   sh tools/ci_local.sh --trials     # additionally run the CI trials job (seeded
+#                                     # campaign -> history.jsonl + TRENDS.md)
 #
 # Requires only the baked-in toolchain (python + pytest + numpy). ruff
 # is picked up when installed (pip install -e '.[dev]') and skipped
@@ -30,6 +32,9 @@ python -m pytest -x -q
 echo "== api index =="
 python tools/check_api_index.py --check
 
+echo "== bench output schema =="
+python tools/check_bench_schema.py --check
+
 if [ "${1:-}" = "--perf" ]; then
     echo "== perf tripwires (non-blocking in CI) =="
     python -m pytest -q \
@@ -48,6 +53,11 @@ if [ "${1:-}" = "--sanitizer" ]; then
         python tools/sanitizer_campaign.py --seed "$seed" --schedules 50 \
             --out sanitizer-reports
     done
+fi
+
+if [ "${1:-}" = "--trials" ]; then
+    echo "== trial campaign + trend report (non-blocking in CI) =="
+    python tools/trials --ingest-bench --fail-on never
 fi
 
 echo "ci_local: all checks passed"

@@ -1,0 +1,27 @@
+"""Continuous trial harness: the campaign matrix runner.
+
+``python tools/trials`` executes a configurable matrix of (benchmark
+suite × executor backend × fault plan × sanitizer schedule × seed)
+trials, appends timestamped, git-SHA-stamped :class:`BenchRecord` rows
+to ``benchmarks/history.jsonl``, runs the rolling-baseline trend
+analysis from ``repro.trace.history``, and renders
+``benchmarks/out/TRENDS.md``. See docs/trials.md.
+"""
+
+from trials.campaign import (
+    CampaignInjection,
+    CampaignResult,
+    TrialSpec,
+    build_matrix,
+    default_git_sha,
+    run_campaign,
+)
+
+__all__ = [
+    "TrialSpec",
+    "CampaignInjection",
+    "CampaignResult",
+    "build_matrix",
+    "run_campaign",
+    "default_git_sha",
+]

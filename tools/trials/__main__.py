@@ -1,0 +1,139 @@
+"""CLI for the continuous trial harness.
+
+Run from the repo root (no install needed)::
+
+    python tools/trials                      # campaign -> history -> TRENDS.md
+    python tools/trials --ingest-bench       # also fold BENCH_*.json snapshots in
+    python tools/trials --analyze-only       # re-analyze existing history
+    python tools/trials --seeds 0,1 --suites kmeans,wordcount --repeats 3
+
+The campaign appends to ``benchmarks/history.jsonl`` and rewrites
+``benchmarks/out/TRENDS.md``. Exit status is governed by ``--fail-on``
+(default ``never`` — CI runs this job non-blocking).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import replace
+from datetime import datetime, timezone
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent.parent
+sys.path.insert(0, str(ROOT / "tools"))
+if str(ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(ROOT / "src"))
+
+from repro.trace.history import (  # noqa: E402
+    analyze_trends,
+    append_history,
+    load_bench_dir,
+    load_history,
+    render_trends,
+)
+from trials.campaign import (  # noqa: E402
+    DEFAULT_SUITES,
+    build_matrix,
+    default_git_sha,
+    run_campaign,
+)
+
+__all__ = ["main"]
+
+_FAIL_LEVELS = {"never": None, "critical": {"critical"}, "major": {"critical", "major"}}
+
+
+def _csv(value: str) -> list[str]:
+    return [item for item in (part.strip() for part in value.split(",")) if item]
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="trials", description="campaign runner + perf-trend regression detection"
+    )
+    parser.add_argument("--suites", default=",".join(DEFAULT_SUITES),
+                        help=f"comma-separated suites (default: all of {DEFAULT_SUITES})")
+    parser.add_argument("--backends", default="serial,thread")
+    parser.add_argument("--fault-plans", default="none,spark")
+    parser.add_argument("--sanitizer", default="off,observe",
+                        help="sanitizer schedules for the openmp suite")
+    parser.add_argument("--seeds", default="0")
+    parser.add_argument("--repeats", type=int, default=2)
+    parser.add_argument("--history", default=str(ROOT / "benchmarks" / "history.jsonl"))
+    parser.add_argument("--trends", default=str(ROOT / "benchmarks" / "out" / "TRENDS.md"))
+    parser.add_argument("--bench-dir", default=str(ROOT / "benchmarks" / "out"))
+    parser.add_argument("--baseline-window", type=int, default=5)
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="slowdown flag threshold (0.10 = +10%%)")
+    parser.add_argument("--ingest-bench", action="store_true",
+                        help="append the BENCH_*.json snapshots to history first")
+    parser.add_argument("--analyze-only", action="store_true",
+                        help="skip the campaign; re-analyze the existing history")
+    parser.add_argument("--fail-on", choices=sorted(_FAIL_LEVELS), default="never")
+    args = parser.parse_args(argv)
+
+    history = Path(args.history)
+    trends = Path(args.trends)
+    stamp = datetime.now(timezone.utc).isoformat()
+    sha = default_git_sha()
+
+    if args.ingest_bench:
+        snapshots = load_bench_dir(args.bench_dir)
+        stamped = [
+            replace(r, timestamp=r.timestamp or stamp, git_sha=r.git_sha or sha,
+                    source=r.source or "bench-ingest")
+            for r in snapshots
+        ]
+        n = append_history(history, stamped)
+        print(f"ingested {n} BENCH_*.json snapshot(s) from {args.bench_dir}")
+
+    if not args.analyze_only:
+        specs = build_matrix(
+            suites=tuple(_csv(args.suites)),
+            backends=tuple(_csv(args.backends)),
+            fault_plans=tuple(_csv(args.fault_plans)),
+            sanitizer_schedules=tuple(_csv(args.sanitizer)),
+            seeds=tuple(int(s) for s in _csv(args.seeds)),
+        )
+        result = run_campaign(
+            specs, history_path=history, repeats=args.repeats,
+            now=lambda: stamp, git_sha=sha,
+        )
+        print(
+            f"campaign: {len(result.records)}/{len(specs)} trials in "
+            f"{result.wall_seconds:.2f}s -> {history}"
+        )
+        for err in result.errors:
+            print(f"  trial failed: {err}", file=sys.stderr)
+
+    records, skipped = load_history(history)
+    findings = analyze_trends(
+        records, baseline_window=args.baseline_window, slowdown_threshold=args.threshold
+    )
+    report = render_trends(
+        records, findings=findings, skipped=skipped,
+        baseline_window=args.baseline_window, slowdown_threshold=args.threshold,
+    )
+    trends.parent.mkdir(parents=True, exist_ok=True)
+    trends.write_text(report)
+
+    by_severity = {sev: sum(1 for f in findings if f.severity == sev)
+                   for sev in ("critical", "major", "minor")}
+    print(
+        f"analyzed {len(records)} record(s) ({skipped} skipped): "
+        f"{by_severity['critical']} critical / {by_severity['major']} major / "
+        f"{by_severity['minor']} minor finding(s) -> {trends}"
+    )
+    for f in findings:
+        print(f"  [{f.severity}] {f.kind}: {f.workload} ({f.config}) — {f.detail}")
+
+    gate = _FAIL_LEVELS[args.fail_on]
+    if gate and any(f.severity in gate for f in findings):
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
