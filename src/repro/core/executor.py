@@ -442,15 +442,34 @@ class ProcessExecutor(Executor):
                 with _FORK_LOCK:
                     _FORK_JOBS.pop(token, None)
 
+        interrupted = False
         try:
             results, errors, crashed = self._collect(workers, result_queue, n)
+        except BaseException:
+            # KeyboardInterrupt / cancellation mid-collect: the workers
+            # may be wedged in a task, so don't grant them the graceful
+            # join window — terminate now and re-raise with no orphans.
+            interrupted = True
+            raise
         finally:
             for p in workers:
-                p.join(timeout=5.0)
-                if p.is_alive():  # pragma: no cover - stuck worker backstop
-                    p.terminate()
+                if interrupted:
+                    if p.is_alive():
+                        p.terminate()
                     p.join(timeout=1.0)
+                    if p.is_alive():  # pragma: no cover - SIGTERM-proof task
+                        p.kill()
+                        p.join(timeout=1.0)
+                else:
+                    p.join(timeout=5.0)
+                    if p.is_alive():  # pragma: no cover - stuck worker backstop
+                        p.terminate()
+                        p.join(timeout=1.0)
             result_queue.close()
+            if interrupted:
+                # The feeder thread may hold buffered results for dead
+                # readers; don't let its join block the unwind.
+                result_queue.cancel_join_thread()
 
         if errors:
             index = min(errors)

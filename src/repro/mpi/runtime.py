@@ -31,6 +31,7 @@ from repro.mpi.comm import Communicator, _Mailbox
 from repro.mpi.errors import DeadlockError, RankFailedError, SpmdAbort
 from repro.mpi.faults import FaultPlan, FaultReport, _FaultInjector
 from repro.trace.tracer import Tracer, get_tracer
+from repro.util.backoff import BackoffPolicy
 from repro.util.validation import require_positive_int
 
 __all__ = ["World", "run_spmd", "FAILURE_POLICIES"]
@@ -269,7 +270,9 @@ def run_spmd(
           :class:`RankFailedError` (the pre-fault-tolerance behaviour);
         - ``"respawn"``: re-run the rank function from the top, up to
           ``max_respawns`` times with exponential backoff
-          (``respawn_backoff * 2**attempt`` seconds); exhausted retries
+          (``respawn_backoff * 2**attempt`` seconds, the shared
+          :class:`~repro.util.backoff.BackoffPolicy` schedule);
+          exhausted retries
           escalate to abort. The function must be re-entrant — see
           docs/fault_tolerance.md.
         - ``"tolerate"``: ULFM-style — record the death, keep the world
@@ -313,6 +316,7 @@ def run_spmd(
         raise ValueError(f"wall_timeout must be > 0, got {wall_timeout}")
     world = World(size, timeout, faults=faults, tracer=tracer)
     run_tracer = world.tracer
+    respawn_policy = BackoffPolicy(respawn_backoff)
     results: list[Any] = [None] * size
     failures: dict[int, BaseException] = {}
     failure_lock = threading.Lock()
@@ -335,7 +339,7 @@ def run_spmd(
                         run_tracer.instant(
                             "rank_respawn", category="runtime.fault", rank=rank, attempt=attempts
                         )
-                        time.sleep(respawn_backoff * (2**attempts))
+                        respawn_policy.sleep(attempts)
                         attempts += 1
                         continue
                     if on_failure == "tolerate":

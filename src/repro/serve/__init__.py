@@ -1,0 +1,69 @@
+"""repro.serve: a fault-hardened multi-tenant job service over the engines.
+
+The serving tier above :mod:`repro.spark`, :mod:`repro.mapreduce`, and
+:mod:`repro.pipeline`: tenants submit jobs against a shared worker
+pool and the service keeps the tenancy honest — bounded fair-share
+admission with explicit backpressure (:mod:`repro.serve.admission`),
+per-tenant circuit breakers (:mod:`repro.serve.circuit`), deadlines and
+cooperative wall timeouts, deterministic retry backoff, structured load
+shedding (:mod:`repro.serve.scheduler`), scheduler-level fault
+injection (:mod:`repro.serve.faults`), and a seeded traffic generator
+plus soak harness (:mod:`repro.serve.traffic`) that proves every
+non-shed job bit-identical to its solo run. See docs/serve.md.
+"""
+
+from repro.serve.admission import FairShareQueue, QueueFullError
+from repro.serve.circuit import CircuitBreaker, CircuitOpenError
+from repro.serve.faults import (
+    PoisonedJobError,
+    ServeFaultEvent,
+    ServeFaultPlan,
+    ServeFaultReport,
+    ServeInjectionRecord,
+)
+from repro.serve.scheduler import (
+    DeadlineExpired,
+    JobCancelled,
+    JobContext,
+    JobHandle,
+    JobService,
+    ServeMetrics,
+    ShedRecord,
+    ShedReport,
+)
+from repro.serve.traffic import (
+    SoakResult,
+    TrafficJob,
+    generate_traffic,
+    job_body,
+    max_min_share,
+    run_soak,
+    run_solo,
+)
+
+__all__ = [
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "DeadlineExpired",
+    "FairShareQueue",
+    "JobCancelled",
+    "JobContext",
+    "JobHandle",
+    "JobService",
+    "PoisonedJobError",
+    "QueueFullError",
+    "ServeFaultEvent",
+    "ServeFaultPlan",
+    "ServeFaultReport",
+    "ServeInjectionRecord",
+    "ServeMetrics",
+    "ShedRecord",
+    "ShedReport",
+    "SoakResult",
+    "TrafficJob",
+    "generate_traffic",
+    "job_body",
+    "max_min_share",
+    "run_soak",
+    "run_solo",
+]

@@ -1,0 +1,244 @@
+"""Bounded multi-tenant admission: fair-share dequeue, explicit backpressure.
+
+The submission queue is where a shared service either stays fair or
+degrades into "whoever submits fastest wins". Two mechanisms keep it
+honest:
+
+- **Backpressure is explicit.** A full queue rejects the submission
+  with :class:`QueueFullError` carrying a ``retry_after`` hint — never
+  a silent drop, never an unbounded buffer. Callers (and the traffic
+  generator's soak loop) retry on the hint with the shared
+  :class:`~repro.util.backoff.BackoffPolicy`.
+- **Dequeue is max-min fair.** Workers pull via a round-robin cursor
+  over tenants with queued work, so a tenant flooding the queue cannot
+  starve the others: with T backlogged tenants each gets ~1/T of the
+  service capacity (the soak asserts the max-min share tolerance).
+  Within one tenant, jobs run by descending priority, FIFO among
+  equals.
+
+Load shedding under overload is the queue's third job:
+:meth:`FairShareQueue.shed_lowest` evicts the globally
+lowest-priority queued entries first (newest first among equals — the
+work least likely to have a waiter), returning them so the scheduler
+can report every shed job in its structured
+:class:`~repro.serve.scheduler.ShedReport`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+from typing import Any, Iterator
+
+from repro.util.validation import require_positive_int
+
+__all__ = ["QueueFullError", "FairShareQueue"]
+
+
+class QueueFullError(RuntimeError):
+    """The bounded submission queue refused a job — backpressure, not loss.
+
+    ``retry_after`` (seconds) is the explicit hint: the queue's depth
+    ahead of the rejected job times its configured service-time hint.
+    Deterministic by construction (no wall clocks involved), so retry
+    schedules built on it replay bit-identically.
+    """
+
+    def __init__(self, tenant: str, capacity: int, depth: int, retry_after: float) -> None:
+        super().__init__(
+            f"submission queue full ({depth}/{capacity} queued); tenant {tenant!r} "
+            f"should retry in ~{retry_after:.3f}s"
+        )
+        self.tenant = tenant
+        self.capacity = capacity
+        self.depth = depth
+        self.retry_after = retry_after
+
+
+class FairShareQueue:
+    """A bounded, priority-aware queue with round-robin tenant fairness.
+
+    ``capacity`` bounds the total queued entries; ``per_tenant_capacity``
+    (default: ``capacity``) additionally bounds any single tenant, so one
+    tenant can never occupy the whole buffer even when the service is
+    idle. ``service_time_hint`` (seconds per job) scales the
+    ``retry_after`` backpressure hints.
+
+    Thread-safe; :meth:`pop` blocks until an entry is available, the
+    queue is closed, or ``timeout`` expires.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        *,
+        per_tenant_capacity: int | None = None,
+        service_time_hint: float = 0.01,
+    ) -> None:
+        self.capacity = require_positive_int("capacity", capacity)
+        self.per_tenant_capacity = (
+            capacity if per_tenant_capacity is None
+            else require_positive_int("per_tenant_capacity", per_tenant_capacity)
+        )
+        if service_time_hint < 0:
+            raise ValueError(f"service_time_hint must be >= 0, got {service_time_hint}")
+        self.service_time_hint = service_time_hint
+        self._lock = threading.Lock()
+        self._available = threading.Condition(self._lock)
+        # tenant -> heap of (-priority, seq, item); tenants stay registered
+        # (empty heaps allowed) so the round-robin order is stable.
+        self._queues: dict[str, list[tuple[int, int, Any]]] = {}
+        self._order: list[str] = []
+        self._cursor = 0
+        self._seq = itertools.count()
+        self._size = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # producer side
+    # ------------------------------------------------------------------
+    def push(self, tenant: str, item: Any, priority: int = 0) -> int:
+        """Admit one entry; returns the global queue depth after admission.
+
+        Raises :class:`QueueFullError` when the global or per-tenant
+        bound is hit — with a ``retry_after`` hint proportional to the
+        depth the submission would have had to wait behind.
+        """
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("submission queue is closed")
+            tenant_q = self._queues.get(tenant)
+            if tenant_q is None:
+                tenant_q = []
+                self._queues[tenant] = tenant_q
+                self._order.append(tenant)
+            if self._size >= self.capacity or len(tenant_q) >= self.per_tenant_capacity:
+                depth = self._size
+                raise QueueFullError(
+                    tenant, self.capacity, depth,
+                    max(1, depth) * self.service_time_hint,
+                )
+            heapq.heappush(tenant_q, (-priority, next(self._seq), item))
+            self._size += 1
+            self._available.notify()
+            return self._size
+
+    def requeue(self, tenant: str, item: Any, priority: int = 0) -> int:
+        """Put an already-admitted entry back, bypassing capacity bounds.
+
+        For recovery paths only (a worker died holding the job): the
+        entry was admitted once, so re-admission must never bounce —
+        "requeued, never lost". Also accepted after :meth:`close` while
+        draining. Returns the global depth after re-admission.
+        """
+        with self._lock:
+            tenant_q = self._queues.get(tenant)
+            if tenant_q is None:
+                tenant_q = []
+                self._queues[tenant] = tenant_q
+                self._order.append(tenant)
+            heapq.heappush(tenant_q, (-priority, next(self._seq), item))
+            self._size += 1
+            self._available.notify()
+            return self._size
+
+    # ------------------------------------------------------------------
+    # consumer side
+    # ------------------------------------------------------------------
+    def pop(self, timeout: float | None = None) -> tuple[str, Any] | None:
+        """Next ``(tenant, item)`` under max-min fairness, or None.
+
+        Blocks up to ``timeout`` seconds (forever when None). Returns
+        None on timeout or once the queue is closed *and* drained.
+        """
+        with self._available:
+            if not self._available.wait_for(
+                lambda: self._size > 0 or self._closed, timeout=timeout
+            ):
+                return None
+            if self._size == 0:
+                return None  # closed and drained
+            # Round-robin scan from the cursor: the next tenant with work.
+            n = len(self._order)
+            for step in range(n):
+                tenant = self._order[(self._cursor + step) % n]
+                tenant_q = self._queues[tenant]
+                if tenant_q:
+                    self._cursor = (self._cursor + step + 1) % n
+                    _neg_priority, _seq, item = heapq.heappop(tenant_q)
+                    self._size -= 1
+                    return tenant, item
+            raise AssertionError("size > 0 but no tenant had queued work")
+
+    # ------------------------------------------------------------------
+    # overload control
+    # ------------------------------------------------------------------
+    def shed_lowest(self, count: int) -> list[tuple[str, int, Any]]:
+        """Evict up to ``count`` queued entries, lowest priority first.
+
+        Among equal priorities the *newest* submission goes first (it
+        has waited least). Returns the evicted ``(tenant, priority,
+        item)`` triples so the caller can account every shed job.
+        """
+        require_positive_int("count", count)
+        with self._lock:
+            candidates: list[tuple[int, int, str]] = []  # (priority, -seq, tenant)
+            for tenant, tenant_q in self._queues.items():
+                for neg_priority, seq, _item in tenant_q:
+                    candidates.append((-neg_priority, -seq, tenant))
+            candidates.sort(key=lambda c: (c[0], c[1]))
+            shed: list[tuple[str, int, Any]] = []
+            for priority, neg_seq, tenant in candidates[:count]:
+                tenant_q = self._queues[tenant]
+                index = next(
+                    i for i, entry in enumerate(tenant_q) if entry[1] == -neg_seq
+                )
+                _neg_priority, _seq, item = tenant_q.pop(index)
+                heapq.heapify(tenant_q)
+                self._size -= 1
+                shed.append((tenant, priority, item))
+            return shed
+
+    # ------------------------------------------------------------------
+    # introspection / lifecycle
+    # ------------------------------------------------------------------
+    def depth(self, tenant: str | None = None) -> int:
+        """Queued entries — globally, or for one tenant."""
+        with self._lock:
+            if tenant is None:
+                return self._size
+            return len(self._queues.get(tenant, ()))
+
+    def tenants(self) -> list[str]:
+        """Tenants ever admitted, in first-submission order."""
+        with self._lock:
+            return list(self._order)
+
+    def close(self) -> None:
+        """Refuse further pushes; blocked pops drain then return None."""
+        with self._lock:
+            self._closed = True
+            self._available.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
+    def __len__(self) -> int:
+        return self.depth()
+
+    def __iter__(self) -> Iterator[tuple[str, Any]]:
+        """Drain without blocking (test/diagnostic helper)."""
+        while True:
+            entry = self.pop(timeout=0)
+            if entry is None:
+                return
+            yield entry
+
+    def __repr__(self) -> str:
+        return (
+            f"FairShareQueue({self._size}/{self.capacity} queued, "
+            f"{len(self._order)} tenant(s){', closed' if self._closed else ''})"
+        )

@@ -1,0 +1,141 @@
+"""Per-tenant circuit breakers: stop burning capacity on poisoned work.
+
+A tenant whose jobs keep failing (a bad binary, a poisoned input) would
+otherwise consume its full fair share in doomed retries. The classic
+remedy is a circuit breaker per tenant:
+
+- **closed** — submissions flow; consecutive failures are counted.
+- **open** — after ``failure_threshold`` consecutive failures the
+  breaker trips: submissions are rejected up front with
+  :class:`CircuitOpenError` (carrying a ``retry_after`` hint) for
+  ``recovery_time`` seconds.
+- **half-open** — after the cool-down, *one* probe job is admitted; its
+  success closes the breaker (counter reset), its failure re-opens it
+  for another full cool-down.
+
+The clock is injectable (``clock=``), so every transition is testable —
+and deterministic under the serve soak's logical clock — without
+sleeping through real cool-downs.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+from repro.util.validation import require_positive_int
+
+__all__ = ["CircuitOpenError", "CircuitBreaker"]
+
+#: Breaker states, in escalation order.
+CIRCUIT_STATES = ("closed", "open", "half_open")
+
+
+class CircuitOpenError(RuntimeError):
+    """Submission rejected because the tenant's breaker is open.
+
+    ``retry_after`` is the remaining cool-down in seconds — the
+    graceful-degradation counterpart of
+    :class:`~repro.serve.admission.QueueFullError`.
+    """
+
+    def __init__(self, tenant: str, failures: int, retry_after: float) -> None:
+        super().__init__(
+            f"circuit for tenant {tenant!r} is open after {failures} consecutive "
+            f"failure(s); retry in ~{retry_after:.3f}s"
+        )
+        self.tenant = tenant
+        self.failures = failures
+        self.retry_after = retry_after
+
+
+class CircuitBreaker:
+    """One tenant's breaker: closed → open → half-open → closed.
+
+    Thread-safe. ``allow()`` is the admission-side gate (raises
+    :class:`CircuitOpenError` when open); ``record_success()`` /
+    ``record_failure()`` are the completion-side feedback.
+    """
+
+    def __init__(
+        self,
+        tenant: str,
+        *,
+        failure_threshold: int = 3,
+        recovery_time: float = 1.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.tenant = tenant
+        self.failure_threshold = require_positive_int("failure_threshold", failure_threshold)
+        if recovery_time < 0:
+            raise ValueError(f"recovery_time must be >= 0, got {recovery_time}")
+        self.recovery_time = recovery_time
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = "closed"
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probe_out = False
+        self.opens = 0  # lifetime trips (diagnostic)
+
+    @property
+    def state(self) -> str:
+        """Current state, cool-down expiry applied."""
+        with self._lock:
+            return self._state_locked()
+
+    def _state_locked(self) -> str:
+        if self._state == "open" and self._clock() - self._opened_at >= self.recovery_time:
+            self._state = "half_open"
+            self._probe_out = False
+        return self._state
+
+    def allow(self) -> None:
+        """Gate one submission; raises :class:`CircuitOpenError` if open.
+
+        In half-open state exactly one probe passes; concurrent
+        submissions behind the probe are rejected as if still open.
+        """
+        with self._lock:
+            state = self._state_locked()
+            if state == "closed":
+                return
+            if state == "half_open" and not self._probe_out:
+                self._probe_out = True
+                return
+            remaining = max(0.0, self.recovery_time - (self._clock() - self._opened_at))
+            raise CircuitOpenError(self.tenant, self._consecutive_failures, remaining)
+
+    def record_success(self) -> None:
+        """A job finished cleanly: close the breaker, reset the counter."""
+        with self._lock:
+            self._state = "closed"
+            self._consecutive_failures = 0
+            self._probe_out = False
+
+    def record_failure(self) -> bool:
+        """A job failed; returns True when this failure trips the breaker.
+
+        A half-open probe's failure re-opens immediately; in closed
+        state the breaker trips once ``failure_threshold`` consecutive
+        failures accumulate.
+        """
+        with self._lock:
+            self._consecutive_failures += 1
+            state = self._state_locked()
+            tripped = state == "half_open" or (
+                state == "closed" and self._consecutive_failures >= self.failure_threshold
+            )
+            if tripped:
+                self._state = "open"
+                self._opened_at = self._clock()
+                self._probe_out = False
+                self.opens += 1
+            return tripped
+
+    def __repr__(self) -> str:
+        return (
+            f"CircuitBreaker(tenant={self.tenant!r}, state={self.state!r}, "
+            f"failures={self._consecutive_failures}, opens={self.opens})"
+        )

@@ -1,0 +1,276 @@
+"""Deterministic scheduler-level fault injection for the serve tier.
+
+:class:`~repro.mpi.faults.FaultPlan` shakes one SPMD world and
+:class:`~repro.spark.faults.SparkFaultPlan` shakes one engine job; a
+:class:`ServeFaultPlan` shakes the *service around them* — the layer
+where multi-tenant systems actually break. Same house contract: seeded,
+bit-reproducible (block-split :mod:`repro.rng.lcg` streams, one draw
+per slot), inert by default, every firing recorded.
+
+Fault kinds and their coordinates:
+
+- ``poison``      — per submission slot (the service-wide submission
+  index): the job's body raises :class:`PoisonedJobError` instead of
+  running — on every attempt, so retries burn out and the tenant's
+  circuit breaker sees real consecutive failures.
+- ``worker_loss`` — per ``(worker, jobs_started)`` slot: the scheduler
+  worker "dies" right after picking up that job (the job is requeued,
+  never lost) and the pool respawns the worker after a
+  :class:`~repro.util.backoff.BackoffPolicy` delay.
+- ``queue_stall`` — per dequeue slot: the worker's dequeue stalls for
+  ``seconds`` before the pop (a GC pause / noisy neighbour at the
+  queue), stressing deadlines and the backpressure hints.
+
+Per-job :class:`~repro.spark.faults.SparkFaultPlan`\\ s compose freely
+underneath: a traffic job can carry its own engine-level plan while the
+service's plan tears at the scheduler above it.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.rng.lcg import KNUTH_LCG, LcgParams, LinearCongruential
+from repro.util.validation import require_nonnegative_int, require_positive_int
+
+__all__ = [
+    "SERVE_FAULT_KINDS",
+    "PoisonedJobError",
+    "ServeFaultEvent",
+    "ServeFaultPlan",
+    "ServeFaultReport",
+    "ServeInjectionRecord",
+]
+
+#: Recognized serve-level fault kinds, probability-interval order.
+SERVE_FAULT_KINDS = ("poison", "worker_loss", "queue_stall")
+
+#: Draw-stream spacing: each coordinate family owns a disjoint block of
+#: the shared LCG sequence (submissions / worker slots / dequeues).
+_STREAM_SPACING = 1 << 20
+
+
+class PoisonedJobError(RuntimeError):
+    """The injected body failure of a poisoned submission."""
+
+    def __init__(self, submission: int) -> None:
+        super().__init__(f"submission {submission} is poisoned (injected)")
+        self.submission = submission
+
+
+@dataclass(frozen=True)
+class ServeFaultEvent:
+    """One scheduled serve fault at its coordinate.
+
+    ``unit`` is the submission index for ``poison``, the per-worker
+    jobs-started count for ``worker_loss``, and the service-wide dequeue
+    index for ``queue_stall``. ``worker`` only matters for
+    ``worker_loss``; ``seconds`` only for ``queue_stall``.
+    """
+
+    kind: str
+    unit: int
+    worker: int = 0
+    seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in SERVE_FAULT_KINDS:
+            raise ValueError(
+                f"unknown serve fault kind {self.kind!r}; expected one of {SERVE_FAULT_KINDS}"
+            )
+        require_nonnegative_int("unit", self.unit)
+        require_nonnegative_int("worker", self.worker)
+        if self.seconds < 0:
+            raise ValueError(f"seconds must be >= 0, got {self.seconds}")
+
+
+@dataclass(frozen=True)
+class ServeInjectionRecord:
+    """One serve fault that actually fired."""
+
+    kind: str
+    unit: int
+    worker: int = 0
+    seconds: float = 0.0
+
+
+class ServeFaultPlan:
+    """An immutable schedule of scheduler-level faults for one service.
+
+    Build explicitly from :class:`ServeFaultEvent` instances or sample
+    reproducibly with :meth:`sample`. At most one event per
+    ``(kind, worker, unit)`` slot.
+    """
+
+    def __init__(self, events: Iterable[ServeFaultEvent] = (), *, seed: int | None = None) -> None:
+        self.events: tuple[ServeFaultEvent, ...] = tuple(
+            sorted(events, key=lambda e: (e.kind, e.worker, e.unit))
+        )
+        self.seed = seed
+        slots = [(e.kind, e.worker, e.unit) for e in self.events]
+        if len(slots) != len(set(slots)):
+            raise ValueError("at most one serve fault event per (kind, worker, unit) slot")
+        self._poison = {e.unit for e in self.events if e.kind == "poison"}
+        self._worker_loss = {
+            (e.worker, e.unit) for e in self.events if e.kind == "worker_loss"
+        }
+        self._stalls = {e.unit: e for e in self.events if e.kind == "queue_stall"}
+
+    # -- explicit single-fault constructors (the cookbook entries) -----
+    @classmethod
+    def poison_job(cls, submission: int) -> "ServeFaultPlan":
+        """Poison one submission (every attempt of it fails)."""
+        return cls([ServeFaultEvent("poison", submission)])
+
+    @classmethod
+    def kill_worker(cls, worker: int, after_jobs: int = 0) -> "ServeFaultPlan":
+        """Kill one scheduler worker as it starts its ``after_jobs``-th job."""
+        return cls([ServeFaultEvent("worker_loss", after_jobs, worker=worker)])
+
+    @classmethod
+    def stall_queue(cls, dequeue: int, seconds: float = 0.005) -> "ServeFaultPlan":
+        """Stall the ``dequeue``-th pop for ``seconds``."""
+        return cls([ServeFaultEvent("queue_stall", dequeue, seconds=seconds)])
+
+    @classmethod
+    def sample(
+        cls,
+        seed: int,
+        *,
+        submissions: int,
+        workers: int = 4,
+        jobs_per_worker: int | None = None,
+        poison_prob: float = 0.0,
+        worker_loss_prob: float = 0.0,
+        stall_prob: float = 0.0,
+        stall_seconds: float = 0.002,
+        max_worker_losses: int | None = None,
+        params: LcgParams = KNUTH_LCG,
+    ) -> "ServeFaultPlan":
+        """Draw a reproducible plan: one LCG decision per slot.
+
+        Submission slots draw ``poison`` with ``poison_prob``; each
+        worker's first ``jobs_per_worker`` (default: enough for the
+        whole load, ``submissions``) job-start slots draw
+        ``worker_loss`` with ``worker_loss_prob`` (at most one loss per
+        worker — it respawns, but a worker that dies at every job would
+        starve the pool, so losses are capped at ``max_worker_losses``,
+        default ``workers - 1``, keeping at least one worker undisturbed);
+        dequeue slots draw ``queue_stall`` with ``stall_prob``. Each
+        family owns a disjoint fast-forwarded block of one LCG sequence,
+        so the plan is bit-identical per seed regardless of evaluation
+        order.
+        """
+        require_positive_int("submissions", submissions)
+        require_positive_int("workers", workers)
+        horizon = submissions if jobs_per_worker is None else jobs_per_worker
+        require_positive_int("per-worker horizon", horizon)
+        for name, p in (
+            ("poison_prob", poison_prob),
+            ("worker_loss_prob", worker_loss_prob),
+            ("stall_prob", stall_prob),
+        ):
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {p}")
+        loss_budget = workers - 1 if max_worker_losses is None else max_worker_losses
+        require_nonnegative_int("max_worker_losses", loss_budget)
+        base = LinearCongruential(params, seed)
+        events: list[ServeFaultEvent] = []
+        stream = base.jumped(0)
+        for unit in range(submissions):
+            if stream.next_uniform() < poison_prob:
+                events.append(ServeFaultEvent("poison", unit))
+        losses = 0
+        for worker in range(workers):
+            stream = base.jumped(_STREAM_SPACING * (1 + worker))
+            for unit in range(horizon):
+                u = stream.next_uniform()
+                if losses < loss_budget and u < worker_loss_prob:
+                    events.append(ServeFaultEvent("worker_loss", unit, worker=worker))
+                    losses += 1
+                    break  # a worker dies at most once; it respawns fresh
+        stream = base.jumped(_STREAM_SPACING * (1 + workers))
+        for unit in range(submissions):
+            if stream.next_uniform() < stall_prob:
+                events.append(
+                    ServeFaultEvent("queue_stall", unit, seconds=stall_seconds)
+                )
+        return cls(events, seed=seed)
+
+    # -- runtime lookups ----------------------------------------------
+    def poisons(self, submission: int) -> bool:
+        """Whether ``submission`` is scheduled to be poisoned."""
+        return submission in self._poison
+
+    def kills_worker(self, worker: int, jobs_started: int) -> bool:
+        """Whether ``worker`` dies as it starts job number ``jobs_started``."""
+        return (worker, jobs_started) in self._worker_loss
+
+    def stall_event(self, dequeue: int) -> ServeFaultEvent | None:
+        """The stall scheduled at the ``dequeue``-th pop, if any."""
+        return self._stalls.get(dequeue)
+
+    def trace(self) -> tuple[tuple[str, int, int], ...]:
+        """Normalized (kind, worker, unit) tuples — the reproducibility witness."""
+        return tuple((e.kind, e.worker, e.unit) for e in self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __repr__(self) -> str:
+        seed = f", seed={self.seed}" if self.seed is not None else ""
+        return f"ServeFaultPlan({len(self.events)} events{seed})"
+
+
+@dataclass
+class ServeFaultReport:
+    """What the serve fault layer observed during one service lifetime.
+
+    Mutators are thread-safe (scheduler workers fire faults
+    concurrently); read after :meth:`~repro.serve.scheduler.JobService.drain`.
+    """
+
+    plan: ServeFaultPlan | None = None
+    injected: list[ServeInjectionRecord] = field(default_factory=list)
+    worker_respawns: dict[int, int] = field(default_factory=dict)
+    requeued_jobs: int = 0
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False, compare=False)
+
+    def record_injection(self, record: ServeInjectionRecord) -> None:
+        """Log one fired serve fault."""
+        with self._lock:
+            self.injected.append(record)
+
+    def record_worker_respawn(self, worker: int) -> None:
+        """Log the pool bringing a lost worker back."""
+        with self._lock:
+            self.worker_respawns[worker] = self.worker_respawns.get(worker, 0) + 1
+
+    def record_requeue(self) -> None:
+        """Log one job put back after its worker died mid-pickup."""
+        with self._lock:
+            self.requeued_jobs += 1
+
+    def trace(self) -> tuple[tuple[str, int, int], ...]:
+        """Normalized fired-fault tuples — equal across runs of one seed."""
+        with self._lock:
+            return tuple(
+                (rec.kind, rec.worker, rec.unit)
+                for rec in sorted(self.injected, key=lambda r: (r.kind, r.worker, r.unit))
+            )
+
+    def summary(self) -> str:
+        """One human-readable paragraph."""
+        with self._lock:
+            lines = [f"ServeFaultReport: {len(self.injected)} fault(s) fired"]
+            for rec in sorted(self.injected, key=lambda r: (r.kind, r.worker, r.unit)):
+                extra = f" ({rec.seconds:.3f}s)" if rec.seconds else ""
+                where = f" worker {rec.worker}" if rec.kind == "worker_loss" else ""
+                lines.append(f"  - {rec.kind}{where} @ {rec.unit}{extra}")
+            for worker, n in sorted(self.worker_respawns.items()):
+                lines.append(f"  worker {worker} respawned {n} time(s)")
+            if self.requeued_jobs:
+                lines.append(f"  {self.requeued_jobs} job(s) requeued after worker loss")
+        return "\n".join(lines)

@@ -39,7 +39,7 @@ reproducible run to run.
 
 from repro.spark.accumulators import Accumulator
 from repro.spark.broadcast import Broadcast
-from repro.spark.context import JobMetrics, SparkContext
+from repro.spark.context import JobMetrics, SparkContext, SparkJobCancelled
 from repro.spark.dag import execution_stages, lineage, recomputation_frontier
 from repro.spark.dataframe import DataFrame, GroupedData
 from repro.spark.faults import (
@@ -65,6 +65,7 @@ from repro.spark.stats import StatCounter, histogram, stats, take_sample
 __all__ = [
     "SparkContext",
     "JobMetrics",
+    "SparkJobCancelled",
     "RDD",
     "Broadcast",
     "Accumulator",

@@ -70,10 +70,31 @@ from repro.spark.faults import (
 from repro.spark.rdd import RDD, ParallelCollectionRDD, ShuffledRDD
 from repro.spark.shuffle import ShuffleBlockStore, SpillFileInfo, damage_spill_file
 from repro.trace.tracer import get_tracer
+from repro.util.backoff import BackoffPolicy
 from repro.util.partition import block_partition
 from repro.util.validation import require_nonnegative_int, require_positive_int
 
-__all__ = ["SparkContext", "JobMetrics"]
+__all__ = ["SparkContext", "JobMetrics", "SparkJobCancelled"]
+
+
+class SparkJobCancelled(RuntimeError):
+    """A job observed its context's cancel token and stopped cooperatively.
+
+    Raised at a task boundary, *before* the job's accumulator sinks are
+    committed — so a cancelled job leaves no partial accumulator state
+    behind (the rollback is that the commit never happens), and the
+    context's idempotent :meth:`SparkContext.stop` removes any spill
+    directory the aborted job materialized.
+    """
+
+    def __init__(self, context: str, job: int | None = None, partition: int | None = None) -> None:
+        where = ""
+        if job is not None:
+            where = f" (job {job})" if partition is None else f" (job {job}, partition {partition})"
+        super().__init__(f"{context} was cancelled{where}")
+        self.context = context
+        self.job = job
+        self.partition = partition
 
 _CONTEXT_IDS = itertools.count(1)
 
@@ -116,6 +137,16 @@ class SparkContext:
     them. ``fault_report`` then carries the structured evidence of what
     fired and what was recovered.
 
+    ``cancel_token`` (anything with ``is_set()``, e.g. a
+    ``threading.Event``; one is created when omitted so :meth:`cancel`
+    always works) makes every job cooperatively cancellable: the
+    scheduler checks the token at each task boundary and raises
+    :class:`SparkJobCancelled` once it is set — before any accumulator
+    sink commits, so a cancelled job rolls back to the pre-job
+    accumulator state, and :meth:`stop` reclaims any spill directory it
+    left behind. This is the hook ``repro.serve`` uses for per-job
+    deadlines and wall timeouts.
+
     ``memory_budget`` (bytes, ``None`` = unbounded) turns the shuffle
     tier out-of-core: each shuffle's block store spills sorted,
     CRC-checksummed runs to a context-private temp directory whenever
@@ -143,6 +174,7 @@ class SparkContext:
         spill_compress: bool = False,
         verify_reads: bool = False,
         spill_dir: str | Path | None = None,
+        cancel_token: Any | None = None,
     ) -> None:
         self.num_workers = require_positive_int("num_workers", num_workers)
         self.default_partitions = default_partitions or num_workers
@@ -168,6 +200,7 @@ class SparkContext:
         if retry_backoff < 0:
             raise ValueError(f"retry_backoff must be >= 0, got {retry_backoff}")
         self.retry_backoff = retry_backoff
+        self._retry_policy = BackoffPolicy(retry_backoff)
         self.fault_report: SparkFaultReport | None = (
             SparkFaultReport(plan=fault_plan) if fault_plan is not None else None
         )
@@ -189,6 +222,8 @@ class SparkContext:
         self._spill_root: Path | None = None
         self._spill_lock = threading.Lock()
         self._spill_fired: dict[tuple[int, int], int] = {}
+        # --- cooperative cancellation (the serve tier's hook) ---
+        self._cancel_token = cancel_token if cancel_token is not None else threading.Event()
 
     # ------------------------------------------------------------------
     # ingest
@@ -273,6 +308,7 @@ class SparkContext:
         """Run a job and also return its id (jobs are numbered in
         submission order — the coordinate task-level fault events use)."""
         self._check_alive()
+        self._check_cancelled()
         with self._job_lock:
             job_id = self._job_counter
             self._job_counter += 1
@@ -315,6 +351,7 @@ class SparkContext:
     ) -> tuple[Any, Any]:
         """One logical task on the serial/thread path: returns
         ``(result, accumulator_sink)``; the job loop commits sinks."""
+        self._check_cancelled(job_id, i)
         if self._fault_plan is None:
             # The fault-free hot path: one is-None test plus the sink.
             with task_updates() as sink:
@@ -408,7 +445,7 @@ class SparkContext:
                             job=job_id, partition=partition, attempt=attempt + 1,
                         )
                         if self.retry_backoff:
-                            time.sleep(self.retry_backoff * (2 ** (failures - 1)))
+                            self._retry_policy.sleep(failures - 1)
                         attempt += 1
                         continue
             return
@@ -462,6 +499,7 @@ class SparkContext:
         metrics and the fault report, and its lost tasks are re-executed
         on the driver — the process-backend analogue of retry.
         """
+        self._check_cancelled(job_id)
         self._prepare_lineage_for_processes(tracer, rdd)
         if self._fault_plan is not None:
             for i in range(rdd.num_partitions):
@@ -713,6 +751,38 @@ class SparkContext:
         get_tracer().instant(
             "merge", category="spark.spill", runs=runs,
         )
+
+    # ------------------------------------------------------------------
+    # cooperative cancellation
+    # ------------------------------------------------------------------
+    def cancel(self) -> None:
+        """Request cooperative cancellation of all current and future jobs.
+
+        Only effective when the context's token supports ``set()`` (the
+        default internal token and any ``threading.Event`` do). Running
+        tasks finish their current body; the next task boundary raises
+        :class:`SparkJobCancelled` before any accumulator commit.
+        """
+        setter = getattr(self._cancel_token, "set", None)
+        if setter is None:
+            raise TypeError(
+                f"cancel_token {self._cancel_token!r} has no set(); cancel it "
+                "at its source instead"
+            )
+        setter()
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether the cancel token has been set."""
+        return bool(self._cancel_token.is_set())
+
+    def _check_cancelled(self, job: int | None = None, partition: int | None = None) -> None:
+        if self._cancel_token.is_set():
+            get_tracer().instant(
+                "job_cancelled", category="spark.cancel", scope="spark.driver",
+                job=-1 if job is None else job,
+            )
+            raise SparkJobCancelled(self.name, job, partition)
 
     # ------------------------------------------------------------------
     # lifecycle / bookkeeping

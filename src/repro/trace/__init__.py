@@ -43,6 +43,7 @@ from repro.trace.history import (
     Finding,
     analyze_trends,
     append_history,
+    history_segments,
     load_bench_dir,
     load_bench_file,
     load_history,
@@ -93,6 +94,7 @@ __all__ = [
     "load_bench_file",
     "load_bench_dir",
     "append_history",
+    "history_segments",
     "load_history",
     "result_digest",
     "analyze_trends",

@@ -52,6 +52,7 @@ __all__ = [
     "load_bench_file",
     "load_bench_dir",
     "append_history",
+    "history_segments",
     "load_history",
     "result_digest",
     "Finding",
@@ -358,38 +359,82 @@ def load_bench_dir(out_dir: str | Path) -> list[BenchRecord]:
 # history store
 # ----------------------------------------------------------------------
 
-def append_history(path: str | Path, records: Iterable[BenchRecord]) -> int:
-    """Append records to the JSONL history file; returns the count written."""
+def history_segments(path: str | Path) -> list[Path]:
+    """Rotated segments for ``path``, oldest first (live file excluded).
+
+    A segment is ``<stem>.<n><suffix>`` next to the live file —
+    ``history.3.jsonl`` rotated after ``history.2.jsonl`` — so ordering
+    by ``n`` is chronological.
+    """
+    path = Path(path)
+    segments: list[tuple[int, Path]] = []
+    for candidate in path.parent.glob(f"{path.stem}.*{path.suffix}"):
+        tag = candidate.name[len(path.stem) + 1 : len(candidate.name) - len(path.suffix)]
+        if tag.isdigit():
+            segments.append((int(tag), candidate))
+    return [p for _n, p in sorted(segments)]
+
+
+def append_history(
+    path: str | Path, records: Iterable[BenchRecord], *, max_bytes: int | None = None,
+    max_segments: int | None = None,
+) -> int:
+    """Append records to the JSONL history file; returns the count written.
+
+    With ``max_bytes``, the live file is size-bounded: when this append
+    would push it past the bound, the current contents first rotate to
+    the next ``<stem>.<n><suffix>`` segment (see
+    :func:`history_segments`) and the live file restarts empty —
+    append-only history without an ever-growing single file.
+    ``max_segments`` additionally prunes the oldest rotated segments
+    beyond that count (None keeps everything).
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     lines = [json.dumps(r.to_json(), sort_keys=True) for r in records]
-    if lines:
-        with path.open("a") as fh:
-            fh.write("\n".join(lines) + "\n")
+    if not lines:
+        return 0
+    payload = "\n".join(lines) + "\n"
+    if max_bytes is not None:
+        if max_bytes <= 0:
+            raise ValueError(f"max_bytes must be positive, got {max_bytes}")
+        live = path.stat().st_size if path.exists() else 0
+        if live > 0 and live + len(payload) > max_bytes:
+            segments = history_segments(path)
+            next_n = 1 if not segments else int(segments[-1].stem.rsplit(".", 1)[1]) + 1
+            path.rename(path.with_name(f"{path.stem}.{next_n}{path.suffix}"))
+            if max_segments is not None:
+                for stale in history_segments(path)[: -max_segments or None]:
+                    stale.unlink()
+    with path.open("a") as fh:
+        fh.write(payload)
     return len(lines)
 
 
 def load_history(path: str | Path) -> tuple[list[BenchRecord], int]:
-    """Load ``history.jsonl`` tolerantly: ``(records, skipped_lines)``.
+    """Load the history tolerantly: ``(records, skipped_lines)``.
 
-    Lines that are not JSON, not objects, or not salvageable even by
-    the legacy migration shim are counted and skipped, never fatal —
-    a corrupt line must not take down the whole trajectory.
+    Spans every rotated segment (oldest first) before the live file, so
+    rotation is invisible to readers. Lines that are not JSON, not
+    objects, or not salvageable even by the legacy migration shim are
+    counted and skipped, never fatal — a corrupt line must not take
+    down the whole trajectory.
     """
     path = Path(path)
-    if not path.exists():
-        return [], 0
     records: list[BenchRecord] = []
     skipped = 0
-    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
-        if not line.strip():
+    for part in [*history_segments(path), path]:
+        if not part.exists():
             continue
-        try:
-            payload = json.loads(line)
-            migrated = migrate_bench_payload(payload, source=f"{path.name}:{lineno}")
-            records.append(BenchRecord.from_json(migrated, source=f"{path.name}:{lineno}"))
-        except (ValueError, TypeError):
-            skipped += 1
+        for lineno, line in enumerate(part.read_text().splitlines(), start=1):
+            if not line.strip():
+                continue
+            try:
+                payload = json.loads(line)
+                migrated = migrate_bench_payload(payload, source=f"{part.name}:{lineno}")
+                records.append(BenchRecord.from_json(migrated, source=f"{part.name}:{lineno}"))
+            except (ValueError, TypeError):
+                skipped += 1
     return records, skipped
 
 

@@ -9,11 +9,15 @@ The helpers here are deliberately small and dependency-free:
   used by the benchmark harness.
 - :mod:`repro.util.validation` — argument-checking helpers shared by the
   public APIs.
+- :mod:`repro.util.backoff` — the shared deterministic retry-delay
+  schedule (exponential envelope + seeded jitter) used by ``run_spmd``
+  respawn, the Spark task-retry path, and the serve tier.
 - :mod:`repro.util.tabular` — minimal CSV handling for point/label data
   (the kNN assignment's "early programming course" variant parses its
   database and queries from CSV, paper §2).
 """
 
+from repro.util.backoff import BackoffPolicy
 from repro.util.profiling import ProfileReport, profile_call
 from repro.util.partition import (
     block_bounds,
@@ -32,6 +36,7 @@ from repro.util.validation import (
 )
 
 __all__ = [
+    "BackoffPolicy",
     "block_bounds",
     "block_partition",
     "block_size",

@@ -1,0 +1,98 @@
+"""Deterministic retry backoff: exponential growth plus seeded jitter.
+
+Every recovery path in the reproduction waits between attempts — the
+SPMD runtime before respawning a dead rank, the Spark scheduler before
+re-running a failed task, the serve tier before re-admitting a bounced
+submission. They all used to hand-roll ``base * 2**attempt``; this
+module is the one shared schedule, with the same reproducibility
+contract as the fault plans it pairs with: a
+:class:`BackoffPolicy` is a *pure function* of ``(attempt, seed)``, so
+a retry schedule is bit-identical on every run — jitter included,
+drawn from the same :mod:`repro.rng.lcg` machinery as
+:class:`~repro.mpi.faults.FaultPlan` rather than a global RNG.
+
+Real systems jitter their backoff to de-correlate competing retriers
+(the "thundering herd" fix); a *seeded* jitter keeps that behaviour
+while preserving the property the whole repo is built around: the run
+is replayable. With ``jitter=0.0`` (the default) the schedule is the
+classic deterministic exponential ``base * factor**attempt``, capped
+at ``cap`` — exactly what ``run_spmd`` respawn and the Spark task
+retry path always did, so the refactor onto this helper changes no
+observable timing.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.rng.lcg import KNUTH_LCG, LinearCongruential
+from repro.util.validation import require_nonnegative_int
+
+__all__ = ["BackoffPolicy"]
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """An immutable, seeded retry-delay schedule.
+
+    ``delay(attempt)`` for attempt 0, 1, 2, ... is::
+
+        raw = min(base * factor**attempt, cap)        # cap=None: uncapped
+        delay = raw - raw * jitter * u(seed, attempt) # u uniform in [0, 1)
+
+    so jitter shaves up to ``jitter`` (a fraction in [0, 1]) off the
+    exponential envelope — delays stay bounded by ``cap`` and positive,
+    and competing retriers with different seeds spread out instead of
+    colliding on the same instants. ``u`` comes from one LCG draw at a
+    per-attempt fast-forwarded position, so any attempt's delay can be
+    computed independently (no generator state to thread through).
+    """
+
+    base: float
+    factor: float = 2.0
+    cap: float | None = None
+    jitter: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.base < 0:
+            raise ValueError(f"base must be >= 0, got {self.base}")
+        if self.factor < 1.0:
+            raise ValueError(f"factor must be >= 1, got {self.factor}")
+        if self.cap is not None and self.cap < 0:
+            raise ValueError(f"cap must be >= 0, got {self.cap}")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    def delay(self, attempt: int) -> float:
+        """Seconds to wait before retry number ``attempt`` (0-based)."""
+        require_nonnegative_int("attempt", attempt)
+        raw = self.base * self.factor**attempt
+        if self.cap is not None:
+            raw = min(raw, self.cap)
+        if self.jitter and raw:
+            u = LinearCongruential(KNUTH_LCG, self.seed).jumped(attempt).next_uniform()
+            raw -= raw * self.jitter * u
+        return raw
+
+    def delays(self, attempts: int) -> tuple[float, ...]:
+        """The first ``attempts`` delays — the schedule's witness tuple."""
+        require_nonnegative_int("attempts", attempts)
+        return tuple(self.delay(a) for a in range(attempts))
+
+    def sleep(self, attempt: int, *, sleep: Callable[[float], None] = time.sleep) -> float:
+        """Sleep out attempt ``attempt``'s delay; returns the seconds slept.
+
+        ``sleep`` is injectable so schedulers under test (and the serve
+        tier's deterministic soak harness) can record instead of wait.
+        """
+        seconds = self.delay(attempt)
+        if seconds > 0:
+            sleep(seconds)
+        return seconds
+
+    def reseeded(self, seed: int) -> "BackoffPolicy":
+        """The same envelope with a different jitter stream (per retrier)."""
+        return BackoffPolicy(self.base, self.factor, self.cap, self.jitter, seed)

@@ -1,0 +1,142 @@
+"""FairShareQueue: bounds, backpressure hints, fairness, shedding."""
+
+import threading
+
+import pytest
+
+from repro.serve.admission import FairShareQueue, QueueFullError
+
+
+class TestBounds:
+    def test_global_capacity_rejects_with_retry_after(self):
+        q = FairShareQueue(2, service_time_hint=0.01)
+        q.push("a", 1)
+        q.push("a", 2)
+        with pytest.raises(QueueFullError) as err:
+            q.push("b", 3)
+        assert err.value.capacity == 2
+        assert err.value.depth == 2
+        assert err.value.retry_after == pytest.approx(0.02)
+        assert err.value.tenant == "b"
+        assert "retry in" in str(err.value)
+
+    def test_per_tenant_capacity(self):
+        q = FairShareQueue(10, per_tenant_capacity=1)
+        q.push("a", 1)
+        with pytest.raises(QueueFullError):
+            q.push("a", 2)
+        q.push("b", 2)  # other tenants unaffected
+
+    def test_retry_after_deterministic(self):
+        hints = []
+        for _ in range(2):
+            q = FairShareQueue(1, service_time_hint=0.003)
+            q.push("a", 1)
+            with pytest.raises(QueueFullError) as err:
+                q.push("a", 2)
+            hints.append(err.value.retry_after)
+        assert hints[0] == hints[1]
+
+    def test_requeue_bypasses_capacity(self):
+        q = FairShareQueue(1)
+        q.push("a", "job")
+        # Recovery path: re-admission must never bounce.
+        assert q.requeue("a", "recovered") == 2
+        assert q.depth() == 2
+
+    def test_requeue_accepted_after_close(self):
+        q = FairShareQueue(1)
+        q.close()
+        with pytest.raises(RuntimeError):
+            q.push("a", 1)
+        q.requeue("a", "recovered")
+        assert q.pop(timeout=0) == ("a", "recovered")
+
+
+class TestFairness:
+    def test_round_robin_across_backlogged_tenants(self):
+        q = FairShareQueue(16)
+        for i in range(4):
+            q.push("a", f"a{i}")
+        for i in range(4):
+            q.push("b", f"b{i}")
+        order = [q.pop(timeout=0)[0] for _ in range(8)]
+        assert order == ["a", "b"] * 4
+
+    def test_flooding_tenant_cannot_starve_others(self):
+        q = FairShareQueue(32)
+        for i in range(10):
+            q.push("flood", i)
+        q.push("quiet", "x")
+        # The quiet tenant is served within one round-robin cycle.
+        tenants = [q.pop(timeout=0)[0] for _ in range(2)]
+        assert "quiet" in tenants
+
+    def test_priority_within_tenant_fifo_among_equals(self):
+        q = FairShareQueue(8)
+        q.push("a", "low1", priority=0)
+        q.push("a", "high", priority=5)
+        q.push("a", "low2", priority=0)
+        items = [q.pop(timeout=0)[1] for _ in range(3)]
+        assert items == ["high", "low1", "low2"]
+
+    def test_pop_blocks_until_push(self):
+        q = FairShareQueue(4)
+        got = []
+        t = threading.Thread(target=lambda: got.append(q.pop(timeout=5)))
+        t.start()
+        q.push("a", "late")
+        t.join(timeout=5)
+        assert got == [("a", "late")]
+
+
+class TestShedding:
+    def test_shed_lowest_priority_newest_first(self):
+        q = FairShareQueue(8)
+        q.push("a", "old-low", priority=0)
+        q.push("b", "high", priority=9)
+        q.push("c", "new-low", priority=0)
+        shed = q.shed_lowest(1)
+        assert shed == [("c", 0, "new-low")]
+        assert len(q) == 2
+
+    def test_shed_more_than_queued(self):
+        q = FairShareQueue(8)
+        q.push("a", 1)
+        assert len(q.shed_lowest(5)) == 1
+        assert len(q) == 0
+
+    def test_shed_returns_accounting_triples(self):
+        q = FairShareQueue(8)
+        q.push("a", "x", priority=2)
+        [(tenant, priority, item)] = q.shed_lowest(1)
+        assert (tenant, priority, item) == ("a", 2, "x")
+
+
+class TestLifecycle:
+    def test_close_drains_then_none(self):
+        q = FairShareQueue(4)
+        q.push("a", 1)
+        q.close()
+        assert q.closed
+        assert q.pop(timeout=0) == ("a", 1)
+        assert q.pop(timeout=0) is None
+
+    def test_iter_drains_without_blocking(self):
+        q = FairShareQueue(4)
+        q.push("a", 1)
+        q.push("b", 2)
+        assert sorted(dict(q).items()) == [("a", 1), ("b", 2)]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FairShareQueue(0)
+        with pytest.raises(ValueError):
+            FairShareQueue(4, per_tenant_capacity=0)
+        with pytest.raises(ValueError):
+            FairShareQueue(4, service_time_hint=-1.0)
+
+    def test_repr(self):
+        q = FairShareQueue(4)
+        q.push("a", 1)
+        assert "1/4 queued" in repr(q)

@@ -1,0 +1,107 @@
+"""CircuitBreaker state machine under an injected clock (no sleeps)."""
+
+import pytest
+
+from repro.serve.circuit import CircuitBreaker, CircuitOpenError
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def breaker(clock):
+    return CircuitBreaker("t", failure_threshold=3, recovery_time=1.0, clock=clock)
+
+
+class TestTrip:
+    def test_stays_closed_below_threshold(self, breaker):
+        assert breaker.record_failure() is False
+        assert breaker.record_failure() is False
+        assert breaker.state == "closed"
+        breaker.allow()  # still admitting
+
+    def test_trips_at_threshold(self, breaker):
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.record_failure() is True
+        assert breaker.state == "open"
+        assert breaker.opens == 1
+
+    def test_open_rejects_with_retry_after(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(0.25)
+        with pytest.raises(CircuitOpenError) as err:
+            breaker.allow()
+        assert err.value.tenant == "t"
+        assert err.value.failures == 3
+        assert err.value.retry_after == pytest.approx(0.75)
+
+    def test_success_resets_consecutive_count(self, breaker):
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.record_failure() is True  # needed a fresh streak of 3
+
+
+class TestRecovery:
+    def _trip(self, breaker):
+        for _ in range(3):
+            breaker.record_failure()
+
+    def test_half_open_after_cooldown_admits_one_probe(self, breaker, clock):
+        self._trip(breaker)
+        clock.advance(1.0)
+        assert breaker.state == "half_open"
+        breaker.allow()  # the probe
+        with pytest.raises(CircuitOpenError):
+            breaker.allow()  # everyone behind the probe still waits
+
+    def test_probe_success_closes(self, breaker, clock):
+        self._trip(breaker)
+        clock.advance(1.0)
+        breaker.allow()
+        breaker.record_success()
+        assert breaker.state == "closed"
+        breaker.allow()
+        breaker.allow()  # fully open for business again
+
+    def test_probe_failure_reopens_full_cooldown(self, breaker, clock):
+        self._trip(breaker)
+        clock.advance(1.0)
+        breaker.allow()
+        assert breaker.record_failure() is True  # re-trips immediately
+        assert breaker.state == "open"
+        assert breaker.opens == 2
+        clock.advance(0.5)
+        with pytest.raises(CircuitOpenError):
+            breaker.allow()
+        clock.advance(0.5)
+        assert breaker.state == "half_open"
+
+
+class TestValidation:
+    def test_bad_params(self, clock):
+        with pytest.raises(ValueError):
+            CircuitBreaker("t", failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker("t", recovery_time=-1.0)
+
+    def test_repr(self, breaker):
+        assert "tenant='t'" in repr(breaker)
+        assert "state='closed'" in repr(breaker)

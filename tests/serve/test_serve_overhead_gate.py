@@ -1,0 +1,64 @@
+"""Fast tier-1 overhead gate for the idle serve machinery.
+
+The authoritative <5% budget for the single-job path lives in
+``benchmarks/test_serve_throughput.py`` (min-of-interleaved-runs on a
+benchmark-sized workload). This gate is its tier-1 tripwire: a tiny
+workload, few repeats, and a deliberately loose threshold, so it only
+fires on a *gross* regression (a hot lock on the submit path, the
+watchdog polling the records table unprompted, per-job allocations
+ballooning) rather than on scheduler noise — while staying fast enough
+for every sweep.
+"""
+
+import threading
+from operator import add
+
+from repro.serve import JobService
+from repro.serve.scheduler import JobContext
+from repro.util.timing import time_call
+
+REPEATS = 3
+# Gross-regression tripwire only; the tight 1.05x budget is benchmarks'.
+THRESHOLD = 2.0
+
+LINES = [f"alpha beta gamma delta epsilon zeta line{i % 97}" for i in range(2_000)]
+
+
+def _body(ctx):
+    with ctx.spark_context(2) as sc:
+        return dict(
+            sc.parallelize(LINES, 8)
+            .flat_map(str.split)
+            .map(lambda w: (w, 1))
+            .reduce_by_key(add)
+            .collect()
+        )
+
+
+def _run_direct():
+    ctx = JobContext("solo", "direct", -1, threading.Event())
+    try:
+        return _body(ctx)
+    finally:
+        ctx._cleanup()
+
+
+def test_idle_serve_machinery_overhead_tripwire():
+    direct_sec = served_sec = float("inf")
+    direct = served = None
+    with JobService(1, capacity=4) as service:
+        for _ in range(REPEATS):
+            sec, direct = time_call(_run_direct, repeats=1)
+            direct_sec = min(direct_sec, sec)
+            sec, served = time_call(
+                lambda: service.submit("t", _body).result(60.0), repeats=1
+            )
+            served_sec = min(served_sec, sec)
+
+    assert served == direct  # idle machinery: bit-identical results
+    ratio = served_sec / direct_sec
+    assert ratio < THRESHOLD, (
+        f"idle serve machinery tripwire: served/direct ratio {ratio:.2f}x exceeds "
+        f"{THRESHOLD}x — the single-job path has probably grown locking or "
+        "polling it shouldn't have"
+    )

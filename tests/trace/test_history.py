@@ -12,6 +12,7 @@ from repro.trace.history import (
     Finding,
     analyze_trends,
     append_history,
+    history_segments,
     load_bench_dir,
     load_bench_file,
     load_history,
@@ -224,6 +225,75 @@ class TestHistoryStore:
         records, skipped = load_history(path)
         assert [r.workload for r in records] == ["good", "legacy"]
         assert skipped == 3
+
+
+class TestHistoryRotation:
+    def _fill(self, path, names, *, max_bytes, max_segments=None):
+        for name in names:
+            append_history(path, [_rec(name)], max_bytes=max_bytes,
+                           max_segments=max_segments)
+
+    def test_rotates_when_live_file_would_exceed_bound(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        one_line = len(json.dumps(_rec("r0").to_json(), sort_keys=True)) + 1
+        # Room for ~2 lines per segment.
+        self._fill(path, [f"r{i}" for i in range(5)], max_bytes=2 * one_line + 8)
+        segments = history_segments(path)
+        assert segments, "expected at least one rotated segment"
+        assert all(s.name.startswith("history.") for s in segments)
+        assert path.stat().st_size <= 2 * one_line + 8
+
+    def test_reader_spans_segments_oldest_first(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        names = [f"r{i}" for i in range(7)]
+        one_line = len(json.dumps(_rec("r0").to_json(), sort_keys=True)) + 1
+        self._fill(path, names, max_bytes=2 * one_line + 8)
+        records, skipped = load_history(path)
+        # Rotation is invisible: same order, nothing lost.
+        assert [r.workload for r in records] == names
+        assert skipped == 0
+
+    def test_segment_numbers_keep_increasing(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        one_line = len(json.dumps(_rec("r0").to_json(), sort_keys=True)) + 1
+        self._fill(path, [f"r{i}" for i in range(8)], max_bytes=one_line + 4)
+        numbers = [int(s.stem.rsplit(".", 1)[1]) for s in history_segments(path)]
+        assert numbers == sorted(numbers)
+        assert len(numbers) == len(set(numbers))
+
+    def test_max_segments_prunes_oldest(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        one_line = len(json.dumps(_rec("r0").to_json(), sort_keys=True)) + 1
+        self._fill(path, [f"r{i}" for i in range(8)],
+                   max_bytes=one_line + 4, max_segments=2)
+        assert len(history_segments(path)) <= 2
+        records, _ = load_history(path)
+        # The newest records always survive pruning.
+        assert records[-1].workload == "r7"
+
+    def test_oversized_single_batch_still_written(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        batch = [_rec(f"big{i}") for i in range(10)]
+        assert append_history(path, batch, max_bytes=64) == 10
+        records, _ = load_history(path)
+        assert len(records) == 10
+
+    def test_no_max_bytes_never_rotates(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        for i in range(20):
+            append_history(path, [_rec(f"r{i}")])
+        assert history_segments(path) == []
+
+    def test_bad_max_bytes_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            append_history(tmp_path / "history.jsonl", [_rec()], max_bytes=0)
+
+    def test_segments_ignore_unrelated_files(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        (tmp_path / "history.notanumber.jsonl").write_text("")
+        (tmp_path / "other.1.jsonl").write_text("")
+        append_history(path, [_rec()])
+        assert history_segments(path) == []
 
 
 class TestResultDigest:

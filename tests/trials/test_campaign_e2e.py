@@ -78,6 +78,7 @@ class TestMatrix:
         specs = build_matrix()
         assert {s.workload for s in specs} == {
             "kmeans", "kmeans_openmp", "wordcount", "heat_coforall", "knn_mapreduce",
+            "serve_soak",
         }
         # dimensions sweep where they apply
         kmeans = [s for s in specs if s.workload == "kmeans"]

@@ -1,0 +1,102 @@
+"""Property tests for the shared deterministic retry/backoff helper.
+
+The contract both the serve scheduler and the engine retry loops lean
+on: a :class:`~repro.util.backoff.BackoffPolicy` schedule is a pure
+function of ``(attempt, seed)`` — bit-identical across calls, runs, and
+call orders — and always bounded by ``cap``. The jitter-free default
+reproduces the historical ``base * factor**attempt`` schedules exactly,
+which is what made refactoring ``run_spmd`` respawn and the Spark task
+retry onto it a behavior-preserving change (asserted below against the
+:class:`~repro.mpi.faults.FaultReport` evidence).
+"""
+
+import pytest
+
+from repro.mpi import FaultPlan, run_spmd
+from repro.util.backoff import BackoffPolicy
+
+
+class TestSchedule:
+    def test_jitter_free_is_exact_geometric(self):
+        policy = BackoffPolicy(0.01)
+        assert policy.delays(5) == (0.01, 0.02, 0.04, 0.08, 0.16)
+
+    def test_factor_and_cap(self):
+        policy = BackoffPolicy(1.0, factor=3.0, cap=10.0)
+        assert policy.delays(4) == (1.0, 3.0, 9.0, 10.0)
+
+    def test_bit_identical_per_seed(self):
+        a = BackoffPolicy(0.5, jitter=0.9, seed=42)
+        b = BackoffPolicy(0.5, jitter=0.9, seed=42)
+        # Same seed: identical schedule, however and whenever evaluated.
+        assert a.delays(32) == b.delays(32)
+        # Random-access equals sequential (pure in attempt, no state).
+        assert tuple(a.delay(i) for i in reversed(range(32))) == tuple(
+            reversed(a.delays(32))
+        )
+
+    def test_different_seeds_decorrelate(self):
+        a = BackoffPolicy(0.5, jitter=0.9, seed=1).delays(16)
+        b = BackoffPolicy(0.5, jitter=0.9, seed=2).delays(16)
+        assert a != b
+
+    def test_reseeded_matches_fresh_policy(self):
+        base = BackoffPolicy(0.25, jitter=0.5, seed=0)
+        assert base.reseeded(7).delays(8) == BackoffPolicy(0.25, jitter=0.5, seed=7).delays(8)
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_jitter_bounded(self, seed):
+        policy = BackoffPolicy(0.1, cap=1.0, jitter=1.0, seed=seed)
+        raw = BackoffPolicy(0.1, cap=1.0)
+        for attempt in range(24):
+            d = policy.delay(attempt)
+            # Full jitter subtracts at most the whole capped delay.
+            assert 0.0 <= d <= raw.delay(attempt)
+
+    def test_monotone_without_jitter(self):
+        delays = BackoffPolicy(0.001, cap=0.5).delays(24)
+        assert delays == tuple(sorted(delays))
+        assert max(delays) == 0.5
+
+    def test_sleep_uses_injected_sleeper_and_returns_delay(self):
+        calls = []
+        policy = BackoffPolicy(0.125)
+        got = policy.sleep(2, sleep=calls.append)
+        assert got == 0.5
+        assert calls == [0.5]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BackoffPolicy(-1.0)
+        with pytest.raises(ValueError):
+            BackoffPolicy(1.0, factor=0.5)
+        with pytest.raises(ValueError):
+            BackoffPolicy(1.0, cap=-1.0)
+        with pytest.raises(ValueError):
+            BackoffPolicy(1.0, jitter=1.5)
+
+
+class TestRunSpmdRespawnUnchanged:
+    """The respawn refactor onto BackoffPolicy preserved the evidence."""
+
+    def _respawn_run(self):
+        def program(comm):
+            return comm.allreduce(comm.rank)
+
+        return run_spmd(
+            3,
+            program,
+            faults=FaultPlan.crash(1, 0),
+            on_failure="respawn",
+            respawn_backoff=0.001,
+            timeout=5.0,
+            return_report=True,
+        )
+
+    def test_fault_report_identical_across_runs(self):
+        results_a, report_a = self._respawn_run()
+        results_b, report_b = self._respawn_run()
+        assert results_a == results_b == [3, 3, 3]
+        assert report_a.trace() == report_b.trace()
+        assert report_a.respawns == report_b.respawns == {1: 1}
+        assert report_a.failures == report_b.failures == {}

@@ -7,6 +7,9 @@
 #                                     # (slow DFS tests + the seed-matrix campaign)
 #   sh tools/ci_local.sh --trials     # additionally run the CI trials job (seeded
 #                                     # campaign -> history.jsonl + TRENDS.md)
+#   sh tools/ci_local.sh --serve      # additionally run the CI serve-soak job
+#                                     # (full tests/serve incl. the slow
+#                                     # acceptance soak + serve benchmarks)
 #
 # Requires only the baked-in toolchain (python + pytest + numpy). ruff
 # is picked up when installed (pip install -e '.[dev]') and skipped
@@ -41,8 +44,10 @@ if [ "${1:-}" = "--perf" ]; then
         tests/trace/test_overhead_gate.py \
         tests/spark/test_fault_overhead_gate.py \
         tests/spark/test_spill_overhead_gate.py \
+        tests/serve/test_serve_overhead_gate.py \
         benchmarks/test_executor_backends.py \
-        benchmarks/test_shuffle_spill.py
+        benchmarks/test_shuffle_spill.py \
+        benchmarks/test_serve_throughput.py
 fi
 
 if [ "${1:-}" = "--sanitizer" ]; then
@@ -58,6 +63,16 @@ fi
 if [ "${1:-}" = "--trials" ]; then
     echo "== trial campaign + trend report (non-blocking in CI) =="
     python tools/trials --ingest-bench --fail-on never
+fi
+
+if [ "${1:-}" = "--serve" ]; then
+    echo "== serve soak (multi-tenant, fault-injected) =="
+    python -m pytest -q -m 'slow or not slow' \
+        tests/serve \
+        tests/spark/test_cancellation.py \
+        tests/core/test_executor_interrupt.py
+    echo "== serve throughput + idle-overhead bench =="
+    python -m pytest -q benchmarks/test_serve_throughput.py
 fi
 
 echo "ci_local: all checks passed"

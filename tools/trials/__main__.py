@@ -34,6 +34,7 @@ from repro.trace.history import (  # noqa: E402
 )
 from trials.campaign import (  # noqa: E402
     DEFAULT_SUITES,
+    HISTORY_MAX_BYTES,
     build_matrix,
     default_git_sha,
     run_campaign,
@@ -86,7 +87,7 @@ def main(argv: list[str] | None = None) -> int:
                     source=r.source or "bench-ingest")
             for r in snapshots
         ]
-        n = append_history(history, stamped)
+        n = append_history(history, stamped, max_bytes=HISTORY_MAX_BYTES)
         print(f"ingested {n} BENCH_*.json snapshot(s) from {args.bench_dir}")
 
     if not args.analyze_only:

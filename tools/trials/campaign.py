@@ -42,7 +42,7 @@ __all__ = [
 ]
 
 #: Suites the default matrix covers, and the dimension each one sweeps.
-DEFAULT_SUITES = ("kmeans", "kmeans_openmp", "wordcount", "heat", "knn_mapreduce")
+DEFAULT_SUITES = ("kmeans", "kmeans_openmp", "wordcount", "heat", "knn_mapreduce", "serve")
 
 
 @dataclass(frozen=True)
@@ -210,6 +210,37 @@ def _knn_mapreduce_trials(seed: int) -> list[TrialSpec]:
     return [_spec("knn_mapreduce", {"ranks": 4, "seed": seed}, runner)]
 
 
+def _serve_trials(fault_plans: Sequence[str], seed: int) -> list[TrialSpec]:
+    from repro.serve import JobService, ServeFaultPlan, generate_traffic, run_soak
+
+    jobs = generate_traffic(seed, tenants=3, jobs_per_tenant=4)
+
+    def make_plan(kind: str) -> Any:
+        if kind == "none":
+            return None
+        return ServeFaultPlan.sample(
+            seed, submissions=len(jobs), workers=2,
+            poison_prob=0.05, worker_loss_prob=0.03, stall_prob=0.05,
+        )
+
+    specs = []
+    for kind in fault_plans:
+        def runner(k: str = kind) -> Any:
+            service = JobService(
+                2, capacity=8, max_retries=1, fault_plan=make_plan(k),
+                circuit_threshold=100,
+            )
+            try:
+                result = run_soak(service, jobs, verify=False, timeout=120.0)
+            finally:
+                service.shutdown()
+            # The digestable witness: terminal states + per-tenant shares.
+            return (sorted(result.states.items()), sorted(result.completions.items()))
+
+        specs.append(_spec("serve_soak", {"faults": kind, "seed": seed}, runner))
+    return specs
+
+
 def build_matrix(
     *,
     suites: Sequence[str] = DEFAULT_SUITES,
@@ -221,7 +252,8 @@ def build_matrix(
     """The campaign matrix: every suite crossed with its dimensions.
 
     Each dimension applies where it is meaningful — backends sweep the
-    executor-backed k-means, fault plans sweep the Spark wordcount,
+    executor-backed k-means, fault plans sweep the Spark wordcount and
+    the serve soak (``none`` vs a scheduler-level ``ServeFaultPlan``),
     sanitizer schedules sweep the OpenMP k-means rung, locales sweep the
     heat solver — and every suite is swept over ``seeds``.
     """
@@ -240,6 +272,8 @@ def build_matrix(
             specs.extend(_heat_trials(seed))
         if "knn_mapreduce" in suites:
             specs.extend(_knn_mapreduce_trials(seed))
+        if "serve" in suites:
+            specs.extend(_serve_trials(fault_plans, seed))
     return specs
 
 
@@ -247,10 +281,16 @@ def build_matrix(
 # execution
 # ----------------------------------------------------------------------
 
+#: Default size bound on the live ``history.jsonl`` before it rotates
+#: to numbered segments (see :func:`repro.trace.history.append_history`).
+HISTORY_MAX_BYTES = 4 * 1024 * 1024
+
+
 def run_campaign(
     specs: Iterable[TrialSpec],
     *,
     history_path: str | Path | None = None,
+    history_max_bytes: int | None = HISTORY_MAX_BYTES,
     repeats: int = 2,
     clock: Callable[[], float] = time.perf_counter,
     now: Callable[[], str] | None = None,
@@ -325,7 +365,7 @@ def run_campaign(
 
     appended = 0
     if history_path is not None:
-        appended = append_history(history_path, records)
+        appended = append_history(history_path, records, max_bytes=history_max_bytes)
     return CampaignResult(
         records=records,
         errors=errors,
