@@ -1,49 +1,65 @@
-"""Executor-backend shoot-out: process workers beat threads on the GIL.
+"""Executor-backend shoot-out: the persistent pool must actually win.
 
-The tentpole claim of the executor layer: on a *GIL-bound* kernel (the
-pure-Python distance loops standing in for the starter code's C
-arithmetic) the ``process`` backend delivers real CPU parallelism while
-``thread`` serializes on the interpreter lock. The gate asserts the
-process backend is at least 1.5x faster than the thread backend at 4
-workers — the honest analogue of the paper's §3 speedup expectation —
-and every timed run is first checked bit-identical to the serial
-baseline, because a fast wrong answer is worthless.
+The tentpole claim of the pool rework, gated with real targets:
 
-On the numpy kernel the same harness records how the picture inverts:
-numpy releases the GIL, so threads already scale and processes mostly
-pay IPC. Both stories land in ``BENCH_executor_backends.json``.
+- on the *GIL-bound* pure-Python kernel (the stand-in for the starter
+  code's C arithmetic) the ``process`` backend must be **≥2x faster
+  than serial** at 4 workers — threads serialize on the interpreter
+  lock, so only real CPU parallelism can get there;
+- on the *numpy* kernel — where threads already scale because numpy
+  releases the GIL — the process backend must be **at least as fast as
+  thread**: zero-copy shared segments and the warm pool are what erase
+  the fork+pickle tax the seed benchmarks measured (0.04x vs serial).
+
+Every timed run is first checked bit-identical to the serial baseline
+(and a dedicated test sweeps 3 seeds across all backends), because a
+fast wrong answer is worthless. The multi-core gates skip on small
+machines — but never silently: each gate appends an
+``executor_backends_gate`` row (status ran/skipped, detected core
+count) to ``benchmarks/history.jsonl``, so the TRENDS.md coverage
+matrix shows *why* a datapoint is missing instead of a hole.
 """
 
 from __future__ import annotations
 
 import os
+from datetime import datetime, timezone
+from pathlib import Path
 
 import numpy as np
 import pytest
 
 from repro.core.executor import BACKENDS
 from repro.kmeans import TerminationCriteria, kmeans_parallel
+from repro.trace.history import append_history, make_record
 from repro.util.timing import time_call
 
 WORKERS = 4
 REPEATS = 3
 N, D, K = 4_000, 8, 8
 CRITERIA = TerminationCriteria(max_iterations=3)
-SPEEDUP_GATE = 1.5
+#: Cores below which the perf gates skip (recorded, never silent).
+CORES_REQUIRED = 4
+#: The GIL-bound gate: process vs *serial* at 4 workers.
+PYTHON_GATE_VS_SERIAL = 2.0
+#: The numpy gate: process must not lose to thread.
+NUMPY_GATE_VS_THREAD = 1.0
+
+HISTORY = Path(__file__).parent / "history.jsonl"
 
 
-def _points() -> np.ndarray:
-    return np.random.default_rng(5).normal(size=(N, D))
+def _points(seed: int = 5, n: int = N) -> np.ndarray:
+    return np.random.default_rng(seed).normal(size=(n, D))
 
 
-def _run(points: np.ndarray, backend: str, kernel: str):
+def _run(points: np.ndarray, backend: str, kernel: str, seed: int = 1):
     return kmeans_parallel(
         points,
         K,
         num_workers=WORKERS,
         backend=backend,
         kernel=kernel,
-        seed=1,
+        seed=seed,
         criteria=CRITERIA,
     )
 
@@ -66,10 +82,65 @@ def _time_backends(points: np.ndarray, kernel: str) -> dict[str, float]:
     return seconds
 
 
+def _record_gate(gate: str, status: str, **detail: object) -> None:
+    """One coverage-matrix row per gate outcome in the trials history.
+
+    ``status=skipped`` rows are how TRENDS.md explains a missing
+    datapoint (small runner) instead of showing a silent hole;
+    ``status=ran`` rows carry the measured speedup for trend lines.
+    """
+    timings = {"speedup": float(detail.pop("speedup", 0.0))}
+    record = make_record(
+        "executor_backends_gate",
+        timings=timings,
+        unit="speedup_x",
+        config={
+            "gate": gate,
+            "status": status,
+            "cpu_count": os.cpu_count() or 1,
+            "cores_required": CORES_REQUIRED,
+            "workers": WORKERS,
+        },
+        timestamp=datetime.now(timezone.utc).isoformat(),
+        source="benchmarks/test_executor_backends.py",
+        extra={str(k): v for k, v in detail.items()},
+    )
+    append_history(HISTORY, [record])
+
+
+def _skip_small_runner(gate: str) -> None:
+    cores = os.cpu_count() or 1
+    if cores < CORES_REQUIRED:
+        _record_gate(gate, "skipped", reason="insufficient_cores")
+        pytest.skip(
+            f"gate {gate!r} needs >= {CORES_REQUIRED} CPU cores, detected {cores} "
+            "(recorded as a coverage row in benchmarks/history.jsonl)"
+        )
+
+
 @pytest.fixture(scope="module")
 def timings() -> dict[str, dict[str, float]]:
     points = _points()
     return {kernel: _time_backends(points, kernel) for kernel in ("python", "numpy")}
+
+
+def test_bit_identity_across_seeds():
+    """3 seeds x all backends x both kernels: bitwise-equal to serial.
+
+    Runs everywhere (no core gate) — identity is about arithmetic and
+    merge order, not speed, and it is the precondition that makes any
+    speedup claim meaningful.
+    """
+    points = _points(seed=11, n=900)
+    for kernel in ("python", "numpy"):
+        for seed in (1, 7, 123):
+            baseline = _run(points, "serial", kernel, seed=seed)
+            for backend in ("thread", "process"):
+                result = _run(points, backend, kernel, seed=seed)
+                np.testing.assert_array_equal(result.assignments, baseline.assignments)
+                np.testing.assert_array_equal(result.centroids, baseline.centroids)
+                assert result.changes_history == baseline.changes_history
+                assert result.inertia == baseline.inertia
 
 
 def test_backend_timings_artifact(timings, report_writer, bench_json_writer):
@@ -97,6 +168,11 @@ def test_backend_timings_artifact(timings, report_writer, bench_json_writer):
             }
             for kernel, secs in timings.items()
         },
+        gates={
+            "python_vs_serial": PYTHON_GATE_VS_SERIAL,
+            "numpy_vs_thread": NUMPY_GATE_VS_THREAD,
+            "cores_required": CORES_REQUIRED,
+        },
     )
 
     lines = [f"Executor backends on the kmeans assignment step ({WORKERS} workers)"]
@@ -104,6 +180,7 @@ def test_backend_timings_artifact(timings, report_writer, bench_json_writer):
         lines.append(f"kernel={kernel}")
         for backend in BACKENDS:
             lines.append(f"  {backend:>8}: {secs[backend]:.4f}s")
+        lines.append(f"  process vs serial: {secs['serial'] / secs['process']:.2f}x")
         lines.append(f"  process vs thread: {secs['thread'] / secs['process']:.2f}x")
     report_writer("executor_backends", "\n".join(lines) + "\n")
 
@@ -111,15 +188,33 @@ def test_backend_timings_artifact(timings, report_writer, bench_json_writer):
         assert all(s > 0 for s in secs.values())
 
 
-@pytest.mark.skipif(
-    (os.cpu_count() or 1) < 2,
-    reason="process-vs-thread speedup needs at least 2 CPU cores",
-)
-def test_process_beats_thread_on_gil_bound_kernel(timings):
+def test_process_beats_serial_on_gil_bound_kernel(timings):
+    """The headline gate: >=2x over serial where the GIL binds."""
+    _skip_small_runner("python_vs_serial")
     secs = timings["python"]
+    speedup = secs["serial"] / secs["process"]
+    _record_gate(
+        "python_vs_serial", "ran", speedup=speedup,
+        seconds={b: secs[b] for b in BACKENDS}, target=PYTHON_GATE_VS_SERIAL,
+    )
+    assert speedup >= PYTHON_GATE_VS_SERIAL, (
+        f"process backend only {speedup:.2f}x faster than serial on the "
+        f"GIL-bound kernel at {WORKERS} workers "
+        f"(gate: {PYTHON_GATE_VS_SERIAL}x); seconds={secs}"
+    )
+
+
+def test_process_matches_thread_on_numpy_kernel(timings):
+    """The zero-copy gate: the pool must not lose to threads on numpy."""
+    _skip_small_runner("numpy_vs_thread")
+    secs = timings["numpy"]
     speedup = secs["thread"] / secs["process"]
-    assert speedup >= SPEEDUP_GATE, (
-        f"process backend only {speedup:.2f}x faster than thread on the "
-        f"GIL-bound kernel at {WORKERS} workers (gate: {SPEEDUP_GATE}x); "
-        f"seconds={secs}"
+    _record_gate(
+        "numpy_vs_thread", "ran", speedup=speedup,
+        seconds={b: secs[b] for b in BACKENDS}, target=NUMPY_GATE_VS_THREAD,
+    )
+    assert speedup >= NUMPY_GATE_VS_THREAD, (
+        f"process backend is {speedup:.2f}x of thread on the numpy kernel "
+        f"at {WORKERS} workers (gate: >= {NUMPY_GATE_VS_THREAD}x — zero-copy "
+        f"sharing should erase the IPC tax); seconds={secs}"
     )

@@ -11,7 +11,11 @@ makes that catalog a first-class object:
 - :mod:`repro.core.speedup` — the scaling-study runner the assignments
   ask students to perform ("obtain speedup", "compare performance");
 - :mod:`repro.core.executor` — the pluggable serial/thread/process
-  executor backends every engine fans its local work over.
+  executor backends every engine fans its local work over; the process
+  backend runs a persistent zero-copy worker pool;
+- :mod:`repro.core.shm` — the shared-memory data plane behind
+  :meth:`Executor.publish`: named segments, array descriptors, and
+  leak-audited lifecycle.
 """
 
 from repro.core.assignment import (
@@ -23,15 +27,19 @@ from repro.core.assignment import (
 )
 from repro.core.executor import (
     BACKENDS,
+    DataRef,
     Executor,
+    InlineArrayRef,
     ProcessExecutor,
     SerialExecutor,
+    SharedArrayRef,
     TaskFailedError,
     ThreadExecutor,
     WorkerCrashError,
     derive_task_seed,
     get_executor,
 )
+from repro.core.shm import ArrayDescriptor, active_segments, attach_array, publish_array
 from repro.core.speedup import run_scaling_study
 
 __all__ = [
@@ -50,4 +58,11 @@ __all__ = [
     "derive_task_seed",
     "TaskFailedError",
     "WorkerCrashError",
+    "DataRef",
+    "InlineArrayRef",
+    "SharedArrayRef",
+    "ArrayDescriptor",
+    "publish_array",
+    "attach_array",
+    "active_segments",
 ]

@@ -15,6 +15,10 @@ with Dirichlet boundaries, solved three ways:
   locale (``coforall … on loc``), task-local arrays, explicit halo-cell
   exchange, and barrier synchronization — less overhead, explicit
   communication;
+- :mod:`repro.heat.executor_solver` — the shared-memory pool model:
+  grids published into zero-copy segments, one warm ``Executor.map``
+  per step over static interior blocks (the counterpoint to the
+  Chapel-style solvers' visible communication);
 - :mod:`repro.heat.analytic` — exact discrete eigenmode solutions and
   steady states for verification.
 
@@ -34,6 +38,7 @@ from repro.heat.convergence import (
     convergence_study,
     observed_order,
 )
+from repro.heat.executor_solver import solve_executor
 from repro.heat.forall_solver import solve_forall
 from repro.heat.mpi2d import run_mpi_2d, solve_serial_2d
 from repro.heat.serial import HeatStats, solve_serial
@@ -42,6 +47,7 @@ __all__ = [
     "solve_serial",
     "solve_forall",
     "solve_coforall",
+    "solve_executor",
     "HeatStats",
     "sine_initial_condition",
     "discrete_sine_solution",

@@ -1,0 +1,107 @@
+"""The heat stencil over the executor pool: shared grids, zero-copy halos.
+
+The Chapel-lineage solvers in this package make communication *visible*
+(``remote_gets`` per halo read, task teams per step); this solver is
+the other end of the paper's comparison — the shared-memory pool model,
+where the whole grid lives in two published segments and a time step is
+one warm ``Executor.map`` over static interior blocks. Workers read
+their block plus one halo cell per side straight out of the *source*
+segment and write the *destination* segment in place, so the only
+per-step traffic is the dispatch messages themselves.
+
+Double buffering replaces the serial solver's O(1) swap: the two grid
+segments alternate source/destination roles by step parity (a swap of
+*names*, not bytes), and boundaries are never written, so the Dirichlet
+conditions ride along from the initial copy. The stencil expression is
+byte-for-byte the serial one over the same float64 grid, which makes
+every backend bit-identical to :func:`repro.heat.serial.solve_serial` —
+asserted in ``tests/heat/test_executor_solver.py``.
+"""
+
+from __future__ import annotations
+
+import functools
+
+import numpy as np
+
+from repro.core.executor import BACKENDS, DataRef, Executor, get_executor
+from repro.heat.serial import HeatStats, check_alpha
+from repro.util.partition import block_partition
+from repro.util.validation import require_nonnegative_int, require_positive_int
+
+__all__ = ["solve_executor"]
+
+
+def _step_task(
+    src_ref: DataRef,
+    dst_ref: DataRef,
+    alpha: float,
+    _index: int,
+    block: tuple[int, int],
+) -> int:
+    """Update one interior block: halo reads from src, in-place write to dst.
+
+    Blocks partition the interior, so destination writes are disjoint
+    (the writable-ref contract); the halo cells ``lo-1``/``hi`` are
+    reads only. Returns the block size as a lightweight progress value.
+    """
+    lo, hi = block
+    src = src_ref.array()
+    dst = dst_ref.array()
+    window = src[lo - 1 : hi + 1]
+    dst[lo:hi] = window[1:-1] + alpha * (window[:-2] - 2.0 * window[1:-1] + window[2:])
+    return hi - lo
+
+
+def solve_executor(
+    u0: np.ndarray,
+    alpha: float,
+    num_steps: int,
+    *,
+    num_workers: int = 4,
+    backend: "str | Executor" = "process",
+) -> tuple[np.ndarray, HeatStats]:
+    """Evolve ``u0`` on an executor backend; bitwise-equal to serial.
+
+    ``backend`` accepts a name or a live :class:`Executor` — pass a warm
+    :class:`ProcessExecutor` to reuse its pool across solves (the
+    executor then remains the caller's to close). ``u0`` is not mutated.
+    """
+    alpha = check_alpha(alpha)
+    require_nonnegative_int("num_steps", num_steps)
+    require_positive_int("num_workers", num_workers)
+    if not isinstance(backend, Executor) and backend not in BACKENDS:
+        raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
+    u0 = np.asarray(u0, dtype=float)
+    if u0.ndim != 1 or u0.size < 3:
+        raise ValueError("u0 must be 1-D with at least 3 points")
+
+    n = u0.size
+    # Static interior blocks: [1, n-1) split evenly, fixed for the run.
+    blocks = [
+        (r.start + 1, r.stop + 1)
+        for r in block_partition(n - 2, min(num_workers, n - 2))
+        if r.stop > r.start
+    ]
+    stats = HeatStats()
+    owns_executor = not isinstance(backend, Executor)
+    executor = get_executor(backend, num_workers)
+    stats.extra["backend"] = executor.name
+    stats.extra["blocks"] = len(blocks)
+
+    refs: list[DataRef] = []
+    try:
+        # Double buffer: both start as u0 (boundaries included, never
+        # rewritten); roles alternate by step parity.
+        refs = [executor.publish(u0, writable=True), executor.publish(u0, writable=True)]
+        for step in range(num_steps):
+            src_ref, dst_ref = refs[step % 2], refs[1 - step % 2]
+            executor.map(functools.partial(_step_task, src_ref, dst_ref, alpha), blocks)
+            stats.task_spawns += len(blocks)
+        final = np.array(refs[num_steps % 2].array())  # outlive the segments
+    finally:
+        for ref in refs:
+            executor.unpublish(ref)
+        if owns_executor:
+            executor.close()
+    return final, stats

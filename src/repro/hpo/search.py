@@ -154,6 +154,27 @@ def run_hpo_serial(
     return [outcomes[i] for i in order]
 
 
+def _train_task(
+    refs: tuple,
+    input_size: int,
+    num_classes: int,
+    _index: int,
+    params: HyperParams,
+) -> HPOutcome:
+    """One pooled trial: resolve the published datasets, train, score.
+
+    Module-level (bound with :func:`functools.partial`) so the payload
+    pickles and the process backend keeps its persistent pool — only
+    the dataset *descriptors* and the parameter grid travel with the
+    job, not the arrays.
+    """
+    train_x, train_y, val_x, val_y = (np.array(r.array()) for r in refs)
+    return train_one(
+        params, train_x, train_y, val_x, val_y,
+        input_size=input_size, num_classes=num_classes,
+    )
+
+
 def run_hpo_executor(
     grid: list[HyperParams],
     train_x: np.ndarray,
@@ -161,7 +182,7 @@ def run_hpo_executor(
     val_x: np.ndarray,
     val_y: np.ndarray,
     *,
-    backend: str = "thread",
+    backend: "str | object" = "thread",
     num_workers: int = 4,
 ) -> list[HPOutcome]:
     """The trial farm over an executor backend: :func:`run_hpo_serial`'s
@@ -172,14 +193,34 @@ def run_hpo_executor(
     grid_index)``, so the returned ordering is bit-identical across
     backends. The process backend gives the single-machine analogue of
     the assignment's MPI task farm — real CPU parallelism for the
-    GIL-bound training loops.
+    GIL-bound training loops, with the datasets published once through
+    shared memory instead of pickled per trial. ``backend`` also
+    accepts a live :class:`~repro.core.executor.Executor` (then the
+    caller's to close).
     """
-    from repro.core.executor import get_executor
+    import functools
 
+    from repro.core.executor import Executor, get_executor
+
+    train_x = np.asarray(train_x)
+    train_y = np.asarray(train_y)
+    val_x = np.asarray(val_x)
+    val_y = np.asarray(val_y)
+    input_size = train_x.shape[1]
+    num_classes = int(max(train_y.max(), val_y.max())) + 1
+    owns_executor = not isinstance(backend, Executor)
     executor = get_executor(backend, num_workers)
-    outcomes = executor.map(
-        lambda _i, p: train_one(p, train_x, train_y, val_x, val_y), list(grid)
-    )
+    refs = []
+    try:
+        refs = tuple(executor.publish(a) for a in (train_x, train_y, val_x, val_y))
+        outcomes = executor.map(
+            functools.partial(_train_task, refs, input_size, num_classes), list(grid)
+        )
+    finally:
+        for ref in refs:
+            executor.unpublish(ref)
+        if owns_executor:
+            executor.close()
     order = sorted(
         range(len(outcomes)), key=lambda i: (-outcomes[i].val_accuracy, i)
     )

@@ -4,17 +4,27 @@ The PKMeans lineage of the assignment (and the paper's §3 speedup
 curves) hinges on the embarrassingly-parallel structure of phase 1:
 each point's nearest centroid is independent, so the point array splits
 into static blocks farmed over :mod:`repro.core.executor` workers. Each
-task returns its block's assignments plus *private* per-cluster
-sums/counts, and the driver merges partials in block order — the same
-deterministic reduction as ``kmeans_openmp(variant="reduction")``, so
-results are bit-identical across the ``serial``/``thread``/``process``
-backends (asserted in ``tests/core/test_executor_determinism.py``).
+task returns *private* per-cluster sums/counts, and the driver merges
+partials in block order — the same deterministic reduction as
+``kmeans_openmp(variant="reduction")``, so results are bit-identical
+across the ``serial``/``thread``/``process`` backends (asserted in
+``tests/core/test_executor_determinism.py``).
+
+The data plane is communication-avoiding (the arXiv 1608.06347 shape):
+the point array is *published* once per call through
+:meth:`Executor.publish` — a shared-memory segment on the process
+backend, the array itself elsewhere — and the assignment vector is a
+*writable* published segment whose disjoint blocks each task writes in
+place. What crosses the process boundary per task per iteration is a
+``(start, stop)`` pair out and ``(changes, sums, counts)`` back —
+``O(k·d)`` bytes however many points there are.
 
 Two ``kernel`` choices select what each task actually computes:
 
 - ``"numpy"`` — the vectorized einsum/argmin math shared with the other
   models. numpy releases the GIL inside these kernels, so *threads*
-  already scale here and the process backend mostly pays IPC.
+  already scale here; zero-copy sharing is what lets the process
+  backend match them instead of drowning in pickled partitions.
 - ``"python"`` — a pure-Python distance loop, the GIL-bound stand-in
   for the C starter code's per-point arithmetic. Threads serialize on
   the GIL; only the process backend shows real speedup — which is
@@ -23,9 +33,11 @@ Two ``kernel`` choices select what each task actually computes:
 
 from __future__ import annotations
 
+import functools
+
 import numpy as np
 
-from repro.core.executor import BACKENDS, get_executor
+from repro.core.executor import BACKENDS, DataRef, Executor, get_executor
 from repro.kmeans.initialization import init_random_points
 from repro.kmeans.sequential import KMeansResult, compute_inertia
 from repro.kmeans.termination import TerminationCriteria
@@ -101,12 +113,37 @@ def _assign_block_python(
 _KERNEL_FNS = {"numpy": _assign_block_numpy, "python": _assign_block_python}
 
 
+def _assign_task(
+    points_ref: DataRef,
+    assign_ref: DataRef,
+    kernel: str,
+    centroids: np.ndarray,
+    _index: int,
+    block: tuple[int, int],
+) -> tuple[int, np.ndarray, np.ndarray]:
+    """One pooled assignment task: read shared points, write shared labels.
+
+    Module-level (bound with :func:`functools.partial`) so the payload
+    pickles and the process backend keeps its persistent pool; only the
+    centroid snapshot travels with the job, only ``(changes, sums,
+    counts)`` travel back. The block writes are disjoint by
+    construction, which is the writable-ref contract.
+    """
+    lo, hi = block
+    points = points_ref.array()
+    assignments = assign_ref.array()
+    old = np.array(assignments[lo:hi])  # snapshot before the in-place write
+    new_local, changes, sums, counts = _KERNEL_FNS[kernel](points[lo:hi], centroids, old)
+    assignments[lo:hi] = new_local
+    return changes, sums, counts
+
+
 def kmeans_parallel(
     points: np.ndarray,
     k: int,
     *,
     num_workers: int = 4,
-    backend: str = "thread",
+    backend: "str | Executor" = "thread",
     kernel: str = "numpy",
     seed: int = 0,
     criteria: TerminationCriteria | None = None,
@@ -117,18 +154,20 @@ def kmeans_parallel(
     ``num_workers`` fixes the static blocking (and thus the arithmetic)
     independently of ``backend``, so any two backends at the same worker
     count return bit-identical centroids, assignments, and histories.
+    ``backend`` also accepts a live :class:`Executor` — pass a warm
+    :class:`ProcessExecutor` to amortize its pool across calls (the
+    executor is then the caller's to close).
     """
     points = np.asarray(points, dtype=float)
     if points.ndim != 2 or points.shape[0] == 0:
         raise ValueError("points must be a non-empty 2-D array")
     require_positive_int("k", k)
     require_positive_int("num_workers", num_workers)
-    if backend not in BACKENDS:
+    if not isinstance(backend, Executor) and backend not in BACKENDS:
         raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
     if kernel not in KERNELS:
         raise ValueError(f"kernel must be one of {KERNELS}, got {kernel!r}")
     criteria = criteria or TerminationCriteria()
-    kernel_fn = _KERNEL_FNS[kernel]
 
     n, d = points.shape
     if initial_centroids is not None:
@@ -138,58 +177,73 @@ def kmeans_parallel(
     else:
         centroids = init_random_points(points, k, seed)
 
-    blocks = [r for r in block_partition(n, num_workers) if r.stop > r.start]
-    assignments = np.full(n, -1, dtype=np.int64)
+    blocks = [
+        (r.start, r.stop) for r in block_partition(n, num_workers) if r.stop > r.start
+    ]
     changes_history: list[int] = []
     shift_history: list[float] = []
     iteration = 0
     reason = "max_iterations"
+    owns_executor = not isinstance(backend, Executor)
     executor = get_executor(backend, num_workers)
+    backend_name = executor.name
     tracer = get_tracer()
 
-    while True:
-        iteration += 1
-        current = centroids  # pin for the closure: one snapshot per iteration
+    points_ref = assign_ref = None
+    try:
+        points_ref = executor.publish(points)
+        assign_ref = executor.publish(np.full(n, -1, dtype=np.int64), writable=True)
+        assignments = assign_ref.array()  # the owner's live view
 
-        def assign_block(_i: int, r: range) -> tuple[np.ndarray, int, np.ndarray, np.ndarray]:
-            return kernel_fn(points[r.start : r.stop], current, assignments[r.start : r.stop])
-
-        partials = executor.map(assign_block, blocks)
-
-        sums = np.zeros((k, d))
-        counts = np.zeros(k, dtype=np.int64)
-        changes = 0
-        for r, (new_local, block_changes, block_sums, block_counts) in zip(blocks, partials):
-            assignments[r.start : r.stop] = new_local
-            changes += block_changes
-            sums += block_sums  # block-order merge: deterministic reduction
-            counts += block_counts
-
-        new_centroids = centroids.copy()
-        nonempty = counts > 0
-        new_centroids[nonempty] = sums[nonempty] / counts[nonempty, None]
-        max_shift = float(np.sqrt(((new_centroids - centroids) ** 2).sum(axis=1)).max())
-        centroids = new_centroids
-        changes_history.append(changes)
-        shift_history.append(max_shift)
-        if tracer.enabled:
-            tracer.instant(
-                "kmeans.iteration", category="kmeans", iteration=iteration,
-                changes=changes, backend=backend,
+        while True:
+            iteration += 1
+            partials = executor.map(
+                functools.partial(_assign_task, points_ref, assign_ref, kernel, centroids),
+                blocks,
             )
-            tracer.metrics.histogram("kmeans.iteration_shift", model="executor").observe(max_shift)
-            tracer.metrics.counter("kmeans.iterations", model="executor").inc()
-        stop = criteria.reason_to_stop(iteration, changes, max_shift)
-        if stop is not None:
-            reason = stop
-            break
+
+            sums = np.zeros((k, d))
+            counts = np.zeros(k, dtype=np.int64)
+            changes = 0
+            for block_changes, block_sums, block_counts in partials:
+                changes += block_changes
+                sums += block_sums  # block-order merge: deterministic reduction
+                counts += block_counts
+
+            new_centroids = centroids.copy()
+            nonempty = counts > 0
+            new_centroids[nonempty] = sums[nonempty] / counts[nonempty, None]
+            max_shift = float(np.sqrt(((new_centroids - centroids) ** 2).sum(axis=1)).max())
+            centroids = new_centroids
+            changes_history.append(changes)
+            shift_history.append(max_shift)
+            if tracer.enabled:
+                tracer.instant(
+                    "kmeans.iteration", category="kmeans", iteration=iteration,
+                    changes=changes, backend=backend_name,
+                )
+                tracer.metrics.histogram("kmeans.iteration_shift", model="executor").observe(max_shift)
+                tracer.metrics.counter("kmeans.iterations", model="executor").inc()
+            stop = criteria.reason_to_stop(iteration, changes, max_shift)
+            if stop is not None:
+                reason = stop
+                break
+
+        final_assignments = np.array(assignments)  # outlive the segment
+    finally:
+        if assign_ref is not None:
+            executor.unpublish(assign_ref)
+        if points_ref is not None:
+            executor.unpublish(points_ref)
+        if owns_executor:
+            executor.close()
 
     return KMeansResult(
         centroids=centroids,
-        assignments=assignments,
+        assignments=final_assignments,
         iterations=iteration,
         stop_reason=reason,
-        inertia=compute_inertia(points, centroids, assignments),
+        inertia=compute_inertia(points, centroids, assignments=final_assignments),
         changes_history=changes_history,
         shift_history=shift_history,
     )

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Iterable, Sequence
 
-from repro.core.executor import BACKENDS, get_executor
+from repro.core.executor import BACKENDS, Executor, get_executor
 from repro.mapreduce.hashing import partition_for
 from repro.mapreduce.keymultivalue import KeyMultiValue
 from repro.mapreduce.keyvalue import KeyValue
@@ -48,10 +48,10 @@ class MapReduce:
         self,
         comm: Communicator,
         *,
-        backend: str = "serial",
+        backend: "str | Executor" = "serial",
         num_workers: int = 4,
     ) -> None:
-        if backend not in BACKENDS:
+        if not isinstance(backend, Executor) and backend not in BACKENDS:
             raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
         self.comm = comm
         #: Executor backend for this rank's *local* map/reduce loops.
@@ -59,8 +59,18 @@ class MapReduce:
         #: ``"thread"``/``"process"`` fan the rank's tasks over
         #: :mod:`repro.core.executor` workers — pair order and therefore
         #: all results stay bit-identical (tasks emit into private
-        #: KeyValues, merged in task order).
-        self.backend = backend
+        #: KeyValues, merged in task order). A live :class:`Executor`
+        #: may be passed instead of a name (e.g. a warm
+        #: ``ProcessExecutor`` shared across engines); it is then the
+        #: caller's to close.
+        if isinstance(backend, Executor):
+            self.backend = backend.name
+            self._executor: Executor | None = backend
+            self._owns_executor = False
+        else:
+            self.backend = backend
+            self._executor = None
+            self._owns_executor = True
         self.num_workers = num_workers
         self.kv = KeyValue()
         self.kmv: KeyMultiValue | None = None
@@ -68,6 +78,31 @@ class MapReduce:
         #: aggregate() — the communication-volume statistic the local-
         #: combine ablation measures.
         self.last_shuffle_sent = 0
+
+    def _local_executor(self) -> "Executor":
+        """This engine's cached executor — created once, reused warm.
+
+        A process-backend engine keeps one persistent worker pool for
+        its lifetime instead of forking per phase; :meth:`close`
+        releases it (GC backstops an engine dropped without closing).
+        """
+        if self._executor is None:
+            self._executor = get_executor(self.backend, self.num_workers)
+        return self._executor
+
+    def close(self) -> None:
+        """Release the engine's executor pool, if it owns one (idempotent)."""
+        executor, self._executor = self._executor, None
+        if executor is not None and self._owns_executor:
+            executor.close()
+        elif executor is not None:
+            self._executor = executor  # shared: still usable, not ours to close
+
+    def __enter__(self) -> "MapReduce":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
 
     def _run_local(
         self,
@@ -93,8 +128,7 @@ class MapReduce:
             call(task, emitted)
             return emitted.pairs()
 
-        executor = get_executor(self.backend, self.num_workers)
-        for pairs in executor.map(body, task_list):
+        for pairs in self._local_executor().map(body, task_list):
             out.extend(pairs)
 
     # ------------------------------------------------------------------

@@ -1,0 +1,185 @@
+"""The persistent pool: warm reuse, zero-copy refs, crash respawn.
+
+``tests/core/test_executor.py`` pins the backend-uniform map contract;
+this file pins what is specific to the pool architecture — that pooled
+maps actually reuse the same worker processes, that published arrays
+cross the boundary as descriptors (not bytes), that a crashed slot
+respawns, and that the pool/fork dispatch split lands where documented.
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core.executor import (
+    ProcessExecutor,
+    SharedArrayRef,
+    WorkerCrashError,
+)
+from repro.core.shm import SEGMENT_PREFIX
+
+
+def _task_pid(_i, _item):
+    return os.getpid()
+
+
+def _crash_on(victim, i, item):
+    if i == victim:
+        os._exit(23)
+    return item
+
+
+def _read_ref(ref, _i, block):
+    lo, hi = block
+    return float(ref.array()[lo:hi].sum())
+
+
+def _write_ref(ref, _i, block):
+    lo, hi = block
+    out = ref.array()
+    out[lo:hi] = np.arange(lo, hi)
+    return hi - lo
+
+
+class TestWarmPool:
+    def test_same_workers_across_maps(self):
+        with ProcessExecutor(2) as ex:
+            first = set(ex.map(_task_pid, range(8)))
+            for _ in range(3):
+                again = set(ex.map(_task_pid, range(8)))
+                assert again == first  # warm start: no new forks
+            assert os.getpid() not in first
+
+    def test_fork_path_uses_fresh_workers(self):
+        state = {"x": 1}  # closure -> unpicklable payload -> fork path
+        with ProcessExecutor(2) as ex:
+            a = set(ex.map(lambda i, _: (os.getpid(), state["x"]), range(4)))
+            b = set(ex.map(lambda i, _: (os.getpid(), state["x"]), range(4)))
+            assert not (
+                {pid for pid, _ in a} & {pid for pid, _ in b}
+            )  # fresh forks per map
+
+    def test_map_after_close_raises(self):
+        ex = ProcessExecutor(2)
+        ex.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            ex.map(_task_pid, range(2))
+        ex.close()  # idempotent
+
+    def test_stop_is_close_alias(self):
+        ex = ProcessExecutor(2)
+        assert ex.map(_task_pid, range(2))
+        ex.stop()
+        with pytest.raises(RuntimeError, match="closed"):
+            ex.map(_task_pid, range(2))
+
+
+class TestCrashRespawn:
+    def test_pool_path_crash_surfaces_and_respawns(self):
+        with ProcessExecutor(2, chunks_per_worker=2) as ex:
+            with pytest.raises(WorkerCrashError) as info:
+                ex.map(functools.partial(_crash_on, 5), list(range(8)))
+            err = info.value
+            assert err.exitcode == 23
+            assert set(err.completed) | set(err.missing) == set(range(8))
+            # The dead slot respawns lazily: the next map still works.
+            assert ex.map(_task_pid, range(8))
+            assert set(ex.map(lambda i, x: x * 2, range(4))) == {0, 2, 4, 6}
+
+
+class TestPublish:
+    def test_ref_pickles_as_descriptor_not_bytes(self):
+        data = np.arange(200_000, dtype=np.float64)
+        with ProcessExecutor(2) as ex:
+            ref = ex.publish(data)
+            assert isinstance(ref, SharedArrayRef)
+            assert ref.segment_name.startswith(SEGMENT_PREFIX)
+            wire = pickle.dumps(ref)
+            assert len(wire) < 1024  # descriptor, not the 1.6 MB payload
+            total = sum(
+                ex.map(functools.partial(_read_ref, ref), [(0, 100_000), (100_000, 200_000)])
+            )
+            assert total == float(data.sum())
+
+    def test_writable_ref_roundtrips_worker_writes(self):
+        with ProcessExecutor(2) as ex:
+            ref = ex.publish(np.zeros(64), writable=True)
+            ex.map(functools.partial(_write_ref, ref), [(0, 32), (32, 64)])
+            np.testing.assert_array_equal(ref.array(), np.arange(64.0))
+            ex.unpublish(ref)
+
+    def test_readonly_attachment_in_worker(self):
+        with ProcessExecutor(1) as ex:
+            ref = ex.publish(np.ones(8))
+            [flag] = ex.map(functools.partial(_flag_writeable, ref), [0])
+            if ex.start_method == "fork":
+                assert flag is False
+
+    def test_unpublish_is_idempotent(self):
+        with ProcessExecutor(1) as ex:
+            ref = ex.publish(np.ones(4))
+            ex.unpublish(ref)
+            ex.unpublish(ref)
+
+
+def _flag_writeable(ref, _i, _item):
+    return bool(ref.array().flags.writeable)
+
+
+class TestSpawnPool:
+    @pytest.mark.skipif(
+        "spawn" not in __import__("multiprocessing").get_all_start_methods(),
+        reason="spawn start method unavailable",
+    )
+    def test_spawn_pool_maps_and_publishes(self):
+        with ProcessExecutor(2, start_method="spawn") as ex:
+            data = np.arange(100, dtype=np.float64)
+            ref = ex.publish(data)
+            got = ex.map(functools.partial(_read_ref, ref), [(0, 50), (50, 100)])
+            assert sum(got) == float(data.sum())
+            # Warm reuse holds under spawn too.
+            assert set(ex.map(_task_pid, range(4))) == set(ex.map(_task_pid, range(4)))
+
+
+class TestChunkFusion:
+    def test_small_jobs_fuse_to_one_chunk_per_worker(self):
+        ex = ProcessExecutor(4, chunks_per_worker=4)
+        plans = {
+            n: [len(chunks) for chunks in ex._chunk_assignments(n) if chunks]
+            for n in (3, 4, 16, 17, 64)
+        }
+        ex.close()
+        assert plans[3] == [1, 1, 1]          # n < workers: one chunk each
+        assert plans[4] == [1, 1, 1, 1]       # fused: 4 messages, not 16
+        assert plans[16] == [1, 1, 1, 1]      # still within the fusion budget
+        assert plans[17] == [4, 4, 4, 4]      # past the budget: full fan-out
+        assert plans[64] == [4, 4, 4, 4]
+
+    def test_fused_plan_covers_range_in_order(self):
+        ex = ProcessExecutor(3, chunks_per_worker=2)
+        covered = sorted(
+            (lo, hi)
+            for chunks in ex._chunk_assignments(10)
+            for _c, lo, hi in chunks
+        )
+        ex.close()
+        assert covered[0][0] == 0 and covered[-1][1] == 10
+        assert all(a[1] == b[0] for a, b in zip(covered, covered[1:]))
+
+
+class TestNestedMap:
+    def test_nested_map_in_worker_downgrades_to_inline(self):
+        with ProcessExecutor(2) as ex:
+            got = ex.map(functools.partial(_nested, ex), range(2))
+            assert got == [[0, 1, 4], [0, 1, 4]]
+
+
+def _nested(ex, _i, _item):
+    # Daemonic pool workers cannot fork children; the executor computes
+    # nested maps inline instead.
+    return ex.map(lambda i, x: x * x, [0, 1, 2])

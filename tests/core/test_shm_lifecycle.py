@@ -1,0 +1,154 @@
+"""Segment lifecycle: no /dev/shm entry survives any exit path.
+
+The shared-memory data plane owns real kernel objects; a leak outlives
+the process and eats tmpfs until reboot. These tests pin the invariant
+the module promises: every segment a driver publishes is unlinked after
+normal stop, worker crash, task-error cancellation, KeyboardInterrupt,
+and even a driver that forgets to close (the ``atexit`` sweep) — with
+the audit done against both the in-process registry
+(:func:`active_segments`) and the kernel's own ``/dev/shm`` listing.
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import _thread
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.executor import ProcessExecutor, WorkerCrashError
+from repro.core.shm import SEGMENT_PREFIX, active_segments
+
+_DEV_SHM = Path("/dev/shm")
+
+
+def _kernel_segments() -> list[str]:
+    """This process's segments as the *kernel* sees them."""
+    if not _DEV_SHM.is_dir():  # pragma: no cover - non-tmpfs platforms
+        return []
+    mine = f"{SEGMENT_PREFIX}-{os.getpid()}-"
+    return sorted(p.name for p in _DEV_SHM.iterdir() if p.name.startswith(mine))
+
+
+def _assert_no_leaks() -> None:
+    assert active_segments() == []
+    assert _kernel_segments() == []
+
+
+def _touch(ref, _i, block):
+    lo, hi = block
+    return float(ref.array()[lo:hi].sum())
+
+
+def _crash(i, _item):
+    if i == 1:
+        os._exit(9)
+    return i
+
+
+def _boom(i, _item):
+    if i == 1:
+        raise ValueError("cancelled mid-job")
+    return i
+
+
+def _hang(_i, _item):  # pragma: no cover - runs in worker processes
+    time.sleep(60)
+
+
+class TestLifecycleProperty:
+    @settings(max_examples=5, deadline=None)
+    @given(
+        shapes=st.lists(
+            st.tuples(st.integers(0, 40), st.integers(1, 5)), min_size=1, max_size=4
+        ),
+        writable=st.booleans(),
+        do_map=st.booleans(),
+    )
+    def test_every_segment_unlinked_after_stop(self, shapes, writable, do_map):
+        ex = ProcessExecutor(2)
+        try:
+            refs = [
+                ex.publish(np.ones(shape), writable=writable) for shape in shapes
+            ]
+            assert len(active_segments()) == len(shapes)
+            assert len(_kernel_segments()) == len(shapes)
+            if do_map:
+                ex.map(functools.partial(_touch, refs[0]), [(0, 0)])
+            # Unpublish half explicitly; close() must sweep the rest.
+            for ref in refs[::2]:
+                ex.unpublish(ref)
+        finally:
+            ex.stop()
+        _assert_no_leaks()
+
+    def test_worker_crash_leaks_nothing(self):
+        ex = ProcessExecutor(2, chunks_per_worker=1)
+        try:
+            ref = ex.publish(np.arange(32, dtype=float))
+            with pytest.raises(WorkerCrashError):
+                ex.map(_crash, list(range(4)))
+        finally:
+            ex.close()
+        _assert_no_leaks()
+
+    def test_task_error_cancellation_leaks_nothing(self):
+        ex = ProcessExecutor(2)
+        try:
+            ref = ex.publish(np.arange(16, dtype=float), writable=True)
+            with pytest.raises(ValueError, match="cancelled"):
+                ex.map(_boom, list(range(4)))
+            # The executor survives a failed job; so does the segment...
+            assert ref.segment_name in active_segments()
+        finally:
+            ex.close()
+        _assert_no_leaks()  # ...but not the close.
+
+    def test_keyboard_interrupt_leaks_nothing(self):
+        ex = ProcessExecutor(2, chunks_per_worker=1)
+        ex.publish(np.ones(64))
+        timer = threading.Timer(0.4, _thread.interrupt_main)
+        timer.start()
+        try:
+            with pytest.raises(KeyboardInterrupt):
+                ex.map(_hang, list(range(2)))
+        finally:
+            timer.cancel()
+        ex.close()
+        _assert_no_leaks()
+
+
+class TestForgottenDriver:
+    def test_atexit_sweep_cleans_unclosed_driver(self):
+        """A driver that never calls close() still unlinks at exit."""
+        script = (
+            "import numpy as np, sys\n"
+            "from repro.core.executor import ProcessExecutor\n"
+            "from repro.core.shm import SEGMENT_PREFIX\n"
+            "ex = ProcessExecutor(2)\n"
+            "ref = ex.publish(np.ones(1024))\n"
+            "print(ref.segment_name)\n"
+            "sys.stdout.flush()\n"
+            # no unpublish, no close: atexit + GC finalizer must sweep
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = "src" + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True, text=True, env=env, cwd=Path(__file__).parents[2],
+            timeout=60,
+        )
+        assert proc.returncode == 0, proc.stderr
+        name = proc.stdout.strip().splitlines()[-1]
+        assert name.startswith(SEGMENT_PREFIX)
+        if _DEV_SHM.is_dir():
+            assert not (_DEV_SHM / name).exists(), "atexit sweep leaked a segment"

@@ -1,0 +1,68 @@
+"""The executor-pool heat solver: bit-identity to serial on every backend."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.executor import BACKENDS, ProcessExecutor
+from repro.heat import solve_executor, solve_serial
+from repro.heat.analytic import sine_initial_condition
+
+
+def _u0(n: int = 65) -> np.ndarray:
+    return 1.5 * sine_initial_condition(n, mode=2)
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("backend", list(BACKENDS))
+    @pytest.mark.parametrize("num_steps", [0, 1, 7, 24])
+    def test_matches_serial_exactly(self, backend, num_steps):
+        expected, _ = solve_serial(_u0(), 0.25, num_steps)
+        got, stats = solve_executor(_u0(), 0.25, num_steps, backend=backend, num_workers=3)
+        np.testing.assert_array_equal(got, expected)
+        assert stats.task_spawns == num_steps * stats.extra["blocks"]
+
+    def test_uneven_blocks_and_tiny_grids(self):
+        for n in (3, 4, 5, 11):
+            expected, _ = solve_serial(_u0(n), 0.5, 5)
+            got, _ = solve_executor(_u0(n), 0.5, 5, backend="serial", num_workers=4)
+            np.testing.assert_array_equal(got, expected)
+
+    def test_boundaries_held_fixed(self):
+        u0 = _u0()
+        u0[0], u0[-1] = 3.0, -2.0
+        got, _ = solve_executor(u0, 0.25, 9, backend="thread")
+        assert got[0] == 3.0 and got[-1] == -2.0
+
+    def test_input_not_mutated(self):
+        u0 = _u0()
+        keep = u0.copy()
+        solve_executor(u0, 0.25, 4, backend="serial")
+        np.testing.assert_array_equal(u0, keep)
+
+
+class TestExecutorReuse:
+    def test_warm_pool_across_solves(self):
+        expected, _ = solve_serial(_u0(), 0.25, 6)
+        with ProcessExecutor(2) as executor:
+            for _ in range(3):
+                got, stats = solve_executor(_u0(), 0.25, 6, backend=executor)
+                np.testing.assert_array_equal(got, expected)
+                assert stats.extra["backend"] == "process"
+            # The shared executor survives the solves (caller-owned).
+            assert executor.map(lambda i, x: x + 1, [1, 2]) == [2, 3]
+
+
+class TestValidation:
+    def test_rejects_unstable_alpha(self):
+        with pytest.raises(ValueError, match="alpha"):
+            solve_executor(_u0(), 0.75, 1)
+
+    def test_rejects_bad_grid(self):
+        with pytest.raises(ValueError, match="1-D"):
+            solve_executor(np.zeros((4, 4)), 0.25, 1)
+
+    def test_rejects_unknown_backend(self):
+        with pytest.raises(ValueError, match="backend"):
+            solve_executor(_u0(), 0.25, 1, backend="gpu")

@@ -10,11 +10,15 @@
 #   sh tools/ci_local.sh --serve      # additionally run the CI serve-soak job
 #                                     # (full tests/serve incl. the slow
 #                                     # acceptance soak + serve benchmarks)
+#   sh tools/ci_local.sh --pool       # additionally run the CI executor-pool
+#                                     # job (pool correctness + determinism
+#                                     # suites + the multi-core speedup gates;
+#                                     # gates skip-with-a-recorded-row < 4 cores)
 #
 # Requires only the baked-in toolchain (python + pytest + numpy). ruff
-# is picked up when installed (pip install -e '.[dev]') and skipped
-# with a warning otherwise, so the script never fails for a missing
-# linter the CI lint job would have caught anyway.
+# and actionlint are picked up when installed and skipped with a
+# warning otherwise, so the script never fails for a missing linter
+# the CI lint job would have caught anyway.
 
 set -eu
 
@@ -28,6 +32,11 @@ else
     echo "ruff not installed (pip install -e '.[dev]') -- skipping lint"
 fi
 python -m compileall -q src
+if command -v actionlint >/dev/null 2>&1; then
+    actionlint
+else
+    echo "actionlint not installed -- skipping workflow lint"
+fi
 
 echo "== tier-1 tests =="
 python -m pytest -x -q
@@ -63,6 +72,18 @@ fi
 if [ "${1:-}" = "--trials" ]; then
     echo "== trial campaign + trend report (non-blocking in CI) =="
     python tools/trials --ingest-bench --fail-on never
+fi
+
+if [ "${1:-}" = "--pool" ]; then
+    echo "== executor pool (correctness + determinism) =="
+    python -m pytest -q \
+        tests/core/test_executor.py \
+        tests/core/test_executor_pool.py \
+        tests/core/test_shm_lifecycle.py \
+        tests/core/test_executor_determinism.py \
+        tests/core/test_executor_interrupt.py
+    echo "== executor pool speedup gates (skip-with-record < 4 cores) =="
+    python -m pytest -q -rs benchmarks/test_executor_backends.py
 fi
 
 if [ "${1:-}" = "--serve" ]; then
