@@ -1,0 +1,76 @@
+"""`repro.align`: the wavefront DNA sequence alignment assignment family.
+
+The seventh assignment scenario — banded Needleman–Wunsch ("global")
+and Smith–Waterman ("local") scoring over seeded synthetic DNA — built
+to exercise the one parallel dependency structure the original six
+don't: the **anti-diagonal wavefront**. Four models, one integer
+answer:
+
+- :func:`align_sequential` — the oracle (numpy + pure-Python kernels);
+- :func:`align_openmp` — threads sweep anti-diagonals behind a
+  per-diagonal barrier, with the racy→critical→atomic→reduction
+  statistics ladder;
+- :func:`align_mpi` — block-row ranks exchanging one halo cell per
+  diagonal, checkpoint-restartable under fault plans;
+- :func:`align_executor` — tiled wavefront over the executor pool with
+  published shared-memory segments.
+
+Inputs come from :func:`generate_pair` (block-split ``repro.rng``
+streams); everything downstream is a pure function of the seed, which
+is why cross-model bit-identity is testable at all (docs/align.md).
+"""
+
+from repro.align.data import (
+    STREAM_SPACING,
+    generate_pair,
+    generate_sequence,
+    mutate_sequence,
+)
+from repro.align.executor_align import align_executor, tile_diagonals
+from repro.align.mpi_align import AlignCheckpoint, align_mpi, run_align_mpi
+from repro.align.openmp_align import ALL_VARIANTS, VARIANTS, align_openmp
+from repro.align.scoring import (
+    ALPHABET,
+    MODES,
+    OUT_OF_BAND,
+    AlignResult,
+    ScoringScheme,
+    cell_score,
+    diagonal_row_range,
+    encode_sequence,
+    in_band,
+    init_matrix,
+    summarize_matrix,
+    traceback_path,
+)
+from repro.align.sequential import KERNELS, align_sequential, score_matrix
+
+__all__ = [
+    "ALPHABET",
+    "MODES",
+    "OUT_OF_BAND",
+    "STREAM_SPACING",
+    "KERNELS",
+    "VARIANTS",
+    "ALL_VARIANTS",
+    "ScoringScheme",
+    "AlignResult",
+    "AlignCheckpoint",
+    "encode_sequence",
+    "in_band",
+    "diagonal_row_range",
+    "cell_score",
+    "init_matrix",
+    "summarize_matrix",
+    "traceback_path",
+    "generate_sequence",
+    "mutate_sequence",
+    "generate_pair",
+    "score_matrix",
+    "align_sequential",
+    "align_openmp",
+    "align_mpi",
+    "run_align_mpi",
+    "align_executor",
+    "tile_diagonals",
+]

@@ -1,0 +1,124 @@
+"""Seeded synthetic DNA sequences from block-split ``repro.rng`` streams.
+
+The alignment assignment needs input pairs that are (a) reproducible
+from a single integer seed on every model and machine, and (b) related
+enough that the optimal alignment is interesting — a mutated copy, not
+two independent random strings. Both come from one
+:class:`~repro.rng.streams.SharedSequence` per seed, carved into
+*block-split streams*: stream ``s`` owns draws
+``[s * STREAM_SPACING, (s+1) * STREAM_SPACING)`` of the shared LCG
+sequence, the same windowing discipline as the traffic simulation and
+the sanitizer's schedule streams, so no two streams can ever overlap.
+
+Stream 0 spells the reference sequence; stream 1 drives the mutation
+channel (two draws per base: one event draw, one replacement-base
+draw). Everything downstream — scoring, wavefronts, benchmarks — is a
+pure function of these strings.
+"""
+
+from __future__ import annotations
+
+from repro.align.scoring import ALPHABET
+from repro.rng.lcg import KNUTH_LCG, LcgParams
+from repro.rng.streams import SharedSequence
+from repro.util.validation import require_nonnegative_int, require_positive_int
+
+__all__ = ["STREAM_SPACING", "generate_sequence", "mutate_sequence", "generate_pair"]
+
+#: Draws reserved per block-split stream: room for a million-base
+#: sequence (or half that many mutation events) per stream, far beyond
+#: any teaching-scale instance, with streams provably disjoint.
+STREAM_SPACING = 2**21
+
+
+def _stream(seed: int, stream: int, count: int, params: LcgParams) -> list[float]:
+    require_nonnegative_int("stream", stream)
+    if count > STREAM_SPACING:
+        raise ValueError(
+            f"stream draw budget exceeded: {count} draws > spacing {STREAM_SPACING}"
+        )
+    sequence = SharedSequence(params, seed)
+    return list(sequence.draws(stream * STREAM_SPACING, count))
+
+
+def generate_sequence(
+    seed: int, length: int, *, stream: int = 0, params: LcgParams = KNUTH_LCG
+) -> str:
+    """A reproducible DNA string: one uniform draw per base.
+
+    ``stream`` selects the block-split window of the seed's shared
+    sequence, so ``generate_sequence(seed, n, stream=0)`` and the
+    mutation channel (stream 1) can never consume the same draws.
+    """
+    require_positive_int("length", length)
+    draws = _stream(seed, stream, length, params)
+    base_count = len(ALPHABET)
+    return "".join(ALPHABET[min(int(u * base_count), base_count - 1)] for u in draws)
+
+
+def mutate_sequence(
+    seed: int,
+    sequence: str,
+    *,
+    sub_rate: float = 0.1,
+    indel_rate: float = 0.05,
+    stream: int = 1,
+    params: LcgParams = KNUTH_LCG,
+) -> str:
+    """A noisy copy of ``sequence``: substitutions, deletions, insertions.
+
+    Consumes exactly two draws per input base from the given block-split
+    stream — an event draw and a replacement-base draw — whether or not
+    the event fires, so the output is a pure function of
+    ``(seed, sequence, rates)`` and never depends on earlier decisions.
+    Event draw ``u``: ``u < indel_rate/2`` deletes the base,
+    ``u < indel_rate`` inserts a random base before it,
+    ``u < indel_rate + sub_rate`` substitutes it.
+    """
+    if not sequence:
+        raise ValueError("sequences must be non-empty")
+    if not 0.0 <= sub_rate <= 1.0 or not 0.0 <= indel_rate <= 1.0:
+        raise ValueError("sub_rate and indel_rate must be within [0, 1]")
+    if sub_rate + indel_rate > 1.0:
+        raise ValueError("sub_rate + indel_rate must not exceed 1")
+    draws = _stream(seed, stream, 2 * len(sequence), params)
+    base_count = len(ALPHABET)
+    out: list[str] = []
+    for index, base in enumerate(sequence):
+        event = draws[2 * index]
+        pick = ALPHABET[min(int(draws[2 * index + 1] * base_count), base_count - 1)]
+        if event < indel_rate / 2.0:
+            continue  # deletion
+        if event < indel_rate:
+            out.append(pick)  # insertion before the kept base
+            out.append(base)
+        elif event < indel_rate + sub_rate:
+            out.append(pick)  # substitution (may silently match)
+        else:
+            out.append(base)
+    if not out:
+        # Pathological all-deleted draw sequence: keep the first base so
+        # the pair stays alignable (sequences must be non-empty).
+        out.append(sequence[0])
+    return "".join(out)
+
+
+def generate_pair(
+    seed: int,
+    length: int,
+    *,
+    sub_rate: float = 0.1,
+    indel_rate: float = 0.05,
+    params: LcgParams = KNUTH_LCG,
+) -> tuple[str, str]:
+    """The canonical test instance: a reference and its mutated copy.
+
+    Stream 0 generates the reference, stream 1 mutates it. The pair is
+    what the conformance suite, the fault tests, and the benchmarks all
+    align.
+    """
+    reference = generate_sequence(seed, length, stream=0, params=params)
+    mutated = mutate_sequence(
+        seed, reference, sub_rate=sub_rate, indel_rate=indel_rate, stream=1, params=params
+    )
+    return reference, mutated

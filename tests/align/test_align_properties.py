@@ -1,0 +1,70 @@
+"""Property-based tests: the algebra the alignment score must satisfy.
+
+Hypothesis sweeps DNA strings and scoring parameters; each property is
+a statement about *every* instance, not a pinned example:
+
+- swapping the sequences transposes the matrix and preserves the score
+  (the scoring scheme is symmetric in its two inputs);
+- the optimal score is monotone non-decreasing in the match reward
+  (every alignment's value is, so the max over alignments is);
+- a sequence aligned against itself scores the perfect-match value.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.align import ScoringScheme, align_sequential, score_matrix
+
+dna = st.text(alphabet="ACGT", min_size=1, max_size=28)
+modes = st.sampled_from(["global", "local"])
+
+
+@given(a=dna, b=dna, mode=modes)
+@settings(max_examples=40, deadline=None)
+def test_score_symmetric_under_sequence_swap(a, b, mode):
+    scheme = ScoringScheme(mode=mode)
+    forward = align_sequential(a, b, scheme=scheme)
+    backward = align_sequential(b, a, scheme=scheme)
+    assert forward.score == backward.score
+    # Stronger: the DP matrix itself transposes.
+    np.testing.assert_array_equal(forward.matrix, backward.matrix.T)
+
+
+@given(a=dna, b=dna, mode=modes, reward=st.integers(min_value=1, max_value=6))
+@settings(max_examples=40, deadline=None)
+def test_score_monotone_in_match_reward(a, b, mode, reward):
+    lower = align_sequential(
+        a, b, scheme=ScoringScheme(match=reward, mode=mode)
+    ).score
+    higher = align_sequential(
+        a, b, scheme=ScoringScheme(match=reward + 1, mode=mode)
+    ).score
+    assert higher >= lower
+
+
+@given(s=dna, mode=modes, match=st.integers(min_value=1, max_value=5))
+@settings(max_examples=40, deadline=None)
+def test_self_alignment_scores_perfect_match(s, mode, match):
+    scheme = ScoringScheme(match=match, mode=mode)
+    result = align_sequential(s, s, scheme=scheme)
+    assert result.score == match * len(s)
+    assert result.aligned_a == s and result.aligned_b == s
+
+
+@given(a=dna, b=dna)
+@settings(max_examples=40, deadline=None)
+def test_local_score_bounds(a, b):
+    scheme = ScoringScheme(mode="local")
+    score = align_sequential(a, b, scheme=scheme).score
+    assert 0 <= score <= scheme.match * min(len(a), len(b))
+
+
+@given(a=dna, b=dna, mode=modes)
+@settings(max_examples=25, deadline=None)
+def test_kernels_agree_on_arbitrary_instances(a, b, mode):
+    scheme = ScoringScheme(mode=mode)
+    np.testing.assert_array_equal(
+        score_matrix(a, b, scheme=scheme, kernel="numpy"),
+        score_matrix(a, b, scheme=scheme, kernel="python"),
+    )

@@ -9,12 +9,25 @@ pins that story end to end at fixed seeds:
 - traffic: serial and parallel simulations are bit-identical (the
   shared-LCG contract of paper §5);
 - heat: the forall and coforall solvers match both the serial stencil
-  (bitwise) and the analytic eigenmode solution (within tolerance).
+  (bitwise) and the analytic eigenmode solution (within tolerance);
+- align: the wavefront family — sequential (both kernels), every
+  guarded OpenMP rung, MPI block rows, and every executor backend
+  produce bit-identical score matrices *and* traceback paths (integer
+  scoring makes exact equality the contract, not a tolerance).
 """
 
 import numpy as np
 import pytest
 
+from repro.align import (
+    ScoringScheme,
+    align_executor,
+    align_openmp,
+    align_sequential,
+    generate_pair,
+    run_align_mpi,
+)
+from repro.align.openmp_align import VARIANTS as ALIGN_VARIANTS
 from repro.chapel import set_num_locales
 from repro.core.executor import BACKENDS
 from repro.heat.analytic import discrete_sine_solution, sine_initial_condition
@@ -35,6 +48,9 @@ from repro.traffic import TrafficParams, simulate_parallel, simulate_serial
 SEEDS = (0, 7, 123)
 KMEANS_SIZES = ((48, 2), (90, 3))
 CRITERIA = TerminationCriteria(max_iterations=12)
+#: Two sequence-length classes: short (fits one tile/thread block) and
+#: long (many anti-diagonals per rank/thread, uneven partitions).
+ALIGN_LENGTHS = (40, 96)
 
 
 def make_points(seed: int, shape: tuple[int, int]) -> np.ndarray:
@@ -92,6 +108,59 @@ class TestKMeansConformance:
         for other in results[1:]:
             np.testing.assert_array_equal(other.centroids, results[0].centroids)
             np.testing.assert_array_equal(other.assignments, results[0].assignments)
+
+
+class TestAlignConformance:
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("length", ALIGN_LENGTHS)
+    def test_all_models_agree_bitwise(self, seed, length):
+        a, b = generate_pair(seed, length)
+        reference = align_sequential(a, b)
+
+        candidates = {"sequential-python": align_sequential(a, b, kernel="python")}
+        for variant in ALIGN_VARIANTS:
+            candidates[f"openmp-{variant}"] = align_openmp(
+                a, b, num_threads=3, variant=variant
+            )
+        candidates["mpi"] = run_align_mpi(3, a, b)
+        for backend in BACKENDS:
+            candidates[f"executor-{backend}"] = align_executor(
+                a, b, backend=backend, num_workers=3, tile=16
+            )
+
+        for name, result in candidates.items():
+            np.testing.assert_array_equal(result.matrix, reference.matrix, err_msg=name)
+            assert result.path == reference.path, name
+            assert result.score == reference.score, name
+            assert result.aligned_a == reference.aligned_a, name
+            assert result.aligned_b == reference.aligned_b, name
+            assert result.best_score == reference.best_score, name
+            assert result.best_cell == reference.best_cell, name
+            assert result.match_events == reference.match_events, name
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize(
+        "mode,band", [("local", None), ("global", 12), ("local", 10)]
+    )
+    def test_modes_and_bands_agree_bitwise(self, seed, mode, band):
+        a, b = generate_pair(seed, 60)
+        scheme = ScoringScheme(mode=mode)
+        if band is not None and mode == "global":
+            band = max(band, abs(len(a) - len(b)))
+        reference = align_sequential(a, b, scheme=scheme, band=band)
+        candidates = {
+            "openmp-reduction": align_openmp(
+                a, b, num_threads=3, scheme=scheme, band=band
+            ),
+            "mpi": run_align_mpi(3, a, b, scheme=scheme, band=band),
+            "executor-thread": align_executor(
+                a, b, backend="thread", num_workers=3, tile=16, scheme=scheme, band=band
+            ),
+        }
+        for name, result in candidates.items():
+            np.testing.assert_array_equal(result.matrix, reference.matrix, err_msg=name)
+            assert result.path == reference.path, name
+            assert result.score == reference.score, name
 
 
 class TestTrafficConformance:

@@ -78,11 +78,13 @@ class TestMatrix:
         specs = build_matrix()
         assert {s.workload for s in specs} == {
             "kmeans", "kmeans_openmp", "wordcount", "heat_coforall", "knn_mapreduce",
-            "serve_soak",
+            "serve_soak", "align",
         }
         # dimensions sweep where they apply
         kmeans = [s for s in specs if s.workload == "kmeans"]
         assert {dict(s.config)["backend"] for s in kmeans} == {"serial", "thread"}
+        align = [s for s in specs if s.workload == "align"]
+        assert {dict(s.config)["model"] for s in align} == {"sequential", "executor"}
         heat = [s for s in specs if s.workload == "heat_coforall"]
         assert {dict(s.config)["locales"] for s in heat} == {"1", "2"}
 

@@ -56,13 +56,16 @@ if [ "${1:-}" = "--perf" ]; then
         tests/serve/test_serve_overhead_gate.py \
         benchmarks/test_executor_backends.py \
         benchmarks/test_shuffle_spill.py \
-        benchmarks/test_serve_throughput.py
+        benchmarks/test_serve_throughput.py \
+        benchmarks/test_align.py
 fi
 
 if [ "${1:-}" = "--sanitizer" ]; then
     echo "== sanitizer suite (including slow systematic-DFS tests) =="
     python -m pytest -q tests/sanitizer -m 'slow or not slow'
-    echo "== sanitizer k-means certification campaign (seed matrix) =="
+    echo "== align conformance (cross-model bit-identity) =="
+    python -m pytest -q tests/integration/test_model_conformance.py -k Align
+    echo "== ladder certification campaign (k-means + align, seed matrix) =="
     for seed in 0 7 123; do
         python tools/sanitizer_campaign.py --seed "$seed" --schedules 50 \
             --out sanitizer-reports

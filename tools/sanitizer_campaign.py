@@ -1,16 +1,18 @@
 #!/usr/bin/env python
-"""Run the k-means ladder through the schedule explorer; write race reports.
+"""Run the rung ladders through the schedule explorer; write race reports.
 
-The CI ``sanitizer`` job runs this across a fixed seed matrix and
-uploads the reports as artifacts:
+Two ladder families share the certification bar: the OpenMP k-means
+reduction ladder and the align wavefront ladder (``repro.align``). The
+CI ``sanitizer`` job runs this across a fixed seed matrix and uploads
+the reports as artifacts:
 
     python tools/sanitizer_campaign.py --seed 0 --schedules 50 --out sanitizer-reports
 
-Exit status is the certificate: 0 iff the racy rung is flagged AND
-every guarded rung (critical / atomic / reduction) is race-free across
-all explored schedules. The per-rung plain-text reports (including the
-replay command for every racy schedule) are written either way, so a
-red run leaves its evidence behind.
+Exit status is the certificate: 0 iff, for every family, the racy rung
+is flagged AND every guarded rung (critical / atomic / reduction) is
+race-free across all explored schedules. The per-rung plain-text
+reports (including the replay command for every racy schedule) are
+written either way, so a red run leaves its evidence behind.
 """
 
 import argparse
@@ -19,6 +21,8 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.align import align_openmp, generate_pair
+from repro.align.openmp_align import ALL_VARIANTS as ALIGN_VARIANTS
 from repro.kmeans.initialization import init_random_points
 from repro.kmeans.openmp_kmeans import ALL_VARIANTS, kmeans_openmp
 from repro.kmeans.termination import TerminationCriteria
@@ -38,6 +42,35 @@ def make_body(points, init, variant):
     return body
 
 
+def make_align_body(a, b, variant):
+    def body():
+        result = align_openmp(a, b, num_threads=2, variant=variant)
+        return (result.match_events, result.best_score, result.best_cell)
+
+    return body
+
+
+def run_family(family, variants, body_for, args) -> list[str]:
+    """Explore every rung of one ladder; return the misbehaving rungs."""
+    failures = []
+    for variant in variants:
+        result = explore(body_for(variant), schedules=args.schedules, seed=args.seed)
+        path = args.out / f"{family}-{variant}-seed{args.seed}.txt"
+        write_report(result, path, title=f"{family} variant={variant!r} seed={args.seed}")
+        expected_racy = variant == "racy"
+        ok = result.race_free != expected_racy
+        verdict = "race-free" if result.race_free else f"{len(result.races)} distinct race(s)"
+        status = "ok" if ok else "UNEXPECTED"
+        print(
+            f"[{status}] {family}:{variant:<9} seed={args.seed} "
+            f"schedules={result.schedules_run} "
+            f"distinct={result.distinct_interleavings()} -> {verdict}  ({path})"
+        )
+        if not ok:
+            failures.append(f"{family}:{variant}")
+    return failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--seed", type=int, default=0, help="schedule-stream seed")
@@ -48,26 +81,14 @@ def main(argv=None) -> int:
     rng = np.random.default_rng(11)
     points = rng.normal(size=(24, 2))
     init = init_random_points(points, 2, seed=3)
+    a, b = generate_pair(5, 8)
 
-    failures = []
-    for variant in ALL_VARIANTS:
-        result = explore(
-            make_body(points, init, variant),
-            schedules=args.schedules,
-            seed=args.seed,
-        )
-        path = args.out / f"kmeans-{variant}-seed{args.seed}.txt"
-        write_report(result, path, title=f"kmeans variant={variant!r} seed={args.seed}")
-        expected_racy = variant == "racy"
-        ok = result.race_free != expected_racy
-        verdict = "race-free" if result.race_free else f"{len(result.races)} distinct race(s)"
-        status = "ok" if ok else "UNEXPECTED"
-        print(
-            f"[{status}] {variant:<9} seed={args.seed} schedules={result.schedules_run} "
-            f"distinct={result.distinct_interleavings()} -> {verdict}  ({path})"
-        )
-        if not ok:
-            failures.append(variant)
+    failures = run_family(
+        "kmeans", ALL_VARIANTS, lambda v: make_body(points, init, v), args
+    )
+    failures += run_family(
+        "align", ALIGN_VARIANTS, lambda v: make_align_body(a, b, v), args
+    )
 
     if failures:
         print(f"sanitizer campaign FAILED for: {', '.join(failures)}", file=sys.stderr)

@@ -42,7 +42,9 @@ __all__ = [
 ]
 
 #: Suites the default matrix covers, and the dimension each one sweeps.
-DEFAULT_SUITES = ("kmeans", "kmeans_openmp", "wordcount", "heat", "knn_mapreduce", "serve")
+DEFAULT_SUITES = (
+    "kmeans", "kmeans_openmp", "wordcount", "heat", "knn_mapreduce", "serve", "align",
+)
 
 
 @dataclass(frozen=True)
@@ -241,6 +243,27 @@ def _serve_trials(fault_plans: Sequence[str], seed: int) -> list[TrialSpec]:
     return specs
 
 
+def _align_trials(backends: Sequence[str], seed: int) -> list[TrialSpec]:
+    from repro.align import align_executor, align_sequential, generate_pair
+
+    a, b = generate_pair(seed, 96)
+
+    def oracle() -> Any:
+        result = align_sequential(a, b)
+        return (result.matrix, tuple(result.path))
+
+    specs = [_spec("align", {"model": "sequential", "seed": seed}, oracle)]
+    for backend in backends:
+        def runner(bk: str = backend) -> Any:
+            result = align_executor(a, b, num_workers=4, backend=bk, tile=24)
+            return (result.matrix, tuple(result.path))
+
+        specs.append(
+            _spec("align", {"model": "executor", "backend": backend, "seed": seed}, runner)
+        )
+    return specs
+
+
 def build_matrix(
     *,
     suites: Sequence[str] = DEFAULT_SUITES,
@@ -255,7 +278,9 @@ def build_matrix(
     executor-backed k-means, fault plans sweep the Spark wordcount and
     the serve soak (``none`` vs a scheduler-level ``ServeFaultPlan``),
     sanitizer schedules sweep the OpenMP k-means rung, locales sweep the
-    heat solver — and every suite is swept over ``seeds``.
+    heat solver, and backends also sweep the executor wavefront against
+    its sequential oracle (same digest across the model dimension = the
+    bit-identity witness) — and every suite is swept over ``seeds``.
     """
     unknown = set(suites) - set(DEFAULT_SUITES)
     if unknown:
@@ -274,6 +299,8 @@ def build_matrix(
             specs.extend(_knn_mapreduce_trials(seed))
         if "serve" in suites:
             specs.extend(_serve_trials(fault_plans, seed))
+        if "align" in suites:
+            specs.extend(_align_trials(backends, seed))
     return specs
 
 
